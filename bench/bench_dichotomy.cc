@@ -1,0 +1,85 @@
+// E2 — the dichotomy tables: classification of every query the paper
+// discusses, under Theorem 3.1 and (where the paper names an exogenous set)
+// Theorem 4.3. The "paper" column is the complexity the paper assigns.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "query/classify.h"
+#include "query/parser.h"
+
+namespace {
+
+struct Row {
+  const char* label;
+  const char* query;
+  const char* exo;    // '|'-separated, empty for Theorem 3.1 rows
+  const char* paper;  // expected complexity per the paper
+};
+
+const Row kRows[] = {
+    {"q1 (Ex 2.2)", "q1() :- Stud(x), not TA(x), Reg(x,y)", "", "PTIME"},
+    {"q2 (Ex 2.2)", "q2() :- Stud(x), not TA(x), Reg(x,y), not Course(y,'CS')",
+     "", "FP#P-c"},
+    {"q_RST", "q() :- R(x), S(x,y), T(y)", "", "FP#P-c"},
+    {"q_negRSnegT", "q() :- not R(x), S(x,y), not T(y)", "", "FP#P-c"},
+    {"q_RnegST", "q() :- R(x), not S(x,y), T(y)", "", "FP#P-c"},
+    {"q_RSnegT", "q() :- R(x), S(x,y), not T(y)", "", "FP#P-c"},
+    {"intro (1)", "q() :- Farmer(m), Export(m,p,c), not Grows(c,p)", "",
+     "FP#P-c"},
+    {"intro (1), Grows exo",
+     "q() :- Farmer(m), Export(m,p,c), not Grows(c,p)", "Grows", "PTIME"},
+    {"Ex 4.1", "q() :- Author(x,y), Pub(x,z), Citations(z,w)",
+     "Pub|Citations", "PTIME"},
+    {"Ex 4.1 (Cit. only)", "q() :- Author(x,y), Pub(x,z), Citations(z,w)",
+     "Citations", "PTIME"},
+    {"Sec 4.1 q", "q() :- not R(x,w), S(z,x), not P(z,w), T(y,w)", "S|P",
+     "PTIME"},
+    {"Sec 4.1 q'", "q() :- not R(x,w), S(z,x), not P(z,y), T(y,w)", "S|P",
+     "FP#P-c"},
+    {"q2, Stud/Course exo",
+     "q2() :- Stud(x), not TA(x), Reg(x,y), not Course(y,'CS')",
+     "Stud|Course", "PTIME"},
+    {"Ex 4.2 q'",
+     "qp() :- U(t,r), not T(y), Q(y,w), not Vv(t), R(x,y), not S(x,z), O(z), "
+     "P(u,y,w)",
+     "R|S|O|P|Vv", "PTIME"},
+};
+
+shapcq::ExoRelations ParseExo(const char* text) {
+  shapcq::ExoRelations exo;
+  std::string rest = text;
+  while (!rest.empty()) {
+    const size_t bar = rest.find('|');
+    exo.insert(rest.substr(0, bar));
+    rest = bar == std::string::npos ? "" : rest.substr(bar + 1);
+  }
+  return exo;
+}
+
+}  // namespace
+
+int main() {
+  using namespace shapcq;
+  std::printf("E2: dichotomy classifications (Theorems 3.1 and 4.3)\n\n");
+  std::printf("%-22s %-14s %-8s %-8s %-5s\n", "query", "exogenous", "paper",
+              "ours", "match");
+  bool all = true;
+  for (const Row& row : kRows) {
+    const CQ q = MustParseCQ(row.query);
+    const ExoRelations exo = ParseExo(row.exo);
+    const Classification result =
+        exo.empty() ? ClassifyExactShapley(q).value()
+                    : ClassifyExactShapley(q, exo).value();
+    const char* ours = result.IsTractable() ? "PTIME" : "FP#P-c";
+    const bool match = std::string(ours) == row.paper;
+    all &= match;
+    std::printf("%-22s %-14s %-8s %-8s %-5s\n", row.label,
+                row.exo[0] ? row.exo : "-", row.paper, ours,
+                match ? "yes" : "NO");
+  }
+  std::printf("\nresult: %s\n", all ? "all classifications match the paper"
+                                    : "MISMATCH AGAINST THE PAPER");
+  return all ? 0 : 1;
+}

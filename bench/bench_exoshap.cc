@@ -1,0 +1,71 @@
+// E4 — Theorem 4.3's tractable side, measured: ExoShap on the Example 4.1
+// citations workload. Polynomial growth with database size, agreement with
+// brute force where brute force is feasible, and the per-step output sizes
+// of the Figure 3 pipeline (the cost of faithful Cartesian padding —
+// DESIGN.md ablation note 3).
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/brute_force.h"
+#include "core/exoshap.h"
+#include "datasets/citations.h"
+#include "util/random.h"
+
+int main() {
+  using namespace shapcq;
+  using Clock = std::chrono::steady_clock;
+  const CQ q = CitationsQuery();
+
+  std::printf("E4: ExoShap on q() :- Author(x,y), Pub(x,z), Citations(z,w)\n");
+  std::printf("    exogenous {Pub, Citations} (Example 4.1)\n\n");
+  std::printf("%-6s %-6s %-10s %-12s %-12s %-7s\n", "|Dn|", "|D|",
+              "ExoShap(ms)", "brute(ms)", "padded facts", "match");
+
+  for (int researchers : {6, 10, 14, 18, 24, 32}) {
+    Rng rng(1000 + static_cast<uint64_t>(researchers));
+    Database db = BuildRandomCitationsDb(researchers, researchers, 0.3, 0.5,
+                                         &rng);
+    const FactId f = db.endogenous_facts()[0];
+
+    auto t0 = Clock::now();
+    const Rational fast =
+        ExoShapShapley(q, db, CitationsExoRelations(), f).value();
+    auto t1 = Clock::now();
+    const double fast_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    // Padded-relation size: the price of the faithful Lemma 4.8 padding.
+    auto transformed = ExoShapTransform(q, db, CitationsExoRelations());
+    size_t padded = 0;
+    for (const Atom& atom : transformed.value().query.atoms()) {
+      if (transformed.value().exo.count(atom.relation)) {
+        padded += transformed.value().db.facts_of(atom.relation).size();
+      }
+    }
+
+    double slow_ms = -1;
+    bool match = true;
+    if (db.endogenous_count() <= 18) {
+      auto t2 = Clock::now();
+      const Rational slow = ShapleyBruteForce(q, db, f);
+      auto t3 = Clock::now();
+      slow_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
+      match = slow == fast;
+    }
+    if (slow_ms < 0) {
+      std::printf("%-6zu %-6zu %-10.2f %-12s %-12zu %-7s\n",
+                  db.endogenous_count(), db.fact_count(), fast_ms, "(skip)",
+                  padded, "-");
+    } else {
+      std::printf("%-6zu %-6zu %-10.2f %-12.2f %-12zu %-7s\n",
+                  db.endogenous_count(), db.fact_count(), fast_ms, slow_ms,
+                  padded, match ? "yes" : "NO");
+    }
+  }
+  std::printf("\nshape: ExoShap stays in the milliseconds as |Dn| grows; the "
+              "brute-force\ncolumn doubles per endogenous fact, as Theorem "
+              "3.1 predicts for the\nquery without the exogenous "
+              "assumption.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// E11 — Lemma B.3 run forward: recover the independent-set count |IS(g)| of
+// random bipartite graphs from N+2 Shapley values of q_RS¬T instances plus
+// an exact linear solve, and compare with direct enumeration. Demonstrates
+// the reduction that makes Shapley computation #P-hard for q_RS¬T.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/brute_force.h"
+#include "reductions/iscount.h"
+#include "util/random.h"
+
+int main() {
+  using namespace shapcq;
+  using Clock = std::chrono::steady_clock;
+  const CQ q = QRSNegT();
+  ShapleyOracle oracle = [&q](const Database& db, FactId f) {
+    return ShapleyBruteForce(q, db, f);
+  };
+
+  std::printf("E11: |IS(g)| via the Lemma B.3 Shapley pipeline vs direct "
+              "enumeration\n\n");
+  std::printf("%10s %8s %14s %14s %12s %7s\n", "left+right", "edges",
+              "via Shapley", "enumeration", "pipeline(ms)", "match");
+  Rng rng(31415);
+  for (auto [left, right] : {std::pair{1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 3}}) {
+    BipartiteGraph graph = RandomBipartite(left, right, 0.5, &rng);
+    auto t0 = Clock::now();
+    const BigInt via_shapley = CountIndependentSetsViaShapley(graph, oracle);
+    auto t1 = Clock::now();
+    const BigInt direct = CountIndependentSetsBruteForce(graph);
+    std::printf("%7d+%-3d %8zu %14s %14s %12.1f %7s\n", left, right,
+                graph.edges.size(), via_shapley.ToString().c_str(),
+                direct.ToString().c_str(),
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                via_shapley == direct ? "yes" : "NO");
+  }
+  std::printf("\nshape: the counts coincide on every instance. The pipeline "
+              "cost is the\nN+2 Shapley-oracle calls (here brute force, hence "
+              "the exponential growth);\na polynomial Shapley algorithm for "
+              "q_RS¬T would count independent sets in\npolynomial time — "
+              "i.e. FP^#P-hardness (Lemma 3.3).\n");
+  return 0;
+}

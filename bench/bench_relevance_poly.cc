@@ -1,0 +1,54 @@
+// E9 — Proposition 5.7: for polarity-consistent CQ¬s, IsPosRelevant /
+// IsNegRelevant run in polynomial time. Scaling on q1-shaped databases,
+// with brute-force agreement spot-checked at small sizes.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/relevance.h"
+#include "datasets/synthetic.h"
+#include "datasets/university.h"
+
+int main() {
+  using namespace shapcq;
+  using Clock = std::chrono::steady_clock;
+  const CQ q1 = UniversityQ1();
+
+  std::printf("E9: IsPosRelevant/IsNegRelevant scaling on q1-shaped data\n\n");
+  std::printf("%8s %8s %16s %16s %8s\n", "students", "|Dn|", "all-facts "
+              "pos(ms)", "all-facts neg(ms)", "agree");
+  for (int students : {4, 8, 16, 32, 64, 128}) {
+    Database db = BuildStudentScalingDb(students, 2);
+    auto t0 = Clock::now();
+    for (FactId f : db.endogenous_facts()) {
+      (void)IsPosRelevant(q1, db, f).value();
+    }
+    auto t1 = Clock::now();
+    for (FactId f : db.endogenous_facts()) {
+      (void)IsNegRelevant(q1, db, f).value();
+    }
+    auto t2 = Clock::now();
+
+    // Brute-force agreement for small instances only.
+    const char* agree = "-";
+    if (db.endogenous_count() <= 12) {
+      bool all = true;
+      for (FactId f : db.endogenous_facts()) {
+        all &= IsPosRelevant(q1, db, f).value() ==
+               IsPosRelevantBruteForce(q1, db, f);
+        all &= IsNegRelevant(q1, db, f).value() ==
+               IsNegRelevantBruteForce(q1, db, f);
+      }
+      agree = all ? "yes" : "NO";
+    }
+    std::printf("%8d %8zu %16.2f %16.2f %8s\n", students,
+                db.endogenous_count(),
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                std::chrono::duration<double, std::milli>(t2 - t1).count(),
+                agree);
+  }
+  std::printf("\nshape: near-linear growth in |Dn| for the whole-database "
+              "screen —\npolynomial data complexity, as Proposition 5.7 "
+              "states (contrast E8).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Example 4.1: attributing citation impact to researchers. The query
+//   q() :- Author(x,y), Pub(x,z), Citations(z,w)
+// is non-hierarchical — FP^#P-complete by Theorem 3.1 — yet with Pub and
+// Citations known to be exogenous, ExoShap computes exact values in
+// polynomial time (Theorem 4.3). This example walks the three
+// transformation steps and contrasts ExoShap with brute force.
+//
+//   $ ./example_academic_citations
+
+#include <chrono>
+#include <cstdio>
+
+#include "shapcq.h"
+#include "core/brute_force.h"
+#include "datasets/citations.h"
+#include "util/random.h"
+
+int main() {
+  using namespace shapcq;
+  using Clock = std::chrono::steady_clock;
+
+  const CQ q = CitationsQuery();
+  std::printf("query: %s\n\n", q.ToString().c_str());
+
+  // --- Small hand-made instance: inspect the transformation. --------------
+  Database small = BuildSmallCitationsDb();
+  auto transformed = ExoShapTransform(q, small, CitationsExoRelations());
+  std::printf("ExoShap rewrites the query to the hierarchical\n  %s\n",
+              transformed.value().query.ToString().c_str());
+  std::printf("(the join of Pub and Citations became one exogenous "
+              "relation,\n padded to Author's variables per Lemma 4.8)\n\n");
+
+  std::printf("%-28s %10s\n", "fact", "Shapley");
+  for (FactId f : small.endogenous_facts()) {
+    const Rational value =
+        ExoShapShapley(q, small, CitationsExoRelations(), f).value();
+    std::printf("%-28s %10s\n", small.FactToString(f).c_str(),
+                value.ToString().c_str());
+  }
+
+  // Ada's Shapley value is 1 and Grace's is 0: only Ada has a cited paper,
+  // so she is fully responsible for the answer.
+
+  // --- Scaling: polynomial ExoShap vs exponential brute force. ------------
+  std::printf("\n%-12s %14s %16s\n", "researchers", "ExoShap (ms)",
+              "brute force (ms)");
+  for (int researchers : {8, 12, 16, 20}) {
+    Rng rng(42);
+    Database db = BuildRandomCitationsDb(researchers, /*papers=*/researchers,
+                                         /*pub_probability=*/0.4,
+                                         /*cite_probability=*/0.5, &rng);
+    FactId f = db.endogenous_facts()[0];
+
+    auto t0 = Clock::now();
+    const Rational fast = ExoShapShapley(q, db, CitationsExoRelations(), f)
+                              .value();
+    auto t1 = Clock::now();
+    double fast_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    double slow_ms = -1.0;
+    if (researchers <= 16) {  // 2^20 evaluations beyond this
+      auto t2 = Clock::now();
+      const Rational slow = ShapleyBruteForce(q, db, f);
+      auto t3 = Clock::now();
+      slow_ms = std::chrono::duration<double, std::milli>(t3 - t2).count();
+      if (!(slow == fast)) std::printf("  !! mismatch\n");
+    }
+    if (slow_ms < 0) {
+      std::printf("%-12d %14.2f %16s\n", researchers, fast_ms, "(skipped)");
+    } else {
+      std::printf("%-12d %14.2f %16.2f\n", researchers, fast_ms, slow_ms);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The approximation story of Section 5, end to end: the additive FPRAS
+// works for every CQ¬, but the gap property fails under negation —
+// exponentially small yet nonzero Shapley values defeat any
+// sampling-based multiplicative approximation.
+//
+//   $ ./example_approximation_limits
+
+#include <cmath>
+#include <cstdio>
+
+#include "shapcq.h"
+#include "datasets/university.h"
+#include "reductions/gap.h"
+
+int main() {
+  using namespace shapcq;
+
+  // --- Additive approximation on an ordinary database. ---------------------
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  const Rational exact = ShapleyViaCountSat(q1, u.db, u.ft1).value();
+  std::printf("additive FPRAS on the running example, fact TA(Adam):\n");
+  std::printf("%10s %12s %12s\n", "samples", "estimate", "|error|");
+  Rng rng(99);
+  for (size_t samples : {100u, 1000u, 10000u, 100000u}) {
+    const double estimate = ShapleyMonteCarlo(q1, u.db, u.ft1, samples, &rng);
+    std::printf("%10zu %12.5f %12.5f\n", samples, estimate,
+                std::fabs(estimate - exact.ToDouble()));
+  }
+  std::printf("exact value: %s = %.5f\n\n", exact.ToString().c_str(),
+              exact.ToDouble());
+
+  // --- The gap family: q() :- R(x), S(x,y), ¬R(y). -------------------------
+  const CQ qgap = GapQuery();
+  std::printf("gap family for %s (Theorem 5.1):\n", qgap.ToString().c_str());
+  std::printf("%4s %8s %22s %14s %12s\n", "n", "|Dn|", "Shapley = n!n!/(2n+1)!",
+              "<= 2^-n", "20k-sample est.");
+  for (int n : {1, 2, 4, 6, 8, 10}) {
+    GapInstance gap = BuildGapFamily(n);
+    const Rational value = GapTheoreticalShapley(n);
+    Rng sample_rng(7 + static_cast<uint64_t>(n));
+    const double estimate =
+        ShapleyMonteCarlo(qgap, gap.db, gap.f, 20000, &sample_rng);
+    std::printf("%4d %8zu %22.3e %14.3e %12.5f\n", n,
+                gap.db.endogenous_count(), value.ToDouble(),
+                std::pow(2.0, -n), estimate);
+  }
+  std::printf(
+      "\nThe value is always strictly positive, but from n≈8 on, sampling\n"
+      "estimates it as exactly 0: a multiplicative guarantee would need\n"
+      "2^Θ(n) samples. This is why Section 5 ties multiplicative\n"
+      "approximation to the (NP-hard) relevance problem instead.\n");
+
+  // The generic construction (Theorem 5.1) does the same for any
+  // satisfiable, positively connected, constant-free CQ¬ with negation:
+  const CQ other = MustParseCQ("q() :- A(x,y), not B(y,x)");
+  auto generic = BuildGenericGapFamily(other, 3);
+  std::printf("\ngeneric construction on %s: |Shapley| = %s (= 3!3!/7!)\n",
+              other.ToString().c_str(),
+              ShapleyBruteForce(other, generic.value().db, generic.value().f)
+                  .Abs()
+                  .ToString()
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// The introduction's comparison, made concrete: Shapley value vs causal
+// responsibility (Meliou et al.) vs causal effect (Salimi et al.; the
+// Banzhaf value for Boolean queries) on the running example. All three
+// agree on the *direction* of a fact's influence, but only the Shapley
+// value distributes the answer (sums to q(D) − q(Dx)) — the axiomatic
+// reason the paper adopts it.
+//
+//   $ ./example_measures_comparison
+
+#include <cstdio>
+
+#include "shapcq.h"
+#include "core/measures.h"
+#include "core/report.h"
+#include "datasets/university.h"
+
+int main() {
+  using namespace shapcq;
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  std::printf("query: %s\n\n", q1.ToString().c_str());
+
+  std::printf("%-22s %10s %14s %16s\n", "fact", "Shapley", "causal effect",
+              "responsibility");
+  Rational shapley_sum(0), effect_sum(0);
+  for (FactId f : u.db.endogenous_facts()) {
+    const Rational shapley = ShapleyViaCountSat(q1, u.db, f).value();
+    const Rational effect = CausalEffectViaCountSat(q1, u.db, f).value();
+    const Rational responsibility = ResponsibilityBruteForce(q1, u.db, f);
+    shapley_sum += shapley;
+    effect_sum += effect;
+    std::printf("%-22s %10s %14s %16s\n", u.db.FactToString(f).c_str(),
+                shapley.ToString().c_str(), effect.ToString().c_str(),
+                responsibility.ToString().c_str());
+  }
+  std::printf("%-22s %10s %14s %16s\n", "sum", shapley_sum.ToString().c_str(),
+              effect_sum.ToString().c_str(), "-");
+  std::printf("\nOnly the Shapley column sums to q(D) - q(Dx) = 1 "
+              "(efficiency), so it is the\nonly measure that reads as a "
+              "share of the answer. Responsibility collapses\nAdam's two "
+              "registrations and Ben's one towards coarse 1/(1+k) levels, "
+              "and\nthe causal effect assigns Caroline's two courses 15/64 "
+              "each — 30/64 jointly,\nmore than her answer-winning role "
+              "supports.\n\n");
+
+  // The report API wraps engine selection + ranking.
+  auto report = BuildAttributionReport(q1, u.db, {});
+  std::printf("%s", RenderReport(report.value(), u.db).c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Tuple-independent probabilistic databases (Section 4.3 / Theorem 4.10):
+// lifted inference for hierarchical CQ¬s and the ExoProb extension for
+// deterministic relations, cross-checked against world enumeration.
+//
+//   $ ./example_probabilistic_queries
+
+#include <cstdio>
+
+#include "shapcq.h"
+#include "datasets/citations.h"
+
+int main() {
+  using namespace shapcq;
+
+  // A sensor network: readings are uncertain, the floor plan is certain.
+  ProbDatabase pdb;
+  pdb.AddDeterministic("Room", {V("lab")});
+  pdb.AddDeterministic("Room", {V("office")});
+  pdb.AddFact("Motion", {V("lab"), V("t1")}, 0.8);
+  pdb.AddFact("Motion", {V("lab"), V("t2")}, 0.5);
+  pdb.AddFact("Motion", {V("office"), V("t1")}, 0.3);
+  pdb.AddFact("Badge", {V("lab"), V("t1")}, 0.9);
+  pdb.AddFact("Badge", {V("office"), V("t1")}, 0.6);
+
+  // "Some room had motion without a badge swipe" — a hierarchical CQ¬
+  // (room is a root variable).
+  CQ q = MustParseCQ("q() :- Room(r), Motion(r,t), not Badge(r,t)");
+  std::printf("query: %s\n", q.ToString().c_str());
+  std::printf("classification (Theorem 4.10): %s\n\n",
+              ClassifyProbabilisticEvaluation(q, {"Room"}).value()
+                  .reason.c_str());
+
+  const double lifted = LiftedProbability(q, pdb).value();
+  const double exact = pdb.ProbabilityBruteForce(q);
+  const double sampled = pdb.ProbabilityMonteCarlo(q, 200000, 7);
+  std::printf("lifted inference:   P = %.6f\n", lifted);
+  std::printf("world enumeration:  P = %.6f\n", exact);
+  std::printf("Monte Carlo (200k): P = %.6f\n\n", sampled);
+
+  // A non-hierarchical query rescued by deterministic relations: the
+  // citations query with deterministic Pub / Citations (Theorem 4.10).
+  ProbDatabase bib;
+  bib.AddFact("Author", {V("Ada"), V("Technion")}, 0.7);
+  bib.AddFact("Author", {V("Grace"), V("MIT")}, 0.4);
+  bib.AddDeterministic("Pub", {V("Ada"), V("p1")});
+  bib.AddDeterministic("Pub", {V("Grace"), V("p2")});
+  bib.AddDeterministic("Citations", {V("p1"), V("12")});
+  bib.AddDeterministic("Citations", {V("p2"), V("3")});
+  const CQ cq = CitationsQuery();
+  std::printf("query: %s\n", cq.ToString().c_str());
+  std::printf("  hierarchical? %s -> plain lifted inference refuses:\n",
+              IsHierarchical(cq) ? "yes" : "no");
+  std::printf("  \"%s\"\n", LiftedProbability(cq, bib).error().c_str());
+  const double exo_prob =
+      ExoProbProbability(cq, bib, CitationsExoRelations()).value();
+  std::printf("  ExoProb (deterministic Pub, Citations): P = %.6f\n",
+              exo_prob);
+  std::printf("  world enumeration:                      P = %.6f\n",
+              bib.ProbabilityBruteForce(cq));
+  // P(Author(Ada) ∨ Author(Grace)) = 1 − 0.3·0.6 = 0.82.
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "core/aggregate.h"
+
+#include <set>
+#include <string>
+
+#include "core/exoshap.h"
+#include "core/game.h"
+#include "core/shapley.h"
+#include "eval/homomorphism.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+Rational NumericValue(Value value) {
+  const std::string& name = ValueDictionary::Global().Name(value);
+  BigInt parsed;
+  SHAPCQ_CHECK_MSG(BigInt::TryParse(name, &parsed),
+                   "Sum aggregate over a non-numeric constant");
+  return Rational(std::move(parsed));
+}
+
+Rational WeightOf(const AggregateQuery& agg, const Tuple& answer) {
+  if (agg.kind == AggregateQuery::Kind::kCount) return Rational(1);
+  SHAPCQ_CHECK(agg.sum_position < answer.size());
+  return NumericValue(answer[agg.sum_position]);
+}
+
+}  // namespace
+
+Rational AggregateValue(const AggregateQuery& agg, const Database& db,
+                        const World& world) {
+  SHAPCQ_CHECK_MSG(!agg.cq.IsBoolean(),
+                   "aggregate query needs a non-empty head");
+  Rational total(0);
+  for (const Tuple& answer : EnumerateAnswers(agg.cq, db, world)) {
+    total += WeightOf(agg, answer);
+  }
+  return total;
+}
+
+std::vector<Tuple> PotentialAnswers(const CQ& q, const Database& db) {
+  std::set<Tuple> answers;
+  ForEachHomomorphism(q, db, db.FullWorld(), /*enforce_negative=*/false,
+                      [&](const Assignment& assignment) {
+                        Tuple answer(q.head().size());
+                        for (size_t i = 0; i < q.head().size(); ++i) {
+                          answer[i] =
+                              assignment[static_cast<size_t>(q.head()[i])];
+                        }
+                        answers.insert(std::move(answer));
+                        return true;
+                      });
+  return std::vector<Tuple>(answers.begin(), answers.end());
+}
+
+Result<Rational> ShapleyAggregate(const AggregateQuery& agg,
+                                  const Database& db, FactId f,
+                                  const ExoRelations& exo) {
+  SHAPCQ_CHECK_MSG(!agg.cq.IsBoolean(),
+                   "aggregate query needs a non-empty head");
+  Rational total(0);
+  for (const Tuple& answer : PotentialAnswers(agg.cq, db)) {
+    CQ grounded = agg.cq;
+    // Substitute the head variables one by one (ids shift after each
+    // substitution, so re-resolve by name).
+    for (size_t i = 0; i < answer.size(); ++i) {
+      const std::string var =
+          agg.cq.var_name(agg.cq.head()[i]);
+      const VarId current = grounded.FindVar(var);
+      SHAPCQ_CHECK(current >= 0);
+      grounded = grounded.Substitute(current, answer[i]);
+    }
+    auto value = IsHierarchical(grounded)
+                     ? ShapleyViaCountSat(grounded, db, f)
+                     : ExoShapShapley(grounded, db, exo, f);
+    if (!value.ok()) return value;
+    total += WeightOf(agg, answer) * value.value();
+  }
+  return Result<Rational>::Ok(total);
+}
+
+Rational ShapleyAggregateBruteForce(const AggregateQuery& agg,
+                                    const Database& db, FactId f) {
+  SHAPCQ_CHECK(db.is_endogenous(f));
+  const Rational base = AggregateValue(agg, db, db.EmptyWorld());
+  FunctionGame game(db.endogenous_count(),
+                    [&](const std::vector<bool>& coalition) {
+                      return AggregateValue(agg, db, coalition) - base;
+                    });
+  return ShapleyBySubsets(game, db.endo_index(f));
+}
+
+}  // namespace shapcq

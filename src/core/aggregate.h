@@ -1,0 +1,57 @@
+// Shapley values for aggregate queries over CQ¬s (Section 3, Remarks).
+//
+// For a summation aggregate Σ_{answers a} weight(a) over a CQ¬ with free
+// variables, linearity of expectation reduces the Shapley value of a fact to
+// a weighted sum of Boolean Shapley values of the grounded queries q[head→a]
+// — so the dichotomy of Theorem 3.1 carries over.
+
+#ifndef SHAPCQ_CORE_AGGREGATE_H_
+#define SHAPCQ_CORE_AGGREGATE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "db/database.h"
+#include "query/analysis.h"
+#include "query/cq.h"
+#include "util/rational.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// An aggregate over the answers of a CQ¬ with a non-empty head.
+///  * kCount: value(E) = number of distinct answers of q on Dx ∪ E.
+///  * kSum:   value(E) = Σ over distinct answers of the numeric value of the
+///            head variable at `sum_position` (constants must parse as
+///            integers).
+struct AggregateQuery {
+  enum class Kind { kCount, kSum };
+  CQ cq;
+  Kind kind = Kind::kCount;
+  size_t sum_position = 0;  // index into cq.head(); used by kSum
+};
+
+/// Aggregate value on the world Dx ∪ E.
+Rational AggregateValue(const AggregateQuery& agg, const Database& db,
+                        const World& world);
+
+/// All head tuples the query can produce on ANY world Dx ∪ E. With negation
+/// the query is non-monotone, so this is computed from the positive atoms
+/// alone (a sound superset of every world's answer set).
+std::vector<Tuple> PotentialAnswers(const CQ& q, const Database& db);
+
+/// Shapley(D, agg, f) = Σ_a weight(a) · Shapley(D, q[head→a], f) by
+/// linearity. Each grounded Boolean query goes through CntSat when
+/// hierarchical, or through ExoShap when `exo` relations remove its
+/// non-hierarchical paths; returns an error if a grounding is intractable.
+Result<Rational> ShapleyAggregate(const AggregateQuery& agg,
+                                  const Database& db, FactId f,
+                                  const ExoRelations& exo = {});
+
+/// Exponential reference: treats the aggregate as a cooperative game.
+Rational ShapleyAggregateBruteForce(const AggregateQuery& agg,
+                                    const Database& db, FactId f);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_AGGREGATE_H_

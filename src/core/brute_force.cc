@@ -1,0 +1,55 @@
+#include "core/brute_force.h"
+
+#include "core/game.h"
+#include "eval/homomorphism.h"
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace shapcq {
+
+namespace {
+
+template <typename Query>
+Rational ShapleyBruteForceImpl(const Query& q, const Database& db, FactId f) {
+  SHAPCQ_CHECK_MSG(db.is_endogenous(f), "Shapley of an exogenous fact");
+  QueryGame game(q, db);
+  return ShapleyBySubsets(game, db.endo_index(f));
+}
+
+template <typename Query>
+CountVector CountSatBruteForceImpl(const Query& q, const Database& db) {
+  const size_t n = db.endogenous_count();
+  SHAPCQ_CHECK_MSG(n <= 30, "brute-force counting beyond 2^30 is a bug");
+  std::vector<BigInt> counts(n + 1, BigInt(0));
+  std::vector<bool> world(n, false);
+  const uint64_t subsets = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    size_t k = 0;
+    for (size_t p = 0; p < n; ++p) {
+      world[p] = (mask >> p) & 1;
+      if (world[p]) ++k;
+    }
+    if (EvalBoolean(q, db, world)) counts[k] += BigInt(1);
+  }
+  return CountVector::FromCounts(std::move(counts));
+}
+
+}  // namespace
+
+Rational ShapleyBruteForce(const CQ& q, const Database& db, FactId f) {
+  return ShapleyBruteForceImpl(q, db, f);
+}
+
+Rational ShapleyBruteForce(const UCQ& q, const Database& db, FactId f) {
+  return ShapleyBruteForceImpl(q, db, f);
+}
+
+CountVector CountSatBruteForce(const CQ& q, const Database& db) {
+  return CountSatBruteForceImpl(q, db);
+}
+
+CountVector CountSatBruteForce(const UCQ& q, const Database& db) {
+  return CountSatBruteForceImpl(q, db);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,28 @@
+// Exponential-time reference implementations over databases.
+//
+// These are the oracles the polynomial algorithms are validated against in
+// the test suite, and the "best general algorithm" baselines that the
+// hardness-side benchmarks time out against.
+
+#ifndef SHAPCQ_CORE_BRUTE_FORCE_H_
+#define SHAPCQ_CORE_BRUTE_FORCE_H_
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "query/ucq.h"
+#include "util/count_vector.h"
+#include "util/rational.h"
+
+namespace shapcq {
+
+/// Shapley(D, q, f) by subset enumeration (2^{n-1} query evaluations).
+Rational ShapleyBruteForce(const CQ& q, const Database& db, FactId f);
+Rational ShapleyBruteForce(const UCQ& q, const Database& db, FactId f);
+
+/// |Sat(D,q,k)| for all k by enumerating the 2^n subsets of Dn.
+CountVector CountSatBruteForce(const CQ& q, const Database& db);
+CountVector CountSatBruteForce(const UCQ& q, const Database& db);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_BRUTE_FORCE_H_

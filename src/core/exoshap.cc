@@ -1,0 +1,257 @@
+#include "core/exoshap.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/count_sat.h"
+#include "core/shapley.h"
+#include "eval/complement.h"
+#include "eval/homomorphism.h"
+#include "eval/join.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+std::string FreshRelationName(const Schema& schema, const std::string& base) {
+  if (!schema.Has(base)) return base;
+  for (int i = 2;; ++i) {
+    std::string candidate = base + "_" + std::to_string(i);
+    if (!schema.Has(candidate)) return candidate;
+  }
+}
+
+// Copies an atom of `from` into `to`, translating variables by name.
+Atom TranslateAtom(const Atom& atom, const CQ& from, CQ* to) {
+  Atom copy;
+  copy.relation = atom.relation;
+  copy.negated = atom.negated;
+  for (const Term& term : atom.terms) {
+    if (term.IsConst()) {
+      copy.terms.push_back(term);
+    } else {
+      copy.terms.push_back(
+          Term::MakeVar(to->GetOrAddVar(from.var_name(term.var))));
+    }
+  }
+  return copy;
+}
+
+}  // namespace
+
+TransformedInstance ComplementNegatedExoAtoms(const CQ& q, const Database& db,
+                                              const ExoRelations& exo) {
+  TransformedInstance out{q, db, exo};
+  for (Atom& atom : out.query.mutable_atoms()) {
+    if (!atom.negated || exo.count(atom.relation) == 0) continue;
+    // Make sure the relation exists even if it has no facts.
+    out.db.DeclareRelation(atom.relation, atom.arity());
+    const std::string name =
+        FreshRelationName(out.db.schema(), atom.relation + "_c");
+    out.db.DeclareRelation(name, atom.arity());
+    for (Tuple& tuple : ComplementRelation(out.db, atom.relation)) {
+      out.db.AddExo(name, std::move(tuple));
+    }
+    atom.negated = false;
+    atom.relation = name;
+    out.exo.insert(name);
+  }
+  return out;
+}
+
+TransformedInstance JoinExogenousComponents(const CQ& q, const Database& db,
+                                            const ExoRelations& exo) {
+  const auto components = ExogenousAtomComponents(q, exo);
+  TransformedInstance out;
+  out.db = db;
+  out.exo = exo;
+  CQ rebuilt(q.name());
+
+  std::vector<bool> in_component(q.atom_count(), false);
+  for (const auto& component : components) {
+    for (size_t index : component) {
+      SHAPCQ_CHECK_MSG(!q.atom(index).negated,
+                       "JoinExogenousComponents requires step 1 first");
+      in_component[index] = true;
+    }
+  }
+  // Non-exogenous atoms survive unchanged (same order).
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    if (!in_component[i]) rebuilt.AddAtom(TranslateAtom(q.atom(i), q, &rebuilt));
+  }
+  // One joined atom per component.
+  for (const auto& component : components) {
+    CQ join_query("qC");
+    for (size_t index : component) {
+      join_query.AddAtom(TranslateAtom(q.atom(index), q, &join_query));
+    }
+    std::vector<VarId> head = join_query.UsedVars();
+    join_query.SetHead(head);
+    const std::vector<Tuple> tuples = MaterializeAnswers(join_query, db);
+
+    std::string base = "Join";
+    for (size_t index : component) base += "_" + q.atom(index).relation;
+    const std::string name = FreshRelationName(out.db.schema(), base);
+    out.db.DeclareRelation(name, head.size());
+    for (const Tuple& tuple : tuples) out.db.AddExo(name, tuple);
+    out.exo.insert(name);
+
+    Atom joined;
+    joined.relation = name;
+    joined.negated = false;
+    for (VarId var : head) {
+      joined.terms.push_back(
+          Term::MakeVar(rebuilt.GetOrAddVar(join_query.var_name(var))));
+    }
+    rebuilt.AddAtom(std::move(joined));
+  }
+  out.query = std::move(rebuilt);
+  return out;
+}
+
+Result<TransformedInstance> PadExogenousAtoms(const CQ& q, const Database& db,
+                                              const ExoRelations& exo) {
+  TransformedInstance out{q, db, exo};
+  const std::vector<VarId> exo_var_list = ExogenousVars(q, exo);
+  const std::set<VarId> exo_vars(exo_var_list.begin(), exo_var_list.end());
+
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    if (!IsExogenousAtom(q, i, exo)) continue;
+    const Atom& atom = q.atom(i);
+    SHAPCQ_CHECK_MSG(!atom.negated, "PadExogenousAtoms requires step 1 first");
+
+    // Non-exogenous variables of the atom, in first-occurrence order.
+    std::vector<VarId> kept;
+    for (VarId var : atom.Variables()) {
+      if (exo_vars.count(var) == 0) kept.push_back(var);
+    }
+    // Covering non-exogenous atom β with Vars(kept) ⊆ Vars(β) (Lemma 4.4).
+    int beta = -1;
+    for (size_t j = 0; j < q.atom_count(); ++j) {
+      if (IsExogenousAtom(q, j, exo)) continue;
+      bool covers = true;
+      for (VarId var : kept) {
+        if (!q.atom(j).Uses(var)) covers = false;
+      }
+      if (covers) {
+        beta = static_cast<int>(j);
+        break;
+      }
+    }
+    if (beta < 0) {
+      return Result<TransformedInstance>::Error(
+          "no covering non-exogenous atom for " + atom.relation +
+          " — the query has a non-hierarchical path (Lemma 4.4)");
+    }
+
+    // Projection of the atom's relation onto the kept variables.
+    CQ proj_query("proj");
+    proj_query.AddAtom(TranslateAtom(atom, q, &proj_query));
+    std::vector<VarId> proj_head;
+    for (VarId var : kept) {
+      proj_head.push_back(proj_query.FindVar(q.var_name(var)));
+    }
+    proj_query.SetHead(proj_head);
+    const std::vector<Tuple> projected =
+        MaterializeAnswers(proj_query, out.db);
+
+    // β's variables in order; the missing ones are padded over the domain.
+    const std::vector<VarId> beta_vars =
+        q.atom(static_cast<size_t>(beta)).Variables();
+    std::vector<VarId> missing;
+    for (VarId var : beta_vars) {
+      if (std::find(kept.begin(), kept.end(), var) == kept.end()) {
+        missing.push_back(var);
+      }
+    }
+    const std::vector<Tuple> pads =
+        CartesianPower(out.db.ActiveDomain(), missing.size());
+
+    const std::string name =
+        FreshRelationName(out.db.schema(), atom.relation + "_p");
+    out.db.DeclareRelation(name, beta_vars.size());
+    for (const Tuple& base : projected) {
+      for (const Tuple& pad : pads) {
+        Tuple widened(beta_vars.size());
+        for (size_t pos = 0; pos < beta_vars.size(); ++pos) {
+          const VarId var = beta_vars[pos];
+          auto kept_it = std::find(kept.begin(), kept.end(), var);
+          if (kept_it != kept.end()) {
+            widened[pos] = base[static_cast<size_t>(kept_it - kept.begin())];
+          } else {
+            auto miss_it = std::find(missing.begin(), missing.end(), var);
+            widened[pos] = pad[static_cast<size_t>(miss_it - missing.begin())];
+          }
+        }
+        out.db.AddFactIfAbsent(name, std::move(widened), /*endogenous=*/false);
+      }
+    }
+    out.exo.insert(name);
+
+    Atom& replaced = out.query.mutable_atoms()[i];
+    replaced.relation = name;
+    replaced.negated = false;
+    replaced.terms.clear();
+    for (VarId var : beta_vars) replaced.terms.push_back(Term::MakeVar(var));
+  }
+  return Result<TransformedInstance>::Ok(std::move(out));
+}
+
+Result<TransformedInstance> ExoShapTransform(const CQ& q, const Database& db,
+                                             const ExoRelations& exo) {
+  if (!IsSafe(q)) {
+    return Result<TransformedInstance>::Error("ExoShap requires safe negation");
+  }
+  if (!IsSelfJoinFree(q)) {
+    return Result<TransformedInstance>::Error(
+        "ExoShap requires a self-join-free query");
+  }
+  if (FindNonHierarchicalPath(q, exo).has_value()) {
+    return Result<TransformedInstance>::Error(
+        "query has a non-hierarchical path: FP^#P-hard (Theorem 4.3)");
+  }
+  // Exogenous relations must not hide endogenous facts.
+  for (const std::string& relation : exo) {
+    for (FactId fact : db.facts_of(relation)) {
+      if (db.is_endogenous(fact)) {
+        return Result<TransformedInstance>::Error(
+            "relation " + relation +
+            " declared exogenous but contains an endogenous fact");
+      }
+    }
+  }
+  TransformedInstance step1 = ComplementNegatedExoAtoms(q, db, exo);
+  TransformedInstance step2 =
+      JoinExogenousComponents(step1.query, step1.db, step1.exo);
+  auto step3 = PadExogenousAtoms(step2.query, step2.db, step2.exo);
+  if (!step3.ok()) return step3;
+  SHAPCQ_CHECK_MSG(IsHierarchical(step3.value().query),
+                   "ExoShap output is not hierarchical");
+  return step3;
+}
+
+Result<Rational> ExoShapShapley(const CQ& q, const Database& db,
+                                const ExoRelations& exo, FactId f) {
+  if (!db.is_endogenous(f)) {
+    return Result<Rational>::Error("Shapley of an exogenous fact");
+  }
+  // A query whose atoms are all exogenous ignores the endogenous facts.
+  bool has_non_exo_atom = false;
+  for (const Atom& atom : q.atoms()) {
+    if (exo.count(atom.relation) == 0) has_non_exo_atom = true;
+  }
+  if (!has_non_exo_atom) return Result<Rational>::Ok(Rational(0));
+
+  auto transformed = ExoShapTransform(q, db, exo);
+  if (!transformed.ok()) return Result<Rational>::Error(transformed.error());
+  const TransformedInstance& instance = transformed.value();
+  SHAPCQ_CHECK(instance.db.endogenous_count() == db.endogenous_count());
+  const FactId mapped = instance.db.FindFact(
+      db.schema().name(db.relation_of(f)), db.tuple_of(f));
+  SHAPCQ_CHECK_MSG(mapped != kNoFact,
+                   "endogenous fact lost by the transformation");
+  return ShapleyViaCountSat(instance.query, instance.db, mapped);
+}
+
+}  // namespace shapcq

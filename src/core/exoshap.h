@@ -1,0 +1,68 @@
+// ExoShap (Algorithm 1): polynomial-time Shapley computation for self-join-
+// free CQ¬s without a non-hierarchical path, given a set X of all-exogenous
+// relations (Theorem 4.3, tractable side).
+//
+// The three database/query transformations, each preserving every Shapley
+// value of the (unchanged) endogenous facts:
+//
+//  1. Complement: each negated exogenous atom α is replaced by a positive
+//     atom over the complement relation R̄ = Dom(D)^arity \ R (Lemma C.3).
+//  2. Join: each connected component of the exogenous-atom graph gx(q)
+//     (atoms linked by shared exogenous variables) is replaced by one atom
+//     over the materialized join of its relations (Lemma 4.6).
+//  3. Pad: exogenous variables are projected away and each exogenous atom is
+//     widened to the exact variable set of a covering non-exogenous atom,
+//     its relation becoming projection × Dom^(#missing vars) (Lemma 4.8).
+//
+// The result is a hierarchical query, handed to CntSat.
+
+#ifndef SHAPCQ_CORE_EXOSHAP_H_
+#define SHAPCQ_CORE_EXOSHAP_H_
+
+#include <string>
+
+#include "db/database.h"
+#include "query/analysis.h"
+#include "query/cq.h"
+#include "util/rational.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// A query/database pair mid- or post-transformation. Endogenous facts keep
+/// their (relation, tuple) identity across all steps.
+struct TransformedInstance {
+  CQ query;
+  Database db;
+  ExoRelations exo;  // exogenous relations of the transformed query
+};
+
+/// Step 1: replace negated exogenous atoms by positive complement atoms.
+TransformedInstance ComplementNegatedExoAtoms(const CQ& q, const Database& db,
+                                              const ExoRelations& exo);
+
+/// Step 2: join each gx(q)-component into a single exogenous atom. Negated
+/// exogenous atoms must have been eliminated first (step 1).
+TransformedInstance JoinExogenousComponents(const CQ& q, const Database& db,
+                                            const ExoRelations& exo);
+
+/// Step 3: drop exogenous variables and pad each exogenous atom to the
+/// variable set of a covering non-exogenous atom. Requires steps 1-2; fails
+/// (returns error) if no covering atom exists — which, by Lemma 4.4, means
+/// the query has a non-hierarchical path.
+Result<TransformedInstance> PadExogenousAtoms(const CQ& q, const Database& db,
+                                              const ExoRelations& exo);
+
+/// Full pipeline; the returned query is hierarchical.
+Result<TransformedInstance> ExoShapTransform(const CQ& q, const Database& db,
+                                             const ExoRelations& exo);
+
+/// Shapley(D,q,f) via the full ExoShap pipeline + CntSat. Requires q safe
+/// and self-join-free, with no non-hierarchical path w.r.t. `exo`; f must be
+/// endogenous and must not belong to a relation in `exo`.
+Result<Rational> ExoShapShapley(const CQ& q, const Database& db,
+                                const ExoRelations& exo, FactId f);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_EXOSHAP_H_

@@ -1,0 +1,100 @@
+#include "core/game.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eval/homomorphism.h"
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace shapcq {
+
+QueryGame::QueryGame(const CQ& q, const Database& db) : cq_(&q), db_(db) {
+  base_ = EvalBoolean(q, db, db.EmptyWorld()) ? 1 : 0;
+}
+
+QueryGame::QueryGame(const UCQ& q, const Database& db) : ucq_(&q), db_(db) {
+  base_ = EvalBoolean(q, db, db.EmptyWorld()) ? 1 : 0;
+}
+
+size_t QueryGame::player_count() const { return db_.endogenous_count(); }
+
+Rational QueryGame::Value(const std::vector<bool>& coalition) const {
+  bool satisfied = cq_ != nullptr ? EvalBoolean(*cq_, db_, coalition)
+                                  : EvalBoolean(*ucq_, db_, coalition);
+  return Rational((satisfied ? 1 : 0) - base_);
+}
+
+Rational ShapleyBySubsets(const CooperativeGame& game, size_t player) {
+  const size_t n = game.player_count();
+  SHAPCQ_CHECK(player < n);
+  SHAPCQ_CHECK_MSG(n <= 30, "subset enumeration beyond 2^30 is a bug");
+  BigInt numerator(0);
+  std::vector<bool> coalition(n, false);
+  const uint64_t subsets = uint64_t{1} << (n - 1);
+  // Iterate subsets of players \ {player} via a bitmask skipping `player`.
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    size_t k = 0;
+    size_t bit = 0;
+    for (size_t p = 0; p < n; ++p) {
+      if (p == player) {
+        coalition[p] = false;
+        continue;
+      }
+      coalition[p] = (mask >> bit) & 1;
+      if (coalition[p]) ++k;
+      ++bit;
+    }
+    const Rational without = game.Value(coalition);
+    coalition[player] = true;
+    const Rational with = game.Value(coalition);
+    coalition[player] = false;
+    const Rational delta = with - without;
+    if (!delta.IsZero()) {
+      // delta is integral for 0/1 games but may be any rational in general;
+      // accumulate numerator over the common denominator n! by scaling.
+      const BigInt weight =
+          Combinatorics::Factorial(k) * Combinatorics::Factorial(n - 1 - k);
+      // numerator += weight * delta, tracked exactly below.
+      SHAPCQ_CHECK_MSG(delta.denominator().IsOne(),
+                       "non-integral marginal contribution unsupported here");
+      numerator += weight * delta.numerator();
+    }
+  }
+  return Rational(numerator, Combinatorics::Factorial(n));
+}
+
+std::vector<Rational> ShapleyAllBySubsets(const CooperativeGame& game) {
+  const size_t n = game.player_count();
+  std::vector<Rational> values;
+  values.reserve(n);
+  for (size_t player = 0; player < n; ++player) {
+    values.push_back(ShapleyBySubsets(game, player));
+  }
+  return values;
+}
+
+Rational ShapleyByPermutations(const CooperativeGame& game, size_t player) {
+  const size_t n = game.player_count();
+  SHAPCQ_CHECK(player < n);
+  SHAPCQ_CHECK_MSG(n <= 8, "permutation enumeration beyond 8! is a bug");
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rational total(0);
+  do {
+    std::vector<bool> coalition(n, false);
+    for (size_t pos = 0; pos < n; ++pos) {
+      if (order[pos] == player) {
+        const Rational without = game.Value(coalition);
+        coalition[player] = true;
+        const Rational with = game.Value(coalition);
+        total += with - without;
+        break;
+      }
+      coalition[order[pos]] = true;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return total / Rational(Combinatorics::Factorial(n));
+}
+
+}  // namespace shapcq

@@ -1,0 +1,77 @@
+// Cooperative games and exact (exponential-time) Shapley computation.
+//
+// Shapley(A, v, a) = (1/|A|!) Σ_σ (v(σ_a ∪ {a}) − v(σ_a)).
+//
+// These generic engines are the ground truth the polynomial algorithms are
+// tested against: subset enumeration (2^n evaluations, weighted by
+// |E|!(n−|E|−1)!/n!) and literal permutation enumeration (n! orders).
+
+#ifndef SHAPCQ_CORE_GAME_H_
+#define SHAPCQ_CORE_GAME_H_
+
+#include <functional>
+#include <vector>
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "query/ucq.h"
+#include "util/rational.h"
+
+namespace shapcq {
+
+/// A cooperative game: a wealth function over coalitions of n players.
+/// Implementations must return v(∅) = 0.
+class CooperativeGame {
+ public:
+  virtual ~CooperativeGame() = default;
+  /// Number of players.
+  virtual size_t player_count() const = 0;
+  /// Wealth of the coalition (coalition.size() == player_count()).
+  virtual Rational Value(const std::vector<bool>& coalition) const = 0;
+};
+
+/// Wraps an arbitrary wealth function.
+class FunctionGame : public CooperativeGame {
+ public:
+  FunctionGame(size_t players,
+               std::function<Rational(const std::vector<bool>&)> value)
+      : players_(players), value_(std::move(value)) {}
+  size_t player_count() const override { return players_; }
+  Rational Value(const std::vector<bool>& coalition) const override {
+    return value_(coalition);
+  }
+
+ private:
+  size_t players_;
+  std::function<Rational(const std::vector<bool>&)> value_;
+};
+
+/// The paper's query game: players are the endogenous facts of db and
+/// v(E) = q(Dx ∪ E) − q(Dx) for a Boolean query (CQ¬ or UCQ¬).
+class QueryGame : public CooperativeGame {
+ public:
+  QueryGame(const CQ& q, const Database& db);
+  QueryGame(const UCQ& q, const Database& db);
+  size_t player_count() const override;
+  Rational Value(const std::vector<bool>& coalition) const override;
+
+ private:
+  const CQ* cq_ = nullptr;
+  const UCQ* ucq_ = nullptr;
+  const Database& db_;
+  int base_;  // q(Dx)
+};
+
+/// Shapley value of `player` by subset enumeration (O(2^n) evaluations).
+Rational ShapleyBySubsets(const CooperativeGame& game, size_t player);
+
+/// Shapley values of all players by one pass over all subsets.
+std::vector<Rational> ShapleyAllBySubsets(const CooperativeGame& game);
+
+/// Shapley value by enumerating all n! permutations; n must be tiny.
+/// Exists to validate ShapleyBySubsets against the textbook definition.
+Rational ShapleyByPermutations(const CooperativeGame& game, size_t player);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_GAME_H_

@@ -1,0 +1,90 @@
+#include "core/measures.h"
+
+#include "core/count_sat.h"
+#include "eval/homomorphism.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+Rational ResponsibilityBruteForce(const CQ& q, const Database& db, FactId f) {
+  SHAPCQ_CHECK(db.is_endogenous(f));
+  const size_t n = db.endogenous_count();
+  SHAPCQ_CHECK_MSG(n <= 26, "contingency search beyond 2^26 is a bug");
+  const size_t f_index = db.endo_index(f);
+  // Find the largest E ⊆ Dn \ {f} on which f is counterfactual; the
+  // contingency is Γ = Dn \ {f} \ E, so responsibility = 1/(1 + |Γ|).
+  int64_t best_kept = -1;
+  World world(n, false);
+  const uint64_t subsets = uint64_t{1} << (n - 1);
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    size_t bit = 0;
+    int64_t kept = 0;
+    for (size_t p = 0; p < n; ++p) {
+      if (p == f_index) {
+        world[p] = false;
+        continue;
+      }
+      world[p] = (mask >> bit) & 1;
+      kept += world[p] ? 1 : 0;
+      ++bit;
+    }
+    if (kept <= best_kept) continue;
+    const bool without = EvalBoolean(q, db, world);
+    world[f_index] = true;
+    const bool with = EvalBoolean(q, db, world);
+    world[f_index] = false;
+    if (with != without) best_kept = kept;
+  }
+  if (best_kept < 0) return Rational(0);
+  const int64_t contingency = static_cast<int64_t>(n) - 1 - best_kept;
+  return Rational(BigInt(1), BigInt(1 + contingency));
+}
+
+Result<Rational> CausalEffectViaCountSat(const CQ& q, const Database& db,
+                                         FactId f) {
+  if (!db.is_endogenous(f)) {
+    return Result<Rational>::Error("causal effect of an exogenous fact");
+  }
+  const size_t n = db.endogenous_count();
+  const Database with_f = db.CopyWithFactExogenous(f);
+  const Database without_f = db.CopyWithoutFact(f);
+  auto sat_with = CountSat(q, with_f);
+  if (!sat_with.ok()) return Result<Rational>::Error(sat_with.error());
+  auto sat_without = CountSat(q, without_f);
+  if (!sat_without.ok()) return Result<Rational>::Error(sat_without.error());
+  BigInt numerator(0);
+  for (size_t k = 0; k + 1 <= n; ++k) {
+    numerator += sat_with.value().at(k) - sat_without.value().at(k);
+  }
+  return Result<Rational>::Ok(
+      Rational(numerator, BigInt(1).ShiftLeft(n - 1)));
+}
+
+Rational CausalEffectBruteForce(const CQ& q, const Database& db, FactId f) {
+  SHAPCQ_CHECK(db.is_endogenous(f));
+  const size_t n = db.endogenous_count();
+  SHAPCQ_CHECK_MSG(n <= 26, "subset enumeration beyond 2^26 is a bug");
+  const size_t f_index = db.endo_index(f);
+  BigInt numerator(0);
+  World world(n, false);
+  const uint64_t subsets = uint64_t{1} << (n - 1);
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    size_t bit = 0;
+    for (size_t p = 0; p < n; ++p) {
+      if (p == f_index) {
+        world[p] = false;
+        continue;
+      }
+      world[p] = (mask >> bit) & 1;
+      ++bit;
+    }
+    const bool without = EvalBoolean(q, db, world);
+    world[f_index] = true;
+    const bool with = EvalBoolean(q, db, world);
+    world[f_index] = false;
+    numerator += BigInt((with ? 1 : 0) - (without ? 1 : 0));
+  }
+  return Rational(numerator, BigInt(1).ShiftLeft(n - 1));
+}
+
+}  // namespace shapcq

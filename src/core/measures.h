@@ -1,0 +1,44 @@
+// Alternative contribution measures from the paper's introduction, for
+// comparison with the Shapley value:
+//
+//  * causal responsibility (Meliou et al. [23]): 1/(1 + |Γ|) for the
+//    smallest contingency set Γ ⊆ Dn \ {f} such that f is counterfactual
+//    for q on (Dn \ Γ); 0 if f is never counterfactual;
+//  * causal effect (Salimi et al. [27]): E[q | f present] − E[q | f absent]
+//    with every other endogenous fact present independently with
+//    probability 1/2 — which for 0/1 queries coincides with the Banzhaf
+//    value, and is therefore computable exactly from the same |Sat(D,q,k)|
+//    vectors CntSat produces:
+//      CausalEffect = Σ_k (|Sat_k with f| − |Sat_k without f|) / 2^{n-1}.
+//
+// These make the introduction's comparison concrete: all three measures
+// agree on the sign of a fact's influence, but only Shapley distributes the
+// total wealth (efficiency), which the examples and tests demonstrate.
+
+#ifndef SHAPCQ_CORE_MEASURES_H_
+#define SHAPCQ_CORE_MEASURES_H_
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "util/rational.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// Causal responsibility by exhaustive contingency search (exponential;
+/// |Dn| must be small). Considers both polarities: f is counterfactual on
+/// E = Dn \ Γ if removing f from Dx ∪ E \ {f} ∪ {f} flips the answer.
+Rational ResponsibilityBruteForce(const CQ& q, const Database& db, FactId f);
+
+/// Causal effect (= Banzhaf value for Boolean queries), exactly, via the
+/// CntSat counting reduction. Same scope as ShapleyViaCountSat: safe,
+/// self-join-free, hierarchical.
+Result<Rational> CausalEffectViaCountSat(const CQ& q, const Database& db,
+                                         FactId f);
+
+/// Causal effect by subset enumeration (exponential reference).
+Rational CausalEffectBruteForce(const CQ& q, const Database& db, FactId f);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_MEASURES_H_

@@ -1,0 +1,219 @@
+#include "core/plan.h"
+
+#include <unordered_map>
+
+#include "query/analysis.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Placeholder constants stand for the value of a projected root variable;
+// the evaluator binds them per slice.
+Value FreshPlaceholder(const CQ& q, VarId root) {
+  return ValueDictionary::Global().Fresh("$" + q.var_name(root));
+}
+
+Result<std::unique_ptr<SafePlan>> CompileNode(const CQ& q) {
+  auto node = std::make_unique<SafePlan>();
+  node->query = q;
+
+  const auto components = AtomComponents(q);
+  if (components.size() > 1) {
+    node->kind = SafePlan::Kind::kIndependentJoin;
+    for (const auto& component : components) {
+      auto child = CompileNode(q.Restrict(component));
+      if (!child.ok()) {
+        return Result<std::unique_ptr<SafePlan>>::Error(child.error());
+      }
+      node->children.push_back(std::move(child).value());
+    }
+    return Result<std::unique_ptr<SafePlan>>::Ok(std::move(node));
+  }
+
+  if (q.UsedVars().empty()) {
+    SHAPCQ_CHECK(q.atom_count() == 1);
+    node->kind = SafePlan::Kind::kAtomLeaf;
+    return Result<std::unique_ptr<SafePlan>>::Ok(std::move(node));
+  }
+
+  auto root = FindRootVariable(q);
+  if (!root.has_value()) {
+    return Result<std::unique_ptr<SafePlan>>::Error(
+        "no root variable: the query is not hierarchical");
+  }
+  node->kind = SafePlan::Kind::kRootProject;
+  node->root = *root;
+  auto child = CompileNode(q.Substitute(*root, FreshPlaceholder(q, *root)));
+  if (!child.ok()) {
+    return Result<std::unique_ptr<SafePlan>>::Error(child.error());
+  }
+  node->children.push_back(std::move(child).value());
+  return Result<std::unique_ptr<SafePlan>>::Ok(std::move(node));
+}
+
+std::string AtomToString(const CQ& q, const Atom& atom) {
+  const ValueDictionary& dict = ValueDictionary::Global();
+  std::string out = atom.negated ? "not " : "";
+  out += atom.relation + "(";
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i > 0) out += ",";
+    out += atom.terms[i].IsVar() ? q.var_name(atom.terms[i].var)
+                                 : dict.Name(atom.terms[i].constant);
+  }
+  return out + ")";
+}
+
+void ExplainInto(const SafePlan& plan, int depth, std::string* out) {
+  out->append(static_cast<size_t>(2 * depth), ' ');
+  switch (plan.kind) {
+    case SafePlan::Kind::kAtomLeaf:
+      *out += "leaf: " + AtomToString(plan.query, plan.query.atom(0)) + "\n";
+      return;
+    case SafePlan::Kind::kIndependentJoin:
+      *out += "join\n";
+      break;
+    case SafePlan::Kind::kRootProject:
+      *out += "project[" + plan.query.var_name(plan.root) + "]\n";
+      break;
+  }
+  for (const auto& child : plan.children) {
+    ExplainInto(*child, depth + 1, out);
+  }
+}
+
+// Placeholder bindings: placeholder value id -> concrete value id.
+using Bindings = std::unordered_map<int32_t, int32_t>;
+
+Value Resolve(Value value, const Bindings& bindings) {
+  auto it = bindings.find(value.id);
+  return it == bindings.end() ? value : Value{it->second};
+}
+
+double EvalNode(const SafePlan& plan, const ProbDatabase& pdb,
+                const Bindings& bindings);
+
+double EvalLeaf(const SafePlan& plan, const ProbDatabase& pdb,
+                const Bindings& bindings) {
+  const Atom& atom = plan.query.atom(0);
+  Tuple tuple(atom.terms.size());
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    SHAPCQ_CHECK_MSG(atom.terms[i].IsConst(), "leaf atom must be ground");
+    tuple[i] = Resolve(atom.terms[i].constant, bindings);
+  }
+  const FactId fact = pdb.db().FindFact(atom.relation, tuple);
+  const double present = fact == kNoFact ? 0.0 : pdb.probability(fact);
+  return atom.negated ? 1.0 - present : present;
+}
+
+double EvalRootProject(const SafePlan& plan, const ProbDatabase& pdb,
+                       const Bindings& bindings) {
+  const CQ& q = plan.query;
+  const SafePlan& child = *plan.children[0];
+  // The child's query replaced the root by a placeholder: recover it as the
+  // constant of the child's query that is absent from ours. Simpler: it is
+  // the constant that Resolve cannot find and was minted by CompileNode —
+  // identified structurally: any term that is a variable here and a
+  // constant in the child occupies the same position.
+  Value placeholder{-1};
+  for (size_t a = 0; a < q.atom_count() && placeholder.id < 0; ++a) {
+    const Atom& ours = q.atom(a);
+    const Atom& theirs = child.query.atom(a);
+    for (size_t i = 0; i < ours.terms.size(); ++i) {
+      if (ours.terms[i].IsVar() && ours.terms[i].var == plan.root) {
+        placeholder = theirs.terms[i].constant;
+        break;
+      }
+    }
+  }
+  SHAPCQ_CHECK(placeholder.id >= 0);
+
+  // Candidate slice values: root-position values of facts matching each
+  // atom's resolved constants, with consistent root positions.
+  std::unordered_map<int32_t, bool> slice_values;
+  for (size_t a = 0; a < q.atom_count(); ++a) {
+    const Atom& atom = q.atom(a);
+    std::vector<size_t> root_positions;
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      if (atom.terms[i].IsVar() && atom.terms[i].var == plan.root) {
+        root_positions.push_back(i);
+      }
+    }
+    const RelationId rel = pdb.db().schema().Find(atom.relation);
+    for (FactId fact : pdb.db().facts_of(rel)) {
+      const Tuple& tuple = pdb.db().tuple_of(fact);
+      bool consistent = true;
+      const Value value = tuple[root_positions[0]];
+      for (size_t pos : root_positions) {
+        if (!(tuple[pos] == value)) consistent = false;
+      }
+      for (size_t i = 0; i < atom.terms.size() && consistent; ++i) {
+        if (atom.terms[i].IsConst() &&
+            !(Resolve(atom.terms[i].constant, bindings) == tuple[i])) {
+          consistent = false;
+        }
+      }
+      if (consistent) slice_values.emplace(value.id, true);
+    }
+  }
+
+  double none = 1.0;
+  for (const auto& [value_id, unused] : slice_values) {
+    Bindings extended = bindings;
+    extended[placeholder.id] = value_id;
+    none *= 1.0 - EvalNode(child, pdb, extended);
+  }
+  return 1.0 - none;
+}
+
+double EvalNode(const SafePlan& plan, const ProbDatabase& pdb,
+                const Bindings& bindings) {
+  switch (plan.kind) {
+    case SafePlan::Kind::kAtomLeaf:
+      return EvalLeaf(plan, pdb, bindings);
+    case SafePlan::Kind::kIndependentJoin: {
+      double product = 1.0;
+      for (const auto& child : plan.children) {
+        product *= EvalNode(*child, pdb, bindings);
+      }
+      return product;
+    }
+    case SafePlan::Kind::kRootProject:
+      return EvalRootProject(plan, pdb, bindings);
+  }
+  SHAPCQ_CHECK_MSG(false, "unreachable");
+  return 0.0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SafePlan>> CompileSafePlan(const CQ& q) {
+  if (!IsSafe(q)) {
+    return Result<std::unique_ptr<SafePlan>>::Error(
+        "safe plans require safe negation");
+  }
+  if (!IsSelfJoinFree(q)) {
+    return Result<std::unique_ptr<SafePlan>>::Error(
+        "safe plans require a self-join-free query");
+  }
+  if (!IsHierarchical(q)) {
+    return Result<std::unique_ptr<SafePlan>>::Error(
+        "no safe plan: the query is not hierarchical (Theorems 3.1/4.10)");
+  }
+  return CompileNode(q);
+}
+
+std::string ExplainPlan(const SafePlan& plan) {
+  std::string out;
+  ExplainInto(plan, 0, &out);
+  return out;
+}
+
+Result<double> PlanProbability(const CQ& q, const ProbDatabase& pdb) {
+  auto plan = CompileSafePlan(q);
+  if (!plan.ok()) return Result<double>::Error(plan.error());
+  return Result<double>::Ok(EvalNode(*plan.value(), pdb, {}));
+}
+
+}  // namespace shapcq

@@ -1,0 +1,62 @@
+// Safe-plan compilation for hierarchical self-join-free CQ¬.
+//
+// The PTIME algorithms of this library (CntSat, lifted inference) both walk
+// the same recursive structure: split independent components, project on a
+// root variable, stop at ground atoms. This module reifies that structure
+// as an explicit *safe plan* — the classic Dalvi–Suciu formulation — which
+//  (a) makes the extensional evaluation inspectable (`ExplainPlan`), and
+//  (b) provides an independently-structured third implementation of
+//      probabilistic evaluation for differential testing.
+//
+// A query compiles to a safe plan iff it is hierarchical (for self-join-free
+// safe CQ¬) — exactly the tractability frontier of Theorems 3.1/4.10.
+
+#ifndef SHAPCQ_CORE_PLAN_H_
+#define SHAPCQ_CORE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "probdb/prob_database.h"
+#include "query/cq.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// A node of a safe plan.
+struct SafePlan {
+  enum class Kind {
+    kAtomLeaf,         // a single (possibly negated) ground-able atom
+    kIndependentJoin,  // conjunction of variable-disjoint children
+    kRootProject,      // ∃-projection of a root variable; data-dependent fanout
+  };
+
+  Kind kind = Kind::kAtomLeaf;
+  /// The subquery this node evaluates (atoms reference `query`'s own ids).
+  CQ query;
+  /// For kRootProject: the projected (root) variable of `query`.
+  VarId root = -1;
+  /// For kIndependentJoin: one child per component; for kRootProject: the
+  /// template child (its query is `query` with `root` still in place — the
+  /// evaluator substitutes slice values at runtime).
+  std::vector<std::unique_ptr<SafePlan>> children;
+};
+
+/// Compiles q into a safe plan. Fails iff q is unsafe, has self-joins, or
+/// is not hierarchical (mirroring CntSat's scope).
+Result<std::unique_ptr<SafePlan>> CompileSafePlan(const CQ& q);
+
+/// Indented tree rendering, e.g.
+///   join
+///     project[x]
+///       leaf: Stud(x)
+std::string ExplainPlan(const SafePlan& plan);
+
+/// P(D ⊨ q) evaluated by walking the compiled plan — an independent
+/// implementation of LiftedProbability used for differential testing.
+Result<double> PlanProbability(const CQ& q, const ProbDatabase& pdb);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_PLAN_H_

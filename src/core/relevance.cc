@@ -1,0 +1,207 @@
+#include "core/relevance.h"
+
+#include <set>
+
+#include "eval/homomorphism.h"
+#include "query/analysis.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+template <typename Query>
+bool BruteForce(const Query& q, const Database& db, FactId f, bool positive) {
+  SHAPCQ_CHECK(db.is_endogenous(f));
+  const size_t n = db.endogenous_count();
+  SHAPCQ_CHECK_MSG(n <= 26, "brute-force relevance beyond 2^26 is a bug");
+  const size_t f_index = db.endo_index(f);
+  World world(n, false);
+  const uint64_t subsets = uint64_t{1} << (n - 1);
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    size_t bit = 0;
+    for (size_t p = 0; p < n; ++p) {
+      if (p == f_index) {
+        world[p] = false;
+        continue;
+      }
+      world[p] = (mask >> bit) & 1;
+      ++bit;
+    }
+    const bool before = EvalBoolean(q, db, world);
+    world[f_index] = true;
+    const bool after = EvalBoolean(q, db, world);
+    world[f_index] = false;
+    if (positive && !before && after) return true;
+    if (!positive && before && !after) return true;
+  }
+  return false;
+}
+
+// Endogenous facts living in relations that occur in a negative atom
+// (the paper's Negq(Dn)), as a world-sized mask.
+World NegativeCapableFacts(const std::vector<const CQ*>& disjuncts,
+                           const Database& db) {
+  std::set<std::string> negative_relations;
+  for (const CQ* cq : disjuncts) {
+    for (const Atom& atom : cq->atoms()) {
+      if (atom.negated) negative_relations.insert(atom.relation);
+    }
+  }
+  World mask(db.endogenous_count(), false);
+  for (FactId fact : db.endogenous_facts()) {
+    const std::string& relation = db.schema().name(db.relation_of(fact));
+    if (negative_relations.count(relation)) mask[db.endo_index(fact)] = true;
+  }
+  return mask;
+}
+
+// Shared engine for Algorithms 2 and 3, generalized to unions: search for a
+// witnessing homomorphism in any disjunct, with the final satisfaction test
+// against the whole query.
+template <typename Query>
+bool RelevantPolarityConsistent(const Query& whole,
+                                const std::vector<const CQ*>& disjuncts,
+                                const Database& db, FactId f, bool positive) {
+  SHAPCQ_CHECK(db.is_endogenous(f));
+  const size_t f_index = db.endo_index(f);
+  const World neg_capable = NegativeCapableFacts(disjuncts, db);
+
+  for (const CQ* cq : disjuncts) {
+    bool found = ForEachHomomorphism(
+        *cq, db, db.FullWorld(), /*enforce_negative=*/false,
+        [&](const Assignment& h) {
+          // Collect P and N; reject h if a negative atom lands in Dx.
+          World in_p(db.endogenous_count(), false);
+          World in_n(db.endogenous_count(), false);
+          bool f_in_p = false;
+          for (const Atom& atom : cq->atoms()) {
+            Tuple grounded(atom.terms.size());
+            for (size_t i = 0; i < atom.terms.size(); ++i) {
+              grounded[i] = atom.terms[i].IsConst()
+                                ? atom.terms[i].constant
+                                : h[static_cast<size_t>(atom.terms[i].var)];
+            }
+            const FactId fact = db.FindFact(atom.relation, grounded);
+            if (atom.negated) {
+              if (fact == kNoFact) continue;
+              if (!db.is_endogenous(fact)) return true;  // h blocked by Dx
+              in_n[db.endo_index(fact)] = true;
+            } else {
+              SHAPCQ_CHECK(fact != kNoFact);  // h matched a real fact
+              if (db.is_endogenous(fact)) {
+                in_p[db.endo_index(fact)] = true;
+                if (fact == f) f_in_p = true;
+              }
+            }
+          }
+          if (positive != f_in_p) return true;  // wrong polarity for f
+
+          // E = (P \ {f}) ∪ (Negq(Dn) \ N) for the positive test;
+          // the negative test additionally keeps f's bit on at the end.
+          World world(db.endogenous_count(), false);
+          for (size_t i = 0; i < world.size(); ++i) {
+            world[i] = (in_p[i] || (neg_capable[i] && !in_n[i]));
+          }
+          world[f_index] = !positive;
+          if (!EvalBoolean(whole, db, world)) return false;  // witness found
+          return true;
+        });
+    if (found) return true;
+  }
+  return false;
+}
+
+std::vector<const CQ*> SingleDisjunct(const CQ& q) { return {&q}; }
+
+std::vector<const CQ*> AllDisjuncts(const UCQ& q) {
+  std::vector<const CQ*> result;
+  for (const CQ& disjunct : q.disjuncts()) result.push_back(&disjunct);
+  return result;
+}
+
+}  // namespace
+
+bool IsPosRelevantBruteForce(const CQ& q, const Database& db, FactId f) {
+  return BruteForce(q, db, f, /*positive=*/true);
+}
+bool IsNegRelevantBruteForce(const CQ& q, const Database& db, FactId f) {
+  return BruteForce(q, db, f, /*positive=*/false);
+}
+bool IsRelevantBruteForce(const CQ& q, const Database& db, FactId f) {
+  return IsPosRelevantBruteForce(q, db, f) ||
+         IsNegRelevantBruteForce(q, db, f);
+}
+bool IsPosRelevantBruteForce(const UCQ& q, const Database& db, FactId f) {
+  return BruteForce(q, db, f, /*positive=*/true);
+}
+bool IsNegRelevantBruteForce(const UCQ& q, const Database& db, FactId f) {
+  return BruteForce(q, db, f, /*positive=*/false);
+}
+bool IsRelevantBruteForce(const UCQ& q, const Database& db, FactId f) {
+  return IsPosRelevantBruteForce(q, db, f) ||
+         IsNegRelevantBruteForce(q, db, f);
+}
+
+Result<bool> IsPosRelevant(const CQ& q, const Database& db, FactId f) {
+  if (!IsPolarityConsistent(q)) {
+    return Result<bool>::Error(
+        "IsPosRelevant requires a polarity-consistent query: " + q.ToString());
+  }
+  return Result<bool>::Ok(
+      RelevantPolarityConsistent(q, SingleDisjunct(q), db, f, true));
+}
+
+Result<bool> IsNegRelevant(const CQ& q, const Database& db, FactId f) {
+  if (!IsPolarityConsistent(q)) {
+    return Result<bool>::Error(
+        "IsNegRelevant requires a polarity-consistent query: " + q.ToString());
+  }
+  return Result<bool>::Ok(
+      RelevantPolarityConsistent(q, SingleDisjunct(q), db, f, false));
+}
+
+Result<bool> IsRelevant(const CQ& q, const Database& db, FactId f) {
+  auto pos = IsPosRelevant(q, db, f);
+  if (!pos.ok() || pos.value()) return pos;
+  return IsNegRelevant(q, db, f);
+}
+
+Result<bool> IsPosRelevant(const UCQ& q, const Database& db, FactId f) {
+  if (!IsPolarityConsistent(q)) {
+    return Result<bool>::Error(
+        "IsPosRelevant requires a polarity-consistent UCQ (per-disjunct "
+        "consistency is not enough, Proposition 5.8)");
+  }
+  return Result<bool>::Ok(
+      RelevantPolarityConsistent(q, AllDisjuncts(q), db, f, true));
+}
+
+Result<bool> IsNegRelevant(const UCQ& q, const Database& db, FactId f) {
+  if (!IsPolarityConsistent(q)) {
+    return Result<bool>::Error(
+        "IsNegRelevant requires a polarity-consistent UCQ (per-disjunct "
+        "consistency is not enough, Proposition 5.8)");
+  }
+  return Result<bool>::Ok(
+      RelevantPolarityConsistent(q, AllDisjuncts(q), db, f, false));
+}
+
+Result<bool> IsRelevant(const UCQ& q, const Database& db, FactId f) {
+  auto pos = IsPosRelevant(q, db, f);
+  if (!pos.ok() || pos.value()) return pos;
+  return IsNegRelevant(q, db, f);
+}
+
+Result<bool> ShapleyIsNonzero(const CQ& q, const Database& db, FactId f) {
+  // For a fact over a polarity-consistent relation, relevance is equivalent
+  // to a nonzero Shapley value (Section 5.2); whole-query consistency makes
+  // the relevance algorithms applicable and implies the per-relation one.
+  return IsRelevant(q, db, f);
+}
+
+Result<bool> ShapleyIsNonzero(const UCQ& q, const Database& db, FactId f) {
+  return IsRelevant(q, db, f);
+}
+
+}  // namespace shapcq

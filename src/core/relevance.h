@@ -1,0 +1,56 @@
+// Relevance of a fact to a query (Definition 5.2) and its decision
+// algorithms.
+//
+// f is relevant to q if adding f changes the query answer against Dx ∪ E for
+// some E ⊆ Dn — positively if it turns the answer true, negatively if false.
+// For polarity-consistent queries, Algorithms 2 and 3 (IsPosRelevant /
+// IsNegRelevant) decide this in polynomial time (Proposition 5.7); the
+// tractability extends to polarity-consistent UCQ¬s but provably not to
+// unions of individually polarity-consistent CQ¬s (Proposition 5.8).
+//
+// For a fact whose relation is polarity consistent in q, relevance coincides
+// with Shapley(D,q,f) ≠ 0, tying these algorithms to the (im)possibility of
+// multiplicative approximation (Section 5.2).
+
+#ifndef SHAPCQ_CORE_RELEVANCE_H_
+#define SHAPCQ_CORE_RELEVANCE_H_
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "query/ucq.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// Exponential reference implementations: enumerate all E ⊆ Dn \ {f}.
+bool IsPosRelevantBruteForce(const CQ& q, const Database& db, FactId f);
+bool IsNegRelevantBruteForce(const CQ& q, const Database& db, FactId f);
+bool IsRelevantBruteForce(const CQ& q, const Database& db, FactId f);
+bool IsPosRelevantBruteForce(const UCQ& q, const Database& db, FactId f);
+bool IsNegRelevantBruteForce(const UCQ& q, const Database& db, FactId f);
+bool IsRelevantBruteForce(const UCQ& q, const Database& db, FactId f);
+
+/// Algorithm 2 / Algorithm 3 (polynomial data complexity). Require q to be
+/// polarity consistent; return an error otherwise.
+Result<bool> IsPosRelevant(const CQ& q, const Database& db, FactId f);
+Result<bool> IsNegRelevant(const CQ& q, const Database& db, FactId f);
+Result<bool> IsRelevant(const CQ& q, const Database& db, FactId f);
+
+/// UCQ¬ variants; require the *whole union* to be polarity consistent
+/// (per-disjunct consistency is not enough — Proposition 5.8).
+Result<bool> IsPosRelevant(const UCQ& q, const Database& db, FactId f);
+Result<bool> IsNegRelevant(const UCQ& q, const Database& db, FactId f);
+Result<bool> IsRelevant(const UCQ& q, const Database& db, FactId f);
+
+/// Shapley(D,q,f) ≠ 0, decided via relevance. Requires the whole query to be
+/// polarity consistent (so the algorithms apply); the relation of f is then
+/// polarity consistent too, which is what makes the equivalence hold.
+Result<bool> ShapleyIsNonzero(const CQ& q, const Database& db, FactId f);
+
+/// UCQ¬ variant; requires the whole union to be polarity consistent —
+/// Corollary 5.9 shows the decision is NP-complete without it.
+Result<bool> ShapleyIsNonzero(const UCQ& q, const Database& db, FactId f);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_RELEVANCE_H_

@@ -1,0 +1,74 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/brute_force.h"
+#include "core/exoshap.h"
+#include "core/shapley.h"
+
+namespace shapcq {
+
+Result<AttributionReport> BuildAttributionReport(
+    const CQ& q, const Database& db, const ReportOptions& options) {
+  AttributionReport report;
+  const bool hierarchical = IsSafe(q) && IsSelfJoinFree(q) && IsHierarchical(q);
+  const bool exoshap_applies =
+      !hierarchical && IsSafe(q) && IsSelfJoinFree(q) && !options.exo.empty() &&
+      !FindNonHierarchicalPath(q, options.exo).has_value();
+
+  if (hierarchical) {
+    report.engine = "CntSat";
+  } else if (exoshap_applies) {
+    report.engine = "ExoShap";
+  } else if (options.allow_brute_force &&
+             db.endogenous_count() <= options.brute_force_limit) {
+    report.engine = "brute-force";
+  } else {
+    return Result<AttributionReport>::Error(
+        "no polynomial engine applies to " + q.ToString() +
+        " (FP^#P-hard per the dichotomies) and brute force is not allowed");
+  }
+
+  for (FactId f : db.endogenous_facts()) {
+    Rational value;
+    if (report.engine == "CntSat") {
+      auto result = ShapleyViaCountSat(q, db, f);
+      if (!result.ok()) return Result<AttributionReport>::Error(result.error());
+      value = std::move(result).value();
+    } else if (report.engine == "ExoShap") {
+      auto result = ExoShapShapley(q, db, options.exo, f);
+      if (!result.ok()) return Result<AttributionReport>::Error(result.error());
+      value = std::move(result).value();
+    } else {
+      value = ShapleyBruteForce(q, db, f);
+    }
+    report.total += value;
+    report.rows.push_back(Attribution{f, std::move(value)});
+  }
+  std::stable_sort(report.rows.begin(), report.rows.end(),
+                   [](const Attribution& a, const Attribution& b) {
+                     return b.value < a.value;
+                   });
+  return Result<AttributionReport>::Ok(std::move(report));
+}
+
+std::string RenderReport(const AttributionReport& report, const Database& db) {
+  std::string out = "engine: " + report.engine + "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-30s %14s %10s\n", "fact", "Shapley",
+                "~decimal");
+  out += line;
+  for (const Attribution& row : report.rows) {
+    std::snprintf(line, sizeof(line), "%-30s %14s %10.4f\n",
+                  db.FactToString(row.fact).c_str(),
+                  row.value.ToString().c_str(), row.value.ToDouble());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-30s %14s\n", "total",
+                report.total.ToString().c_str());
+  out += line;
+  return out;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,52 @@
+// Attribution reports: the user-facing summary layer over the Shapley
+// engines. Computes values for all endogenous facts with the best
+// applicable algorithm, ranks them, and renders a fixed-width table.
+
+#ifndef SHAPCQ_CORE_REPORT_H_
+#define SHAPCQ_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "query/analysis.h"
+#include "query/cq.h"
+#include "util/rational.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// One fact's attribution.
+struct Attribution {
+  FactId fact = kNoFact;
+  Rational value;
+};
+
+/// A full attribution of a query answer to the endogenous facts.
+struct AttributionReport {
+  std::vector<Attribution> rows;  // sorted by descending value
+  std::string engine;             // "CntSat", "ExoShap" or "brute-force"
+  Rational total;                 // = q(D) − q(Dx) by efficiency
+};
+
+/// Options for BuildAttributionReport.
+struct ReportOptions {
+  ExoRelations exo;               // all-exogenous relations, if known
+  bool allow_brute_force = false; // permit the exponential fallback
+  size_t brute_force_limit = 20;  // max |Dn| for the fallback
+};
+
+/// Computes Shapley values for every endogenous fact, choosing CntSat for
+/// hierarchical queries, ExoShap when `options.exo` removes all
+/// non-hierarchical paths, and (only if allowed) brute force otherwise.
+/// Returns an error when no permitted engine applies.
+Result<AttributionReport> BuildAttributionReport(const CQ& q,
+                                                 const Database& db,
+                                                 const ReportOptions& options);
+
+/// Fixed-width text rendering of a report (fact, exact value, decimal).
+std::string RenderReport(const AttributionReport& report, const Database& db);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_REPORT_H_

@@ -1,0 +1,72 @@
+#include "core/shapley.h"
+
+#include "core/brute_force.h"
+#include "core/count_sat.h"
+#include "core/exoshap.h"
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace shapcq {
+
+Rational ShapleyFromSatCounts(const CountVector& sat_with_f,
+                              const CountVector& sat_without_f,
+                              size_t endogenous_count) {
+  const size_t n = endogenous_count;
+  SHAPCQ_CHECK(n >= 1);
+  SHAPCQ_CHECK(sat_with_f.universe_size() == n - 1);
+  SHAPCQ_CHECK(sat_without_f.universe_size() == n - 1);
+  BigInt numerator(0);
+  for (size_t k = 0; k + 1 <= n; ++k) {
+    const BigInt delta = sat_with_f.at(k) - sat_without_f.at(k);
+    if (delta.IsZero()) continue;
+    numerator += Combinatorics::Factorial(k) *
+                 Combinatorics::Factorial(n - 1 - k) * delta;
+  }
+  return Rational(numerator, Combinatorics::Factorial(n));
+}
+
+Result<Rational> ShapleyViaCountSat(const CQ& q, const Database& db,
+                                    FactId f) {
+  if (!db.is_endogenous(f)) {
+    return Result<Rational>::Error("Shapley of an exogenous fact");
+  }
+  const Database with_f = db.CopyWithFactExogenous(f);
+  const Database without_f = db.CopyWithoutFact(f);
+  auto sat_with = CountSat(q, with_f);
+  if (!sat_with.ok()) return Result<Rational>::Error(sat_with.error());
+  auto sat_without = CountSat(q, without_f);
+  if (!sat_without.ok()) return Result<Rational>::Error(sat_without.error());
+  return Result<Rational>::Ok(ShapleyFromSatCounts(
+      sat_with.value(), sat_without.value(), db.endogenous_count()));
+}
+
+Result<std::vector<Rational>> ShapleyAllViaCountSat(const CQ& q,
+                                                    const Database& db) {
+  std::vector<Rational> values;
+  values.reserve(db.endogenous_count());
+  for (FactId f : db.endogenous_facts()) {
+    auto value = ShapleyViaCountSat(q, db, f);
+    if (!value.ok()) {
+      return Result<std::vector<Rational>>::Error(value.error());
+    }
+    values.push_back(std::move(value).value());
+  }
+  return Result<std::vector<Rational>>::Ok(std::move(values));
+}
+
+Rational ShapleyExact(const CQ& q, const Database& db, FactId f,
+                      const ExoRelations& exo) {
+  if (IsSafe(q) && IsSelfJoinFree(q)) {
+    if (IsHierarchical(q)) {
+      return ShapleyViaCountSat(q, db, f).value();
+    }
+    if (!exo.empty() && !FindNonHierarchicalPath(q, exo).has_value() &&
+        exo.count(db.schema().name(db.relation_of(f))) == 0) {
+      return ExoShapShapley(q, db, exo, f).value();
+    }
+  }
+  // FP^{#P}-hard territory (or out-of-scope query shape): exponential oracle.
+  return ShapleyBruteForce(q, db, f);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,57 @@
+#include "datasets/citations.h"
+
+#include "query/parser.h"
+
+namespace shapcq {
+
+CQ CitationsQuery() {
+  return MustParseCQ("q() :- Author(x,y), Pub(x,z), Citations(z,w)");
+}
+
+ExoRelations CitationsExoRelations() { return {"Pub", "Citations"}; }
+
+ExoRelations CitationsOnlyExo() { return {"Citations"}; }
+
+Database BuildSmallCitationsDb() {
+  Database db;
+  const Value ada = V("Ada"), grace = V("Grace");
+  const Value tech = V("Technion"), mit = V("MIT");
+  const Value p1 = V("paper1"), p2 = V("paper2"), p3 = V("paper3");
+  const Value c10 = V("10"), c25 = V("25");
+
+  db.AddEndo("Author", {ada, tech});
+  db.AddEndo("Author", {grace, mit});
+  db.AddExo("Pub", {ada, p1});
+  db.AddExo("Pub", {ada, p2});
+  db.AddExo("Pub", {grace, p3});
+  db.AddExo("Citations", {p1, c10});
+  db.AddExo("Citations", {p3, c25});
+  return db;
+}
+
+Database BuildRandomCitationsDb(int researchers, int papers,
+                                double pub_probability,
+                                double cite_probability, Rng* rng) {
+  Database db;
+  auto person = [](int i) { return V("person" + std::to_string(i)); };
+  auto paper = [](int i) { return V("paper" + std::to_string(i)); };
+  const Value inst = V("inst");
+
+  for (int r = 0; r < researchers; ++r) db.AddEndo("Author", {person(r), inst});
+  for (int r = 0; r < researchers; ++r) {
+    for (int p = 0; p < papers; ++p) {
+      if (rng->Bernoulli(pub_probability)) {
+        db.AddExo("Pub", {person(r), paper(p)});
+      }
+    }
+  }
+  for (int p = 0; p < papers; ++p) {
+    if (rng->Bernoulli(cite_probability)) {
+      db.AddExo("Citations",
+                {paper(p), V(static_cast<int64_t>(rng->UniformInt(500)))});
+    }
+  }
+  return db;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,35 @@
+// Example 4.1: the academic-publications scenario of Livshits et al. —
+//   q() :- Author(x,y), Pub(x,z), Citations(z,w)
+// with Pub and Citations exogenous. Non-hierarchical, yet tractable by
+// ExoShap (Theorem 4.3).
+
+#ifndef SHAPCQ_DATASETS_CITATIONS_H_
+#define SHAPCQ_DATASETS_CITATIONS_H_
+
+#include "db/database.h"
+#include "query/analysis.h"
+#include "query/cq.h"
+#include "util/random.h"
+
+namespace shapcq {
+
+/// q() :- Author(x,y), Pub(x,z), Citations(z,w).
+CQ CitationsQuery();
+
+/// {Pub, Citations} — the exogenous relations of Example 4.1.
+ExoRelations CitationsExoRelations();
+
+/// {Citations} — the weaker prior-knowledge variant, still tractable.
+ExoRelations CitationsOnlyExo();
+
+/// A small hand-made instance with endogenous Author facts.
+Database BuildSmallCitationsDb();
+
+/// Random instance: Author facts endogenous, Pub/Citations exogenous.
+Database BuildRandomCitationsDb(int researchers, int papers,
+                                double pub_probability,
+                                double cite_probability, Rng* rng);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATASETS_CITATIONS_H_

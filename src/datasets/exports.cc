@@ -1,0 +1,63 @@
+#include "datasets/exports.h"
+
+#include "query/parser.h"
+
+namespace shapcq {
+
+CQ ExportQuery() {
+  return MustParseCQ("q() :- Farmer(m), Export(m,p,c), not Grows(c,p)");
+}
+
+AggregateQuery ExportCountAggregate() {
+  AggregateQuery agg;
+  agg.cq = MustParseCQ("qc(c) :- Farmer(m), Export(m,p,c), not Grows(c,p)");
+  agg.kind = AggregateQuery::Kind::kCount;
+  return agg;
+}
+
+Database BuildSmallExportDb() {
+  Database db;
+  const Value ana = V("Ana"), bo = V("Bo");
+  const Value rice = V("rice"), cocoa = V("cocoa");
+  const Value fr = V("FR"), jp = V("JP");
+
+  db.AddExo("Farmer", {ana});
+  db.AddExo("Farmer", {bo});
+  db.AddEndo("Export", {ana, rice, fr});
+  db.AddEndo("Export", {ana, cocoa, jp});
+  db.AddEndo("Export", {bo, rice, jp});
+  db.AddEndo("Grows", {jp, rice});
+  db.AddEndo("Grows", {fr, rice});
+  db.AddExo("Grows", {jp, cocoa});
+  return db;
+}
+
+Database BuildRandomExportDb(int farmers, int products, int countries,
+                             int exports_each, double grow_probability,
+                             Rng* rng) {
+  Database db;
+  auto farmer = [](int i) { return V("farmer" + std::to_string(i)); };
+  auto product = [](int i) { return V("product" + std::to_string(i)); };
+  auto country = [](int i) { return V("country" + std::to_string(i)); };
+
+  for (int f = 0; f < farmers; ++f) db.AddExo("Farmer", {farmer(f)});
+  for (int f = 0; f < farmers; ++f) {
+    for (int e = 0; e < exports_each; ++e) {
+      const Value p =
+          product(static_cast<int>(rng->UniformInt(products)));
+      const Value c =
+          country(static_cast<int>(rng->UniformInt(countries)));
+      db.AddFactIfAbsent("Export", {farmer(f), p, c}, /*endogenous=*/true);
+    }
+  }
+  for (int c = 0; c < countries; ++c) {
+    for (int p = 0; p < products; ++p) {
+      if (rng->Bernoulli(grow_probability)) {
+        db.AddEndo("Grows", {country(c), product(p)});
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace shapcq

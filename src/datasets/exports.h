@@ -1,0 +1,35 @@
+// The introduction's trade scenario: farmers exporting products to countries
+// where the product does not grow —
+//   q() :- Farmer(m), Export(m,p,c), ¬Grows(c,p)
+// and the aggregate Count{ c | Farmer(m), Export(m,p,c), ¬Grows(c,p) }.
+
+#ifndef SHAPCQ_DATASETS_EXPORTS_H_
+#define SHAPCQ_DATASETS_EXPORTS_H_
+
+#include "core/aggregate.h"
+#include "db/database.h"
+#include "query/cq.h"
+#include "util/random.h"
+
+namespace shapcq {
+
+/// q() :- Farmer(m), Export(m,p,c), ¬Grows(c,p).
+CQ ExportQuery();
+
+/// The Boolean query with head (c): groundwork for the Count aggregate.
+AggregateQuery ExportCountAggregate();
+
+/// A small hand-made instance: Farmer and Grows exogenous, Export endogenous.
+Database BuildSmallExportDb();
+
+/// Random instance: `farmers` farmers each exporting up to `exports_each`
+/// random (product, country) pairs (endogenous), with each (country,
+/// product) growing with probability `grow_probability` (endogenous Grows
+/// facts — the negative-impact players). Farmer facts are exogenous.
+Database BuildRandomExportDb(int farmers, int products, int countries,
+                             int exports_each, double grow_probability,
+                             Rng* rng);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATASETS_EXPORTS_H_

@@ -1,0 +1,125 @@
+#include "datasets/query_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Names are generator-local; relations are numbered to keep the query
+// self-join-free.
+std::string RelationName(int index) { return "G" + std::to_string(index); }
+
+Term RandomTerm(const QueryGenOptions& options, CQ* q,
+                const std::vector<VarId>& path, size_t position, Rng* rng) {
+  if (rng->Bernoulli(options.constant_rate)) {
+    return Term::MakeConst(
+        V("k" + std::to_string(rng->UniformInt(3))));
+  }
+  // Default to the path variable at this position; occasionally repeat an
+  // earlier path variable to exercise repeated-variable patterns.
+  (void)q;
+  if (position > 0 && rng->Bernoulli(0.15)) {
+    return Term::MakeVar(path[rng->UniformInt(position)]);
+  }
+  return Term::MakeVar(path[position]);
+}
+
+// Appends an atom whose variables are (a superset-respecting use of) the
+// path; terms may repeat variables or drop to constants, but every path
+// variable appears at least once when `cover` is set.
+void AddPathAtom(const QueryGenOptions& options, CQ* q, int* relation_counter,
+                 const std::vector<VarId>& path, bool negated, bool cover,
+                 Rng* rng) {
+  Atom atom;
+  atom.relation = RelationName((*relation_counter)++);
+  atom.negated = negated;
+  // The atom's variable set must be a prefix of the path — that is what
+  // keeps the query hierarchical (prefixes of one path nest; different
+  // branches are disjoint). Terms: one per prefix variable in order, plus
+  // optional extras (repeats of prefix variables or constants).
+  const size_t prefix =
+      cover ? path.size() : 1 + rng->UniformInt(path.size());
+  for (size_t i = 0; i < prefix; ++i) {
+    atom.terms.push_back(Term::MakeVar(path[i]));
+  }
+  if (rng->Bernoulli(0.3)) {
+    atom.terms.push_back(RandomTerm(options, q, path, prefix - 1, rng));
+  }
+  q->AddAtom(std::move(atom));
+}
+
+void GrowTree(const QueryGenOptions& options, CQ* q, int* relation_counter,
+              std::vector<VarId>* path, int depth, Rng* rng) {
+  path->push_back(q->GetOrAddVar("v" + std::to_string(q->var_count())));
+  // Every node gets one positive covering atom (safety + connectivity), and
+  // possibly an extra atom of random polarity over a path prefix.
+  AddPathAtom(options, q, relation_counter, *path, /*negated=*/false,
+              /*cover=*/true, rng);
+  if (rng->Bernoulli(0.5)) {
+    AddPathAtom(options, q, relation_counter, *path,
+                rng->Bernoulli(options.negation_rate), /*cover=*/false, rng);
+  }
+  if (depth < options.max_depth) {
+    const uint64_t children = rng->UniformInt(
+        static_cast<uint64_t>(options.max_branch) + 1);
+    for (uint64_t c = 0; c < children; ++c) {
+      GrowTree(options, q, relation_counter, path, depth + 1, rng);
+    }
+  }
+  path->pop_back();
+}
+
+}  // namespace
+
+CQ RandomHierarchicalCq(const QueryGenOptions& options, Rng* rng) {
+  CQ q("qrand");
+  int relation_counter = 0;
+  std::vector<VarId> path;
+  GrowTree(options, &q, &relation_counter, &path, 1, rng);
+  return q;
+}
+
+CQ RandomSafeCq(const QueryGenOptions& options, Rng* rng) {
+  CQ q("qrand");
+  const int num_vars = 2 + static_cast<int>(rng->UniformInt(3));
+  std::vector<VarId> vars;
+  for (int i = 0; i < num_vars; ++i) {
+    vars.push_back(q.GetOrAddVar("v" + std::to_string(i)));
+  }
+  int relation_counter = 0;
+  const int num_atoms =
+      2 + static_cast<int>(rng->UniformInt(
+              static_cast<uint64_t>(options.max_atoms - 1)));
+  for (int a = 0; a < num_atoms; ++a) {
+    Atom atom;
+    atom.relation = RelationName(relation_counter++);
+    atom.negated = rng->Bernoulli(options.negation_rate);
+    const size_t arity = 1 + rng->UniformInt(2);
+    for (size_t i = 0; i < arity; ++i) {
+      if (rng->Bernoulli(options.constant_rate)) {
+        atom.terms.push_back(
+            Term::MakeConst(V("k" + std::to_string(rng->UniformInt(3)))));
+      } else {
+        atom.terms.push_back(
+            Term::MakeVar(vars[rng->UniformInt(vars.size())]));
+      }
+    }
+    q.AddAtom(std::move(atom));
+  }
+  // Restore safety: one wide positive atom covering every used variable.
+  std::vector<VarId> used = q.UsedVars();
+  if (!used.empty()) {
+    Atom guard;
+    guard.relation = RelationName(relation_counter++);
+    guard.negated = false;
+    for (VarId var : used) guard.terms.push_back(Term::MakeVar(var));
+    q.AddAtom(std::move(guard));
+  }
+  return q;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,37 @@
+// Random query generators for differential testing.
+//
+// RandomHierarchicalCq builds queries that are hierarchical *by
+// construction*: a variable tree where each atom's variable set is exactly
+// the root-to-node path of some node. For two variables on one path the
+// atom sets nest; for incomparable nodes they are disjoint — the definition
+// of hierarchical. Safety is ensured by giving every node a positive atom.
+//
+// RandomSafeCq samples unconstrained (often non-hierarchical) safe CQ¬s for
+// exercising the brute-force engines, relevance algorithms and classifiers.
+
+#ifndef SHAPCQ_DATASETS_QUERY_GEN_H_
+#define SHAPCQ_DATASETS_QUERY_GEN_H_
+
+#include "query/cq.h"
+#include "util/random.h"
+
+namespace shapcq {
+
+/// Knobs for the generators.
+struct QueryGenOptions {
+  int max_depth = 3;          // variable-tree depth
+  int max_branch = 2;         // children per node
+  double negation_rate = 0.4; // P(an extra atom is negated)
+  double constant_rate = 0.15;// P(a term is a constant instead of a variable)
+  int max_atoms = 6;          // cap for RandomSafeCq
+};
+
+/// A random hierarchical, self-join-free, safe CQ¬ (Boolean head).
+CQ RandomHierarchicalCq(const QueryGenOptions& options, Rng* rng);
+
+/// A random safe self-join-free CQ¬, unconstrained hierarchy-wise.
+CQ RandomSafeCq(const QueryGenOptions& options, Rng* rng);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATASETS_QUERY_GEN_H_

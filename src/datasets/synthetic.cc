@@ -1,0 +1,94 @@
+#include "datasets/synthetic.h"
+
+#include <set>
+#include <string>
+
+namespace shapcq {
+
+namespace {
+
+std::vector<Value> MakeDomain(const CQ& q, int domain_size) {
+  std::vector<Value> domain;
+  for (int i = 0; i < domain_size; ++i) {
+    domain.push_back(V("d" + std::to_string(i)));
+  }
+  // Fold the query's constants in so constant atoms can be hit.
+  for (const Atom& atom : q.atoms()) {
+    for (const Term& term : atom.terms) {
+      if (term.IsConst()) {
+        bool present = false;
+        for (const Value& value : domain) present |= (value == term.constant);
+        if (!present) domain.push_back(term.constant);
+      }
+    }
+  }
+  return domain;
+}
+
+}  // namespace
+
+Database RandomDatabaseForQuery(const CQ& q, const ExoRelations& exo,
+                                const SyntheticOptions& options, Rng* rng) {
+  Database db;
+  const std::vector<Value> domain = MakeDomain(q, options.domain_size);
+  std::set<std::string> seen;
+  for (const Atom& atom : q.atoms()) {
+    if (!seen.insert(atom.relation).second) continue;  // self-join: once
+    db.DeclareRelation(atom.relation, atom.arity());
+    for (int i = 0; i < options.facts_per_relation; ++i) {
+      Tuple tuple(atom.arity());
+      for (size_t pos = 0; pos < atom.arity(); ++pos) {
+        tuple[pos] = domain[rng->UniformInt(domain.size())];
+      }
+      const bool endogenous = exo.count(atom.relation) == 0 &&
+                              rng->Bernoulli(options.endogenous_bias);
+      const FactId existing = db.FindFact(atom.relation, tuple);
+      if (existing == kNoFact) {
+        db.AddFact(atom.relation, std::move(tuple), endogenous);
+      }
+    }
+  }
+  return db;
+}
+
+ProbDatabase RandomProbDatabaseForQuery(const CQ& q,
+                                        const ExoRelations& deterministic,
+                                        const SyntheticOptions& options,
+                                        Rng* rng) {
+  ProbDatabase pdb;
+  const std::vector<Value> domain = MakeDomain(q, options.domain_size);
+  std::set<std::string> seen;
+  for (const Atom& atom : q.atoms()) {
+    if (!seen.insert(atom.relation).second) continue;
+    pdb.mutable_db().DeclareRelation(atom.relation, atom.arity());
+    for (int i = 0; i < options.facts_per_relation; ++i) {
+      Tuple tuple(atom.arity());
+      for (size_t pos = 0; pos < atom.arity(); ++pos) {
+        tuple[pos] = domain[rng->UniformInt(domain.size())];
+      }
+      if (pdb.db().FindFact(atom.relation, tuple) != kNoFact) continue;
+      const double probability =
+          deterministic.count(atom.relation) > 0
+              ? 1.0
+              : 0.1 + 0.8 * rng->UniformDouble();
+      pdb.AddFact(atom.relation, std::move(tuple), probability);
+    }
+  }
+  return pdb;
+}
+
+Database BuildStudentScalingDb(int students, int courses_each) {
+  Database db;
+  auto student = [](int i) { return V("s" + std::to_string(i)); };
+  auto course = [](int i) { return V("c" + std::to_string(i)); };
+  for (int s = 0; s < students; ++s) {
+    db.AddExo("Stud", {student(s)});
+    if (s % 2 == 0) db.AddEndo("TA", {student(s)});
+    for (int c = 0; c < courses_each; ++c) {
+      db.AddEndo("Reg", {student(s), course(c)});
+    }
+  }
+  return db;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,46 @@
+// Synthetic workload generators: random databases shaped for a given query,
+// used by the property-based tests (algorithm == brute force on thousands of
+// random instances) and by the scaling benchmarks.
+
+#ifndef SHAPCQ_DATASETS_SYNTHETIC_H_
+#define SHAPCQ_DATASETS_SYNTHETIC_H_
+
+#include "db/database.h"
+#include "probdb/prob_database.h"
+#include "query/analysis.h"
+#include "query/cq.h"
+#include "util/random.h"
+
+namespace shapcq {
+
+/// Knobs for RandomDatabaseForQuery.
+struct SyntheticOptions {
+  int domain_size = 4;          // constants per instance
+  int facts_per_relation = 4;   // attempted inserts per relation of q
+  double endogenous_bias = 0.7; // P(fact is endogenous) outside exo relations
+};
+
+/// Random database over exactly the relations of q (plus any constants the
+/// query mentions, which are folded into the domain). Relations named in
+/// `exo` receive only exogenous facts; all tuples are uniform over the
+/// domain. Duplicates are dropped, so relations may end up smaller than
+/// facts_per_relation.
+Database RandomDatabaseForQuery(const CQ& q, const ExoRelations& exo,
+                                const SyntheticOptions& options, Rng* rng);
+
+/// Random tuple-independent database over the relations of q: facts in
+/// `deterministic` relations get probability 1, the rest a uniform
+/// probability in (0.1, 0.9].
+ProbDatabase RandomProbDatabaseForQuery(const CQ& q,
+                                        const ExoRelations& deterministic,
+                                        const SyntheticOptions& options,
+                                        Rng* rng);
+
+/// A q1-shaped scaling instance: `students` students, each registered to
+/// `courses_each` courses, a TA fact for every other student. All facts
+/// endogenous except Stud. Used by the CntSat scaling bench.
+Database BuildStudentScalingDb(int students, int courses_each);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATASETS_SYNTHETIC_H_

@@ -1,0 +1,77 @@
+#include "datasets/university.h"
+
+#include "query/parser.h"
+
+namespace shapcq {
+
+UniversityDb BuildUniversityDb() {
+  UniversityDb out;
+  Database& db = out.db;
+  const Value adam = V("Adam"), ben = V("Ben"), caroline = V("Caroline"),
+              david = V("David"), michael = V("Michael"), naomi = V("Naomi");
+  const Value os = V("OS"), ic = V("IC"), dbc = V("DB"), ai = V("AI");
+  const Value ee = V("EE"), cs = V("CS");
+
+  db.AddExo("Stud", {adam});
+  db.AddExo("Stud", {ben});
+  db.AddExo("Stud", {caroline});
+  db.AddExo("Stud", {david});
+
+  out.ft1 = db.AddEndo("TA", {adam});
+  out.ft2 = db.AddEndo("TA", {ben});
+  out.ft3 = db.AddEndo("TA", {david});
+
+  db.AddExo("Course", {os, ee});
+  db.AddExo("Course", {ic, ee});
+  db.AddExo("Course", {dbc, cs});
+  db.AddExo("Course", {ai, cs});
+
+  out.fr1 = db.AddEndo("Reg", {adam, os});
+  out.fr2 = db.AddEndo("Reg", {adam, ai});
+  out.fr3 = db.AddEndo("Reg", {ben, os});
+  out.fr4 = db.AddEndo("Reg", {caroline, dbc});
+  out.fr5 = db.AddEndo("Reg", {caroline, ic});
+
+  db.AddExo("Adv", {michael, adam});
+  db.AddExo("Adv", {michael, ben});
+  db.AddExo("Adv", {naomi, caroline});
+  db.AddExo("Adv", {michael, david});
+  return out;
+}
+
+CQ UniversityQ1() {
+  return MustParseCQ("q1() :- Stud(x), not TA(x), Reg(x,y)");
+}
+
+CQ UniversityQ2() {
+  return MustParseCQ(
+      "q2() :- Stud(x), not TA(x), Reg(x,y), not Course(y,'CS')");
+}
+
+CQ UniversityQ3() {
+  return MustParseCQ(
+      "q3() :- Adv(x,y), Adv(x,z), not TA(y), not TA(z), Reg(y,'IC'), "
+      "Reg(z,'DB')");
+}
+
+CQ UniversityQ4() {
+  return MustParseCQ(
+      "q4() :- Adv(x,y), Adv(x,z), TA(y), not TA(z), Reg(z,w), not Reg(y,w)");
+}
+
+std::vector<Rational> UniversityQ1PaperValues() {
+  // Example 2.3 (main text; the sum over all endogenous facts is 1, matching
+  // the efficiency property since D ⊨ q1 and Dx ⊭ q1).
+  return {
+      Rational::Of(-3, 28),   // ft1: TA(Adam)
+      Rational::Of(-2, 35),   // ft2: TA(Ben)
+      Rational::Of(0, 1),     // ft3: TA(David)
+      Rational::Of(37, 210),  // fr1: Reg(Adam, OS)
+      Rational::Of(37, 210),  // fr2: Reg(Adam, AI)
+      Rational::Of(27, 140),  // fr3: Reg(Ben, OS)
+      Rational::Of(13, 42),   // fr4: Reg(Caroline, DB)
+      Rational::Of(13, 42),   // fr5: Reg(Caroline, IC)
+  };
+}
+
+}  // namespace shapcq

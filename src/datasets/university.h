@@ -1,0 +1,50 @@
+// The paper's running example (Figure 1): the university database with
+// Stud, TA, Course, Reg and Adv, plus the queries q1-q4 of Example 2.2 and
+// the exact Shapley values of Example 2.3 / Appendix A as test vectors.
+
+#ifndef SHAPCQ_DATASETS_UNIVERSITY_H_
+#define SHAPCQ_DATASETS_UNIVERSITY_H_
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "util/rational.h"
+
+namespace shapcq {
+
+/// The Figure 1 database with named handles on the endogenous facts.
+/// Stud, Course and Adv are exogenous; TA and Reg are endogenous
+/// (Example 2.3).
+struct UniversityDb {
+  Database db;
+  // TA facts.
+  FactId ft1;  // TA(Adam)
+  FactId ft2;  // TA(Ben)
+  FactId ft3;  // TA(David)
+  // Reg facts.
+  FactId fr1;  // Reg(Adam, OS)
+  FactId fr2;  // Reg(Adam, AI)
+  FactId fr3;  // Reg(Ben, OS)
+  FactId fr4;  // Reg(Caroline, DB)
+  FactId fr5;  // Reg(Caroline, IC)
+};
+
+/// Builds the Figure 1 database.
+UniversityDb BuildUniversityDb();
+
+/// q1() :- Stud(x), ¬TA(x), Reg(x,y)                    (hierarchical)
+CQ UniversityQ1();
+/// q2() :- Stud(x), ¬TA(x), Reg(x,y), ¬Course(y,'CS')   (non-hierarchical)
+CQ UniversityQ2();
+/// q3() :- Adv(x,y), Adv(x,z), ¬TA(y), ¬TA(z), Reg(y,'IC'), Reg(z,'DB')
+CQ UniversityQ3();
+/// q4() :- Adv(x,y), Adv(x,z), TA(y), ¬TA(z), Reg(z,w), ¬Reg(y,w)
+CQ UniversityQ4();
+
+/// Example 2.3's exact values for q1, in the order
+/// (ft1, ft2, ft3, fr1, fr2, fr3, fr4, fr5):
+/// -3/28, -2/35, 0, 37/210, 37/210, 27/140, 13/42, 13/42.
+std::vector<Rational> UniversityQ1PaperValues();
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DATASETS_UNIVERSITY_H_

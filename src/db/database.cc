@@ -1,0 +1,160 @@
+#include "db/database.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+Database::RelationData& Database::DataFor(RelationId relation) {
+  if (relation_data_.size() <= static_cast<size_t>(relation)) {
+    relation_data_.resize(static_cast<size_t>(relation) + 1);
+  }
+  return relation_data_[static_cast<size_t>(relation)];
+}
+
+FactId Database::AddFact(const std::string& relation, Tuple tuple,
+                         bool endogenous) {
+  RelationId rel = schema_.AddRelation(relation, tuple.size());
+  RelationData& data = DataFor(rel);
+  SHAPCQ_CHECK_MSG(data.by_tuple.find(tuple) == data.by_tuple.end(),
+                   "duplicate fact");
+  FactId id = static_cast<FactId>(relations_of_.size());
+  data.fact_ids.push_back(id);
+  data.by_tuple.emplace(tuple, id);
+  relations_of_.push_back(rel);
+  tuples_of_.push_back(std::move(tuple));
+  endogenous_.push_back(endogenous);
+  if (endogenous) {
+    endo_index_of_.push_back(static_cast<int32_t>(endo_facts_.size()));
+    endo_facts_.push_back(id);
+  } else {
+    endo_index_of_.push_back(-1);
+  }
+  domain_dirty_ = true;
+  return id;
+}
+
+FactId Database::AddFactIfAbsent(const std::string& relation, Tuple tuple,
+                                 bool endogenous) {
+  RelationId rel = schema_.AddRelation(relation, tuple.size());
+  const RelationData& data = DataFor(rel);
+  auto it = data.by_tuple.find(tuple);
+  if (it != data.by_tuple.end()) {
+    SHAPCQ_CHECK_MSG(endogenous_[static_cast<size_t>(it->second)] ==
+                         endogenous,
+                     "fact exists with the other endogeneity");
+    return it->second;
+  }
+  return AddFact(relation, std::move(tuple), endogenous);
+}
+
+FactId Database::FindFact(RelationId relation, const Tuple& tuple) const {
+  if (relation == kNoRelation ||
+      static_cast<size_t>(relation) >= relation_data_.size()) {
+    return kNoFact;
+  }
+  const RelationData& data = relation_data_[static_cast<size_t>(relation)];
+  auto it = data.by_tuple.find(tuple);
+  return it == data.by_tuple.end() ? kNoFact : it->second;
+}
+
+FactId Database::FindFact(const std::string& relation,
+                          const Tuple& tuple) const {
+  return FindFact(schema_.Find(relation), tuple);
+}
+
+RelationId Database::relation_of(FactId fact) const {
+  SHAPCQ_CHECK(fact >= 0 && static_cast<size_t>(fact) < relations_of_.size());
+  return relations_of_[static_cast<size_t>(fact)];
+}
+
+const Tuple& Database::tuple_of(FactId fact) const {
+  SHAPCQ_CHECK(fact >= 0 && static_cast<size_t>(fact) < tuples_of_.size());
+  return tuples_of_[static_cast<size_t>(fact)];
+}
+
+bool Database::is_endogenous(FactId fact) const {
+  SHAPCQ_CHECK(fact >= 0 && static_cast<size_t>(fact) < endogenous_.size());
+  return endogenous_[static_cast<size_t>(fact)];
+}
+
+size_t Database::endo_index(FactId fact) const {
+  SHAPCQ_CHECK(is_endogenous(fact));
+  return static_cast<size_t>(endo_index_of_[static_cast<size_t>(fact)]);
+}
+
+const std::vector<FactId>& Database::facts_of(RelationId relation) const {
+  static const std::vector<FactId>* empty = new std::vector<FactId>();
+  if (relation == kNoRelation ||
+      static_cast<size_t>(relation) >= relation_data_.size()) {
+    return *empty;
+  }
+  return relation_data_[static_cast<size_t>(relation)].fact_ids;
+}
+
+std::vector<FactId> Database::facts_of(const std::string& relation) const {
+  return facts_of(schema_.Find(relation));
+}
+
+const std::vector<Value>& Database::ActiveDomain() const {
+  if (domain_dirty_) {
+    active_domain_.clear();
+    std::unordered_set<int32_t> seen;
+    for (const Tuple& tuple : tuples_of_) {
+      for (const Value& value : tuple) {
+        if (seen.insert(value.id).second) active_domain_.push_back(value);
+      }
+    }
+    domain_dirty_ = false;
+  }
+  return active_domain_;
+}
+
+Database Database::CopyWithFactExogenous(FactId fact) const {
+  SHAPCQ_CHECK(is_endogenous(fact));
+  Database copy;
+  copy.schema_ = schema_;
+  for (size_t i = 0; i < fact_count(); ++i) {
+    FactId id = static_cast<FactId>(i);
+    bool endo = endogenous_[i] && id != fact;
+    copy.AddFact(schema_.name(relations_of_[i]), tuples_of_[i], endo);
+  }
+  return copy;
+}
+
+Database Database::CopyWithoutFact(FactId fact) const {
+  Database copy;
+  copy.schema_ = schema_;
+  for (size_t i = 0; i < fact_count(); ++i) {
+    if (static_cast<FactId>(i) == fact) continue;
+    copy.AddFact(schema_.name(relations_of_[i]), tuples_of_[i],
+                 endogenous_[i]);
+  }
+  return copy;
+}
+
+std::string Database::FactToString(FactId fact) const {
+  const ValueDictionary& dict = ValueDictionary::Global();
+  std::string out = schema_.name(relation_of(fact)) + "(";
+  const Tuple& tuple = tuple_of(fact);
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ",";
+    out += dict.Name(tuple[i]);
+  }
+  out += ")";
+  if (is_endogenous(fact)) out += "*";
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fact_count(); ++i) {
+    if (i > 0) out += " ";
+    out += FactToString(static_cast<FactId>(i));
+  }
+  return out;
+}
+
+}  // namespace shapcq

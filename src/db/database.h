@@ -1,0 +1,125 @@
+// Databases with endogenous and exogenous facts.
+//
+// Following the paper, a database D = Dx ∪ Dn is a set of facts over a schema,
+// each fact marked exogenous (taken as given) or endogenous (a player in the
+// Shapley game). A World selects a subset E of the endogenous facts; query
+// evaluation is always against Dx ∪ E.
+
+#ifndef SHAPCQ_DB_DATABASE_H_
+#define SHAPCQ_DB_DATABASE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value_dictionary.h"
+
+namespace shapcq {
+
+/// Index of a fact within a Database.
+using FactId = int32_t;
+
+/// Sentinel for "no such fact".
+inline constexpr FactId kNoFact = -1;
+
+/// A subset E of the endogenous facts, indexed by endogenous index
+/// (0 .. Database::endogenous_count()-1). world[i] == true means the i-th
+/// endogenous fact is present.
+using World = std::vector<bool>;
+
+/// A database instance: schema + facts partitioned into Dx and Dn.
+class Database {
+ public:
+  /// Mutable schema access (relations are typically declared implicitly by
+  /// AddFact, but queries may mention relations with no facts).
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Declares a relation without adding facts (so empty relations exist).
+  RelationId DeclareRelation(const std::string& name, size_t arity) {
+    return schema_.AddRelation(name, arity);
+  }
+
+  /// Adds a fact; aborts if the same tuple already exists in the relation
+  /// (set semantics — duplicates are almost always a construction bug).
+  FactId AddFact(const std::string& relation, Tuple tuple, bool endogenous);
+  /// Adds a fact unless the tuple is already present; returns the id of the
+  /// (pre-)existing or new fact. Aborts if present with a different kind.
+  FactId AddFactIfAbsent(const std::string& relation, Tuple tuple,
+                         bool endogenous);
+  /// Convenience wrappers.
+  FactId AddEndo(const std::string& relation, Tuple tuple) {
+    return AddFact(relation, std::move(tuple), /*endogenous=*/true);
+  }
+  FactId AddExo(const std::string& relation, Tuple tuple) {
+    return AddFact(relation, std::move(tuple), /*endogenous=*/false);
+  }
+
+  /// Id of the fact with this tuple, or kNoFact.
+  FactId FindFact(RelationId relation, const Tuple& tuple) const;
+  FactId FindFact(const std::string& relation, const Tuple& tuple) const;
+
+  size_t fact_count() const { return relations_of_.size(); }
+  RelationId relation_of(FactId fact) const;
+  const Tuple& tuple_of(FactId fact) const;
+  bool is_endogenous(FactId fact) const;
+  /// Index of `fact` within the endogenous ordering; aborts if exogenous.
+  size_t endo_index(FactId fact) const;
+
+  /// Number of endogenous facts (the players).
+  size_t endogenous_count() const { return endo_facts_.size(); }
+  /// The endogenous facts, in endo-index order.
+  const std::vector<FactId>& endogenous_facts() const { return endo_facts_; }
+
+  /// All facts of a relation (empty if the relation has no facts or is not
+  /// declared).
+  const std::vector<FactId>& facts_of(RelationId relation) const;
+  std::vector<FactId> facts_of(const std::string& relation) const;
+
+  /// True if the fact is present in the world Dx ∪ E.
+  bool IsPresent(FactId fact, const World& world) const {
+    return !is_endogenous(fact) || world[endo_index(fact)];
+  }
+
+  /// All constants appearing in any fact, deduplicated, in first-seen order.
+  const std::vector<Value>& ActiveDomain() const;
+
+  /// Copy with the given endogenous fact moved to the exogenous side.
+  /// Fact ids and endo indices are NOT preserved.
+  Database CopyWithFactExogenous(FactId fact) const;
+  /// Copy with the given fact removed entirely.
+  Database CopyWithoutFact(FactId fact) const;
+
+  /// World of all-absent / all-present endogenous facts.
+  World EmptyWorld() const { return World(endogenous_count(), false); }
+  World FullWorld() const { return World(endogenous_count(), true); }
+
+  /// Readable rendering, e.g. "R(a,b)* S(b)" with '*' marking endogenous.
+  std::string FactToString(FactId fact) const;
+  std::string ToString() const;
+
+ private:
+  struct RelationData {
+    std::vector<FactId> fact_ids;
+    std::unordered_map<Tuple, FactId, TupleHash> by_tuple;
+  };
+
+  RelationData& DataFor(RelationId relation);
+
+  Schema schema_;
+  std::vector<RelationId> relations_of_;
+  std::vector<Tuple> tuples_of_;
+  std::vector<bool> endogenous_;
+  std::vector<int32_t> endo_index_of_;  // -1 for exogenous facts
+  std::vector<FactId> endo_facts_;
+  std::vector<RelationData> relation_data_;
+  mutable std::vector<Value> active_domain_;  // lazily rebuilt cache
+  mutable bool domain_dirty_ = true;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DB_DATABASE_H_

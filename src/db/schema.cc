@@ -1,0 +1,36 @@
+#include "db/schema.h"
+
+#include "util/check.h"
+
+namespace shapcq {
+
+RelationId Schema::AddRelation(const std::string& name, size_t arity) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    SHAPCQ_CHECK_MSG(arities_[static_cast<size_t>(it->second)] == arity,
+                     "relation re-declared with different arity");
+    return it->second;
+  }
+  RelationId id = static_cast<RelationId>(names_.size());
+  names_.push_back(name);
+  arities_.push_back(arity);
+  index_.emplace(name, id);
+  return id;
+}
+
+RelationId Schema::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNoRelation : it->second;
+}
+
+const std::string& Schema::name(RelationId id) const {
+  SHAPCQ_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size());
+  return names_[static_cast<size_t>(id)];
+}
+
+size_t Schema::arity(RelationId id) const {
+  SHAPCQ_CHECK(id >= 0 && static_cast<size_t>(id) < arities_.size());
+  return arities_[static_cast<size_t>(id)];
+}
+
+}  // namespace shapcq

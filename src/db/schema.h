@@ -1,0 +1,42 @@
+// Relational schemas: named relation symbols with fixed arity.
+
+#ifndef SHAPCQ_DB_SCHEMA_H_
+#define SHAPCQ_DB_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace shapcq {
+
+/// Index of a relation symbol within a Schema.
+using RelationId = int32_t;
+
+/// Sentinel for "relation not present in this schema".
+inline constexpr RelationId kNoRelation = -1;
+
+/// A finite collection of relation symbols R(A1, ..., Ak), identified by name.
+class Schema {
+ public:
+  /// Adds a relation symbol; aborts if the name exists with a different
+  /// arity, returns the existing id if it exists with the same arity.
+  RelationId AddRelation(const std::string& name, size_t arity);
+  /// Id of `name`, or kNoRelation.
+  RelationId Find(const std::string& name) const;
+  /// True if `name` is declared.
+  bool Has(const std::string& name) const { return Find(name) != kNoRelation; }
+
+  const std::string& name(RelationId id) const;
+  size_t arity(RelationId id) const;
+  size_t relation_count() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<size_t> arities_;
+  std::unordered_map<std::string, RelationId> index_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DB_SCHEMA_H_

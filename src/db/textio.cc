@@ -1,0 +1,86 @@
+#include "db/textio.h"
+
+#include <cctype>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '<' || c == '>' || c == '#' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+Result<Database> ParseDatabase(const std::string& text) {
+  Database db;
+  size_t pos = 0;
+  const size_t n = text.size();
+  while (pos < n) {
+    if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+      continue;
+    }
+    // Relation name.
+    size_t start = pos;
+    while (pos < n && IsNameChar(text[pos])) ++pos;
+    if (pos == start) {
+      return Result<Database>::Error("expected relation name at offset " +
+                                     std::to_string(pos));
+    }
+    const std::string relation = text.substr(start, pos - start);
+    if (pos >= n || text[pos] != '(') {
+      return Result<Database>::Error("expected '(' after " + relation);
+    }
+    ++pos;
+    // Arguments: const (',' const)* — or empty.
+    Tuple tuple;
+    auto skip_spaces = [&] {
+      while (pos < n && std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    };
+    skip_spaces();
+    while (pos < n && text[pos] != ')') {
+      start = pos;
+      while (pos < n && IsNameChar(text[pos])) ++pos;
+      if (pos == start) {
+        return Result<Database>::Error("expected constant in " + relation);
+      }
+      tuple.push_back(V(text.substr(start, pos - start)));
+      skip_spaces();
+      if (pos < n && text[pos] == ',') {
+        ++pos;
+        skip_spaces();
+        if (pos >= n || text[pos] == ')') {
+          return Result<Database>::Error("trailing comma in " + relation);
+        }
+      }
+    }
+    if (pos >= n) {
+      return Result<Database>::Error("unterminated fact " + relation);
+    }
+    ++pos;  // ')'
+    bool endogenous = false;
+    if (pos < n && text[pos] == '*') {
+      endogenous = true;
+      ++pos;
+    }
+    if (db.FindFact(relation, tuple) != kNoFact) {
+      return Result<Database>::Error("duplicate fact " + relation);
+    }
+    db.AddFact(relation, std::move(tuple), endogenous);
+  }
+  return Result<Database>::Ok(std::move(db));
+}
+
+Database MustParseDatabase(const std::string& text) {
+  auto result = ParseDatabase(text);
+  SHAPCQ_CHECK_MSG(result.ok(), result.error().c_str());
+  return std::move(result).value();
+}
+
+}  // namespace shapcq

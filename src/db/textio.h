@@ -1,0 +1,28 @@
+// Text round-tripping for databases.
+//
+// The format matches Database::ToString(): whitespace-separated facts
+// "R(a,b)" with a trailing '*' marking endogenous facts. Handy for tests,
+// bug reports and small examples:
+//
+//   Stud(Adam) TA(Adam)* Reg(Adam,OS)*
+
+#ifndef SHAPCQ_DB_TEXTIO_H_
+#define SHAPCQ_DB_TEXTIO_H_
+
+#include <string>
+
+#include "db/database.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// Parses a whitespace-separated fact list; returns an error on malformed
+/// input or duplicate facts.
+Result<Database> ParseDatabase(const std::string& text);
+
+/// Aborting variant for trusted literals in tests and examples.
+Database MustParseDatabase(const std::string& text);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DB_TEXTIO_H_

@@ -1,0 +1,53 @@
+#include "db/value_dictionary.h"
+
+#include "util/check.h"
+
+namespace shapcq {
+
+ValueDictionary& ValueDictionary::Global() {
+  static ValueDictionary* dictionary = new ValueDictionary();
+  return *dictionary;
+}
+
+Value ValueDictionary::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return Value{it->second};
+  int32_t id = static_cast<int32_t>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  return Value{id};
+}
+
+Value ValueDictionary::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? Value{-1} : Value{it->second};
+}
+
+Value ValueDictionary::Fresh(const std::string& prefix) {
+  for (;;) {
+    std::string candidate =
+        prefix + "#" + std::to_string(fresh_counter_++);
+    if (index_.find(candidate) == index_.end()) return Intern(candidate);
+  }
+}
+
+Value ValueDictionary::Pair(Value a, Value b) {
+  return Intern("<" + Name(a) + "," + Name(b) + ">");
+}
+
+const std::string& ValueDictionary::Name(Value value) const {
+  SHAPCQ_CHECK_MSG(value.id >= 0 &&
+                       static_cast<size_t>(value.id) < names_.size(),
+                   "unknown Value id");
+  return names_[static_cast<size_t>(value.id)];
+}
+
+Value V(const std::string& name) {
+  return ValueDictionary::Global().Intern(name);
+}
+
+Value V(int64_t number) {
+  return ValueDictionary::Global().Intern(std::to_string(number));
+}
+
+}  // namespace shapcq

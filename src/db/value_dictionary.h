@@ -1,0 +1,82 @@
+// Interned constant values.
+//
+// Database constants (the set Const of the paper) are interned process-wide:
+// a Value is a small integer id, cheap to copy, hash and compare, and valid
+// across databases and queries. The dictionary also mints fresh constants for
+// reduction gadgets (the paper's "fresh constant" a, b, c, d and the pairing
+// values <a,b> used along non-hierarchical paths).
+
+#ifndef SHAPCQ_DB_VALUE_DICTIONARY_H_
+#define SHAPCQ_DB_VALUE_DICTIONARY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace shapcq {
+
+/// An interned database constant. Equality of ids is equality of constants.
+struct Value {
+  int32_t id = -1;
+
+  bool operator==(const Value& other) const { return id == other.id; }
+  bool operator!=(const Value& other) const { return id != other.id; }
+  bool operator<(const Value& other) const { return id < other.id; }
+};
+
+/// A tuple of constants; the payload of a fact.
+using Tuple = std::vector<Value>;
+
+struct ValueHash {
+  size_t operator()(const Value& value) const {
+    return std::hash<int32_t>()(value.id);
+  }
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& tuple) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& value : tuple) {
+      h ^= static_cast<size_t>(value.id) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// Process-wide constant interner.
+class ValueDictionary {
+ public:
+  /// The singleton dictionary.
+  static ValueDictionary& Global();
+
+  /// Interns `name`, returning its (stable) Value.
+  Value Intern(const std::string& name);
+  /// Returns the Value of `name` if interned; otherwise a Value with id -1.
+  Value Lookup(const std::string& name) const;
+  /// Mints a constant guaranteed distinct from all interned ones, with a
+  /// readable name derived from `prefix`.
+  Value Fresh(const std::string& prefix);
+  /// Pairing constant for two values, e.g. "<a,b>"; interned so repeated
+  /// calls with the same arguments return the same Value.
+  Value Pair(Value a, Value b);
+  /// Human-readable name of a value.
+  const std::string& Name(Value value) const;
+  /// Number of interned constants.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int32_t> index_;
+  int64_t fresh_counter_ = 0;
+};
+
+/// Shorthand: interns `name` in the global dictionary.
+Value V(const std::string& name);
+/// Shorthand: interns the decimal form of `number`.
+Value V(int64_t number);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_DB_VALUE_DICTIONARY_H_

@@ -1,0 +1,22 @@
+#include "eval/complement.h"
+
+#include "eval/join.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+std::vector<Tuple> ComplementRelation(const Database& db,
+                                      const std::string& relation,
+                                      std::vector<Value> domain) {
+  RelationId rel = db.schema().Find(relation);
+  SHAPCQ_CHECK_MSG(rel != kNoRelation, "complement of undeclared relation");
+  if (domain.empty()) domain = db.ActiveDomain();
+  const size_t arity = db.schema().arity(rel);
+  std::vector<Tuple> result;
+  for (Tuple& tuple : CartesianPower(domain, arity)) {
+    if (db.FindFact(rel, tuple) == kNoFact) result.push_back(std::move(tuple));
+  }
+  return result;
+}
+
+}  // namespace shapcq

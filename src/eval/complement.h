@@ -1,0 +1,26 @@
+// Relation complements over the active domain.
+//
+// Several constructions in the paper replace a relation R^D by its complement
+// R̄^D: every tuple over Dom(D)^arity(R) not in R^D (proof of Lemma 3.3, the
+// first step of ExoShap, and the hardness reduction of Theorem 4.3).
+
+#ifndef SHAPCQ_EVAL_COMPLEMENT_H_
+#define SHAPCQ_EVAL_COMPLEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace shapcq {
+
+/// Tuples of Dom(D)^arity not present in `relation` of db. The relation must
+/// be declared (possibly empty). `domain` defaults to the active domain of
+/// db when empty.
+std::vector<Tuple> ComplementRelation(const Database& db,
+                                      const std::string& relation,
+                                      std::vector<Value> domain = {});
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_EVAL_COMPLEMENT_H_

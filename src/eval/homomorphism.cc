@@ -1,0 +1,206 @@
+#include "eval/homomorphism.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Backtracking matcher. Positive atoms are matched in an order that prefers
+// atoms with already-bound variables (cheap static heuristic); negative atoms
+// are checked once all their variables are bound.
+class Matcher {
+ public:
+  Matcher(const CQ& q, const Database& db, const World& world,
+          bool enforce_negative,
+          const std::function<bool(const Assignment&)>& callback)
+      : q_(q),
+        db_(db),
+        world_(world),
+        enforce_negative_(enforce_negative),
+        callback_(callback),
+        assignment_(q.var_count(), Value{-1}) {
+    positive_ = q.PositiveAtoms();
+    negative_ = q.NegativeAtoms();
+  }
+
+  // Returns true if stopped early by the callback.
+  bool Run() {
+    stopped_ = false;
+    MatchPositive(0);
+    return stopped_;
+  }
+
+ private:
+  // Does `fact_tuple` match `atom` under the current partial assignment?
+  // Binds newly-bound variables into *newly.
+  bool TryBind(const Atom& atom, const Tuple& fact_tuple,
+               std::vector<VarId>* newly) {
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& term = atom.terms[i];
+      if (term.IsConst()) {
+        if (!(term.constant == fact_tuple[i])) return false;
+      } else {
+        Value& bound = assignment_[static_cast<size_t>(term.var)];
+        if (bound.id < 0) {
+          bound = fact_tuple[i];
+          newly->push_back(term.var);
+        } else if (!(bound == fact_tuple[i])) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void Unbind(const std::vector<VarId>& newly) {
+    for (VarId var : newly) assignment_[static_cast<size_t>(var)] = Value{-1};
+  }
+
+  void MatchPositive(size_t depth) {
+    if (stopped_) return;
+    if (depth == positive_.size()) {
+      BindFreeVars(0);
+      return;
+    }
+    // Pick the unmatched positive atom with the most bound variables.
+    size_t best = depth;
+    int best_bound = -1;
+    for (size_t i = depth; i < positive_.size(); ++i) {
+      int bound = 0;
+      for (const Term& term : q_.atom(positive_[i]).terms) {
+        if (term.IsConst() ||
+            assignment_[static_cast<size_t>(term.var)].id >= 0) {
+          ++bound;
+        }
+      }
+      if (bound > best_bound) {
+        best_bound = bound;
+        best = i;
+      }
+    }
+    std::swap(positive_[depth], positive_[best]);
+    const Atom& atom = q_.atom(positive_[depth]);
+    const RelationId rel = db_.schema().Find(atom.relation);
+    for (FactId fact : db_.facts_of(rel)) {
+      if (!db_.IsPresent(fact, world_)) continue;
+      std::vector<VarId> newly;
+      if (TryBind(atom, db_.tuple_of(fact), &newly)) {
+        MatchPositive(depth + 1);
+      }
+      Unbind(newly);
+      if (stopped_) break;
+    }
+    std::swap(positive_[depth], positive_[best]);
+  }
+
+  // Variables not bound by positive atoms (head-only vars of unsafe queries)
+  // range over the active domain.
+  void BindFreeVars(size_t var_index) {
+    if (stopped_) return;
+    while (var_index < assignment_.size() &&
+           (assignment_[var_index].id >= 0 || !IsUsed(var_index))) {
+      ++var_index;
+    }
+    if (var_index == assignment_.size()) {
+      Finish();
+      return;
+    }
+    for (Value value : db_.ActiveDomain()) {
+      assignment_[var_index] = value;
+      BindFreeVars(var_index + 1);
+      if (stopped_) break;
+    }
+    assignment_[var_index] = Value{-1};
+  }
+
+  bool IsUsed(size_t var_index) {
+    if (used_.empty()) {
+      used_.assign(q_.var_count(), false);
+      for (const Atom& atom : q_.atoms()) {
+        for (const Term& term : atom.terms) {
+          if (term.IsVar()) used_[static_cast<size_t>(term.var)] = true;
+        }
+      }
+      for (VarId var : q_.head()) used_[static_cast<size_t>(var)] = true;
+    }
+    return used_[var_index];
+  }
+
+  void Finish() {
+    if (enforce_negative_) {
+      for (size_t index : negative_) {
+        const Atom& atom = q_.atom(index);
+        Tuple grounded(atom.terms.size());
+        for (size_t i = 0; i < atom.terms.size(); ++i) {
+          const Term& term = atom.terms[i];
+          grounded[i] = term.IsConst()
+                            ? term.constant
+                            : assignment_[static_cast<size_t>(term.var)];
+          SHAPCQ_CHECK_MSG(grounded[i].id >= 0,
+                           "negative atom variable unbound");
+        }
+        FactId fact = db_.FindFact(atom.relation, grounded);
+        if (fact != kNoFact && db_.IsPresent(fact, world_)) return;  // blocked
+      }
+    }
+    if (!callback_(assignment_)) stopped_ = true;
+  }
+
+  const CQ& q_;
+  const Database& db_;
+  const World& world_;
+  const bool enforce_negative_;
+  const std::function<bool(const Assignment&)>& callback_;
+  Assignment assignment_;
+  std::vector<size_t> positive_;
+  std::vector<size_t> negative_;
+  std::vector<bool> used_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+bool ForEachHomomorphism(
+    const CQ& q, const Database& db, const World& world, bool enforce_negative,
+    const std::function<bool(const Assignment&)>& callback) {
+  Matcher matcher(q, db, world, enforce_negative, callback);
+  return matcher.Run();
+}
+
+bool EvalBoolean(const CQ& q, const Database& db, const World& world) {
+  return ForEachHomomorphism(q, db, world, /*enforce_negative=*/true,
+                             [](const Assignment&) { return false; });
+}
+
+bool EvalBooleanAllFacts(const CQ& q, const Database& db) {
+  return EvalBoolean(q, db, db.FullWorld());
+}
+
+bool EvalBoolean(const UCQ& q, const Database& db, const World& world) {
+  for (const CQ& disjunct : q.disjuncts()) {
+    if (EvalBoolean(disjunct, db, world)) return true;
+  }
+  return false;
+}
+
+std::vector<Tuple> EnumerateAnswers(const CQ& q, const Database& db,
+                                    const World& world) {
+  std::set<Tuple> answers;
+  ForEachHomomorphism(q, db, world, /*enforce_negative=*/true,
+                      [&](const Assignment& assignment) {
+                        Tuple answer(q.head().size());
+                        for (size_t i = 0; i < q.head().size(); ++i) {
+                          answer[i] =
+                              assignment[static_cast<size_t>(q.head()[i])];
+                        }
+                        answers.insert(std::move(answer));
+                        return true;
+                      });
+  return std::vector<Tuple>(answers.begin(), answers.end());
+}
+
+}  // namespace shapcq

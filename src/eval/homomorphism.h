@@ -1,0 +1,51 @@
+// Homomorphism search: the query-evaluation substrate.
+//
+// D ⊨ q for a CQ¬ q iff some mapping of q's variables to constants sends
+// every positive atom to a present fact and no negative atom to a present
+// fact. "Present" is relative to a World (Dx ∪ E): exogenous facts are always
+// present, endogenous facts only when selected.
+//
+// The engine is a backtracking matcher over the positive atoms; variables
+// that remain unbound afterwards (only possible for unsafe queries or
+// head-only variables) range over the active domain.
+
+#ifndef SHAPCQ_EVAL_HOMOMORPHISM_H_
+#define SHAPCQ_EVAL_HOMOMORPHISM_H_
+
+#include <functional>
+#include <vector>
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "query/ucq.h"
+
+namespace shapcq {
+
+/// A (partial) variable assignment indexed by VarId; unbound entries have
+/// id -1.
+using Assignment = std::vector<Value>;
+
+/// True iff (Dx ∪ E) ⊨ q, where E is given by `world`.
+bool EvalBoolean(const CQ& q, const Database& db, const World& world);
+
+/// True iff D ⊨ q with every fact present.
+bool EvalBooleanAllFacts(const CQ& q, const Database& db);
+
+/// True iff (Dx ∪ E) ⊨ q for some disjunct of the UCQ¬.
+bool EvalBoolean(const UCQ& q, const Database& db, const World& world);
+
+/// Enumerates total assignments h with: every positive atom mapped to a
+/// present fact, and — when `enforce_negative` — no negative atom mapped to
+/// a present fact. The callback returns false to stop the search early.
+/// Returns true if the search was stopped early by the callback.
+bool ForEachHomomorphism(
+    const CQ& q, const Database& db, const World& world, bool enforce_negative,
+    const std::function<bool(const Assignment&)>& callback);
+
+/// Distinct answers (projections of satisfying assignments onto the head).
+std::vector<Tuple> EnumerateAnswers(const CQ& q, const Database& db,
+                                    const World& world);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_EVAL_HOMOMORPHISM_H_

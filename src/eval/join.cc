@@ -1,0 +1,39 @@
+#include "eval/join.h"
+
+#include <cmath>
+
+#include "eval/homomorphism.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+std::vector<Tuple> MaterializeAnswers(const CQ& q, const Database& db) {
+  return EnumerateAnswers(q, db, db.FullWorld());
+}
+
+std::vector<Tuple> CartesianPower(const std::vector<Value>& domain,
+                                  size_t arity, size_t limit) {
+  if (arity == 0) return {Tuple{}};
+  double estimated = std::pow(static_cast<double>(domain.size()),
+                              static_cast<double>(arity));
+  SHAPCQ_CHECK_MSG(estimated <= static_cast<double>(limit),
+                   "Cartesian power too large");
+  std::vector<Tuple> result;
+  result.reserve(static_cast<size_t>(estimated));
+  Tuple current(arity, domain.empty() ? Value{-1} : domain[0]);
+  std::vector<size_t> odometer(arity, 0);
+  if (domain.empty()) return {};
+  for (;;) {
+    for (size_t i = 0; i < arity; ++i) current[i] = domain[odometer[i]];
+    result.push_back(current);
+    size_t pos = arity;
+    while (pos > 0) {
+      --pos;
+      if (++odometer[pos] < domain.size()) break;
+      odometer[pos] = 0;
+      if (pos == 0) return result;
+    }
+  }
+}
+
+}  // namespace shapcq

@@ -1,0 +1,31 @@
+// Materializing query answers into relations.
+//
+// ExoShap replaces groups of exogenous atoms by a single relation holding the
+// answers of a conjunctive query over them; this helper computes those
+// answer sets (treating every fact as present — ExoShap only ever joins
+// exogenous relations).
+
+#ifndef SHAPCQ_EVAL_JOIN_H_
+#define SHAPCQ_EVAL_JOIN_H_
+
+#include <vector>
+
+#include "db/database.h"
+#include "query/cq.h"
+
+namespace shapcq {
+
+/// Distinct answers of q over the full database (all facts present).
+std::vector<Tuple> MaterializeAnswers(const CQ& q, const Database& db);
+
+/// All tuples of the given arity over `domain` (the Cartesian power
+/// domain^arity), in odometer order. Used for relation complements and for
+/// ExoShap's padding step. Aborts if the result would exceed `limit` tuples
+/// (guard against accidental blow-up; the paper's constructions are
+/// polynomial but still |Dom|^arity).
+std::vector<Tuple> CartesianPower(const std::vector<Value>& domain,
+                                  size_t arity, size_t limit = 50000000);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_EVAL_JOIN_H_

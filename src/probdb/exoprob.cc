@@ -1,0 +1,34 @@
+#include "probdb/exoprob.h"
+
+#include "core/exoshap.h"
+#include "probdb/lifted.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+Result<double> ExoProbProbability(const CQ& q, const ProbDatabase& pdb,
+                                  const ExoRelations& deterministic) {
+  // The ExoShap transformations only rebuild exogenous (here: deterministic)
+  // relations and copy every endogenous (probabilistic) fact verbatim, so
+  // probabilities transfer by (relation, tuple) identity.
+  auto transformed = ExoShapTransform(q, pdb.db(), deterministic);
+  if (!transformed.ok()) return Result<double>::Error(transformed.error());
+  const TransformedInstance& instance = transformed.value();
+
+  ProbDatabase lifted_pdb;
+  lifted_pdb.mutable_db() = instance.db;
+  // Rebuild the probability table in the new endo-index order.
+  std::vector<double> probabilities(instance.db.endogenous_count(), 1.0);
+  for (FactId fact : instance.db.endogenous_facts()) {
+    const FactId original = pdb.db().FindFact(
+        instance.db.schema().name(instance.db.relation_of(fact)),
+        instance.db.tuple_of(fact));
+    SHAPCQ_CHECK_MSG(original != kNoFact,
+                     "probabilistic fact lost by the transformation");
+    probabilities[instance.db.endo_index(fact)] = pdb.probability(original);
+  }
+  lifted_pdb.SetProbabilities(std::move(probabilities));
+  return LiftedProbability(instance.query, lifted_pdb);
+}
+
+}  // namespace shapcq

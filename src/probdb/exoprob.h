@@ -1,0 +1,24 @@
+// ExoProb: Theorem 4.10's tractable side. Evaluation of a self-join-free CQ¬
+// without a non-hierarchical path over a tuple-independent database with
+// deterministic relations, by running the ExoShap transformations (with
+// deterministic relations in the role of exogenous ones) and then lifted
+// inference on the resulting hierarchical query.
+
+#ifndef SHAPCQ_PROBDB_EXOPROB_H_
+#define SHAPCQ_PROBDB_EXOPROB_H_
+
+#include "probdb/prob_database.h"
+#include "query/analysis.h"
+#include "query/cq.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// P(D ⊨ q) in polynomial time for queries without a non-hierarchical path
+/// w.r.t. the all-deterministic relations `deterministic`.
+Result<double> ExoProbProbability(const CQ& q, const ProbDatabase& pdb,
+                                  const ExoRelations& deterministic);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_PROBDB_EXOPROB_H_

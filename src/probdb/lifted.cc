@@ -1,0 +1,128 @@
+#include "probdb/lifted.h"
+
+#include <map>
+#include <optional>
+
+#include "query/analysis.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+struct ProbFact {
+  Tuple tuple;
+  double probability;
+};
+
+using AtomLists = std::vector<std::vector<ProbFact>>;
+
+bool Matches(const Atom& atom, const Tuple& tuple) {
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    if (term.IsConst()) {
+      if (!(term.constant == tuple[i])) return false;
+    } else {
+      for (size_t j = i + 1; j < atom.terms.size(); ++j) {
+        if (atom.terms[j].IsVar() && atom.terms[j].var == term.var &&
+            !(tuple[j] == tuple[i])) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+double GroundAtomProbability(const Atom& atom,
+                             const std::vector<ProbFact>& list) {
+  SHAPCQ_CHECK(list.size() <= 1);
+  const double present = list.empty() ? 0.0 : list[0].probability;
+  return atom.negated ? 1.0 - present : present;
+}
+
+double CoreProbability(const CQ& q, const AtomLists& lists) {
+  const auto components = AtomComponents(q);
+  if (components.size() > 1) {
+    double product = 1.0;
+    for (const auto& component : components) {
+      CQ sub = q.Restrict(component);
+      AtomLists sub_lists;
+      for (size_t index : component) sub_lists.push_back(lists[index]);
+      product *= CoreProbability(sub, sub_lists);
+    }
+    return product;
+  }
+
+  if (q.UsedVars().empty()) {
+    SHAPCQ_CHECK(q.atom_count() == 1);
+    return GroundAtomProbability(q.atom(0), lists[0]);
+  }
+
+  std::optional<VarId> root = FindRootVariable(q);
+  SHAPCQ_CHECK_MSG(root.has_value(),
+                   "connected hierarchical subquery lacks a root variable");
+
+  std::vector<std::vector<size_t>> root_positions(q.atom_count());
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    const Atom& atom = q.atom(i);
+    for (size_t pos = 0; pos < atom.terms.size(); ++pos) {
+      if (atom.terms[pos].IsVar() && atom.terms[pos].var == *root) {
+        root_positions[i].push_back(pos);
+      }
+    }
+    SHAPCQ_CHECK(!root_positions[i].empty());
+  }
+
+  std::map<int32_t, AtomLists> slices;
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    for (const ProbFact& fact : lists[i]) {
+      const Value value = fact.tuple[root_positions[i][0]];
+      bool consistent = true;
+      for (size_t pos : root_positions[i]) {
+        if (!(fact.tuple[pos] == value)) consistent = false;
+      }
+      if (!consistent) continue;  // joins nothing, influences nothing
+      auto [it, inserted] = slices.try_emplace(value.id);
+      if (inserted) it->second.resize(q.atom_count());
+      it->second[i].push_back(fact);
+    }
+  }
+
+  double none_satisfied = 1.0;
+  for (auto& [value_id, slice_lists] : slices) {
+    CQ sliced = q.Substitute(*root, Value{value_id});
+    none_satisfied *= 1.0 - CoreProbability(sliced, slice_lists);
+  }
+  return 1.0 - none_satisfied;
+}
+
+}  // namespace
+
+Result<double> LiftedProbability(const CQ& q, const ProbDatabase& pdb) {
+  if (!IsSafe(q)) {
+    return Result<double>::Error("LiftedProbability requires safe negation");
+  }
+  if (!IsSelfJoinFree(q)) {
+    return Result<double>::Error(
+        "LiftedProbability requires a self-join-free query");
+  }
+  if (!IsHierarchical(q)) {
+    return Result<double>::Error(
+        "LiftedProbability requires a hierarchical query (FP^#P-hard "
+        "otherwise, Theorem 4.10)");
+  }
+  const Database& db = pdb.db();
+  AtomLists lists(q.atom_count());
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    const Atom& atom = q.atom(i);
+    const RelationId rel = db.schema().Find(atom.relation);
+    for (FactId fact : db.facts_of(rel)) {
+      if (!Matches(atom, db.tuple_of(fact))) continue;
+      lists[i].push_back(ProbFact{db.tuple_of(fact), pdb.probability(fact)});
+    }
+  }
+  return Result<double>::Ok(CoreProbability(q, lists));
+}
+
+}  // namespace shapcq

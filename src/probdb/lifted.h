@@ -1,0 +1,25 @@
+// Lifted (extensional) inference for hierarchical self-join-free CQ¬ over
+// tuple-independent databases — the probabilistic mirror of CntSat, giving
+// the PTIME side of the Fink–Olteanu dichotomy that Theorem 4.10 builds on.
+//
+//   disconnected subquery -> product of component probabilities
+//   root variable         -> P = 1 − Π_a (1 − P_slice_a)
+//   ground positive atom  -> p(fact) (0 if absent)
+//   ground negative atom  -> 1 − p(fact) (1 if absent)
+
+#ifndef SHAPCQ_PROBDB_LIFTED_H_
+#define SHAPCQ_PROBDB_LIFTED_H_
+
+#include "probdb/prob_database.h"
+#include "query/cq.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// P(D ⊨ q) in polynomial time. Requires q safe, self-join-free and
+/// hierarchical.
+Result<double> LiftedProbability(const CQ& q, const ProbDatabase& pdb);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_PROBDB_LIFTED_H_

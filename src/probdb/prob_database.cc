@@ -1,0 +1,64 @@
+#include "probdb/prob_database.h"
+
+#include "eval/homomorphism.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace shapcq {
+
+FactId ProbDatabase::AddFact(const std::string& relation, Tuple tuple,
+                             double probability) {
+  SHAPCQ_CHECK_MSG(probability > 0.0 && probability <= 1.0,
+                   "fact probability must be in (0, 1]");
+  if (probability == 1.0) {
+    return db_.AddExo(relation, std::move(tuple));
+  }
+  FactId fact = db_.AddEndo(relation, std::move(tuple));
+  probabilities_.push_back(probability);
+  SHAPCQ_CHECK(probabilities_.size() == db_.endogenous_count());
+  return fact;
+}
+
+void ProbDatabase::SetProbabilities(std::vector<double> probabilities) {
+  SHAPCQ_CHECK(probabilities.size() == db_.endogenous_count());
+  for (double p : probabilities) SHAPCQ_CHECK(p > 0.0 && p <= 1.0);
+  probabilities_ = std::move(probabilities);
+}
+
+double ProbDatabase::probability(FactId fact) const {
+  if (!db_.is_endogenous(fact)) return 1.0;
+  return probabilities_[db_.endo_index(fact)];
+}
+
+double ProbDatabase::ProbabilityBruteForce(const CQ& q) const {
+  const size_t m = db_.endogenous_count();
+  SHAPCQ_CHECK_MSG(m <= 26, "world enumeration beyond 2^26 is a bug");
+  double total = 0.0;
+  World world(m, false);
+  const uint64_t worlds = uint64_t{1} << m;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    double weight = 1.0;
+    for (size_t p = 0; p < m; ++p) {
+      world[p] = (mask >> p) & 1;
+      weight *= world[p] ? probabilities_[p] : 1.0 - probabilities_[p];
+    }
+    if (EvalBoolean(q, db_, world)) total += weight;
+  }
+  return total;
+}
+
+double ProbDatabase::ProbabilityMonteCarlo(const CQ& q, size_t samples,
+                                           uint64_t seed) const {
+  SHAPCQ_CHECK(samples > 0);
+  Rng rng(seed);
+  const size_t m = db_.endogenous_count();
+  size_t satisfied = 0;
+  World world(m, false);
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t p = 0; p < m; ++p) world[p] = rng.Bernoulli(probabilities_[p]);
+    if (EvalBoolean(q, db_, world)) ++satisfied;
+  }
+  return static_cast<double>(satisfied) / static_cast<double>(samples);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,55 @@
+// Tuple-independent probabilistic databases (Section 4.3).
+//
+// Each fact is present independently with its probability; deterministic
+// facts have probability 1 (the analogue of exogenous facts). Query
+// evaluation asks for P(D ⊨ q). Built on the same Database substrate:
+// probabilistic facts are stored endogenous, deterministic facts exogenous.
+
+#ifndef SHAPCQ_PROBDB_PROB_DATABASE_H_
+#define SHAPCQ_PROBDB_PROB_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "query/cq.h"
+
+namespace shapcq {
+
+/// A tuple-independent probabilistic database.
+class ProbDatabase {
+ public:
+  /// Adds a fact present with the given probability in (0, 1].
+  /// Probability 1 is stored as a deterministic fact.
+  FactId AddFact(const std::string& relation, Tuple tuple, double probability);
+  /// Adds a deterministic fact (probability 1).
+  FactId AddDeterministic(const std::string& relation, Tuple tuple) {
+    return AddFact(relation, std::move(tuple), 1.0);
+  }
+
+  const Database& db() const { return db_; }
+  Database& mutable_db() { return db_; }
+  /// Replaces the per-endogenous-fact probability table (endo-index order);
+  /// for rebuilding a ProbDatabase around a transformed Database. Sizes must
+  /// agree.
+  void SetProbabilities(std::vector<double> probabilities);
+  /// Probability of a fact (1.0 for deterministic facts).
+  double probability(FactId fact) const;
+  /// Number of genuinely probabilistic (p < 1) facts.
+  size_t probabilistic_count() const { return db_.endogenous_count(); }
+
+  /// P(D ⊨ q) by enumerating all 2^m possible worlds; m must be small.
+  double ProbabilityBruteForce(const CQ& q) const;
+
+  /// Monte-Carlo estimate of P(D ⊨ q) over `samples` sampled worlds.
+  double ProbabilityMonteCarlo(const CQ& q, size_t samples,
+                               uint64_t seed) const;
+
+ private:
+  Database db_;
+  std::vector<double> probabilities_;  // by endo index
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_PROBDB_PROB_DATABASE_H_

@@ -1,0 +1,407 @@
+#include "query/analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Is a ⊆ b for sorted vectors?
+bool IsSubset(const std::vector<size_t>& a, const std::vector<size_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool Intersects(const std::vector<size_t>& a, const std::vector<size_t>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> AtomsOfVars(const CQ& q) {
+  std::vector<std::vector<size_t>> result(q.var_count());
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    for (VarId var : q.atom(i).Variables()) {
+      result[static_cast<size_t>(var)].push_back(i);
+    }
+  }
+  return result;
+}
+
+bool IsSafe(const CQ& q) {
+  std::vector<bool> in_positive(q.var_count(), false);
+  for (const Atom& atom : q.atoms()) {
+    if (atom.negated) continue;
+    for (VarId var : atom.Variables()) {
+      in_positive[static_cast<size_t>(var)] = true;
+    }
+  }
+  for (const Atom& atom : q.atoms()) {
+    if (!atom.negated) continue;
+    for (VarId var : atom.Variables()) {
+      if (!in_positive[static_cast<size_t>(var)]) return false;
+    }
+  }
+  for (VarId var : q.head()) {
+    if (!in_positive[static_cast<size_t>(var)]) return false;
+  }
+  return true;
+}
+
+bool IsSelfJoinFree(const CQ& q) {
+  std::set<std::string> seen;
+  for (const Atom& atom : q.atoms()) {
+    if (!seen.insert(atom.relation).second) return false;
+  }
+  return true;
+}
+
+bool IsHierarchical(const CQ& q) {
+  return !FindNonHierarchicalTriplet(q).has_value();
+}
+
+std::optional<NonHierarchicalTriplet> FindNonHierarchicalTriplet(const CQ& q) {
+  const auto atoms_of = AtomsOfVars(q);
+  const std::vector<VarId> vars = q.UsedVars();
+  for (VarId x : vars) {
+    for (VarId y : vars) {
+      if (x >= y) continue;
+      const auto& ax = atoms_of[static_cast<size_t>(x)];
+      const auto& ay = atoms_of[static_cast<size_t>(y)];
+      if (!Intersects(ax, ay)) continue;
+      if (IsSubset(ax, ay) || IsSubset(ay, ax)) continue;
+      NonHierarchicalTriplet triplet;
+      triplet.x = x;
+      triplet.y = y;
+      for (size_t a : ax) {
+        if (!std::binary_search(ay.begin(), ay.end(), a)) {
+          triplet.alpha_x = a;
+          break;
+        }
+      }
+      for (size_t a : ay) {
+        if (!std::binary_search(ax.begin(), ax.end(), a)) {
+          triplet.alpha_y = a;
+          break;
+        }
+      }
+      for (size_t a : ax) {
+        if (std::binary_search(ay.begin(), ay.end(), a)) {
+          triplet.alpha_xy = a;
+          break;
+        }
+      }
+      return triplet;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<NonHierarchicalTriplet> FindReductionTriplet(const CQ& q) {
+  const auto atoms_of = AtomsOfVars(q);
+  const std::vector<VarId> vars = q.UsedVars();
+  // Enumerate all triplets; accept the polarity signatures that map onto one
+  // of the base queries q_RST, q_¬RS¬T, q_R¬ST, q_RS¬T: the middle atom is
+  // positive, or the middle atom is negative with both endpoints positive.
+  // Lemma B.4 shows such a triplet exists in every safe non-hierarchical CQ¬.
+  for (VarId x : vars) {
+    for (VarId y : vars) {
+      if (x == y) continue;
+      const auto& ax_set = atoms_of[static_cast<size_t>(x)];
+      const auto& ay_set = atoms_of[static_cast<size_t>(y)];
+      for (size_t ax : ax_set) {
+        if (std::binary_search(ay_set.begin(), ay_set.end(), ax)) continue;
+        for (size_t ay : ay_set) {
+          if (std::binary_search(ax_set.begin(), ax_set.end(), ay)) continue;
+          for (size_t axy : ax_set) {
+            if (!std::binary_search(ay_set.begin(), ay_set.end(), axy)) {
+              continue;
+            }
+            const bool middle_neg = q.atom(axy).negated;
+            const bool end_neg =
+                q.atom(ax).negated || q.atom(ay).negated;
+            if (!middle_neg || !end_neg) {
+              return NonHierarchicalTriplet{ax, axy, ay, x, y};
+            }
+          }
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::vector<bool>> GaifmanAdjacency(const CQ& q) {
+  const size_t n = q.var_count();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (const Atom& atom : q.atoms()) {
+    const std::vector<VarId> vars = atom.Variables();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      for (size_t j = i + 1; j < vars.size(); ++j) {
+        adj[static_cast<size_t>(vars[i])][static_cast<size_t>(vars[j])] = true;
+        adj[static_cast<size_t>(vars[j])][static_cast<size_t>(vars[i])] = true;
+      }
+    }
+  }
+  return adj;
+}
+
+bool IsExogenousAtom(const CQ& q, size_t atom_index, const ExoRelations& exo) {
+  return exo.count(q.atom(atom_index).relation) > 0;
+}
+
+std::vector<VarId> ExogenousVars(const CQ& q, const ExoRelations& exo) {
+  std::vector<bool> in_non_exo(q.var_count(), false);
+  std::vector<bool> used(q.var_count(), false);
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    const bool is_exo = IsExogenousAtom(q, i, exo);
+    for (VarId var : q.atom(i).Variables()) {
+      used[static_cast<size_t>(var)] = true;
+      if (!is_exo) in_non_exo[static_cast<size_t>(var)] = true;
+    }
+  }
+  std::vector<VarId> result;
+  for (size_t v = 0; v < used.size(); ++v) {
+    if (used[v] && !in_non_exo[v]) result.push_back(static_cast<VarId>(v));
+  }
+  return result;
+}
+
+std::vector<std::vector<size_t>> ExogenousAtomComponents(
+    const CQ& q, const ExoRelations& exo) {
+  std::vector<size_t> exo_atoms;
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    if (IsExogenousAtom(q, i, exo)) exo_atoms.push_back(i);
+  }
+  const std::vector<VarId> exo_vars = ExogenousVars(q, exo);
+  std::set<VarId> exo_var_set(exo_vars.begin(), exo_vars.end());
+
+  // Union-find over positions in exo_atoms.
+  std::vector<size_t> parent(exo_atoms.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t a) {
+    while (parent[a] != a) {
+      parent[a] = parent[parent[a]];
+      a = parent[a];
+    }
+    return a;
+  };
+  for (size_t i = 0; i < exo_atoms.size(); ++i) {
+    for (size_t j = i + 1; j < exo_atoms.size(); ++j) {
+      // Edge iff the two atoms share an exogenous variable.
+      bool share = false;
+      for (VarId var : q.atom(exo_atoms[i]).Variables()) {
+        if (exo_var_set.count(var) && q.atom(exo_atoms[j]).Uses(var)) {
+          share = true;
+          break;
+        }
+      }
+      if (share) parent[find(i)] = find(j);
+    }
+  }
+  std::unordered_map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < exo_atoms.size(); ++i) {
+    groups[find(i)].push_back(exo_atoms[i]);
+  }
+  std::vector<std::vector<size_t>> components;
+  for (auto& [root, members] : groups) components.push_back(members);
+  // Deterministic order: by smallest atom index.
+  std::sort(components.begin(), components.end());
+  return components;
+}
+
+std::optional<NonHierarchicalPath> FindNonHierarchicalPath(
+    const CQ& q, const ExoRelations& exo) {
+  const auto adj = GaifmanAdjacency(q);
+  const size_t n = q.var_count();
+  for (size_t ax = 0; ax < q.atom_count(); ++ax) {
+    if (IsExogenousAtom(q, ax, exo)) continue;
+    for (size_t ay = 0; ay < q.atom_count(); ++ay) {
+      if (ay == ax || IsExogenousAtom(q, ay, exo)) continue;
+      const std::vector<VarId> vars_x = q.atom(ax).Variables();
+      const std::vector<VarId> vars_y = q.atom(ay).Variables();
+      for (VarId x : vars_x) {
+        if (q.atom(ay).Uses(x)) continue;
+        for (VarId y : vars_y) {
+          if (q.atom(ax).Uses(y)) continue;
+          // Delete all variables of α_x, α_y except x and y; BFS x -> y.
+          std::vector<bool> removed(n, false);
+          for (VarId v : vars_x) removed[static_cast<size_t>(v)] = true;
+          for (VarId v : vars_y) removed[static_cast<size_t>(v)] = true;
+          removed[static_cast<size_t>(x)] = false;
+          removed[static_cast<size_t>(y)] = false;
+          std::vector<VarId> prev(n, -2);
+          std::deque<VarId> queue{x};
+          prev[static_cast<size_t>(x)] = -1;
+          while (!queue.empty()) {
+            VarId cur = queue.front();
+            queue.pop_front();
+            if (cur == y) break;
+            for (size_t next = 0; next < n; ++next) {
+              if (removed[next] || prev[next] != -2 ||
+                  !adj[static_cast<size_t>(cur)][next]) {
+                continue;
+              }
+              prev[next] = cur;
+              queue.push_back(static_cast<VarId>(next));
+            }
+          }
+          if (prev[static_cast<size_t>(y)] == -2) continue;
+          NonHierarchicalPath witness;
+          witness.alpha_x = ax;
+          witness.alpha_y = ay;
+          witness.x = x;
+          witness.y = y;
+          for (VarId v = y; v != -1; v = prev[static_cast<size_t>(v)]) {
+            witness.path.push_back(v);
+          }
+          std::reverse(witness.path.begin(), witness.path.end());
+          return witness;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsRelationPolarityConsistent(const CQ& q, const std::string& relation) {
+  bool positive = false, negative = false;
+  for (const Atom& atom : q.atoms()) {
+    if (atom.relation != relation) continue;
+    (atom.negated ? negative : positive) = true;
+  }
+  return !(positive && negative);
+}
+
+bool IsRelationPolarityConsistent(const UCQ& q, const std::string& relation) {
+  bool positive = false, negative = false;
+  for (const CQ& disjunct : q.disjuncts()) {
+    for (const Atom& atom : disjunct.atoms()) {
+      if (atom.relation != relation) continue;
+      (atom.negated ? negative : positive) = true;
+    }
+  }
+  return !(positive && negative);
+}
+
+bool IsPolarityConsistent(const CQ& q) {
+  for (const Atom& atom : q.atoms()) {
+    if (!IsRelationPolarityConsistent(q, atom.relation)) return false;
+  }
+  return true;
+}
+
+bool IsPolarityConsistent(const UCQ& q) {
+  for (const CQ& disjunct : q.disjuncts()) {
+    for (const Atom& atom : disjunct.atoms()) {
+      if (!IsRelationPolarityConsistent(q, atom.relation)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsPositivelyConnected(const CQ& q) {
+  const std::vector<VarId> vars = q.UsedVars();
+  if (vars.size() <= 1) return true;
+  const size_t n = q.var_count();
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (const Atom& atom : q.atoms()) {
+    if (atom.negated) continue;
+    const std::vector<VarId> atom_vars = atom.Variables();
+    for (size_t i = 0; i < atom_vars.size(); ++i) {
+      for (size_t j = i + 1; j < atom_vars.size(); ++j) {
+        adj[static_cast<size_t>(atom_vars[i])]
+           [static_cast<size_t>(atom_vars[j])] = true;
+        adj[static_cast<size_t>(atom_vars[j])]
+           [static_cast<size_t>(atom_vars[i])] = true;
+      }
+    }
+  }
+  std::vector<bool> reached(n, false);
+  std::deque<VarId> queue{vars[0]};
+  reached[static_cast<size_t>(vars[0])] = true;
+  while (!queue.empty()) {
+    VarId cur = queue.front();
+    queue.pop_front();
+    for (size_t next = 0; next < n; ++next) {
+      if (!reached[next] && adj[static_cast<size_t>(cur)][next]) {
+        reached[next] = true;
+        queue.push_back(static_cast<VarId>(next));
+      }
+    }
+  }
+  for (VarId var : vars) {
+    if (!reached[static_cast<size_t>(var)]) return false;
+  }
+  return true;
+}
+
+bool HasConstants(const CQ& q) {
+  for (const Atom& atom : q.atoms()) {
+    for (const Term& term : atom.terms) {
+      if (term.IsConst()) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<size_t>> AtomComponents(const CQ& q) {
+  const size_t n = q.atom_count();
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t a) {
+    while (parent[a] != a) {
+      parent[a] = parent[parent[a]];
+      a = parent[a];
+    }
+    return a;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      bool share = false;
+      for (VarId var : q.atom(i).Variables()) {
+        if (q.atom(j).Uses(var)) {
+          share = true;
+          break;
+        }
+      }
+      if (share) parent[find(i)] = find(j);
+    }
+  }
+  std::unordered_map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < n; ++i) groups[find(i)].push_back(i);
+  std::vector<std::vector<size_t>> components;
+  for (auto& [root, members] : groups) components.push_back(members);
+  std::sort(components.begin(), components.end());
+  return components;
+}
+
+std::optional<VarId> FindRootVariable(const CQ& q) {
+  for (VarId var : q.UsedVars()) {
+    bool in_all = true;
+    for (const Atom& atom : q.atoms()) {
+      if (!atom.Uses(var)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all) return var;
+  }
+  return std::nullopt;
+}
+
+}  // namespace shapcq

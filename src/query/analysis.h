@@ -1,0 +1,114 @@
+// Static analysis of CQ¬s: the structural notions driving both dichotomies.
+//
+//  * safety, self-join-freeness, hierarchy, non-hierarchical triplets
+//    (Section 2 / Theorem 3.1),
+//  * Gaifman graph, exogenous-atom graph, non-hierarchical paths
+//    (Section 4 / Theorem 4.3),
+//  * polarity consistency and positive connectivity (Section 5).
+
+#ifndef SHAPCQ_QUERY_ANALYSIS_H_
+#define SHAPCQ_QUERY_ANALYSIS_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/cq.h"
+#include "query/ucq.h"
+
+namespace shapcq {
+
+/// A set of relation names declared to contain only exogenous facts
+/// (the set X of Section 4).
+using ExoRelations = std::set<std::string>;
+
+/// For each variable id, the indices of atoms using it (the paper's A_x).
+std::vector<std::vector<size_t>> AtomsOfVars(const CQ& q);
+
+/// Safe negation: every variable of a negated atom occurs in a positive atom,
+/// and every head variable occurs in a positive atom.
+bool IsSafe(const CQ& q);
+
+/// True if no two atoms share a relation symbol.
+bool IsSelfJoinFree(const CQ& q);
+
+/// Hierarchical (over all atoms, any polarity): for all variables x, y,
+/// A_x ⊆ A_y, A_y ⊆ A_x, or A_x ∩ A_y = ∅.
+bool IsHierarchical(const CQ& q);
+
+/// Witness of non-hierarchy: variables x, y and atoms with
+/// x ∈ α_x \ α_y, y ∈ α_y \ α_x, {x,y} ⊆ α_xy.
+struct NonHierarchicalTriplet {
+  size_t alpha_x;
+  size_t alpha_xy;
+  size_t alpha_y;
+  VarId x;
+  VarId y;
+};
+
+/// Any non-hierarchical triplet, or nullopt when hierarchical.
+std::optional<NonHierarchicalTriplet> FindNonHierarchicalTriplet(const CQ& q);
+
+/// A triplet with the polarity property of Lemma B.4: if two of its atoms
+/// are negative, the negative ones are α_x and α_y (never α_xy together with
+/// one endpoint). Exists for every safe non-hierarchical CQ¬.
+std::optional<NonHierarchicalTriplet> FindReductionTriplet(const CQ& q);
+
+/// Gaifman graph adjacency: vars adjacent iff they co-occur in some atom.
+std::vector<std::vector<bool>> GaifmanAdjacency(const CQ& q);
+
+/// True if every atom over a relation in `exo` — an "exogenous atom".
+bool IsExogenousAtom(const CQ& q, size_t atom_index, const ExoRelations& exo);
+
+/// Variables occurring only in exogenous atoms (Varsx(q)).
+std::vector<VarId> ExogenousVars(const CQ& q, const ExoRelations& exo);
+
+/// Connected components of the exogenous-atom graph gx(q): vertices are
+/// exogenous atoms, edges join atoms sharing an exogenous variable.
+std::vector<std::vector<size_t>> ExogenousAtomComponents(
+    const CQ& q, const ExoRelations& exo);
+
+/// Witness of a non-hierarchical path (Section 4.1): atoms α_x, α_y over
+/// non-exogenous relations, x ∈ α_x \ α_y, y ∈ α_y \ α_x, and a path from x
+/// to y in the Gaifman graph after deleting (Vars(α_x) ∪ Vars(α_y)) \ {x,y}.
+struct NonHierarchicalPath {
+  size_t alpha_x;
+  size_t alpha_y;
+  VarId x;
+  VarId y;
+  std::vector<VarId> path;  // x = path.front(), y = path.back()
+};
+
+/// Any non-hierarchical path w.r.t. exogenous relations `exo`, or nullopt.
+std::optional<NonHierarchicalPath> FindNonHierarchicalPath(
+    const CQ& q, const ExoRelations& exo);
+
+/// A relation symbol is polarity consistent if it occurs only positively or
+/// only negatively in the query.
+bool IsRelationPolarityConsistent(const CQ& q, const std::string& relation);
+bool IsRelationPolarityConsistent(const UCQ& q, const std::string& relation);
+
+/// The whole query is polarity consistent if every relation symbol is.
+bool IsPolarityConsistent(const CQ& q);
+bool IsPolarityConsistent(const UCQ& q);
+
+/// Positively connected: all variables of q are connected in the Gaifman
+/// graph restricted to positive atoms (precondition of Theorem 5.1).
+bool IsPositivelyConnected(const CQ& q);
+
+/// True if some atom of q contains a constant term.
+bool HasConstants(const CQ& q);
+
+/// Connected components of atoms under variable sharing; ground atoms (no
+/// variables) each form their own component. Components partition atom
+/// indices.
+std::vector<std::vector<size_t>> AtomComponents(const CQ& q);
+
+/// A variable occurring in every atom of q, or nullopt. For connected
+/// hierarchical queries with at least one variable, a root always exists.
+std::optional<VarId> FindRootVariable(const CQ& q);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_QUERY_ANALYSIS_H_

@@ -1,0 +1,25 @@
+#include "query/atom.h"
+
+#include <algorithm>
+
+namespace shapcq {
+
+std::vector<VarId> Atom::Variables() const {
+  std::vector<VarId> vars;
+  for (const Term& term : terms) {
+    if (term.IsVar() &&
+        std::find(vars.begin(), vars.end(), term.var) == vars.end()) {
+      vars.push_back(term.var);
+    }
+  }
+  return vars;
+}
+
+bool Atom::Uses(VarId var) const {
+  for (const Term& term : terms) {
+    if (term.IsVar() && term.var == var) return true;
+  }
+  return false;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,55 @@
+// Atoms of conjunctive queries: a relation name applied to terms (variables
+// or constants), possibly negated.
+
+#ifndef SHAPCQ_QUERY_ATOM_H_
+#define SHAPCQ_QUERY_ATOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/value_dictionary.h"
+
+namespace shapcq {
+
+/// Index of a variable within its owning CQ's variable table.
+using VarId = int32_t;
+
+/// A term in an atom: either a query variable or a constant.
+struct Term {
+  enum class Kind : uint8_t { kVariable, kConstant };
+
+  Kind kind = Kind::kVariable;
+  VarId var = -1;     // valid iff kind == kVariable
+  Value constant{};   // valid iff kind == kConstant
+
+  static Term MakeVar(VarId v) { return Term{Kind::kVariable, v, Value{}}; }
+  static Term MakeConst(Value c) { return Term{Kind::kConstant, -1, c}; }
+
+  bool IsVar() const { return kind == Kind::kVariable; }
+  bool IsConst() const { return kind == Kind::kConstant; }
+
+  bool operator==(const Term& other) const {
+    if (kind != other.kind) return false;
+    return IsVar() ? var == other.var : constant == other.constant;
+  }
+};
+
+/// An atom (¬)R(t1, ..., tk). Relations are referenced by name and resolved
+/// against a concrete database at evaluation time, so queries are usable
+/// across databases (including the transformed databases ExoShap builds).
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+  bool negated = false;
+
+  size_t arity() const { return terms.size(); }
+  /// Distinct variables of the atom, in first-occurrence order.
+  std::vector<VarId> Variables() const;
+  /// True if the variable occurs in some term.
+  bool Uses(VarId var) const;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_QUERY_ATOM_H_

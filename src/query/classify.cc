@@ -1,0 +1,69 @@
+#include "query/classify.h"
+
+namespace shapcq {
+
+namespace {
+
+Result<Classification> ValidateScope(const CQ& q) {
+  if (!IsSafe(q)) {
+    return Result<Classification>::Error(
+        "query has unsafe negation: " + q.ToString());
+  }
+  if (!IsSelfJoinFree(q)) {
+    return Result<Classification>::Error(
+        "query has self-joins, outside the dichotomy's scope: " +
+        q.ToString());
+  }
+  return Result<Classification>::Ok(
+      Classification{Complexity::kPolynomialTime, ""});
+}
+
+}  // namespace
+
+Result<Classification> ClassifyExactShapley(const CQ& q) {
+  auto scope = ValidateScope(q);
+  if (!scope.ok()) return scope;
+  auto triplet = FindNonHierarchicalTriplet(q);
+  if (!triplet.has_value()) {
+    return Result<Classification>::Ok(Classification{
+        Complexity::kPolynomialTime, "hierarchical (Theorem 3.1)"});
+  }
+  const auto& t = *triplet;
+  return Result<Classification>::Ok(Classification{
+      Complexity::kSharpPHard,
+      "non-hierarchical triplet (" + q.atom(t.alpha_x).relation + ", " +
+          q.atom(t.alpha_xy).relation + ", " + q.atom(t.alpha_y).relation +
+          ") on variables (" + q.var_name(t.x) + ", " + q.var_name(t.y) +
+          ") (Theorem 3.1)"});
+}
+
+Result<Classification> ClassifyExactShapley(const CQ& q,
+                                            const ExoRelations& exo) {
+  auto scope = ValidateScope(q);
+  if (!scope.ok()) return scope;
+  auto path = FindNonHierarchicalPath(q, exo);
+  if (!path.has_value()) {
+    return Result<Classification>::Ok(Classification{
+        Complexity::kPolynomialTime,
+        "no non-hierarchical path (Theorem 4.3, ExoShap applies)"});
+  }
+  std::string path_text;
+  for (size_t i = 0; i < path->path.size(); ++i) {
+    if (i > 0) path_text += "-";
+    path_text += q.var_name(path->path[i]);
+  }
+  return Result<Classification>::Ok(Classification{
+      Complexity::kSharpPHard,
+      "non-hierarchical path " + path_text + " induced by " +
+          q.atom(path->alpha_x).relation + " and " +
+          q.atom(path->alpha_y).relation + " (Theorem 4.3)"});
+}
+
+Result<Classification> ClassifyProbabilisticEvaluation(
+    const CQ& q, const ExoRelations& deterministic) {
+  // Theorem 4.10: identical frontier, deterministic relations playing the
+  // role of exogenous relations.
+  return ClassifyExactShapley(q, deterministic);
+}
+
+}  // namespace shapcq

@@ -1,0 +1,51 @@
+// Dichotomy classifiers: the decision procedures behind Theorems 3.1, 4.3
+// and 4.10. Given a self-join-free CQ¬ (and optionally a set of exogenous
+// relations), they report on which side of the tractability frontier the
+// query falls and why.
+
+#ifndef SHAPCQ_QUERY_CLASSIFY_H_
+#define SHAPCQ_QUERY_CLASSIFY_H_
+
+#include <string>
+
+#include "query/analysis.h"
+#include "query/cq.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// Data complexity of exact Shapley computation for a query.
+enum class Complexity {
+  kPolynomialTime,
+  kSharpPHard,  // FP^{#P}-complete
+};
+
+/// Classification outcome with a human-readable justification (e.g. the
+/// non-hierarchical triplet or path witnessing hardness).
+struct Classification {
+  Complexity complexity;
+  std::string reason;
+
+  bool IsTractable() const { return complexity == Complexity::kPolynomialTime; }
+};
+
+/// Theorem 3.1: for a safe self-join-free CQ¬, Shapley computation is in
+/// PTIME iff the query is hierarchical. Returns an error for unsafe or
+/// self-joining queries (outside the theorem's scope).
+Result<Classification> ClassifyExactShapley(const CQ& q);
+
+/// Theorem 4.3: with relations in `exo` declared all-exogenous, Shapley
+/// computation is FP^{#P}-complete iff the query has a non-hierarchical
+/// path, else PTIME.
+Result<Classification> ClassifyExactShapley(const CQ& q,
+                                            const ExoRelations& exo);
+
+/// Theorem 4.10: query evaluation over tuple-independent probabilistic
+/// databases where relations in `deterministic` have probability-1 facts.
+/// Same frontier as ClassifyExactShapley(q, exo).
+Result<Classification> ClassifyProbabilisticEvaluation(
+    const CQ& q, const ExoRelations& deterministic);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_QUERY_CLASSIFY_H_

@@ -1,0 +1,193 @@
+#include "query/cq.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+VarId CQ::GetOrAddVar(const std::string& name) {
+  VarId existing = FindVar(name);
+  if (existing >= 0) return existing;
+  var_names_.push_back(name);
+  return static_cast<VarId>(var_names_.size() - 1);
+}
+
+VarId CQ::FindVar(const std::string& name) const {
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    if (var_names_[i] == name) return static_cast<VarId>(i);
+  }
+  return -1;
+}
+
+const std::string& CQ::var_name(VarId var) const {
+  SHAPCQ_CHECK(var >= 0 && static_cast<size_t>(var) < var_names_.size());
+  return var_names_[static_cast<size_t>(var)];
+}
+
+void CQ::AddAtom(Atom atom) {
+  for (const Term& term : atom.terms) {
+    if (term.IsVar()) {
+      SHAPCQ_CHECK_MSG(term.var >= 0 && static_cast<size_t>(term.var) <
+                                            var_names_.size(),
+                       "atom references unknown variable");
+    }
+  }
+  atoms_.push_back(std::move(atom));
+}
+
+void CQ::AddPositive(const std::string& relation,
+                     const std::vector<std::string>& var_names) {
+  Atom atom;
+  atom.relation = relation;
+  atom.negated = false;
+  for (const std::string& name : var_names) {
+    atom.terms.push_back(Term::MakeVar(GetOrAddVar(name)));
+  }
+  AddAtom(std::move(atom));
+}
+
+void CQ::AddNegative(const std::string& relation,
+                     const std::vector<std::string>& var_names) {
+  Atom atom;
+  atom.relation = relation;
+  atom.negated = true;
+  for (const std::string& name : var_names) {
+    atom.terms.push_back(Term::MakeVar(GetOrAddVar(name)));
+  }
+  AddAtom(std::move(atom));
+}
+
+std::vector<size_t> CQ::PositiveAtoms() const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (!atoms_[i].negated) indices.push_back(i);
+  }
+  return indices;
+}
+
+std::vector<size_t> CQ::NegativeAtoms() const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].negated) indices.push_back(i);
+  }
+  return indices;
+}
+
+bool CQ::HasNegation() const {
+  for (const Atom& atom : atoms_) {
+    if (atom.negated) return true;
+  }
+  return false;
+}
+
+void CQ::SetHeadByName(const std::vector<std::string>& names) {
+  head_.clear();
+  for (const std::string& name : names) head_.push_back(GetOrAddVar(name));
+}
+
+std::vector<VarId> CQ::UsedVars() const {
+  std::vector<bool> used(var_names_.size(), false);
+  for (const Atom& atom : atoms_) {
+    for (const Term& term : atom.terms) {
+      if (term.IsVar()) used[static_cast<size_t>(term.var)] = true;
+    }
+  }
+  std::vector<VarId> result;
+  for (size_t i = 0; i < used.size(); ++i) {
+    if (used[i]) result.push_back(static_cast<VarId>(i));
+  }
+  return result;
+}
+
+CQ CQ::Substitute(VarId var, Value value) const {
+  CQ result(name_);
+  // Remap surviving variables to a compact table.
+  std::unordered_map<VarId, VarId> remap;
+  auto remap_var = [&](VarId old_var) -> VarId {
+    auto it = remap.find(old_var);
+    if (it != remap.end()) return it->second;
+    VarId fresh = result.GetOrAddVar(var_names_[static_cast<size_t>(old_var)]);
+    remap.emplace(old_var, fresh);
+    return fresh;
+  };
+  for (const Atom& atom : atoms_) {
+    Atom copy;
+    copy.relation = atom.relation;
+    copy.negated = atom.negated;
+    for (const Term& term : atom.terms) {
+      if (term.IsConst()) {
+        copy.terms.push_back(term);
+      } else if (term.var == var) {
+        copy.terms.push_back(Term::MakeConst(value));
+      } else {
+        copy.terms.push_back(Term::MakeVar(remap_var(term.var)));
+      }
+    }
+    result.atoms_.push_back(std::move(copy));
+  }
+  std::vector<VarId> head;
+  for (VarId head_var : head_) {
+    if (head_var != var) head.push_back(remap_var(head_var));
+  }
+  result.head_ = std::move(head);
+  return result;
+}
+
+CQ CQ::Restrict(const std::vector<size_t>& atom_indices) const {
+  CQ result(name_);
+  std::unordered_map<VarId, VarId> remap;
+  auto remap_var = [&](VarId old_var) -> VarId {
+    auto it = remap.find(old_var);
+    if (it != remap.end()) return it->second;
+    VarId fresh = result.GetOrAddVar(var_names_[static_cast<size_t>(old_var)]);
+    remap.emplace(old_var, fresh);
+    return fresh;
+  };
+  for (size_t index : atom_indices) {
+    SHAPCQ_CHECK(index < atoms_.size());
+    const Atom& atom = atoms_[index];
+    Atom copy;
+    copy.relation = atom.relation;
+    copy.negated = atom.negated;
+    for (const Term& term : atom.terms) {
+      copy.terms.push_back(term.IsConst() ? term
+                                          : Term::MakeVar(remap_var(term.var)));
+    }
+    result.atoms_.push_back(std::move(copy));
+  }
+  std::vector<VarId> head;
+  for (VarId head_var : head_) {
+    auto it = remap.find(head_var);
+    if (it != remap.end()) head.push_back(it->second);
+  }
+  result.head_ = std::move(head);
+  return result;
+}
+
+std::string CQ::ToString() const {
+  const ValueDictionary& dict = ValueDictionary::Global();
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < head_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += var_name(head_[i]);
+  }
+  out += ") :- ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Atom& atom = atoms_[i];
+    if (atom.negated) out += "not ";
+    out += atom.relation + "(";
+    for (size_t j = 0; j < atom.terms.size(); ++j) {
+      if (j > 0) out += ",";
+      const Term& term = atom.terms[j];
+      out += term.IsVar() ? var_name(term.var)
+                          : "'" + dict.Name(term.constant) + "'";
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,84 @@
+// Conjunctive queries with safe negation (CQ¬, Section 2 of the paper).
+//
+// A CQ owns a variable table (names are cosmetic; identity is the VarId) and
+// a list of positive/negative atoms. Boolean queries have an empty head; a
+// non-empty head lists answer variables (used for materializing joins and for
+// aggregate queries).
+
+#ifndef SHAPCQ_QUERY_CQ_H_
+#define SHAPCQ_QUERY_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "query/atom.h"
+
+namespace shapcq {
+
+/// A conjunctive query, possibly with negated atoms and a projection head.
+class CQ {
+ public:
+  CQ() = default;
+  /// Creates a named query (name is cosmetic, used in printing).
+  explicit CQ(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Returns the id of the variable with this name, creating it if needed.
+  VarId GetOrAddVar(const std::string& name);
+  /// Id of the variable, or -1 if absent.
+  VarId FindVar(const std::string& name) const;
+  const std::string& var_name(VarId var) const;
+  size_t var_count() const { return var_names_.size(); }
+
+  /// Appends an atom. Terms must reference variables of this query.
+  void AddAtom(Atom atom);
+  /// Convenience: builds the atom from term specs where each spec is either
+  /// a variable name (bare) or a constant Value.
+  void AddPositive(const std::string& relation,
+                   const std::vector<std::string>& var_names);
+  void AddNegative(const std::string& relation,
+                   const std::vector<std::string>& var_names);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::vector<Atom>& mutable_atoms() { return atoms_; }
+  size_t atom_count() const { return atoms_.size(); }
+  const Atom& atom(size_t index) const { return atoms_[index]; }
+
+  /// Indices of positive / negative atoms.
+  std::vector<size_t> PositiveAtoms() const;
+  std::vector<size_t> NegativeAtoms() const;
+  bool HasNegation() const;
+
+  /// Head (answer) variables; empty for Boolean queries.
+  const std::vector<VarId>& head() const { return head_; }
+  void SetHead(std::vector<VarId> head) { head_ = std::move(head); }
+  void SetHeadByName(const std::vector<std::string>& names);
+  bool IsBoolean() const { return head_.empty(); }
+
+  /// Variables that occur in at least one atom, ascending by id.
+  std::vector<VarId> UsedVars() const;
+
+  /// A copy of the query with `var` replaced by the constant `value`
+  /// everywhere. The variable table is rebuilt so var_count() reflects only
+  /// remaining variables.
+  CQ Substitute(VarId var, Value value) const;
+
+  /// A copy containing only the atoms at `atom_indices` (variable table
+  /// rebuilt). Head variables not used by the kept atoms are dropped.
+  CQ Restrict(const std::vector<size_t>& atom_indices) const;
+
+  /// "q(x) :- R(x,y), not S(y,'c')".
+  std::string ToString() const;
+
+ private:
+  std::string name_ = "q";
+  std::vector<std::string> var_names_;
+  std::vector<Atom> atoms_;
+  std::vector<VarId> head_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_QUERY_CQ_H_

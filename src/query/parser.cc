@@ -1,0 +1,220 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kNumber,
+    kQuoted,
+    kLParen,
+    kRParen,
+    kComma,
+    kImplies,  // ":-"
+    kNot,      // "not", "!", "¬"
+    kEnd,
+  };
+  Kind kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t pos = 0;
+    while (pos < input_.size()) {
+      char c = input_[pos];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+        continue;
+      }
+      if (c == '(') {
+        tokens.push_back({Token::Kind::kLParen, "("});
+        ++pos;
+      } else if (c == ')') {
+        tokens.push_back({Token::Kind::kRParen, ")"});
+        ++pos;
+      } else if (c == ',') {
+        tokens.push_back({Token::Kind::kComma, ","});
+        ++pos;
+      } else if (c == '!') {
+        tokens.push_back({Token::Kind::kNot, "!"});
+        ++pos;
+      } else if (c == ':' && pos + 1 < input_.size() &&
+                 input_[pos + 1] == '-') {
+        tokens.push_back({Token::Kind::kImplies, ":-"});
+        pos += 2;
+      } else if (static_cast<unsigned char>(c) == 0xC2 &&
+                 pos + 1 < input_.size() &&
+                 static_cast<unsigned char>(input_[pos + 1]) == 0xAC) {
+        // UTF-8 "¬".
+        tokens.push_back({Token::Kind::kNot, "¬"});
+        pos += 2;
+      } else if (c == '\'') {
+        size_t end = input_.find('\'', pos + 1);
+        if (end == std::string::npos) {
+          return Result<std::vector<Token>>::Error(
+              "unterminated quoted constant");
+        }
+        tokens.push_back(
+            {Token::Kind::kQuoted, input_.substr(pos + 1, end - pos - 1)});
+        pos = end + 1;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[pos + 1])))) {
+        size_t start = pos;
+        if (c == '-') ++pos;
+        while (pos < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos]))) {
+          ++pos;
+        }
+        tokens.push_back({Token::Kind::kNumber, input_.substr(start, pos - start)});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos;
+        while (pos < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos])) ||
+                input_[pos] == '_')) {
+          ++pos;
+        }
+        std::string word = input_.substr(start, pos - start);
+        if (word == "not" || word == "NOT") {
+          tokens.push_back({Token::Kind::kNot, word});
+        } else {
+          tokens.push_back({Token::Kind::kIdent, word});
+        }
+      } else {
+        return Result<std::vector<Token>>::Error(
+            std::string("unexpected character '") + c + "'");
+      }
+    }
+    tokens.push_back({Token::Kind::kEnd, ""});
+    return Result<std::vector<Token>>::Ok(std::move(tokens));
+  }
+
+ private:
+  const std::string& input_;
+};
+
+class RuleParser {
+ public:
+  explicit RuleParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<CQ> Parse() {
+    // Head.
+    if (!Is(Token::Kind::kIdent)) return Fail("expected query name");
+    CQ query(Take().text);
+    if (!Is(Token::Kind::kLParen)) return Fail("expected '(' after name");
+    Take();
+    std::vector<std::string> head;
+    while (!Is(Token::Kind::kRParen)) {
+      if (!Is(Token::Kind::kIdent)) {
+        return Fail("head arguments must be variables");
+      }
+      head.push_back(Take().text);
+      if (Is(Token::Kind::kComma)) Take();
+    }
+    Take();  // ')'
+    query.SetHeadByName(head);
+    if (!Is(Token::Kind::kImplies)) return Fail("expected ':-'");
+    Take();
+
+    // Body.
+    for (;;) {
+      bool negated = false;
+      if (Is(Token::Kind::kNot)) {
+        negated = true;
+        Take();
+      }
+      if (!Is(Token::Kind::kIdent)) return Fail("expected relation name");
+      Atom atom;
+      atom.relation = Take().text;
+      atom.negated = negated;
+      if (!Is(Token::Kind::kLParen)) return Fail("expected '(' in atom");
+      Take();
+      while (!Is(Token::Kind::kRParen)) {
+        if (Is(Token::Kind::kIdent)) {
+          atom.terms.push_back(
+              Term::MakeVar(query.GetOrAddVar(Take().text)));
+        } else if (Is(Token::Kind::kNumber) || Is(Token::Kind::kQuoted)) {
+          atom.terms.push_back(Term::MakeConst(V(Take().text)));
+        } else {
+          return Fail("expected term");
+        }
+        if (Is(Token::Kind::kComma)) Take();
+      }
+      Take();  // ')'
+      query.AddAtom(std::move(atom));
+      if (Is(Token::Kind::kComma)) {
+        Take();
+        continue;
+      }
+      break;
+    }
+    if (!Is(Token::Kind::kEnd)) return Fail("trailing input after rule");
+    return Result<CQ>::Ok(std::move(query));
+  }
+
+ private:
+  bool Is(Token::Kind kind) const { return tokens_[pos_].kind == kind; }
+  Token Take() { return tokens_[pos_++]; }
+  Result<CQ> Fail(const std::string& message) const {
+    std::ostringstream out;
+    out << message << " (at token " << pos_ << " '" << tokens_[pos_].text
+        << "')";
+    return Result<CQ>::Error(out.str());
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CQ> ParseCQ(const std::string& text) {
+  auto tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) return Result<CQ>::Error(tokens.error());
+  return RuleParser(std::move(tokens).value()).Parse();
+}
+
+CQ MustParseCQ(const std::string& text) {
+  auto result = ParseCQ(text);
+  SHAPCQ_CHECK_MSG(result.ok(), (text + ": " + result.error()).c_str());
+  return std::move(result).value();
+}
+
+Result<UCQ> ParseUCQ(const std::string& text) {
+  UCQ ucq;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+    auto cq = ParseCQ(line);
+    if (!cq.ok()) return Result<UCQ>::Error(cq.error());
+    ucq.AddDisjunct(std::move(cq).value());
+  }
+  if (ucq.size() == 0) return Result<UCQ>::Error("no rules in UCQ");
+  return Result<UCQ>::Ok(std::move(ucq));
+}
+
+UCQ MustParseUCQ(const std::string& text) {
+  auto result = ParseUCQ(text);
+  SHAPCQ_CHECK_MSG(result.ok(), (text + ": " + result.error()).c_str());
+  return std::move(result).value();
+}
+
+}  // namespace shapcq

@@ -1,0 +1,42 @@
+// Text syntax for CQ¬ / UCQ¬.
+//
+// Grammar (one rule per query):
+//
+//   rule    := name "(" vars? ")" ":-" literal ("," literal)*
+//   literal := ("not" | "!" | "¬")? name "(" terms? ")"
+//   term    := identifier          -- a variable
+//            | integer             -- a constant
+//            | 'quoted text'       -- a constant
+//
+// Bare identifiers in argument positions are always variables; constants must
+// be quoted or numeric (so the paper's q2 is written
+// "q2() :- Stud(x), not TA(x), Reg(x,y), not Course(y,'CS')").
+// A UCQ¬ is one rule per line (blank lines ignored).
+
+#ifndef SHAPCQ_QUERY_PARSER_H_
+#define SHAPCQ_QUERY_PARSER_H_
+
+#include <string>
+
+#include "query/cq.h"
+#include "query/ucq.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// Parses a single CQ¬ rule.
+Result<CQ> ParseCQ(const std::string& text);
+
+/// Parses a CQ¬ rule, aborting with the parse error on failure. For tests
+/// and examples where the query text is a trusted literal.
+CQ MustParseCQ(const std::string& text);
+
+/// Parses a UCQ¬ (one rule per line).
+Result<UCQ> ParseUCQ(const std::string& text);
+
+/// Aborting variant of ParseUCQ.
+UCQ MustParseUCQ(const std::string& text);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_QUERY_PARSER_H_

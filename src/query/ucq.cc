@@ -1,0 +1,14 @@
+#include "query/ucq.h"
+
+namespace shapcq {
+
+std::string UCQ::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += disjuncts_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace shapcq

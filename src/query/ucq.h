@@ -1,0 +1,33 @@
+// Unions of conjunctive queries with negation (UCQ¬).
+
+#ifndef SHAPCQ_QUERY_UCQ_H_
+#define SHAPCQ_QUERY_UCQ_H_
+
+#include <string>
+#include <vector>
+
+#include "query/cq.h"
+
+namespace shapcq {
+
+/// A UCQ¬: q() :- q1() ∨ ... ∨ qn(). Satisfied when any disjunct is.
+class UCQ {
+ public:
+  UCQ() = default;
+  explicit UCQ(std::vector<CQ> disjuncts) : disjuncts_(std::move(disjuncts)) {}
+
+  void AddDisjunct(CQ cq) { disjuncts_.push_back(std::move(cq)); }
+  const std::vector<CQ>& disjuncts() const { return disjuncts_; }
+  size_t size() const { return disjuncts_.size(); }
+  const CQ& disjunct(size_t index) const { return disjuncts_[index]; }
+
+  /// One disjunct per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<CQ> disjuncts_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_QUERY_UCQ_H_

@@ -1,0 +1,99 @@
+#include "reductions/bipartite.h"
+
+#include "util/check.h"
+
+namespace shapcq {
+
+bool BipartiteGraph::HasIsolatedVertex() const {
+  std::vector<bool> left_touched(static_cast<size_t>(left), false);
+  std::vector<bool> right_touched(static_cast<size_t>(right), false);
+  for (const auto& [a, b] : edges) {
+    left_touched[static_cast<size_t>(a)] = true;
+    right_touched[static_cast<size_t>(b)] = true;
+  }
+  for (bool touched : left_touched) {
+    if (!touched) return true;
+  }
+  for (bool touched : right_touched) {
+    if (!touched) return true;
+  }
+  return false;
+}
+
+BipartiteGraph RandomBipartite(int left, int right, double edge_probability,
+                               Rng* rng) {
+  SHAPCQ_CHECK(left >= 1 && right >= 1);
+  BipartiteGraph graph;
+  graph.left = left;
+  graph.right = right;
+  std::vector<std::vector<bool>> present(
+      static_cast<size_t>(left), std::vector<bool>(right, false));
+  for (int a = 0; a < left; ++a) {
+    for (int b = 0; b < right; ++b) {
+      if (rng->Bernoulli(edge_probability)) present[a][b] = true;
+    }
+  }
+  // Give every isolated vertex one random edge.
+  for (int a = 0; a < left; ++a) {
+    bool touched = false;
+    for (int b = 0; b < right; ++b) touched |= present[a][b];
+    if (!touched) present[a][rng->UniformInt(static_cast<uint64_t>(right))] =
+        true;
+  }
+  for (int b = 0; b < right; ++b) {
+    bool touched = false;
+    for (int a = 0; a < left; ++a) touched |= present[a][b];
+    if (!touched) {
+      present[rng->UniformInt(static_cast<uint64_t>(left))][b] = true;
+    }
+  }
+  for (int a = 0; a < left; ++a) {
+    for (int b = 0; b < right; ++b) {
+      if (present[a][b]) graph.edges.push_back({a, b});
+    }
+  }
+  return graph;
+}
+
+BigInt CountIndependentSetsBruteForce(const BipartiteGraph& graph) {
+  const int n = graph.TotalVertices();
+  SHAPCQ_CHECK_MSG(n <= 26, "IS enumeration beyond 2^26 is a bug");
+  BigInt count(0);
+  const uint64_t subsets = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    bool independent = true;
+    for (const auto& [a, b] : graph.edges) {
+      const bool a_in = (mask >> a) & 1;
+      const bool b_in = (mask >> (graph.left + b)) & 1;
+      if (a_in && b_in) {
+        independent = false;
+        break;
+      }
+    }
+    if (independent) count += BigInt(1);
+  }
+  return count;
+}
+
+std::vector<BigInt> CountClosedSubsetsBruteForce(const BipartiteGraph& graph) {
+  const int n = graph.TotalVertices();
+  SHAPCQ_CHECK_MSG(n <= 26, "closed-subset enumeration beyond 2^26 is a bug");
+  std::vector<BigInt> counts(static_cast<size_t>(n) + 1, BigInt(0));
+  const uint64_t subsets = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    bool closed = true;
+    for (const auto& [a, b] : graph.edges) {
+      const bool a_in = (mask >> a) & 1;
+      const bool b_in = (mask >> (graph.left + b)) & 1;
+      if (a_in && !b_in) {
+        closed = false;
+        break;
+      }
+    }
+    if (closed) counts[static_cast<size_t>(__builtin_popcountll(mask))] +=
+        BigInt(1);
+  }
+  return counts;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,40 @@
+// Bipartite graphs and independent-set counting — the #P-complete source
+// problem of the paper's hardest reduction (Lemma B.3).
+
+#ifndef SHAPCQ_REDUCTIONS_BIPARTITE_H_
+#define SHAPCQ_REDUCTIONS_BIPARTITE_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/bigint.h"
+#include "util/random.h"
+
+namespace shapcq {
+
+/// A bipartite graph with left vertices 0..left-1 and right 0..right-1.
+struct BipartiteGraph {
+  int left = 0;
+  int right = 0;
+  std::vector<std::pair<int, int>> edges;  // (left vertex, right vertex)
+
+  int TotalVertices() const { return left + right; }
+  bool HasIsolatedVertex() const;
+};
+
+/// Random bipartite graph without isolated vertices (every vertex is given
+/// at least one incident edge), as the proof of Lemma B.3 assumes.
+BipartiteGraph RandomBipartite(int left, int right, double edge_probability,
+                               Rng* rng);
+
+/// |IS(g)|: independent sets (subsets of all vertices spanning no edge),
+/// counted exhaustively. The empty set counts.
+BigInt CountIndependentSetsBruteForce(const BipartiteGraph& graph);
+
+/// |S(g,k)| of the proof of Lemma 3.3: subsets A' ∪ B' of size k such that
+/// every neighbor of a chosen left vertex is chosen. Exhaustive.
+std::vector<BigInt> CountClosedSubsetsBruteForce(const BipartiteGraph& graph);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_REDUCTIONS_BIPARTITE_H_

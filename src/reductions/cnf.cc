@@ -1,0 +1,132 @@
+#include "reductions/cnf.h"
+
+#include "util/check.h"
+
+namespace shapcq {
+
+bool CnfFormula::Eval(const std::vector<bool>& assignment) const {
+  SHAPCQ_CHECK(assignment.size() == static_cast<size_t>(num_vars));
+  for (const Clause& clause : clauses) {
+    bool satisfied = false;
+    for (const Literal& literal : clause.literals) {
+      if (assignment[static_cast<size_t>(literal.var)] == literal.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+bool CnfFormula::SatisfiableBruteForce() const {
+  SHAPCQ_CHECK_MSG(num_vars <= 24, "brute-force SAT beyond 2^24 is a bug");
+  std::vector<bool> assignment(static_cast<size_t>(num_vars), false);
+  const uint64_t total = uint64_t{1} << num_vars;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    for (int v = 0; v < num_vars; ++v) {
+      assignment[static_cast<size_t>(v)] = (mask >> v) & 1;
+    }
+    if (Eval(assignment)) return true;
+  }
+  return false;
+}
+
+std::string CnfFormula::ToString() const {
+  std::string out;
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    if (c > 0) out += " & ";
+    out += "(";
+    for (size_t l = 0; l < clauses[c].literals.size(); ++l) {
+      if (l > 0) out += " | ";
+      const Literal& literal = clauses[c].literals[l];
+      if (!literal.positive) out += "~";
+      out += "x";
+      out += std::to_string(literal.var);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+bool Is224Form(const CnfFormula& formula) {
+  for (const Clause& clause : formula.clauses) {
+    size_t positives = 0, negatives = 0;
+    for (const Literal& literal : clause.literals) {
+      (literal.positive ? positives : negatives) += 1;
+    }
+    const bool two_pos = positives == 2 && negatives == 0;
+    const bool two_neg = positives == 0 && negatives == 2;
+    const bool four_mixed = positives == 2 && negatives == 2;
+    if (!two_pos && !two_neg && !four_mixed) return false;
+  }
+  return true;
+}
+
+bool Is3CnfForm(const CnfFormula& formula) {
+  for (const Clause& clause : formula.clauses) {
+    if (clause.literals.size() != 3) return false;
+  }
+  return true;
+}
+
+CnfFormula Random3Cnf(int num_vars, int num_clauses, Rng* rng) {
+  SHAPCQ_CHECK(num_vars >= 3);
+  CnfFormula formula;
+  formula.num_vars = num_vars;
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    // Three distinct variables.
+    std::vector<int> vars;
+    while (vars.size() < 3) {
+      int candidate = static_cast<int>(
+          rng->UniformInt(static_cast<uint64_t>(num_vars)));
+      bool duplicate = false;
+      for (int v : vars) duplicate |= (v == candidate);
+      if (!duplicate) vars.push_back(candidate);
+    }
+    for (int v : vars) {
+      clause.literals.push_back(Literal{v, rng->Bernoulli(0.5)});
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+CnfFormula Random224Cnf(int num_vars, int num_clauses, Rng* rng) {
+  SHAPCQ_CHECK(num_vars >= 4 && num_clauses >= 1);
+  CnfFormula formula;
+  formula.num_vars = num_vars;
+  auto pick_distinct = [&](size_t count) {
+    std::vector<int> vars;
+    while (vars.size() < count) {
+      int candidate = static_cast<int>(
+          rng->UniformInt(static_cast<uint64_t>(num_vars)));
+      bool duplicate = false;
+      for (int v : vars) duplicate |= (v == candidate);
+      if (!duplicate) vars.push_back(candidate);
+    }
+    return vars;
+  };
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    // First clause is forced all-positive so the instance is in the
+    // non-trivial regime of Proposition 5.5.
+    const uint64_t shape = c == 0 ? 0 : rng->UniformInt(3);
+    if (shape == 0) {
+      for (int v : pick_distinct(2)) clause.literals.push_back({v, true});
+    } else if (shape == 1) {
+      for (int v : pick_distinct(2)) clause.literals.push_back({v, false});
+    } else {
+      std::vector<int> vars = pick_distinct(4);
+      clause.literals.push_back({vars[0], true});
+      clause.literals.push_back({vars[1], true});
+      clause.literals.push_back({vars[2], false});
+      clause.literals.push_back({vars[3], false});
+    }
+    formula.clauses.push_back(std::move(clause));
+  }
+  return formula;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,54 @@
+// Propositional CNF formulas: the source problems of the paper's
+// NP-hardness reductions (Propositions 5.5 and 5.8, Lemma D.1).
+
+#ifndef SHAPCQ_REDUCTIONS_CNF_H_
+#define SHAPCQ_REDUCTIONS_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace shapcq {
+
+/// A literal: variable index (0-based) with polarity.
+struct Literal {
+  int var;
+  bool positive;
+};
+
+/// A disjunction of literals.
+struct Clause {
+  std::vector<Literal> literals;
+};
+
+/// c1 ∧ ... ∧ cm over variables 0..num_vars-1.
+struct CnfFormula {
+  int num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// Truth under a full assignment.
+  bool Eval(const std::vector<bool>& assignment) const;
+  /// Satisfiability by exhaustive enumeration (num_vars must be small).
+  bool SatisfiableBruteForce() const;
+  /// e.g. "(x0 | ~x1) & (x2)".
+  std::string ToString() const;
+};
+
+/// Is the formula in (2+,2−,4+−) form: every clause is (xi ∨ xj),
+/// (¬xi ∨ ¬xj), or (xi ∨ xj ∨ ¬xk ∨ ¬xl)?
+bool Is224Form(const CnfFormula& formula);
+
+/// Is every clause a 3-literal clause?
+bool Is3CnfForm(const CnfFormula& formula);
+
+/// Uniform random 3CNF with the given number of clauses.
+CnfFormula Random3Cnf(int num_vars, int num_clauses, Rng* rng);
+
+/// Random (2+,2−,4+−) formula containing at least one all-positive 2-clause
+/// (the non-trivial case of Proposition 5.5).
+CnfFormula Random224Cnf(int num_vars, int num_clauses, Rng* rng);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_REDUCTIONS_CNF_H_

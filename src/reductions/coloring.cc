@@ -1,0 +1,96 @@
+#include "reductions/coloring.h"
+
+#include "util/check.h"
+
+namespace shapcq {
+
+SimpleGraph RandomGraph(int n, double edge_probability, Rng* rng) {
+  SimpleGraph graph;
+  graph.n = n;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng->Bernoulli(edge_probability)) graph.edges.push_back({u, v});
+    }
+  }
+  return graph;
+}
+
+bool IsThreeColorableBruteForce(const SimpleGraph& graph) {
+  SHAPCQ_CHECK_MSG(graph.n <= 12, "3^n search beyond n=12 is a bug");
+  std::vector<int> color(static_cast<size_t>(graph.n), 0);
+  int64_t total = 1;
+  for (int i = 0; i < graph.n; ++i) total *= 3;
+  for (int64_t code = 0; code < total; ++code) {
+    int64_t rest = code;
+    for (int v = 0; v < graph.n; ++v) {
+      color[static_cast<size_t>(v)] = static_cast<int>(rest % 3);
+      rest /= 3;
+    }
+    bool proper = true;
+    for (const auto& [u, v] : graph.edges) {
+      if (color[static_cast<size_t>(u)] == color[static_cast<size_t>(v)]) {
+        proper = false;
+        break;
+      }
+    }
+    if (proper) return true;
+  }
+  return graph.n == 0;
+}
+
+CnfFormula ColoringToThreeTwoSat(const SimpleGraph& graph) {
+  // Variable x_v^c gets index 3v + c.
+  CnfFormula formula;
+  formula.num_vars = 3 * graph.n;
+  auto var = [](int vertex, int color) { return 3 * vertex + color; };
+  for (int v = 0; v < graph.n; ++v) {
+    formula.clauses.push_back(
+        Clause{{{var(v, 0), true}, {var(v, 1), true}, {var(v, 2), true}}});
+  }
+  for (const auto& [u, v] : graph.edges) {
+    for (int c = 0; c < 3; ++c) {
+      formula.clauses.push_back(
+          Clause{{{var(u, c), false}, {var(v, c), false}}});
+    }
+  }
+  for (int v = 0; v < graph.n; ++v) {
+    for (int c1 = 0; c1 < 3; ++c1) {
+      for (int c2 = c1 + 1; c2 < 3; ++c2) {
+        formula.clauses.push_back(
+            Clause{{{var(v, c1), false}, {var(v, c2), false}}});
+      }
+    }
+  }
+  return formula;
+}
+
+CnfFormula ThreeTwoTo224(const CnfFormula& formula) {
+  CnfFormula out;
+  out.num_vars = formula.num_vars;
+  for (const Clause& clause : formula.clauses) {
+    bool all_positive = true, all_negative = true;
+    for (const Literal& literal : clause.literals) {
+      (literal.positive ? all_negative : all_positive) = false;
+    }
+    if (clause.literals.size() == 2 && all_negative) {
+      out.clauses.push_back(clause);
+      continue;
+    }
+    SHAPCQ_CHECK_MSG(clause.literals.size() == 3 && all_positive,
+                     "input must be a (3+,2-) formula");
+    // (xi ∨ xj ∨ xk) ≡sat (xi ∨ xj ∨ ¬y ∨ ¬y) ∧ (xk ∨ y) ∧ (¬xk ∨ ¬y)
+    // with a fresh y per clause — the paper's rewrite, with ¬y literally
+    // repeated to fill the four slots of the 4+− clause shape.
+    const int xi = clause.literals[0].var;
+    const int xj = clause.literals[1].var;
+    const int xk = clause.literals[2].var;
+    const int y = out.num_vars++;
+    out.clauses.push_back(
+        Clause{{{xi, true}, {xj, true}, {y, false}, {y, false}}});
+    out.clauses.push_back(Clause{{{xk, true}, {y, true}}});
+    out.clauses.push_back(Clause{{{xk, false}, {y, false}}});
+  }
+  return out;
+}
+
+}  // namespace shapcq

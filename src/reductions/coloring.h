@@ -1,0 +1,43 @@
+// Lemma D.1: NP-completeness pipeline for (2+,2−,4+−)-SAT.
+//
+//   3-colorability  →  (3+,2−)-SAT  →  (2+,2−,4+−)-SAT
+//
+// Implemented as executable converters so the reduction chain can be
+// validated instance-by-instance against brute force.
+
+#ifndef SHAPCQ_REDUCTIONS_COLORING_H_
+#define SHAPCQ_REDUCTIONS_COLORING_H_
+
+#include <utility>
+#include <vector>
+
+#include "reductions/cnf.h"
+#include "util/random.h"
+
+namespace shapcq {
+
+/// An undirected graph on vertices 0..n-1.
+struct SimpleGraph {
+  int n = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// Random G(n, p) graph.
+SimpleGraph RandomGraph(int n, double edge_probability, Rng* rng);
+
+/// Proper 3-colorability by exhaustive search (3^n; n must be small).
+bool IsThreeColorableBruteForce(const SimpleGraph& graph);
+
+/// The (3+,2−) formula of Lemma D.1: variables x_v^c; clauses
+/// (x_v^1 ∨ x_v^2 ∨ x_v^3), (¬x_u^c ∨ ¬x_v^c) per edge, (¬x_v^c ∨ ¬x_v^c')
+/// per vertex and color pair. Satisfiable iff the graph is 3-colorable.
+CnfFormula ColoringToThreeTwoSat(const SimpleGraph& graph);
+
+/// Clause-by-clause rewrite of a (3+,2−) formula into (2+,2−,4+−) form with
+/// one fresh variable per positive 3-clause (Lemma D.1, second reduction).
+/// Input clauses must be all-positive 3-clauses or all-negative 2-clauses.
+CnfFormula ThreeTwoTo224(const CnfFormula& formula);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_REDUCTIONS_COLORING_H_

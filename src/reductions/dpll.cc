@@ -1,0 +1,112 @@
+#include "reductions/dpll.h"
+
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+enum class Truth : int8_t { kUnset, kTrue, kFalse };
+
+class Dpll {
+ public:
+  explicit Dpll(const CnfFormula& formula)
+      : formula_(formula),
+        values_(static_cast<size_t>(formula.num_vars), Truth::kUnset) {}
+
+  bool Solve() { return Search(); }
+
+  std::vector<bool> Model() const {
+    std::vector<bool> model(values_.size());
+    for (size_t i = 0; i < values_.size(); ++i) {
+      model[i] = values_[i] == Truth::kTrue;  // kUnset -> false (don't-care)
+    }
+    return model;
+  }
+
+ private:
+  Truth LiteralTruth(const Literal& literal) const {
+    Truth value = values_[static_cast<size_t>(literal.var)];
+    if (value == Truth::kUnset) return Truth::kUnset;
+    const bool is_true = (value == Truth::kTrue) == literal.positive;
+    return is_true ? Truth::kTrue : Truth::kFalse;
+  }
+
+  // Unit propagation: returns false on conflict; records assignments in
+  // *trail for backtracking.
+  bool Propagate(std::vector<int>* trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const Clause& clause : formula_.clauses) {
+        int unset_count = 0;
+        const Literal* unit = nullptr;
+        bool satisfied = false;
+        for (const Literal& literal : clause.literals) {
+          Truth t = LiteralTruth(literal);
+          if (t == Truth::kTrue) {
+            satisfied = true;
+            break;
+          }
+          if (t == Truth::kUnset) {
+            ++unset_count;
+            unit = &literal;
+          }
+        }
+        if (satisfied) continue;
+        if (unset_count == 0) return false;  // conflict
+        if (unset_count == 1) {
+          values_[static_cast<size_t>(unit->var)] =
+              unit->positive ? Truth::kTrue : Truth::kFalse;
+          trail->push_back(unit->var);
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool Search() {
+    std::vector<int> trail;
+    if (!Propagate(&trail)) {
+      Undo(trail);
+      return false;
+    }
+    int branch = -1;
+    for (size_t v = 0; v < values_.size(); ++v) {
+      if (values_[v] == Truth::kUnset) {
+        branch = static_cast<int>(v);
+        break;
+      }
+    }
+    if (branch < 0) return true;  // complete assignment, all clauses sat
+    for (Truth choice : {Truth::kTrue, Truth::kFalse}) {
+      values_[static_cast<size_t>(branch)] = choice;
+      if (Search()) return true;
+      values_[static_cast<size_t>(branch)] = Truth::kUnset;
+    }
+    Undo(trail);
+    return false;
+  }
+
+  void Undo(const std::vector<int>& trail) {
+    for (int var : trail) values_[static_cast<size_t>(var)] = Truth::kUnset;
+  }
+
+  const CnfFormula& formula_;
+  std::vector<Truth> values_;
+};
+
+}  // namespace
+
+bool DpllSatisfiable(const CnfFormula& formula, std::vector<bool>* model) {
+  Dpll solver(formula);
+  const bool satisfiable = solver.Solve();
+  if (satisfiable && model != nullptr) {
+    *model = solver.Model();
+    SHAPCQ_CHECK(formula.Eval(*model));
+  }
+  return satisfiable;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,21 @@
+// A small DPLL SAT solver (unit propagation + branching): the "best general
+// algorithm" baseline run against the hardness reductions, and the oracle
+// used to cross-check the relevance encoders.
+
+#ifndef SHAPCQ_REDUCTIONS_DPLL_H_
+#define SHAPCQ_REDUCTIONS_DPLL_H_
+
+#include <vector>
+
+#include "reductions/cnf.h"
+
+namespace shapcq {
+
+/// Decides satisfiability; if satisfiable and `model` is non-null, fills it
+/// with a satisfying assignment.
+bool DpllSatisfiable(const CnfFormula& formula,
+                     std::vector<bool>* model = nullptr);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_REDUCTIONS_DPLL_H_

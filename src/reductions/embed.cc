@@ -1,0 +1,176 @@
+#include "reductions/embed.h"
+
+#include "reductions/iscount.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+Result<EmbedPlan> PlanEmbedding(const CQ& q) {
+  if (!IsSafe(q) || !IsSelfJoinFree(q)) {
+    return Result<EmbedPlan>::Error(
+        "embedding requires a safe self-join-free query");
+  }
+  auto triplet = FindReductionTriplet(q);
+  if (!triplet.has_value()) {
+    return Result<EmbedPlan>::Error(
+        "query is hierarchical; nothing to embed");
+  }
+  EmbedPlan plan;
+  plan.triplet = *triplet;
+  const bool x_neg = q.atom(plan.triplet.alpha_x).negated;
+  const bool s_neg = q.atom(plan.triplet.alpha_xy).negated;
+  const bool y_neg = q.atom(plan.triplet.alpha_y).negated;
+  if (s_neg) {
+    SHAPCQ_CHECK_MSG(!x_neg && !y_neg,
+                     "reduction triplet has an unsupported signature");
+    plan.base = BaseQueryKind::kRNegSt;
+  } else if (x_neg && y_neg) {
+    plan.base = BaseQueryKind::kNegRSNegT;
+  } else if (!x_neg && !y_neg) {
+    plan.base = BaseQueryKind::kRst;
+  } else {
+    plan.base = BaseQueryKind::kRSNegT;
+    if (x_neg) {
+      // Swap endpoints so the negative one plays the ¬T role.
+      std::swap(plan.triplet.alpha_x, plan.triplet.alpha_y);
+      std::swap(plan.triplet.x, plan.triplet.y);
+    }
+  }
+  return Result<EmbedPlan>::Ok(plan);
+}
+
+CQ BaseQueryOf(BaseQueryKind kind) {
+  switch (kind) {
+    case BaseQueryKind::kRst:
+      return QRst();
+    case BaseQueryKind::kNegRSNegT:
+      return QNegRSNegT();
+    case BaseQueryKind::kRNegSt:
+      return QRNegSt();
+    case BaseQueryKind::kRSNegT:
+      return QRSNegT();
+  }
+  SHAPCQ_CHECK_MSG(false, "unreachable");
+  return QRst();
+}
+
+namespace {
+
+// Grounds `atom` with x -> a, y -> b (either may be unused), every other
+// variable -> ⊙.
+Tuple GroundAtom(const Atom& atom, VarId x, Value a, VarId y, Value b,
+                 Value odot) {
+  Tuple tuple(atom.terms.size());
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    if (term.IsConst()) {
+      tuple[i] = term.constant;
+    } else if (term.var == x) {
+      tuple[i] = a;
+    } else if (term.var == y) {
+      tuple[i] = b;
+    } else {
+      tuple[i] = odot;
+    }
+  }
+  return tuple;
+}
+
+}  // namespace
+
+Database EmbedDatabase(const CQ& q, const EmbedPlan& plan,
+                       const Database& base_db) {
+  const Value odot = V("odot");
+  const VarId x = plan.triplet.x;
+  const VarId y = plan.triplet.y;
+  const Atom& alpha_x = q.atom(plan.triplet.alpha_x);
+  const Atom& alpha_y = q.atom(plan.triplet.alpha_y);
+  const Atom& alpha_xy = q.atom(plan.triplet.alpha_xy);
+
+  Database out;
+  // Every relation of q exists (possibly empty — negative non-triplet atoms
+  // rely on their relations being empty).
+  for (const Atom& atom : q.atoms()) {
+    out.DeclareRelation(atom.relation, atom.arity());
+  }
+
+  // R facts through α_x, T facts through α_y (endogeneity preserved).
+  for (FactId fact : base_db.facts_of("R")) {
+    out.AddFactIfAbsent(alpha_x.relation,
+                        GroundAtom(alpha_x, x, base_db.tuple_of(fact)[0], y,
+                                   odot, odot),
+                        base_db.is_endogenous(fact));
+  }
+  for (FactId fact : base_db.facts_of("T")) {
+    out.AddFactIfAbsent(alpha_y.relation,
+                        GroundAtom(alpha_y, y, base_db.tuple_of(fact)[0], x,
+                                   odot, odot),
+                        base_db.is_endogenous(fact));
+  }
+  // S facts through α_xy and through every positive non-triplet atom.
+  for (FactId fact : base_db.facts_of("S")) {
+    SHAPCQ_CHECK_MSG(!base_db.is_endogenous(fact),
+                     "Lemma B.4 assumes every S fact is exogenous");
+    const Value a = base_db.tuple_of(fact)[0];
+    const Value b = base_db.tuple_of(fact)[1];
+    out.AddFactIfAbsent(alpha_xy.relation,
+                        GroundAtom(alpha_xy, x, a, y, b, odot), false);
+    for (size_t i = 0; i < q.atom_count(); ++i) {
+      if (i == plan.triplet.alpha_x || i == plan.triplet.alpha_y ||
+          i == plan.triplet.alpha_xy || q.atom(i).negated) {
+        continue;
+      }
+      out.AddFactIfAbsent(q.atom(i).relation,
+                          GroundAtom(q.atom(i), x, a, y, b, odot), false);
+    }
+  }
+  return out;
+}
+
+FactId MapEmbeddedFact(const Database& base_db, FactId base_fact, const CQ& q,
+                       const EmbedPlan& plan, const Database& embedded_db) {
+  const Value odot = V("odot");
+  const std::string& relation =
+      base_db.schema().name(base_db.relation_of(base_fact));
+  SHAPCQ_CHECK_MSG(relation == "R" || relation == "T",
+                   "only R and T facts have endogenous counterparts");
+  const Value value = base_db.tuple_of(base_fact)[0];
+  Tuple tuple;
+  std::string target;
+  if (relation == "R") {
+    const Atom& alpha_x = q.atom(plan.triplet.alpha_x);
+    tuple = GroundAtom(alpha_x, plan.triplet.x, value, plan.triplet.y, odot,
+                       odot);
+    target = alpha_x.relation;
+  } else {
+    const Atom& alpha_y = q.atom(plan.triplet.alpha_y);
+    tuple = GroundAtom(alpha_y, plan.triplet.y, value, plan.triplet.x, odot,
+                       odot);
+    target = alpha_y.relation;
+  }
+  const FactId mapped = embedded_db.FindFact(target, tuple);
+  SHAPCQ_CHECK(mapped != kNoFact);
+  return mapped;
+}
+
+Database ComplementSWithinRT(const Database& db) {
+  Database out;
+  for (FactId fact : db.facts_of("R")) {
+    out.AddFact("R", db.tuple_of(fact), db.is_endogenous(fact));
+  }
+  for (FactId fact : db.facts_of("T")) {
+    out.AddFact("T", db.tuple_of(fact), db.is_endogenous(fact));
+  }
+  out.DeclareRelation("S", 2);
+  for (FactId r_fact : db.facts_of("R")) {
+    for (FactId t_fact : db.facts_of("T")) {
+      Tuple pair{db.tuple_of(r_fact)[0], db.tuple_of(t_fact)[0]};
+      if (db.FindFact("S", pair) == kNoFact) {
+        out.AddFactIfAbsent("S", std::move(pair), false);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace shapcq

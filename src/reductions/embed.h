@@ -1,0 +1,60 @@
+// The Lemma B.4 embedding: hardness of every non-hierarchical self-join-free
+// CQ¬, made executable.
+//
+// Given such a query q, a non-hierarchical triplet (α_x, α_xy, α_y) with a
+// reduction-compatible polarity signature is selected; the matching base
+// query q' ∈ {q_RST, q_¬RS¬T, q_R¬ST, q_RS¬T} is determined by the triplet's
+// polarities; and any database D' for q' is embedded into a database D for q
+// such that Shapley values of corresponding facts coincide — which the test
+// suite verifies with the brute-force engine.
+//
+// Also here: the instance transformations of Lemmas B.1/B.2 (the reversal
+// and complement tricks relating the four base queries).
+
+#ifndef SHAPCQ_REDUCTIONS_EMBED_H_
+#define SHAPCQ_REDUCTIONS_EMBED_H_
+
+#include "db/database.h"
+#include "query/analysis.h"
+#include "query/cq.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// Which of the four base queries a triplet's polarities map onto.
+enum class BaseQueryKind { kRst, kNegRSNegT, kRNegSt, kRSNegT };
+
+/// An embedding plan for a non-hierarchical query.
+struct EmbedPlan {
+  NonHierarchicalTriplet triplet;  // roles: alpha_x ↔ R, alpha_xy ↔ S, alpha_y ↔ T
+  BaseQueryKind base;
+};
+
+/// Selects the triplet and base query. Requires q safe, self-join-free and
+/// non-hierarchical. If the natural signature has the single negative
+/// endpoint on α_x, the triplet's endpoints are swapped so that α_y always
+/// plays the ¬T role of q_RS¬T.
+Result<EmbedPlan> PlanEmbedding(const CQ& q);
+
+/// The base query of the plan (over relations R, S, T).
+CQ BaseQueryOf(BaseQueryKind kind);
+
+/// Embeds a database for the base query (relations R/1, S/2, T/1; every S
+/// fact exogenous) into a database for q, per the Lemma B.4 construction.
+/// Endogenous facts correspond one-to-one.
+Database EmbedDatabase(const CQ& q, const EmbedPlan& plan,
+                       const Database& base_db);
+
+/// The embedded counterpart of a base-database fact (facts of R map through
+/// α_x, facts of T through α_y). Aborts if the fact is an S fact.
+FactId MapEmbeddedFact(const Database& base_db, FactId base_fact, const CQ& q,
+                       const EmbedPlan& plan, const Database& embedded_db);
+
+/// Lemma B.2's transformation: replaces S by
+/// S' = { (a,b) : R(a) ∈ D, T(b) ∈ D, S(a,b) ∉ D }, so that
+/// Shapley(D, q_RST, f) = Shapley(D', q_R¬ST, f).
+Database ComplementSWithinRT(const Database& db);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_REDUCTIONS_EMBED_H_

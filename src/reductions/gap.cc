@@ -1,0 +1,208 @@
+#include "reductions/gap.h"
+
+#include <set>
+#include <string>
+
+#include "eval/homomorphism.h"
+#include "eval/join.h"
+#include "query/analysis.h"
+#include "query/parser.h"
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace shapcq {
+
+CQ GapQuery() { return MustParseCQ("qGap() :- R(x), S(x,y), not R(y)"); }
+
+GapInstance BuildGapFamily(int n) {
+  SHAPCQ_CHECK(n >= 1);
+  GapInstance out;
+  Database& db = out.db;
+  auto cx = [](int i) { return V("gx" + std::to_string(i)); };
+  auto cy = [](int i) { return V("gy" + std::to_string(i)); };
+  for (int i = 0; i <= 2 * n; ++i) db.AddExo("S", {cx(i), cy(i)});
+  for (int i = 1; i <= n; ++i) {
+    db.AddExo("R", {cx(i)});
+    db.AddEndo("R", {cy(i)});
+  }
+  out.f = db.AddEndo("R", {cx(0)});
+  for (int i = n + 1; i <= 2 * n; ++i) db.AddEndo("R", {cx(i)});
+  return out;
+}
+
+Rational GapTheoreticalShapley(int n) {
+  SHAPCQ_CHECK(n >= 1);
+  const BigInt numerator = Combinatorics::Factorial(static_cast<size_t>(n)) *
+                           Combinatorics::Factorial(static_cast<size_t>(n));
+  return Rational(numerator,
+                  Combinatorics::Factorial(static_cast<size_t>(2 * n + 1)));
+}
+
+namespace {
+
+// A standalone fact as (relation name, tuple).
+struct LooseFact {
+  std::string relation;
+  Tuple tuple;
+};
+
+// The canonical database of q's positive atoms: each variable frozen to a
+// fresh constant.
+std::vector<LooseFact> CanonicalFacts(const CQ& q) {
+  std::vector<Value> frozen(q.var_count());
+  for (size_t v = 0; v < q.var_count(); ++v) {
+    frozen[v] = ValueDictionary::Global().Fresh("frz_" + q.var_name(
+                                                    static_cast<VarId>(v)));
+  }
+  std::vector<LooseFact> facts;
+  std::set<std::pair<std::string, Tuple>> seen;
+  for (const Atom& atom : q.atoms()) {
+    if (atom.negated) continue;
+    Tuple tuple(atom.terms.size());
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      tuple[i] = atom.terms[i].IsConst()
+                     ? atom.terms[i].constant
+                     : frozen[static_cast<size_t>(atom.terms[i].var)];
+    }
+    if (seen.insert({atom.relation, tuple}).second) {
+      facts.push_back({atom.relation, std::move(tuple)});
+    }
+  }
+  return facts;
+}
+
+Database FromLooseFacts(const std::vector<LooseFact>& facts) {
+  Database db;
+  for (const LooseFact& fact : facts) db.AddExo(fact.relation, fact.tuple);
+  return db;
+}
+
+// Renames every constant c of `facts` to a copy-local fresh constant.
+std::vector<LooseFact> RenameToCopy(const std::vector<LooseFact>& facts,
+                                    int copy) {
+  std::vector<LooseFact> renamed;
+  ValueDictionary& dict = ValueDictionary::Global();
+  for (const LooseFact& fact : facts) {
+    Tuple tuple(fact.tuple.size());
+    for (size_t i = 0; i < fact.tuple.size(); ++i) {
+      tuple[i] =
+          dict.Intern("cp" + std::to_string(copy) + "_" +
+                      dict.Name(fact.tuple[i]));
+    }
+    renamed.push_back({fact.relation, std::move(tuple)});
+  }
+  return renamed;
+}
+
+bool SameFact(const LooseFact& a, const LooseFact& b) {
+  return a.relation == b.relation && a.tuple == b.tuple;
+}
+
+}  // namespace
+
+Result<GapInstance> BuildGenericGapFamily(const CQ& q, int n) {
+  SHAPCQ_CHECK(n >= 1);
+  if (HasConstants(q)) {
+    return Result<GapInstance>::Error("Theorem 5.1 requires no constants");
+  }
+  if (!q.HasNegation()) {
+    return Result<GapInstance>::Error(
+        "Theorem 5.1 requires at least one negated atom");
+  }
+  if (!IsPositivelyConnected(q)) {
+    return Result<GapInstance>::Error(
+        "Theorem 5.1 requires a positively connected query");
+  }
+  if (!IsSafe(q)) {
+    return Result<GapInstance>::Error("Theorem 5.1 requires safe negation");
+  }
+
+  // Minimal satisfying database: the canonical database, greedily shrunk.
+  std::vector<LooseFact> minimal = CanonicalFacts(q);
+  {
+    Database check = FromLooseFacts(minimal);
+    if (!EvalBooleanAllFacts(q, check)) {
+      return Result<GapInstance>::Error(
+          "canonical database does not satisfy q; the generic construction "
+          "needs a satisfiability witness");
+    }
+    for (size_t i = 0; i < minimal.size();) {
+      std::vector<LooseFact> without = minimal;
+      without.erase(without.begin() + static_cast<ptrdiff_t>(i));
+      Database candidate = FromLooseFacts(without);
+      if (EvalBooleanAllFacts(q, candidate)) {
+        minimal = std::move(without);
+      } else {
+        ++i;
+      }
+    }
+  }
+  // Enabler gadget: (minimal \ {enabler_fact}) ⊭ q, minimal ⊨ q.
+  const LooseFact enabler_fact = minimal.front();
+
+  // Breaker gadget: add facts to negated relations over the minimal
+  // database's domain until q flips to false; the last added fact breaks it.
+  std::vector<LooseFact> breaker = minimal;
+  LooseFact breaker_fact;
+  {
+    Database base = FromLooseFacts(breaker);
+    const std::vector<Value> domain = base.ActiveDomain();
+    std::set<std::string> negated_relations;
+    for (const Atom& atom : q.atoms()) {
+      if (atom.negated) negated_relations.insert(atom.relation);
+    }
+    bool broken = false;
+    for (const std::string& relation : negated_relations) {
+      // Arity from the query atom (the relation may be absent from base).
+      size_t query_arity = 0;
+      for (const Atom& atom : q.atoms()) {
+        if (atom.relation == relation) query_arity = atom.arity();
+      }
+      for (Tuple& tuple : CartesianPower(domain, query_arity)) {
+        bool exists = false;
+        for (const LooseFact& fact : breaker) {
+          if (fact.relation == relation && fact.tuple == tuple) exists = true;
+        }
+        if (exists) continue;
+        breaker.push_back({relation, tuple});
+        Database candidate = FromLooseFacts(breaker);
+        if (!EvalBooleanAllFacts(q, candidate)) {
+          breaker_fact = {relation, std::move(tuple)};
+          broken = true;
+          break;
+        }
+      }
+      if (broken) break;
+    }
+    if (!broken) {
+      return Result<GapInstance>::Error(
+          "could not break satisfaction by saturating negated relations");
+    }
+  }
+
+  // Assemble: breaker copies 1..n, enabler copies 0 and n+1..2n, domains
+  // disjoint by renaming; only the distinguished facts are endogenous.
+  GapInstance out;
+  Database& db = out.db;
+  auto add_copy = [&](const std::vector<LooseFact>& facts,
+                      const LooseFact& special, int copy) -> FactId {
+    FactId special_id = kNoFact;
+    const std::vector<LooseFact> renamed = RenameToCopy(facts, copy);
+    const std::vector<LooseFact> special_renamed =
+        RenameToCopy({special}, copy);
+    for (const LooseFact& fact : renamed) {
+      const bool is_special = SameFact(fact, special_renamed[0]);
+      const FactId id = db.AddFact(fact.relation, fact.tuple, is_special);
+      if (is_special) special_id = id;
+    }
+    SHAPCQ_CHECK(special_id != kNoFact);
+    return special_id;
+  };
+
+  out.f = add_copy(minimal, enabler_fact, 0);
+  for (int i = 1; i <= n; ++i) add_copy(breaker, breaker_fact, i);
+  for (int i = n + 1; i <= 2 * n; ++i) add_copy(minimal, enabler_fact, i);
+  return Result<GapInstance>::Ok(std::move(out));
+}
+
+}  // namespace shapcq

@@ -1,0 +1,49 @@
+// The gap-property violation (Section 5.1 / Theorem 5.1).
+//
+// For monotone CQs, a nonzero Shapley value is at least 1/poly(|D|) — the
+// "gap property" that turns the additive FPRAS into a multiplicative one.
+// With negation it fails: this module builds the paper's database families
+// whose distinguished fact has Shapley value exactly n!·n!/(2n+1)! ≤ 2^{-n},
+// both for the concrete query R(x), S(x,y), ¬R(y) and for an arbitrary
+// satisfiable, positively-connected, constant-free CQ¬ with a negated atom
+// (the generic construction of the Theorem 5.1 proof).
+
+#ifndef SHAPCQ_REDUCTIONS_GAP_H_
+#define SHAPCQ_REDUCTIONS_GAP_H_
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "util/rational.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// A (database, fact) pair exhibiting an exponentially small Shapley value.
+struct GapInstance {
+  Database db;
+  FactId f = kNoFact;
+};
+
+/// q() :- R(x), S(x,y), ¬R(y) (a CQ¬ with a self-join).
+CQ GapQuery();
+
+/// The Section 5.1 database D_n for GapQuery(): |Dn| = 2n+1 endogenous facts
+/// and Shapley(D, q, f) = n!·n!/(2n+1)!.
+GapInstance BuildGapFamily(int n);
+
+/// n!·n!/(2n+1)!.
+Rational GapTheoreticalShapley(int n);
+
+/// The generic Theorem 5.1 construction for any satisfiable, positively
+/// connected, constant-free CQ¬ with at least one negated atom: glues n
+/// "breaker" copies (satisfying until their distinguished negative fact
+/// arrives) with n+1 "enabler" copies (minimal satisfying databases missing
+/// one fact). The distinguished fact f of the 0-th enabler copy has
+/// |Shapley| = n!·n!/(2n+1)!. Returns an error when the construction's
+/// preconditions fail (e.g. the canonical database does not witness
+/// satisfiability).
+Result<GapInstance> BuildGenericGapFamily(const CQ& q, int n);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_REDUCTIONS_GAP_H_

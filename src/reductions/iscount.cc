@@ -1,0 +1,102 @@
+#include "reductions/iscount.h"
+
+#include "query/parser.h"
+#include "util/check.h"
+#include "util/combinatorics.h"
+#include "util/gaussian.h"
+
+namespace shapcq {
+
+CQ QRst() { return MustParseCQ("qRST() :- R(x), S(x,y), T(y)"); }
+
+CQ QNegRSNegT() {
+  return MustParseCQ("qNegRSNegT() :- not R(x), S(x,y), not T(y)");
+}
+
+CQ QRNegSt() { return MustParseCQ("qRNegST() :- R(x), not S(x,y), T(y)"); }
+
+CQ QRSNegT() { return MustParseCQ("qRSNegT() :- R(x), S(x,y), not T(y)"); }
+
+Database BuildIsCountInstance(const BipartiteGraph& graph, int r, FactId* f) {
+  Database db;
+  auto left_value = [](int a) { return V("A" + std::to_string(a)); };
+  auto right_value = [](int b) { return V("B" + std::to_string(b)); };
+  const Value zero = V("z0");
+
+  for (int a = 0; a < graph.left; ++a) db.AddEndo("R", {left_value(a)});
+  for (int b = 0; b < graph.right; ++b) db.AddEndo("T", {right_value(b)});
+  for (const auto& [a, b] : graph.edges) {
+    db.AddExo("S", {left_value(a), right_value(b)});
+  }
+  *f = db.AddEndo("T", {zero});
+  if (r == 0) {
+    // D^0: every left vertex is wired to the new right vertex 0.
+    for (int a = 0; a < graph.left; ++a) {
+      db.AddExo("S", {left_value(a), zero});
+    }
+  } else {
+    // D^r: r fresh left vertices 0_1..0_r, wired only to vertex 0.
+    for (int i = 1; i <= r; ++i) {
+      const Value fresh = V("Z" + std::to_string(i));
+      db.AddEndo("R", {fresh});
+      db.AddExo("S", {fresh, zero});
+    }
+  }
+  return db;
+}
+
+BigInt CountIndependentSetsViaShapley(const BipartiteGraph& graph,
+                                      const ShapleyOracle& oracle) {
+  SHAPCQ_CHECK_MSG(!graph.HasIsolatedVertex(),
+                   "Lemma B.3 assumes no isolated vertices");
+  const int m = graph.left;
+  const int N = graph.TotalVertices();
+
+  // D^0 gives P_{1->1}: the number of permutations of its N+1 endogenous
+  // facts in which T(0) leaves a true answer true. The Shapley value of T(0)
+  // is -P_{1->0}/(N+1)!, so P_{1->1} = (1 + Shapley)·(N+1)! − P_{0->0} with
+  // P_{0->0} = (N+1)!/(m+1) (T(0) first among the m+1 facts R(a) ∪ {T(0)}).
+  FactId f0 = kNoFact;
+  const Database d0 = BuildIsCountInstance(graph, 0, &f0);
+  const Rational shapley0 = oracle(d0, f0);
+  const Rational fact_np1(Combinatorics::Factorial(static_cast<size_t>(N + 1)));
+  const Rational p0_00 = fact_np1 / Rational(m + 1);
+  const Rational p_11 = (Rational(1) + shapley0) * fact_np1 - p0_00;
+
+  // D^1..D^{N+1} give the linear system over |S(g,k)|, k = 0..N.
+  RationalMatrix matrix;
+  std::vector<Rational> rhs;
+  for (int r = 1; r <= N + 1; ++r) {
+    FactId fr = kNoFact;
+    const Database dr = BuildIsCountInstance(graph, r, &fr);
+    const Rational shapley_r = oracle(dr, fr);
+    const Rational fact_total(
+        Combinatorics::Factorial(static_cast<size_t>(N + r + 1)));
+    // m_r = C(N+r+1, r) · r!: interleavings of the r fresh facts.
+    const Rational m_r(
+        Combinatorics::Binomial(static_cast<size_t>(N + r + 1),
+                                static_cast<size_t>(r)) *
+        Combinatorics::Factorial(static_cast<size_t>(r)));
+    const Rational p_r_00 =
+        (Rational(1) + shapley_r) * fact_total - p_11 * m_r;
+    std::vector<Rational> row;
+    for (int k = 0; k <= N; ++k) {
+      row.push_back(
+          Rational(Combinatorics::Factorial(static_cast<size_t>(k)) *
+                   Combinatorics::Factorial(static_cast<size_t>(N - k + r))));
+    }
+    matrix.push_back(std::move(row));
+    rhs.push_back(p_r_00);
+  }
+
+  std::vector<Rational> closed_counts;
+  SHAPCQ_CHECK_MSG(SolveLinearSystem(matrix, rhs, &closed_counts),
+                   "Lemma B.3 system must be non-singular");
+  Rational total(0);
+  for (const Rational& count : closed_counts) total += count;
+  SHAPCQ_CHECK_MSG(total.denominator().IsOne(),
+                   "independent-set count must be integral");
+  return total.numerator();
+}
+
+}  // namespace shapcq

@@ -1,0 +1,46 @@
+// The Lemma B.3 reduction, run forward: counting independent sets of a
+// bipartite graph with a Shapley oracle for q_RS¬T() :- R(x), S(x,y), ¬T(y).
+//
+// The pipeline builds the N+2 database instances D^0, D^1, ..., D^{N+1} of
+// the proof, queries the oracle for Shapley(D^r, q_RS¬T, T(0)), assembles the
+// linear system with coefficients k!(N−k+r)! over the unknowns |S(g,k)|,
+// solves it exactly, and returns Σ_k |S(g,k)| = |IS(g)|.
+
+#ifndef SHAPCQ_REDUCTIONS_ISCOUNT_H_
+#define SHAPCQ_REDUCTIONS_ISCOUNT_H_
+
+#include <functional>
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "reductions/bipartite.h"
+#include "util/bigint.h"
+#include "util/rational.h"
+
+namespace shapcq {
+
+/// q_RST() :- R(x), S(x,y), T(y).
+CQ QRst();
+/// q_¬RS¬T() :- ¬R(x), S(x,y), ¬T(y).
+CQ QNegRSNegT();
+/// q_R¬ST() :- R(x), ¬S(x,y), T(y).
+CQ QRNegSt();
+/// q_RS¬T() :- R(x), S(x,y), ¬T(y).
+CQ QRSNegT();
+
+/// A Shapley oracle: value of the given endogenous fact for q_RS¬T over db.
+using ShapleyOracle = std::function<Rational(const Database&, FactId)>;
+
+/// The database D^r of Lemma B.3 (r = 0 is the special instance with facts
+/// S(a,0) for every left vertex). *f receives the fact T(0).
+Database BuildIsCountInstance(const BipartiteGraph& graph, int r, FactId* f);
+
+/// |IS(g)| via the oracle pipeline. The oracle is consulted N+2 times; with
+/// the exact brute-force oracle this is exponential (as expected — the point
+/// of the reduction is that a polynomial oracle would make #IS polynomial).
+BigInt CountIndependentSetsViaShapley(const BipartiteGraph& graph,
+                                      const ShapleyOracle& oracle);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_REDUCTIONS_ISCOUNT_H_

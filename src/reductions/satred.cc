@@ -1,0 +1,113 @@
+#include "reductions/satred.h"
+
+#include "query/parser.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Value for propositional variable `var` (0-based).
+Value VarValue(int var) {
+  std::string name = "x";
+  name += std::to_string(var + 1);
+  return V(name);
+}
+
+}  // namespace
+
+CQ QrstNegR() {
+  return MustParseCQ(
+      "qRSTnegR() :- T(z), not R(x), not R(y), R(z), R(w), S(x,y,z,w)");
+}
+
+RelevanceInstance EncodeQrstNegR(const CnfFormula& formula) {
+  SHAPCQ_CHECK_MSG(Is224Form(formula), "formula must be (2+,2-,4+-)");
+  bool has_positive_two_clause = false;
+  RelevanceInstance out;
+  Database& db = out.db;
+  const Value a = V("a"), b = V("b"), c = V("c"), d = V("d");
+
+  for (int i = 0; i < formula.num_vars; ++i) {
+    db.AddEndo("R", {VarValue(i)});
+    db.AddExo("T", {VarValue(i)});
+  }
+  for (const Clause& clause : formula.clauses) {
+    std::vector<int> pos, neg;
+    for (const Literal& literal : clause.literals) {
+      (literal.positive ? pos : neg).push_back(literal.var);
+    }
+    if (pos.size() == 2 && neg.empty()) {
+      // (xi ∨ xj): fires the query iff both R-facts are absent.
+      has_positive_two_clause = true;
+      db.AddFactIfAbsent(
+          "S", {VarValue(pos[0]), VarValue(pos[1]), a, a}, false);
+    } else if (neg.size() == 2 && pos.empty()) {
+      // (¬xi ∨ ¬xj): fires iff both R-facts are present.
+      db.AddFactIfAbsent(
+          "S", {b, b, VarValue(neg[0]), VarValue(neg[1])}, false);
+    } else {
+      // (xi ∨ xj ∨ ¬xk ∨ ¬xl).
+      db.AddFactIfAbsent("S",
+                         {VarValue(pos[0]), VarValue(pos[1]),
+                          VarValue(neg[0]), VarValue(neg[1])},
+                         false);
+    }
+  }
+  SHAPCQ_CHECK_MSG(has_positive_two_clause,
+                   "encoder needs a (xi ∨ xj) clause (the non-trivial "
+                   "regime of Proposition 5.5)");
+  db.AddExo("R", {a});
+  db.AddExo("T", {a});
+  // The gadget that lets f = T(c) flip the answer.
+  db.AddExo("R", {c});
+  db.AddExo("S", {d, d, c, c});
+  out.f = db.AddEndo("T", {c});
+  return out;
+}
+
+RelevanceInstance Figure4Instance() {
+  // (x1 ∨ x2) ∧ (¬x1 ∨ ¬x3) ∧ (x3 ∨ x4 ∨ ¬x1 ∨ ¬x2), variables 0-based.
+  CnfFormula formula;
+  formula.num_vars = 4;
+  formula.clauses.push_back(Clause{{{0, true}, {1, true}}});
+  formula.clauses.push_back(Clause{{{0, false}, {2, false}}});
+  formula.clauses.push_back(
+      Clause{{{2, true}, {3, true}, {0, false}, {1, false}}});
+  return EncodeQrstNegR(formula);
+}
+
+UCQ QSat() {
+  return MustParseUCQ(
+      "q1() :- C(x1,x2,x3,v1,v2,v3), T(x1,v1), T(x2,v2), T(x3,v3)\n"
+      "q2() :- V(x), not T(x,'1'), not T(x,'0')\n"
+      "q3() :- T(x,'1'), T(x,'0')\n"
+      "q4() :- R('0')");
+}
+
+RelevanceInstance EncodeQSat(const CnfFormula& formula) {
+  SHAPCQ_CHECK_MSG(Is3CnfForm(formula), "formula must be 3CNF");
+  RelevanceInstance out;
+  Database& db = out.db;
+  const Value zero = V("0"), one = V("1");
+
+  for (int i = 0; i < formula.num_vars; ++i) {
+    db.AddExo("V", {VarValue(i)});
+    db.AddEndo("T", {VarValue(i), one});
+    db.AddEndo("T", {VarValue(i), zero});
+  }
+  for (const Clause& clause : formula.clauses) {
+    // C(i, j, k, vi, vj, vk) with vt the truth value that VIOLATES literal t:
+    // vt = 0 for a positive literal, 1 for a negative one.
+    Tuple tuple(6);
+    for (size_t t = 0; t < 3; ++t) {
+      tuple[t] = VarValue(clause.literals[t].var);
+      tuple[3 + t] = clause.literals[t].positive ? zero : one;
+    }
+    db.AddFactIfAbsent("C", std::move(tuple), false);
+  }
+  out.f = db.AddEndo("R", {zero});
+  return out;
+}
+
+}  // namespace shapcq

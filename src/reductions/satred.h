@@ -1,0 +1,50 @@
+// Executable hardness reductions for the relevance problem (Section 5.2).
+//
+//  * Proposition 5.5: relevance of a T-fact to
+//      q_RST¬R() :- T(z), ¬R(x), ¬R(y), R(z), R(w), S(x,y,z,w)
+//    is NP-complete, by encoding a (2+,2−,4+−)-CNF formula into a database.
+//  * Proposition 5.8: relevance of R(0) to the UCQ¬ q_SAT (union of four
+//    polarity-consistent CQ¬s) is NP-complete, by encoding a 3CNF formula.
+//
+// Both encoders produce (database, fact) instances whose relevance equals
+// satisfiability of the source formula — verified in the tests against DPLL.
+
+#ifndef SHAPCQ_REDUCTIONS_SATRED_H_
+#define SHAPCQ_REDUCTIONS_SATRED_H_
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "query/ucq.h"
+#include "reductions/cnf.h"
+
+namespace shapcq {
+
+/// A (database, endogenous fact) pair for a relevance question.
+struct RelevanceInstance {
+  Database db;
+  FactId f = kNoFact;
+};
+
+/// q_RST¬R() :- T(z), ¬R(x), ¬R(y), R(z), R(w), S(x,y,z,w).
+CQ QrstNegR();
+
+/// Proposition 5.5 encoding. The formula must be in (2+,2−,4+−) form and
+/// contain at least one all-positive 2-clause (the non-trivial regime; see
+/// the paper). The fact f = T(c) is relevant to QrstNegR() iff the formula
+/// is satisfiable.
+RelevanceInstance EncodeQrstNegR(const CnfFormula& formula);
+
+/// The paper's Figure 4 example instance, for
+/// (x1 ∨ x2) ∧ (¬x1 ∨ ¬x3) ∧ (x3 ∨ x4 ∨ ¬x1 ∨ ¬x2).
+RelevanceInstance Figure4Instance();
+
+/// q_SAT() :- q1() ∨ q2() ∨ q3() ∨ q4() of Proposition 5.8.
+UCQ QSat();
+
+/// Proposition 5.8 encoding: f = R(0) is relevant to QSat() iff the 3CNF
+/// formula is satisfiable.
+RelevanceInstance EncodeQSat(const CnfFormula& formula);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_REDUCTIONS_SATRED_H_

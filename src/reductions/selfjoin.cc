@@ -1,0 +1,65 @@
+#include "reductions/selfjoin.h"
+
+#include <set>
+
+#include "query/parser.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+CQ QSelfJoinPositive() { return MustParseCQ("q() :- U(x), M(x,y), U(y)"); }
+
+CQ QSelfJoinNegative() {
+  return MustParseCQ("q() :- not U(x), M(x,y), not U(y)");
+}
+
+Database CollapseRTIntoSelfJoin(const Database& base_db) {
+  // The identification is only sound when no value appears on both sides
+  // (otherwise an R fact could stand in for a T fact).
+  std::set<int32_t> left, right;
+  for (FactId fact : base_db.facts_of("R")) {
+    left.insert(base_db.tuple_of(fact)[0].id);
+  }
+  for (FactId fact : base_db.facts_of("T")) {
+    right.insert(base_db.tuple_of(fact)[0].id);
+  }
+  for (int32_t id : left) {
+    SHAPCQ_CHECK_MSG(right.count(id) == 0,
+                     "Theorem B.5 requires disjoint R/T domains");
+  }
+  // S must bridge the two sides only: S ⊆ dom(R) × dom(T), so that
+  // homomorphisms of the collapsed query are exactly those of the base one.
+  for (FactId fact : base_db.facts_of("S")) {
+    SHAPCQ_CHECK_MSG(left.count(base_db.tuple_of(fact)[0].id) > 0 &&
+                         right.count(base_db.tuple_of(fact)[1].id) > 0,
+                     "S fact outside dom(R) x dom(T)");
+  }
+
+  Database out;
+  out.DeclareRelation("U", 1);
+  out.DeclareRelation("M", 2);
+  for (FactId fact : base_db.facts_of("R")) {
+    out.AddFact("U", base_db.tuple_of(fact), base_db.is_endogenous(fact));
+  }
+  for (FactId fact : base_db.facts_of("T")) {
+    out.AddFact("U", base_db.tuple_of(fact), base_db.is_endogenous(fact));
+  }
+  for (FactId fact : base_db.facts_of("S")) {
+    out.AddFact("M", base_db.tuple_of(fact), base_db.is_endogenous(fact));
+  }
+  return out;
+}
+
+FactId MapCollapsedFact(const Database& base_db, FactId base_fact,
+                        const Database& collapsed_db) {
+  const std::string& relation =
+      base_db.schema().name(base_db.relation_of(base_fact));
+  const std::string target =
+      (relation == "R" || relation == "T") ? "U" : "M";
+  const FactId mapped =
+      collapsed_db.FindFact(target, base_db.tuple_of(base_fact));
+  SHAPCQ_CHECK(mapped != kNoFact);
+  return mapped;
+}
+
+}  // namespace shapcq

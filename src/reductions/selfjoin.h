@@ -1,0 +1,37 @@
+// Theorem B.5: hardness beyond self-join-freeness. For a polarity-consistent
+// CQ¬ with a non-hierarchical triplet whose middle relation occurs only
+// once, Shapley computation stays FP^#P-complete — e.g. the "married
+// couple" queries
+//   q() :- Unemployed(x), Married(x,y), Unemployed(y)
+//   q() :- ¬Citizen(x), Married(x,y), ¬Citizen(y)
+// The reduction identifies the R and T relations of a base instance
+// (assuming their domains are disjoint) into a single relation; this module
+// implements that identification so the theorem can be validated
+// instance-by-instance.
+
+#ifndef SHAPCQ_REDUCTIONS_SELFJOIN_H_
+#define SHAPCQ_REDUCTIONS_SELFJOIN_H_
+
+#include "db/database.h"
+#include "query/cq.h"
+
+namespace shapcq {
+
+/// q() :- U(x), M(x,y), U(y) — the positive self-join query.
+CQ QSelfJoinPositive();
+/// q() :- ¬U(x), M(x,y), ¬U(y) — the negated self-join query.
+CQ QSelfJoinNegative();
+
+/// Theorem B.5's instance transformation: facts of R and T (whose value
+/// domains must be disjoint — checked) are merged into one relation "U",
+/// S becomes "M". Shapley values are preserved against the corresponding
+/// base query (q_RST -> QSelfJoinPositive, q_¬RS¬T -> QSelfJoinNegative).
+Database CollapseRTIntoSelfJoin(const Database& base_db);
+
+/// The collapsed counterpart of a base R- or T-fact.
+FactId MapCollapsedFact(const Database& base_db, FactId base_fact,
+                        const Database& collapsed_db);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_REDUCTIONS_SELFJOIN_H_

@@ -1,0 +1,39 @@
+// shapcq — umbrella header.
+//
+// A C++ library reproducing "The Impact of Negation on the Complexity of the
+// Shapley Value in Conjunctive Queries" (Reshef, Kimelfeld, Livshits;
+// PODS 2020): exact and approximate Shapley values of database facts for
+// conjunctive queries with (safe) negation, the dichotomy classifiers, the
+// ExoShap algorithm for exogenous relations, relevance decision procedures,
+// probabilistic-database evaluation, and the paper's hardness constructions
+// as executable reductions.
+
+#ifndef SHAPCQ_SHAPCQ_H_
+#define SHAPCQ_SHAPCQ_H_
+
+#include "core/aggregate.h"       // IWYU pragma: export
+#include "core/brute_force.h"     // IWYU pragma: export
+#include "core/count_sat.h"       // IWYU pragma: export
+#include "core/exoshap.h"         // IWYU pragma: export
+#include "core/game.h"            // IWYU pragma: export
+#include "core/monte_carlo.h"     // IWYU pragma: export
+#include "core/relevance.h"       // IWYU pragma: export
+#include "core/shapley.h"         // IWYU pragma: export
+#include "db/database.h"          // IWYU pragma: export
+#include "db/schema.h"            // IWYU pragma: export
+#include "db/value_dictionary.h"  // IWYU pragma: export
+#include "eval/complement.h"      // IWYU pragma: export
+#include "eval/homomorphism.h"    // IWYU pragma: export
+#include "eval/join.h"            // IWYU pragma: export
+#include "probdb/exoprob.h"       // IWYU pragma: export
+#include "probdb/lifted.h"        // IWYU pragma: export
+#include "probdb/prob_database.h" // IWYU pragma: export
+#include "query/analysis.h"       // IWYU pragma: export
+#include "query/classify.h"       // IWYU pragma: export
+#include "query/cq.h"             // IWYU pragma: export
+#include "query/parser.h"         // IWYU pragma: export
+#include "query/ucq.h"            // IWYU pragma: export
+#include "util/bigint.h"          // IWYU pragma: export
+#include "util/rational.h"        // IWYU pragma: export
+
+#endif  // SHAPCQ_SHAPCQ_H_

@@ -1,0 +1,344 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+constexpr uint64_t kBase = uint64_t{1} << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  if (value == 0) {
+    sign_ = 0;
+    return;
+  }
+  sign_ = value > 0 ? 1 : -1;
+  // Avoid overflow on INT64_MIN by negating in unsigned space.
+  uint64_t magnitude =
+      value > 0 ? static_cast<uint64_t>(value)
+                : ~static_cast<uint64_t>(value) + 1;
+  limbs_.push_back(static_cast<uint32_t>(magnitude & 0xffffffffu));
+  if (magnitude >> 32) limbs_.push_back(static_cast<uint32_t>(magnitude >> 32));
+}
+
+bool BigInt::TryParse(const std::string& text, BigInt* out) {
+  size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  if (pos >= text.size()) return false;
+  BigInt result;
+  const BigInt ten(10);
+  for (; pos < text.size(); ++pos) {
+    if (!std::isdigit(static_cast<unsigned char>(text[pos]))) return false;
+    result = result * ten + BigInt(text[pos] - '0');
+  }
+  if (negative && !result.IsZero()) result.sign_ = -1;
+  *out = std::move(result);
+  return true;
+}
+
+BigInt BigInt::FromString(const std::string& text) {
+  BigInt result;
+  SHAPCQ_CHECK_MSG(TryParse(text, &result), "malformed decimal BigInt literal");
+  return result;
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) sign_ = 0;
+}
+
+size_t BigInt::BitLength() const {
+  if (sign_ == 0) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
+  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
+  std::vector<uint32_t> result;
+  result.reserve(longer.size() + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0u);
+    result.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry) result.push_back(static_cast<uint32_t>(carry));
+  return result;
+}
+
+std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  SHAPCQ_CHECK(CompareMagnitude(a, b) >= 0);
+  std::vector<uint32_t> result;
+  result.reserve(a.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<uint32_t>(diff));
+  }
+  return result;
+}
+
+std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
+                                           const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint32_t> result(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = result[i + j] + ai * b[j] + carry;
+      result[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry) {
+      uint64_t cur = result[k] + carry;
+      result[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return result;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  result.sign_ = -result.sign_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  if (result.sign_ < 0) result.sign_ = 1;
+  return result;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  if (sign_ == 0) return other;
+  if (other.sign_ == 0) return *this;
+  BigInt result;
+  if (sign_ == other.sign_) {
+    result.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    result.sign_ = sign_;
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      result.limbs_ = SubMagnitude(limbs_, other.limbs_);
+      result.sign_ = sign_;
+    } else {
+      result.limbs_ = SubMagnitude(other.limbs_, limbs_);
+      result.sign_ = other.sign_;
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (sign_ == 0 || other.sign_ == 0) return BigInt();
+  BigInt result;
+  result.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  result.sign_ = sign_ * other.sign_;
+  result.Normalize();
+  return result;
+}
+
+BigInt BigInt::ShiftLeft(size_t bits) const {
+  if (sign_ == 0 || bits == 0) return *this;
+  BigInt result;
+  result.sign_ = sign_;
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  result.limbs_.assign(limb_shift, 0);
+  if (bit_shift == 0) {
+    result.limbs_.insert(result.limbs_.end(), limbs_.begin(), limbs_.end());
+  } else {
+    uint32_t carry = 0;
+    for (uint32_t limb : limbs_) {
+      result.limbs_.push_back((limb << bit_shift) | carry);
+      carry = static_cast<uint32_t>(static_cast<uint64_t>(limb) >>
+                                    (32 - bit_shift));
+    }
+    if (carry) result.limbs_.push_back(carry);
+  }
+  result.Normalize();
+  return result;
+}
+
+void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                    BigInt* quotient, BigInt* remainder) {
+  SHAPCQ_CHECK_MSG(divisor.sign_ != 0, "division by zero");
+  int mag_cmp = CompareMagnitude(dividend.limbs_, divisor.limbs_);
+  if (mag_cmp < 0) {
+    *quotient = BigInt();
+    *remainder = dividend;
+    return;
+  }
+  // Shift-subtract long division on magnitudes, one bit at a time.
+  size_t shift = dividend.BitLength() - divisor.BitLength();
+  BigInt rem = dividend.Abs();
+  BigInt shifted = divisor.Abs().ShiftLeft(shift);
+  std::vector<uint32_t> quot_limbs(shift / 32 + 1, 0);
+  for (size_t i = shift + 1; i-- > 0;) {
+    if (CompareMagnitude(rem.limbs_, shifted.limbs_) >= 0) {
+      rem.limbs_ = SubMagnitude(rem.limbs_, shifted.limbs_);
+      rem.Normalize();
+      quot_limbs[i / 32] |= uint32_t{1} << (i % 32);
+    }
+    if (i > 0) {
+      // shifted >>= 1.
+      uint32_t carry = 0;
+      for (size_t j = shifted.limbs_.size(); j-- > 0;) {
+        uint32_t limb = shifted.limbs_[j];
+        shifted.limbs_[j] = (limb >> 1) | (carry << 31);
+        carry = limb & 1u;
+      }
+      shifted.Normalize();
+    }
+  }
+  BigInt quot;
+  quot.limbs_ = std::move(quot_limbs);
+  quot.sign_ = 1;
+  quot.Normalize();
+  // Truncated division signs: quotient sign is product of operand signs,
+  // remainder takes the dividend's sign.
+  if (!quot.IsZero()) quot.sign_ = dividend.sign_ * divisor.sign_;
+  if (!rem.IsZero()) rem.sign_ = dividend.sign_;
+  *quotient = std::move(quot);
+  *remainder = std::move(rem);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt quotient, remainder;
+  DivMod(*this, other, &quotient, &remainder);
+  return quotient;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt quotient, remainder;
+  DivMod(*this, other, &quotient, &remainder);
+  return remainder;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.IsZero()) {
+    BigInt quotient, remainder;
+    DivMod(x, y, &quotient, &remainder);
+    x = std::move(y);
+    y = std::move(remainder);
+  }
+  return x;
+}
+
+bool BigInt::operator==(const BigInt& other) const {
+  return sign_ == other.sign_ && limbs_ == other.limbs_;
+}
+
+bool BigInt::operator<(const BigInt& other) const {
+  if (sign_ != other.sign_) return sign_ < other.sign_;
+  int cmp = CompareMagnitude(limbs_, other.limbs_);
+  return sign_ >= 0 ? cmp < 0 : cmp > 0;
+}
+
+uint32_t BigInt::DivModSmallInPlace(std::vector<uint32_t>* limbs,
+                                    uint32_t divisor) {
+  uint64_t remainder = 0;
+  for (size_t i = limbs->size(); i-- > 0;) {
+    uint64_t cur = (remainder << 32) | (*limbs)[i];
+    (*limbs)[i] = static_cast<uint32_t>(cur / divisor);
+    remainder = cur % divisor;
+  }
+  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
+  return static_cast<uint32_t>(remainder);
+}
+
+std::string BigInt::ToString() const {
+  if (sign_ == 0) return "0";
+  std::vector<uint32_t> scratch = limbs_;
+  std::string digits;
+  while (!scratch.empty()) {
+    uint32_t chunk = DivModSmallInPlace(&scratch, 1000000000u);
+    if (scratch.empty()) {
+      // Most significant chunk: no zero padding.
+      digits = std::to_string(chunk) + digits;
+    } else {
+      std::string part = std::to_string(chunk);
+      digits = std::string(9 - part.size(), '0') + part + digits;
+    }
+  }
+  return sign_ < 0 ? "-" + digits : digits;
+}
+
+double BigInt::ToDouble() const {
+  double result = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    result = result * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return sign_ < 0 ? -result : result;
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  uint64_t magnitude = (static_cast<uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (sign_ > 0) return magnitude <= static_cast<uint64_t>(
+                            std::numeric_limits<int64_t>::max());
+  return magnitude <= static_cast<uint64_t>(
+                          std::numeric_limits<int64_t>::max()) + 1;
+}
+
+int64_t BigInt::ToInt64() const {
+  SHAPCQ_CHECK_MSG(FitsInt64(), "BigInt does not fit in int64");
+  if (sign_ == 0) return 0;
+  uint64_t magnitude = limbs_[0];
+  if (limbs_.size() == 2) magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return sign_ > 0 ? static_cast<int64_t>(magnitude)
+                   : -static_cast<int64_t>(magnitude - 1) - 1;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace shapcq

@@ -1,0 +1,109 @@
+// Arbitrary-precision signed integers.
+//
+// Shapley values over databases are ratios of sums of factorials; with a few
+// hundred endogenous facts those factorials have thousands of bits, so exact
+// computation requires big integers. This is a self-contained sign-magnitude
+// implementation with 32-bit limbs (64-bit intermediates), schoolbook
+// multiplication and shift-subtract division — ample for the sizes this
+// library handles (|Dn| up to a few hundred).
+
+#ifndef SHAPCQ_UTIL_BIGINT_H_
+#define SHAPCQ_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace shapcq {
+
+/// Arbitrary-precision signed integer (sign-magnitude, 32-bit limbs).
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() : sign_(0) {}
+  /// From a machine integer.
+  BigInt(int64_t value);  // NOLINT(google-explicit-constructor): numeric glue
+  /// Parses a decimal string with optional leading '-'. Aborts on bad input;
+  /// use TryParse for untrusted input.
+  static BigInt FromString(const std::string& text);
+  /// Parses a decimal string; returns false (leaving *out untouched) on
+  /// malformed input.
+  static bool TryParse(const std::string& text, BigInt* out);
+
+  /// -1, 0 or +1.
+  int sign() const { return sign_; }
+  bool IsZero() const { return sign_ == 0; }
+  bool IsNegative() const { return sign_ < 0; }
+  bool IsOne() const { return sign_ == 1 && limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+
+  /// Computes quotient and remainder in one pass. Aborts if divisor is zero.
+  static void DivMod(const BigInt& dividend, const BigInt& divisor,
+                     BigInt* quotient, BigInt* remainder);
+
+  /// Greatest common divisor of |a| and |b| (non-negative).
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  /// this * 2^bits.
+  BigInt ShiftLeft(size_t bits) const;
+
+  bool operator==(const BigInt& other) const;
+  bool operator!=(const BigInt& other) const { return !(*this == other); }
+  bool operator<(const BigInt& other) const;
+  bool operator<=(const BigInt& other) const { return !(other < *this); }
+  bool operator>(const BigInt& other) const { return other < *this; }
+  bool operator>=(const BigInt& other) const { return !(*this < other); }
+
+  /// Decimal representation.
+  std::string ToString() const;
+  /// Nearest double (may overflow to +/-inf for huge values).
+  double ToDouble() const;
+  /// Value as int64 if it fits; aborts otherwise.
+  int64_t ToInt64() const;
+  /// True if the value fits in int64.
+  bool FitsInt64() const;
+
+ private:
+  // Magnitude comparison: -1, 0, +1 for |*this| vs |other|.
+  static int CompareMagnitude(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
+                                            const std::vector<uint32_t>& b);
+  // Divides magnitude by a small divisor in place; returns the remainder.
+  static uint32_t DivModSmallInPlace(std::vector<uint32_t>* limbs,
+                                     uint32_t divisor);
+  void Normalize();
+
+  int sign_;                     // -1, 0, +1
+  std::vector<uint32_t> limbs_;  // little-endian magnitude; empty iff zero
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_BIGINT_H_

@@ -1,0 +1,32 @@
+// Lightweight invariant-checking macros used across the library.
+//
+// SHAPCQ_CHECK is active in all build types: the conditions it guards are
+// algorithmic invariants whose violation would silently corrupt results
+// (e.g. a non-normalized BigInt), which is unacceptable in an exact-arithmetic
+// library. The cost is negligible next to the big-integer work itself.
+
+#ifndef SHAPCQ_UTIL_CHECK_H_
+#define SHAPCQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SHAPCQ_CHECK(cond)                                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "SHAPCQ_CHECK failed: %s at %s:%d\n", #cond,   \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define SHAPCQ_CHECK_MSG(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "SHAPCQ_CHECK failed: %s (%s) at %s:%d\n",     \
+                   #cond, msg, __FILE__, __LINE__);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // SHAPCQ_UTIL_CHECK_H_

@@ -1,0 +1,45 @@
+#include "util/combinatorics.h"
+
+#include "util/check.h"
+
+namespace shapcq {
+
+std::vector<BigInt>& Combinatorics::FactorialCache() {
+  static std::vector<BigInt>* cache = new std::vector<BigInt>{BigInt(1)};
+  return *cache;
+}
+
+BigInt Combinatorics::Factorial(size_t n) {
+  std::vector<BigInt>& cache = FactorialCache();
+  while (cache.size() <= n) {
+    cache.push_back(cache.back() * BigInt(static_cast<int64_t>(cache.size())));
+  }
+  return cache[n];
+}
+
+BigInt Combinatorics::Binomial(size_t n, size_t k) {
+  if (k > n) return BigInt(0);
+  // Use the smaller symmetric index and a running product; exact because the
+  // intermediate product i steps in is divisible by i!.
+  if (k > n - k) k = n - k;
+  BigInt result(1);
+  for (size_t i = 1; i <= k; ++i) {
+    result = result * BigInt(static_cast<int64_t>(n - k + i));
+    result = result / BigInt(static_cast<int64_t>(i));
+  }
+  return result;
+}
+
+std::vector<BigInt> Combinatorics::BinomialRow(size_t n) {
+  std::vector<BigInt> row;
+  row.reserve(n + 1);
+  row.push_back(BigInt(1));
+  for (size_t k = 1; k <= n; ++k) {
+    // C(n,k) = C(n,k-1) * (n-k+1) / k, exact at every step.
+    BigInt next = row.back() * BigInt(static_cast<int64_t>(n - k + 1));
+    row.push_back(next / BigInt(static_cast<int64_t>(k)));
+  }
+  return row;
+}
+
+}  // namespace shapcq

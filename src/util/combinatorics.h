@@ -1,0 +1,37 @@
+// Cached exact factorials and binomial coefficients.
+//
+// The Shapley-by-counting reduction weighs |Sat(D,q,k)| counts by
+// k!(n-k-1)!/n!; these helpers provide the exact BigInt ingredients with
+// memoization shared across a computation.
+
+#ifndef SHAPCQ_UTIL_COMBINATORICS_H_
+#define SHAPCQ_UTIL_COMBINATORICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bigint.h"
+
+namespace shapcq {
+
+/// Process-wide cache of factorials and binomial coefficients. Thread-unsafe
+/// by design (the library is single-threaded); all methods grow the cache on
+/// demand.
+class Combinatorics {
+ public:
+  /// n! as an exact integer. Returned by value: the memoization cache may
+  /// reallocate on a later call within the same expression, so handing out
+  /// references would dangle.
+  static BigInt Factorial(size_t n);
+  /// C(n, k); zero when k > n.
+  static BigInt Binomial(size_t n, size_t k);
+  /// The full row [C(n,0), ..., C(n,n)].
+  static std::vector<BigInt> BinomialRow(size_t n);
+
+ private:
+  static std::vector<BigInt>& FactorialCache();
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_COMBINATORICS_H_

@@ -1,0 +1,72 @@
+#include "util/count_vector.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/combinatorics.h"
+
+namespace shapcq {
+
+CountVector CountVector::Zero(size_t universe_size) {
+  return CountVector(std::vector<BigInt>(universe_size + 1, BigInt(0)));
+}
+
+CountVector CountVector::All(size_t universe_size) {
+  return CountVector(Combinatorics::BinomialRow(universe_size));
+}
+
+CountVector CountVector::FromCounts(std::vector<BigInt> counts) {
+  SHAPCQ_CHECK_MSG(!counts.empty(), "count vector must cover k = 0");
+  return CountVector(std::move(counts));
+}
+
+BigInt CountVector::Total() const {
+  BigInt total(0);
+  for (const BigInt& count : counts_) total += count;
+  return total;
+}
+
+CountVector CountVector::Convolve(const CountVector& other) const {
+  std::vector<BigInt> result(counts_.size() + other.counts_.size() - 1,
+                             BigInt(0));
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i].IsZero()) continue;
+    for (size_t j = 0; j < other.counts_.size(); ++j) {
+      if (other.counts_[j].IsZero()) continue;
+      result[i + j] += counts_[i] * other.counts_[j];
+    }
+  }
+  return CountVector(std::move(result));
+}
+
+CountVector CountVector::ComplementAgainstAll() const {
+  std::vector<BigInt> row = Combinatorics::BinomialRow(universe_size());
+  for (size_t k = 0; k < counts_.size(); ++k) row[k] -= counts_[k];
+  return CountVector(std::move(row));
+}
+
+CountVector CountVector::operator+(const CountVector& other) const {
+  SHAPCQ_CHECK(counts_.size() == other.counts_.size());
+  std::vector<BigInt> result = counts_;
+  for (size_t k = 0; k < result.size(); ++k) result[k] += other.counts_[k];
+  return CountVector(std::move(result));
+}
+
+CountVector CountVector::operator-(const CountVector& other) const {
+  SHAPCQ_CHECK(counts_.size() == other.counts_.size());
+  std::vector<BigInt> result = counts_;
+  for (size_t k = 0; k < result.size(); ++k) result[k] -= other.counts_[k];
+  return CountVector(std::move(result));
+}
+
+std::string CountVector::ToString() const {
+  std::string result = "[";
+  for (size_t k = 0; k < counts_.size(); ++k) {
+    if (k > 0) result += ", ";
+    result += counts_[k].ToString();
+  }
+  result += "]";
+  return result;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,68 @@
+#include "util/gaussian.h"
+
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+bool SolveLinearSystem(const RationalMatrix& matrix,
+                       const std::vector<Rational>& rhs,
+                       std::vector<Rational>* solution) {
+  const size_t n = matrix.size();
+  if (rhs.size() != n) return false;
+  for (const auto& row : matrix) {
+    if (row.size() != n) return false;
+  }
+  // Augmented copy.
+  RationalMatrix a = matrix;
+  std::vector<Rational> b = rhs;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial "pivoting": any nonzero pivot works over exact rationals.
+    size_t pivot = col;
+    while (pivot < n && a[pivot][col].IsZero()) ++pivot;
+    if (pivot == n) return false;
+    std::swap(a[pivot], a[col]);
+    std::swap(b[pivot], b[col]);
+
+    const Rational inv = Rational(1) / a[col][col];
+    for (size_t j = col; j < n; ++j) a[col][j] *= inv;
+    b[col] *= inv;
+
+    for (size_t row = 0; row < n; ++row) {
+      if (row == col || a[row][col].IsZero()) continue;
+      const Rational factor = a[row][col];
+      for (size_t j = col; j < n; ++j) a[row][j] -= factor * a[col][j];
+      b[row] -= factor * b[col];
+    }
+  }
+  *solution = std::move(b);
+  return true;
+}
+
+Rational Determinant(const RationalMatrix& matrix) {
+  const size_t n = matrix.size();
+  for (const auto& row : matrix) SHAPCQ_CHECK(row.size() == n);
+  RationalMatrix a = matrix;
+  Rational det(1);
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && a[pivot][col].IsZero()) ++pivot;
+    if (pivot == n) return Rational(0);
+    if (pivot != col) {
+      std::swap(a[pivot], a[col]);
+      det = -det;
+    }
+    det *= a[col][col];
+    const Rational inv = Rational(1) / a[col][col];
+    for (size_t row = col + 1; row < n; ++row) {
+      if (a[row][col].IsZero()) continue;
+      const Rational factor = a[row][col] * inv;
+      for (size_t j = col; j < n; ++j) a[row][j] -= factor * a[col][j];
+    }
+  }
+  return det;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,32 @@
+// Exact Gaussian elimination over the rationals.
+//
+// The hardness proof of Lemma B.3 recovers the independent-set counts
+// |S(g,k)| from Shapley values by solving an (N+1)x(N+1) linear system with
+// factorial coefficients; exact rational elimination reproduces that step
+// without numerical error.
+
+#ifndef SHAPCQ_UTIL_GAUSSIAN_H_
+#define SHAPCQ_UTIL_GAUSSIAN_H_
+
+#include <vector>
+
+#include "util/rational.h"
+
+namespace shapcq {
+
+/// Dense rational matrix, row-major.
+using RationalMatrix = std::vector<std::vector<Rational>>;
+
+/// Solves matrix * x = rhs exactly. Returns false if the matrix is singular
+/// (or non-square / dimension-mismatched). On success *solution holds x.
+bool SolveLinearSystem(const RationalMatrix& matrix,
+                       const std::vector<Rational>& rhs,
+                       std::vector<Rational>* solution);
+
+/// Exact determinant via fraction-free elimination on a copy. Empty matrix
+/// has determinant 1.
+Rational Determinant(const RationalMatrix& matrix);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_GAUSSIAN_H_

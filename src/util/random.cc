@@ -1,0 +1,70 @@
+#include "util/random.h"
+
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+inline uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+  // All-zero state is the lone degenerate fixed point; splitmix64 cannot
+  // produce four zero outputs, but keep the guard explicit.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  SHAPCQ_CHECK(bound > 0);
+  // Rejection sampling over the largest multiple of bound.
+  const uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t value = Next();
+    if (value >= threshold) return value % bound;
+  }
+}
+
+int64_t Rng::UniformInRange(int64_t lo, int64_t hi) {
+  SHAPCQ_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  // 53 top bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double probability) {
+  return UniformDouble() < probability;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(&perm);
+  return perm;
+}
+
+}  // namespace shapcq

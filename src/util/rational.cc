@@ -1,0 +1,114 @@
+#include "util/rational.h"
+
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  SHAPCQ_CHECK_MSG(!denominator_.IsZero(), "rational with zero denominator");
+  Reduce();
+}
+
+Rational Rational::Of(int64_t numerator, int64_t denominator) {
+  return Rational(BigInt(numerator), BigInt(denominator));
+}
+
+bool Rational::TryParse(const std::string& text, Rational* out) {
+  size_t slash = text.find('/');
+  BigInt numerator, denominator(1);
+  if (slash == std::string::npos) {
+    if (!BigInt::TryParse(text, &numerator)) return false;
+  } else {
+    if (!BigInt::TryParse(text.substr(0, slash), &numerator)) return false;
+    if (!BigInt::TryParse(text.substr(slash + 1), &denominator)) return false;
+    if (denominator.IsZero()) return false;
+  }
+  *out = Rational(std::move(numerator), std::move(denominator));
+  return true;
+}
+
+void Rational::Reduce() {
+  if (denominator_.IsNegative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.IsZero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt gcd = BigInt::Gcd(numerator_, denominator_);
+  if (!gcd.IsOne()) {
+    numerator_ = numerator_ / gcd;
+    denominator_ = denominator_ / gcd;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational Rational::Abs() const {
+  Rational result = *this;
+  result.numerator_ = result.numerator_.Abs();
+  return result;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  return Rational(
+      numerator_ * other.denominator_ + other.numerator_ * denominator_,
+      denominator_ * other.denominator_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return *this + (-other);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(numerator_ * other.numerator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  SHAPCQ_CHECK_MSG(!other.IsZero(), "rational division by zero");
+  return Rational(numerator_ * other.denominator_,
+                  denominator_ * other.numerator_);
+}
+
+bool Rational::operator==(const Rational& other) const {
+  // Both sides are reduced with positive denominators, so representation
+  // equality is value equality.
+  return numerator_ == other.numerator_ && denominator_ == other.denominator_;
+}
+
+bool Rational::operator<(const Rational& other) const {
+  return numerator_ * other.denominator_ < other.numerator_ * denominator_;
+}
+
+std::string Rational::ToString() const {
+  if (denominator_.IsOne()) return numerator_.ToString();
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+double Rational::ToDouble() const {
+  if (numerator_.IsZero()) return 0.0;
+  // Scale the numerator up by 2^64, divide exactly, then scale back in
+  // floating point. This keeps ~64 bits of precision in the quotient even
+  // when numerator and denominator are astronomically large.
+  BigInt scaled = numerator_.ShiftLeft(64);
+  BigInt quotient, remainder;
+  BigInt::DivMod(scaled, denominator_, &quotient, &remainder);
+  return quotient.ToDouble() * std::pow(2.0, -64.0);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace shapcq

@@ -1,0 +1,76 @@
+// Exact rational numbers over BigInt.
+//
+// Shapley values of database facts are rationals with factorial denominators
+// (e.g. -3/28, 37/210 in the paper's running example); exact rationals let the
+// test suite compare against the paper's numbers verbatim.
+
+#ifndef SHAPCQ_UTIL_RATIONAL_H_
+#define SHAPCQ_UTIL_RATIONAL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "util/bigint.h"
+
+namespace shapcq {
+
+/// Exact rational number, always stored in lowest terms with a positive
+/// denominator.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : numerator_(0), denominator_(1) {}
+  /// Integer value.
+  Rational(int64_t value) : numerator_(value), denominator_(1) {}  // NOLINT
+  /// Integer value.
+  Rational(BigInt value) : numerator_(std::move(value)), denominator_(1) {}  // NOLINT
+  /// numerator/denominator; reduced on construction. Aborts if denominator
+  /// is zero.
+  Rational(BigInt numerator, BigInt denominator);
+  /// Convenience for small literals, e.g. Rational::Of(-3, 28).
+  static Rational Of(int64_t numerator, int64_t denominator);
+  /// Parses "a/b" or "a". Returns false on malformed input.
+  static bool TryParse(const std::string& text, Rational* out);
+
+  const BigInt& numerator() const { return numerator_; }
+  const BigInt& denominator() const { return denominator_; }
+  bool IsZero() const { return numerator_.IsZero(); }
+  int sign() const { return numerator_.sign(); }
+
+  Rational operator-() const;
+  Rational Abs() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Aborts on division by zero.
+  Rational operator/(const Rational& other) const;
+  Rational& operator+=(const Rational& other) { return *this = *this + other; }
+  Rational& operator-=(const Rational& other) { return *this = *this - other; }
+  Rational& operator*=(const Rational& other) { return *this = *this * other; }
+  Rational& operator/=(const Rational& other) { return *this = *this / other; }
+
+  bool operator==(const Rational& other) const;
+  bool operator!=(const Rational& other) const { return !(*this == other); }
+  bool operator<(const Rational& other) const;
+  bool operator<=(const Rational& other) const { return !(other < *this); }
+  bool operator>(const Rational& other) const { return other < *this; }
+  bool operator>=(const Rational& other) const { return !(*this < other); }
+
+  /// "a/b", or just "a" when the denominator is 1.
+  std::string ToString() const;
+  /// Nearest double; computed via a scaled quotient so values whose numerator
+  /// and denominator separately overflow double (factorials) still convert.
+  double ToDouble() const;
+
+ private:
+  void Reduce();
+
+  BigInt numerator_;
+  BigInt denominator_;  // always positive
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_RATIONAL_H_

@@ -1,0 +1,55 @@
+// Minimal Result<T> for operations with expected failure modes (parsing,
+// user-facing validation). Library-internal invariant violations use
+// SHAPCQ_CHECK instead; exceptions are not used (Google style).
+
+#ifndef SHAPCQ_UTIL_RESULT_H_
+#define SHAPCQ_UTIL_RESULT_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace shapcq {
+
+/// Either a value or an error message.
+template <typename T>
+class Result {
+ public:
+  /// Successful result.
+  static Result Ok(T value) {
+    Result result;
+    result.ok_ = true;
+    result.value_ = std::move(value);
+    return result;
+  }
+  /// Failed result carrying a human-readable message.
+  static Result Error(std::string message) {
+    Result result;
+    result.ok_ = false;
+    result.error_ = std::move(message);
+    return result;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  /// Aborts if not ok.
+  const T& value() const& {
+    SHAPCQ_CHECK_MSG(ok_, error_.c_str());
+    return value_;
+  }
+  T&& value() && {
+    SHAPCQ_CHECK_MSG(ok_, error_.c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Result() = default;
+  bool ok_ = false;
+  T value_{};
+  std::string error_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_RESULT_H_

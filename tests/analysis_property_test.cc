@@ -1,0 +1,87 @@
+// Structural properties validated over generated queries: with X = ∅ the
+// non-hierarchical-path criterion of Theorem 4.3 must degenerate exactly to
+// the hierarchy criterion of Theorem 3.1, and witnesses must be genuine.
+
+#include <gtest/gtest.h>
+
+#include "datasets/query_gen.h"
+#include "query/analysis.h"
+
+namespace shapcq {
+namespace {
+
+class PathEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathEquivalenceSweep, EmptyExoPathIffNonHierarchical) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 612741 + 3);
+  QueryGenOptions options;
+  const CQ q = GetParam() % 2 == 0 ? RandomSafeCq(options, &rng)
+                                   : RandomHierarchicalCq(options, &rng);
+  EXPECT_EQ(IsHierarchical(q), !FindNonHierarchicalPath(q, {}).has_value())
+      << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathEquivalenceSweep,
+                         ::testing::Range(0, 60));
+
+class TripletWitnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TripletWitnessSweep, WitnessesAreGenuine) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104059 + 9);
+  QueryGenOptions options;
+  const CQ q = RandomSafeCq(options, &rng);
+  auto triplet = FindNonHierarchicalTriplet(q);
+  if (!triplet.has_value()) {
+    EXPECT_TRUE(IsHierarchical(q)) << q.ToString();
+    return;
+  }
+  // Verify the witness structure by hand.
+  const Atom& ax = q.atom(triplet->alpha_x);
+  const Atom& axy = q.atom(triplet->alpha_xy);
+  const Atom& ay = q.atom(triplet->alpha_y);
+  EXPECT_TRUE(ax.Uses(triplet->x)) << q.ToString();
+  EXPECT_FALSE(ax.Uses(triplet->y)) << q.ToString();
+  EXPECT_TRUE(ay.Uses(triplet->y)) << q.ToString();
+  EXPECT_FALSE(ay.Uses(triplet->x)) << q.ToString();
+  EXPECT_TRUE(axy.Uses(triplet->x) && axy.Uses(triplet->y)) << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripletWitnessSweep,
+                         ::testing::Range(0, 60));
+
+class PathWitnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathWitnessSweep, PathWitnessesAreGenuine) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7368787 + 5);
+  QueryGenOptions options;
+  const CQ q = RandomSafeCq(options, &rng);
+  // Declare a random relation exogenous.
+  ExoRelations exo;
+  if (q.atom_count() > 0) exo.insert(q.atom(0).relation);
+  auto path = FindNonHierarchicalPath(q, exo);
+  if (!path.has_value()) return;
+  const Atom& ax = q.atom(path->alpha_x);
+  const Atom& ay = q.atom(path->alpha_y);
+  EXPECT_EQ(exo.count(ax.relation), 0u) << q.ToString();
+  EXPECT_EQ(exo.count(ay.relation), 0u) << q.ToString();
+  ASSERT_GE(path->path.size(), 2u);
+  EXPECT_EQ(path->path.front(), path->x);
+  EXPECT_EQ(path->path.back(), path->y);
+  // Interior vertices avoid Vars(αx) ∪ Vars(αy), and consecutive vertices
+  // share an atom.
+  const auto adjacency = GaifmanAdjacency(q);
+  for (size_t i = 0; i + 1 < path->path.size(); ++i) {
+    EXPECT_TRUE(adjacency[static_cast<size_t>(path->path[i])]
+                         [static_cast<size_t>(path->path[i + 1])])
+        << q.ToString();
+  }
+  for (size_t i = 1; i + 1 < path->path.size(); ++i) {
+    EXPECT_FALSE(ax.Uses(path->path[i])) << q.ToString();
+    EXPECT_FALSE(ay.Uses(path->path[i])) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathWitnessSweep, ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace shapcq

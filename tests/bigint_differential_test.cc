@@ -1,0 +1,112 @@
+// Differential hardening of BigInt against native 128-bit arithmetic:
+// thousands of randomized operations whose ground truth a machine type can
+// still hold. The exactness of every Shapley value in this library reduces
+// to this layer being right.
+
+#include <gtest/gtest.h>
+
+#include "util/bigint.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+BigInt FromI128(__int128 value) {
+  const bool negative = value < 0;
+  unsigned __int128 magnitude =
+      negative ? -static_cast<unsigned __int128>(value)
+               : static_cast<unsigned __int128>(value);
+  // Assemble from 32-bit chunks (a uint64 low half may not fit in int64).
+  BigInt result(0);
+  for (int chunk = 3; chunk >= 0; --chunk) {
+    result = result.ShiftLeft(32) +
+             BigInt(static_cast<int64_t>((magnitude >> (32 * chunk)) &
+                                         0xffffffffu));
+  }
+  return negative ? -result : result;
+}
+
+std::string I128ToString(__int128 value) {
+  if (value == 0) return "0";
+  const bool negative = value < 0;
+  unsigned __int128 magnitude =
+      negative ? -static_cast<unsigned __int128>(value)
+               : static_cast<unsigned __int128>(value);
+  std::string digits;
+  while (magnitude > 0) {
+    digits.insert(digits.begin(),
+                  static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+    magnitude /= 10;
+  }
+  return negative ? "-" + digits : digits;
+}
+
+int64_t RandomOperand(Rng* rng, int bits) {
+  const uint64_t raw = rng->Next() >> (64 - bits);
+  return rng->Bernoulli(0.5) ? static_cast<int64_t>(raw)
+                             : -static_cast<int64_t>(raw);
+}
+
+class BigIntDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntDifferential, MulAddSubAgainstI128) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2685821657736338717ULL + 1);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t a = RandomOperand(&rng, 60);
+    const int64_t b = RandomOperand(&rng, 60);
+    const __int128 wa = a, wb = b;
+    EXPECT_EQ((BigInt(a) * BigInt(b)).ToString(), I128ToString(wa * wb))
+        << a << " * " << b;
+    EXPECT_EQ((BigInt(a) + BigInt(b)).ToString(), I128ToString(wa + wb));
+    EXPECT_EQ((BigInt(a) - BigInt(b)).ToString(), I128ToString(wa - wb));
+  }
+}
+
+TEST_P(BigIntDifferential, DivModAgainstI128) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 0x9e3779b97f4a7c15ULL + 3);
+  for (int i = 0; i < 500; ++i) {
+    // 120-bit dividend (as a product), up to 60-bit divisor.
+    const int64_t a = RandomOperand(&rng, 60);
+    const int64_t b = RandomOperand(&rng, 58);
+    int64_t d = RandomOperand(&rng, 30 + static_cast<int>(i % 28));
+    if (d == 0) d = 7;
+    const __int128 dividend = static_cast<__int128>(a) * b;
+    BigInt quotient, remainder;
+    BigInt::DivMod(FromI128(dividend), BigInt(d), &quotient, &remainder);
+    EXPECT_EQ(quotient.ToString(), I128ToString(dividend / d))
+        << a << "*" << b << " / " << d;
+    EXPECT_EQ(remainder.ToString(), I128ToString(dividend % d));
+  }
+}
+
+TEST_P(BigIntDifferential, RoundTripThroughStrings) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6364136223846793005ULL + 5);
+  for (int i = 0; i < 200; ++i) {
+    const __int128 value =
+        static_cast<__int128>(RandomOperand(&rng, 62)) * RandomOperand(&rng, 62);
+    const std::string text = I128ToString(value);
+    EXPECT_EQ(BigInt::FromString(text).ToString(), text);
+    EXPECT_EQ(FromI128(value).ToString(), text);
+  }
+}
+
+TEST_P(BigIntDifferential, GcdAgainstEuclid) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 1442695040888963407ULL + 7);
+  for (int i = 0; i < 300; ++i) {
+    int64_t a = RandomOperand(&rng, 50);
+    int64_t b = RandomOperand(&rng, 50);
+    int64_t x = a < 0 ? -a : a, y = b < 0 ? -b : b;
+    while (y != 0) {
+      int64_t t = x % y;
+      x = y;
+      y = t;
+    }
+    EXPECT_EQ(BigInt::Gcd(BigInt(a), BigInt(b)).ToInt64(), x)
+        << a << " gcd " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntDifferential, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,108 @@
+// Aggregate Shapley (Section 3 Remarks): Count and Sum over CQ¬ answers via
+// linearity, against the brute-force game.
+
+#include "core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/exports.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+TEST(AggregateTest, CountValueOnWorlds) {
+  Database db = BuildSmallExportDb();
+  AggregateQuery agg = ExportCountAggregate();
+  // Empty world: no endogenous Export facts, count 0.
+  EXPECT_EQ(AggregateValue(agg, db, db.EmptyWorld()), Rational(0));
+  // Full world: rice grows in JP and FR, so only cocoa->JP is an answer...
+  // but Grows(JP,cocoa) is exogenous, blocking it: count 0.
+  EXPECT_EQ(AggregateValue(agg, db, db.FullWorld()), Rational(0));
+}
+
+TEST(AggregateTest, CountShapleyMatchesBruteForce) {
+  Database db = BuildSmallExportDb();
+  AggregateQuery agg = ExportCountAggregate();
+  for (FactId f : db.endogenous_facts()) {
+    auto fast = ShapleyAggregate(agg, db, f, {"Farmer"});
+    ASSERT_TRUE(fast.ok()) << fast.error();
+    EXPECT_EQ(fast.value(), ShapleyAggregateBruteForce(agg, db, f))
+        << db.FactToString(f);
+  }
+}
+
+TEST(AggregateTest, SumOverProfits) {
+  // The Remarks' example: Sum{ r | Export(p,c), ¬Grows(c,p), Profit(c,p,r) }.
+  Database db;
+  const Value rice = V("rice"), jp = V("JP"), fr = V("FR");
+  db.AddEndo("Export", {rice, jp});
+  db.AddEndo("Export", {rice, fr});
+  db.AddEndo("Grows", {jp, rice});
+  db.AddExo("Profit", {jp, rice, V(100)});
+  db.AddExo("Profit", {fr, rice, V(40)});
+  AggregateQuery agg;
+  agg.cq = MustParseCQ("s(r) :- Export(p,c), not Grows(c,p), Profit(c,p,r)");
+  agg.kind = AggregateQuery::Kind::kSum;
+  agg.sum_position = 0;
+
+  World world = db.FullWorld();
+  // Grows(JP,rice) blocks the 100; only 40 counts.
+  EXPECT_EQ(AggregateValue(agg, db, world), Rational(40));
+  world[db.endo_index(db.FindFact("Grows", {jp, rice}))] = false;
+  EXPECT_EQ(AggregateValue(agg, db, world), Rational(140));
+
+  for (FactId f : db.endogenous_facts()) {
+    auto fast = ShapleyAggregate(agg, db, f);
+    ASSERT_TRUE(fast.ok()) << fast.error();
+    EXPECT_EQ(fast.value(), ShapleyAggregateBruteForce(agg, db, f))
+        << db.FactToString(f);
+  }
+}
+
+TEST(AggregateTest, SumWeightsScaleValues) {
+  // Two independent answers with weights 1 and 3: Shapley of each enabling
+  // fact equals its own weight (no interaction).
+  Database db;
+  FactId fa = db.AddEndo("A", {V("w1"), V(1)});
+  FactId fb = db.AddEndo("A", {V("w3"), V(3)});
+  AggregateQuery agg;
+  agg.cq = MustParseCQ("s(x, r) :- A(x, r)");
+  agg.kind = AggregateQuery::Kind::kSum;
+  agg.sum_position = 1;
+  EXPECT_EQ(ShapleyAggregate(agg, db, fa).value(), Rational(1));
+  EXPECT_EQ(ShapleyAggregate(agg, db, fb).value(), Rational(3));
+}
+
+TEST(AggregateTest, RandomizedCountAgainstBruteForce) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 4; ++trial) {
+    Database db = BuildRandomExportDb(/*farmers=*/2, /*products=*/2,
+                                      /*countries=*/2, /*exports_each=*/2,
+                                      /*grow_probability=*/0.4, &rng);
+    if (db.endogenous_count() > 12) continue;
+    AggregateQuery agg = ExportCountAggregate();
+    for (FactId f : db.endogenous_facts()) {
+      auto fast = ShapleyAggregate(agg, db, f, {"Farmer"});
+      ASSERT_TRUE(fast.ok()) << fast.error();
+      EXPECT_EQ(fast.value(), ShapleyAggregateBruteForce(agg, db, f))
+          << "trial " << trial << " fact " << db.FactToString(f);
+    }
+  }
+}
+
+TEST(AggregateTest, EfficiencyForAggregates) {
+  // Σ_f Shapley(D, agg, f) = agg(D) − agg(Dx).
+  Database db = BuildSmallExportDb();
+  AggregateQuery agg = ExportCountAggregate();
+  Rational sum(0);
+  for (FactId f : db.endogenous_facts()) {
+    sum += ShapleyAggregate(agg, db, f, {"Farmer"}).value();
+  }
+  EXPECT_EQ(sum, AggregateValue(agg, db, db.FullWorld()) -
+                     AggregateValue(agg, db, db.EmptyWorld()));
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,150 @@
+// CntSat (Lemma 3.2): the polynomial counting algorithm against brute-force
+// subset enumeration, across hand-picked cases and randomized sweeps.
+
+#include "core/count_sat.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/brute_force.h"
+#include "datasets/synthetic.h"
+#include "datasets/university.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+TEST(CountSatTest, RunningExampleMatchesBruteForce) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  auto counted = CountSat(q1, u.db);
+  ASSERT_TRUE(counted.ok()) << counted.error();
+  EXPECT_EQ(counted.value(), CountSatBruteForce(q1, u.db))
+      << counted.value().ToString();
+}
+
+TEST(CountSatTest, EmptyDatabase) {
+  Database db;
+  auto counted = CountSat(MustParseCQ("q() :- R(x)"), db);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted.value().universe_size(), 0u);
+  EXPECT_EQ(counted.value().at(0).ToInt64(), 0);
+}
+
+TEST(CountSatTest, NegationOnlyBlockedByExo) {
+  Database db;
+  db.AddExo("R", {V("cs1")});
+  db.AddExo("S", {V("cs1")});
+  db.AddEndo("R", {V("cs2")});
+  // R(cs1) is blocked by exogenous S(cs1); R(cs2) is free of S.
+  auto counted = CountSat(MustParseCQ("q() :- R(x), not S(x)"), db);
+  ASSERT_TRUE(counted.ok());
+  // Universe = {R(cs2)}: satisfied iff R(cs2) picked.
+  EXPECT_EQ(counted.value().at(0).ToInt64(), 0);
+  EXPECT_EQ(counted.value().at(1).ToInt64(), 1);
+}
+
+TEST(CountSatTest, EndogenousNegativeFactCounts) {
+  // Lemma 3.2's base case with an endogenous negative fact: the subset must
+  // avoid it, but it still belongs to the universe.
+  Database db;
+  db.AddExo("R", {V("cn1")});
+  db.AddEndo("S", {V("cn1")});
+  db.AddEndo("Noise", {V("cn2")});
+  CQ q = MustParseCQ("q() :- R(x), not S(x)");
+  auto counted = CountSat(q, db);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted.value(), CountSatBruteForce(q, db));
+  // k=0: {} satisfies (S(cn1) absent). k=1: only {Noise}. k=2: none.
+  EXPECT_EQ(counted.value().at(0).ToInt64(), 1);
+  EXPECT_EQ(counted.value().at(1).ToInt64(), 1);
+  EXPECT_EQ(counted.value().at(2).ToInt64(), 0);
+}
+
+TEST(CountSatTest, RequiresHierarchical) {
+  UniversityDb u = BuildUniversityDb();
+  EXPECT_FALSE(CountSat(UniversityQ2(), u.db).ok());
+}
+
+TEST(CountSatTest, RequiresSelfJoinFree) {
+  UniversityDb u = BuildUniversityDb();
+  EXPECT_FALSE(CountSat(MustParseCQ("q() :- TA(x), TA2(x), TA(y)"), u.db).ok());
+}
+
+TEST(CountSatTest, RequiresSafety) {
+  UniversityDb u = BuildUniversityDb();
+  EXPECT_FALSE(CountSat(MustParseCQ("q() :- TA(x), not Reg(x,y)"), u.db).ok());
+}
+
+TEST(CountSatTest, GroundQuery) {
+  Database db;
+  db.AddEndo("R", {V("g1")});
+  db.AddEndo("R", {V("g2")});
+  CQ q = MustParseCQ("q() :- R('g1')");
+  auto counted = CountSat(q, db);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted.value(), CountSatBruteForce(q, db));
+  // Must pick R(g1); R(g2) free: c[1] = 1, c[2] = 1.
+  EXPECT_EQ(counted.value().at(1).ToInt64(), 1);
+  EXPECT_EQ(counted.value().at(2).ToInt64(), 1);
+}
+
+TEST(CountSatTest, RepeatedVariablePattern) {
+  Database db;
+  db.AddEndo("E", {V("rp1"), V("rp1")});
+  db.AddEndo("E", {V("rp1"), V("rp2")});  // never matches E(x,x): free fact
+  CQ q = MustParseCQ("q() :- E(x,x)");
+  auto counted = CountSat(q, db);
+  ASSERT_TRUE(counted.ok());
+  EXPECT_EQ(counted.value(), CountSatBruteForce(q, db));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: CountSat == brute force on random databases, over a grid of
+// hierarchical CQ¬ shapes × random seeds.
+// ---------------------------------------------------------------------------
+
+using CountSatSweepParam = std::tuple<const char*, int>;  // (query, seed)
+
+class CountSatSweep : public ::testing::TestWithParam<CountSatSweepParam> {};
+
+TEST_P(CountSatSweep, MatchesBruteForce) {
+  const CQ q = MustParseCQ(std::get<0>(GetParam()));
+  Rng rng(static_cast<uint64_t>(std::get<1>(GetParam())) * 7919 + 13);
+  SyntheticOptions options;
+  options.domain_size = 3;
+  options.facts_per_relation = 4;
+  const Database db = RandomDatabaseForQuery(q, {}, options, &rng);
+  auto counted = CountSat(q, db);
+  ASSERT_TRUE(counted.ok()) << counted.error();
+  EXPECT_EQ(counted.value(), CountSatBruteForce(q, db))
+      << "query " << q.ToString() << "\ndb " << db.ToString() << "\ngot "
+      << counted.value().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HierarchicalShapes, CountSatSweep,
+    ::testing::Combine(
+        ::testing::Values(
+            "q() :- R(x)",                             // single atom
+            "q() :- R(x), S(x)",                       // shared root
+            "q() :- R(x), not S(x)",                   // negation
+            "q() :- Stud(x), not TA(x), Reg(x,y)",     // the paper's q1
+            "q() :- R(x,y), S(x,y), T(x)",             // nested levels
+            "q() :- R(x), S(y)",                       // disconnected
+            "q() :- R(x), not S(x), T(y), not U(y)",   // two neg components
+            "q() :- R(x,'d0')",                        // constant
+            "q() :- E(x,x), not F(x)",                 // repeated variable
+            "q() :- R(x,y), not S(x)",                 // negated sub-level
+            "q() :- A(x), B(x,y), C(x,y,z), not D(x,y,z)",  // deep chain
+            "q() :- A(x), not B(x,y), C(x,y)",         // negated mid-level
+            "q() :- A(x,x,y), B(y,x)",                 // triple with repeat
+            "q() :- A(x), B(x,'d1'), not C(x,'d0')",   // constants + negation
+            "q() :- A(x), not B(x), C(y), not D(y), E(z)"),  // 3 components
+        ::testing::Range(0, 6)));
+
+}  // namespace
+}  // namespace shapcq

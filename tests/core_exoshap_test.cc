@@ -1,0 +1,236 @@
+// ExoShap (Algorithm 1): the three transformation steps and end-to-end
+// agreement with brute force, including the paper's Example 4.1 / Figure 3
+// structure and randomized sweeps.
+
+#include "core/exoshap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/brute_force.h"
+#include "datasets/citations.h"
+#include "datasets/synthetic.h"
+#include "datasets/university.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+TEST(ExoShapStepsTest, ComplementMakesExoAtomsPositive) {
+  Database db;
+  db.AddExo("Grows", {V("es1"), V("es2")});
+  db.AddExo("Farmer", {V("es1")});
+  db.AddEndo("Export", {V("es1"), V("es2"), V("es1")});
+  CQ q = MustParseCQ("q() :- Farmer(m), Export(m,p,c), not Grows(c,p)");
+  TransformedInstance step1 = ComplementNegatedExoAtoms(q, db, {"Grows"});
+  for (const Atom& atom : step1.query.atoms()) {
+    EXPECT_FALSE(atom.negated);
+  }
+  // The complement relation holds |Dom|^2 − 1 = 3 tuples.
+  const Atom& complemented = step1.query.atoms().back();
+  EXPECT_EQ(step1.db.facts_of(complemented.relation).size(), 3u);
+  EXPECT_TRUE(step1.exo.count(complemented.relation));
+  // Endogenous facts untouched.
+  EXPECT_EQ(step1.db.endogenous_count(), db.endogenous_count());
+}
+
+TEST(ExoShapStepsTest, JoinCollapsesFigure3Component) {
+  // Example 4.7: the component {R(x,y), S(x,z), O(z)} (S already
+  // complemented to positive) joins into one atom over vars {x,y,z}.
+  Database db;
+  db.AddExo("R", {V("ej1"), V("ej2")});
+  db.AddExo("S", {V("ej1"), V("ej3")});
+  db.AddExo("O", {V("ej3")});
+  db.AddEndo("T", {V("ej2")});
+  CQ q = MustParseCQ("q() :- R(x,y), S(x,z), O(z), T(y)");
+  ExoRelations exo = {"R", "S", "O"};
+  TransformedInstance step2 = JoinExogenousComponents(q, db, exo);
+  // One non-exo atom (T) + one joined atom.
+  ASSERT_EQ(step2.query.atom_count(), 2u);
+  EXPECT_EQ(step2.query.atom(0).relation, "T");
+  const Atom& joined = step2.query.atom(1);
+  EXPECT_EQ(joined.arity(), 3u);
+  // The join R(ej1,ej2) ⋈ S(ej1,ej3) ⋈ O(ej3) has exactly one answer.
+  EXPECT_EQ(step2.db.facts_of(joined.relation).size(), 1u);
+}
+
+TEST(ExoShapStepsTest, PadReportsNonHierarchicalPath) {
+  // q′ from Section 4.1 has a non-hierarchical path; padding must fail to
+  // find a covering atom (Lemma 4.4).
+  CQ qp = MustParseCQ("q() :- not R(x,w), S(z,x), not P(z,y), T(y,w)");
+  ExoRelations exo = {"S", "P"};
+  Database db;
+  db.DeclareRelation("R", 2);
+  db.DeclareRelation("S", 2);
+  db.DeclareRelation("P", 2);
+  db.DeclareRelation("T", 2);
+  db.AddExo("S", {V("ep1"), V("ep2")});
+  db.AddExo("P", {V("ep1"), V("ep2")});
+  db.AddEndo("R", {V("ep1"), V("ep2")});
+  db.AddEndo("T", {V("ep1"), V("ep2")});
+  TransformedInstance step1 = ComplementNegatedExoAtoms(qp, db, exo);
+  TransformedInstance step2 =
+      JoinExogenousComponents(step1.query, step1.db, step1.exo);
+  EXPECT_FALSE(PadExogenousAtoms(step2.query, step2.db, step2.exo).ok());
+}
+
+TEST(ExoShapStepsTest, Figure3VariableSets) {
+  // Example 4.2's q′ through the whole pipeline: per Figure 3c, the three
+  // transformed exogenous atoms must carry exactly the variable sets of
+  // their covering non-exogenous atoms — {y} (from ¬T), {t,r} (from U) and
+  // {y,w} (from Q).
+  CQ qp = MustParseCQ(
+      "qp() :- U(t,r), not T(y), Q(y,w), not Vv(t), R(x,y), not S(x,z), "
+      "O(z), P(u,y,w)");
+  ExoRelations exo = {"R", "S", "O", "P", "Vv"};
+  Database db;
+  db.AddEndo("U", {V("f3a"), V("f3b")});
+  db.AddEndo("T", {V("f3c")});
+  db.AddEndo("Q", {V("f3c"), V("f3d")});
+  db.AddExo("Vv", {V("f3a")});
+  db.AddExo("R", {V("f3e"), V("f3c")});
+  db.AddExo("S", {V("f3e"), V("f3f")});
+  db.AddExo("O", {V("f3f")});
+  db.AddExo("P", {V("f3g"), V("f3c"), V("f3d")});
+  auto transformed = ExoShapTransform(qp, db, exo);
+  ASSERT_TRUE(transformed.ok()) << transformed.error();
+  const CQ& out = transformed.value().query;
+  // Collect the sorted variable-name sets of the exogenous atoms.
+  std::multiset<std::set<std::string>> exo_var_sets;
+  for (const Atom& atom : out.atoms()) {
+    if (transformed.value().exo.count(atom.relation) == 0) continue;
+    std::set<std::string> names;
+    for (VarId var : atom.Variables()) names.insert(out.var_name(var));
+    exo_var_sets.insert(names);
+  }
+  const std::multiset<std::set<std::string>> expected = {
+      {"y"}, {"t", "r"}, {"y", "w"}};
+  EXPECT_EQ(exo_var_sets, expected);
+}
+
+TEST(ExoShapTest, TransformYieldsHierarchicalQuery) {
+  Database db = BuildSmallCitationsDb();
+  auto transformed =
+      ExoShapTransform(CitationsQuery(), db, CitationsExoRelations());
+  ASSERT_TRUE(transformed.ok()) << transformed.error();
+  EXPECT_TRUE(IsHierarchical(transformed.value().query));
+  EXPECT_EQ(transformed.value().db.endogenous_count(), db.endogenous_count());
+}
+
+TEST(ExoShapTest, CitationsExampleMatchesBruteForce) {
+  Database db = BuildSmallCitationsDb();
+  const CQ q = CitationsQuery();
+  for (const ExoRelations& exo :
+       {CitationsExoRelations(), CitationsOnlyExo()}) {
+    for (FactId f : db.endogenous_facts()) {
+      auto value = ExoShapShapley(q, db, exo, f);
+      ASSERT_TRUE(value.ok()) << value.error();
+      EXPECT_EQ(value.value(), ShapleyBruteForce(q, db, f))
+          << db.FactToString(f);
+    }
+  }
+}
+
+TEST(ExoShapTest, UniversityQ2MatchesBruteForce) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q2 = UniversityQ2();
+  const ExoRelations exo = {"Stud", "Course"};
+  for (FactId f : u.db.endogenous_facts()) {
+    auto value = ExoShapShapley(q2, u.db, exo, f);
+    ASSERT_TRUE(value.ok()) << value.error();
+    EXPECT_EQ(value.value(), ShapleyBruteForce(q2, u.db, f))
+        << u.db.FactToString(f);
+  }
+}
+
+TEST(ExoShapTest, RejectsNonHierarchicalPath) {
+  Database db = BuildSmallCitationsDb();
+  const CQ q = CitationsQuery();
+  FactId f = db.endogenous_facts()[0];
+  EXPECT_FALSE(ExoShapShapley(q, db, {"Pub"}, f).ok());
+}
+
+TEST(ExoShapTest, RejectsEndogenousFactInExoRelation) {
+  Database db;
+  db.AddEndo("Pub", {V("ex1"), V("ex2")});
+  db.AddEndo("Author", {V("ex1"), V("ex3")});
+  db.AddExo("Citations", {V("ex2"), V("ex4")});
+  FactId f = db.FindFact("Author", {V("ex1"), V("ex3")});
+  EXPECT_FALSE(
+      ExoShapShapley(CitationsQuery(), db, CitationsExoRelations(), f).ok());
+}
+
+TEST(ExoShapTest, AllExoQueryHasZeroShapley) {
+  Database db;
+  db.AddExo("R", {V("ez1")});
+  FactId f = db.AddEndo("Other", {V("ez1")});
+  CQ q = MustParseCQ("q() :- R(x)");
+  auto value = ExoShapShapley(q, db, {"R"}, f);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), Rational(0));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized sweep over Theorem 4.3-tractable shapes.
+// ---------------------------------------------------------------------------
+
+struct ExoCase {
+  const char* query;
+  const char* exo1;
+  const char* exo2;  // may be empty
+};
+
+using ExoSweepParam = std::tuple<int, int>;  // (case index, seed)
+
+const ExoCase kExoCases[] = {
+    {"q() :- Author(x,y), Pub(x,z), Citations(z,w)", "Pub", "Citations"},
+    {"q() :- Author(x,y), Pub(x,z), Citations(z,w)", "Citations", ""},
+    {"q() :- not R(x,w), S(z,x), not P(z,w), T(y,w)", "S", "P"},
+    {"q() :- Farmer(m), Export(m,p,c), not Grows(c,p)", "Grows", ""},
+    {"q2() :- Stud(x), not TA(x), Reg(x,y), not Course(y,'CS')", "Stud",
+     "Course"},
+    // Example 4.2's q′ — exercises the full Figure 3 pipeline (complement,
+    // three-atom join, padding against both negative and positive atoms).
+    {"qp() :- U(t,r), not T(y), Q(y,w), not Vv(t), R(x,y), not S(x,z), "
+     "O(z), P(u,y,w)",
+     "R", "S|O|P|Vv"},
+};
+
+class ExoShapSweep : public ::testing::TestWithParam<ExoSweepParam> {};
+
+TEST_P(ExoShapSweep, MatchesBruteForce) {
+  const ExoCase& test_case = kExoCases[std::get<0>(GetParam())];
+  const CQ q = MustParseCQ(test_case.query);
+  ExoRelations exo = {test_case.exo1};
+  // exo2 is a '|'-separated list (possibly empty).
+  std::string rest = test_case.exo2;
+  while (!rest.empty()) {
+    const size_t bar = rest.find('|');
+    exo.insert(rest.substr(0, bar));
+    rest = bar == std::string::npos ? "" : rest.substr(bar + 1);
+  }
+  Rng rng(static_cast<uint64_t>(std::get<1>(GetParam())) * 65537 + 3 +
+          static_cast<uint64_t>(std::get<0>(GetParam())));
+  SyntheticOptions options;
+  options.domain_size = 3;
+  options.facts_per_relation = 3;
+  const Database db = RandomDatabaseForQuery(q, exo, options, &rng);
+  for (FactId f : db.endogenous_facts()) {
+    auto value = ExoShapShapley(q, db, exo, f);
+    ASSERT_TRUE(value.ok()) << value.error() << "\n" << db.ToString();
+    EXPECT_EQ(value.value(), ShapleyBruteForce(q, db, f))
+        << "query " << q.ToString() << "\nfact " << db.FactToString(f)
+        << "\ndb " << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TractableShapes, ExoShapSweep,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,105 @@
+// Generic cooperative-game Shapley engines and the textbook axioms.
+
+#include "core/game.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/university.h"
+#include "query/parser.h"
+
+namespace shapcq {
+namespace {
+
+// v(E) = 1 iff player 0 ∈ E (a "dictator" game).
+FunctionGame DictatorGame(size_t players) {
+  return FunctionGame(players, [](const std::vector<bool>& coalition) {
+    return Rational(coalition[0] ? 1 : 0);
+  });
+}
+
+TEST(GameTest, DictatorTakesAll) {
+  FunctionGame game = DictatorGame(4);
+  EXPECT_EQ(ShapleyBySubsets(game, 0), Rational(1));
+  for (size_t p = 1; p < 4; ++p) {
+    EXPECT_EQ(ShapleyBySubsets(game, p), Rational(0));
+  }
+}
+
+TEST(GameTest, SymmetricPlayersSplitEqually) {
+  // v(E) = 1 iff E nonempty: n symmetric players share v(A) = 1.
+  const size_t n = 5;
+  FunctionGame game(n, [](const std::vector<bool>& coalition) {
+    for (bool in : coalition) {
+      if (in) return Rational(1);
+    }
+    return Rational(0);
+  });
+  for (size_t p = 0; p < n; ++p) {
+    EXPECT_EQ(ShapleyBySubsets(game, p), Rational::Of(1, 5));
+  }
+}
+
+TEST(GameTest, NullPlayerGetsZero) {
+  // Player 2 never changes the value.
+  FunctionGame game(3, [](const std::vector<bool>& coalition) {
+    return Rational((coalition[0] && coalition[1]) ? 1 : 0);
+  });
+  EXPECT_EQ(ShapleyBySubsets(game, 2), Rational(0));
+  EXPECT_EQ(ShapleyBySubsets(game, 0), Rational::Of(1, 2));
+  EXPECT_EQ(ShapleyBySubsets(game, 1), Rational::Of(1, 2));
+}
+
+TEST(GameTest, EfficiencyAxiom) {
+  // Values sum to v(all) for an arbitrary monotone game.
+  FunctionGame game(4, [](const std::vector<bool>& coalition) {
+    int count = 0;
+    for (bool in : coalition) count += in ? 1 : 0;
+    return Rational(count >= 2 ? 1 : 0);
+  });
+  Rational sum(0);
+  for (const Rational& value : ShapleyAllBySubsets(game)) sum += value;
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(GameTest, PermutationAndSubsetEnginesAgree) {
+  FunctionGame game(5, [](const std::vector<bool>& coalition) {
+    // An asymmetric, non-monotone game.
+    int value = 0;
+    if (coalition[0] && !coalition[1]) value += 1;
+    if (coalition[2] && coalition[3]) value += 1;
+    if (coalition[4]) value -= 1;
+    // Normalize v(∅) = 0: the empty coalition scores 0 already.
+    return Rational(value);
+  });
+  for (size_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(ShapleyByPermutations(game, p), ShapleyBySubsets(game, p))
+        << "player " << p;
+  }
+}
+
+TEST(QueryGameTest, MatchesDefinition) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  QueryGame game(q1, u.db);
+  EXPECT_EQ(game.player_count(), 8u);
+  EXPECT_EQ(game.Value(u.db.EmptyWorld()), Rational(0));  // v(∅) = 0
+  World only_fr4 = u.db.EmptyWorld();
+  only_fr4[u.db.endo_index(u.fr4)] = true;
+  EXPECT_EQ(game.Value(only_fr4), Rational(1));
+}
+
+TEST(QueryGameTest, NegativeBaseline) {
+  // If Dx already satisfies q, v(E) = q(Dx ∪ E) − 1 ≤ 0.
+  Database db;
+  db.AddExo("R", {V("qa")});
+  FactId blocker = db.AddEndo("S", {V("qa")});
+  CQ q = MustParseCQ("q() :- R(x), not S(x)");
+  QueryGame game(q, db);
+  EXPECT_EQ(game.Value(db.EmptyWorld()), Rational(0));
+  World with_blocker = db.EmptyWorld();
+  with_blocker[db.endo_index(blocker)] = true;
+  EXPECT_EQ(game.Value(with_blocker), Rational(-1));
+}
+
+}  // namespace
+}  // namespace shapcq

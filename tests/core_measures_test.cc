@@ -1,0 +1,111 @@
+// Responsibility and causal effect (Banzhaf), compared across engines and
+// against the Shapley value on the paper's running example.
+
+#include "core/measures.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/shapley.h"
+#include "datasets/synthetic.h"
+#include "datasets/university.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+TEST(MeasuresTest, ResponsibilityOnRunningExample) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  // fr4 = Reg(Caroline, DB): counterfactual with contingency {fr5}
+  // (remove Caroline's other registration; TA facts can stay since
+  // Caroline is no TA). Minimal |Γ| = 1 -> responsibility 1/2.
+  EXPECT_EQ(ResponsibilityBruteForce(q1, u.db, u.fr4), Rational::Of(1, 2));
+  // ft3 = TA(David): never counterfactual -> 0.
+  EXPECT_EQ(ResponsibilityBruteForce(q1, u.db, u.ft3), Rational(0));
+  // ft1 = TA(Adam): on E = {fr1}, adding TA(Adam) flips true -> false; no
+  // contingency needed beyond removing the other helpers: |Γ| = ?
+  // (brute force decides; just require a nonzero value with f relevant).
+  EXPECT_GT(ResponsibilityBruteForce(q1, u.db, u.ft1), Rational(0));
+}
+
+TEST(MeasuresTest, CausalEffectMatchesBruteForceOnRunningExample) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  for (FactId f : u.db.endogenous_facts()) {
+    auto fast = CausalEffectViaCountSat(q1, u.db, f);
+    ASSERT_TRUE(fast.ok()) << fast.error();
+    EXPECT_EQ(fast.value(), CausalEffectBruteForce(q1, u.db, f))
+        << u.db.FactToString(f);
+  }
+}
+
+TEST(MeasuresTest, SignsAgreeWithShapley) {
+  // All three measures agree on the direction of influence.
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  for (FactId f : u.db.endogenous_facts()) {
+    const int shapley_sign = ShapleyViaCountSat(q1, u.db, f).value().sign();
+    const int effect_sign = CausalEffectViaCountSat(q1, u.db, f).value().sign();
+    EXPECT_EQ(shapley_sign, effect_sign) << u.db.FactToString(f);
+    if (shapley_sign == 0) {
+      EXPECT_EQ(ResponsibilityBruteForce(q1, u.db, f), Rational(0));
+    } else {
+      EXPECT_GT(ResponsibilityBruteForce(q1, u.db, f), Rational(0));
+    }
+  }
+}
+
+TEST(MeasuresTest, OnlyShapleyIsEfficient) {
+  // Shapley sums to q(D) − q(Dx) = 1; the causal effect does not.
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  Rational shapley_sum(0), effect_sum(0);
+  for (FactId f : u.db.endogenous_facts()) {
+    shapley_sum += ShapleyViaCountSat(q1, u.db, f).value();
+    effect_sum += CausalEffectViaCountSat(q1, u.db, f).value();
+  }
+  EXPECT_EQ(shapley_sum, Rational(1));
+  EXPECT_NE(effect_sum, Rational(1));
+}
+
+TEST(MeasuresTest, CausalEffectOfDictator) {
+  // A fact that alone decides the query has causal effect exactly 1.
+  Database db;
+  FactId f = db.AddEndo("R", {V("cm1")});
+  db.AddEndo("Noise", {V("cm2")});
+  const CQ q = MustParseCQ("q() :- R(x)");
+  EXPECT_EQ(CausalEffectViaCountSat(q, db, f).value(), Rational(1));
+  EXPECT_EQ(ResponsibilityBruteForce(q, db, f), Rational(1));
+}
+
+using MeasuresSweepParam = std::tuple<const char*, int>;
+
+class MeasuresSweep : public ::testing::TestWithParam<MeasuresSweepParam> {};
+
+TEST_P(MeasuresSweep, CountingEngineMatchesBruteForce) {
+  const CQ q = MustParseCQ(std::get<0>(GetParam()));
+  Rng rng(static_cast<uint64_t>(std::get<1>(GetParam())) * 999331 + 77);
+  SyntheticOptions options;
+  options.domain_size = 3;
+  options.facts_per_relation = 3;
+  const Database db = RandomDatabaseForQuery(q, {}, options, &rng);
+  for (FactId f : db.endogenous_facts()) {
+    auto fast = CausalEffectViaCountSat(q, db, f);
+    ASSERT_TRUE(fast.ok()) << fast.error();
+    EXPECT_EQ(fast.value(), CausalEffectBruteForce(q, db, f))
+        << db.FactToString(f) << " in " << db.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HierarchicalShapes, MeasuresSweep,
+    ::testing::Combine(::testing::Values("q() :- R(x), not S(x)",
+                                         "q1() :- Stud(x), not TA(x), Reg(x,y)",
+                                         "q() :- R(x), S(y)"),
+                       ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,139 @@
+// Monte-Carlo approximation (Section 5.1): Hoeffding sizing, additive
+// accuracy against exact values, and the gap-family failure mode that
+// motivates Section 5.
+
+#include "core/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brute_force.h"
+#include "core/shapley.h"
+#include "datasets/university.h"
+#include "query/parser.h"
+#include "reductions/gap.h"
+
+namespace shapcq {
+namespace {
+
+TEST(MonteCarloTest, HoeffdingCountFormula) {
+  // m = ceil(2 ln(2/δ) / ε²).
+  EXPECT_EQ(HoeffdingSampleCount(0.1, 0.05),
+            static_cast<size_t>(std::ceil(2.0 * std::log(40.0) / 0.01)));
+  EXPECT_GT(HoeffdingSampleCount(0.01, 0.05), HoeffdingSampleCount(0.1, 0.05));
+  EXPECT_GT(HoeffdingSampleCount(0.1, 0.001), HoeffdingSampleCount(0.1, 0.05));
+}
+
+TEST(MonteCarloTest, EstimatesRunningExampleWithinEpsilon) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  const auto exact = ShapleyAllViaCountSat(q1, u.db).value();
+  Rng rng(7);
+  for (FactId f : u.db.endogenous_facts()) {
+    const double estimate =
+        ShapleyAdditiveFpras(q1, u.db, f, /*epsilon=*/0.05, /*delta=*/0.01,
+                             &rng);
+    EXPECT_NEAR(estimate, exact[u.db.endo_index(f)].ToDouble(), 0.05)
+        << u.db.FactToString(f);
+  }
+}
+
+TEST(MonteCarloTest, NegativeValuesEstimatedNegative) {
+  UniversityDb u = BuildUniversityDb();
+  Rng rng(11);
+  const double estimate =
+      ShapleyMonteCarlo(UniversityQ1(), u.db, u.ft1, 20000, &rng);
+  EXPECT_LT(estimate, -0.05);  // exact is -3/28 ≈ -0.107
+}
+
+TEST(MonteCarloTest, ZeroFactEstimatesNearZero) {
+  UniversityDb u = BuildUniversityDb();
+  Rng rng(13);
+  const double estimate =
+      ShapleyMonteCarlo(UniversityQ1(), u.db, u.ft3, 20000, &rng);
+  EXPECT_NEAR(estimate, 0.0, 0.02);
+}
+
+TEST(MonteCarloTest, UcqSampling) {
+  Database db;
+  FactId a = db.AddEndo("A", {V("mc1")});
+  db.AddEndo("C", {V("mc2")});
+  UCQ ucq = MustParseUCQ(
+      "q1() :- A(x)\n"
+      "q2() :- C(x)");
+  Rng rng(17);
+  // Two symmetric "OR" players: Shapley = 1/2 each.
+  EXPECT_NEAR(ShapleyMonteCarlo(ucq, db, a, 20000, &rng), 0.5, 0.02);
+}
+
+TEST(MonteCarloTest, GapFamilySamplingCannotSeeTheValue) {
+  // Theorem 5.1's point: for the gap family the exact value is
+  // n!n!/(2n+1)! — with n = 8 that is ≈ 4.6e-6, far below what 20k samples
+  // can distinguish from zero (a multiplicative approximation would need
+  // exponentially many samples).
+  GapInstance gap = BuildGapFamily(8);
+  const CQ q = GapQuery();
+  Rng rng(19);
+  const double estimate = ShapleyMonteCarlo(q, gap.db, gap.f, 20000, &rng);
+  EXPECT_EQ(estimate, 0.0);
+  EXPECT_GT(GapTheoreticalShapley(8), Rational(0));
+}
+
+TEST(StratifiedTest, EstimatesRunningExampleWithinTolerance) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  const auto exact = ShapleyAllViaCountSat(q1, u.db).value();
+  Rng rng(29);
+  for (FactId f : u.db.endogenous_facts()) {
+    const double estimate =
+        ShapleyStratifiedMonteCarlo(q1, u.db, f, 2000, &rng);
+    EXPECT_NEAR(estimate, exact[u.db.endo_index(f)].ToDouble(), 0.03)
+        << u.db.FactToString(f);
+  }
+}
+
+TEST(StratifiedTest, ExactWhenStrataAreDeterministic) {
+  // One endogenous fact: stratum k=0 is deterministic; the estimate is
+  // exact regardless of sample count.
+  Database db;
+  FactId f = db.AddEndo("R", {V("st1")});
+  const CQ q = MustParseCQ("q() :- R(x)");
+  Rng rng(31);
+  EXPECT_DOUBLE_EQ(ShapleyStratifiedMonteCarlo(q, db, f, 1, &rng), 1.0);
+}
+
+TEST(StratifiedTest, LowerVarianceThanPermutationSampler) {
+  // Same evaluation budget (n strata × m = n·m subset evaluations vs n·m
+  // permutation samples): the stratified estimator's spread across repeated
+  // runs should not exceed the plain sampler's.
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  const size_t n = u.db.endogenous_count();
+  const size_t per_stratum = 50;
+  const size_t plain_samples = per_stratum * n;
+  double plain_var = 0, strat_var = 0;
+  const double truth =
+      ShapleyViaCountSat(q1, u.db, u.fr4).value().ToDouble();
+  const int runs = 30;
+  for (int run = 0; run < runs; ++run) {
+    Rng rng_a(run * 2 + 1), rng_b(run * 2 + 2);
+    const double plain =
+        ShapleyMonteCarlo(q1, u.db, u.fr4, plain_samples, &rng_a);
+    const double strat =
+        ShapleyStratifiedMonteCarlo(q1, u.db, u.fr4, per_stratum, &rng_b);
+    plain_var += (plain - truth) * (plain - truth);
+    strat_var += (strat - truth) * (strat - truth);
+  }
+  EXPECT_LE(strat_var, plain_var * 1.25);  // allow sampling noise
+}
+
+TEST(MonteCarloTest, DeterministicUnderSeed) {
+  UniversityDb u = BuildUniversityDb();
+  Rng rng1(23), rng2(23);
+  EXPECT_EQ(ShapleyMonteCarlo(UniversityQ1(), u.db, u.fr4, 500, &rng1),
+            ShapleyMonteCarlo(UniversityQ1(), u.db, u.fr4, 500, &rng2));
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,69 @@
+// Attribution reports: engine selection, ranking, rendering.
+
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/citations.h"
+#include "datasets/university.h"
+
+namespace shapcq {
+namespace {
+
+TEST(ReportTest, HierarchicalUsesCntSat) {
+  UniversityDb u = BuildUniversityDb();
+  auto report = BuildAttributionReport(UniversityQ1(), u.db, {});
+  ASSERT_TRUE(report.ok()) << report.error();
+  EXPECT_EQ(report.value().engine, "CntSat");
+  EXPECT_EQ(report.value().total, Rational(1));
+  ASSERT_EQ(report.value().rows.size(), 8u);
+  // Sorted descending: the Caroline registrations (13/42) first, TA(Adam)
+  // (-3/28) last.
+  EXPECT_EQ(report.value().rows.front().value, Rational::Of(13, 42));
+  EXPECT_EQ(report.value().rows.back().value, Rational::Of(-3, 28));
+}
+
+TEST(ReportTest, ExoShapSelectedWhenNeeded) {
+  Database db = BuildSmallCitationsDb();
+  ReportOptions options;
+  options.exo = CitationsExoRelations();
+  auto report = BuildAttributionReport(CitationsQuery(), db, options);
+  ASSERT_TRUE(report.ok()) << report.error();
+  EXPECT_EQ(report.value().engine, "ExoShap");
+}
+
+TEST(ReportTest, RefusesHardQueryByDefault) {
+  UniversityDb u = BuildUniversityDb();
+  auto report = BuildAttributionReport(UniversityQ2(), u.db, {});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ReportTest, BruteForceFallbackWhenAllowed) {
+  UniversityDb u = BuildUniversityDb();
+  ReportOptions options;
+  options.allow_brute_force = true;
+  auto report = BuildAttributionReport(UniversityQ2(), u.db, options);
+  ASSERT_TRUE(report.ok()) << report.error();
+  EXPECT_EQ(report.value().engine, "brute-force");
+}
+
+TEST(ReportTest, BruteForceRespectsLimit) {
+  UniversityDb u = BuildUniversityDb();
+  ReportOptions options;
+  options.allow_brute_force = true;
+  options.brute_force_limit = 4;  // |Dn| = 8 exceeds it
+  EXPECT_FALSE(BuildAttributionReport(UniversityQ2(), u.db, options).ok());
+}
+
+TEST(ReportTest, RenderContainsFactsAndEngine) {
+  UniversityDb u = BuildUniversityDb();
+  auto report = BuildAttributionReport(UniversityQ1(), u.db, {});
+  const std::string text = RenderReport(report.value(), u.db);
+  EXPECT_NE(text.find("engine: CntSat"), std::string::npos);
+  EXPECT_NE(text.find("Reg(Caroline,DB)*"), std::string::npos);
+  EXPECT_NE(text.find("13/42"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,115 @@
+// Dataset generators: shapes, constraints, determinism.
+
+#include <gtest/gtest.h>
+
+#include "datasets/citations.h"
+#include "datasets/exports.h"
+#include "datasets/synthetic.h"
+#include "datasets/university.h"
+#include "eval/homomorphism.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+TEST(UniversityTest, Figure1Shape) {
+  UniversityDb u = BuildUniversityDb();
+  EXPECT_EQ(u.db.facts_of("Stud").size(), 4u);
+  EXPECT_EQ(u.db.facts_of("TA").size(), 3u);
+  EXPECT_EQ(u.db.facts_of("Course").size(), 4u);
+  EXPECT_EQ(u.db.facts_of("Reg").size(), 5u);
+  EXPECT_EQ(u.db.facts_of("Adv").size(), 4u);
+  EXPECT_EQ(u.db.endogenous_count(), 8u);
+  // Stud/Course/Adv exogenous, TA/Reg endogenous (Example 2.3).
+  for (FactId f : u.db.facts_of("Stud")) EXPECT_FALSE(u.db.is_endogenous(f));
+  for (FactId f : u.db.facts_of("TA")) EXPECT_TRUE(u.db.is_endogenous(f));
+  for (FactId f : u.db.facts_of("Reg")) EXPECT_TRUE(u.db.is_endogenous(f));
+}
+
+TEST(UniversityTest, PaperValuesSumToOne) {
+  Rational sum(0);
+  for (const Rational& value : UniversityQ1PaperValues()) sum += value;
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(ExportsTest, SmallDbShape) {
+  Database db = BuildSmallExportDb();
+  EXPECT_EQ(db.facts_of("Farmer").size(), 2u);
+  EXPECT_EQ(db.facts_of("Export").size(), 3u);
+  EXPECT_EQ(db.facts_of("Grows").size(), 3u);
+  EXPECT_EQ(db.endogenous_count(), 5u);
+}
+
+TEST(ExportsTest, RandomGeneratorRespectsKinds) {
+  Rng rng(71);
+  Database db = BuildRandomExportDb(3, 3, 3, 2, 0.5, &rng);
+  for (FactId f : db.facts_of("Farmer")) EXPECT_FALSE(db.is_endogenous(f));
+  for (FactId f : db.facts_of("Export")) EXPECT_TRUE(db.is_endogenous(f));
+}
+
+TEST(CitationsTest, SmallDbSatisfiesQuery) {
+  Database db = BuildSmallCitationsDb();
+  EXPECT_TRUE(EvalBooleanAllFacts(CitationsQuery(), db));
+  EXPECT_EQ(db.endogenous_count(), 2u);
+}
+
+TEST(SyntheticTest, ExoRelationsGetOnlyExoFacts) {
+  Rng rng(72);
+  const CQ q = CitationsQuery();
+  SyntheticOptions options;
+  Database db =
+      RandomDatabaseForQuery(q, {"Pub", "Citations"}, options, &rng);
+  for (FactId f : db.facts_of("Pub")) EXPECT_FALSE(db.is_endogenous(f));
+  for (FactId f : db.facts_of("Citations")) {
+    EXPECT_FALSE(db.is_endogenous(f));
+  }
+}
+
+TEST(SyntheticTest, DeterministicUnderSeed) {
+  const CQ q = MustParseCQ("q() :- R(x,y), not S(x)");
+  SyntheticOptions options;
+  Rng rng1(73), rng2(73);
+  Database a = RandomDatabaseForQuery(q, {}, options, &rng1);
+  Database b = RandomDatabaseForQuery(q, {}, options, &rng2);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(SyntheticTest, DomainIncludesQueryConstants) {
+  const CQ q = MustParseCQ("q() :- R(x,'special_const_xyz')");
+  SyntheticOptions options;
+  options.facts_per_relation = 50;
+  Rng rng(74);
+  Database db = RandomDatabaseForQuery(q, {}, options, &rng);
+  bool hit = false;
+  for (FactId f : db.facts_of("R")) {
+    hit |= db.tuple_of(f)[1] == V("special_const_xyz");
+  }
+  EXPECT_TRUE(hit);  // 50 draws over a 5-value column: ~never all miss
+}
+
+TEST(SyntheticTest, ScalingDbShape) {
+  Database db = BuildStudentScalingDb(10, 3);
+  EXPECT_EQ(db.facts_of("Stud").size(), 10u);
+  EXPECT_EQ(db.facts_of("TA").size(), 5u);
+  EXPECT_EQ(db.facts_of("Reg").size(), 30u);
+  EXPECT_EQ(db.endogenous_count(), 35u);
+}
+
+TEST(SyntheticTest, ProbGeneratorProbabilities) {
+  Rng rng(75);
+  const CQ q = CitationsQuery();
+  SyntheticOptions options;
+  ProbDatabase pdb =
+      RandomProbDatabaseForQuery(q, {"Pub"}, options, &rng);
+  for (FactId f : pdb.db().facts_of("Pub")) {
+    EXPECT_DOUBLE_EQ(pdb.probability(f), 1.0);
+  }
+  for (FactId f : pdb.db().facts_of("Author")) {
+    EXPECT_GT(pdb.probability(f), 0.0);
+    EXPECT_LE(pdb.probability(f), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace shapcq

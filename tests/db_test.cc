@@ -1,0 +1,145 @@
+// Database substrate: interning, schema, facts, worlds, derived copies.
+
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+#include "db/value_dictionary.h"
+
+namespace shapcq {
+namespace {
+
+TEST(ValueDictionaryTest, InterningIsStable) {
+  Value a1 = V("intern_a");
+  Value a2 = V("intern_a");
+  Value b = V("intern_b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(ValueDictionary::Global().Name(a1), "intern_a");
+}
+
+TEST(ValueDictionaryTest, NumericShorthand) {
+  EXPECT_EQ(V(42), V("42"));
+  EXPECT_NE(V(42), V(43));
+}
+
+TEST(ValueDictionaryTest, FreshIsDistinct) {
+  Value f1 = ValueDictionary::Global().Fresh("fresh");
+  Value f2 = ValueDictionary::Global().Fresh("fresh");
+  EXPECT_NE(f1, f2);
+}
+
+TEST(ValueDictionaryTest, PairIsCanonical) {
+  Value p1 = ValueDictionary::Global().Pair(V("pa"), V("pb"));
+  Value p2 = ValueDictionary::Global().Pair(V("pa"), V("pb"));
+  Value p3 = ValueDictionary::Global().Pair(V("pb"), V("pa"));
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, p3);
+}
+
+TEST(SchemaTest, AddAndFind) {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2);
+  EXPECT_EQ(schema.Find("R"), r);
+  EXPECT_EQ(schema.Find("S"), kNoRelation);
+  EXPECT_EQ(schema.arity(r), 2u);
+  EXPECT_EQ(schema.name(r), "R");
+  EXPECT_EQ(schema.AddRelation("R", 2), r);  // idempotent
+  EXPECT_EQ(schema.relation_count(), 1u);
+}
+
+TEST(DatabaseTest, AddAndLookupFacts) {
+  Database db;
+  FactId f1 = db.AddEndo("R", {V("a"), V("b")});
+  FactId f2 = db.AddExo("R", {V("b"), V("c")});
+  FactId f3 = db.AddExo("S", {V("a")});
+  EXPECT_EQ(db.fact_count(), 3u);
+  EXPECT_EQ(db.endogenous_count(), 1u);
+  EXPECT_TRUE(db.is_endogenous(f1));
+  EXPECT_FALSE(db.is_endogenous(f2));
+  EXPECT_EQ(db.endo_index(f1), 0u);
+  EXPECT_EQ(db.FindFact("R", {V("a"), V("b")}), f1);
+  EXPECT_EQ(db.FindFact("R", {V("a"), V("c")}), kNoFact);
+  EXPECT_EQ(db.FindFact("Missing", {V("a")}), kNoFact);
+  EXPECT_EQ(db.facts_of("R").size(), 2u);
+  EXPECT_EQ(db.facts_of("S").size(), 1u);
+  EXPECT_EQ(db.relation_of(f3), db.schema().Find("S"));
+}
+
+TEST(DatabaseTest, AddFactIfAbsent) {
+  Database db;
+  FactId f1 = db.AddFactIfAbsent("R", {V("a")}, true);
+  FactId f2 = db.AddFactIfAbsent("R", {V("a")}, true);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(db.fact_count(), 1u);
+}
+
+TEST(DatabaseTest, WorldPresence) {
+  Database db;
+  FactId endo = db.AddEndo("R", {V("a")});
+  FactId exo = db.AddExo("R", {V("b")});
+  World world = db.EmptyWorld();
+  EXPECT_FALSE(db.IsPresent(endo, world));
+  EXPECT_TRUE(db.IsPresent(exo, world));
+  world[db.endo_index(endo)] = true;
+  EXPECT_TRUE(db.IsPresent(endo, world));
+  EXPECT_EQ(db.FullWorld(), World{true});
+}
+
+TEST(DatabaseTest, ActiveDomain) {
+  Database db;
+  db.AddEndo("R", {V("a"), V("b")});
+  db.AddExo("S", {V("b"), V("c")});
+  const auto& domain = db.ActiveDomain();
+  EXPECT_EQ(domain.size(), 3u);
+  db.AddExo("S", {V("d"), V("d")});
+  EXPECT_EQ(db.ActiveDomain().size(), 4u);  // cache invalidated
+}
+
+TEST(DatabaseTest, CopyWithFactExogenous) {
+  Database db;
+  FactId f1 = db.AddEndo("R", {V("a")});
+  db.AddEndo("R", {V("b")});
+  db.AddExo("S", {V("c")});
+  Database copy = db.CopyWithFactExogenous(f1);
+  EXPECT_EQ(copy.fact_count(), 3u);
+  EXPECT_EQ(copy.endogenous_count(), 1u);
+  FactId moved = copy.FindFact("R", {V("a")});
+  ASSERT_NE(moved, kNoFact);
+  EXPECT_FALSE(copy.is_endogenous(moved));
+}
+
+TEST(DatabaseTest, CopyWithoutFact) {
+  Database db;
+  FactId f1 = db.AddEndo("R", {V("a")});
+  db.AddEndo("R", {V("b")});
+  Database copy = db.CopyWithoutFact(f1);
+  EXPECT_EQ(copy.fact_count(), 1u);
+  EXPECT_EQ(copy.FindFact("R", {V("a")}), kNoFact);
+  EXPECT_NE(copy.FindFact("R", {V("b")}), kNoFact);
+}
+
+TEST(DatabaseTest, DeclareEmptyRelation) {
+  Database db;
+  RelationId r = db.DeclareRelation("Empty", 3);
+  EXPECT_EQ(db.facts_of(r).size(), 0u);
+  EXPECT_EQ(db.schema().arity(r), 3u);
+}
+
+TEST(DatabaseTest, ZeroArityRelation) {
+  Database db;
+  FactId f = db.AddExo("Flag", {});
+  EXPECT_EQ(db.FindFact("Flag", {}), f);
+  EXPECT_EQ(db.tuple_of(f).size(), 0u);
+}
+
+TEST(DatabaseTest, FactToString) {
+  Database db;
+  FactId endo = db.AddEndo("R", {V("a"), V("b")});
+  FactId exo = db.AddExo("S", {});
+  EXPECT_EQ(db.FactToString(endo), "R(a,b)*");
+  EXPECT_EQ(db.FactToString(exo), "S()");
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,62 @@
+// Database text round-tripping.
+
+#include "db/textio.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/university.h"
+
+namespace shapcq {
+namespace {
+
+TEST(TextIoTest, ParsesFactsAndKinds) {
+  Database db = MustParseDatabase("R(a,b)* S(c) T()*");
+  EXPECT_EQ(db.fact_count(), 3u);
+  EXPECT_EQ(db.endogenous_count(), 2u);
+  FactId r = db.FindFact("R", {V("a"), V("b")});
+  ASSERT_NE(r, kNoFact);
+  EXPECT_TRUE(db.is_endogenous(r));
+  FactId s = db.FindFact("S", {V("c")});
+  ASSERT_NE(s, kNoFact);
+  EXPECT_FALSE(db.is_endogenous(s));
+  EXPECT_NE(db.FindFact("T", {}), kNoFact);
+}
+
+TEST(TextIoTest, RoundTripsToString) {
+  UniversityDb u = BuildUniversityDb();
+  Database reparsed = MustParseDatabase(u.db.ToString());
+  EXPECT_EQ(reparsed.ToString(), u.db.ToString());
+  EXPECT_EQ(reparsed.endogenous_count(), u.db.endogenous_count());
+}
+
+TEST(TextIoTest, WhitespaceFlexible) {
+  Database db = MustParseDatabase("  R(a)\n\tS(b , c)*  ");
+  EXPECT_EQ(db.fact_count(), 2u);
+  EXPECT_NE(db.FindFact("S", {V("b"), V("c")}), kNoFact);
+}
+
+TEST(TextIoTest, Errors) {
+  EXPECT_FALSE(ParseDatabase("R(a").ok());
+  EXPECT_FALSE(ParseDatabase("R a)").ok());
+  EXPECT_FALSE(ParseDatabase("(a)").ok());
+  EXPECT_FALSE(ParseDatabase("R(a) R(a)").ok());  // duplicate
+  EXPECT_FALSE(ParseDatabase("R(,)").ok());
+}
+
+TEST(TextIoTest, EmptyInputIsEmptyDatabase) {
+  Database db = MustParseDatabase("");
+  EXPECT_EQ(db.fact_count(), 0u);
+}
+
+TEST(TextIoTest, GeneratedConstantNames) {
+  // Fresh/pair constants use '<', '>', '#' — must survive a round trip.
+  Database db;
+  Value fresh = ValueDictionary::Global().Fresh("tio");
+  Value pair = ValueDictionary::Global().Pair(V("a"), V("b"));
+  db.AddEndo("R", {fresh, pair});
+  Database reparsed = MustParseDatabase(db.ToString());
+  EXPECT_EQ(reparsed.ToString(), db.ToString());
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,141 @@
+// Edge cases and failure-injection across modules: abort paths
+// (SHAPCQ_CHECK), degenerate databases, zero-arity relations inside the
+// ExoShap pipeline, and UCQ engines.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/count_sat.h"
+#include "core/exoshap.h"
+#include "core/monte_carlo.h"
+#include "core/shapley.h"
+#include "db/textio.h"
+#include "probdb/prob_database.h"
+#include "query/parser.h"
+
+namespace shapcq {
+namespace {
+
+using EdgeDeathTest = ::testing::Test;
+
+TEST(EdgeDeathTest, DuplicateFactAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Database db;
+  db.AddEndo("R", {V("dd1")});
+  EXPECT_DEATH(db.AddEndo("R", {V("dd1")}), "duplicate fact");
+}
+
+TEST(EdgeDeathTest, KindConflictAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Database db;
+  db.AddEndo("R", {V("dk1")});
+  EXPECT_DEATH(db.AddFactIfAbsent("R", {V("dk1")}, false),
+               "other endogeneity");
+}
+
+TEST(EdgeDeathTest, BadProbabilityAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  ProbDatabase pdb;
+  EXPECT_DEATH(pdb.AddFact("R", {V("dp1")}, 0.0), "probability");
+  EXPECT_DEATH(pdb.AddFact("R", {V("dp2")}, 1.5), "probability");
+}
+
+TEST(EdgeDeathTest, DivisionByZeroAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(BigInt(1) / BigInt(0), "division by zero");
+  EXPECT_DEATH(Rational(1) / Rational(0), "division by zero");
+}
+
+TEST(EdgeCaseTest, ShapleyWithSingleEndogenousFact) {
+  Database db;
+  FactId f = db.AddEndo("R", {V("se1")});
+  const CQ q = MustParseCQ("q() :- R(x)");
+  EXPECT_EQ(ShapleyViaCountSat(q, db, f).value(), Rational(1));
+  EXPECT_EQ(ShapleyBruteForce(q, db, f), Rational(1));
+}
+
+TEST(EdgeCaseTest, QueryOverUndeclaredRelations) {
+  Database db;
+  FactId f = db.AddEndo("Other", {V("ud1")});
+  const CQ q = MustParseCQ("q() :- Missing(x)");
+  EXPECT_EQ(ShapleyViaCountSat(q, db, f).value(), Rational(0));
+}
+
+TEST(EdgeCaseTest, AlwaysTrueQueryGivesZeroes) {
+  // Dx alone satisfies q: no endogenous fact can ever matter.
+  Database db = MustParseDatabase("R(a) S(b)* S(c)*");
+  const CQ q = MustParseCQ("q() :- R(x)");
+  for (FactId f : db.endogenous_facts()) {
+    EXPECT_EQ(ShapleyViaCountSat(q, db, f).value(), Rational(0));
+  }
+}
+
+TEST(EdgeCaseTest, NegationOnlyBlockersSumToMinusOne) {
+  // Dx ⊨ q; the blockers jointly destroy it: Σ Shapley = q(D) − q(Dx) = −1.
+  Database db = MustParseDatabase("R(a) S(a)* T(a)");
+  const CQ q = MustParseCQ("q() :- R(x), not S(x)");
+  Rational sum(0);
+  for (FactId f : db.endogenous_facts()) {
+    sum += ShapleyViaCountSat(q, db, f).value();
+  }
+  EXPECT_EQ(sum, Rational(-1));
+}
+
+TEST(EdgeCaseTest, ExoShapWithFullyExogenousVariables) {
+  // The exogenous atom's variables all project away; the padded relation is
+  // Dom^|Vars(β)| when the join is non-empty, empty otherwise.
+  const CQ q = MustParseCQ("q() :- A(x), not B(y,z), C(y,z)");
+  ExoRelations exo = {"B", "C"};
+  Database sat = MustParseDatabase("A(u)* B(v,w) C(v,x)");
+  // B joined with C (after complementing B): (v,w) pairs not in B joined
+  // with C(v,x)... just verify against brute force.
+  for (FactId f : sat.endogenous_facts()) {
+    auto value = ExoShapShapley(q, sat, exo, f);
+    ASSERT_TRUE(value.ok()) << value.error();
+    EXPECT_EQ(value.value(), ShapleyBruteForce(q, sat, f));
+  }
+}
+
+TEST(EdgeCaseTest, ExoShapOnHierarchicalQueryMatchesCountSat) {
+  // ExoShap is also correct when the query was already hierarchical.
+  Database db = MustParseDatabase("Stud(a) TA(a)* Reg(a,c1)* Reg(a,c2)*");
+  const CQ q = MustParseCQ("q1() :- Stud(x), not TA(x), Reg(x,y)");
+  for (FactId f : db.endogenous_facts()) {
+    EXPECT_EQ(ExoShapShapley(q, db, {"Stud"}, f).value(),
+              ShapleyViaCountSat(q, db, f).value())
+        << db.FactToString(f);
+  }
+}
+
+TEST(EdgeCaseTest, UcqBruteForceCountsDisjunctsOnce) {
+  // Identical disjuncts must not double-count.
+  Database db = MustParseDatabase("R(a)*");
+  UCQ ucq = MustParseUCQ(
+      "q1() :- R(x)\n"
+      "q2() :- R(x)");
+  FactId f = db.endogenous_facts()[0];
+  EXPECT_EQ(ShapleyBruteForce(ucq, db, f), Rational(1));
+}
+
+TEST(EdgeCaseTest, MonteCarloSingleFact) {
+  Database db = MustParseDatabase("R(a)*");
+  const CQ q = MustParseCQ("q() :- R(x)");
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(
+      ShapleyMonteCarlo(q, db, db.endogenous_facts()[0], 100, &rng), 1.0);
+}
+
+TEST(EdgeCaseTest, CountSatConstantsOnlyQuery) {
+  Database db = MustParseDatabase("R(a)* R(b)* S(z)");
+  const CQ q = MustParseCQ("q() :- R('a'), not S('c')");
+  auto counted = CountSat(q, db);
+  ASSERT_TRUE(counted.ok()) << counted.error();
+  // Must pick R(a); S(c) absent; R(b) free: c[1] = 1 {R(a)}, c[2] = 1.
+  EXPECT_EQ(counted.value().at(0).ToInt64(), 0);
+  EXPECT_EQ(counted.value().at(1).ToInt64(), 1);
+  EXPECT_EQ(counted.value().at(2).ToInt64(), 1);
+  EXPECT_EQ(counted.value(), CountSatBruteForce(q, db));
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,204 @@
+// Query evaluation: homomorphism search over worlds, answer enumeration,
+// complements. The central check replays Example 2.3's characterization of
+// when q1 holds, over all 2^8 worlds of the running-example database.
+
+#include "eval/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/university.h"
+#include "eval/complement.h"
+#include "eval/join.h"
+#include "query/parser.h"
+
+namespace shapcq {
+namespace {
+
+TEST(EvalTest, Example23Characterization) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  const size_t n = u.db.endogenous_count();
+  ASSERT_EQ(n, 8u);
+  auto in = [&](const World& world, FactId f) {
+    return world[u.db.endo_index(f)];
+  };
+  for (uint64_t mask = 0; mask < (1u << n); ++mask) {
+    World world(n);
+    for (size_t i = 0; i < n; ++i) world[i] = (mask >> i) & 1;
+    const bool cond1 = in(world, u.fr4) || in(world, u.fr5);
+    const bool cond2 = (in(world, u.fr1) || in(world, u.fr2)) && !in(world, u.ft1);
+    const bool cond3 = in(world, u.fr3) && !in(world, u.ft2);
+    EXPECT_EQ(EvalBoolean(q1, u.db, world), cond1 || cond2 || cond3)
+        << "world mask " << mask;
+  }
+}
+
+TEST(EvalTest, EmptyAndFullWorlds) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q1 = UniversityQ1();
+  EXPECT_FALSE(EvalBoolean(q1, u.db, u.db.EmptyWorld()));
+  // Full world: every student with a registration is a TA except Caroline.
+  EXPECT_TRUE(EvalBoolean(q1, u.db, u.db.FullWorld()));
+}
+
+TEST(EvalTest, ConstantsInAtoms) {
+  UniversityDb u = BuildUniversityDb();
+  CQ q = MustParseCQ("q() :- Reg(x,'OS')");
+  World world = u.db.EmptyWorld();
+  EXPECT_FALSE(EvalBoolean(q, u.db, world));
+  world[u.db.endo_index(u.fr1)] = true;  // Reg(Adam, OS)
+  EXPECT_TRUE(EvalBoolean(q, u.db, world));
+  EXPECT_FALSE(
+      EvalBoolean(MustParseCQ("q() :- Reg(x,'Pottery')"), u.db, world));
+}
+
+TEST(EvalTest, RepeatedVariables) {
+  Database db;
+  db.AddExo("E", {V("u1"), V("u1")});
+  db.AddExo("E", {V("u1"), V("u2")});
+  EXPECT_TRUE(EvalBooleanAllFacts(MustParseCQ("q() :- E(x,x)"), db));
+  Database db2;
+  db2.AddExo("E", {V("u1"), V("u2")});
+  EXPECT_FALSE(EvalBooleanAllFacts(MustParseCQ("q() :- E(x,x)"), db2));
+}
+
+TEST(EvalTest, NegationAgainstWorld) {
+  Database db;
+  FactId r = db.AddExo("R", {V("n1")});
+  (void)r;
+  FactId s = db.AddEndo("S", {V("n1")});
+  CQ q = MustParseCQ("q() :- R(x), not S(x)");
+  World world = db.EmptyWorld();
+  EXPECT_TRUE(EvalBoolean(q, db, world));
+  world[db.endo_index(s)] = true;
+  EXPECT_FALSE(EvalBoolean(q, db, world));
+}
+
+TEST(EvalTest, MissingRelationIsEmpty) {
+  Database db;
+  db.AddExo("R", {V("m1")});
+  // S never declared: positive atom fails, negative atom trivially holds.
+  EXPECT_FALSE(EvalBooleanAllFacts(MustParseCQ("q() :- S(x)"), db));
+  EXPECT_TRUE(EvalBooleanAllFacts(MustParseCQ("q() :- R(x), not S(x)"), db));
+}
+
+TEST(EvalTest, SelfJoinQuery) {
+  // Example 5.3's query and database.
+  Database db;
+  db.AddEndo("R", {V(1), V(2)});
+  db.AddEndo("R", {V(2), V(1)});
+  CQ q = MustParseCQ("q() :- R(x,y), not R(y,x)");
+  World world(2, false);
+  EXPECT_FALSE(EvalBoolean(q, db, world));
+  world[0] = true;  // only R(1,2): holds
+  EXPECT_TRUE(EvalBoolean(q, db, world));
+  world[1] = true;  // both: blocked both ways
+  EXPECT_FALSE(EvalBoolean(q, db, world));
+}
+
+TEST(EvalTest, UcqDisjunction) {
+  Database db;
+  db.AddExo("B", {V("u9")});
+  UCQ ucq = MustParseUCQ(
+      "q1() :- A(x)\n"
+      "q2() :- B(x)");
+  EXPECT_TRUE(EvalBoolean(ucq, db, db.EmptyWorld()));
+  UCQ neither = MustParseUCQ(
+      "q1() :- A(x)\n"
+      "q2() :- C(x)");
+  EXPECT_FALSE(EvalBoolean(neither, db, db.EmptyWorld()));
+}
+
+TEST(EvalTest, EnumerateAnswersProjects) {
+  UniversityDb u = BuildUniversityDb();
+  CQ q = MustParseCQ("names(x) :- Stud(x), not TA(x), Reg(x,y)");
+  // Full world: Adam/Ben/David are TAs; only Caroline qualifies.
+  auto answers = EnumerateAnswers(q, u.db, u.db.FullWorld());
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], Tuple{V("Caroline")});
+  // Empty world: no registrations at all.
+  EXPECT_TRUE(EnumerateAnswers(q, u.db, u.db.EmptyWorld()).empty());
+}
+
+TEST(EvalTest, EnumerateAnswersDeduplicates) {
+  Database db;
+  db.AddExo("R", {V("k1"), V("p1")});
+  db.AddExo("R", {V("k1"), V("p2")});
+  CQ q = MustParseCQ("keys(x) :- R(x,y)");
+  EXPECT_EQ(EnumerateAnswers(q, db, db.FullWorld()).size(), 1u);
+}
+
+TEST(EvalTest, ForEachHomomorphismCountsMatches) {
+  Database db;
+  db.AddExo("R", {V("h1")});
+  db.AddExo("R", {V("h2")});
+  db.AddExo("S", {V("h1")});
+  CQ q = MustParseCQ("q() :- R(x), S(y)");
+  int count = 0;
+  ForEachHomomorphism(q, db, db.FullWorld(), true,
+                      [&](const Assignment&) {
+                        ++count;
+                        return true;
+                      });
+  EXPECT_EQ(count, 2);  // (h1,h1), (h2,h1)
+}
+
+TEST(EvalTest, EarlyStopReported) {
+  Database db;
+  db.AddExo("R", {V("e1")});
+  db.AddExo("R", {V("e2")});
+  CQ q = MustParseCQ("q() :- R(x)");
+  int count = 0;
+  bool stopped = ForEachHomomorphism(q, db, db.FullWorld(), true,
+                                     [&](const Assignment&) {
+                                       ++count;
+                                       return false;
+                                     });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(CartesianPowerTest, SizesAndOrder) {
+  std::vector<Value> domain = {V("c1"), V("c2"), V("c3")};
+  EXPECT_EQ(CartesianPower(domain, 0).size(), 1u);
+  EXPECT_EQ(CartesianPower(domain, 1).size(), 3u);
+  EXPECT_EQ(CartesianPower(domain, 2).size(), 9u);
+  auto cube = CartesianPower(domain, 3);
+  EXPECT_EQ(cube.size(), 27u);
+  EXPECT_EQ(cube.front(), (Tuple{V("c1"), V("c1"), V("c1")}));
+  EXPECT_EQ(cube.back(), (Tuple{V("c3"), V("c3"), V("c3")}));
+}
+
+TEST(ComplementTest, BinaryRelation) {
+  Database db;
+  db.AddExo("S", {V("z1"), V("z2")});
+  db.AddExo("R", {V("z3")});
+  // Active domain {z1, z2, z3}: 9 pairs, 1 present.
+  auto complement = ComplementRelation(db, "S");
+  EXPECT_EQ(complement.size(), 8u);
+  for (const Tuple& tuple : complement) {
+    EXPECT_EQ(db.FindFact("S", tuple), kNoFact);
+  }
+}
+
+TEST(ComplementTest, EmptyRelationIsFullPower) {
+  Database db;
+  db.AddExo("R", {V("w1")});
+  db.AddExo("R", {V("w2")});
+  db.DeclareRelation("S", 2);
+  EXPECT_EQ(ComplementRelation(db, "S").size(), 4u);
+}
+
+TEST(MaterializeTest, JoinWithProjection) {
+  Database db;
+  db.AddExo("A", {V("j1"), V("j2")});
+  db.AddExo("A", {V("j1"), V("j3")});
+  db.AddExo("B", {V("j2"), V("j4")});
+  CQ q = MustParseCQ("out(x,z) :- A(x,y), B(y,z)");
+  auto answers = MaterializeAnswers(q, db);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], (Tuple{V("j1"), V("j4")}));
+}
+
+}  // namespace
+}  // namespace shapcq

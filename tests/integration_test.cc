@@ -1,0 +1,145 @@
+// Cross-engine differential testing on generated queries and databases:
+// every engine that claims to compute the same quantity must agree.
+//
+//  * randomly generated hierarchical CQ¬  ->  CntSat == brute force,
+//    efficiency, Monte-Carlo consistency, relevance == zeroness;
+//  * randomly generated safe CQ¬          ->  classifier consistent with
+//    whether CntSat accepts; brute-force engines self-consistent;
+//  * the probabilistic mirror             ->  lifted == world enumeration.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/brute_force.h"
+#include "core/count_sat.h"
+#include "core/monte_carlo.h"
+#include "core/relevance.h"
+#include "core/shapley.h"
+#include "datasets/query_gen.h"
+#include "datasets/synthetic.h"
+#include "eval/homomorphism.h"
+#include "probdb/lifted.h"
+#include "query/classify.h"
+
+namespace shapcq {
+namespace {
+
+class HierarchicalIntegration : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchicalIntegration, AllEnginesAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 86028121u + 11);
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 2;  // keep brute force feasible
+  const CQ q = RandomHierarchicalCq(gen_options, &rng);
+  SyntheticOptions db_options;
+  db_options.domain_size = 2;
+  db_options.facts_per_relation = 2;
+  const Database db = RandomDatabaseForQuery(q, {}, db_options, &rng);
+  if (db.endogenous_count() > 14) GTEST_SKIP() << "too large for oracle";
+
+  // Counting engine vs enumeration.
+  auto counted = CountSat(q, db);
+  ASSERT_TRUE(counted.ok()) << counted.error() << "\n" << q.ToString();
+  EXPECT_EQ(counted.value(), CountSatBruteForce(q, db))
+      << q.ToString() << "\n" << db.ToString();
+
+  // Shapley engine vs enumeration + efficiency.
+  Rational sum(0);
+  for (FactId f : db.endogenous_facts()) {
+    const Rational fast = ShapleyViaCountSat(q, db, f).value();
+    EXPECT_EQ(fast, ShapleyBruteForce(q, db, f))
+        << q.ToString() << "\nfact " << db.FactToString(f);
+    sum += fast;
+  }
+  const int delta = (EvalBoolean(q, db, db.FullWorld()) ? 1 : 0) -
+                    (EvalBoolean(q, db, db.EmptyWorld()) ? 1 : 0);
+  EXPECT_EQ(sum, Rational(delta)) << q.ToString();
+
+  // The classifier must accept exactly what CntSat accepts.
+  auto verdict = ClassifyExactShapley(q);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_TRUE(verdict.value().IsTractable()) << q.ToString();
+
+  // Relevance == zeroness when the generated query is polarity consistent.
+  if (IsPolarityConsistent(q)) {
+    for (FactId f : db.endogenous_facts()) {
+      EXPECT_EQ(ShapleyIsNonzero(q, db, f).value(),
+                !ShapleyViaCountSat(q, db, f).value().IsZero())
+          << q.ToString() << "\nfact " << db.FactToString(f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchicalIntegration,
+                         ::testing::Range(0, 25));
+
+class SafeQueryIntegration : public ::testing::TestWithParam<int> {};
+
+TEST_P(SafeQueryIntegration, ClassifierMatchesCountSatScope) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 512927357u + 23);
+  QueryGenOptions gen_options;
+  const CQ q = RandomSafeCq(gen_options, &rng);
+  SyntheticOptions db_options;
+  db_options.domain_size = 2;
+  db_options.facts_per_relation = 2;
+  const Database db = RandomDatabaseForQuery(q, {}, db_options, &rng);
+
+  auto verdict = ClassifyExactShapley(q);
+  ASSERT_TRUE(verdict.ok()) << q.ToString();
+  EXPECT_EQ(verdict.value().IsTractable(), CountSat(q, db).ok())
+      << q.ToString();
+
+  // On the tractable side the engines must agree.
+  if (verdict.value().IsTractable() && db.endogenous_count() <= 14) {
+    for (FactId f : db.endogenous_facts()) {
+      EXPECT_EQ(ShapleyViaCountSat(q, db, f).value(),
+                ShapleyBruteForce(q, db, f))
+          << q.ToString() << "\nfact " << db.FactToString(f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafeQueryIntegration,
+                         ::testing::Range(0, 25));
+
+class ProbIntegration : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProbIntegration, LiftedMatchesEnumeration) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 674506111u + 31);
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 2;
+  const CQ q = RandomHierarchicalCq(gen_options, &rng);
+  SyntheticOptions db_options;
+  db_options.domain_size = 2;
+  db_options.facts_per_relation = 2;
+  ProbDatabase pdb = RandomProbDatabaseForQuery(q, {}, db_options, &rng);
+  if (pdb.probabilistic_count() > 16) GTEST_SKIP() << "too large";
+  auto lifted = LiftedProbability(q, pdb);
+  ASSERT_TRUE(lifted.ok()) << lifted.error() << "\n" << q.ToString();
+  EXPECT_NEAR(lifted.value(), pdb.ProbabilityBruteForce(q), 1e-9)
+      << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProbIntegration, ::testing::Range(0, 25));
+
+TEST(MonteCarloIntegration, TracksExactOnGeneratedInstances) {
+  Rng rng(20260610);
+  QueryGenOptions gen_options;
+  gen_options.max_depth = 2;
+  for (int trial = 0; trial < 3; ++trial) {
+    const CQ q = RandomHierarchicalCq(gen_options, &rng);
+    SyntheticOptions db_options;
+    db_options.domain_size = 2;
+    db_options.facts_per_relation = 3;
+    const Database db = RandomDatabaseForQuery(q, {}, db_options, &rng);
+    if (db.endogenous_count() == 0) continue;
+    const FactId f = db.endogenous_facts()[0];
+    const double exact = ShapleyViaCountSat(q, db, f).value().ToDouble();
+    const double estimate = ShapleyMonteCarlo(q, db, f, 20000, &rng);
+    EXPECT_NEAR(estimate, exact, 0.05) << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,148 @@
+// Probabilistic databases (Section 4.3 / Theorem 4.10): lifted inference vs
+// world enumeration, ExoProb for deterministic relations, Monte Carlo.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "datasets/citations.h"
+#include "datasets/synthetic.h"
+#include "probdb/exoprob.h"
+#include "probdb/lifted.h"
+#include "probdb/prob_database.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+TEST(ProbDbTest, FactBookkeeping) {
+  ProbDatabase pdb;
+  FactId p = pdb.AddFact("R", {V("pb1")}, 0.4);
+  FactId d = pdb.AddDeterministic("R", {V("pb2")});
+  EXPECT_DOUBLE_EQ(pdb.probability(p), 0.4);
+  EXPECT_DOUBLE_EQ(pdb.probability(d), 1.0);
+  EXPECT_EQ(pdb.probabilistic_count(), 1u);
+}
+
+TEST(ProbDbTest, SingleFactProbability) {
+  ProbDatabase pdb;
+  pdb.AddFact("R", {V("pf1")}, 0.3);
+  CQ q = MustParseCQ("q() :- R(x)");
+  EXPECT_NEAR(LiftedProbability(q, pdb).value(), 0.3, 1e-12);
+  EXPECT_NEAR(pdb.ProbabilityBruteForce(q), 0.3, 1e-12);
+}
+
+TEST(ProbDbTest, IndependentOrAndNegation) {
+  ProbDatabase pdb;
+  pdb.AddFact("R", {V("pi1")}, 0.5);
+  pdb.AddFact("R", {V("pi2")}, 0.5);
+  pdb.AddFact("S", {V("pi1")}, 0.25);
+  // P(∃x R(x) ∧ ¬S(x)) — slice pi1: 0.5·0.75; slice pi2: 0.5·1.
+  CQ q = MustParseCQ("q() :- R(x), not S(x)");
+  const double expected = 1.0 - (1.0 - 0.5 * 0.75) * (1.0 - 0.5);
+  EXPECT_NEAR(LiftedProbability(q, pdb).value(), expected, 1e-12);
+  EXPECT_NEAR(pdb.ProbabilityBruteForce(q), expected, 1e-12);
+}
+
+TEST(ProbDbTest, DeterministicNegativeBlocksForever) {
+  ProbDatabase pdb;
+  pdb.AddFact("R", {V("pd1")}, 0.9);
+  pdb.AddDeterministic("S", {V("pd1")});
+  CQ q = MustParseCQ("q() :- R(x), not S(x)");
+  EXPECT_NEAR(LiftedProbability(q, pdb).value(), 0.0, 1e-12);
+}
+
+TEST(ProbDbTest, RejectsNonHierarchical) {
+  ProbDatabase pdb;
+  pdb.AddFact("R", {V("ph1")}, 0.5);
+  EXPECT_FALSE(LiftedProbability(
+                   MustParseCQ("q() :- R(x), S(x,y), T(y)"), pdb)
+                   .ok());
+}
+
+TEST(ProbDbTest, MonteCarloConverges) {
+  ProbDatabase pdb;
+  pdb.AddFact("R", {V("pm1")}, 0.5);
+  pdb.AddFact("R", {V("pm2")}, 0.5);
+  pdb.AddFact("S", {V("pm1")}, 0.25);
+  CQ q = MustParseCQ("q() :- R(x), not S(x)");
+  const double exact = LiftedProbability(q, pdb).value();
+  EXPECT_NEAR(pdb.ProbabilityMonteCarlo(q, 40000, 5), exact, 0.02);
+}
+
+TEST(ProbDbTest, ExoProbCitations) {
+  // Theorem 4.10: the citations query with deterministic Pub/Citations.
+  ProbDatabase pdb;
+  pdb.AddFact("Author", {V("Ada"), V("T1")}, 0.7);
+  pdb.AddFact("Author", {V("Grace"), V("T2")}, 0.4);
+  pdb.AddDeterministic("Pub", {V("Ada"), V("pp1")});
+  pdb.AddDeterministic("Pub", {V("Grace"), V("pp2")});
+  pdb.AddDeterministic("Citations", {V("pp1"), V("9")});
+  const CQ q = CitationsQuery();
+  auto lifted = ExoProbProbability(q, pdb, CitationsExoRelations());
+  ASSERT_TRUE(lifted.ok()) << lifted.error();
+  // Only Ada's paper is cited: P = P(Author(Ada)).
+  EXPECT_NEAR(lifted.value(), 0.7, 1e-12);
+  EXPECT_NEAR(pdb.ProbabilityBruteForce(q), 0.7, 1e-12);
+}
+
+TEST(ProbDbTest, ExoProbRejectsNonHierarchicalPath) {
+  ProbDatabase pdb;
+  pdb.AddFact("Author", {V("Ada"), V("T1")}, 0.7);
+  pdb.AddDeterministic("Pub", {V("Ada"), V("pp1")});
+  pdb.AddFact("Citations", {V("pp1"), V("9")}, 0.5);
+  EXPECT_FALSE(ExoProbProbability(CitationsQuery(), pdb, {"Pub"}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Randomized sweeps: lifted / ExoProb == world enumeration.
+// ---------------------------------------------------------------------------
+
+using ProbSweepParam = std::tuple<const char*, int>;
+
+class LiftedSweep : public ::testing::TestWithParam<ProbSweepParam> {};
+
+TEST_P(LiftedSweep, MatchesWorldEnumeration) {
+  const CQ q = MustParseCQ(std::get<0>(GetParam()));
+  Rng rng(static_cast<uint64_t>(std::get<1>(GetParam())) * 15485863 + 2);
+  SyntheticOptions options;
+  options.domain_size = 3;
+  options.facts_per_relation = 3;
+  ProbDatabase pdb = RandomProbDatabaseForQuery(q, {}, options, &rng);
+  auto lifted = LiftedProbability(q, pdb);
+  ASSERT_TRUE(lifted.ok()) << lifted.error();
+  EXPECT_NEAR(lifted.value(), pdb.ProbabilityBruteForce(q), 1e-9)
+      << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HierarchicalShapes, LiftedSweep,
+    ::testing::Combine(
+        ::testing::Values("q() :- R(x)",
+                          "q() :- R(x), not S(x)",
+                          "q1() :- Stud(x), not TA(x), Reg(x,y)",
+                          "q() :- R(x,y), S(x,y), T(x)",
+                          "q() :- R(x), S(y)",
+                          "q() :- E(x,x), not F(x)"),
+        ::testing::Range(0, 5)));
+
+class ExoProbSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExoProbSweep, MatchesWorldEnumeration) {
+  const CQ q = CitationsQuery();
+  const ExoRelations det = CitationsExoRelations();
+  Rng rng(static_cast<uint64_t>(GetParam()) * 49979687 + 8);
+  SyntheticOptions options;
+  options.domain_size = 3;
+  options.facts_per_relation = 3;
+  ProbDatabase pdb = RandomProbDatabaseForQuery(q, det, options, &rng);
+  auto lifted = ExoProbProbability(q, pdb, det);
+  ASSERT_TRUE(lifted.ok()) << lifted.error();
+  EXPECT_NEAR(lifted.value(), pdb.ProbabilityBruteForce(q), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExoProbSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,230 @@
+// Structural analysis: safety, hierarchy, Gaifman graphs, non-hierarchical
+// paths, polarity — validated against the paper's own examples.
+
+#include "query/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/university.h"
+#include "query/parser.h"
+
+namespace shapcq {
+namespace {
+
+TEST(SafetyTest, SafeAndUnsafe) {
+  EXPECT_TRUE(IsSafe(MustParseCQ("q() :- R(x), not S(x)")));
+  EXPECT_TRUE(IsSafe(MustParseCQ("q() :- R(x,y), not S(y,x)")));
+  EXPECT_FALSE(IsSafe(MustParseCQ("q() :- R(x), not S(x,y)")));
+  EXPECT_FALSE(IsSafe(MustParseCQ("q() :- not S(x)")));
+  EXPECT_TRUE(IsSafe(MustParseCQ("q() :- R(x), not S('c')")));
+  // Head variables must also be covered by positive atoms.
+  EXPECT_FALSE(IsSafe(MustParseCQ("q(y) :- R(x)")));
+}
+
+TEST(SelfJoinTest, PaperExamples) {
+  EXPECT_TRUE(IsSelfJoinFree(UniversityQ1()));
+  EXPECT_TRUE(IsSelfJoinFree(UniversityQ2()));
+  EXPECT_FALSE(IsSelfJoinFree(UniversityQ3()));  // Adv twice
+  EXPECT_FALSE(IsSelfJoinFree(UniversityQ4()));
+  // Same relation positive and negative also counts as a self-join.
+  EXPECT_FALSE(IsSelfJoinFree(MustParseCQ("q() :- R(x), S(x,y), not R(y)")));
+}
+
+TEST(HierarchyTest, PaperExample22) {
+  EXPECT_TRUE(IsHierarchical(UniversityQ1()));
+  EXPECT_FALSE(IsHierarchical(UniversityQ2()));
+  EXPECT_FALSE(IsHierarchical(UniversityQ3()));
+  EXPECT_FALSE(IsHierarchical(UniversityQ4()));
+}
+
+TEST(HierarchyTest, BaseQueries) {
+  EXPECT_FALSE(IsHierarchical(MustParseCQ("q() :- R(x), S(x,y), T(y)")));
+  EXPECT_FALSE(
+      IsHierarchical(MustParseCQ("q() :- not R(x), S(x,y), not T(y)")));
+  EXPECT_FALSE(IsHierarchical(MustParseCQ("q() :- R(x), not S(x,y), T(y)")));
+  EXPECT_FALSE(IsHierarchical(MustParseCQ("q() :- R(x), S(x,y), not T(y)")));
+  EXPECT_TRUE(IsHierarchical(MustParseCQ("q() :- R(x), S(x,y)")));
+  EXPECT_TRUE(IsHierarchical(MustParseCQ("q() :- R(x,y), S(x,y), T(x)")));
+  EXPECT_TRUE(IsHierarchical(MustParseCQ("q() :- R(x), S(y)")));
+}
+
+TEST(HierarchyTest, IntroExportQuery) {
+  EXPECT_FALSE(IsHierarchical(
+      MustParseCQ("q() :- Farmer(m), Export(m,p,c), not Grows(c,p)")));
+}
+
+TEST(HierarchyTest, TripletWitness) {
+  CQ q = MustParseCQ("q() :- R(x), S(x,y), T(y)");
+  auto triplet = FindNonHierarchicalTriplet(q);
+  ASSERT_TRUE(triplet.has_value());
+  EXPECT_EQ(q.atom(triplet->alpha_x).relation, "R");
+  EXPECT_EQ(q.atom(triplet->alpha_xy).relation, "S");
+  EXPECT_EQ(q.atom(triplet->alpha_y).relation, "T");
+  EXPECT_FALSE(FindNonHierarchicalTriplet(UniversityQ1()).has_value());
+}
+
+TEST(HierarchyTest, ReductionTripletAvoidsBadSignature) {
+  // For each base shape, the reduction triplet keeps the middle atom
+  // positive or makes both endpoints positive.
+  for (const char* text :
+       {"q() :- R(x), S(x,y), T(y)", "q() :- not R(x), S(x,y), not T(y)",
+        "q() :- R(x), not S(x,y), T(y)", "q() :- R(x), S(x,y), not T(y)",
+        "q2() :- Stud(x), not TA(x), Reg(x,y), not Course(y,'CS')"}) {
+    CQ q = MustParseCQ(text);
+    auto triplet = FindReductionTriplet(q);
+    ASSERT_TRUE(triplet.has_value()) << text;
+    const bool middle_neg = q.atom(triplet->alpha_xy).negated;
+    const bool some_end_neg =
+        q.atom(triplet->alpha_x).negated || q.atom(triplet->alpha_y).negated;
+    EXPECT_FALSE(middle_neg && some_end_neg) << text;
+  }
+}
+
+TEST(GaifmanTest, EdgesFromCoOccurrence) {
+  CQ q = MustParseCQ("q() :- R(x,y), S(y,z), not T(z,w)");
+  auto adj = GaifmanAdjacency(q);
+  VarId x = q.FindVar("x"), y = q.FindVar("y"), z = q.FindVar("z"),
+        w = q.FindVar("w");
+  EXPECT_TRUE(adj[x][y]);
+  EXPECT_TRUE(adj[y][z]);
+  EXPECT_TRUE(adj[z][w]);  // negative atoms contribute edges too
+  EXPECT_FALSE(adj[x][z]);
+  EXPECT_FALSE(adj[x][w]);
+}
+
+TEST(ExoVarsTest, OnlyExoAtomVars) {
+  CQ q = MustParseCQ("q() :- A(x,y), P(y,u,w), Q(y,w)");
+  ExoRelations exo = {"P"};
+  auto exo_vars = ExogenousVars(q, exo);
+  ASSERT_EQ(exo_vars.size(), 1u);
+  EXPECT_EQ(q.var_name(exo_vars[0]), "u");
+}
+
+TEST(ExoComponentsTest, Figure3Components) {
+  // Example 4.2's q′: components {R, S, O}, {P}, {V} of the exogenous-atom
+  // graph (S shares x with R and z with O; u of P occurs nowhere else; V's t
+  // occurs in the non-exogenous U).
+  CQ q = MustParseCQ(
+      "qp() :- U(t,r), not T(y), Q(y,w), not Vv(t), R(x,y), not S(x,z), "
+      "O(z), P(u,y,w)");
+  ExoRelations exo = {"R", "S", "O", "P", "Vv"};
+  auto components = ExogenousAtomComponents(q, exo);
+  ASSERT_EQ(components.size(), 3u);
+  // Components are sorted by first atom index: Vv at 3, {R,S,O} at 4..6,
+  // {P} at 7.
+  EXPECT_EQ(components[0], (std::vector<size_t>{3}));
+  EXPECT_EQ(components[1], (std::vector<size_t>{4, 5, 6}));
+  EXPECT_EQ(components[2], (std::vector<size_t>{7}));
+}
+
+TEST(NonHierarchicalPathTest, Section41Pair) {
+  // q has no non-hierarchical path; q′ (one variable changed) has one.
+  CQ q = MustParseCQ("q() :- not R(x,w), S(z,x), not P(z,w), T(y,w)");
+  CQ qp = MustParseCQ("q() :- not R(x,w), S(z,x), not P(z,y), T(y,w)");
+  ExoRelations exo = {"S", "P"};
+  EXPECT_FALSE(FindNonHierarchicalPath(q, exo).has_value());
+  auto witness = FindNonHierarchicalPath(qp, exo);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(qp.atom(witness->alpha_x).relation, "R");
+  EXPECT_EQ(qp.atom(witness->alpha_y).relation, "T");
+}
+
+TEST(NonHierarchicalPathTest, Example42) {
+  CQ q = MustParseCQ(
+      "q() :- not R(x), Q(x,v), S(x,z), U(z,w), not P(w,y), T(y,v)");
+  // With no exogenous relations, the path x-z-w-y (avoiding v) witnesses.
+  auto witness = FindNonHierarchicalPath(q, {});
+  ASSERT_TRUE(witness.has_value());
+
+  CQ qp = MustParseCQ(
+      "qp() :- U(t,r), not T(y), Q(y,w), not Vv(t), R(x,y), not S(x,z), "
+      "O(z), P(u,y,w)");
+  ExoRelations exo = {"R", "S", "O", "P", "Vv"};
+  EXPECT_FALSE(FindNonHierarchicalPath(qp, exo).has_value());
+}
+
+TEST(NonHierarchicalPathTest, EmptyExoMatchesHierarchy) {
+  // With X = ∅, a non-hierarchical triplet yields a (length-1) path.
+  for (const char* text :
+       {"q() :- R(x), S(x,y), T(y)", "q() :- R(x), S(x,y)",
+        "q1() :- Stud(x), not TA(x), Reg(x,y)",
+        "q2() :- Stud(x), not TA(x), Reg(x,y), not Course(y,'CS')"}) {
+    CQ q = MustParseCQ(text);
+    EXPECT_EQ(IsHierarchical(q), !FindNonHierarchicalPath(q, {}).has_value())
+        << text;
+  }
+}
+
+TEST(NonHierarchicalPathTest, CitationsVariants) {
+  CQ q = MustParseCQ("q() :- Author(x,y), Pub(x,z), Citations(z,w)");
+  EXPECT_FALSE(IsHierarchical(q));
+  EXPECT_TRUE(FindNonHierarchicalPath(q, {}).has_value());
+  EXPECT_FALSE(FindNonHierarchicalPath(q, {"Pub", "Citations"}).has_value());
+  EXPECT_FALSE(FindNonHierarchicalPath(q, {"Citations"}).has_value());
+  // Knowing only Pub is exogenous does NOT help: Author and Citations induce
+  // a path through z.
+  EXPECT_TRUE(FindNonHierarchicalPath(q, {"Pub"}).has_value());
+}
+
+TEST(NonHierarchicalPathTest, IntroQueryWithExoGrows) {
+  CQ q = MustParseCQ("q() :- Farmer(m), Export(m,p,c), not Grows(c,p)");
+  EXPECT_TRUE(FindNonHierarchicalPath(q, {}).has_value());
+  EXPECT_FALSE(FindNonHierarchicalPath(q, {"Grows"}).has_value());
+}
+
+TEST(PolarityTest, Example54) {
+  EXPECT_TRUE(IsPolarityConsistent(UniversityQ1()));
+  EXPECT_TRUE(IsPolarityConsistent(UniversityQ2()));
+  EXPECT_TRUE(IsPolarityConsistent(UniversityQ3()));
+  EXPECT_FALSE(IsPolarityConsistent(UniversityQ4()));
+  EXPECT_TRUE(IsRelationPolarityConsistent(UniversityQ4(), "Adv"));
+  EXPECT_FALSE(IsRelationPolarityConsistent(UniversityQ4(), "TA"));
+  EXPECT_FALSE(IsRelationPolarityConsistent(UniversityQ4(), "Reg"));
+}
+
+TEST(PolarityTest, UcqWholeVsDisjuncts) {
+  UCQ ucq = MustParseUCQ(
+      "q1() :- T(x,'1')\n"
+      "q2() :- Vv(x), not T(x,'0')");
+  // T occurs positively in q1 and negatively in q2: whole-union inconsistent.
+  EXPECT_FALSE(IsPolarityConsistent(ucq));
+  EXPECT_TRUE(IsPolarityConsistent(ucq.disjunct(0)));
+  EXPECT_TRUE(IsPolarityConsistent(ucq.disjunct(1)));
+  EXPECT_FALSE(IsRelationPolarityConsistent(ucq, "T"));
+  EXPECT_TRUE(IsRelationPolarityConsistent(ucq, "Vv"));
+}
+
+TEST(PositiveConnectivityTest, Examples) {
+  EXPECT_TRUE(
+      IsPositivelyConnected(MustParseCQ("q() :- R(x), S(x,y), not R(y)")));
+  EXPECT_FALSE(
+      IsPositivelyConnected(MustParseCQ("q() :- R(x), not S(x,y), T(y)")));
+  EXPECT_TRUE(IsPositivelyConnected(MustParseCQ("q() :- R(x)")));
+  EXPECT_FALSE(IsPositivelyConnected(MustParseCQ("q() :- R(x), T(y)")));
+}
+
+TEST(AtomComponentsTest, GroundAtomsSeparate) {
+  CQ q = MustParseCQ("q() :- R(x,y), S(y), T(z), U('c')");
+  auto components = AtomComponents(q);
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(components[1], (std::vector<size_t>{2}));
+  EXPECT_EQ(components[2], (std::vector<size_t>{3}));
+}
+
+TEST(RootVariableTest, FoundAndMissing) {
+  CQ q1 = MustParseCQ("q() :- Stud(x), not TA(x), Reg(x,y)");
+  auto root = FindRootVariable(q1);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(q1.var_name(*root), "x");
+  EXPECT_FALSE(
+      FindRootVariable(MustParseCQ("q() :- R(x), S(x,y), T(y)")).has_value());
+}
+
+TEST(HasConstantsTest, Detects) {
+  EXPECT_TRUE(HasConstants(UniversityQ2()));
+  EXPECT_FALSE(HasConstants(UniversityQ1()));
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,90 @@
+// The dichotomy classifiers (Theorems 3.1, 4.3, 4.10) on the paper's queries.
+
+#include "query/classify.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/citations.h"
+#include "datasets/university.h"
+#include "query/parser.h"
+
+namespace shapcq {
+namespace {
+
+TEST(ClassifyTest, Theorem31OnExampleQueries) {
+  EXPECT_TRUE(ClassifyExactShapley(UniversityQ1()).value().IsTractable());
+  EXPECT_FALSE(ClassifyExactShapley(UniversityQ2()).value().IsTractable());
+}
+
+TEST(ClassifyTest, BaseQueriesAreHard) {
+  for (const char* text :
+       {"q() :- R(x), S(x,y), T(y)", "q() :- not R(x), S(x,y), not T(y)",
+        "q() :- R(x), not S(x,y), T(y)", "q() :- R(x), S(x,y), not T(y)"}) {
+    auto result = ClassifyExactShapley(MustParseCQ(text));
+    ASSERT_TRUE(result.ok()) << text;
+    EXPECT_EQ(result.value().complexity, Complexity::kSharpPHard) << text;
+  }
+}
+
+TEST(ClassifyTest, OutOfScopeQueries) {
+  // Self-joins (q3, q4) and unsafe negation are outside Theorem 3.1.
+  EXPECT_FALSE(ClassifyExactShapley(UniversityQ3()).ok());
+  EXPECT_FALSE(ClassifyExactShapley(UniversityQ4()).ok());
+  EXPECT_FALSE(
+      ClassifyExactShapley(MustParseCQ("q() :- R(x), not S(x,y)")).ok());
+}
+
+TEST(ClassifyTest, Theorem43CitationsExample) {
+  const CQ q = CitationsQuery();
+  // Hard with no exogenous knowledge...
+  EXPECT_FALSE(ClassifyExactShapley(q).value().IsTractable());
+  EXPECT_FALSE(ClassifyExactShapley(q, {}).value().IsTractable());
+  // ... tractable once Pub and Citations (or even just Citations) are
+  // exogenous (Example 4.1) ...
+  EXPECT_TRUE(
+      ClassifyExactShapley(q, CitationsExoRelations()).value().IsTractable());
+  EXPECT_TRUE(
+      ClassifyExactShapley(q, CitationsOnlyExo()).value().IsTractable());
+  // ... but knowing only Pub does not help.
+  EXPECT_FALSE(ClassifyExactShapley(q, {"Pub"}).value().IsTractable());
+}
+
+TEST(ClassifyTest, Theorem43Section41Pair) {
+  CQ q = MustParseCQ("q() :- not R(x,w), S(z,x), not P(z,w), T(y,w)");
+  CQ qp = MustParseCQ("q() :- not R(x,w), S(z,x), not P(z,y), T(y,w)");
+  ExoRelations exo = {"S", "P"};
+  EXPECT_TRUE(ClassifyExactShapley(q, exo).value().IsTractable());
+  EXPECT_FALSE(ClassifyExactShapley(qp, exo).value().IsTractable());
+}
+
+TEST(ClassifyTest, Theorem43Q2WithExoStudCourse) {
+  // Example 4.1 (end): q2 becomes tractable when Stud and Course are
+  // exogenous.
+  const CQ q2 = UniversityQ2();
+  EXPECT_FALSE(ClassifyExactShapley(q2).value().IsTractable());
+  EXPECT_TRUE(
+      ClassifyExactShapley(q2, {"Stud", "Course"}).value().IsTractable());
+}
+
+TEST(ClassifyTest, HierarchicalStaysTractableWithExo) {
+  EXPECT_TRUE(
+      ClassifyExactShapley(UniversityQ1(), {"Stud"}).value().IsTractable());
+}
+
+TEST(ClassifyTest, Theorem410MirrorsTheorem43) {
+  const CQ q = CitationsQuery();
+  EXPECT_TRUE(ClassifyProbabilisticEvaluation(q, CitationsExoRelations())
+                  .value()
+                  .IsTractable());
+  EXPECT_FALSE(ClassifyProbabilisticEvaluation(q, {}).value().IsTractable());
+}
+
+TEST(ClassifyTest, ReasonsMentionWitnesses) {
+  auto hard = ClassifyExactShapley(UniversityQ2()).value();
+  EXPECT_NE(hard.reason.find("non-hierarchical triplet"), std::string::npos);
+  auto easy = ClassifyExactShapley(UniversityQ1()).value();
+  EXPECT_NE(easy.reason.find("hierarchical"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,58 @@
+// The random query generators: structural guarantees over many seeds.
+
+#include "datasets/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "query/analysis.h"
+
+namespace shapcq {
+namespace {
+
+class HierarchicalGenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchicalGenSweep, AlwaysHierarchicalSafeSelfJoinFree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 1);
+  QueryGenOptions options;
+  const CQ q = RandomHierarchicalCq(options, &rng);
+  EXPECT_GE(q.atom_count(), 1u);
+  EXPECT_TRUE(IsSafe(q)) << q.ToString();
+  EXPECT_TRUE(IsSelfJoinFree(q)) << q.ToString();
+  EXPECT_TRUE(IsHierarchical(q)) << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchicalGenSweep,
+                         ::testing::Range(0, 40));
+
+class SafeGenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SafeGenSweep, AlwaysSafeSelfJoinFree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 40503u + 7);
+  QueryGenOptions options;
+  const CQ q = RandomSafeCq(options, &rng);
+  EXPECT_TRUE(IsSafe(q)) << q.ToString();
+  EXPECT_TRUE(IsSelfJoinFree(q)) << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafeGenSweep, ::testing::Range(0, 40));
+
+TEST(QueryGenTest, DeterministicUnderSeed) {
+  QueryGenOptions options;
+  Rng rng1(5), rng2(5);
+  EXPECT_EQ(RandomHierarchicalCq(options, &rng1).ToString(),
+            RandomHierarchicalCq(options, &rng2).ToString());
+}
+
+TEST(QueryGenTest, ProducesNegationSometimes) {
+  QueryGenOptions options;
+  options.negation_rate = 1.0;
+  bool saw_negation = false;
+  for (int seed = 0; seed < 20 && !saw_negation; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    saw_negation = RandomHierarchicalCq(options, &rng).HasNegation();
+  }
+  EXPECT_TRUE(saw_negation);
+}
+
+}  // namespace
+}  // namespace shapcq

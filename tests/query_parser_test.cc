@@ -1,0 +1,142 @@
+// Parser and CQ/UCQ representation.
+
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/analysis.h"
+
+namespace shapcq {
+namespace {
+
+TEST(ParserTest, SimplePositiveQuery) {
+  CQ q = MustParseCQ("q() :- R(x,y), S(y,z)");
+  EXPECT_EQ(q.name(), "q");
+  EXPECT_TRUE(q.IsBoolean());
+  ASSERT_EQ(q.atom_count(), 2u);
+  EXPECT_EQ(q.atom(0).relation, "R");
+  EXPECT_EQ(q.atom(1).relation, "S");
+  EXPECT_EQ(q.var_count(), 3u);
+  EXPECT_FALSE(q.atom(0).negated);
+  // y is shared.
+  EXPECT_EQ(q.atom(0).terms[1].var, q.atom(1).terms[0].var);
+}
+
+TEST(ParserTest, NegationSpellings) {
+  for (const char* text :
+       {"q() :- R(x), not S(x)", "q() :- R(x), !S(x)", "q() :- R(x), \xC2\xACS(x)",
+        "q() :- R(x), NOT S(x)"}) {
+    CQ q = MustParseCQ(text);
+    ASSERT_EQ(q.atom_count(), 2u) << text;
+    EXPECT_FALSE(q.atom(0).negated) << text;
+    EXPECT_TRUE(q.atom(1).negated) << text;
+  }
+}
+
+TEST(ParserTest, Constants) {
+  CQ q = MustParseCQ("q() :- Course(y,'CS'), Level(y, 3)");
+  EXPECT_TRUE(q.atom(0).terms[1].IsConst());
+  EXPECT_EQ(q.atom(0).terms[1].constant, V("CS"));
+  EXPECT_TRUE(q.atom(1).terms[1].IsConst());
+  EXPECT_EQ(q.atom(1).terms[1].constant, V("3"));
+  EXPECT_EQ(q.var_count(), 1u);
+}
+
+TEST(ParserTest, HeadVariables) {
+  CQ q = MustParseCQ("answers(x, z) :- R(x,y), S(y,z)");
+  ASSERT_EQ(q.head().size(), 2u);
+  EXPECT_EQ(q.var_name(q.head()[0]), "x");
+  EXPECT_EQ(q.var_name(q.head()[1]), "z");
+  EXPECT_FALSE(q.IsBoolean());
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  CQ q = MustParseCQ("q() :- Flag(), R(x)");
+  EXPECT_EQ(q.atom(0).arity(), 0u);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseCQ("").ok());
+  EXPECT_FALSE(ParseCQ("q()").ok());
+  EXPECT_FALSE(ParseCQ("q() :- ").ok());
+  EXPECT_FALSE(ParseCQ("q() :- R(x").ok());
+  EXPECT_FALSE(ParseCQ("q() :- R(x) S(y)").ok());
+  EXPECT_FALSE(ParseCQ("q() :- R('unterminated)").ok());
+  EXPECT_FALSE(ParseCQ("q(x,) :- R(x) extra").ok());
+  EXPECT_FALSE(ParseCQ("q('c') :- R(x)").ok());  // constant in head
+}
+
+TEST(ParserTest, ToStringRoundTrip) {
+  const char* text = "q2() :- Stud(x), not TA(x), Reg(x,y), not Course(y,'CS')";
+  CQ q = MustParseCQ(text);
+  CQ reparsed = MustParseCQ(q.ToString());
+  EXPECT_EQ(q.ToString(), reparsed.ToString());
+}
+
+TEST(ParserTest, UcqOneRulePerLine) {
+  UCQ ucq = MustParseUCQ(
+      "q1() :- R(x)\n"
+      "\n"
+      "q2() :- S(x), not T(x)\n");
+  ASSERT_EQ(ucq.size(), 2u);
+  EXPECT_EQ(ucq.disjunct(0).name(), "q1");
+  EXPECT_EQ(ucq.disjunct(1).name(), "q2");
+}
+
+TEST(ParserTest, UcqErrors) {
+  EXPECT_FALSE(ParseUCQ("").ok());
+  EXPECT_FALSE(ParseUCQ("q() :- R(x\nq() :- S(y)").ok());
+}
+
+TEST(CQTest, SubstituteRemovesVariable) {
+  CQ q = MustParseCQ("q() :- R(x,y), S(y,x)");
+  CQ grounded = q.Substitute(q.FindVar("x"), V("c1"));
+  EXPECT_EQ(grounded.var_count(), 1u);
+  EXPECT_TRUE(grounded.atom(0).terms[0].IsConst());
+  EXPECT_EQ(grounded.atom(0).terms[0].constant, V("c1"));
+  EXPECT_TRUE(grounded.atom(1).terms[1].IsConst());
+  // y still shared between the two atoms.
+  EXPECT_EQ(grounded.atom(0).terms[1].var, grounded.atom(1).terms[0].var);
+}
+
+TEST(CQTest, SubstituteDropsHeadVar) {
+  CQ q = MustParseCQ("q(x,y) :- R(x,y)");
+  CQ grounded = q.Substitute(q.FindVar("x"), V("c1"));
+  ASSERT_EQ(grounded.head().size(), 1u);
+  EXPECT_EQ(grounded.var_name(grounded.head()[0]), "y");
+}
+
+TEST(CQTest, RestrictKeepsSelectedAtoms) {
+  CQ q = MustParseCQ("q() :- R(x,y), S(y,z), not T(z)");
+  CQ sub = q.Restrict({1, 2});
+  ASSERT_EQ(sub.atom_count(), 2u);
+  EXPECT_EQ(sub.atom(0).relation, "S");
+  EXPECT_EQ(sub.atom(1).relation, "T");
+  EXPECT_TRUE(sub.atom(1).negated);
+  EXPECT_EQ(sub.var_count(), 2u);  // y and z
+}
+
+TEST(CQTest, PositiveNegativePartition) {
+  CQ q = MustParseCQ("q() :- R(x), not S(x), T(x), not U(x)");
+  EXPECT_EQ(q.PositiveAtoms(), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(q.NegativeAtoms(), (std::vector<size_t>{1, 3}));
+  EXPECT_TRUE(q.HasNegation());
+  EXPECT_FALSE(MustParseCQ("q() :- R(x)").HasNegation());
+}
+
+TEST(CQTest, UsedVarsIgnoresHeadOnly) {
+  CQ q;
+  q.GetOrAddVar("unused");
+  q.AddPositive("R", {"x"});
+  EXPECT_EQ(q.UsedVars().size(), 1u);
+}
+
+TEST(AtomTest, VariablesDeduplicated) {
+  CQ q = MustParseCQ("q() :- R(x,y,x)");
+  EXPECT_EQ(q.atom(0).Variables().size(), 2u);
+  EXPECT_TRUE(q.atom(0).Uses(q.FindVar("x")));
+  EXPECT_TRUE(q.atom(0).Uses(q.FindVar("y")));
+}
+
+}  // namespace
+}  // namespace shapcq

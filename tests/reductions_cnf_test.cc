@@ -1,0 +1,127 @@
+// CNF substrate, DPLL, and the Lemma D.1 reduction chain
+// (3-colorability → (3+,2−)-SAT → (2+,2−,4+−)-SAT).
+
+#include <gtest/gtest.h>
+
+#include "reductions/cnf.h"
+#include "reductions/coloring.h"
+#include "reductions/dpll.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+CnfFormula TinyUnsat() {
+  // (x0) ∧ (¬x0).
+  CnfFormula formula;
+  formula.num_vars = 1;
+  formula.clauses.push_back(Clause{{{0, true}}});
+  formula.clauses.push_back(Clause{{{0, false}}});
+  return formula;
+}
+
+TEST(CnfTest, EvalAndToString) {
+  CnfFormula formula;
+  formula.num_vars = 2;
+  formula.clauses.push_back(Clause{{{0, true}, {1, false}}});
+  EXPECT_TRUE(formula.Eval({true, true}));
+  EXPECT_TRUE(formula.Eval({false, false}));
+  EXPECT_FALSE(formula.Eval({false, true}));
+  EXPECT_EQ(formula.ToString(), "(x0 | ~x1)");
+}
+
+TEST(CnfTest, BruteForceSat) {
+  EXPECT_FALSE(TinyUnsat().SatisfiableBruteForce());
+  CnfFormula empty;
+  empty.num_vars = 2;
+  EXPECT_TRUE(empty.SatisfiableBruteForce());
+}
+
+TEST(CnfTest, FormClassifiers) {
+  Rng rng(1);
+  EXPECT_TRUE(Is3CnfForm(Random3Cnf(5, 10, &rng)));
+  EXPECT_TRUE(Is224Form(Random224Cnf(5, 10, &rng)));
+  EXPECT_FALSE(Is224Form(Random3Cnf(5, 10, &rng)));
+  EXPECT_FALSE(Is3CnfForm(Random224Cnf(5, 10, &rng)));
+}
+
+TEST(DpllTest, MatchesBruteForceOnRandom3Cnf) {
+  Rng rng(42);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Around the 3SAT threshold to get a mix of SAT/UNSAT.
+    CnfFormula formula = Random3Cnf(6, 4 + trial % 24, &rng);
+    std::vector<bool> model;
+    const bool satisfiable = DpllSatisfiable(formula, &model);
+    EXPECT_EQ(satisfiable, formula.SatisfiableBruteForce())
+        << formula.ToString();
+    if (satisfiable) EXPECT_TRUE(formula.Eval(model));
+  }
+}
+
+TEST(DpllTest, MatchesBruteForceOnRandom224Cnf) {
+  Rng rng(43);
+  for (int trial = 0; trial < 60; ++trial) {
+    CnfFormula formula = Random224Cnf(6, 4 + trial % 20, &rng);
+    EXPECT_EQ(DpllSatisfiable(formula), formula.SatisfiableBruteForce())
+        << formula.ToString();
+  }
+}
+
+TEST(DpllTest, UnsatCore) { EXPECT_FALSE(DpllSatisfiable(TinyUnsat())); }
+
+TEST(ColoringTest, TriangleIsColorableK4PlusIsNot) {
+  SimpleGraph triangle{3, {{0, 1}, {1, 2}, {0, 2}}};
+  EXPECT_TRUE(IsThreeColorableBruteForce(triangle));
+  SimpleGraph k4{4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}};
+  EXPECT_FALSE(IsThreeColorableBruteForce(k4));
+}
+
+TEST(ColoringTest, ReductionToThreeTwoSatAgrees) {
+  Rng rng(44);
+  for (int trial = 0; trial < 20; ++trial) {
+    SimpleGraph graph = RandomGraph(5, 0.5 + 0.4 * (trial % 2), &rng);
+    CnfFormula formula = ColoringToThreeTwoSat(graph);
+    EXPECT_EQ(DpllSatisfiable(formula), IsThreeColorableBruteForce(graph))
+        << "trial " << trial;
+  }
+}
+
+TEST(ColoringTest, FullChainPreservesSatisfiability) {
+  // 3-colorability → (3+,2−) → (2+,2−,4+−), equisatisfiable at every step.
+  Rng rng(45);
+  for (int trial = 0; trial < 10; ++trial) {
+    SimpleGraph graph = RandomGraph(4, 0.6, &rng);
+    CnfFormula three_two = ColoringToThreeTwoSat(graph);
+    CnfFormula two_two_four = ThreeTwoTo224(three_two);
+    EXPECT_TRUE(Is224Form(two_two_four));
+    EXPECT_EQ(DpllSatisfiable(two_two_four),
+              IsThreeColorableBruteForce(graph))
+        << "trial " << trial;
+  }
+}
+
+TEST(ColoringTest, RewriteKeepsVariablesSatisfiable) {
+  // Direct check of the clause gadget: (x0 ∨ x1 ∨ x2) vs its three-clause
+  // (2+,2−,4+−) rewrite, over all assignments of the original variables.
+  CnfFormula three;
+  three.num_vars = 3;
+  three.clauses.push_back(Clause{{{0, true}, {1, true}, {2, true}}});
+  CnfFormula rewritten = ThreeTwoTo224(three);
+  ASSERT_EQ(rewritten.num_vars, 4);
+  for (int mask = 0; mask < 8; ++mask) {
+    std::vector<bool> base = {(mask & 1) != 0, (mask & 2) != 0,
+                              (mask & 4) != 0};
+    // The rewrite is satisfiable with this base assignment iff some value of
+    // the fresh variable works.
+    bool rewrite_ok = false;
+    for (bool y : {false, true}) {
+      std::vector<bool> full = base;
+      full.push_back(y);
+      rewrite_ok |= rewritten.Eval(full);
+    }
+    EXPECT_EQ(rewrite_ok, three.Eval(base)) << "mask " << mask;
+  }
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,103 @@
+// Theorem 5.1: the gap-property violation. The concrete Section 5.1 family
+// and the generic construction, with exact values checked by brute force.
+
+#include "reductions/gap.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "eval/homomorphism.h"
+#include "query/parser.h"
+#include "util/combinatorics.h"
+
+namespace shapcq {
+namespace {
+
+TEST(GapFamilyTest, SizesMatchConstruction) {
+  for (int n : {1, 2, 5}) {
+    GapInstance gap = BuildGapFamily(n);
+    EXPECT_EQ(gap.db.endogenous_count(), static_cast<size_t>(2 * n + 1));
+    EXPECT_EQ(gap.db.facts_of("S").size(), static_cast<size_t>(2 * n + 1));
+    EXPECT_TRUE(gap.db.is_endogenous(gap.f));
+  }
+}
+
+TEST(GapFamilyTest, ExactValueMatchesFormula) {
+  const CQ q = GapQuery();
+  for (int n : {1, 2, 3, 4}) {
+    GapInstance gap = BuildGapFamily(n);
+    EXPECT_EQ(ShapleyBruteForce(q, gap.db, gap.f), GapTheoreticalShapley(n))
+        << "n = " << n;
+  }
+}
+
+TEST(GapFamilyTest, DxSatisfiesQuery) {
+  // The construction's starting point: the exogenous part alone satisfies q.
+  GapInstance gap = BuildGapFamily(3);
+  EXPECT_TRUE(EvalBoolean(GapQuery(), gap.db, gap.db.EmptyWorld()));
+}
+
+TEST(GapFormulaTest, ExponentialDecay) {
+  // n!n!/(2n+1)! ≤ 2^{-n}, yet nonzero — the gap property fails.
+  for (int n = 1; n <= 20; ++n) {
+    const Rational value = GapTheoreticalShapley(n);
+    EXPECT_GT(value, Rational(0));
+    // 2^{-n} as a rational.
+    Rational bound(BigInt(1), BigInt(1).ShiftLeft(static_cast<size_t>(n)));
+    EXPECT_LE(value, bound) << "n = " << n;
+  }
+}
+
+TEST(GapFormulaTest, ClosedForm) {
+  EXPECT_EQ(GapTheoreticalShapley(1), Rational::Of(1, 6));
+  EXPECT_EQ(GapTheoreticalShapley(2), Rational::Of(4, 120));
+  EXPECT_EQ(GapTheoreticalShapley(3), Rational::Of(36, 5040));
+}
+
+TEST(GenericGapTest, PreconditionsEnforced) {
+  EXPECT_FALSE(BuildGenericGapFamily(
+                   MustParseCQ("q() :- R(x), S(x,y)"), 2)
+                   .ok());  // no negation
+  EXPECT_FALSE(BuildGenericGapFamily(
+                   MustParseCQ("q() :- R(x,'c'), not S(x)"), 2)
+                   .ok());  // constants
+  EXPECT_FALSE(BuildGenericGapFamily(
+                   MustParseCQ("q() :- R(x), T(y), not S(x)"), 2)
+                   .ok());  // not positively connected
+  EXPECT_FALSE(BuildGenericGapFamily(
+                   MustParseCQ("q() :- R(x), not R(x)"), 2)
+                   .ok());  // canonical DB unsatisfiable
+}
+
+TEST(GenericGapTest, MatchesFormulaOnConcreteQuery) {
+  // The generic construction applied to the paper's own q must reproduce
+  // |Shapley| = n!n!/(2n+1)!.
+  const CQ q = GapQuery();
+  for (int n : {1, 2}) {
+    auto gap = BuildGenericGapFamily(q, n);
+    ASSERT_TRUE(gap.ok()) << gap.error();
+    EXPECT_EQ(ShapleyBruteForce(q, gap.value().db, gap.value().f).Abs(),
+              GapTheoreticalShapley(n))
+        << "n = " << n;
+  }
+}
+
+TEST(GenericGapTest, WorksOnOtherQueries) {
+  for (const char* text :
+       {"q() :- R(x), S(x,y), not T(y)",
+        "q1() :- Stud(x), not TA(x), Reg(x,y)",
+        "q() :- A(x,y), not B(y,x)"}) {
+    const CQ q = MustParseCQ(text);
+    for (int n : {1, 2}) {
+      auto gap = BuildGenericGapFamily(q, n);
+      ASSERT_TRUE(gap.ok()) << text << ": " << gap.error();
+      const Rational value =
+          ShapleyBruteForce(q, gap.value().db, gap.value().f);
+      EXPECT_EQ(value.Abs(), GapTheoreticalShapley(n))
+          << text << " n = " << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shapcq

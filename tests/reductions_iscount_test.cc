@@ -1,0 +1,115 @@
+// Lemma B.3 forward: recovering |IS(g)| from a Shapley oracle for q_RS¬T via
+// the exact linear system, checked against direct enumeration. Also the
+// |S(g)| = |IS(g)| bijection used inside the proof.
+
+#include "reductions/iscount.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "query/analysis.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+ShapleyOracle BruteForceOracle() {
+  const CQ q = QRSNegT();
+  return [q](const Database& db, FactId f) {
+    return ShapleyBruteForce(q, db, f);
+  };
+}
+
+TEST(BaseQueriesTest, Shapes) {
+  for (const CQ& q : {QRst(), QNegRSNegT(), QRNegSt(), QRSNegT()}) {
+    EXPECT_TRUE(IsSafe(q)) << q.ToString();
+    EXPECT_TRUE(IsSelfJoinFree(q)) << q.ToString();
+    EXPECT_FALSE(IsHierarchical(q)) << q.ToString();
+  }
+}
+
+TEST(BipartiteTest, IndependentSetCounts) {
+  // Single edge a-b: subsets of {a, b} minus {a,b} itself = 3.
+  BipartiteGraph single{1, 1, {{0, 0}}};
+  EXPECT_EQ(CountIndependentSetsBruteForce(single).ToInt64(), 3);
+  // Two disjoint edges: 3 * 3.
+  BipartiteGraph two{2, 2, {{0, 0}, {1, 1}}};
+  EXPECT_EQ(CountIndependentSetsBruteForce(two).ToInt64(), 9);
+  // Complete bipartite K_{2,2}: left subsets (4) + right subsets (4) - 1.
+  BipartiteGraph k22{2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}}};
+  EXPECT_EQ(CountIndependentSetsBruteForce(k22).ToInt64(), 7);
+}
+
+TEST(BipartiteTest, ClosedSubsetBijection) {
+  // Σ_k |S(g,k)| = |IS(g)| (the bijection in the proof of Lemma 3.3).
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    BipartiteGraph graph = RandomBipartite(2, 3, 0.5, &rng);
+    ASSERT_FALSE(graph.HasIsolatedVertex());
+    BigInt total(0);
+    for (const BigInt& count : CountClosedSubsetsBruteForce(graph)) {
+      total += count;
+    }
+    EXPECT_EQ(total, CountIndependentSetsBruteForce(graph));
+  }
+}
+
+TEST(BipartiteTest, RandomGeneratorAvoidsIsolation) {
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    EXPECT_FALSE(RandomBipartite(3, 4, 0.2, &rng).HasIsolatedVertex());
+  }
+}
+
+TEST(IsCountInstanceTest, D0Shape) {
+  BipartiteGraph graph{2, 2, {{0, 0}, {1, 1}}};
+  FactId f = kNoFact;
+  Database d0 = BuildIsCountInstance(graph, 0, &f);
+  ASSERT_NE(f, kNoFact);
+  // Endo: 2 R + 2 T + T(0) = 5; S facts exogenous: 2 edges + 2 wires.
+  EXPECT_EQ(d0.endogenous_count(), 5u);
+  EXPECT_EQ(d0.facts_of("S").size(), 4u);
+  EXPECT_TRUE(d0.is_endogenous(f));
+}
+
+TEST(IsCountInstanceTest, DrShape) {
+  BipartiteGraph graph{2, 2, {{0, 0}, {1, 1}}};
+  FactId f = kNoFact;
+  Database d3 = BuildIsCountInstance(graph, 3, &f);
+  // Endo: 2 R + 2 T + T(0) + 3 fresh R = 8; S: 2 edges + 3 wires.
+  EXPECT_EQ(d3.endogenous_count(), 8u);
+  EXPECT_EQ(d3.facts_of("S").size(), 5u);
+}
+
+TEST(IsCountTest, SingleEdgeGraph) {
+  BipartiteGraph graph{1, 1, {{0, 0}}};
+  EXPECT_EQ(CountIndependentSetsViaShapley(graph, BruteForceOracle()),
+            CountIndependentSetsBruteForce(graph));
+}
+
+TEST(IsCountTest, CompleteBipartite22) {
+  BipartiteGraph graph{2, 2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}}};
+  EXPECT_EQ(CountIndependentSetsViaShapley(graph, BruteForceOracle()),
+            CountIndependentSetsBruteForce(graph));
+}
+
+TEST(IsCountTest, RandomGraphsMatchEnumeration) {
+  Rng rng(13);
+  for (int trial = 0; trial < 3; ++trial) {
+    BipartiteGraph graph = RandomBipartite(2, 2, 0.5, &rng);
+    EXPECT_EQ(CountIndependentSetsViaShapley(graph, BruteForceOracle()),
+              CountIndependentSetsBruteForce(graph))
+        << "trial " << trial;
+  }
+}
+
+TEST(IsCountTest, PathGraph) {
+  // Path a0 - b0 - a1: IS count of P3 = 5.
+  BipartiteGraph graph{2, 1, {{0, 0}, {1, 0}}};
+  EXPECT_EQ(CountIndependentSetsBruteForce(graph).ToInt64(), 5);
+  EXPECT_EQ(CountIndependentSetsViaShapley(graph, BruteForceOracle()),
+            BigInt(5));
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,139 @@
+// Propositions 5.5 and 5.8: the relevance-hardness encoders, verified
+// instance-by-instance — relevance of the encoded fact (decided by brute
+// force) must equal satisfiability of the source formula (decided by DPLL).
+
+#include "reductions/satred.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/relevance.h"
+#include "eval/homomorphism.h"
+#include "query/analysis.h"
+#include "reductions/dpll.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+TEST(QrstNegRTest, QueryShape) {
+  const CQ q = QrstNegR();
+  EXPECT_TRUE(IsSafe(q));
+  EXPECT_FALSE(IsSelfJoinFree(q));  // R appears four times
+  // T is polarity consistent (the fact f = T(c) lives there); R is not.
+  EXPECT_TRUE(IsRelationPolarityConsistent(q, "T"));
+  EXPECT_FALSE(IsRelationPolarityConsistent(q, "R"));
+  EXPECT_FALSE(IsPolarityConsistent(q));
+}
+
+TEST(QrstNegRTest, Figure4InstanceIsRelevant) {
+  // The paper's example formula is satisfiable (e.g. x2 = x3 = 1), so T(c)
+  // is (positively) relevant.
+  RelevanceInstance instance = Figure4Instance();
+  const CQ q = QrstNegR();
+  EXPECT_TRUE(IsPosRelevantBruteForce(q, instance.db, instance.f));
+  // Zeroness coincides (Corollary 5.6 direction): Shapley ≠ 0.
+  EXPECT_NE(ShapleyBruteForce(q, instance.db, instance.f), Rational(0));
+}
+
+TEST(QrstNegRTest, Figure4WitnessFromPaper) {
+  // The paper exhibits E = {R(2), R(3)} (1-based x2, x3) as a witness:
+  // Dx ∪ E ⊭ q while adding T(c) satisfies it.
+  RelevanceInstance instance = Figure4Instance();
+  const CQ q = QrstNegR();
+  const Database& db = instance.db;
+  World world = db.EmptyWorld();
+  world[db.endo_index(db.FindFact("R", {V("x2")}))] = true;
+  world[db.endo_index(db.FindFact("R", {V("x3")}))] = true;
+  EXPECT_FALSE(EvalBoolean(q, db, world));
+  world[db.endo_index(instance.f)] = true;
+  EXPECT_TRUE(EvalBoolean(q, db, world));
+}
+
+TEST(QrstNegRTest, UnsatisfiableFormulaMeansIrrelevant) {
+  // (x0 ∨ x1) ∧ (¬x0 ∨ ¬x1) ∧ (¬x0 ∨ ¬x0) ∧ (¬x1 ∨ ¬x1) is unsatisfiable.
+  CnfFormula formula;
+  formula.num_vars = 2;
+  formula.clauses.push_back(Clause{{{0, true}, {1, true}}});
+  formula.clauses.push_back(Clause{{{0, false}, {1, false}}});
+  formula.clauses.push_back(Clause{{{0, false}, {0, false}}});
+  formula.clauses.push_back(Clause{{{1, false}, {1, false}}});
+  ASSERT_FALSE(DpllSatisfiable(formula));
+  RelevanceInstance instance = EncodeQrstNegR(formula);
+  EXPECT_FALSE(
+      IsRelevantBruteForce(QrstNegR(), instance.db, instance.f));
+  EXPECT_EQ(ShapleyBruteForce(QrstNegR(), instance.db, instance.f),
+            Rational(0));
+}
+
+TEST(QrstNegRTest, RandomFormulasMatchSat) {
+  Rng rng(505);
+  const CQ q = QrstNegR();
+  for (int trial = 0; trial < 25; ++trial) {
+    CnfFormula formula = Random224Cnf(4, 3 + trial % 6, &rng);
+    RelevanceInstance instance = EncodeQrstNegR(formula);
+    EXPECT_EQ(IsRelevantBruteForce(q, instance.db, instance.f),
+              DpllSatisfiable(formula))
+        << formula.ToString();
+  }
+}
+
+TEST(QSatTest, QueryShape) {
+  const UCQ q = QSat();
+  ASSERT_EQ(q.size(), 4u);
+  // Each disjunct is polarity consistent; the union is not (T flips).
+  for (const CQ& disjunct : q.disjuncts()) {
+    EXPECT_TRUE(IsPolarityConsistent(disjunct)) << disjunct.ToString();
+  }
+  EXPECT_FALSE(IsPolarityConsistent(q));
+  EXPECT_TRUE(IsRelationPolarityConsistent(q, "R"));
+}
+
+TEST(QSatTest, SatisfiableFormulaMeansRelevant) {
+  // (x0 ∨ x1 ∨ x2) — satisfiable.
+  CnfFormula formula;
+  formula.num_vars = 3;
+  formula.clauses.push_back(Clause{{{0, true}, {1, true}, {2, true}}});
+  RelevanceInstance instance = EncodeQSat(formula);
+  EXPECT_TRUE(IsPosRelevantBruteForce(QSat(), instance.db, instance.f));
+}
+
+TEST(QSatTest, UnsatisfiableFormulaMeansIrrelevant) {
+  // All eight sign patterns over three variables: unsatisfiable.
+  CnfFormula formula;
+  formula.num_vars = 3;
+  for (int mask = 0; mask < 8; ++mask) {
+    Clause clause;
+    for (int v = 0; v < 3; ++v) {
+      clause.literals.push_back(Literal{v, ((mask >> v) & 1) != 0});
+    }
+    formula.clauses.push_back(clause);
+  }
+  ASSERT_FALSE(DpllSatisfiable(formula));
+  RelevanceInstance instance = EncodeQSat(formula);
+  EXPECT_FALSE(IsRelevantBruteForce(QSat(), instance.db, instance.f));
+}
+
+TEST(QSatTest, RandomFormulasMatchSat) {
+  Rng rng(707);
+  const UCQ q = QSat();
+  for (int trial = 0; trial < 20; ++trial) {
+    CnfFormula formula = Random3Cnf(4, 6 + trial % 18, &rng);
+    RelevanceInstance instance = EncodeQSat(formula);
+    if (instance.db.endogenous_count() > 16) continue;
+    EXPECT_EQ(IsRelevantBruteForce(q, instance.db, instance.f),
+              DpllSatisfiable(formula))
+        << formula.ToString();
+  }
+}
+
+TEST(QSatTest, AddingFAlwaysSatisfies) {
+  // R(0) satisfies disjunct q4 on its own: f is never negatively relevant.
+  Rng rng(808);
+  CnfFormula formula = Random3Cnf(3, 4, &rng);
+  RelevanceInstance instance = EncodeQSat(formula);
+  EXPECT_FALSE(IsNegRelevantBruteForce(QSat(), instance.db, instance.f));
+}
+
+}  // namespace
+}  // namespace shapcq

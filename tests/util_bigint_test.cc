@@ -1,0 +1,182 @@
+// BigInt: construction, arithmetic, division, gcd, conversions.
+
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <tuple>
+
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+  EXPECT_EQ(zero.ToInt64(), 0);
+}
+
+TEST(BigIntTest, FromInt64RoundTrips) {
+  for (int64_t value : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                        int64_t{-123456789}, int64_t{1} << 40,
+                        std::numeric_limits<int64_t>::max(),
+                        std::numeric_limits<int64_t>::min()}) {
+    BigInt big(value);
+    EXPECT_TRUE(big.FitsInt64());
+    EXPECT_EQ(big.ToInt64(), value) << value;
+    EXPECT_EQ(big.ToString(), std::to_string(value)) << value;
+  }
+}
+
+TEST(BigIntTest, ParseRoundTrips) {
+  for (const char* text :
+       {"0", "1", "-1", "999999999999999999999999999999",
+        "-123456789012345678901234567890"}) {
+    BigInt parsed = BigInt::FromString(text);
+    EXPECT_EQ(parsed.ToString(), text);
+  }
+}
+
+TEST(BigIntTest, ParseRejectsGarbage) {
+  BigInt out;
+  EXPECT_FALSE(BigInt::TryParse("", &out));
+  EXPECT_FALSE(BigInt::TryParse("-", &out));
+  EXPECT_FALSE(BigInt::TryParse("12a3", &out));
+  EXPECT_FALSE(BigInt::TryParse("1 2", &out));
+}
+
+TEST(BigIntTest, ParseAcceptsPlusSign) {
+  EXPECT_EQ(BigInt::FromString("+17").ToInt64(), 17);
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::FromString("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).ToString(), "4294967296");
+}
+
+TEST(BigIntTest, SignedAddition) {
+  EXPECT_EQ((BigInt(5) + BigInt(-7)).ToInt64(), -2);
+  EXPECT_EQ((BigInt(-5) + BigInt(7)).ToInt64(), 2);
+  EXPECT_EQ((BigInt(-5) + BigInt(-7)).ToInt64(), -12);
+  EXPECT_EQ((BigInt(5) + BigInt(-5)).ToInt64(), 0);
+}
+
+TEST(BigIntTest, SubtractionThroughZero) {
+  EXPECT_EQ((BigInt(3) - BigInt(10)).ToInt64(), -7);
+  EXPECT_EQ((BigInt(10) - BigInt(3)).ToInt64(), 7);
+  EXPECT_TRUE((BigInt(10) - BigInt(10)).IsZero());
+}
+
+TEST(BigIntTest, MultiplicationMatchesInt64) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t a = rng.UniformInRange(-1000000, 1000000);
+    const int64_t b = rng.UniformInRange(-1000000, 1000000);
+    EXPECT_EQ((BigInt(a) * BigInt(b)).ToInt64(), a * b) << a << " * " << b;
+  }
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt a = BigInt::FromString("123456789012345678901234567890");
+  BigInt b = BigInt::FromString("987654321098765432109876543210");
+  EXPECT_EQ((a * b).ToString(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigIntTest, DivModMatchesCppSemantics) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const int64_t a = rng.UniformInRange(-100000, 100000);
+    int64_t b = rng.UniformInRange(-1000, 1000);
+    if (b == 0) b = 17;
+    BigInt quotient, remainder;
+    BigInt::DivMod(BigInt(a), BigInt(b), &quotient, &remainder);
+    EXPECT_EQ(quotient.ToInt64(), a / b) << a << " / " << b;
+    EXPECT_EQ(remainder.ToInt64(), a % b) << a << " % " << b;
+  }
+}
+
+TEST(BigIntTest, DivisionReconstructsDividend) {
+  Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    // Random large operands built from pieces.
+    BigInt a = BigInt(static_cast<int64_t>(rng.Next() >> 1)) *
+                   BigInt(static_cast<int64_t>(rng.Next() >> 1)) +
+               BigInt(static_cast<int64_t>(rng.Next() >> 40));
+    BigInt b = BigInt(static_cast<int64_t>((rng.Next() >> 20) | 1));
+    BigInt quotient, remainder;
+    BigInt::DivMod(a, b, &quotient, &remainder);
+    EXPECT_EQ((quotient * b + remainder), a);
+    EXPECT_TRUE(remainder.Abs() < b.Abs());
+  }
+}
+
+TEST(BigIntTest, GcdBasics) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToInt64(), 6);
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToInt64(), 5);
+  EXPECT_EQ(BigInt::Gcd(BigInt(7), BigInt(0)).ToInt64(), 7);
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToInt64(), 1);
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LT(BigInt(0), BigInt::FromString("99999999999999999999"));
+  EXPECT_LT(BigInt::FromString("-99999999999999999999"), BigInt(0));
+  EXPECT_EQ(BigInt(7), BigInt::FromString("7"));
+}
+
+TEST(BigIntTest, ShiftLeft) {
+  EXPECT_EQ(BigInt(1).ShiftLeft(10).ToInt64(), 1024);
+  EXPECT_EQ(BigInt(3).ShiftLeft(33).ToString(), "25769803776");
+  EXPECT_EQ(BigInt(-1).ShiftLeft(4).ToInt64(), -16);
+  EXPECT_TRUE(BigInt(0).ShiftLeft(100).IsZero());
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt(1).ShiftLeft(100).BitLength(), 101u);
+}
+
+TEST(BigIntTest, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigInt(12345).ToDouble(), 12345.0);
+  EXPECT_NEAR(BigInt::FromString("1000000000000000000000").ToDouble(), 1e21,
+              1e6);
+  EXPECT_DOUBLE_EQ(BigInt(-7).ToDouble(), -7.0);
+}
+
+TEST(BigIntTest, FitsInt64Boundary) {
+  BigInt max(std::numeric_limits<int64_t>::max());
+  BigInt min(std::numeric_limits<int64_t>::min());
+  EXPECT_TRUE(max.FitsInt64());
+  EXPECT_TRUE(min.FitsInt64());
+  EXPECT_FALSE((max + BigInt(1)).FitsInt64());
+  EXPECT_FALSE((min - BigInt(1)).FitsInt64());
+  EXPECT_EQ((min).ToInt64(), std::numeric_limits<int64_t>::min());
+}
+
+TEST(BigIntTest, FactorialChain) {
+  // 30! computed by repeated multiplication, against the known value.
+  BigInt factorial(1);
+  for (int64_t i = 2; i <= 30; ++i) factorial *= BigInt(i);
+  EXPECT_EQ(factorial.ToString(), "265252859812191058636308480000000");
+}
+
+TEST(BigIntTest, NegationInvolution) {
+  BigInt value = BigInt::FromString("123456789123456789");
+  EXPECT_EQ(-(-value), value);
+  EXPECT_EQ((-value).Abs(), value);
+}
+
+}  // namespace
+}  // namespace shapcq

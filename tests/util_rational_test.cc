@@ -1,0 +1,85 @@
+// Rational: reduction, arithmetic, ordering, conversions.
+
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+namespace shapcq {
+namespace {
+
+TEST(RationalTest, ReducesOnConstruction) {
+  EXPECT_EQ(Rational::Of(6, 8).ToString(), "3/4");
+  EXPECT_EQ(Rational::Of(-6, 8).ToString(), "-3/4");
+  EXPECT_EQ(Rational::Of(6, -8).ToString(), "-3/4");
+  EXPECT_EQ(Rational::Of(-6, -8).ToString(), "3/4");
+  EXPECT_EQ(Rational::Of(0, 5).ToString(), "0");
+  EXPECT_EQ(Rational::Of(10, 5).ToString(), "2");
+}
+
+TEST(RationalTest, EqualityIsValueEquality) {
+  EXPECT_EQ(Rational::Of(1, 2), Rational::Of(2, 4));
+  EXPECT_NE(Rational::Of(1, 2), Rational::Of(1, 3));
+  EXPECT_EQ(Rational(0), Rational::Of(0, 7));
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ(Rational::Of(1, 2) + Rational::Of(1, 3), Rational::Of(5, 6));
+  EXPECT_EQ(Rational::Of(1, 2) - Rational::Of(1, 3), Rational::Of(1, 6));
+  EXPECT_EQ(Rational::Of(2, 3) * Rational::Of(3, 4), Rational::Of(1, 2));
+  EXPECT_EQ(Rational::Of(2, 3) / Rational::Of(4, 3), Rational::Of(1, 2));
+  EXPECT_EQ(-Rational::Of(2, 3), Rational::Of(-2, 3));
+  EXPECT_EQ(Rational::Of(-2, 3).Abs(), Rational::Of(2, 3));
+}
+
+TEST(RationalTest, PaperExampleArithmetic) {
+  // Example 2.3: the eight Shapley values of q1 sum to 1.
+  Rational sum = Rational::Of(-3, 28) + Rational::Of(-2, 35) + Rational(0) +
+                 Rational::Of(37, 210) + Rational::Of(37, 210) +
+                 Rational::Of(27, 140) + Rational::Of(13, 42) +
+                 Rational::Of(13, 42);
+  EXPECT_EQ(sum, Rational(1));
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(Rational::Of(1, 3), Rational::Of(1, 2));
+  EXPECT_LT(Rational::Of(-1, 2), Rational::Of(-1, 3));
+  EXPECT_LT(Rational::Of(-1, 2), Rational(0));
+  EXPECT_GE(Rational::Of(7, 7), Rational(1));
+  EXPECT_LE(Rational::Of(2, 35), Rational::Of(3, 28));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational::Of(1, 2).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational::Of(-3, 28).ToDouble(), -3.0 / 28.0);
+  EXPECT_DOUBLE_EQ(Rational(0).ToDouble(), 0.0);
+}
+
+TEST(RationalTest, ToDoubleSurvivesHugeTerms) {
+  // n! / (n+1)! = 1/(n+1) even when both factorials overflow double.
+  BigInt numerator(1), denominator(1);
+  for (int64_t i = 2; i <= 400; ++i) numerator *= BigInt(i);
+  denominator = numerator * BigInt(401);
+  Rational ratio(numerator, denominator);
+  EXPECT_NEAR(ratio.ToDouble(), 1.0 / 401.0, 1e-12);
+}
+
+TEST(RationalTest, ParseFormats) {
+  Rational out;
+  ASSERT_TRUE(Rational::TryParse("3/4", &out));
+  EXPECT_EQ(out, Rational::Of(3, 4));
+  ASSERT_TRUE(Rational::TryParse("-7", &out));
+  EXPECT_EQ(out, Rational(-7));
+  EXPECT_FALSE(Rational::TryParse("3/0", &out));
+  EXPECT_FALSE(Rational::TryParse("x/2", &out));
+}
+
+TEST(RationalTest, SignAndZero) {
+  EXPECT_EQ(Rational::Of(-2, 35).sign(), -1);
+  EXPECT_EQ(Rational::Of(2, 35).sign(), 1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+  EXPECT_TRUE(Rational(0).IsZero());
+  EXPECT_FALSE(Rational::Of(1, 1000000).IsZero());
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,120 @@
+// shapcq_cli — command-line front end for quick experiments.
+//
+//   shapcq_cli --db "Stud(a) TA(a)* Reg(a,os)*" \
+//              --query "q() :- Stud(x), not TA(x), Reg(x,y)" \
+//              [--exo Rel1,Rel2] [--brute-force] [--classify-only]
+//
+// Facts use the Database::ToString format ('*' marks endogenous). Prints the
+// dichotomy classification and, when an engine applies, the full attribution
+// report (every endogenous fact's exact Shapley value, ranked).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/plan.h"
+#include "core/report.h"
+#include "db/textio.h"
+#include "query/classify.h"
+#include "query/parser.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: shapcq_cli --db FACTS --query RULE [--exo R1,R2,...]\n"
+      "                  [--brute-force] [--classify-only] [--explain]\n"
+      "  FACTS: whitespace-separated facts, '*' suffix = endogenous,\n"
+      "         e.g. \"Stud(a) TA(a)* Reg(a,os)*\"\n"
+      "  RULE:  e.g. \"q() :- Stud(x), not TA(x), Reg(x,y)\"\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace shapcq;
+  std::string db_text, query_text, exo_text;
+  bool brute_force = false, classify_only = false, explain = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--db") {
+      db_text = next();
+    } else if (arg == "--query") {
+      query_text = next();
+    } else if (arg == "--exo") {
+      exo_text = next();
+    } else if (arg == "--brute-force") {
+      brute_force = true;
+    } else if (arg == "--classify-only") {
+      classify_only = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (db_text.empty() || query_text.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  auto db = ParseDatabase(db_text);
+  if (!db.ok()) {
+    std::fprintf(stderr, "bad --db: %s\n", db.error().c_str());
+    return 1;
+  }
+  auto query = ParseCQ(query_text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "bad --query: %s\n", query.error().c_str());
+    return 1;
+  }
+  ExoRelations exo;
+  std::string rest = exo_text;
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    exo.insert(rest.substr(0, comma));
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+  }
+
+  auto verdict = exo.empty() ? ClassifyExactShapley(query.value())
+                             : ClassifyExactShapley(query.value(), exo);
+  if (verdict.ok()) {
+    std::printf("classification: %s\n", verdict.value().reason.c_str());
+  } else {
+    std::printf("classification: %s\n", verdict.error().c_str());
+  }
+  if (explain) {
+    auto plan = CompileSafePlan(query.value());
+    if (plan.ok()) {
+      std::printf("safe plan:\n%s", ExplainPlan(*plan.value()).c_str());
+    } else {
+      std::printf("safe plan: %s\n", plan.error().c_str());
+    }
+  }
+  if (classify_only) return 0;
+
+  ReportOptions options;
+  options.exo = exo;
+  options.allow_brute_force = brute_force;
+  auto report = BuildAttributionReport(query.value(), db.value(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n(hint: pass --brute-force for small |Dn|)\n",
+                 report.error().c_str());
+    return 1;
+  }
+  std::printf("%s", RenderReport(report.value(), db.value()).c_str());
+  return 0;
+}
