@@ -1,0 +1,66 @@
+// All-facts exact Shapley: the single-pass ShapleyEngine against the
+// per-fact CntSat loop it replaces. The engine builds the matched-fact index
+// and the recursion tree once and re-evaluates only a root-to-leaf path per
+// fact (one path per symmetry orbit), so the gap widens with |Dn|; the
+// per-fact loop re-runs the whole recursion twice per fact.
+//
+// Arg = students in the q1-shaped scaling database (endo = 3s + ceil(s/2)):
+// s = 20 crosses the endo >= 64 threshold tracked in BENCH_shapley.json.
+
+#include <benchmark/benchmark.h>
+
+#include "core/shapley.h"
+#include "core/shapley_engine.h"
+#include "datasets/synthetic.h"
+#include "datasets/university.h"
+
+namespace {
+
+using namespace shapcq;
+
+void BM_EngineAllFacts(benchmark::State& state) {
+  const CQ q = UniversityQ1();
+  const Database db =
+      BuildStudentScalingDb(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    ShapleyEngine engine = std::move(ShapleyEngine::Build(q, db)).value();
+    benchmark::DoNotOptimize(engine.AllValues());
+  }
+  state.SetLabel("endo=" + std::to_string(db.endogenous_count()));
+}
+BENCHMARK(BM_EngineAllFacts)->Arg(4)->Arg(8)->Arg(16)->Arg(20)->Arg(32);
+
+void BM_PerFactCountSatLoop(benchmark::State& state) {
+  // The pre-engine ShapleyAllViaCountSat: one ShapleyViaCountSat call (two
+  // full CntSat runs over copied databases) per endogenous fact.
+  const CQ q = UniversityQ1();
+  const Database db =
+      BuildStudentScalingDb(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    std::vector<Rational> values;
+    values.reserve(db.endogenous_count());
+    for (FactId f : db.endogenous_facts()) {
+      values.push_back(ShapleyViaCountSat(q, db, f).value());
+    }
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetLabel("endo=" + std::to_string(db.endogenous_count()));
+}
+BENCHMARK(BM_PerFactCountSatLoop)->Arg(4)->Arg(8)->Arg(16)->Arg(20)->Arg(32);
+
+void BM_EngineBuildOnly(benchmark::State& state) {
+  // The shared index + memoized tree, without any value queries: the fixed
+  // cost one baseline CntSat-equivalent pass pays.
+  const CQ q = UniversityQ1();
+  const Database db =
+      BuildStudentScalingDb(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ShapleyEngine::Build(q, db).value());
+  }
+  state.SetLabel("endo=" + std::to_string(db.endogenous_count()));
+}
+BENCHMARK(BM_EngineBuildOnly)->Arg(8)->Arg(20)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

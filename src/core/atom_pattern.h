@@ -1,0 +1,73 @@
+// Precompiled atom match patterns.
+//
+// Matching a fact against an atom must check (a) constant positions and
+// (b) repeated-variable positions holding equal values. Deriving those
+// checks from the term list per fact costs O(arity^2) per fact; an
+// AtomPattern derives them once per atom so every fact is matched with one
+// linear scan over the (usually tiny) check lists. Shared by CntSat and the
+// all-facts ShapleyEngine, which match every database fact against every
+// atom of the query.
+
+#ifndef SHAPCQ_CORE_ATOM_PATTERN_H_
+#define SHAPCQ_CORE_ATOM_PATTERN_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "db/value_dictionary.h"
+#include "query/atom.h"
+
+namespace shapcq {
+
+/// The constant/equality constraints a tuple must satisfy to match an atom.
+struct AtomPattern {
+  /// (position, required constant) for each constant term.
+  std::vector<std::pair<size_t, Value>> const_checks;
+  /// (first position of a variable, later position of the same variable);
+  /// the tuple must hold equal values at the two positions.
+  std::vector<std::pair<size_t, size_t>> eq_checks;
+};
+
+/// Compiles the atom's term list into its constraint lists (O(arity^2),
+/// paid once per atom instead of once per fact).
+inline AtomPattern BuildAtomPattern(const Atom& atom) {
+  AtomPattern pattern;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    if (term.IsConst()) {
+      pattern.const_checks.emplace_back(i, term.constant);
+      continue;
+    }
+    // Record equalities against the first occurrence only.
+    bool first = true;
+    for (size_t j = 0; j < i; ++j) {
+      if (atom.terms[j].IsVar() && atom.terms[j].var == term.var) {
+        first = false;
+        break;
+      }
+    }
+    if (!first) continue;
+    for (size_t j = i + 1; j < atom.terms.size(); ++j) {
+      if (atom.terms[j].IsVar() && atom.terms[j].var == term.var) {
+        pattern.eq_checks.emplace_back(i, j);
+      }
+    }
+  }
+  return pattern;
+}
+
+/// Does the tuple satisfy the pattern? Linear in the number of checks.
+inline bool MatchesPattern(const AtomPattern& pattern, const Tuple& tuple) {
+  for (const auto& [pos, constant] : pattern.const_checks) {
+    if (!(tuple[pos] == constant)) return false;
+  }
+  for (const auto& [first, later] : pattern.eq_checks) {
+    if (!(tuple[first] == tuple[later])) return false;
+  }
+  return true;
+}
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_ATOM_PATTERN_H_

@@ -3,6 +3,7 @@
 #include <map>
 #include <optional>
 
+#include "core/atom_pattern.h"
 #include "query/analysis.h"
 #include "util/check.h"
 
@@ -17,25 +18,6 @@ struct FactInfo {
 };
 
 using AtomLists = std::vector<std::vector<FactInfo>>;
-
-// Does the tuple match the atom's pattern (constants agree; positions holding
-// the same variable hold equal values)?
-bool Matches(const Atom& atom, const Tuple& tuple) {
-  for (size_t i = 0; i < atom.terms.size(); ++i) {
-    const Term& term = atom.terms[i];
-    if (term.IsConst()) {
-      if (!(term.constant == tuple[i])) return false;
-    } else {
-      for (size_t j = i + 1; j < atom.terms.size(); ++j) {
-        if (atom.terms[j].IsVar() && atom.terms[j].var == term.var &&
-            !(tuple[j] == tuple[i])) {
-          return false;
-        }
-      }
-    }
-  }
-  return true;
-}
 
 size_t EndoCount(const AtomLists& lists) {
   size_t count = 0;
@@ -73,7 +55,7 @@ CountVector CoreCount(const CQ& q, const AtomLists& lists) {
       CQ sub = q.Restrict(component);
       AtomLists sub_lists;
       for (size_t index : component) sub_lists.push_back(lists[index]);
-      result = result.Convolve(CoreCount(sub, sub_lists));
+      result.ConvolveWith(CoreCount(sub, sub_lists));
     }
     return result;
   }
@@ -129,7 +111,7 @@ CountVector CoreCount(const CQ& q, const AtomLists& lists) {
   for (auto& [value_id, slice_lists] : slices) {
     CQ sliced = q.Substitute(*root, Value{value_id});
     CountVector sat = CoreCount(sliced, slice_lists);
-    unsat_all = unsat_all.Convolve(sat.ComplementAgainstAll());
+    unsat_all.ConvolveWith(sat.ComplementAgainstAll());
   }
   CountVector sat_all =
       CountVector::All(unsat_all.universe_size()) - unsat_all;
@@ -156,9 +138,12 @@ Result<CountVector> CountSat(const CQ& q, const Database& db) {
   size_t relevant_endo = 0;
   for (size_t i = 0; i < q.atom_count(); ++i) {
     const Atom& atom = q.atom(i);
+    // Compile the atom's constant/equality constraints once; matching each
+    // fact is then a linear scan instead of an O(arity^2) rederivation.
+    const AtomPattern pattern = BuildAtomPattern(atom);
     const RelationId rel = db.schema().Find(atom.relation);
     for (FactId fact : db.facts_of(rel)) {
-      if (!Matches(atom, db.tuple_of(fact))) continue;
+      if (!MatchesPattern(pattern, db.tuple_of(fact))) continue;
       lists[i].push_back(FactInfo{db.tuple_of(fact), db.is_endogenous(fact)});
       if (db.is_endogenous(fact)) ++relevant_endo;
     }

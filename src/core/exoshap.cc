@@ -1,10 +1,12 @@
 #include "core/exoshap.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "core/count_sat.h"
 #include "core/shapley.h"
+#include "core/shapley_engine.h"
 #include "eval/complement.h"
 #include "eval/homomorphism.h"
 #include "eval/join.h"
@@ -231,27 +233,81 @@ Result<TransformedInstance> ExoShapTransform(const CQ& q, const Database& db,
   return step3;
 }
 
+namespace {
+
+// A query whose atoms are all exogenous ignores the endogenous facts.
+bool IgnoresEndogenousFacts(const CQ& q, const ExoRelations& exo) {
+  for (const Atom& atom : q.atoms()) {
+    if (exo.count(atom.relation) == 0) return false;
+  }
+  return true;
+}
+
+// The shared tail of both ExoShap entry points: the transformed instance
+// and a ShapleyEngine built over it. The instance is heap-pinned because
+// the engine holds a pointer to its database.
+struct MappedShapleyEngine {
+  std::unique_ptr<TransformedInstance> instance;
+  ShapleyEngine engine;
+
+  // The transformation preserves each endogenous fact's (relation, tuple)
+  // identity but not its FactId / endo index.
+  FactId MapFact(const Database& original, FactId f) const {
+    const FactId mapped = instance->db.FindFact(
+        original.schema().name(original.relation_of(f)), original.tuple_of(f));
+    SHAPCQ_CHECK_MSG(mapped != kNoFact,
+                     "endogenous fact lost by the transformation");
+    return mapped;
+  }
+};
+
+Result<MappedShapleyEngine> BuildMappedEngine(const CQ& q, const Database& db,
+                                              const ExoRelations& exo) {
+  auto transformed = ExoShapTransform(q, db, exo);
+  if (!transformed.ok()) {
+    return Result<MappedShapleyEngine>::Error(transformed.error());
+  }
+  auto instance =
+      std::make_unique<TransformedInstance>(std::move(transformed).value());
+  SHAPCQ_CHECK(instance->db.endogenous_count() == db.endogenous_count());
+  auto engine = ShapleyEngine::Build(instance->query, instance->db);
+  if (!engine.ok()) return Result<MappedShapleyEngine>::Error(engine.error());
+  return Result<MappedShapleyEngine>::Ok(
+      MappedShapleyEngine{std::move(instance), std::move(engine).value()});
+}
+
+}  // namespace
+
 Result<Rational> ExoShapShapley(const CQ& q, const Database& db,
                                 const ExoRelations& exo, FactId f) {
   if (!db.is_endogenous(f)) {
     return Result<Rational>::Error("Shapley of an exogenous fact");
   }
-  // A query whose atoms are all exogenous ignores the endogenous facts.
-  bool has_non_exo_atom = false;
-  for (const Atom& atom : q.atoms()) {
-    if (exo.count(atom.relation) == 0) has_non_exo_atom = true;
-  }
-  if (!has_non_exo_atom) return Result<Rational>::Ok(Rational(0));
+  if (IgnoresEndogenousFacts(q, exo)) return Result<Rational>::Ok(Rational(0));
+  auto built = BuildMappedEngine(q, db, exo);
+  if (!built.ok()) return Result<Rational>::Error(built.error());
+  MappedShapleyEngine mapped = std::move(built).value();
+  return Result<Rational>::Ok(mapped.engine.Value(mapped.MapFact(db, f)));
+}
 
-  auto transformed = ExoShapTransform(q, db, exo);
-  if (!transformed.ok()) return Result<Rational>::Error(transformed.error());
-  const TransformedInstance& instance = transformed.value();
-  SHAPCQ_CHECK(instance.db.endogenous_count() == db.endogenous_count());
-  const FactId mapped = instance.db.FindFact(
-      db.schema().name(db.relation_of(f)), db.tuple_of(f));
-  SHAPCQ_CHECK_MSG(mapped != kNoFact,
-                   "endogenous fact lost by the transformation");
-  return ShapleyViaCountSat(instance.query, instance.db, mapped);
+Result<std::vector<Rational>> ExoShapShapleyAll(const CQ& q,
+                                                const Database& db,
+                                                const ExoRelations& exo) {
+  using AllResult = Result<std::vector<Rational>>;
+  if (IgnoresEndogenousFacts(q, exo)) {
+    return AllResult::Ok(
+        std::vector<Rational>(db.endogenous_count(), Rational(0)));
+  }
+  auto built = BuildMappedEngine(q, db, exo);
+  if (!built.ok()) return AllResult::Error(built.error());
+  MappedShapleyEngine mapped = std::move(built).value();
+  // Answer in the ORIGINAL db's endo-index order.
+  std::vector<Rational> values;
+  values.reserve(db.endogenous_count());
+  for (FactId f : db.endogenous_facts()) {
+    values.push_back(mapped.engine.Value(mapped.MapFact(db, f)));
+  }
+  return AllResult::Ok(std::move(values));
 }
 
 }  // namespace shapcq

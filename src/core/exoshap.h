@@ -63,6 +63,15 @@ Result<TransformedInstance> ExoShapTransform(const CQ& q, const Database& db,
 Result<Rational> ExoShapShapley(const CQ& q, const Database& db,
                                 const ExoRelations& exo, FactId f);
 
+/// Shapley values of EVERY endogenous fact (endo-index order of `db`).
+/// Runs the ExoShap transformation once and serves all facts from one
+/// ShapleyEngine over the transformed instance — the per-fact ExoShapShapley
+/// re-materializes complements/joins/pads for each fact, an O(|Dn|) blow-up
+/// this entry point avoids. Preconditions as for ExoShapShapley.
+Result<std::vector<Rational>> ExoShapShapleyAll(const CQ& q,
+                                                const Database& db,
+                                                const ExoRelations& exo);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_CORE_EXOSHAP_H_

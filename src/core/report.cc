@@ -30,19 +30,26 @@ Result<AttributionReport> BuildAttributionReport(
         " (FP^#P-hard per the dichotomies) and brute force is not allowed");
   }
 
-  for (FactId f : db.endogenous_facts()) {
-    Rational value;
-    if (report.engine == "CntSat") {
-      auto result = ShapleyViaCountSat(q, db, f);
-      if (!result.ok()) return Result<AttributionReport>::Error(result.error());
-      value = std::move(result).value();
-    } else if (report.engine == "ExoShap") {
-      auto result = ExoShapShapley(q, db, options.exo, f);
-      if (!result.ok()) return Result<AttributionReport>::Error(result.error());
-      value = std::move(result).value();
-    } else {
-      value = ShapleyBruteForce(q, db, f);
+  // All-facts attribution is served by the single-pass engines: one shared
+  // CntSat recursion (and, for ExoShap, one transformation) for the whole
+  // table instead of a from-scratch computation per fact.
+  std::vector<Rational> values;
+  if (report.engine == "CntSat") {
+    auto result = ShapleyAllViaCountSat(q, db);
+    if (!result.ok()) return Result<AttributionReport>::Error(result.error());
+    values = std::move(result).value();
+  } else if (report.engine == "ExoShap") {
+    auto result = ExoShapShapleyAll(q, db, options.exo);
+    if (!result.ok()) return Result<AttributionReport>::Error(result.error());
+    values = std::move(result).value();
+  } else {
+    values.reserve(db.endogenous_count());
+    for (FactId f : db.endogenous_facts()) {
+      values.push_back(ShapleyBruteForce(q, db, f));
     }
+  }
+  for (FactId f : db.endogenous_facts()) {
+    Rational& value = values[db.endo_index(f)];
     report.total += value;
     report.rows.push_back(Attribution{f, std::move(value)});
   }

@@ -3,6 +3,7 @@
 #include "core/brute_force.h"
 #include "core/count_sat.h"
 #include "core/exoshap.h"
+#include "core/shapley_engine.h"
 #include "util/check.h"
 #include "util/combinatorics.h"
 
@@ -42,23 +43,19 @@ Result<Rational> ShapleyViaCountSat(const CQ& q, const Database& db,
 
 Result<std::vector<Rational>> ShapleyAllViaCountSat(const CQ& q,
                                                     const Database& db) {
-  std::vector<Rational> values;
-  values.reserve(db.endogenous_count());
-  for (FactId f : db.endogenous_facts()) {
-    auto value = ShapleyViaCountSat(q, db, f);
-    if (!value.ok()) {
-      return Result<std::vector<Rational>>::Error(value.error());
-    }
-    values.push_back(std::move(value).value());
+  auto engine = ShapleyEngine::Build(q, db);
+  if (!engine.ok()) {
+    return Result<std::vector<Rational>>::Error(engine.error());
   }
-  return Result<std::vector<Rational>>::Ok(std::move(values));
+  ShapleyEngine built = std::move(engine).value();
+  return Result<std::vector<Rational>>::Ok(built.AllValues());
 }
 
 Rational ShapleyExact(const CQ& q, const Database& db, FactId f,
                       const ExoRelations& exo) {
   if (IsSafe(q) && IsSelfJoinFree(q)) {
     if (IsHierarchical(q)) {
-      return ShapleyViaCountSat(q, db, f).value();
+      return ShapleyEngine::Build(q, db).value().Value(f);
     }
     if (!exo.empty() && !FindNonHierarchicalPath(q, exo).has_value() &&
         exo.count(db.schema().name(db.relation_of(f))) == 0) {

@@ -31,9 +31,15 @@ Rational ShapleyFromSatCounts(const CountVector& sat_with_f,
 
 /// Shapley(D,q,f) in polynomial time via CntSat. Requires q safe,
 /// self-join-free and hierarchical; f must be endogenous.
+///
+/// This is the reference per-fact path (two full CntSat runs over copied
+/// databases); it is kept verbatim as the differential-testing oracle for
+/// ShapleyEngine, which computes the same values from one shared recursion.
 Result<Rational> ShapleyViaCountSat(const CQ& q, const Database& db, FactId f);
 
-/// Shapley values of every endogenous fact (endo-index order) via CntSat.
+/// Shapley values of every endogenous fact (endo-index order). Runs the
+/// single-pass ShapleyEngine (shapley_engine.h): one shared CntSat index,
+/// per-fact path re-evaluation, one value per symmetry orbit.
 Result<std::vector<Rational>> ShapleyAllViaCountSat(const CQ& q,
                                                     const Database& db);
 

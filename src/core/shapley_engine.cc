@@ -1,0 +1,436 @@
+#include "core/shapley_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/atom_pattern.h"
+#include "core/shapley.h"
+#include "query/analysis.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Per-atom lists of arena indices: the recursion's working set. Slicing
+// copies 32-bit indices, never Tuples.
+using IndexLists = std::vector<std::vector<uint32_t>>;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine state
+// ---------------------------------------------------------------------------
+
+struct ShapleyEngine::Impl {
+  // One node of the memoized CntSat recursion tree.
+  struct Node {
+    enum class Kind { kGround, kComponent, kRootVar };
+    Kind kind = Kind::kGround;
+    int parent = -1;       // node id, -1 for the root
+    int child_index = -1;  // position within parent's children
+    std::vector<int> children;
+    size_t free_endo = 0;  // kRootVar: endo facts inconsistent at the root var
+    bool negated = false;  // kGround: the atom's polarity
+    CountVector sat = CountVector::Zero(0);  // memoized |Sat| of this subtree
+    int sig = -1;          // hash-consed structural signature
+    // Lazily built: context[j] = convolution of all children's combine
+    // vectors except child j (sat for kComponent, unsat for kRootVar).
+    std::vector<CountVector> context;
+  };
+
+  const Database* db = nullptr;
+  size_t endo_count = 0;
+  size_t global_free_endo = 0;  // endo facts matching no atom pattern
+  std::vector<Node> nodes;
+  int root = -1;
+  CountVector baseline = CountVector::Zero(0);
+
+  // Shared fact arena: matched facts as indices, queried via *db.
+  std::vector<FactId> arena_fact;
+  std::vector<bool> arena_endo;
+
+  // Per endogenous fact (endo-index order): its ground leaf (-1 for null
+  // players) and its orbit key — the hash-consed signatures along the
+  // leaf-to-root path. Null players get the empty key.
+  std::vector<int> leaf_of_endo;
+  std::vector<std::vector<int>> orbit_key_of_endo;
+
+  std::unordered_map<std::string, int> sig_interner;
+  std::map<std::vector<int>, Rational> orbit_values;  // memoized per orbit
+  Stats stats;
+
+  int Intern(const std::string& canonical) {
+    return sig_interner
+        .emplace(canonical, static_cast<int>(sig_interner.size()))
+        .first->second;
+  }
+
+  int AddNode(Node node) {
+    nodes.push_back(std::move(node));
+    return static_cast<int>(nodes.size()) - 1;
+  }
+
+  int BuildNode(const CQ& q, IndexLists lists);
+  void EnsureContexts(int node_id);
+  CountVector PropagateToRoot(int leaf, CountVector vec);
+  Rational ValueAtLeaf(int leaf);
+  const Rational& OrbitValue(size_t endo_index);
+};
+
+// ---------------------------------------------------------------------------
+// Tree construction (mirrors CoreCount in count_sat.cc, built once)
+// ---------------------------------------------------------------------------
+
+int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists) {
+  SHAPCQ_CHECK(q.atom_count() == lists.size());
+
+  // Disconnected subquery: one child per variable-connected component.
+  const auto components = AtomComponents(q);
+  if (components.size() > 1) {
+    std::vector<int> children;
+    for (const auto& component : components) {
+      CQ sub = q.Restrict(component);
+      IndexLists sub_lists;
+      sub_lists.reserve(component.size());
+      for (size_t index : component) {
+        sub_lists.push_back(std::move(lists[index]));
+      }
+      children.push_back(BuildNode(sub, std::move(sub_lists)));
+    }
+    Node node;
+    node.kind = Node::Kind::kComponent;
+    node.children = children;
+    node.sat = CountVector();  // identity of Convolve
+    std::vector<int> child_sigs;
+    for (int child : children) {
+      node.sat.ConvolveWith(nodes[child].sat);
+      child_sigs.push_back(nodes[child].sig);
+    }
+    std::sort(child_sigs.begin(), child_sigs.end());
+    std::string canonical = "C";
+    for (int sig : child_sigs) canonical += "|" + std::to_string(sig);
+    node.sig = Intern(canonical);
+    const int id = AddNode(std::move(node));
+    for (size_t i = 0; i < children.size(); ++i) {
+      nodes[children[i]].parent = id;
+      nodes[children[i]].child_index = static_cast<int>(i);
+    }
+    return id;
+  }
+
+  if (q.UsedVars().empty()) {
+    // Connected and variable-free: a single ground atom (Lemma 3.2 base
+    // case, extended for negation).
+    SHAPCQ_CHECK(q.atom_count() == 1);
+    const std::vector<uint32_t>& list = lists[0];
+    SHAPCQ_CHECK_MSG(list.size() <= 1,
+                     "ground atom with more than one matching fact");
+    Node node;
+    node.kind = Node::Kind::kGround;
+    node.negated = q.atom(0).negated;
+    int state = 0;  // 0 = no matching fact, 1 = exogenous, 2 = endogenous
+    if (!list.empty()) state = arena_endo[list[0]] ? 2 : 1;
+    if (!node.negated) {
+      if (state == 0) node.sat = CountVector::Zero(0);
+      if (state == 1) node.sat = CountVector::All(0);
+      if (state == 2) node.sat = CountVector::FromCounts({BigInt(0), BigInt(1)});
+    } else {
+      if (state == 0) node.sat = CountVector::All(0);
+      if (state == 1) node.sat = CountVector::Zero(0);
+      if (state == 2) node.sat = CountVector::FromCounts({BigInt(1), BigInt(0)});
+    }
+    node.sig = Intern("G|" + std::to_string(node.negated ? 1 : 0) + "|" +
+                      std::to_string(state));
+    const int id = AddNode(std::move(node));
+    if (state == 2) {
+      leaf_of_endo[db->endo_index(arena_fact[list[0]])] = id;
+    }
+    return id;
+  }
+
+  // Connected with variables: slice by the root variable's value.
+  std::optional<VarId> rootvar = FindRootVariable(q);
+  SHAPCQ_CHECK_MSG(rootvar.has_value(),
+                   "connected hierarchical subquery lacks a root variable");
+
+  std::vector<std::vector<size_t>> root_positions(q.atom_count());
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    const Atom& atom = q.atom(i);
+    for (size_t pos = 0; pos < atom.terms.size(); ++pos) {
+      if (atom.terms[pos].IsVar() && atom.terms[pos].var == *rootvar) {
+        root_positions[i].push_back(pos);
+      }
+    }
+    SHAPCQ_CHECK(!root_positions[i].empty());
+  }
+
+  // Facts with unequal values at the root positions can join nothing: free.
+  // Their endogenous members are null players — they stay leaf-less and the
+  // node only remembers their count (an All(free_endo) convolution factor).
+  std::map<int32_t, IndexLists> slices;
+  size_t free_endo = 0;
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    for (uint32_t index : lists[i]) {
+      const Tuple& tuple = db->tuple_of(arena_fact[index]);
+      // shapcq::Value spelled out: inside ShapleyEngine's scope the bare
+      // name resolves to the Value() member function.
+      const shapcq::Value root_value = tuple[root_positions[i][0]];
+      bool consistent = true;
+      for (size_t pos : root_positions[i]) {
+        if (!(tuple[pos] == root_value)) consistent = false;
+      }
+      if (!consistent) {
+        if (arena_endo[index]) ++free_endo;
+        continue;
+      }
+      auto [it, inserted] = slices.try_emplace(root_value.id);
+      if (inserted) it->second.resize(q.atom_count());
+      it->second[i].push_back(index);
+    }
+  }
+
+  std::vector<int> children;
+  CountVector unsat_all;  // identity; grows over the slice universes
+  for (auto& [value_id, slice_lists] : slices) {
+    CQ sliced = q.Substitute(*rootvar, shapcq::Value{value_id});
+    const int child = BuildNode(sliced, std::move(slice_lists));
+    children.push_back(child);
+    unsat_all.ConvolveWith(nodes[child].sat.ComplementAgainstAll());
+  }
+
+  Node node;
+  node.kind = Node::Kind::kRootVar;
+  node.children = children;
+  node.free_endo = free_endo;
+  node.sat = (CountVector::All(unsat_all.universe_size()) - unsat_all)
+                 .Convolve(CountVector::All(free_endo));
+  std::vector<int> child_sigs;
+  for (int child : children) child_sigs.push_back(nodes[child].sig);
+  std::sort(child_sigs.begin(), child_sigs.end());
+  std::string canonical = "R|f" + std::to_string(free_endo);
+  for (int sig : child_sigs) canonical += "|" + std::to_string(sig);
+  node.sig = Intern(canonical);
+  const int id = AddNode(std::move(node));
+  for (size_t i = 0; i < children.size(); ++i) {
+    nodes[children[i]].parent = id;
+    nodes[children[i]].child_index = static_cast<int>(i);
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Per-fact path re-evaluation
+// ---------------------------------------------------------------------------
+
+void ShapleyEngine::Impl::EnsureContexts(int node_id) {
+  Node& node = nodes[node_id];
+  if (!node.context.empty() || node.children.empty()) return;
+  const size_t m = node.children.size();
+  const bool rootvar = node.kind == Node::Kind::kRootVar;
+  // combine[i]: the vector child i contributes to the parent's product —
+  // its sat for conjunction (kComponent), its unsat for the "no slice
+  // holds" product (kRootVar).
+  std::vector<CountVector> combine;
+  combine.reserve(m);
+  for (int child : node.children) {
+    combine.push_back(rootvar ? nodes[child].sat.ComplementAgainstAll()
+                              : nodes[child].sat);
+  }
+  // prefix[m] and suffix[0] (the full products) are never read by any
+  // context[j]; stopping one short skips the two widest convolutions.
+  std::vector<CountVector> prefix(m + 1), suffix(m + 1);
+  for (size_t i = 0; i + 1 < m; ++i) {
+    prefix[i + 1] = prefix[i].Convolve(combine[i]);
+  }
+  for (size_t i = m; i-- > 1;) {
+    suffix[i] = combine[i].Convolve(suffix[i + 1]);
+  }
+  node.context.reserve(m);
+  for (size_t j = 0; j < m; ++j) {
+    node.context.push_back(prefix[j].Convolve(suffix[j + 1]));
+  }
+}
+
+// Walks a perturbed leaf vector up to the root, re-convolving against the
+// memoized sibling products. The returned vector is the full-database |Sat|
+// with the leaf's fact forced to the given leaf vector (universe n-1).
+CountVector ShapleyEngine::Impl::PropagateToRoot(int leaf, CountVector vec) {
+  for (int node = leaf; nodes[node].parent >= 0;) {
+    const int parent = nodes[node].parent;
+    const int j = nodes[node].child_index;
+    EnsureContexts(parent);
+    const Node& pn = nodes[parent];
+    if (pn.kind == Node::Kind::kComponent) {
+      vec = pn.context[j].Convolve(vec);
+    } else {
+      CountVector unsat_all =
+          pn.context[j].Convolve(vec.ComplementAgainstAll());
+      vec = CountVector::All(unsat_all.universe_size()) - unsat_all;
+      if (pn.free_endo > 0) {
+        vec.ConvolveWith(CountVector::All(pn.free_endo));
+      }
+    }
+    node = parent;
+  }
+  if (global_free_endo > 0) {
+    vec.ConvolveWith(CountVector::All(global_free_endo));
+  }
+  return vec;
+}
+
+// Shapley value of the fact at `leaf`: re-evaluates the two perturbed
+// scenarios (fact exogenous / fact removed) along the single path.
+Rational ShapleyEngine::Impl::ValueAtLeaf(int leaf) {
+  const bool negated = nodes[leaf].negated;
+  // Forced exogenous: a positive ground atom is always satisfied (All(0)),
+  // a negated one always blocked (Zero(0)). Removal is the mirror image.
+  CountVector present = CountVector::All(0);
+  CountVector absent = CountVector::Zero(0);
+  CountVector sat_with = PropagateToRoot(leaf, negated ? absent : present);
+  CountVector sat_without = PropagateToRoot(leaf, negated ? present : absent);
+  return ShapleyFromSatCounts(sat_with, sat_without, endo_count);
+}
+
+// Memoized per-orbit value for the fact at the given endo index (which must
+// not be a null player).
+const Rational& ShapleyEngine::Impl::OrbitValue(size_t endo_index) {
+  const std::vector<int>& key = orbit_key_of_endo[endo_index];
+  auto it = orbit_values.find(key);
+  if (it == orbit_values.end()) {
+    it = orbit_values.emplace(key, ValueAtLeaf(leaf_of_endo[endo_index]))
+             .first;
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+ShapleyEngine::ShapleyEngine() = default;
+ShapleyEngine::~ShapleyEngine() = default;
+ShapleyEngine::ShapleyEngine(ShapleyEngine&&) noexcept = default;
+ShapleyEngine& ShapleyEngine::operator=(ShapleyEngine&&) noexcept = default;
+
+Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db) {
+  if (!IsSafe(q)) {
+    return Result<ShapleyEngine>::Error(
+        "ShapleyEngine requires safe negation: " + q.ToString());
+  }
+  if (!IsSelfJoinFree(q)) {
+    return Result<ShapleyEngine>::Error(
+        "ShapleyEngine requires a self-join-free query: " + q.ToString());
+  }
+  if (!IsHierarchical(q)) {
+    return Result<ShapleyEngine>::Error(
+        "ShapleyEngine requires a hierarchical query: " + q.ToString());
+  }
+
+  ShapleyEngine engine;
+  engine.impl_ = std::make_unique<Impl>();
+  Impl& impl = *engine.impl_;
+  impl.db = &db;
+  impl.endo_count = db.endogenous_count();
+  impl.leaf_of_endo.assign(impl.endo_count, -1);
+  impl.orbit_key_of_endo.assign(impl.endo_count, {});
+
+  // Shared matched-fact index: every fact of every atom's relation, matched
+  // once against the precompiled pattern and interned into the flat arena.
+  IndexLists lists(q.atom_count());
+  size_t relevant_endo = 0;
+  for (size_t i = 0; i < q.atom_count(); ++i) {
+    const Atom& atom = q.atom(i);
+    const AtomPattern pattern = BuildAtomPattern(atom);
+    const RelationId rel = db.schema().Find(atom.relation);
+    for (FactId fact : db.facts_of(rel)) {
+      if (!MatchesPattern(pattern, db.tuple_of(fact))) continue;
+      const uint32_t index = static_cast<uint32_t>(impl.arena_fact.size());
+      impl.arena_fact.push_back(fact);
+      impl.arena_endo.push_back(db.is_endogenous(fact));
+      lists[i].push_back(index);
+      if (db.is_endogenous(fact)) ++relevant_endo;
+    }
+  }
+  impl.global_free_endo = impl.endo_count - relevant_endo;
+
+  impl.root = impl.BuildNode(q, std::move(lists));
+  impl.baseline = impl.nodes[impl.root].sat.Convolve(
+      CountVector::All(impl.global_free_endo));
+
+  // Orbit keys: the hash-consed signature of every node on the leaf-to-root
+  // path. Equal keys -> the leaves are related by a tree automorphism ->
+  // the facts are symmetric players with equal Shapley values.
+  for (size_t e = 0; e < impl.endo_count; ++e) {
+    int node = impl.leaf_of_endo[e];
+    if (node < 0) continue;  // null player: empty key
+    std::vector<int>& key = impl.orbit_key_of_endo[e];
+    for (; node >= 0; node = impl.nodes[node].parent) {
+      key.push_back(impl.nodes[node].sig);
+    }
+  }
+
+  impl.stats.node_count = impl.nodes.size();
+  impl.stats.arena_size = impl.arena_fact.size();
+  for (int leaf : impl.leaf_of_endo) {
+    if (leaf < 0) ++impl.stats.null_player_count;
+  }
+  return Result<ShapleyEngine>::Ok(std::move(engine));
+}
+
+const CountVector& ShapleyEngine::BaselineSat() const {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  return impl_->baseline;
+}
+
+Rational ShapleyEngine::Value(FactId f) {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  Impl& impl = *impl_;
+  SHAPCQ_CHECK_MSG(impl.db->is_endogenous(f), "Shapley of an exogenous fact");
+  const size_t e = impl.db->endo_index(f);
+  if (impl.leaf_of_endo[e] < 0) return Rational(0);  // null player
+  return impl.OrbitValue(e);
+}
+
+std::vector<Rational> ShapleyEngine::AllValues() {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  Impl& impl = *impl_;
+  std::vector<Rational> values;
+  values.reserve(impl.endo_count);
+  bool any_null = false;
+  for (size_t e = 0; e < impl.endo_count; ++e) {
+    if (impl.leaf_of_endo[e] < 0) {
+      any_null = true;
+      values.push_back(Rational(0));
+      continue;
+    }
+    values.push_back(impl.OrbitValue(e));
+  }
+  impl.stats.orbit_count = impl.orbit_values.size() + (any_null ? 1 : 0);
+  return values;
+}
+
+std::vector<size_t> ShapleyEngine::OrbitIds() {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  Impl& impl = *impl_;
+  std::map<std::vector<int>, size_t> ids;  // empty key = the null orbit
+  std::vector<size_t> out;
+  out.reserve(impl.endo_count);
+  for (size_t e = 0; e < impl.endo_count; ++e) {
+    out.push_back(
+        ids.emplace(impl.orbit_key_of_endo[e], ids.size()).first->second);
+  }
+  impl.stats.orbit_count = ids.size();
+  return out;
+}
+
+ShapleyEngine::Stats ShapleyEngine::stats() const {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  return impl_->stats;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,93 @@
+// Single-pass exact Shapley values for ALL endogenous facts.
+//
+// The per-fact reduction (shapley.h) runs the full CntSat recursion twice per
+// fact — an O(|Dn|) blow-up over what the recursion structure requires,
+// because forcing one fact exogenous (or removing it) only perturbs the
+// recursion along the root-to-leaf path that contains the fact. This engine
+// exploits that:
+//
+//  1. Shared index. The matched-fact index (every fact matched against every
+//     atom pattern) and the root-variable slice tree of the CntSat recursion
+//     are built ONCE. Facts live in a flat arena; recursion slices are
+//     vectors of arena indices, never copied Tuples.
+//  2. Node memoization. Every tree node caches its |Sat| count vector, and
+//     every internal node lazily caches, per child, the convolution of all
+//     OTHER children's combine vectors (prefix x suffix products). A per-fact
+//     query then re-evaluates only the leaf-to-root path, convolving the
+//     perturbed child vector against the memoized sibling product at each
+//     ancestor.
+//  3. Orbits. Facts whose leaf-to-root paths traverse structurally identical
+//     (hash-consed signature-equal) children are symmetric players of the
+//     game; one Shapley value is computed per orbit. Facts matching no atom
+//     — and facts inconsistent at repeated root positions — are null players
+//     with value 0, no computation at all.
+//
+// Results are bit-identical to the per-fact path: both assemble
+// Shapley(D,q,f) from the same two exact |Sat| vectors.
+
+#ifndef SHAPCQ_CORE_SHAPLEY_ENGINE_H_
+#define SHAPCQ_CORE_SHAPLEY_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "util/count_vector.h"
+#include "util/rational.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// All-facts exact Shapley computation over a shared CntSat index.
+/// Build() once per (query, database); value queries are then cheap.
+class ShapleyEngine {
+ public:
+  /// Build/query statistics, for tests and benchmarks.
+  struct Stats {
+    size_t node_count = 0;        ///< recursion tree nodes
+    size_t arena_size = 0;        ///< facts matched into the shared arena
+    size_t null_player_count = 0; ///< endogenous facts with Shapley ≡ 0
+    size_t orbit_count = 0;       ///< distinct orbits among endogenous facts
+  };
+
+  /// Empty engine; the only way to get a usable one is Build().
+  ShapleyEngine();
+  ~ShapleyEngine();
+  ShapleyEngine(ShapleyEngine&&) noexcept;
+  ShapleyEngine& operator=(ShapleyEngine&&) noexcept;
+
+  /// Builds the shared index and memoized recursion tree. Requires q safe,
+  /// self-join-free and hierarchical (returns an error otherwise, mirroring
+  /// CountSat). The database is captured by reference metadata only; it must
+  /// outlive the engine.
+  static Result<ShapleyEngine> Build(const CQ& q, const Database& db);
+
+  /// |Sat(D,q,k)| for all k of the unmodified database — identical to
+  /// CountSat(q, db).
+  const CountVector& BaselineSat() const;
+
+  /// Shapley(D,q,f). Aborts if f is exogenous.
+  Rational Value(FactId f);
+
+  /// Shapley values of every endogenous fact, endo-index order. Computes one
+  /// value per orbit and shares it across the orbit's members.
+  std::vector<Rational> AllValues();
+
+  /// Orbit id of every endogenous fact, endo-index order. Ids are dense,
+  /// first-seen order; all null players share one orbit. Facts with equal
+  /// orbit ids are symmetric players (equal Shapley values by construction).
+  std::vector<size_t> OrbitIds();
+
+  /// Statistics of the built engine. orbit_count is populated by AllValues /
+  /// OrbitIds (0 before the first all-facts query).
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_CORE_SHAPLEY_ENGINE_H_

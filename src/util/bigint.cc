@@ -11,7 +11,43 @@
 namespace shapcq {
 
 namespace {
+
 constexpr uint64_t kBase = uint64_t{1} << 32;
+
+// a += b on little-endian magnitudes. b must not alias a.
+void AddLimbsInPlace(std::vector<uint32_t>* a, const std::vector<uint32_t>& b) {
+  if (a->size() < b.size()) a->resize(b.size(), 0);
+  uint64_t carry = 0;
+  size_t i = 0;
+  for (; i < b.size(); ++i) {
+    const uint64_t sum = carry + (*a)[i] + b[i];
+    (*a)[i] = static_cast<uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  for (; carry != 0 && i < a->size(); ++i) {
+    const uint64_t sum = carry + (*a)[i];
+    (*a)[i] = static_cast<uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) a->push_back(static_cast<uint32_t>(carry));
+}
+
+// a -= b on little-endian magnitudes; requires |a| >= |b|. b must not alias a.
+void SubLimbsInPlace(std::vector<uint32_t>* a, const std::vector<uint32_t>& b) {
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a->size() && (borrow != 0 || i < b.size()); ++i) {
+    int64_t diff = static_cast<int64_t>((*a)[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    (*a)[i] = static_cast<uint32_t>(diff);
+  }
+}
+
 }  // namespace
 
 BigInt::BigInt(int64_t value) {
@@ -152,6 +188,12 @@ BigInt BigInt::Abs() const {
 BigInt BigInt::operator+(const BigInt& other) const {
   if (sign_ == 0) return other;
   if (other.sign_ == 0) return *this;
+  if (limbs_.size() == 1 && other.limbs_.size() == 1) {
+    // Single-limb fast path: both magnitudes are < 2^32, so the signed sum
+    // fits comfortably in an int64 and the int64 constructor does the rest.
+    return BigInt(sign_ * static_cast<int64_t>(limbs_[0]) +
+                  other.sign_ * static_cast<int64_t>(other.limbs_[0]));
+  }
   BigInt result;
   if (sign_ == other.sign_) {
     result.limbs_ = AddMagnitude(limbs_, other.limbs_);
@@ -176,10 +218,124 @@ BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
 BigInt BigInt::operator*(const BigInt& other) const {
   if (sign_ == 0 || other.sign_ == 0) return BigInt();
   BigInt result;
-  result.limbs_ = MulMagnitude(limbs_, other.limbs_);
   result.sign_ = sign_ * other.sign_;
+  if (limbs_.size() == 1 && other.limbs_.size() == 1) {
+    // Single-limb fast path: one hardware multiply, at most two limbs out.
+    const uint64_t product =
+        static_cast<uint64_t>(limbs_[0]) * other.limbs_[0];
+    result.limbs_.push_back(static_cast<uint32_t>(product & 0xffffffffu));
+    if (product >> 32) {
+      result.limbs_.push_back(static_cast<uint32_t>(product >> 32));
+    }
+    return result;
+  }
+  result.limbs_ = MulMagnitude(limbs_, other.limbs_);
   result.Normalize();
   return result;
+}
+
+BigInt& BigInt::AccumulateSigned(const BigInt& other, int sign_multiplier) {
+  const int other_sign = other.sign_ * sign_multiplier;
+  if (other_sign == 0) return *this;
+  if (this == &other) {
+    // Aliased: either doubling (+=) or cancellation (-=).
+    if (sign_multiplier < 0) {
+      sign_ = 0;
+      limbs_.clear();
+    } else {
+      AddLimbsInPlace(&limbs_, std::vector<uint32_t>(limbs_));
+    }
+    return *this;
+  }
+  if (sign_ == 0) {
+    limbs_ = other.limbs_;
+    sign_ = other_sign;
+    return *this;
+  }
+  if (sign_ == other_sign) {
+    AddLimbsInPlace(&limbs_, other.limbs_);
+    return *this;
+  }
+  const int cmp = CompareMagnitude(limbs_, other.limbs_);
+  if (cmp == 0) {
+    sign_ = 0;
+    limbs_.clear();
+    return *this;
+  }
+  if (cmp > 0) {
+    SubLimbsInPlace(&limbs_, other.limbs_);
+  } else {
+    limbs_ = SubMagnitude(other.limbs_, limbs_);
+    sign_ = other_sign;
+  }
+  Normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  if (sign_ == 0) return *this;
+  if (other.sign_ == 0) {
+    sign_ = 0;
+    limbs_.clear();
+    return *this;
+  }
+  if (other.limbs_.size() == 1) {
+    // In-place scan with carry; covers the aliased x *= x only when x is
+    // itself single-limb, where the multiplier is copied out first.
+    const uint64_t multiplier = other.limbs_[0];
+    const int result_sign = sign_ * other.sign_;
+    uint64_t carry = 0;
+    for (uint32_t& limb : limbs_) {
+      const uint64_t cur = static_cast<uint64_t>(limb) * multiplier + carry;
+      limb = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+    sign_ = result_sign;
+    return *this;
+  }
+  // MulMagnitude reads both operands before the assignment lands, so the
+  // aliased case is safe here too.
+  limbs_ = MulMagnitude(limbs_, other.limbs_);
+  sign_ *= other.sign_;
+  Normalize();
+  return *this;
+}
+
+BigInt& BigInt::AddProductOf(const BigInt& a, const BigInt& b) {
+  if (a.sign_ == 0 || b.sign_ == 0) return *this;
+  const int product_sign = a.sign_ * b.sign_;
+  if (this == &a || this == &b || (sign_ != 0 && sign_ != product_sign)) {
+    // Aliased or sign-flipping accumulation: take the allocating route.
+    return *this += a * b;
+  }
+  const std::vector<uint32_t>& al = a.limbs_;
+  const std::vector<uint32_t>& bl = b.limbs_;
+  if (limbs_.size() < al.size() + bl.size()) {
+    limbs_.resize(al.size() + bl.size(), 0);
+  }
+  for (size_t i = 0; i < al.size(); ++i) {
+    const uint64_t ai = al[i];
+    uint64_t carry = 0;
+    for (size_t j = 0; j < bl.size(); ++j) {
+      const uint64_t cur =
+          static_cast<uint64_t>(limbs_[i + j]) + ai * bl[j] + carry;
+      limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    for (size_t k = i + bl.size(); carry != 0; ++k) {
+      if (k == limbs_.size()) {
+        limbs_.push_back(static_cast<uint32_t>(carry));
+        break;
+      }
+      const uint64_t cur = static_cast<uint64_t>(limbs_[k]) + carry;
+      limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+  }
+  sign_ = product_sign;
+  Normalize();
+  return *this;
 }
 
 BigInt BigInt::ShiftLeft(size_t bits) const {

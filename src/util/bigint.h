@@ -5,7 +5,9 @@
 // computation requires big integers. This is a self-contained sign-magnitude
 // implementation with 32-bit limbs (64-bit intermediates), schoolbook
 // multiplication and shift-subtract division — ample for the sizes this
-// library handles (|Dn| up to a few hundred).
+// library handles (|Dn| up to a few hundred). Single-limb operands (the
+// overwhelmingly common case early in a convolution cascade) take dedicated
+// fast paths, and the compound operators accumulate in place.
 
 #ifndef SHAPCQ_UTIL_BIGINT_H_
 #define SHAPCQ_UTIL_BIGINT_H_
@@ -51,10 +53,20 @@ class BigInt {
   /// Remainder with the sign of the dividend (C++ semantics).
   BigInt operator%(const BigInt& other) const;
 
-  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
-  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
-  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  /// True in-place accumulation: reuses this value's limb storage instead of
+  /// allocating a temporary and copy-assigning it back. The hot loops of the
+  /// CntSat convolutions run entirely on += / AddProductOf.
+  BigInt& operator+=(const BigInt& other) { return AccumulateSigned(other, 1); }
+  BigInt& operator-=(const BigInt& other) { return AccumulateSigned(other, -1); }
+  BigInt& operator*=(const BigInt& other);
   BigInt& operator/=(const BigInt& other) { return *this = *this / other; }
+
+  /// Fused multiply-accumulate: *this += a * b. When the product's sign
+  /// cannot flip the accumulator's (the invariant throughout count-vector
+  /// arithmetic, where everything is non-negative), the partial products are
+  /// accumulated directly into this value's limbs — no temporary BigInt is
+  /// materialized. Falls back to *this += a * b otherwise.
+  BigInt& AddProductOf(const BigInt& a, const BigInt& b);
 
   /// Computes quotient and remainder in one pass. Aborts if divisor is zero.
   static void DivMod(const BigInt& dividend, const BigInt& divisor,
@@ -96,6 +108,9 @@ class BigInt {
   // Divides magnitude by a small divisor in place; returns the remainder.
   static uint32_t DivModSmallInPlace(std::vector<uint32_t>* limbs,
                                      uint32_t divisor);
+  // *this += other with other's sign multiplied by sign_multiplier (+1 or
+  // -1); the shared body of += and -=.
+  BigInt& AccumulateSigned(const BigInt& other, int sign_multiplier);
   void Normalize();
 
   int sign_;                     // -1, 0, +1

@@ -19,27 +19,42 @@ BigInt Combinatorics::Factorial(size_t n) {
 
 BigInt Combinatorics::Binomial(size_t n, size_t k) {
   if (k > n) return BigInt(0);
+  // Serve from the row cache when the row is already materialized (don't
+  // build an O(n^2) cache for a point query, though).
+  const auto& rows = BinomialRowCache();
+  if (n < rows.size()) return rows[n][k];
   // Use the smaller symmetric index and a running product; exact because the
   // intermediate product i steps in is divisible by i!.
   if (k > n - k) k = n - k;
   BigInt result(1);
   for (size_t i = 1; i <= k; ++i) {
-    result = result * BigInt(static_cast<int64_t>(n - k + i));
-    result = result / BigInt(static_cast<int64_t>(i));
+    result *= BigInt(static_cast<int64_t>(n - k + i));
+    result /= BigInt(static_cast<int64_t>(i));
   }
   return result;
 }
 
+std::vector<std::vector<BigInt>>& Combinatorics::BinomialRowCache() {
+  static std::vector<std::vector<BigInt>>* cache =
+      new std::vector<std::vector<BigInt>>{{BigInt(1)}};
+  return *cache;
+}
+
 std::vector<BigInt> Combinatorics::BinomialRow(size_t n) {
-  std::vector<BigInt> row;
-  row.reserve(n + 1);
-  row.push_back(BigInt(1));
-  for (size_t k = 1; k <= n; ++k) {
-    // C(n,k) = C(n,k-1) * (n-k+1) / k, exact at every step.
-    BigInt next = row.back() * BigInt(static_cast<int64_t>(n - k + 1));
-    row.push_back(next / BigInt(static_cast<int64_t>(k)));
+  std::vector<std::vector<BigInt>>& cache = BinomialRowCache();
+  while (cache.size() <= n) {
+    // Pascal's rule from the previous row: additions only, no division.
+    const std::vector<BigInt>& prev = cache.back();
+    std::vector<BigInt> row;
+    row.reserve(prev.size() + 1);
+    row.push_back(BigInt(1));
+    for (size_t k = 1; k < prev.size(); ++k) {
+      row.push_back(prev[k - 1] + prev[k]);
+    }
+    row.push_back(BigInt(1));
+    cache.push_back(std::move(row));
   }
-  return row;
+  return cache[n];
 }
 
 }  // namespace shapcq

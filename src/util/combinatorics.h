@@ -14,9 +14,13 @@
 
 namespace shapcq {
 
-/// Process-wide cache of factorials and binomial coefficients. Thread-unsafe
-/// by design (the library is single-threaded); all methods grow the cache on
-/// demand.
+/// Process-wide cache of factorials and binomial coefficients.
+///
+/// Thread safety: all caches are plain process-wide statics grown on demand
+/// with no locking — the library is single-threaded by design. A future
+/// multi-threaded engine must either guard these with a mutex, switch to
+/// thread_local caches, or pre-warm them (e.g. call Factorial(n) and
+/// BinomialRow(n) for the largest n) before spawning workers.
 class Combinatorics {
  public:
   /// n! as an exact integer. Returned by value: the memoization cache may
@@ -25,11 +29,18 @@ class Combinatorics {
   static BigInt Factorial(size_t n);
   /// C(n, k); zero when k > n.
   static BigInt Binomial(size_t n, size_t k);
-  /// The full row [C(n,0), ..., C(n,n)].
+  /// The full row [C(n,0), ..., C(n,n)]. Rows are memoized (lazy Pascal
+  /// triangle, same pattern as FactorialCache): CountVector::All and
+  /// ComplementAgainstAll request the same rows over and over inside the
+  /// CntSat recursion, and building row n from row n-1 is pure additions.
+  /// The cache holds O(n^2) BigInts for the largest n requested — fine for
+  /// the |Dn| ≤ a few hundred this library targets. Returned by value (see
+  /// Factorial).
   static std::vector<BigInt> BinomialRow(size_t n);
 
  private:
   static std::vector<BigInt>& FactorialCache();
+  static std::vector<std::vector<BigInt>>& BinomialRowCache();
 };
 
 }  // namespace shapcq

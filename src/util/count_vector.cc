@@ -33,10 +33,15 @@ CountVector CountVector::Convolve(const CountVector& other) const {
     if (counts_[i].IsZero()) continue;
     for (size_t j = 0; j < other.counts_.size(); ++j) {
       if (other.counts_[j].IsZero()) continue;
-      result[i + j] += counts_[i] * other.counts_[j];
+      result[i + j].AddProductOf(counts_[i], other.counts_[j]);
     }
   }
   return CountVector(std::move(result));
+}
+
+CountVector& CountVector::ConvolveWith(const CountVector& other) {
+  *this = Convolve(other);
+  return *this;
 }
 
 CountVector CountVector::ComplementAgainstAll() const {

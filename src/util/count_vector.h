@@ -41,8 +41,14 @@ class CountVector {
   BigInt Total() const;
 
   /// Counts of subsets of the combined (disjoint) universe whose restriction
-  /// to each part qualifies in that part.
+  /// to each part qualifies in that part. Accumulates partial products
+  /// directly into the result cells (BigInt::AddProductOf), so no temporary
+  /// BigInt is allocated per (i, j) pair.
   CountVector Convolve(const CountVector& other) const;
+  /// *this = *this ⊛ other. Convolution needs a fresh output buffer, but the
+  /// assignment is a move — use this form in convolution cascades to make
+  /// the intent (and the absence of a second copy) explicit.
+  CountVector& ConvolveWith(const CountVector& other);
   /// Counts of subsets that do NOT qualify: All(n) - *this.
   CountVector ComplementAgainstAll() const;
   /// Pointwise sum; universes must have equal size.

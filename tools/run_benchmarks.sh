@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds the Release benchmarks and records the all-facts Shapley benchmark
+# as BENCH_shapley.json at the repository root, so the perf trajectory is
+# tracked PR over PR.
+#
+#   tools/run_benchmarks.sh [build-dir]
+#
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-bench}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
+      -DSHAPCQ_BUILD_TESTS=OFF -DSHAPCQ_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc)" --target bench_shapley_all
+
+"$build_dir/bench/bench_shapley_all" \
+    --benchmark_format=json \
+    --benchmark_out="$repo_root/BENCH_shapley.json" \
+    --benchmark_out_format=json
+
+echo "wrote $repo_root/BENCH_shapley.json"
