@@ -6,6 +6,8 @@
 //
 // Arg = students in the q1-shaped scaling database (endo = 3s + ceil(s/2)):
 // s = 20 crosses the endo >= 64 threshold tracked in BENCH_shapley.json.
+// BM_EngineAllFactsParallel adds a thread-count axis ({students, threads})
+// over the same workload; serial-vs-parallel speedups land in the same JSON.
 
 #include <benchmark/benchmark.h>
 
@@ -47,6 +49,40 @@ void BM_PerFactCountSatLoop(benchmark::State& state) {
   state.SetLabel("endo=" + std::to_string(db.endogenous_count()));
 }
 BENCHMARK(BM_PerFactCountSatLoop)->Arg(4)->Arg(8)->Arg(16)->Arg(20)->Arg(32);
+
+void BM_EngineAllFactsParallel(benchmark::State& state) {
+  // The worker-pool path: args = {students, threads}. threads=1 routes to
+  // the serial engine inside AllValues, so the t=1 rows double as the
+  // baseline for the per-thread speedup curve BENCH_shapley.json records.
+  // Output is bit-identical across the thread axis (asserted by the
+  // determinism tests); only wall-clock should move.
+  const CQ q = UniversityQ1();
+  const Database db =
+      BuildStudentScalingDb(static_cast<int>(state.range(0)), 3);
+  ParallelOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    // Build is identical serial work at every thread count — keep it out of
+    // the timed region so the rows measure the value-computation speedup,
+    // not (Build + values) / (Build + values/t). Engine destruction stays
+    // timed (cheap relative to AllValues).
+    state.PauseTiming();
+    ShapleyEngine engine = std::move(ShapleyEngine::Build(q, db)).value();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.AllValues(options));
+  }
+  state.SetLabel("endo=" + std::to_string(db.endogenous_count()) +
+                 " threads=" + std::to_string(options.num_threads));
+}
+BENCHMARK(BM_EngineAllFactsParallel)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({20, 8})
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->Args({32, 8});
 
 void BM_EngineBuildOnly(benchmark::State& state) {
   // The shared index + memoized tree, without any value queries: the fixed

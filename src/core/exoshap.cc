@@ -292,7 +292,8 @@ Result<Rational> ExoShapShapley(const CQ& q, const Database& db,
 
 Result<std::vector<Rational>> ExoShapShapleyAll(const CQ& q,
                                                 const Database& db,
-                                                const ExoRelations& exo) {
+                                                const ExoRelations& exo,
+                                                const ParallelOptions& options) {
   using AllResult = Result<std::vector<Rational>>;
   if (IgnoresEndogenousFacts(q, exo)) {
     return AllResult::Ok(
@@ -301,11 +302,15 @@ Result<std::vector<Rational>> ExoShapShapleyAll(const CQ& q,
   auto built = BuildMappedEngine(q, db, exo);
   if (!built.ok()) return AllResult::Error(built.error());
   MappedShapleyEngine mapped = std::move(built).value();
-  // Answer in the ORIGINAL db's endo-index order.
+  // One all-facts pass over the transformed instance — in parallel when
+  // requested — then reorder into the ORIGINAL db's endo-index order.
+  const std::vector<Rational> transformed_values =
+      mapped.engine.AllValues(options);
   std::vector<Rational> values;
   values.reserve(db.endogenous_count());
   for (FactId f : db.endogenous_facts()) {
-    values.push_back(mapped.engine.Value(mapped.MapFact(db, f)));
+    values.push_back(
+        transformed_values[mapped.instance->db.endo_index(mapped.MapFact(db, f))]);
   }
   return AllResult::Ok(std::move(values));
 }

@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "core/shapley_engine.h"
 #include "db/database.h"
 #include "query/analysis.h"
 #include "query/cq.h"
@@ -67,10 +68,12 @@ Result<Rational> ExoShapShapley(const CQ& q, const Database& db,
 /// Runs the ExoShap transformation once and serves all facts from one
 /// ShapleyEngine over the transformed instance — the per-fact ExoShapShapley
 /// re-materializes complements/joins/pads for each fact, an O(|Dn|) blow-up
-/// this entry point avoids. Preconditions as for ExoShapShapley.
-Result<std::vector<Rational>> ExoShapShapleyAll(const CQ& q,
-                                                const Database& db,
-                                                const ExoRelations& exo);
+/// this entry point avoids. Preconditions as for ExoShapShapley. With
+/// options.num_threads > 1 the engine over the transformed instance runs its
+/// parallel all-facts path (bit-identical output at any thread count).
+Result<std::vector<Rational>> ExoShapShapleyAll(
+    const CQ& q, const Database& db, const ExoRelations& exo,
+    const ParallelOptions& options = {});
 
 }  // namespace shapcq
 

@@ -34,12 +34,14 @@ Result<AttributionReport> BuildAttributionReport(
   // CntSat recursion (and, for ExoShap, one transformation) for the whole
   // table instead of a from-scratch computation per fact.
   std::vector<Rational> values;
+  ParallelOptions parallel;
+  parallel.num_threads = options.num_threads;
   if (report.engine == "CntSat") {
-    auto result = ShapleyAllViaCountSat(q, db);
+    auto result = ShapleyAllViaCountSat(q, db, parallel);
     if (!result.ok()) return Result<AttributionReport>::Error(result.error());
     values = std::move(result).value();
   } else if (report.engine == "ExoShap") {
-    auto result = ExoShapShapleyAll(q, db, options.exo);
+    auto result = ExoShapShapleyAll(q, db, options.exo, parallel);
     if (!result.ok()) return Result<AttributionReport>::Error(result.error());
     values = std::move(result).value();
   } else {

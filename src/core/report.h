@@ -34,6 +34,9 @@ struct ReportOptions {
   ExoRelations exo;               // all-exogenous relations, if known
   bool allow_brute_force = false; // permit the exponential fallback
   size_t brute_force_limit = 20;  // max |Dn| for the fallback
+  size_t num_threads = 1;         // worker threads for the all-facts engines
+                                  // (1 = serial, 0 = hardware concurrency);
+                                  // values are identical at any setting
 };
 
 /// Computes Shapley values for every endogenous fact, choosing CntSat for

@@ -41,14 +41,14 @@ Result<Rational> ShapleyViaCountSat(const CQ& q, const Database& db,
       sat_with.value(), sat_without.value(), db.endogenous_count()));
 }
 
-Result<std::vector<Rational>> ShapleyAllViaCountSat(const CQ& q,
-                                                    const Database& db) {
+Result<std::vector<Rational>> ShapleyAllViaCountSat(
+    const CQ& q, const Database& db, const ParallelOptions& options) {
   auto engine = ShapleyEngine::Build(q, db);
   if (!engine.ok()) {
     return Result<std::vector<Rational>>::Error(engine.error());
   }
   ShapleyEngine built = std::move(engine).value();
-  return Result<std::vector<Rational>>::Ok(built.AllValues());
+  return Result<std::vector<Rational>>::Ok(built.AllValues(options));
 }
 
 Rational ShapleyExact(const CQ& q, const Database& db, FactId f,

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "core/shapley_engine.h"
 #include "db/database.h"
 #include "query/analysis.h"
 #include "query/cq.h"
@@ -39,9 +40,11 @@ Result<Rational> ShapleyViaCountSat(const CQ& q, const Database& db, FactId f);
 
 /// Shapley values of every endogenous fact (endo-index order). Runs the
 /// single-pass ShapleyEngine (shapley_engine.h): one shared CntSat index,
-/// per-fact path re-evaluation, one value per symmetry orbit.
-Result<std::vector<Rational>> ShapleyAllViaCountSat(const CQ& q,
-                                                    const Database& db);
+/// per-fact path re-evaluation, one value per symmetry orbit. With
+/// options.num_threads > 1 the orbit re-evaluations run on a worker pool;
+/// the output is bit-identical to the serial default at any thread count.
+Result<std::vector<Rational>> ShapleyAllViaCountSat(
+    const CQ& q, const Database& db, const ParallelOptions& options = {});
 
 /// Convenience dispatcher: hierarchical self-join-free queries go through
 /// CntSat; with a non-empty `exo` set, non-hierarchical queries without a

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -11,6 +13,8 @@
 #include "core/shapley.h"
 #include "query/analysis.h"
 #include "util/check.h"
+#include "util/combinatorics.h"
+#include "util/thread_pool.h"
 
 namespace shapcq {
 
@@ -64,6 +68,12 @@ struct ShapleyEngine::Impl {
   std::map<std::vector<int>, Rational> orbit_values;  // memoized per orbit
   Stats stats;
 
+  // One flag per node, allocated before the first parallel fan-out: workers
+  // racing to EnsureContexts on a shared ancestor serialize through
+  // call_once, which also publishes the built vectors to the losers. Null
+  // until a parallel query happens; the serial path never pays for it.
+  std::unique_ptr<std::vector<std::once_flag>> context_once;
+
   int Intern(const std::string& canonical) {
     return sig_interner
         .emplace(canonical, static_cast<int>(sig_interner.size()))
@@ -77,6 +87,7 @@ struct ShapleyEngine::Impl {
 
   int BuildNode(const CQ& q, IndexLists lists);
   void EnsureContexts(int node_id);
+  void EnsureContextsFor(int node_id);
   CountVector PropagateToRoot(int leaf, CountVector vec);
   Rational ValueAtLeaf(int leaf);
   const Rational& OrbitValue(size_t endo_index);
@@ -256,6 +267,19 @@ void ShapleyEngine::Impl::EnsureContexts(int node_id) {
   }
 }
 
+// Thread-aware front door to EnsureContexts: once any parallel query has
+// allocated the per-node once_flags, context construction funnels through
+// call_once (one builder per node, result published to every waiter). Before
+// that, it is the plain serial call.
+void ShapleyEngine::Impl::EnsureContextsFor(int node_id) {
+  if (context_once != nullptr) {
+    std::call_once((*context_once)[node_id],
+                   [this, node_id] { EnsureContexts(node_id); });
+    return;
+  }
+  EnsureContexts(node_id);
+}
+
 // Walks a perturbed leaf vector up to the root, re-convolving against the
 // memoized sibling products. The returned vector is the full-database |Sat|
 // with the leaf's fact forced to the given leaf vector (universe n-1).
@@ -263,7 +287,7 @@ CountVector ShapleyEngine::Impl::PropagateToRoot(int leaf, CountVector vec) {
   for (int node = leaf; nodes[node].parent >= 0;) {
     const int parent = nodes[node].parent;
     const int j = nodes[node].child_index;
-    EnsureContexts(parent);
+    EnsureContextsFor(parent);
     const Node& pn = nodes[parent];
     if (pn.kind == Node::Kind::kComponent) {
       vec = pn.context[j].Convolve(vec);
@@ -412,6 +436,53 @@ std::vector<Rational> ShapleyEngine::AllValues() {
   }
   impl.stats.orbit_count = impl.orbit_values.size() + (any_null ? 1 : 0);
   return values;
+}
+
+std::vector<Rational> ShapleyEngine::AllValues(const ParallelOptions& options) {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  Impl& impl = *impl_;
+  const size_t num_threads =
+      ThreadPool::ResolveThreadCount(options.num_threads);
+
+  // Orbit representatives still missing from the memo, in first-seen
+  // endo-index order — the exact representative (and therefore the exact
+  // leaf) the serial path would evaluate, so every Rational below is computed
+  // from the same count vectors as serially: bit-identical by construction.
+  std::vector<size_t> rep_endo;
+  {
+    std::set<std::vector<int>> seen;
+    for (size_t e = 0; e < impl.endo_count; ++e) {
+      if (impl.leaf_of_endo[e] < 0) continue;  // null player
+      const std::vector<int>& key = impl.orbit_key_of_endo[e];
+      if (impl.orbit_values.count(key) != 0) continue;  // already memoized
+      if (seen.insert(key).second) rep_endo.push_back(e);
+    }
+  }
+
+  if (num_threads > 1 && rep_endo.size() > 1) {
+    // Workers only ever read the caches on the hot path after this.
+    Combinatorics::Prewarm(impl.endo_count);
+    if (impl.context_once == nullptr) {
+      impl.context_once =
+          std::make_unique<std::vector<std::once_flag>>(impl.nodes.size());
+    }
+    // Slot-per-representative output buffer: the pool schedules dynamically,
+    // but each worker writes only rep_values[i], so the merge below is
+    // independent of which thread computed what.
+    std::vector<Rational> rep_values(rep_endo.size());
+    ThreadPool pool(std::min(num_threads, rep_endo.size()));
+    pool.ParallelFor(rep_endo.size(), [&impl, &rep_endo, &rep_values](
+                                          size_t i) {
+      rep_values[i] = impl.ValueAtLeaf(impl.leaf_of_endo[rep_endo[i]]);
+    });
+    for (size_t i = 0; i < rep_endo.size(); ++i) {
+      impl.orbit_values.emplace(impl.orbit_key_of_endo[rep_endo[i]],
+                                std::move(rep_values[i]));
+    }
+  }
+  // Every orbit is now memoized (or num_threads was 1): the serial assembly
+  // fills the per-fact vector and the orbit stats exactly as before.
+  return AllValues();
 }
 
 std::vector<size_t> ShapleyEngine::OrbitIds() {

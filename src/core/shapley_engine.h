@@ -39,6 +39,18 @@
 
 namespace shapcq {
 
+/// Execution options for the all-facts entry points. The default is the
+/// serial path; num_threads > 1 shards the orbit-representative
+/// re-evaluations over a worker pool. Results are bit-identical to serial at
+/// every thread count: representatives are chosen in fixed endo-index order,
+/// each value is a pure function of the built tree, and the merge writes
+/// results into pre-assigned slots (see "Threading contract" in DESIGN.md).
+struct ParallelOptions {
+  /// Worker threads for all-facts queries. 1 = serial (no pool, no locks on
+  /// the hot path); 0 = auto (std::thread::hardware_concurrency).
+  size_t num_threads = 1;
+};
+
 /// All-facts exact Shapley computation over a shared CntSat index.
 /// Build() once per (query, database); value queries are then cheap.
 class ShapleyEngine {
@@ -73,6 +85,12 @@ class ShapleyEngine {
   /// Shapley values of every endogenous fact, endo-index order. Computes one
   /// value per orbit and shares it across the orbit's members.
   std::vector<Rational> AllValues();
+
+  /// As AllValues(), with options.num_threads workers re-evaluating orbit
+  /// representatives concurrently. Output is bit-identical to the serial
+  /// path for every thread count. Concurrent calls into one engine are NOT
+  /// supported — the engine parallelizes internally, it is not re-entrant.
+  std::vector<Rational> AllValues(const ParallelOptions& options);
 
   /// Orbit id of every endogenous fact, endo-index order. Ids are dense,
   /// first-seen order; all null players share one orbit. Facts with equal

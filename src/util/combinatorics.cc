@@ -1,47 +1,26 @@
 #include "util/combinatorics.h"
 
+#include <mutex>
+
 #include "util/check.h"
 
 namespace shapcq {
 
-std::vector<BigInt>& Combinatorics::FactorialCache() {
-  static std::vector<BigInt>* cache = new std::vector<BigInt>{BigInt(1)};
-  return *cache;
+Combinatorics::Caches& Combinatorics::GetCaches() {
+  // Leaked singleton: immune to destruction-order issues at exit.
+  static Caches* caches = new Caches();
+  return *caches;
 }
 
-BigInt Combinatorics::Factorial(size_t n) {
-  std::vector<BigInt>& cache = FactorialCache();
+void Combinatorics::GrowFactorialsLocked(Caches& caches, size_t n) {
+  std::vector<BigInt>& cache = caches.factorials;
   while (cache.size() <= n) {
     cache.push_back(cache.back() * BigInt(static_cast<int64_t>(cache.size())));
   }
-  return cache[n];
 }
 
-BigInt Combinatorics::Binomial(size_t n, size_t k) {
-  if (k > n) return BigInt(0);
-  // Serve from the row cache when the row is already materialized (don't
-  // build an O(n^2) cache for a point query, though).
-  const auto& rows = BinomialRowCache();
-  if (n < rows.size()) return rows[n][k];
-  // Use the smaller symmetric index and a running product; exact because the
-  // intermediate product i steps in is divisible by i!.
-  if (k > n - k) k = n - k;
-  BigInt result(1);
-  for (size_t i = 1; i <= k; ++i) {
-    result *= BigInt(static_cast<int64_t>(n - k + i));
-    result /= BigInt(static_cast<int64_t>(i));
-  }
-  return result;
-}
-
-std::vector<std::vector<BigInt>>& Combinatorics::BinomialRowCache() {
-  static std::vector<std::vector<BigInt>>* cache =
-      new std::vector<std::vector<BigInt>>{{BigInt(1)}};
-  return *cache;
-}
-
-std::vector<BigInt> Combinatorics::BinomialRow(size_t n) {
-  std::vector<std::vector<BigInt>>& cache = BinomialRowCache();
+void Combinatorics::GrowRowsLocked(Caches& caches, size_t n) {
+  std::vector<std::vector<BigInt>>& cache = caches.rows;
   while (cache.size() <= n) {
     // Pascal's rule from the previous row: additions only, no division.
     const std::vector<BigInt>& prev = cache.back();
@@ -54,7 +33,55 @@ std::vector<BigInt> Combinatorics::BinomialRow(size_t n) {
     row.push_back(BigInt(1));
     cache.push_back(std::move(row));
   }
-  return cache[n];
+}
+
+BigInt Combinatorics::Factorial(size_t n) {
+  Caches& caches = GetCaches();
+  {
+    std::shared_lock<std::shared_mutex> lock(caches.mutex);
+    if (n < caches.factorials.size()) return caches.factorials[n];
+  }
+  std::unique_lock<std::shared_mutex> lock(caches.mutex);
+  GrowFactorialsLocked(caches, n);
+  return caches.factorials[n];
+}
+
+BigInt Combinatorics::Binomial(size_t n, size_t k) {
+  if (k > n) return BigInt(0);
+  {
+    // Serve from the row cache when the row is already materialized (don't
+    // build an O(n^2) cache for a point query, though).
+    Caches& caches = GetCaches();
+    std::shared_lock<std::shared_mutex> lock(caches.mutex);
+    if (n < caches.rows.size()) return caches.rows[n][k];
+  }
+  // Use the smaller symmetric index and a running product; exact because the
+  // intermediate product i steps in is divisible by i!.
+  if (k > n - k) k = n - k;
+  BigInt result(1);
+  for (size_t i = 1; i <= k; ++i) {
+    result *= BigInt(static_cast<int64_t>(n - k + i));
+    result /= BigInt(static_cast<int64_t>(i));
+  }
+  return result;
+}
+
+std::vector<BigInt> Combinatorics::BinomialRow(size_t n) {
+  Caches& caches = GetCaches();
+  {
+    std::shared_lock<std::shared_mutex> lock(caches.mutex);
+    if (n < caches.rows.size()) return caches.rows[n];
+  }
+  std::unique_lock<std::shared_mutex> lock(caches.mutex);
+  GrowRowsLocked(caches, n);
+  return caches.rows[n];
+}
+
+void Combinatorics::Prewarm(size_t n) {
+  Caches& caches = GetCaches();
+  std::unique_lock<std::shared_mutex> lock(caches.mutex);
+  GrowFactorialsLocked(caches, n);
+  GrowRowsLocked(caches, n);
 }
 
 }  // namespace shapcq

@@ -8,6 +8,7 @@
 #define SHAPCQ_UTIL_COMBINATORICS_H_
 
 #include <cstddef>
+#include <shared_mutex>
 #include <vector>
 
 #include "util/bigint.h"
@@ -16,31 +17,45 @@ namespace shapcq {
 
 /// Process-wide cache of factorials and binomial coefficients.
 ///
-/// Thread safety: all caches are plain process-wide statics grown on demand
-/// with no locking — the library is single-threaded by design. A future
-/// multi-threaded engine must either guard these with a mutex, switch to
-/// thread_local caches, or pre-warm them (e.g. call Factorial(n) and
-/// BinomialRow(n) for the largest n) before spawning workers.
+/// Thread safety: both caches are guarded by one process-wide
+/// std::shared_mutex. Lookups that hit the cache take a shared (reader) lock
+/// and copy the value out under it; growing the cache takes the exclusive
+/// lock. Any number of threads may therefore call any of these functions
+/// concurrently — this is the contract the parallel ShapleyEngine relies on.
+/// To keep workers on the cheap reader path, call Prewarm(n) for the largest
+/// n a computation can request before fanning out (the engine does this with
+/// n = |Dn|); a cold cache is still correct, just serialized while it grows.
 class Combinatorics {
  public:
-  /// n! as an exact integer. Returned by value: the memoization cache may
-  /// reallocate on a later call within the same expression, so handing out
-  /// references would dangle.
+  /// n! as an exact integer. Returned by value: the shared cache may be
+  /// grown (and reallocated) by another caller at any time, so handing out
+  /// references would dangle — the copy is made under the reader lock.
   static BigInt Factorial(size_t n);
   /// C(n, k); zero when k > n.
   static BigInt Binomial(size_t n, size_t k);
   /// The full row [C(n,0), ..., C(n,n)]. Rows are memoized (lazy Pascal
-  /// triangle, same pattern as FactorialCache): CountVector::All and
+  /// triangle, same pattern as the factorial cache): CountVector::All and
   /// ComplementAgainstAll request the same rows over and over inside the
   /// CntSat recursion, and building row n from row n-1 is pure additions.
   /// The cache holds O(n^2) BigInts for the largest n requested — fine for
   /// the |Dn| ≤ a few hundred this library targets. Returned by value (see
   /// Factorial).
   static std::vector<BigInt> BinomialRow(size_t n);
+  /// Grows both caches to cover Factorial(n) and BinomialRow(n), so that
+  /// subsequent lookups up to n are shared-lock reads. Idempotent; safe to
+  /// call concurrently.
+  static void Prewarm(size_t n);
 
  private:
-  static std::vector<BigInt>& FactorialCache();
-  static std::vector<std::vector<BigInt>>& BinomialRowCache();
+  struct Caches {
+    std::shared_mutex mutex;
+    std::vector<BigInt> factorials{BigInt(1)};             // factorials[n] = n!
+    std::vector<std::vector<BigInt>> rows{{BigInt(1)}};    // rows[n][k] = C(n,k)
+  };
+  static Caches& GetCaches();
+  // Growth helpers; the caller must hold the exclusive lock.
+  static void GrowFactorialsLocked(Caches& caches, size_t n);
+  static void GrowRowsLocked(Caches& caches, size_t n);
 };
 
 }  // namespace shapcq

@@ -1,0 +1,72 @@
+// A small reusable worker pool for the parallel Shapley engine.
+//
+// Design goals, in order: correctness under ThreadSanitizer, deterministic
+// *results* for the callers (the pool itself schedules dynamically — callers
+// must write worker output into pre-assigned slots, never append), and zero
+// dependencies beyond <thread>. Tasks are plain std::function<void()>; the
+// pool never touches task return values or exceptions (tasks must not throw —
+// library errors are SHAPCQ_CHECK aborts).
+
+#ifndef SHAPCQ_UTIL_THREAD_POOL_H_
+#define SHAPCQ_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace shapcq {
+
+/// Fixed-size pool of worker threads draining one shared FIFO task queue.
+/// Submit() enqueues; Wait() blocks the caller until every submitted task has
+/// finished. The pool is reusable across Submit/Wait rounds and joins its
+/// workers on destruction.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Safe to call from any thread, including from inside a
+  /// running task (the pool does not wait-for-self deadlock on Submit).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all tasks submitted so far have completed. Must be called
+  /// from outside the pool's own workers.
+  void Wait();
+
+  /// Runs body(i) for every i in [0, n), spread dynamically over the workers
+  /// (atomic index grab, so skewed per-item costs balance out), and returns
+  /// when all n calls completed. The *assignment* of items to threads is
+  /// nondeterministic; callers keep results deterministic by writing
+  /// body(i)'s output into slot i of a pre-sized buffer.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Maps a user-facing thread-count request to an actual worker count:
+  /// 0 means "auto" (hardware_concurrency, at least 1), anything else is
+  /// taken literally. Used by the engine options and the CLI --threads flag.
+  static size_t ResolveThreadCount(size_t requested);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;   // workers sleep here
+  std::condition_variable all_done_;     // Wait() sleeps here
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // tasks submitted but not yet finished
+  bool stopping_ = false;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_THREAD_POOL_H_

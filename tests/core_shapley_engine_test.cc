@@ -12,6 +12,8 @@
 #include "core/count_sat.h"
 #include "core/exoshap.h"
 #include "core/shapley.h"
+#include "datasets/citations.h"
+#include "datasets/query_gen.h"
 #include "datasets/synthetic.h"
 #include "datasets/university.h"
 #include "eval/homomorphism.h"
@@ -135,6 +137,171 @@ TEST(ShapleyEngineTest, ExoShapAllMatchesPerFact) {
         << u.db.FactToString(f);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Parallel execution: determinism across thread counts.
+//
+// The contract under test is strict: AllValues at ANY thread count returns
+// the same Rationals, in the same order, as the serial engine — not merely
+// numerically equal, but assembled from the same per-orbit computations
+// (see "Threading contract" in DESIGN.md).
+// ---------------------------------------------------------------------------
+
+ParallelOptions Threads(size_t n) {
+  ParallelOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+// Serial/parallel comparison on a prebuilt (query, database) pair: fresh
+// engines per thread count, element-wise exact equality.
+void ExpectThreadCountInvariant(const CQ& q, const Database& db) {
+  auto serial_build = ShapleyEngine::Build(q, db);
+  ASSERT_TRUE(serial_build.ok()) << serial_build.error();
+  ShapleyEngine serial_engine = std::move(serial_build).value();
+  const std::vector<Rational> serial = serial_engine.AllValues();
+  const size_t serial_orbits = serial_engine.stats().orbit_count;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    auto engine = ShapleyEngine::Build(q, db);
+    ASSERT_TRUE(engine.ok()) << engine.error();
+    ShapleyEngine built = std::move(engine).value();
+    const std::vector<Rational> parallel = built.AllValues(Threads(threads));
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i])
+          << threads << " threads, endo index " << i;
+      // Bit-identical, not just ==: the canonical string renderings agree.
+      EXPECT_EQ(parallel[i].ToString(), serial[i].ToString())
+          << threads << " threads, endo index " << i;
+    }
+    // The parallel run memoizes exactly the orbits the serial run would.
+    EXPECT_EQ(built.stats().orbit_count, serial_orbits) << threads
+                                                        << " threads";
+  }
+}
+
+TEST(ShapleyEngineParallelTest, UniversityDeterministicAcrossThreadCounts) {
+  UniversityDb u = BuildUniversityDb();
+  ExpectThreadCountInvariant(UniversityQ1(), u.db);
+}
+
+TEST(ShapleyEngineParallelTest, ScalingDbDeterministicAcrossThreadCounts) {
+  // Big enough that every thread count actually fans out over many orbits.
+  const Database db = BuildStudentScalingDb(12, 3);
+  ExpectThreadCountInvariant(UniversityQ1(), db);
+}
+
+TEST(ShapleyEngineParallelTest, SyntheticDeterministicAcrossThreadCounts) {
+  Rng rng(20260731);
+  SyntheticOptions options;
+  options.domain_size = 5;
+  options.facts_per_relation = 8;
+  for (const char* text :
+       {"q() :- R(x), not S(x)", "q() :- R(x,y), S(x,z), T(x)",
+        "q1() :- Stud(x), not TA(x), Reg(x,y)"}) {
+    const CQ q = MustParseCQ(text);
+    const Database db = RandomDatabaseForQuery(q, {}, options, &rng);
+    ExpectThreadCountInvariant(q, db);
+  }
+}
+
+TEST(ShapleyEngineParallelTest, CitationsExoShapDeterministicAcrossThreads) {
+  // The citations workload is non-hierarchical; the parallel path must also
+  // be reachable (and invariant) through the ExoShap transformation layer.
+  Rng rng(7);
+  const Database db = BuildRandomCitationsDb(6, 5, 0.6, 0.5, &rng);
+  const CQ q = CitationsQuery();
+  const ExoRelations exo = CitationsExoRelations();
+  auto serial = ExoShapShapleyAll(q, db, exo);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    auto parallel = ExoShapShapleyAll(q, db, exo, Threads(threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.error();
+    ASSERT_EQ(parallel.value().size(), serial.value().size());
+    for (size_t i = 0; i < serial.value().size(); ++i) {
+      EXPECT_EQ(parallel.value()[i], serial.value()[i])
+          << threads << " threads, endo index " << i;
+    }
+  }
+}
+
+TEST(ShapleyEngineParallelTest, SmallCitationsAllThreadCounts) {
+  const Database db = BuildSmallCitationsDb();
+  const CQ q = CitationsQuery();
+  const ExoRelations exo = CitationsExoRelations();
+  auto serial = ExoShapShapleyAll(q, db, exo);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+  for (size_t threads : {2u, 4u, 8u}) {
+    auto parallel = ExoShapShapleyAll(q, db, exo, Threads(threads));
+    ASSERT_TRUE(parallel.ok()) << parallel.error();
+    EXPECT_EQ(parallel.value(), serial.value()) << threads << " threads";
+  }
+}
+
+TEST(ShapleyEngineParallelTest, AutoThreadCountMatchesSerial) {
+  // num_threads = 0 resolves to the hardware concurrency, whatever that is
+  // on the host running the tests — output must still be invariant.
+  UniversityDb u = BuildUniversityDb();
+  auto serial = ShapleyAllViaCountSat(UniversityQ1(), u.db);
+  auto automatic = ShapleyAllViaCountSat(UniversityQ1(), u.db, Threads(0));
+  ASSERT_TRUE(serial.ok() && automatic.ok());
+  EXPECT_EQ(automatic.value(), serial.value());
+}
+
+TEST(ShapleyEngineParallelTest, ValueQueriesAfterParallelAllValues) {
+  // A parallel AllValues fills the orbit memo; later single-fact queries on
+  // the same engine must serve the identical values.
+  UniversityDb u = BuildUniversityDb();
+  auto engine = ShapleyEngine::Build(UniversityQ1(), u.db);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  ShapleyEngine built = std::move(engine).value();
+  const std::vector<Rational> all = built.AllValues(Threads(4));
+  for (FactId f : u.db.endogenous_facts()) {
+    EXPECT_EQ(built.Value(f), all[u.db.endo_index(f)]) << u.db.FactToString(f);
+  }
+  // And a repeated parallel query is a pure replay of the memo.
+  EXPECT_EQ(built.AllValues(Threads(8)), all);
+}
+
+// Randomized differential battery: generated hierarchical queries × random
+// databases; the parallel engine against the per-fact ShapleyViaCountSat
+// oracle and the efficiency axiom.
+class ShapleyEngineParallelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapleyEngineParallelSweep, MatchesOracleAndEfficiency) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 31);
+  QueryGenOptions query_options;
+  query_options.max_depth = 3;
+  query_options.max_branch = 2;
+  const CQ q = RandomHierarchicalCq(query_options, &rng);
+  SyntheticOptions db_options;
+  db_options.domain_size = 3;
+  db_options.facts_per_relation = 4;
+  const Database db = RandomDatabaseForQuery(q, {}, db_options, &rng);
+  auto engine = ShapleyEngine::Build(q, db);
+  ASSERT_TRUE(engine.ok()) << engine.error() << " for " << q.ToString();
+  const std::vector<Rational> values =
+      std::move(engine).value().AllValues(Threads(4));
+  ASSERT_EQ(values.size(), db.endogenous_count());
+  Rational sum(0);
+  for (FactId f : db.endogenous_facts()) {
+    const Rational& fast = values[db.endo_index(f)];
+    sum += fast;
+    auto reference = ShapleyViaCountSat(q, db, f);
+    ASSERT_TRUE(reference.ok()) << reference.error();
+    EXPECT_EQ(fast, reference.value())
+        << "parallel mismatch vs oracle on " << db.FactToString(f) << " for "
+        << q.ToString() << " in " << db.ToString();
+  }
+  const int delta = (EvalBoolean(q, db, db.FullWorld()) ? 1 : 0) -
+                    (EvalBoolean(q, db, db.EmptyWorld()) ? 1 : 0);
+  EXPECT_EQ(sum, Rational(delta))
+      << "efficiency axiom violated for " << q.ToString() << " in "
+      << db.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(GeneratedQueries, ShapleyEngineParallelSweep,
+                         ::testing::Range(0, 12));
 
 // ---------------------------------------------------------------------------
 // Randomized differential sweeps.

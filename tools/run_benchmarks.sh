@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Builds the Release benchmarks and records the all-facts Shapley benchmark
 # as BENCH_shapley.json at the repository root, so the perf trajectory is
-# tracked PR over PR.
+# tracked PR over PR. The file now carries a thread-count axis too:
+# BM_EngineAllFactsParallel/{students},{threads} rows measure the worker-pool
+# engine, with threads=1 as the serial baseline of the speedup curve — read
+# them next to the machine's host_cpu count in the JSON "context" block,
+# since a speedup is only physically possible when host_cpus > 1.
 #
 #   tools/run_benchmarks.sh [build-dir]
 #

@@ -2,13 +2,15 @@
 //
 //   shapcq_cli --db "Stud(a) TA(a)* Reg(a,os)*" \
 //              --query "q() :- Stud(x), not TA(x), Reg(x,y)" \
-//              [--exo Rel1,Rel2] [--brute-force] [--classify-only]
+//              [--exo Rel1,Rel2] [--threads N] [--brute-force]
+//              [--classify-only]
 //
 // Facts use the Database::ToString format ('*' marks endogenous). Prints the
 // dichotomy classification and, when an engine applies, the full attribution
 // report (every endogenous fact's exact Shapley value, ranked).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -24,10 +26,14 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: shapcq_cli --db FACTS --query RULE [--exo R1,R2,...]\n"
-      "                  [--brute-force] [--classify-only] [--explain]\n"
+      "                  [--threads N] [--brute-force] [--classify-only]\n"
+      "                  [--explain]\n"
       "  FACTS: whitespace-separated facts, '*' suffix = endogenous,\n"
       "         e.g. \"Stud(a) TA(a)* Reg(a,os)*\"\n"
-      "  RULE:  e.g. \"q() :- Stud(x), not TA(x), Reg(x,y)\"\n");
+      "  RULE:  e.g. \"q() :- Stud(x), not TA(x), Reg(x,y)\"\n"
+      "  N:     worker threads for the all-facts engines; 1 = serial\n"
+      "         (default), 0 = all hardware threads. Values are identical\n"
+      "         at any thread count.\n");
 }
 
 }  // namespace
@@ -36,6 +42,7 @@ int main(int argc, char** argv) {
   using namespace shapcq;
   std::string db_text, query_text, exo_text;
   bool brute_force = false, classify_only = false, explain = false;
+  unsigned long num_threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -51,6 +58,15 @@ int main(int argc, char** argv) {
       query_text = next();
     } else if (arg == "--exo") {
       exo_text = next();
+    } else if (arg == "--threads") {
+      char* end = nullptr;
+      const char* text = next();
+      num_threads = std::strtoul(text, &end, 10);
+      // strtoul silently wraps a leading '-', so reject it explicitly.
+      if (end == text || *end != '\0' || text[0] == '-') {
+        std::fprintf(stderr, "bad --threads value: %s\n", text);
+        return 2;
+      }
     } else if (arg == "--brute-force") {
       brute_force = true;
     } else if (arg == "--classify-only") {
@@ -109,6 +125,7 @@ int main(int argc, char** argv) {
   ReportOptions options;
   options.exo = exo;
   options.allow_brute_force = brute_force;
+  options.num_threads = static_cast<size_t>(num_threads);
   auto report = BuildAttributionReport(query.value(), db.value(), options);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n(hint: pass --brute-force for small |Dn|)\n",
