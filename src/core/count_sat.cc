@@ -29,18 +29,16 @@ size_t EndoCount(const AtomLists& lists) {
   return count;
 }
 
-// Ground base case (Lemma 3.2 with the negation extension).
+// Ground base case, reduced to the shared leaf-state table.
 CountVector GroundAtomCount(const Atom& atom, const std::vector<FactInfo>& list) {
   SHAPCQ_CHECK_MSG(list.size() <= 1,
                    "ground atom with more than one matching fact");
-  if (!atom.negated) {
-    if (list.empty()) return CountVector::Zero(0);          // unsatisfiable
-    if (!list[0].endogenous) return CountVector::All(0);    // always present
-    return CountVector::FromCounts({BigInt(0), BigInt(1)}); // forced pick
+  GroundFactState state = GroundFactState::kAbsent;
+  if (!list.empty()) {
+    state = list[0].endogenous ? GroundFactState::kEndogenous
+                               : GroundFactState::kExogenous;
   }
-  if (list.empty()) return CountVector::All(0);             // trivially absent
-  if (!list[0].endogenous) return CountVector::Zero(0);     // always blocked
-  return CountVector::FromCounts({BigInt(1), BigInt(0)});   // forced non-pick
+  return GroundLeafSat(atom.negated, state);
 }
 
 CountVector CoreCount(const CQ& q, const AtomLists& lists) {
@@ -119,6 +117,20 @@ CountVector CoreCount(const CQ& q, const AtomLists& lists) {
 }
 
 }  // namespace
+
+// Lemma 3.2 with the negation extension. A positive ground atom must be
+// present (a forced pick if endogenous, free if exogenous, impossible if
+// absent); a negative one must be absent (the mirror image).
+CountVector GroundLeafSat(bool negated, GroundFactState state) {
+  if (!negated) {
+    if (state == GroundFactState::kAbsent) return CountVector::Zero(0);
+    if (state == GroundFactState::kExogenous) return CountVector::All(0);
+    return CountVector::FromCounts({BigInt(0), BigInt(1)});  // forced pick
+  }
+  if (state == GroundFactState::kAbsent) return CountVector::All(0);
+  if (state == GroundFactState::kExogenous) return CountVector::Zero(0);
+  return CountVector::FromCounts({BigInt(1), BigInt(0)});  // forced non-pick
+}
 
 Result<CountVector> CountSat(const CQ& q, const Database& db) {
   if (!IsSafe(q)) {

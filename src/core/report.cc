@@ -9,6 +9,25 @@
 
 namespace shapcq {
 
+namespace {
+
+// Shared epilogue of both report builders: move the per-endo-index values
+// into rows, accumulate the efficiency total, and rank descending.
+void FillAndRankRows(AttributionReport* report, const Database& db,
+                     std::vector<Rational> values) {
+  for (FactId f : db.endogenous_facts()) {
+    Rational& value = values[db.endo_index(f)];
+    report->total += value;
+    report->rows.push_back(Attribution{f, std::move(value)});
+  }
+  std::stable_sort(report->rows.begin(), report->rows.end(),
+                   [](const Attribution& a, const Attribution& b) {
+                     return b.value < a.value;
+                   });
+}
+
+}  // namespace
+
 Result<AttributionReport> BuildAttributionReport(
     const CQ& q, const Database& db, const ReportOptions& options) {
   AttributionReport report;
@@ -50,16 +69,18 @@ Result<AttributionReport> BuildAttributionReport(
       values.push_back(ShapleyBruteForce(q, db, f));
     }
   }
-  for (FactId f : db.endogenous_facts()) {
-    Rational& value = values[db.endo_index(f)];
-    report.total += value;
-    report.rows.push_back(Attribution{f, std::move(value)});
-  }
-  std::stable_sort(report.rows.begin(), report.rows.end(),
-                   [](const Attribution& a, const Attribution& b) {
-                     return b.value < a.value;
-                   });
+  FillAndRankRows(&report, db, std::move(values));
   return Result<AttributionReport>::Ok(std::move(report));
+}
+
+AttributionReport BuildAttributionReportFromEngine(
+    ShapleyEngine& engine, const Database& db, const ReportOptions& options) {
+  AttributionReport report;
+  report.engine = "CntSat (incremental)";
+  ParallelOptions parallel;
+  parallel.num_threads = options.num_threads;
+  FillAndRankRows(&report, db, engine.AllValues(parallel));
+  return report;
 }
 
 std::string RenderReport(const AttributionReport& report, const Database& db) {

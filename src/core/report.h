@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/shapley_engine.h"
 #include "db/database.h"
 #include "query/analysis.h"
 #include "query/cq.h"
@@ -46,6 +47,13 @@ struct ReportOptions {
 Result<AttributionReport> BuildAttributionReport(const CQ& q,
                                                  const Database& db,
                                                  const ReportOptions& options);
+
+/// Attribution table served from a live (possibly mutated) ShapleyEngine:
+/// the long-lived-service path, where the index is maintained incrementally
+/// by InsertFact/DeleteFact instead of rebuilt per report. `db` must be the
+/// database the engine was built on and has been mutating.
+AttributionReport BuildAttributionReportFromEngine(
+    ShapleyEngine& engine, const Database& db, const ReportOptions& options);
 
 /// Fixed-width text rendering of a report (fact, exact value, decimal).
 std::string RenderReport(const AttributionReport& report, const Database& db);

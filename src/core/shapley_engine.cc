@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/atom_pattern.h"
+#include "core/count_sat.h"
 #include "core/shapley.h"
 #include "query/analysis.h"
 #include "util/check.h"
@@ -31,7 +32,10 @@ using IndexLists = std::vector<std::vector<uint32_t>>;
 // ---------------------------------------------------------------------------
 
 struct ShapleyEngine::Impl {
-  // One node of the memoized CntSat recursion tree.
+  // One node of the memoized CntSat recursion tree. Beyond the memoized
+  // counts, every node carries the routing metadata incremental maintenance
+  // needs to steer an inserted fact from the root to its leaf (or to build a
+  // fresh subtree for a root value the database has not seen before).
   struct Node {
     enum class Kind { kGround, kComponent, kRootVar };
     Kind kind = Kind::kGround;
@@ -45,6 +49,49 @@ struct ShapleyEngine::Impl {
     // Lazily built: context[j] = convolution of all children's combine
     // vectors except child j (sat for kComponent, unsat for kRootVar).
     std::vector<CountVector> context;
+    // Persistent partial products backing both the context table and the
+    // mutation patches: prefix[i] = combine[0] ⊛ … ⊛ combine[i-1], valid for
+    // i <= prefix_valid; suffix[i] = combine[i] ⊛ … ⊛ combine[m-1], valid
+    // for i >= suffix_valid (prefix[0] and suffix[m] are the identity).
+    // A patch of child j consumes prefix[j] ⊛ suffix[j+1] and then shrinks
+    // the watermarks to exclude stale entries embedding j's old vector —
+    // so a steady stream of deltas along one path costs O(1) convolutions
+    // per ancestor instead of O(children).
+    std::vector<CountVector> prefix, suffix;
+    size_t prefix_valid = 0;
+    size_t suffix_valid = 0;
+
+    // --- incremental-maintenance state ---
+    // kRootVar: sat before the All(free_endo) factor. Kept so free-count
+    // changes and new-child splices re-derive sat without re-convolving all
+    // children (complementing core recovers the product of child unsats).
+    CountVector core_sat;
+    // kGround: presence state of the leaf's (unique) matching fact.
+    GroundFactState leaf_state = GroundFactState::kAbsent;
+    // kGround: original atom index this leaf grounds.
+    size_t atom_id = 0;
+    // kRootVar: the slicing variable and, per local atom, its positions.
+    VarId root_var = -1;
+    std::vector<std::vector<size_t>> root_positions;
+    // kRootVar: root value id -> child node (the slice map, kept live).
+    std::map<int32_t, int> child_by_value;
+    // kRootVar: the node's pre-slicing subquery and local->original atom
+    // indices, for building subtrees of unseen root values.
+    CQ subquery;
+    std::vector<size_t> atom_ids;
+    // kComponent: original atom index -> child owning that atom.
+    std::unordered_map<size_t, int> child_by_atom;
+  };
+
+  // An atom of the query, precompiled for fact matching. Relations are
+  // matched by name: a relation may enter the schema only after Build (the
+  // first insert into a previously fact-free relation declares it) — which
+  // is also why the atom's arity is kept, to validate such inserts before
+  // the schema can.
+  struct QueryAtom {
+    std::string relation;
+    size_t arity = 0;
+    AtomPattern pattern;
   };
 
   const Database* db = nullptr;
@@ -53,16 +100,28 @@ struct ShapleyEngine::Impl {
   std::vector<Node> nodes;
   int root = -1;
   CountVector baseline = CountVector::Zero(0);
+  std::vector<QueryAtom> atoms;
 
-  // Shared fact arena: matched facts as indices, queried via *db.
+  // Shared fact arena: matched facts as indices, queried via *db. Append-
+  // only; entries of deleted facts go stale but are never referenced again
+  // (leaves and slices are patched to forget them).
   std::vector<FactId> arena_fact;
   std::vector<bool> arena_endo;
 
   // Per endogenous fact (endo-index order): its ground leaf (-1 for null
   // players) and its orbit key — the hash-consed signatures along the
-  // leaf-to-root path. Null players get the empty key.
+  // leaf-to-root path. Null players get the empty key. Mutations keep
+  // leaf_of_endo exact and regenerate the keys lazily (orbit_keys_dirty).
   std::vector<int> leaf_of_endo;
   std::vector<std::vector<int>> orbit_key_of_endo;
+  bool orbit_keys_dirty = false;
+
+  // Where each fact lives in the index: its ground leaf (matched facts), or
+  // the kRootVar node counting it as free (endogenous inconsistent facts).
+  // Endogenous facts in neither map are globally free; exogenous facts in
+  // neither map have no effect on any count.
+  std::unordered_map<FactId, int> leaf_of_fact;
+  std::unordered_map<FactId, int> free_node_of_fact;
 
   std::unordered_map<std::string, int> sig_interner;
   std::map<std::vector<int>, Rational> orbit_values;  // memoized per orbit
@@ -72,6 +131,8 @@ struct ShapleyEngine::Impl {
   // racing to EnsureContexts on a shared ancestor serialize through
   // call_once, which also publishes the built vectors to the losers. Null
   // until a parallel query happens; the serial path never pays for it.
+  // Mutations reset it (flags are single-use), so the next parallel query
+  // re-allocates flags covering any nodes the mutation added.
   std::unique_ptr<std::vector<std::once_flag>> context_once;
 
   int Intern(const std::string& canonical) {
@@ -85,52 +146,104 @@ struct ShapleyEngine::Impl {
     return static_cast<int>(nodes.size()) - 1;
   }
 
-  int BuildNode(const CQ& q, IndexLists lists);
+  int BuildNode(const CQ& q, IndexLists lists,
+                const std::vector<size_t>& atom_ids);
+  void ResignNode(int node_id);
+  CountVector CombineOf(const Node& parent, int child_id) const;
+  void EnsurePartials(int node_id);
+  const CountVector& PrefixUpTo(int node_id, size_t j);
+  const CountVector& SuffixFrom(int node_id, size_t i);
   void EnsureContexts(int node_id);
   void EnsureContextsFor(int node_id);
+  CountVector SiblingCombine(int parent_id, size_t j);
+  void MarkChildDirty(Node& parent, size_t j);
   CountVector PropagateToRoot(int leaf, CountVector vec);
   Rational ValueAtLeaf(int leaf);
   const Rational& OrbitValue(size_t endo_index);
+  void RefreshOrbitKeysIfDirty();
+  void ApplyInsert(FactId fact);
+  void RouteInsert(int node_id, uint32_t arena_index, size_t atom_id);
+  void ApplyDelete(FactId fact, bool endo, size_t endo_idx);
+  void PatchAncestors(int dirty);
+  void FinishMutation();
 };
 
 // ---------------------------------------------------------------------------
-// Tree construction (mirrors CoreCount in count_sat.cc, built once)
+// Structural signatures (hash-consed; recomputed along dirtied paths)
 // ---------------------------------------------------------------------------
 
-int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists) {
+// Re-derives the node's canonical signature from its current state and its
+// children's (already current) signatures, and interns it. Used both by the
+// initial bottom-up build and by mutation patches walking a dirty path.
+void ShapleyEngine::Impl::ResignNode(int node_id) {
+  Node& node = nodes[node_id];
+  std::string canonical;
+  switch (node.kind) {
+    case Node::Kind::kGround:
+      canonical = "G|" + std::to_string(node.negated ? 1 : 0) + "|" +
+                  std::to_string(static_cast<int>(node.leaf_state));
+      break;
+    case Node::Kind::kComponent:
+    case Node::Kind::kRootVar: {
+      std::vector<int> child_sigs;
+      child_sigs.reserve(node.children.size());
+      for (int child : node.children) child_sigs.push_back(nodes[child].sig);
+      std::sort(child_sigs.begin(), child_sigs.end());
+      canonical = node.kind == Node::Kind::kComponent
+                      ? "C"
+                      : "R|f" + std::to_string(node.free_endo);
+      for (int sig : child_sigs) canonical += "|" + std::to_string(sig);
+      break;
+    }
+  }
+  node.sig = Intern(canonical);
+}
+
+// ---------------------------------------------------------------------------
+// Tree construction (mirrors CoreCount in count_sat.cc; runs at Build and,
+// incrementally, whenever an insert opens a subtree for an unseen root value)
+// ---------------------------------------------------------------------------
+
+int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists,
+                                   const std::vector<size_t>& atom_ids) {
   SHAPCQ_CHECK(q.atom_count() == lists.size());
+  SHAPCQ_CHECK(q.atom_count() == atom_ids.size());
 
   // Disconnected subquery: one child per variable-connected component.
   const auto components = AtomComponents(q);
   if (components.size() > 1) {
     std::vector<int> children;
+    std::unordered_map<size_t, int> child_by_atom;
     for (const auto& component : components) {
       CQ sub = q.Restrict(component);
       IndexLists sub_lists;
+      std::vector<size_t> sub_atom_ids;
       sub_lists.reserve(component.size());
+      sub_atom_ids.reserve(component.size());
       for (size_t index : component) {
         sub_lists.push_back(std::move(lists[index]));
+        sub_atom_ids.push_back(atom_ids[index]);
       }
-      children.push_back(BuildNode(sub, std::move(sub_lists)));
+      const int child = BuildNode(sub, std::move(sub_lists), sub_atom_ids);
+      for (size_t index : component) {
+        child_by_atom[atom_ids[index]] = child;
+      }
+      children.push_back(child);
     }
     Node node;
     node.kind = Node::Kind::kComponent;
     node.children = children;
+    node.child_by_atom = std::move(child_by_atom);
     node.sat = CountVector();  // identity of Convolve
-    std::vector<int> child_sigs;
     for (int child : children) {
       node.sat.ConvolveWith(nodes[child].sat);
-      child_sigs.push_back(nodes[child].sig);
     }
-    std::sort(child_sigs.begin(), child_sigs.end());
-    std::string canonical = "C";
-    for (int sig : child_sigs) canonical += "|" + std::to_string(sig);
-    node.sig = Intern(canonical);
     const int id = AddNode(std::move(node));
     for (size_t i = 0; i < children.size(); ++i) {
       nodes[children[i]].parent = id;
       nodes[children[i]].child_index = static_cast<int>(i);
     }
+    ResignNode(id);
     return id;
   }
 
@@ -144,22 +257,19 @@ int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists) {
     Node node;
     node.kind = Node::Kind::kGround;
     node.negated = q.atom(0).negated;
-    int state = 0;  // 0 = no matching fact, 1 = exogenous, 2 = endogenous
-    if (!list.empty()) state = arena_endo[list[0]] ? 2 : 1;
-    if (!node.negated) {
-      if (state == 0) node.sat = CountVector::Zero(0);
-      if (state == 1) node.sat = CountVector::All(0);
-      if (state == 2) node.sat = CountVector::FromCounts({BigInt(0), BigInt(1)});
-    } else {
-      if (state == 0) node.sat = CountVector::All(0);
-      if (state == 1) node.sat = CountVector::Zero(0);
-      if (state == 2) node.sat = CountVector::FromCounts({BigInt(1), BigInt(0)});
+    node.atom_id = atom_ids[0];
+    node.leaf_state = GroundFactState::kAbsent;
+    if (!list.empty()) {
+      node.leaf_state = arena_endo[list[0]] ? GroundFactState::kEndogenous
+                                            : GroundFactState::kExogenous;
     }
-    node.sig = Intern("G|" + std::to_string(node.negated ? 1 : 0) + "|" +
-                      std::to_string(state));
+    node.sat = GroundLeafSat(node.negated, node.leaf_state);
     const int id = AddNode(std::move(node));
-    if (state == 2) {
-      leaf_of_endo[db->endo_index(arena_fact[list[0]])] = id;
+    ResignNode(id);
+    if (!list.empty()) {
+      const FactId fact = arena_fact[list[0]];
+      leaf_of_fact[fact] = id;
+      if (arena_endo[list[0]]) leaf_of_endo[db->endo_index(fact)] = id;
     }
     return id;
   }
@@ -185,6 +295,7 @@ int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists) {
   // node only remembers their count (an All(free_endo) convolution factor).
   std::map<int32_t, IndexLists> slices;
   size_t free_endo = 0;
+  std::vector<FactId> free_facts;
   for (size_t i = 0; i < q.atom_count(); ++i) {
     for (uint32_t index : lists[i]) {
       const Tuple& tuple = db->tuple_of(arena_fact[index]);
@@ -196,7 +307,10 @@ int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists) {
         if (!(tuple[pos] == root_value)) consistent = false;
       }
       if (!consistent) {
-        if (arena_endo[index]) ++free_endo;
+        if (arena_endo[index]) {
+          ++free_endo;
+          free_facts.push_back(arena_fact[index]);
+        }
         continue;
       }
       auto [it, inserted] = slices.try_emplace(root_value.id);
@@ -206,11 +320,13 @@ int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists) {
   }
 
   std::vector<int> children;
+  std::map<int32_t, int> child_by_value;
   CountVector unsat_all;  // identity; grows over the slice universes
   for (auto& [value_id, slice_lists] : slices) {
     CQ sliced = q.Substitute(*rootvar, shapcq::Value{value_id});
-    const int child = BuildNode(sliced, std::move(slice_lists));
+    const int child = BuildNode(sliced, std::move(slice_lists), atom_ids);
     children.push_back(child);
+    child_by_value[value_id] = child;
     unsat_all.ConvolveWith(nodes[child].sat.ComplementAgainstAll());
   }
 
@@ -218,19 +334,20 @@ int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists) {
   node.kind = Node::Kind::kRootVar;
   node.children = children;
   node.free_endo = free_endo;
-  node.sat = (CountVector::All(unsat_all.universe_size()) - unsat_all)
-                 .Convolve(CountVector::All(free_endo));
-  std::vector<int> child_sigs;
-  for (int child : children) child_sigs.push_back(nodes[child].sig);
-  std::sort(child_sigs.begin(), child_sigs.end());
-  std::string canonical = "R|f" + std::to_string(free_endo);
-  for (int sig : child_sigs) canonical += "|" + std::to_string(sig);
-  node.sig = Intern(canonical);
+  node.core_sat = CountVector::All(unsat_all.universe_size()) - unsat_all;
+  node.sat = node.core_sat.Convolve(CountVector::All(free_endo));
+  node.root_var = *rootvar;
+  node.root_positions = std::move(root_positions);
+  node.child_by_value = std::move(child_by_value);
+  node.subquery = q;
+  node.atom_ids = atom_ids;
   const int id = AddNode(std::move(node));
   for (size_t i = 0; i < children.size(); ++i) {
     nodes[children[i]].parent = id;
     nodes[children[i]].child_index = static_cast<int>(i);
   }
+  ResignNode(id);
+  for (FactId fact : free_facts) free_node_of_fact[fact] = id;
   return id;
 }
 
@@ -238,32 +355,69 @@ int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists) {
 // Per-fact path re-evaluation
 // ---------------------------------------------------------------------------
 
+// combine(i): the vector child i contributes to the parent's product — its
+// sat for conjunction (kComponent), its unsat for the "no slice holds"
+// product (kRootVar).
+CountVector ShapleyEngine::Impl::CombineOf(const Node& parent,
+                                           int child_id) const {
+  return parent.kind == Node::Kind::kRootVar
+             ? nodes[child_id].sat.ComplementAgainstAll()
+             : nodes[child_id].sat;
+}
+
+// Allocates (or re-sizes after a new-child splice) the partial-product
+// arrays. Fresh entries are the Convolve identity; the watermarks mark
+// everything else as not-yet-built.
+void ShapleyEngine::Impl::EnsurePartials(int node_id) {
+  Node& node = nodes[node_id];
+  const size_t m = node.children.size();
+  if (node.prefix.size() != m + 1) {
+    // A grown prefix keeps its valid entries (they exclude the new last
+    // child by construction); fresh entries default-construct to the
+    // identity, which is exactly prefix[0].
+    node.prefix.resize(m + 1);
+    node.prefix_valid = std::min(node.prefix_valid, m);
+  }
+  if (node.suffix.size() != m + 1) {
+    // Every old suffix entry misses the newly appended child: rebuild lazily
+    // from the identity at the new end.
+    node.suffix.assign(m + 1, CountVector());
+    node.suffix_valid = m;
+  }
+}
+
+const CountVector& ShapleyEngine::Impl::PrefixUpTo(int node_id, size_t j) {
+  Node& node = nodes[node_id];
+  for (size_t i = node.prefix_valid; i < j; ++i) {
+    node.prefix[i + 1] =
+        node.prefix[i].Convolve(CombineOf(node, node.children[i]));
+  }
+  node.prefix_valid = std::max(node.prefix_valid, j);
+  return node.prefix[j];
+}
+
+const CountVector& ShapleyEngine::Impl::SuffixFrom(int node_id, size_t i) {
+  Node& node = nodes[node_id];
+  for (size_t k = node.suffix_valid; k > i; --k) {
+    node.suffix[k - 1] =
+        CombineOf(node, node.children[k - 1]).Convolve(node.suffix[k]);
+  }
+  node.suffix_valid = std::min(node.suffix_valid, i);
+  return node.suffix[i];
+}
+
 void ShapleyEngine::Impl::EnsureContexts(int node_id) {
   Node& node = nodes[node_id];
   if (!node.context.empty() || node.children.empty()) return;
   const size_t m = node.children.size();
-  const bool rootvar = node.kind == Node::Kind::kRootVar;
-  // combine[i]: the vector child i contributes to the parent's product —
-  // its sat for conjunction (kComponent), its unsat for the "no slice
-  // holds" product (kRootVar).
-  std::vector<CountVector> combine;
-  combine.reserve(m);
-  for (int child : node.children) {
-    combine.push_back(rootvar ? nodes[child].sat.ComplementAgainstAll()
-                              : nodes[child].sat);
-  }
   // prefix[m] and suffix[0] (the full products) are never read by any
   // context[j]; stopping one short skips the two widest convolutions.
-  std::vector<CountVector> prefix(m + 1), suffix(m + 1);
-  for (size_t i = 0; i + 1 < m; ++i) {
-    prefix[i + 1] = prefix[i].Convolve(combine[i]);
-  }
-  for (size_t i = m; i-- > 1;) {
-    suffix[i] = combine[i].Convolve(suffix[i + 1]);
-  }
+  EnsurePartials(node_id);
+  PrefixUpTo(node_id, m - 1);
+  SuffixFrom(node_id, 1);
   node.context.reserve(m);
   for (size_t j = 0; j < m; ++j) {
-    node.context.push_back(prefix[j].Convolve(suffix[j + 1]));
+    node.context.push_back(node.prefix[j].Convolve(node.suffix[j + 1]));
   }
 }
 
@@ -278,6 +432,29 @@ void ShapleyEngine::Impl::EnsureContextsFor(int node_id) {
     return;
   }
   EnsureContexts(node_id);
+}
+
+// Product of the combine vectors of every child of `parent_id` EXCEPT child
+// j. Reads the memoized context when present (it excludes child j, so it
+// survives child j's own mutation); otherwise composes it from the
+// persistent prefix/suffix partials — both exclude child j, so after one
+// warm-up a steady delta stream along this child costs one convolution here.
+CountVector ShapleyEngine::Impl::SiblingCombine(int parent_id, size_t j) {
+  if (!nodes[parent_id].context.empty()) return nodes[parent_id].context[j];
+  EnsurePartials(parent_id);
+  return PrefixUpTo(parent_id, j).Convolve(SuffixFrom(parent_id, j + 1));
+}
+
+// Invalidates exactly the cached products that embed child j's replaced
+// combine vector: the whole context table, the prefixes past j and the
+// suffixes at or before j. prefix[0..j] and suffix[j+1..] exclude j and
+// stay warm for the next patch through the same child.
+void ShapleyEngine::Impl::MarkChildDirty(Node& parent, size_t j) {
+  parent.context.clear();
+  if (!parent.prefix.empty()) {
+    parent.prefix_valid = std::min(parent.prefix_valid, j);
+    parent.suffix_valid = std::max(parent.suffix_valid, j + 1);
+  }
 }
 
 // Walks a perturbed leaf vector up to the root, re-convolving against the
@@ -332,6 +509,245 @@ const Rational& ShapleyEngine::Impl::OrbitValue(size_t endo_index) {
   return it->second;
 }
 
+// Mutations re-hash the signatures of the dirtied path but defer key
+// regeneration to the next query: one pass over the endogenous facts,
+// re-collecting the (partly re-interned) signatures along each leaf-to-root
+// path. Pure integer work — no count vector is touched.
+void ShapleyEngine::Impl::RefreshOrbitKeysIfDirty() {
+  if (!orbit_keys_dirty) return;
+  for (size_t e = 0; e < endo_count; ++e) {
+    std::vector<int>& key = orbit_key_of_endo[e];
+    key.clear();
+    for (int node = leaf_of_endo[e]; node >= 0; node = nodes[node].parent) {
+      key.push_back(nodes[node].sig);
+    }
+  }
+  orbit_keys_dirty = false;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance
+// ---------------------------------------------------------------------------
+
+// Re-derives the |Sat| vectors of every ancestor of `dirty` (whose own sat
+// and sig the caller has already updated), bottom-up along the single
+// root-to-leaf path. Each step convolves the child's new combine vector
+// against the sibling product — memoized context when available, direct
+// convolution otherwise — so the patch never touches a node off the path.
+// The ancestors' context tables are dropped (their other entries embed the
+// child's stale vector) and rebuilt lazily by the next query.
+void ShapleyEngine::Impl::PatchAncestors(int dirty) {
+  for (int node = dirty; nodes[node].parent >= 0;) {
+    const int parent = nodes[node].parent;
+    const size_t j = static_cast<size_t>(nodes[node].child_index);
+    CountVector sibling = SiblingCombine(parent, j);
+    Node& pn = nodes[parent];
+    if (pn.kind == Node::Kind::kComponent) {
+      pn.sat = sibling.Convolve(nodes[node].sat);
+    } else {
+      CountVector unsat_all =
+          sibling.Convolve(nodes[node].sat.ComplementAgainstAll());
+      pn.core_sat = CountVector::All(unsat_all.universe_size()) - unsat_all;
+      pn.sat = pn.core_sat.Convolve(CountVector::All(pn.free_endo));
+    }
+    MarkChildDirty(pn, j);
+    ResignNode(parent);
+    node = parent;
+  }
+  FinishMutation();
+}
+
+// Invalidation epilogue of every value-affecting mutation. The player count
+// changed (or the root's |Sat| did), so every memoized per-orbit Rational is
+// stale even though only one path's count vectors moved; orbit keys
+// regenerate lazily. The once-flag vector is single-use and may be
+// under-sized after an insert added nodes, so it is dropped and re-allocated
+// by the next parallel query.
+void ShapleyEngine::Impl::FinishMutation() {
+  baseline =
+      nodes[root].sat.Convolve(CountVector::All(global_free_endo));
+  orbit_values.clear();
+  orbit_keys_dirty = true;
+  context_once.reset();
+  endo_count = db->endogenous_count();
+  stats.node_count = nodes.size();
+  stats.arena_size = arena_fact.size();
+  stats.null_player_count = 0;
+  for (int leaf : leaf_of_endo) {
+    if (leaf < 0) ++stats.null_player_count;
+  }
+}
+
+// Steers an inserted fact (already in the database and the arena) down the
+// tree: through its atom's component, then slice by slice along its root
+// values, ending in an existing empty leaf or a freshly built subtree for an
+// unseen root value. Exactly one root-to-leaf path is dirtied.
+void ShapleyEngine::Impl::RouteInsert(int node_id, uint32_t arena_index,
+                                      size_t atom_id) {
+  const FactId fact = arena_fact[arena_index];
+  switch (nodes[node_id].kind) {
+    case Node::Kind::kGround: {
+      Node& leaf = nodes[node_id];
+      SHAPCQ_CHECK_MSG(leaf.atom_id == atom_id &&
+                           leaf.leaf_state == GroundFactState::kAbsent,
+                       "insert routed to an occupied ground leaf");
+      leaf.leaf_state = arena_endo[arena_index]
+                            ? GroundFactState::kEndogenous
+                            : GroundFactState::kExogenous;
+      leaf.sat = GroundLeafSat(leaf.negated, leaf.leaf_state);
+      leaf_of_fact[fact] = node_id;
+      if (arena_endo[arena_index]) {
+        leaf_of_endo[db->endo_index(fact)] = node_id;
+      }
+      ResignNode(node_id);
+      PatchAncestors(node_id);
+      return;
+    }
+    case Node::Kind::kComponent: {
+      RouteInsert(nodes[node_id].child_by_atom.at(atom_id), arena_index,
+                  atom_id);
+      return;
+    }
+    case Node::Kind::kRootVar:
+      break;
+  }
+
+  Node& node = nodes[node_id];
+  const auto local_it = std::find(node.atom_ids.begin(), node.atom_ids.end(),
+                                  atom_id);
+  SHAPCQ_CHECK(local_it != node.atom_ids.end());
+  const size_t local =
+      static_cast<size_t>(local_it - node.atom_ids.begin());
+  const std::vector<size_t>& positions = node.root_positions[local];
+  const Tuple& tuple = db->tuple_of(fact);
+  const shapcq::Value root_value = tuple[positions[0]];
+  bool consistent = true;
+  for (size_t pos : positions) {
+    if (!(tuple[pos] == root_value)) consistent = false;
+  }
+  if (!consistent) {
+    // Unreachable for pattern-matched facts (the atom pattern already
+    // enforces equal values at repeated positions), kept to mirror the
+    // build-time slicing exactly.
+    if (arena_endo[arena_index]) {
+      ++node.free_endo;
+      node.sat = node.core_sat.Convolve(CountVector::All(node.free_endo));
+      free_node_of_fact[fact] = node_id;
+      ResignNode(node_id);
+      PatchAncestors(node_id);
+    } else {
+      stats.arena_size = arena_fact.size();
+    }
+    return;
+  }
+  const auto child_it = node.child_by_value.find(root_value.id);
+  if (child_it != node.child_by_value.end()) {
+    RouteInsert(child_it->second, arena_index, atom_id);
+    return;
+  }
+
+  // Unseen root value: the fact opens a new slice. Build its subtree (just
+  // this fact in its atom's list; every other atom of the slice is empty)
+  // and splice it in as a fresh child.
+  CQ sliced = node.subquery.Substitute(node.root_var, root_value);
+  IndexLists slice_lists(node.atom_ids.size());
+  slice_lists[local].push_back(arena_index);
+  const std::vector<size_t> atom_ids_copy = node.atom_ids;
+  const int child = BuildNode(sliced, std::move(slice_lists), atom_ids_copy);
+  // BuildNode grew the node vector: re-acquire the reference.
+  Node& grown = nodes[node_id];
+  nodes[child].parent = node_id;
+  nodes[child].child_index = static_cast<int>(grown.children.size());
+  grown.children.push_back(child);
+  grown.child_by_value[root_value.id] = child;
+  CountVector unsat_all = grown.core_sat.ComplementAgainstAll().Convolve(
+      nodes[child].sat.ComplementAgainstAll());
+  grown.core_sat = CountVector::All(unsat_all.universe_size()) - unsat_all;
+  grown.sat = grown.core_sat.Convolve(CountVector::All(grown.free_endo));
+  // The child list grew: the context table is stale, and the next
+  // EnsurePartials re-sizes the partial-product arrays (old prefixes stay
+  // valid — they exclude the appended child — old suffixes rebuild lazily).
+  grown.context.clear();
+  ResignNode(node_id);
+  PatchAncestors(node_id);
+}
+
+// Tree-side half of InsertFact; the fact is already in the database.
+void ShapleyEngine::Impl::ApplyInsert(FactId fact) {
+  const bool endo = db->is_endogenous(fact);
+  if (endo) {
+    // Placeholder entries (null player until routing lands in a leaf); the
+    // new fact's endo index is by construction the last one.
+    leaf_of_endo.push_back(-1);
+    orbit_key_of_endo.emplace_back();
+  }
+  const std::string& relation = db->schema().name(db->relation_of(fact));
+  int atom_id = -1;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (atoms[i].relation == relation &&
+        MatchesPattern(atoms[i].pattern, db->tuple_of(fact))) {
+      atom_id = static_cast<int>(i);
+      break;  // self-join-free: at most one atom per relation
+    }
+  }
+  if (atom_id < 0) {
+    // The query cannot see this fact. An endogenous one still dilutes every
+    // Shapley value (the player count grew): count it free and invalidate.
+    // An exogenous one changes nothing — even the memo stays valid.
+    if (endo) {
+      ++global_free_endo;
+      FinishMutation();
+    }
+    return;
+  }
+  const uint32_t arena_index = static_cast<uint32_t>(arena_fact.size());
+  arena_fact.push_back(fact);
+  arena_endo.push_back(endo);
+  RouteInsert(root, arena_index, static_cast<size_t>(atom_id));
+}
+
+// Tree-side half of DeleteFact; the fact is already tombstoned in the
+// database. `endo`/`endo_idx` describe the fact BEFORE removal.
+void ShapleyEngine::Impl::ApplyDelete(FactId fact, bool endo,
+                                      size_t endo_idx) {
+  if (endo) {
+    leaf_of_endo.erase(leaf_of_endo.begin() +
+                       static_cast<ptrdiff_t>(endo_idx));
+    orbit_key_of_endo.erase(orbit_key_of_endo.begin() +
+                            static_cast<ptrdiff_t>(endo_idx));
+  }
+  const auto leaf_it = leaf_of_fact.find(fact);
+  if (leaf_it != leaf_of_fact.end()) {
+    const int leaf_id = leaf_it->second;
+    leaf_of_fact.erase(leaf_it);
+    Node& leaf = nodes[leaf_id];
+    leaf.leaf_state = GroundFactState::kAbsent;
+    leaf.sat = GroundLeafSat(leaf.negated, leaf.leaf_state);
+    ResignNode(leaf_id);
+    PatchAncestors(leaf_id);
+    return;
+  }
+  const auto free_it = free_node_of_fact.find(fact);
+  if (free_it != free_node_of_fact.end()) {
+    const int node_id = free_it->second;
+    free_node_of_fact.erase(free_it);
+    Node& node = nodes[node_id];
+    SHAPCQ_CHECK(node.free_endo > 0);
+    --node.free_endo;
+    node.sat = node.core_sat.Convolve(CountVector::All(node.free_endo));
+    ResignNode(node_id);
+    PatchAncestors(node_id);
+    return;
+  }
+  if (endo) {
+    // Globally free: shrinking the player count re-weights every value.
+    SHAPCQ_CHECK(global_free_endo > 0);
+    --global_free_endo;
+    FinishMutation();
+  }
+  // Exogenous and outside the index: no count is affected.
+}
+
 // ---------------------------------------------------------------------------
 // Public interface
 // ---------------------------------------------------------------------------
@@ -366,13 +782,18 @@ Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db) {
   // Shared matched-fact index: every fact of every atom's relation, matched
   // once against the precompiled pattern and interned into the flat arena.
   IndexLists lists(q.atom_count());
+  std::vector<size_t> atom_ids(q.atom_count());
   size_t relevant_endo = 0;
   for (size_t i = 0; i < q.atom_count(); ++i) {
     const Atom& atom = q.atom(i);
-    const AtomPattern pattern = BuildAtomPattern(atom);
+    atom_ids[i] = i;
+    impl.atoms.push_back(Impl::QueryAtom{atom.relation, atom.arity(),
+                                         BuildAtomPattern(atom)});
     const RelationId rel = db.schema().Find(atom.relation);
     for (FactId fact : db.facts_of(rel)) {
-      if (!MatchesPattern(pattern, db.tuple_of(fact))) continue;
+      if (!MatchesPattern(impl.atoms.back().pattern, db.tuple_of(fact))) {
+        continue;
+      }
       const uint32_t index = static_cast<uint32_t>(impl.arena_fact.size());
       impl.arena_fact.push_back(fact);
       impl.arena_endo.push_back(db.is_endogenous(fact));
@@ -382,7 +803,7 @@ Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db) {
   }
   impl.global_free_endo = impl.endo_count - relevant_endo;
 
-  impl.root = impl.BuildNode(q, std::move(lists));
+  impl.root = impl.BuildNode(q, std::move(lists), atom_ids);
   impl.baseline = impl.nodes[impl.root].sat.Convolve(
       CountVector::All(impl.global_free_endo));
 
@@ -415,6 +836,7 @@ Rational ShapleyEngine::Value(FactId f) {
   SHAPCQ_CHECK(impl_ != nullptr);
   Impl& impl = *impl_;
   SHAPCQ_CHECK_MSG(impl.db->is_endogenous(f), "Shapley of an exogenous fact");
+  impl.RefreshOrbitKeysIfDirty();
   const size_t e = impl.db->endo_index(f);
   if (impl.leaf_of_endo[e] < 0) return Rational(0);  // null player
   return impl.OrbitValue(e);
@@ -423,6 +845,7 @@ Rational ShapleyEngine::Value(FactId f) {
 std::vector<Rational> ShapleyEngine::AllValues() {
   SHAPCQ_CHECK(impl_ != nullptr);
   Impl& impl = *impl_;
+  impl.RefreshOrbitKeysIfDirty();
   std::vector<Rational> values;
   values.reserve(impl.endo_count);
   bool any_null = false;
@@ -441,8 +864,10 @@ std::vector<Rational> ShapleyEngine::AllValues() {
 std::vector<Rational> ShapleyEngine::AllValues(const ParallelOptions& options) {
   SHAPCQ_CHECK(impl_ != nullptr);
   Impl& impl = *impl_;
+  impl.RefreshOrbitKeysIfDirty();
   const size_t num_threads =
       ThreadPool::ResolveThreadCount(options.num_threads);
+  if (num_threads <= 1) return AllValues();  // the serial path, unchanged
 
   // Orbit representatives still missing from the memo, in first-seen
   // endo-index order — the exact representative (and therefore the exact
@@ -459,7 +884,7 @@ std::vector<Rational> ShapleyEngine::AllValues(const ParallelOptions& options) {
     }
   }
 
-  if (num_threads > 1 && rep_endo.size() > 1) {
+  if (rep_endo.size() > 1) {
     // Workers only ever read the caches on the hot path after this.
     Combinatorics::Prewarm(impl.endo_count);
     if (impl.context_once == nullptr) {
@@ -480,14 +905,15 @@ std::vector<Rational> ShapleyEngine::AllValues(const ParallelOptions& options) {
                                 std::move(rep_values[i]));
     }
   }
-  // Every orbit is now memoized (or num_threads was 1): the serial assembly
-  // fills the per-fact vector and the orbit stats exactly as before.
+  // Every orbit is now memoized: the serial assembly fills the per-fact
+  // vector and the orbit stats exactly as before.
   return AllValues();
 }
 
 std::vector<size_t> ShapleyEngine::OrbitIds() {
   SHAPCQ_CHECK(impl_ != nullptr);
   Impl& impl = *impl_;
+  impl.RefreshOrbitKeysIfDirty();
   std::map<std::vector<int>, size_t> ids;  // empty key = the null orbit
   std::vector<size_t> out;
   out.reserve(impl.endo_count);
@@ -497,6 +923,74 @@ std::vector<size_t> ShapleyEngine::OrbitIds() {
   }
   impl.stats.orbit_count = ids.size();
   return out;
+}
+
+Result<FactId> ShapleyEngine::InsertFact(Database& db,
+                                         const std::string& relation,
+                                         Tuple tuple, bool endogenous) {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  Impl& impl = *impl_;
+  SHAPCQ_CHECK_MSG(&db == impl.db,
+                   "InsertFact on a database the engine was not built on");
+  const RelationId rel = db.schema().Find(relation);
+  if (rel != kNoRelation && db.schema().arity(rel) != tuple.size()) {
+    return Result<FactId>::Error(
+        "InsertFact: arity mismatch for relation " + relation);
+  }
+  // A relation the schema has not seen yet (no facts at Build, none since)
+  // can still be mentioned by the query: validate against the atom's arity,
+  // or pattern matching would index positions past the tuple's end.
+  for (const Impl::QueryAtom& atom : impl.atoms) {
+    if (atom.relation == relation && atom.arity != tuple.size()) {
+      return Result<FactId>::Error(
+          "InsertFact: arity mismatch with query atom " + relation);
+    }
+  }
+  if (rel != kNoRelation && db.FindFact(rel, tuple) != kNoFact) {
+    return Result<FactId>::Error("InsertFact: duplicate fact in " + relation);
+  }
+  const FactId fact = db.AddFact(relation, std::move(tuple), endogenous);
+  impl.ApplyInsert(fact);
+  return Result<FactId>::Ok(fact);
+}
+
+Result<FactId> ShapleyEngine::DeleteFact(Database& db, FactId fact) {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  Impl& impl = *impl_;
+  SHAPCQ_CHECK_MSG(&db == impl.db,
+                   "DeleteFact on a database the engine was not built on");
+  if (fact < 0 || static_cast<size_t>(fact) >= db.fact_slot_count()) {
+    return Result<FactId>::Error("DeleteFact: no such fact id " +
+                                 std::to_string(fact));
+  }
+  if (db.is_removed(fact)) {
+    return Result<FactId>::Error("DeleteFact: fact " + std::to_string(fact) +
+                                 " is already removed");
+  }
+  const bool endo = db.is_endogenous(fact);
+  const size_t endo_idx = endo ? db.endo_index(fact) : 0;
+  db.RemoveFact(fact);
+  impl.ApplyDelete(fact, endo, endo_idx);
+  return Result<FactId>::Ok(fact);
+}
+
+Result<std::vector<FactId>> ShapleyEngine::ApplyDelta(
+    Database& db, const std::vector<FactDelta>& delta) {
+  std::vector<FactId> applied;
+  applied.reserve(delta.size());
+  for (const FactDelta& d : delta) {
+    Result<FactId> result =
+        d.op == FactDelta::Op::kInsert
+            ? InsertFact(db, d.relation, d.tuple, d.endogenous)
+            : DeleteFact(db, d.fact);
+    if (!result.ok()) {
+      return Result<std::vector<FactId>>::Error(
+          "ApplyDelta: delta " + std::to_string(applied.size()) +
+          " failed: " + result.error());
+    }
+    applied.push_back(result.value());
+  }
+  return Result<std::vector<FactId>>::Ok(std::move(applied));
 }
 
 ShapleyEngine::Stats ShapleyEngine::stats() const {

@@ -21,14 +21,24 @@
 //     game; one Shapley value is computed per orbit. Facts matching no atom
 //     — and facts inconsistent at repeated root positions — are null players
 //     with value 0, no computation at all.
+//  4. Mutations. InsertFact/DeleteFact/ApplyDelta splice a fact into (or out
+//     of) the arena and the affected leaf, then re-derive the memoized |Sat|
+//     vectors only along the dirtied root-to-leaf path, convolving against
+//     the still-valid sibling products; orbit signatures are re-hashed for
+//     the dirty path and orbit keys regenerate lazily on the next query. The
+//     engine therefore tracks a changing database without rebuilds — see
+//     "Incremental maintenance" in DESIGN.md.
 //
 // Results are bit-identical to the per-fact path: both assemble
-// Shapley(D,q,f) from the same two exact |Sat| vectors.
+// Shapley(D,q,f) from the same two exact |Sat| vectors. After any mutation
+// sequence they are bit-identical to a fresh Build() on the mutated
+// database.
 
 #ifndef SHAPCQ_CORE_SHAPLEY_ENGINE_H_
 #define SHAPCQ_CORE_SHAPLEY_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "db/database.h"
@@ -38,6 +48,34 @@
 #include "util/result.h"
 
 namespace shapcq {
+
+/// One fact mutation for ShapleyEngine::ApplyDelta: an insert carries the
+/// fact literal, a delete the (stable) FactId of a live fact.
+struct FactDelta {
+  enum class Op { kInsert, kDelete };
+
+  Op op = Op::kInsert;
+  std::string relation;    ///< kInsert: relation name
+  Tuple tuple;             ///< kInsert: the tuple
+  bool endogenous = true;  ///< kInsert: player or given
+  FactId fact = kNoFact;   ///< kDelete: fact to remove
+
+  static FactDelta Insert(std::string relation, Tuple tuple,
+                          bool endogenous = true) {
+    FactDelta delta;
+    delta.op = Op::kInsert;
+    delta.relation = std::move(relation);
+    delta.tuple = std::move(tuple);
+    delta.endogenous = endogenous;
+    return delta;
+  }
+  static FactDelta Delete(FactId fact) {
+    FactDelta delta;
+    delta.op = Op::kDelete;
+    delta.fact = fact;
+    return delta;
+  }
+};
 
 /// Execution options for the all-facts entry points. The default is the
 /// serial path; num_threads > 1 shards the orbit-representative
@@ -96,6 +134,35 @@ class ShapleyEngine {
   /// first-seen order; all null players share one orbit. Facts with equal
   /// orbit ids are symmetric players (equal Shapley values by construction).
   std::vector<size_t> OrbitIds();
+
+  // -------------------------------------------------------------------------
+  // Incremental maintenance. All three mutators take the SAME database the
+  // engine was built on (passed mutably so the call site owns the write;
+  // aborts on a different database). They update the database and patch the
+  // memoized tree along the single dirtied root-to-leaf path, so subsequent
+  // queries are bit-identical to a fresh Build() on the mutated database.
+  // Mutations are NOT thread-safe: mutate serially, between (possibly
+  // parallel) query calls — see "Threading contract" in DESIGN.md.
+  // -------------------------------------------------------------------------
+
+  /// Adds the fact to the database and splices it into the index: into an
+  /// existing empty leaf, a freshly built subtree for an unseen root value,
+  /// or the free-fact counters for facts the query cannot join. Returns the
+  /// new FactId, or an error for a duplicate tuple or arity mismatch (the
+  /// database is untouched on error).
+  Result<FactId> InsertFact(Database& db, const std::string& relation,
+                            Tuple tuple, bool endogenous);
+
+  /// Removes a live fact (tombstoning its id) and patches its leaf or free
+  /// counter out of the index. Returns the removed id, or an error if the
+  /// fact id is invalid or already removed (the database is untouched).
+  Result<FactId> DeleteFact(Database& db, FactId fact);
+
+  /// Applies the deltas in order; stops at the first failing delta (earlier
+  /// deltas stay applied). Returns the FactId per delta: the inserted id for
+  /// inserts, the removed id for deletes.
+  Result<std::vector<FactId>> ApplyDelta(Database& db,
+                                         const std::vector<FactDelta>& delta);
 
   /// Statistics of the built engine. orbit_count is populated by AllValues /
   /// OrbitIds (0 before the first all-facts query).

@@ -1,5 +1,6 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <unordered_set>
 #include <utility>
 
@@ -25,6 +26,8 @@ FactId Database::AddFact(const std::string& relation, Tuple tuple,
   data.by_tuple.emplace(tuple, id);
   relations_of_.push_back(rel);
   tuples_of_.push_back(std::move(tuple));
+  removed_.push_back(false);
+  ++live_count_;
   endogenous_.push_back(endogenous);
   if (endogenous) {
     endo_index_of_.push_back(static_cast<int32_t>(endo_facts_.size()));
@@ -48,6 +51,34 @@ FactId Database::AddFactIfAbsent(const std::string& relation, Tuple tuple,
     return it->second;
   }
   return AddFact(relation, std::move(tuple), endogenous);
+}
+
+void Database::RemoveFact(FactId fact) {
+  SHAPCQ_CHECK(fact >= 0 && static_cast<size_t>(fact) < relations_of_.size());
+  SHAPCQ_CHECK_MSG(!removed_[static_cast<size_t>(fact)],
+                   "fact already removed");
+  RelationData& data = DataFor(relations_of_[static_cast<size_t>(fact)]);
+  data.by_tuple.erase(tuples_of_[static_cast<size_t>(fact)]);
+  data.fact_ids.erase(
+      std::find(data.fact_ids.begin(), data.fact_ids.end(), fact));
+  if (endogenous_[static_cast<size_t>(fact)]) {
+    const int32_t e = endo_index_of_[static_cast<size_t>(fact)];
+    endo_facts_.erase(endo_facts_.begin() + e);
+    for (size_t i = static_cast<size_t>(e); i < endo_facts_.size(); ++i) {
+      endo_index_of_[static_cast<size_t>(endo_facts_[i])] =
+          static_cast<int32_t>(i);
+    }
+    endo_index_of_[static_cast<size_t>(fact)] = -1;
+    endogenous_[static_cast<size_t>(fact)] = false;
+  }
+  removed_[static_cast<size_t>(fact)] = true;
+  --live_count_;
+  domain_dirty_ = true;
+}
+
+bool Database::is_removed(FactId fact) const {
+  SHAPCQ_CHECK(fact >= 0 && static_cast<size_t>(fact) < removed_.size());
+  return removed_[static_cast<size_t>(fact)];
 }
 
 FactId Database::FindFact(RelationId relation, const Tuple& tuple) const {
@@ -102,8 +133,9 @@ const std::vector<Value>& Database::ActiveDomain() const {
   if (domain_dirty_) {
     active_domain_.clear();
     std::unordered_set<int32_t> seen;
-    for (const Tuple& tuple : tuples_of_) {
-      for (const Value& value : tuple) {
+    for (size_t i = 0; i < tuples_of_.size(); ++i) {
+      if (removed_[i]) continue;
+      for (const Value& value : tuples_of_[i]) {
         if (seen.insert(value.id).second) active_domain_.push_back(value);
       }
     }
@@ -116,7 +148,8 @@ Database Database::CopyWithFactExogenous(FactId fact) const {
   SHAPCQ_CHECK(is_endogenous(fact));
   Database copy;
   copy.schema_ = schema_;
-  for (size_t i = 0; i < fact_count(); ++i) {
+  for (size_t i = 0; i < fact_slot_count(); ++i) {
+    if (removed_[i]) continue;
     FactId id = static_cast<FactId>(i);
     bool endo = endogenous_[i] && id != fact;
     copy.AddFact(schema_.name(relations_of_[i]), tuples_of_[i], endo);
@@ -127,7 +160,8 @@ Database Database::CopyWithFactExogenous(FactId fact) const {
 Database Database::CopyWithoutFact(FactId fact) const {
   Database copy;
   copy.schema_ = schema_;
-  for (size_t i = 0; i < fact_count(); ++i) {
+  for (size_t i = 0; i < fact_slot_count(); ++i) {
+    if (removed_[i]) continue;
     if (static_cast<FactId>(i) == fact) continue;
     copy.AddFact(schema_.name(relations_of_[i]), tuples_of_[i],
                  endogenous_[i]);
@@ -150,8 +184,9 @@ std::string Database::FactToString(FactId fact) const {
 
 std::string Database::ToString() const {
   std::string out;
-  for (size_t i = 0; i < fact_count(); ++i) {
-    if (i > 0) out += " ";
+  for (size_t i = 0; i < fact_slot_count(); ++i) {
+    if (removed_[i]) continue;
+    if (!out.empty()) out += " ";
     out += FactToString(static_cast<FactId>(i));
   }
   return out;

@@ -58,11 +58,25 @@ class Database {
     return AddFact(relation, std::move(tuple), /*endogenous=*/false);
   }
 
+  /// Removes a fact. The slot is tombstoned: every other FactId stays valid
+  /// (stable fact identity across mutations), and the removed id keeps
+  /// answering relation_of/tuple_of for logging. Endo indices of later
+  /// endogenous facts shift down by one (the endogenous ordering stays
+  /// dense, preserving the relative order of the remaining facts). Re-adding
+  /// the same tuple later mints a fresh FactId.
+  void RemoveFact(FactId fact);
+  /// True if the fact slot has been tombstoned by RemoveFact.
+  bool is_removed(FactId fact) const;
+
   /// Id of the fact with this tuple, or kNoFact.
   FactId FindFact(RelationId relation, const Tuple& tuple) const;
   FactId FindFact(const std::string& relation, const Tuple& tuple) const;
 
-  size_t fact_count() const { return relations_of_.size(); }
+  /// Number of live (non-removed) facts.
+  size_t fact_count() const { return live_count_; }
+  /// Number of fact slots ever allocated (valid FactId range, including
+  /// tombstones) — the bound for slot-indexed iteration.
+  size_t fact_slot_count() const { return relations_of_.size(); }
   RelationId relation_of(FactId fact) const;
   const Tuple& tuple_of(FactId fact) const;
   bool is_endogenous(FactId fact) const;
@@ -112,6 +126,8 @@ class Database {
   Schema schema_;
   std::vector<RelationId> relations_of_;
   std::vector<Tuple> tuples_of_;
+  std::vector<bool> removed_;
+  size_t live_count_ = 0;
   std::vector<bool> endogenous_;
   std::vector<int32_t> endo_index_of_;  // -1 for exogenous facts
   std::vector<FactId> endo_facts_;

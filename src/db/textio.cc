@@ -13,7 +13,79 @@ bool IsNameChar(char c) {
          c == '<' || c == '>' || c == '#' || c == '-' || c == '.';
 }
 
+// Parses one "Rel(arg,...)['*']" literal starting at `pos` (whitespace
+// already skipped); advances `pos` past the literal. Shared by the database
+// parser and the single-fact parser the CLI's --mutate mode uses.
+Result<FactSpec> ParseOneFact(const std::string& text, size_t* pos_inout) {
+  size_t pos = *pos_inout;
+  const size_t n = text.size();
+  FactSpec spec;
+  // Relation name.
+  size_t start = pos;
+  while (pos < n && IsNameChar(text[pos])) ++pos;
+  if (pos == start) {
+    return Result<FactSpec>::Error("expected relation name at offset " +
+                                   std::to_string(pos));
+  }
+  spec.relation = text.substr(start, pos - start);
+  if (pos >= n || text[pos] != '(') {
+    return Result<FactSpec>::Error("expected '(' after " + spec.relation);
+  }
+  ++pos;
+  // Arguments: const (',' const)* — or empty.
+  auto skip_spaces = [&] {
+    while (pos < n && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  skip_spaces();
+  while (pos < n && text[pos] != ')') {
+    start = pos;
+    while (pos < n && IsNameChar(text[pos])) ++pos;
+    if (pos == start) {
+      return Result<FactSpec>::Error("expected constant in " + spec.relation);
+    }
+    spec.tuple.push_back(V(text.substr(start, pos - start)));
+    skip_spaces();
+    if (pos < n && text[pos] == ',') {
+      ++pos;
+      skip_spaces();
+      if (pos >= n || text[pos] == ')') {
+        return Result<FactSpec>::Error("trailing comma in " + spec.relation);
+      }
+    }
+  }
+  if (pos >= n) {
+    return Result<FactSpec>::Error("unterminated fact " + spec.relation);
+  }
+  ++pos;  // ')'
+  if (pos < n && text[pos] == '*') {
+    spec.endogenous = true;
+    ++pos;
+  }
+  *pos_inout = pos;
+  return Result<FactSpec>::Ok(std::move(spec));
+}
+
 }  // namespace
+
+Result<FactSpec> ParseFactSpec(const std::string& text) {
+  size_t pos = 0;
+  const size_t n = text.size();
+  while (pos < n && std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  Result<FactSpec> spec = ParseOneFact(text, &pos);
+  if (!spec.ok()) return spec;
+  while (pos < n && std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  if (pos != n) {
+    return Result<FactSpec>::Error("trailing input after fact at offset " +
+                                   std::to_string(pos));
+  }
+  return spec;
+}
 
 Result<Database> ParseDatabase(const std::string& text) {
   Database db;
@@ -24,55 +96,13 @@ Result<Database> ParseDatabase(const std::string& text) {
       ++pos;
       continue;
     }
-    // Relation name.
-    size_t start = pos;
-    while (pos < n && IsNameChar(text[pos])) ++pos;
-    if (pos == start) {
-      return Result<Database>::Error("expected relation name at offset " +
-                                     std::to_string(pos));
+    Result<FactSpec> spec = ParseOneFact(text, &pos);
+    if (!spec.ok()) return Result<Database>::Error(spec.error());
+    FactSpec fact = std::move(spec).value();
+    if (db.FindFact(fact.relation, fact.tuple) != kNoFact) {
+      return Result<Database>::Error("duplicate fact " + fact.relation);
     }
-    const std::string relation = text.substr(start, pos - start);
-    if (pos >= n || text[pos] != '(') {
-      return Result<Database>::Error("expected '(' after " + relation);
-    }
-    ++pos;
-    // Arguments: const (',' const)* — or empty.
-    Tuple tuple;
-    auto skip_spaces = [&] {
-      while (pos < n && std::isspace(static_cast<unsigned char>(text[pos]))) {
-        ++pos;
-      }
-    };
-    skip_spaces();
-    while (pos < n && text[pos] != ')') {
-      start = pos;
-      while (pos < n && IsNameChar(text[pos])) ++pos;
-      if (pos == start) {
-        return Result<Database>::Error("expected constant in " + relation);
-      }
-      tuple.push_back(V(text.substr(start, pos - start)));
-      skip_spaces();
-      if (pos < n && text[pos] == ',') {
-        ++pos;
-        skip_spaces();
-        if (pos >= n || text[pos] == ')') {
-          return Result<Database>::Error("trailing comma in " + relation);
-        }
-      }
-    }
-    if (pos >= n) {
-      return Result<Database>::Error("unterminated fact " + relation);
-    }
-    ++pos;  // ')'
-    bool endogenous = false;
-    if (pos < n && text[pos] == '*') {
-      endogenous = true;
-      ++pos;
-    }
-    if (db.FindFact(relation, tuple) != kNoFact) {
-      return Result<Database>::Error("duplicate fact " + relation);
-    }
-    db.AddFact(relation, std::move(tuple), endogenous);
+    db.AddFact(fact.relation, std::move(fact.tuple), fact.endogenous);
   }
   return Result<Database>::Ok(std::move(db));
 }

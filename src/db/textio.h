@@ -16,6 +16,17 @@
 
 namespace shapcq {
 
+/// One parsed fact literal, e.g. "Reg(Adam,OS)*".
+struct FactSpec {
+  std::string relation;
+  Tuple tuple;
+  bool endogenous = false;
+};
+
+/// Parses a single fact literal (the element syntax of ParseDatabase);
+/// rejects trailing input. Used by delta files (shapcq_cli --mutate).
+Result<FactSpec> ParseFactSpec(const std::string& text);
+
 /// Parses a whitespace-separated fact list; returns an error on malformed
 /// input or duplicate facts.
 Result<Database> ParseDatabase(const std::string& text);

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI gate for the incremental engine's perf claim.
+
+Reads a Google Benchmark JSON file containing BM_IncrementalDelta/N and
+BM_RebuildPerDelta/N rows and fails (exit 1) if, at any size present in both
+families, the incremental patch time exceeds the given fraction of the
+rebuild time (default 0.5 — a deliberately loose bound next to the >=10x
+measured at endo >= 70, so the gate only trips on real regressions, not on
+runner noise).
+
+usage: check_incremental_speedup.py BENCH_JSON [--max-ratio 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+PATCH = "BM_IncrementalDelta/"
+REBUILD = "BM_RebuildPerDelta/"
+
+
+def times_by_size(benchmarks, prefix):
+    out = {}
+    for row in benchmarks:
+        name = row.get("name", "")
+        if not name.startswith(prefix) or row.get("run_type") == "aggregate":
+            continue
+        size = name[len(prefix):].split("/")[0]
+        out[size] = float(row["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_json")
+    parser.add_argument("--max-ratio", type=float, default=0.5)
+    args = parser.parse_args()
+
+    with open(args.bench_json) as handle:
+        report = json.load(handle)
+    benchmarks = report.get("benchmarks", [])
+    patch = times_by_size(benchmarks, PATCH)
+    rebuild = times_by_size(benchmarks, REBUILD)
+    sizes = sorted(set(patch) & set(rebuild), key=int)
+    if not sizes:
+        print("error: no comparable BM_IncrementalDelta/BM_RebuildPerDelta "
+              "rows found", file=sys.stderr)
+        return 1
+
+    failed = False
+    for size in sizes:
+        ratio = patch[size] / rebuild[size]
+        verdict = "OK" if ratio <= args.max_ratio else "REGRESSION"
+        if ratio > args.max_ratio:
+            failed = True
+        print(f"size {size}: patch {patch[size]:.0f} ns vs rebuild "
+              f"{rebuild[size]:.0f} ns -> ratio {ratio:.3f} "
+              f"(speedup {1 / ratio:.1f}x) [{verdict}]")
+    if failed:
+        print(f"error: incremental patch exceeded {args.max_ratio:.0%} of "
+              "rebuild time", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Builds the Release benchmarks and records the all-facts Shapley benchmark
-# as BENCH_shapley.json at the repository root, so the perf trajectory is
-# tracked PR over PR. The file now carries a thread-count axis too:
+# as BENCH_shapley.json (and the incremental patch-vs-rebuild benchmark as
+# BENCH_incremental.json) at the repository root, so the perf trajectory is
+# tracked PR over PR. BENCH_shapley.json carries a thread-count axis:
 # BM_EngineAllFactsParallel/{students},{threads} rows measure the worker-pool
-# engine, with threads=1 as the serial baseline of the speedup curve — read
-# them next to the machine's host_cpu count in the JSON "context" block,
-# since a speedup is only physically possible when host_cpus > 1.
+# engine, with threads=1 as the serial baseline of the speedup curve.
+#
+# Both files embed git_sha and host_nproc in the JSON "context" block, so
+# the single-core-container caveat (a parallel speedup is only physically
+# possible when host_nproc > 1) is machine-readable instead of a prose note.
 #
 #   tools/run_benchmarks.sh [build-dir]
 #
@@ -14,13 +17,29 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 
+git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+host_nproc="$(nproc)"
+
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
       -DSHAPCQ_BUILD_TESTS=OFF -DSHAPCQ_BUILD_EXAMPLES=OFF
-cmake --build "$build_dir" -j "$(nproc)" --target bench_shapley_all
+cmake --build "$build_dir" -j "$host_nproc" \
+      --target bench_shapley_all bench_incremental
 
 "$build_dir/bench/bench_shapley_all" \
+    --benchmark_context=git_sha="$git_sha" \
+    --benchmark_context=host_nproc="$host_nproc" \
     --benchmark_format=json \
     --benchmark_out="$repo_root/BENCH_shapley.json" \
     --benchmark_out_format=json
 
-echo "wrote $repo_root/BENCH_shapley.json"
+"$build_dir/bench/bench_incremental" \
+    --benchmark_context=git_sha="$git_sha" \
+    --benchmark_context=host_nproc="$host_nproc" \
+    --benchmark_format=json \
+    --benchmark_out="$repo_root/BENCH_incremental.json" \
+    --benchmark_out_format=json
+
+"$repo_root/tools/check_incremental_speedup.py" \
+    "$repo_root/BENCH_incremental.json"
+
+echo "wrote $repo_root/BENCH_shapley.json and $repo_root/BENCH_incremental.json"

@@ -3,20 +3,29 @@
 //   shapcq_cli --db "Stud(a) TA(a)* Reg(a,os)*" \
 //              --query "q() :- Stud(x), not TA(x), Reg(x,y)" \
 //              [--exo Rel1,Rel2] [--threads N] [--brute-force]
-//              [--classify-only]
+//              [--classify-only] [--mutate FILE]
 //
 // Facts use the Database::ToString format ('*' marks endogenous). Prints the
 // dichotomy classification and, when an engine applies, the full attribution
 // report (every endogenous fact's exact Shapley value, ranked).
+//
+// --mutate FILE replays a fact delta file against the incremental engine:
+// one mutation per line, '+' inserts a fact literal ('*' = endogenous), '-'
+// deletes one by literal; blank lines and '#' comments are skipped. The
+// engine is built once, every delta patches a single root-to-leaf path, and
+// a fresh attribution report is printed after the replay.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/plan.h"
 #include "core/report.h"
+#include "core/shapley_engine.h"
 #include "db/textio.h"
+#include "query/analysis.h"
 #include "query/classify.h"
 #include "query/parser.h"
 
@@ -27,20 +36,92 @@ void PrintUsage() {
       stderr,
       "usage: shapcq_cli --db FACTS --query RULE [--exo R1,R2,...]\n"
       "                  [--threads N] [--brute-force] [--classify-only]\n"
-      "                  [--explain]\n"
+      "                  [--explain] [--mutate FILE]\n"
       "  FACTS: whitespace-separated facts, '*' suffix = endogenous,\n"
       "         e.g. \"Stud(a) TA(a)* Reg(a,os)*\"\n"
       "  RULE:  e.g. \"q() :- Stud(x), not TA(x), Reg(x,y)\"\n"
       "  N:     worker threads for the all-facts engines; 1 = serial\n"
       "         (default), 0 = all hardware threads. Values are identical\n"
-      "         at any thread count.\n");
+      "         at any thread count.\n"
+      "  FILE:  delta replay, one mutation per line: '+ Reg(eve,os)*'\n"
+      "         inserts, '- Reg(a,os)' deletes; '#' starts a comment.\n"
+      "         Requires a hierarchical query (the incremental engine).\n");
+}
+
+// Replays a delta file against the incremental engine and prints the
+// resulting attribution report. Returns the process exit code.
+int RunMutateReplay(const shapcq::CQ& q, shapcq::Database& db,
+                    const std::string& path,
+                    const shapcq::ReportOptions& options) {
+  using namespace shapcq;
+  auto built = ShapleyEngine::Build(q, db);
+  if (!built.ok()) {
+    std::fprintf(stderr, "--mutate needs the incremental engine: %s\n",
+                 built.error().c_str());
+    return 1;
+  }
+  ShapleyEngine engine = std::move(built).value();
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot open delta file %s\n", path.c_str());
+    return 1;
+  }
+  std::string line;
+  size_t line_no = 0, applied = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const char op = line[start];
+    if (op != '+' && op != '-') {
+      std::fprintf(stderr, "%s:%zu: expected '+' or '-'\n", path.c_str(),
+                   line_no);
+      return 1;
+    }
+    auto spec = ParseFactSpec(line.substr(start + 1));
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_no,
+                   spec.error().c_str());
+      return 1;
+    }
+    FactSpec fact = std::move(spec).value();
+    if (op == '+') {
+      auto inserted =
+          engine.InsertFact(db, fact.relation, fact.tuple, fact.endogenous);
+      if (!inserted.ok()) {
+        std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_no,
+                     inserted.error().c_str());
+        return 1;
+      }
+    } else {
+      const FactId victim = db.FindFact(fact.relation, fact.tuple);
+      if (victim == kNoFact) {
+        std::fprintf(stderr, "%s:%zu: no such fact to delete\n", path.c_str(),
+                     line_no);
+        return 1;
+      }
+      auto deleted = engine.DeleteFact(db, victim);
+      if (!deleted.ok()) {
+        std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_no,
+                     deleted.error().c_str());
+        return 1;
+      }
+    }
+    ++applied;
+  }
+  std::printf("applied %zu deltas; database now: %s\n", applied,
+              db.ToString().c_str());
+  const AttributionReport report =
+      BuildAttributionReportFromEngine(engine, db, options);
+  std::printf("%s", RenderReport(report, db).c_str());
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace shapcq;
-  std::string db_text, query_text, exo_text;
+  std::string db_text, query_text, exo_text, mutate_path;
   bool brute_force = false, classify_only = false, explain = false;
   unsigned long num_threads = 1;
   for (int i = 1; i < argc; ++i) {
@@ -58,6 +139,8 @@ int main(int argc, char** argv) {
       query_text = next();
     } else if (arg == "--exo") {
       exo_text = next();
+    } else if (arg == "--mutate") {
+      mutate_path = next();
     } else if (arg == "--threads") {
       char* end = nullptr;
       const char* text = next();
@@ -126,6 +209,10 @@ int main(int argc, char** argv) {
   options.exo = exo;
   options.allow_brute_force = brute_force;
   options.num_threads = static_cast<size_t>(num_threads);
+  if (!mutate_path.empty()) {
+    Database mutable_db = std::move(db).value();
+    return RunMutateReplay(query.value(), mutable_db, mutate_path, options);
+  }
   auto report = BuildAttributionReport(query.value(), db.value(), options);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n(hint: pass --brute-force for small |Dn|)\n",
