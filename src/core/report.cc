@@ -14,7 +14,7 @@ namespace {
 // Shared epilogue of both report builders: move the per-endo-index values
 // into rows, accumulate the efficiency total, and rank descending.
 void FillAndRankRows(AttributionReport* report, const Database& db,
-                     std::vector<Rational> values) {
+                     std::vector<Rational> values, size_t top_k) {
   for (FactId f : db.endogenous_facts()) {
     Rational& value = values[db.endo_index(f)];
     report->total += value;
@@ -24,6 +24,9 @@ void FillAndRankRows(AttributionReport* report, const Database& db,
                    [](const Attribution& a, const Attribution& b) {
                      return b.value < a.value;
                    });
+  if (top_k > 0 && report->rows.size() > top_k) {
+    report->rows.resize(top_k);
+  }
 }
 
 }  // namespace
@@ -69,7 +72,7 @@ Result<AttributionReport> BuildAttributionReport(
       values.push_back(ShapleyBruteForce(q, db, f));
     }
   }
-  FillAndRankRows(&report, db, std::move(values));
+  FillAndRankRows(&report, db, std::move(values), options.top_k);
   return Result<AttributionReport>::Ok(std::move(report));
 }
 
@@ -79,7 +82,7 @@ AttributionReport BuildAttributionReportFromEngine(
   report.engine = "CntSat (incremental)";
   ParallelOptions parallel;
   parallel.num_threads = options.num_threads;
-  FillAndRankRows(&report, db, engine.AllValues(parallel));
+  FillAndRankRows(&report, db, engine.AllValues(parallel), options.top_k);
   return report;
 }
 

@@ -38,6 +38,9 @@ struct ReportOptions {
   size_t num_threads = 1;         // worker threads for the all-facts engines
                                   // (1 = serial, 0 = hardware concurrency);
                                   // values are identical at any setting
+  size_t top_k = 0;               // keep only the k highest-ranked rows
+                                  // (0 = all); `total` stays the full
+                                  // efficiency total either way
 };
 
 /// Computes Shapley values for every endogenous fact, choosing CntSat for

@@ -998,4 +998,54 @@ ShapleyEngine::Stats ShapleyEngine::stats() const {
   return impl_->stats;
 }
 
+size_t ShapleyEngine::ApproxMemoryBytes() const {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  const Impl& impl = *impl_;
+  size_t bytes = sizeof(Impl);
+  for (const Impl::Node& node : impl.nodes) {
+    bytes += sizeof(Impl::Node);
+    bytes += node.sat.ApproxMemoryBytes();
+    bytes += node.core_sat.ApproxMemoryBytes();
+    for (const CountVector& vec : node.context) {
+      bytes += vec.ApproxMemoryBytes();
+    }
+    for (const CountVector& vec : node.prefix) {
+      bytes += vec.ApproxMemoryBytes();
+    }
+    for (const CountVector& vec : node.suffix) {
+      bytes += vec.ApproxMemoryBytes();
+    }
+    bytes += node.children.capacity() * sizeof(int);
+    bytes += node.atom_ids.capacity() * sizeof(size_t);
+    for (const std::vector<size_t>& positions : node.root_positions) {
+      bytes += sizeof(positions) + positions.capacity() * sizeof(size_t);
+    }
+    // Tree maps and the stored subquery, at a flat per-entry estimate: the
+    // budget needs growth tracking, not allocator-exact container overheads.
+    bytes += node.child_by_value.size() * 4 * sizeof(void*);
+    bytes += node.child_by_atom.size() * 4 * sizeof(void*);
+    bytes += node.subquery.atom_count() * 64;
+  }
+  for (const Impl::QueryAtom& atom : impl.atoms) {
+    bytes += sizeof(Impl::QueryAtom) + atom.relation.capacity();
+  }
+  bytes += impl.arena_fact.capacity() * sizeof(FactId);
+  bytes += impl.arena_endo.capacity() / 8;
+  bytes += impl.leaf_of_endo.capacity() * sizeof(int);
+  for (const std::vector<int>& key : impl.orbit_key_of_endo) {
+    bytes += sizeof(key) + key.capacity() * sizeof(int);
+  }
+  bytes += impl.leaf_of_fact.size() * 4 * sizeof(void*);
+  bytes += impl.free_node_of_fact.size() * 4 * sizeof(void*);
+  for (const auto& [canonical, sig] : impl.sig_interner) {
+    (void)sig;
+    bytes += canonical.capacity() + 4 * sizeof(void*);
+  }
+  for (const auto& [key, value] : impl.orbit_values) {
+    bytes += key.capacity() * sizeof(int) + value.ApproxMemoryBytes() +
+             4 * sizeof(void*);
+  }
+  return bytes;
+}
+
 }  // namespace shapcq

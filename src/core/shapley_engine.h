@@ -168,6 +168,14 @@ class ShapleyEngine {
   /// OrbitIds (0 before the first all-facts query).
   Stats stats() const;
 
+  /// Approximate heap footprint of the engine's index in bytes: recursion
+  /// nodes, memoized count vectors (BigInt limbs), partial products, the
+  /// fact arena, routing maps, orbit keys and the per-orbit value memo. An
+  /// estimate for the serving layer's byte-budgeted LRU eviction — monotone
+  /// in index size, not an allocator audit. Excludes the Database itself
+  /// (owned by the caller, retained across evictions).
+  size_t ApproxMemoryBytes() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -87,6 +87,40 @@ Result<FactSpec> ParseFactSpec(const std::string& text) {
   return spec;
 }
 
+std::string FactSpecToString(const FactSpec& spec) {
+  std::string out = spec.relation + "(";
+  for (size_t i = 0; i < spec.tuple.size(); ++i) {
+    if (i > 0) out += ",";
+    out += ValueDictionary::Global().Name(spec.tuple[i]);
+  }
+  out += ")";
+  if (spec.endogenous) out += "*";
+  return out;
+}
+
+Result<MutationSpec> ParseMutationLine(const std::string& line) {
+  size_t pos = 0;
+  const size_t n = line.size();
+  while (pos < n && std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  if (pos >= n) {
+    return Result<MutationSpec>::Error("expected '+' or '-' mutation");
+  }
+  const char op = line[pos];
+  if (op != '+' && op != '-') {
+    return Result<MutationSpec>::Error(
+        std::string("expected '+' or '-', got '") + op + "'");
+  }
+  Result<FactSpec> spec = ParseFactSpec(line.substr(pos + 1));
+  if (!spec.ok()) return Result<MutationSpec>::Error(spec.error());
+  MutationSpec mutation;
+  mutation.op =
+      op == '+' ? MutationSpec::Op::kInsert : MutationSpec::Op::kDelete;
+  mutation.fact = std::move(spec).value();
+  return Result<MutationSpec>::Ok(std::move(mutation));
+}
+
 Result<Database> ParseDatabase(const std::string& text) {
   Database db;
   size_t pos = 0;

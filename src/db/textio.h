@@ -24,8 +24,26 @@ struct FactSpec {
 };
 
 /// Parses a single fact literal (the element syntax of ParseDatabase);
-/// rejects trailing input. Used by delta files (shapcq_cli --mutate).
+/// rejects trailing input. Used by delta files (shapcq_cli --mutate) and the
+/// server's DELTA command.
 Result<FactSpec> ParseFactSpec(const std::string& text);
+
+/// Renders a FactSpec back to its literal form, e.g. "Reg(Adam,OS)*".
+std::string FactSpecToString(const FactSpec& spec);
+
+/// One line of the mutation grammar shared by shapcq_cli --mutate and the
+/// attribution server's DELTA command: '+' inserts the fact literal, '-'
+/// deletes the fact with that literal.
+struct MutationSpec {
+  enum class Op { kInsert, kDelete };
+  Op op = Op::kInsert;
+  FactSpec fact;
+};
+
+/// Parses "+ R(a,b)*" or "- R(a,b)". The operator must be the first
+/// non-whitespace character; blank lines and '#' comments are the caller's
+/// concern (they are not mutations and are rejected here).
+Result<MutationSpec> ParseMutationLine(const std::string& line);
 
 /// Parses a whitespace-separated fact list; returns an error on malformed
 /// input or duplicate facts.

@@ -1,0 +1,186 @@
+#include "service/command_loop.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "query/parser.h"
+
+namespace shapcq {
+
+namespace {
+
+// Splits off the first whitespace-delimited token; *rest keeps everything
+// after the separating whitespace (itself trimmed of leading whitespace).
+std::string TakeToken(const std::string& text, std::string* rest) {
+  size_t start = 0;
+  while (start < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[start]))) {
+    ++start;
+  }
+  size_t end = start;
+  while (end < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[end]))) {
+    ++end;
+  }
+  size_t next = end;
+  while (next < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[next]))) {
+    ++next;
+  }
+  *rest = text.substr(next);
+  return text.substr(start, end - start);
+}
+
+bool ParseSize(const std::string& token, size_t* out) {
+  if (token.empty() || token[0] == '-') return false;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+}  // namespace
+
+CommandLoop::CommandLoop(const CommandLoopOptions& options)
+    : registry_(options.registry), options_(options) {}
+
+void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
+  size_t start = line.find_first_not_of(" \t\r");
+  if (start == std::string::npos || line[start] == '#') return;
+  size_t end = line.find_last_not_of(" \t\r");
+  const std::string trimmed = line.substr(start, end - start + 1);
+  if (options_.echo_commands) *out += "> " + trimmed + "\n";
+
+  auto fail = [this, out](const std::string& message) {
+    *out += "error: " + message + "\n";
+    ++error_count_;
+  };
+
+  std::string rest;
+  const std::string command = TakeToken(trimmed, &rest);
+
+  if (command == "OPEN") {
+    std::string query_text;
+    const std::string id = TakeToken(rest, &query_text);
+    if (id.empty() || query_text.empty()) {
+      return fail("usage: OPEN <session> <query-rule>");
+    }
+    auto query = ParseCQ(query_text);
+    if (!query.ok()) return fail("open " + id + ": " + query.error());
+    auto opened = registry_.Open(id, query.value());
+    if (!opened.ok()) return fail("open " + id + ": " + opened.error());
+    *out += "ok open " + id + "\n";
+    return;
+  }
+
+  if (command == "DELTA") {
+    std::string mutation_text;
+    const std::string id = TakeToken(rest, &mutation_text);
+    if (id.empty() || mutation_text.empty()) {
+      return fail("usage: DELTA <session> +|- <fact-literal>");
+    }
+    auto mutation = ParseMutationLine(mutation_text);
+    if (!mutation.ok()) return fail("delta " + id + ": " + mutation.error());
+    auto applied = registry_.ApplyMutation(id, mutation.value());
+    if (!applied.ok()) return fail("delta " + id + ": " + applied.error());
+    const Database* db = registry_.FindDatabase(id);
+    *out += "ok delta " + id + " facts=" + std::to_string(db->fact_count()) +
+            " endo=" + std::to_string(db->endogenous_count()) + "\n";
+    return;
+  }
+
+  if (command == "REPORT") {
+    std::string args;
+    const std::string id = TakeToken(rest, &args);
+    if (id.empty()) {
+      return fail("usage: REPORT <session> [top_k] [--threads N]");
+    }
+    ReportOptions options;
+    options.num_threads = options_.default_threads;
+    bool top_k_seen = false;
+    while (!args.empty()) {
+      std::string next;
+      const std::string token = TakeToken(args, &next);
+      if (token == "--threads") {
+        std::string after;
+        const std::string value = TakeToken(next, &after);
+        if (!ParseSize(value, &options.num_threads)) {
+          return fail("report " + id + ": bad --threads value '" + value +
+                      "'");
+        }
+        args = after;
+      } else if (!top_k_seen && ParseSize(token, &options.top_k)) {
+        top_k_seen = true;
+        args = next;
+      } else {
+        return fail("report " + id + ": unexpected argument '" + token +
+                    "'");
+      }
+    }
+    auto report = registry_.Report(id, options);
+    if (!report.ok()) return fail("report " + id + ": " + report.error());
+    const Database* db = registry_.FindDatabase(id);
+    *out += "report " + id + " rows=" +
+            std::to_string(report.value().rows.size()) +
+            " endo=" + std::to_string(db->endogenous_count()) + "\n";
+    *out += RenderReport(report.value(), *db);
+    *out += "end report " + id + "\n";
+    return;
+  }
+
+  if (command == "STATS") {
+    std::string after;
+    const std::string id = TakeToken(rest, &after);
+    if (!after.empty()) return fail("usage: STATS [<session>]");
+    if (id.empty()) {
+      const RegistryStats stats = registry_.stats();
+      *out += "stats sessions=" + std::to_string(stats.open_sessions) +
+              " resident=" + std::to_string(stats.resident_engines) +
+              " hits=" + std::to_string(stats.report_hits) +
+              " cached=" + std::to_string(stats.report_cache_hits) +
+              " misses=" + std::to_string(stats.report_misses) +
+              " evictions=" + std::to_string(stats.evictions) +
+              " builds=" + std::to_string(stats.engine_builds) + "\n";
+      return;
+    }
+    auto stats = registry_.Stats(id);
+    if (!stats.ok()) return fail("stats " + id + ": " + stats.error());
+    const SessionStats& s = stats.value();
+    *out += "stats " + id + " facts=" + std::to_string(s.fact_count) +
+            " endo=" + std::to_string(s.endo_count) +
+            " deltas=" + std::to_string(s.deltas_applied) +
+            " reports=" + std::to_string(s.reports_served) +
+            " builds=" + std::to_string(s.engine_builds) +
+            " resident=" + (s.engine_resident ? "yes" : "no") + "\n";
+    return;
+  }
+
+  if (command == "CLOSE") {
+    std::string after;
+    const std::string id = TakeToken(rest, &after);
+    if (id.empty() || !after.empty()) return fail("usage: CLOSE <session>");
+    auto closed = registry_.Close(id);
+    if (!closed.ok()) return fail("close " + id + ": " + closed.error());
+    *out += "ok close " + id + "\n";
+    return;
+  }
+
+  fail("unknown command '" + command +
+       "' (expected OPEN, DELTA, REPORT, STATS or CLOSE)");
+}
+
+int CommandLoop::Run(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string output;
+    ExecuteLine(line, &output);
+    out << output;
+    out.flush();  // interactive clients see each command's output promptly
+  }
+  return error_count_ == 0 ? 0 : 1;
+}
+
+}  // namespace shapcq

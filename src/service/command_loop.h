@@ -1,0 +1,76 @@
+// Line-protocol command loop: the wire layer of the attribution server.
+//
+// One command per line, executed in order against an EngineRegistry. The
+// grammar extends the shapcq_cli --mutate delta grammar:
+//
+//   OPEN <session> <query-rule>       open a session (empty database)
+//   DELTA <session> + <fact-literal>  insert a fact ('*' = endogenous)
+//   DELTA <session> - <fact-literal>  delete the fact with that literal
+//   REPORT <session> [top_k] [--threads N]
+//                                     stream the ranked attribution table
+//   STATS                             registry-wide counters
+//   STATS <session>                   per-session counters
+//   CLOSE <session>                   close the session
+//
+// Blank lines and lines starting with '#' are skipped. Commands echo as
+// "> <line>" before their output, so a transcript is self-describing (and
+// diffable as a CI golden file). Errors print one "error: ..." line and the
+// loop continues; Run() returns non-zero if any command errored. All output
+// is deterministic: no timestamps, pointers, or platform-dependent byte
+// counts.
+//
+// The loop is the single writer of its registry (one command at a time);
+// REPORT may parallelize internally via --threads, which is safe under the
+// engine's single-writer/parallel-reader contract.
+
+#ifndef SHAPCQ_SERVICE_COMMAND_LOOP_H_
+#define SHAPCQ_SERVICE_COMMAND_LOOP_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "service/engine_registry.h"
+
+namespace shapcq {
+
+/// Knobs for a CommandLoop.
+struct CommandLoopOptions {
+  RegistryOptions registry;
+  /// Worker threads for REPORT when the command has no --threads override
+  /// (1 = serial, 0 = hardware concurrency). Values are identical at any
+  /// setting.
+  size_t default_threads = 1;
+  /// Echo each executed command as "> <line>" before its output.
+  bool echo_commands = true;
+};
+
+/// Executes protocol lines against an owned EngineRegistry.
+class CommandLoop {
+ public:
+  explicit CommandLoop(const CommandLoopOptions& options);
+
+  /// Executes one protocol line, appending all output (echo, results,
+  /// errors) to *out. Blank and comment lines produce no output.
+  void ExecuteLine(const std::string& line, std::string* out);
+
+  /// Reads lines from `in` until EOF, writing output to `out` after each
+  /// line (a session script or an interactive stdin loop). Returns 0 if
+  /// every command succeeded, 1 otherwise.
+  int Run(std::istream& in, std::ostream& out);
+
+  /// Commands that printed an "error:" line so far.
+  size_t error_count() const { return error_count_; }
+
+  /// The underlying registry (tests and benchmarks drive it directly).
+  EngineRegistry& registry() { return registry_; }
+
+ private:
+  EngineRegistry registry_;
+  CommandLoopOptions options_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVICE_COMMAND_LOOP_H_

@@ -1,0 +1,318 @@
+#include "service/engine_registry.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "query/analysis.h"
+#include "util/check.h"
+
+namespace shapcq {
+
+namespace {
+
+// Serving copy of a cached full table: the k highest-ranked rows (0 = all),
+// with the engine label and the full efficiency total — exactly what
+// FillAndRankRows would have produced with ReportOptions::top_k set.
+AttributionReport TruncatedCopy(const AttributionReport& full, size_t top_k) {
+  AttributionReport copy;
+  copy.engine = full.engine;
+  copy.total = full.total;
+  const size_t rows = top_k > 0 && top_k < full.rows.size()
+                          ? top_k
+                          : full.rows.size();
+  copy.rows.assign(full.rows.begin(),
+                   full.rows.begin() + static_cast<ptrdiff_t>(rows));
+  return copy;
+}
+
+}  // namespace
+
+// One open session. The Database is heap-allocated so its address survives
+// unordered_map rehashes and registry moves — the incremental engine holds a
+// pointer to it across calls.
+struct EngineRegistry::Session {
+  CQ query;
+  std::unique_ptr<Database> db;
+  std::optional<ShapleyEngine> engine;
+  size_t engine_bytes = 0;   // last ApproxMemoryBytes estimate
+  uint64_t last_used = 0;    // LRU stamp from the registry clock
+  uint64_t mutation_epoch = 0;  // bumped by every applied mutation
+  // Full ranked table of `cached_epoch`, kept while the engine is resident:
+  // polling reports with no intervening delta skip the whole evaluation and
+  // ranking pass (cleared with the engine on eviction).
+  std::optional<AttributionReport> cached_report;
+  uint64_t cached_epoch = 0;
+  size_t deltas_applied = 0;
+  size_t reports_served = 0;
+  size_t engine_builds = 0;
+};
+
+struct EngineRegistry::Impl {
+  RegistryOptions options;
+  std::vector<std::string> session_order;  // OPEN order, for SessionIds
+  std::unordered_map<std::string, Session> sessions;
+  uint64_t clock = 0;  // monotone use counter backing the LRU order
+  RegistryStats stats;
+
+  Session* Find(const std::string& id) {
+    auto it = sessions.find(id);
+    return it == sessions.end() ? nullptr : &it->second;
+  }
+  const Session* Find(const std::string& id) const {
+    auto it = sessions.find(id);
+    return it == sessions.end() ? nullptr : &it->second;
+  }
+
+  void Evict(Session& session) {
+    SHAPCQ_CHECK(session.engine.has_value());
+    SHAPCQ_CHECK(stats.resident_engines > 0);
+    SHAPCQ_CHECK(stats.resident_bytes >= session.engine_bytes);
+    stats.resident_bytes -= session.engine_bytes;
+    --stats.resident_engines;
+    ++stats.evictions;
+    session.engine.reset();
+    session.cached_report.reset();  // the cache rides with the engine
+    session.engine_bytes = 0;
+  }
+
+  // Updates the current session's byte estimate and evicts least-recently-
+  // used engines until both limits hold. `current` (the session that just
+  // served a request) is evicted only last, if it alone exceeds a limit.
+  void EnforceBudget(Session& current) {
+    if (current.engine.has_value()) {
+      const size_t fresh = current.engine->ApproxMemoryBytes();
+      stats.resident_bytes += fresh - current.engine_bytes;
+      current.engine_bytes = fresh;
+    }
+    auto over = [this] {
+      return (options.engine_byte_budget > 0 &&
+              stats.resident_bytes > options.engine_byte_budget) ||
+             (options.max_resident_engines > 0 &&
+              stats.resident_engines > options.max_resident_engines);
+    };
+    while (over()) {
+      Session* victim = nullptr;
+      for (auto& [id, session] : sessions) {
+        (void)id;
+        if (!session.engine.has_value() || &session == &current) continue;
+        if (victim == nullptr || session.last_used < victim->last_used) {
+          victim = &session;
+        }
+      }
+      if (victim == nullptr) {
+        // Only the current engine is resident and it alone breaks a limit:
+        // honor the budget between requests by evicting it too.
+        if (current.engine.has_value()) Evict(current);
+        return;
+      }
+      Evict(*victim);
+    }
+  }
+};
+
+EngineRegistry::EngineRegistry(const RegistryOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->options = options;
+}
+EngineRegistry::EngineRegistry() : EngineRegistry(RegistryOptions{}) {}
+EngineRegistry::~EngineRegistry() = default;
+EngineRegistry::EngineRegistry(EngineRegistry&&) noexcept = default;
+EngineRegistry& EngineRegistry::operator=(EngineRegistry&&) noexcept = default;
+
+Result<bool> EngineRegistry::Open(const std::string& session_id,
+                                  const CQ& query) {
+  if (impl_->Find(session_id) != nullptr) {
+    return Result<bool>::Error("session " + session_id + " is already open");
+  }
+  // Fail at OPEN with the exact scope checks Build() would fail later, so a
+  // session never accepts mutations it can not report on.
+  if (!IsSafe(query)) {
+    return Result<bool>::Error("query has unsafe negation: " +
+                               query.ToString());
+  }
+  if (!IsSelfJoinFree(query)) {
+    return Result<bool>::Error("query has a self-join: " + query.ToString());
+  }
+  if (!IsHierarchical(query)) {
+    return Result<bool>::Error("query is not hierarchical: " +
+                               query.ToString());
+  }
+  Session session;
+  session.query = query;
+  session.db = std::make_unique<Database>();
+  impl_->sessions.emplace(session_id, std::move(session));
+  impl_->session_order.push_back(session_id);
+  ++impl_->stats.open_sessions;
+  return Result<bool>::Ok(true);
+}
+
+bool EngineRegistry::Has(const std::string& session_id) const {
+  return impl_->Find(session_id) != nullptr;
+}
+
+Result<FactId> EngineRegistry::ApplyMutation(const std::string& session_id,
+                                             const MutationSpec& mutation) {
+  Session* session = impl_->Find(session_id);
+  if (session == nullptr) {
+    return Result<FactId>::Error("no open session " + session_id);
+  }
+  Database& db = *session->db;
+  const FactSpec& fact = mutation.fact;
+
+  Result<FactId> applied = Result<FactId>::Error("");
+  if (mutation.op == MutationSpec::Op::kDelete) {
+    const FactId victim = db.FindFact(fact.relation, fact.tuple);
+    if (victim == kNoFact) {
+      return Result<FactId>::Error("no such fact " + FactSpecToString(fact));
+    }
+    if (session->engine.has_value()) {
+      applied = session->engine->DeleteFact(db, victim);
+    } else {
+      db.RemoveFact(victim);
+      applied = Result<FactId>::Ok(victim);
+    }
+  } else if (session->engine.has_value()) {
+    applied = session->engine->InsertFact(db, fact.relation, fact.tuple,
+                                          fact.endogenous);
+  } else {
+    // No resident engine: run the same checks InsertFact would, with the
+    // SAME message strings, then mutate the database directly — a protocol
+    // transcript must not depend on whether the engine happened to be
+    // resident (or evicted) when a delta failed.
+    const RelationId rel = db.schema().Find(fact.relation);
+    if (rel != kNoRelation && db.schema().arity(rel) != fact.tuple.size()) {
+      return Result<FactId>::Error(
+          "InsertFact: arity mismatch for relation " + fact.relation);
+    }
+    for (const Atom& atom : session->query.atoms()) {
+      if (atom.relation == fact.relation &&
+          atom.arity() != fact.tuple.size()) {
+        return Result<FactId>::Error(
+            "InsertFact: arity mismatch with query atom " + fact.relation);
+      }
+    }
+    if (rel != kNoRelation && db.FindFact(rel, fact.tuple) != kNoFact) {
+      return Result<FactId>::Error("InsertFact: duplicate fact in " +
+                                   fact.relation);
+    }
+    applied = Result<FactId>::Ok(
+        db.AddFact(fact.relation, fact.tuple, fact.endogenous));
+  }
+  if (!applied.ok()) return applied;
+  ++session->deltas_applied;
+  ++session->mutation_epoch;
+  session->last_used = ++impl_->clock;
+  if (session->engine.has_value() &&
+      impl_->options.engine_byte_budget > 0) {
+    // The mutation may have grown the index (new slices, wider vectors):
+    // re-estimate and let the byte budget evict if the registry is now
+    // over. Without a byte budget the O(index) estimate walk would buy
+    // nothing — a mutation cannot change the resident-engine COUNT, and
+    // the estimate refreshes at the next computed report anyway — so the
+    // delta path stays O(dirtied path).
+    impl_->EnforceBudget(*session);
+  }
+  return applied;
+}
+
+Result<AttributionReport> EngineRegistry::Report(const std::string& session_id,
+                                                 const ReportOptions& options) {
+  Session* session = impl_->Find(session_id);
+  if (session == nullptr) {
+    return Result<AttributionReport>::Error("no open session " + session_id);
+  }
+  if (session->engine.has_value()) {
+    ++impl_->stats.report_hits;
+    if (session->cached_report.has_value() &&
+        session->cached_epoch == session->mutation_epoch) {
+      // Steady-state polling: no delta since the cached table was ranked,
+      // so it is the report, verbatim. Nothing resident changed size, so
+      // the budget needs no re-enforcement either.
+      ++impl_->stats.report_cache_hits;
+      ++session->reports_served;
+      session->last_used = ++impl_->clock;
+      return Result<AttributionReport>::Ok(
+          TruncatedCopy(*session->cached_report, options.top_k));
+    }
+  } else {
+    auto built = ShapleyEngine::Build(session->query, *session->db);
+    if (!built.ok()) {
+      return Result<AttributionReport>::Error(built.error());
+    }
+    session->engine.emplace(std::move(built).value());
+    session->engine_bytes = 0;  // EnforceBudget refreshes the estimate
+    ++impl_->stats.resident_engines;
+    ++impl_->stats.report_misses;
+    ++impl_->stats.engine_builds;
+    ++session->engine_builds;
+  }
+  // Compute and cache the FULL table (top_k applied per serve, so one cache
+  // entry answers every truncation). The served copy is taken before budget
+  // enforcement: EnforceBudget may evict the current engine — and the cache
+  // with it — when it alone exceeds the budget.
+  ReportOptions full = options;
+  full.top_k = 0;
+  session->cached_report =
+      BuildAttributionReportFromEngine(*session->engine, *session->db, full);
+  session->cached_epoch = session->mutation_epoch;
+  ++session->reports_served;
+  session->last_used = ++impl_->clock;
+  AttributionReport served =
+      TruncatedCopy(*session->cached_report, options.top_k);
+  impl_->EnforceBudget(*session);
+  return Result<AttributionReport>::Ok(std::move(served));
+}
+
+Result<bool> EngineRegistry::Close(const std::string& session_id) {
+  auto it = impl_->sessions.find(session_id);
+  if (it == impl_->sessions.end()) {
+    return Result<bool>::Error("no open session " + session_id);
+  }
+  Session& session = it->second;
+  if (session.engine.has_value()) {
+    // Drop the engine's residency accounting without counting an eviction.
+    SHAPCQ_CHECK(impl_->stats.resident_engines > 0);
+    --impl_->stats.resident_engines;
+    impl_->stats.resident_bytes -= session.engine_bytes;
+    session.engine.reset();  // before the Database it points into
+  }
+  impl_->sessions.erase(it);
+  auto& order = impl_->session_order;
+  order.erase(std::find(order.begin(), order.end(), session_id));
+  --impl_->stats.open_sessions;
+  return Result<bool>::Ok(true);
+}
+
+const Database* EngineRegistry::FindDatabase(
+    const std::string& session_id) const {
+  const Session* session = impl_->Find(session_id);
+  return session == nullptr ? nullptr : session->db.get();
+}
+
+Result<SessionStats> EngineRegistry::Stats(
+    const std::string& session_id) const {
+  const Session* session = impl_->Find(session_id);
+  if (session == nullptr) {
+    return Result<SessionStats>::Error("no open session " + session_id);
+  }
+  SessionStats stats;
+  stats.fact_count = session->db->fact_count();
+  stats.endo_count = session->db->endogenous_count();
+  stats.deltas_applied = session->deltas_applied;
+  stats.reports_served = session->reports_served;
+  stats.engine_builds = session->engine_builds;
+  stats.engine_resident = session->engine.has_value();
+  stats.engine_bytes = session->engine_bytes;
+  return Result<SessionStats>::Ok(stats);
+}
+
+RegistryStats EngineRegistry::stats() const { return impl_->stats; }
+
+std::vector<std::string> EngineRegistry::SessionIds() const {
+  return impl_->session_order;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,139 @@
+// Multi-session engine registry: the state layer of the attribution server.
+//
+// A session is one (query, database-stream) pair: the query is fixed at OPEN,
+// the database starts empty and evolves through a stream of fact mutations.
+// The registry owns each session's Database (heap-allocated, address-stable —
+// the incremental ShapleyEngine captures it by pointer) and, while resident,
+// the session's incremental engine.
+//
+// Engines are the expensive, evictable part. They are built lazily on the
+// first report, maintained incrementally by InsertFact/DeleteFact while
+// resident, and evicted least-recently-used when the byte budget (or the
+// resident-engine cap) is exceeded. An evicted session stays open: its
+// database keeps absorbing mutations directly, and the next report rebuilds
+// the engine from the retained database ("rebuild-on-readmission"). Reports
+// are bit-identical either way — the incremental engine is bit-identical to
+// a fresh Build() on the mutated database (PR 3's contract).
+//
+// Threading: the registry is single-writer. One thread opens sessions,
+// applies mutations and requests reports; a report may fan its orbit
+// re-evaluations out over ReportOptions::num_threads workers internally (the
+// engine's single-writer/parallel-reader contract — see "Threading contract"
+// in DESIGN.md). The registry itself takes no locks.
+
+#ifndef SHAPCQ_SERVICE_ENGINE_REGISTRY_H_
+#define SHAPCQ_SERVICE_ENGINE_REGISTRY_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/shapley_engine.h"
+#include "db/database.h"
+#include "db/textio.h"
+#include "query/cq.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+/// Eviction knobs. Both limits apply to resident engines only — open
+/// sessions and their databases are never evicted, only their engines.
+struct RegistryOptions {
+  /// Total ShapleyEngine::ApproxMemoryBytes() allowed across resident
+  /// engines; 0 = unlimited. A single engine larger than the whole budget is
+  /// evicted at the end of its own request, so the budget holds between
+  /// requests (every report on such a session is a rebuild).
+  size_t engine_byte_budget = 0;
+  /// Maximum number of resident engines; 0 = unlimited. Deterministic across
+  /// platforms (byte estimates are not), so CI golden transcripts use this.
+  size_t max_resident_engines = 0;
+};
+
+/// Registry-wide counters, reported by the STATS command.
+struct RegistryStats {
+  size_t open_sessions = 0;
+  size_t resident_engines = 0;
+  size_t resident_bytes = 0;  ///< sum of resident engines' last estimates
+  size_t report_hits = 0;     ///< reports served by an already-resident engine
+  size_t report_cache_hits = 0;  ///< hits served straight from the report
+                                 ///< cache (no delta since the last report)
+  size_t report_misses = 0;   ///< reports that had to (re)build the engine
+  size_t evictions = 0;       ///< engines dropped by budget/cap pressure
+  size_t engine_builds = 0;   ///< total Build() calls (first builds + rebuilds)
+};
+
+/// Per-session counters and state, reported by "STATS <session>".
+struct SessionStats {
+  size_t fact_count = 0;
+  size_t endo_count = 0;
+  size_t deltas_applied = 0;
+  size_t reports_served = 0;
+  size_t engine_builds = 0;  ///< builds for this session, rebuilds included
+  bool engine_resident = false;
+  size_t engine_bytes = 0;  ///< last estimate (refreshed at builds, computed
+                            ///< reports, and byte-budget enforcement); 0
+                            ///< while not resident
+};
+
+/// Session store with LRU engine eviction. Not thread-safe (single writer).
+class EngineRegistry {
+ public:
+  explicit EngineRegistry(const RegistryOptions& options);
+  EngineRegistry();
+  ~EngineRegistry();
+  EngineRegistry(EngineRegistry&&) noexcept;
+  EngineRegistry& operator=(EngineRegistry&&) noexcept;
+
+  /// Opens a session with an empty database. Fails on a duplicate id or a
+  /// query outside the incremental engine's scope (unsafe, self-join, or
+  /// non-hierarchical) — the same checks ShapleyEngine::Build would fail,
+  /// surfaced before any mutation is accepted.
+  Result<bool> Open(const std::string& session_id, const CQ& query);
+
+  /// True if the session is open.
+  bool Has(const std::string& session_id) const;
+
+  /// Applies one mutation to the session's database: through the resident
+  /// engine when there is one, directly otherwise. Error surfaces are
+  /// identical either way (duplicate insert, arity mismatch against schema
+  /// or query atom, delete of an absent fact). Returns the inserted or
+  /// removed FactId.
+  Result<FactId> ApplyMutation(const std::string& session_id,
+                               const MutationSpec& mutation);
+
+  /// Ranked attribution table of the session's current database. Ensures the
+  /// engine is resident (building it on a miss), marks the session most
+  /// recently used, then enforces the eviction policy. While the engine is
+  /// resident, the full ranked table is cached per mutation epoch: repeated
+  /// reports with no intervening delta are served from the cache (the
+  /// steady-state polling path), with options.top_k applied per serve. The
+  /// cache is dropped with the engine on eviction. Reports are bit-identical
+  /// whether served from the cache, a warm engine, a fresh build, or a
+  /// rebuild after an eviction.
+  Result<AttributionReport> Report(const std::string& session_id,
+                                   const ReportOptions& options);
+
+  /// Closes the session, dropping its database and engine. A close is not an
+  /// eviction (the stream ended; nothing will be readmitted).
+  Result<bool> Close(const std::string& session_id);
+
+  /// The session's database (for rendering reports); nullptr if not open.
+  const Database* FindDatabase(const std::string& session_id) const;
+
+  Result<SessionStats> Stats(const std::string& session_id) const;
+  RegistryStats stats() const;
+
+  /// Open session ids, in OPEN order.
+  std::vector<std::string> SessionIds() const;
+
+ private:
+  struct Session;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVICE_ENGINE_REGISTRY_H_

@@ -42,6 +42,13 @@ class BigInt {
   /// Number of significant bits of the magnitude (0 for zero).
   size_t BitLength() const;
 
+  /// Approximate memory footprint in bytes (object plus owned limb storage).
+  /// Feeds the byte-budgeted LRU accounting of the serving layer; an
+  /// estimate, not an allocator audit.
+  size_t ApproxMemoryBytes() const {
+    return sizeof(BigInt) + limbs_.capacity() * sizeof(uint32_t);
+  }
+
   BigInt operator-() const;
   BigInt Abs() const;
 

@@ -26,6 +26,12 @@ BigInt CountVector::Total() const {
   return total;
 }
 
+size_t CountVector::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(CountVector);
+  for (const BigInt& count : counts_) bytes += count.ApproxMemoryBytes();
+  return bytes;
+}
+
 CountVector CountVector::Convolve(const CountVector& other) const {
   std::vector<BigInt> result(counts_.size() + other.counts_.size() - 1,
                              BigInt(0));

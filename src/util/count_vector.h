@@ -40,6 +40,10 @@ class CountVector {
   /// Sum over all k (number of qualifying subsets of any size).
   BigInt Total() const;
 
+  /// Approximate memory footprint in bytes (object plus owned BigInt cells).
+  /// Feeds the byte-budgeted LRU accounting of the serving layer.
+  size_t ApproxMemoryBytes() const;
+
   /// Counts of subsets of the combined (disjoint) universe whose restriction
   /// to each part qualifies in that part. Accumulates partial products
   /// directly into the result cells (BigInt::AddProductOf), so no temporary

@@ -37,6 +37,12 @@ class Rational {
   bool IsZero() const { return numerator_.IsZero(); }
   int sign() const { return numerator_.sign(); }
 
+  /// Approximate memory footprint in bytes (object plus owned limb storage).
+  /// Feeds the byte-budgeted LRU accounting of the serving layer.
+  size_t ApproxMemoryBytes() const {
+    return numerator_.ApproxMemoryBytes() + denominator_.ApproxMemoryBytes();
+  }
+
   Rational operator-() const;
   Rational Abs() const;
   Rational operator+(const Rational& other) const;

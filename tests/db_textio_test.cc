@@ -43,6 +43,68 @@ TEST(TextIoTest, Errors) {
   EXPECT_FALSE(ParseDatabase("R(,)").ok());
 }
 
+TEST(TextIoTest, ParseFactSpecHappyPath) {
+  auto spec = ParseFactSpec("  Reg(Adam, OS)*  ");
+  ASSERT_TRUE(spec.ok()) << spec.error();
+  EXPECT_EQ(spec.value().relation, "Reg");
+  EXPECT_EQ(spec.value().tuple, (Tuple{V("Adam"), V("OS")}));
+  EXPECT_TRUE(spec.value().endogenous);
+  EXPECT_EQ(FactSpecToString(spec.value()), "Reg(Adam,OS)*");
+
+  auto nullary = ParseFactSpec("T()");
+  ASSERT_TRUE(nullary.ok());
+  EXPECT_TRUE(nullary.value().tuple.empty());
+  EXPECT_FALSE(nullary.value().endogenous);
+  EXPECT_EQ(FactSpecToString(nullary.value()), "T()");
+}
+
+TEST(TextIoTest, ParseFactSpecErrors) {
+  // The error paths the server's DELTA command leans on: every malformed
+  // literal must fail with a message, never parse loosely.
+  EXPECT_FALSE(ParseFactSpec("").ok());            // empty
+  EXPECT_FALSE(ParseFactSpec("   ").ok());         // whitespace only
+  EXPECT_FALSE(ParseFactSpec("R").ok());           // no argument list
+  EXPECT_FALSE(ParseFactSpec("(a)").ok());         // missing relation name
+  EXPECT_FALSE(ParseFactSpec("R(a").ok());         // unterminated
+  EXPECT_FALSE(ParseFactSpec("R(a,)").ok());       // trailing comma
+  EXPECT_FALSE(ParseFactSpec("R(,a)").ok());       // leading comma
+  EXPECT_FALSE(ParseFactSpec("R(a))").ok());       // trailing ')'
+  EXPECT_FALSE(ParseFactSpec("R(a)**").ok());      // duplicate endo marker
+  EXPECT_FALSE(ParseFactSpec("R(a)* S(b)").ok());  // two facts
+  EXPECT_FALSE(ParseFactSpec("R(a) junk").ok());   // trailing garbage
+  // The marker must trail the ')' immediately; detached it is junk.
+  EXPECT_FALSE(ParseFactSpec("R(a) *").ok());
+  // Error messages carry enough context to echo to a protocol client.
+  auto dup = ParseFactSpec("R(a)**");
+  EXPECT_NE(dup.error().find("trailing input"), std::string::npos);
+  auto comma = ParseFactSpec("R(a,)");
+  EXPECT_NE(comma.error().find("trailing comma"), std::string::npos);
+}
+
+TEST(TextIoTest, ParseMutationLine) {
+  auto insert = ParseMutationLine("  + Reg(Adam,OS)*");
+  ASSERT_TRUE(insert.ok()) << insert.error();
+  EXPECT_EQ(insert.value().op, MutationSpec::Op::kInsert);
+  EXPECT_EQ(FactSpecToString(insert.value().fact), "Reg(Adam,OS)*");
+
+  auto erase = ParseMutationLine("- Reg(Adam,OS)");
+  ASSERT_TRUE(erase.ok()) << erase.error();
+  EXPECT_EQ(erase.value().op, MutationSpec::Op::kDelete);
+  EXPECT_FALSE(erase.value().fact.endogenous);
+
+  // '+R(a)' with no space still parses: the op is a single leading char.
+  EXPECT_TRUE(ParseMutationLine("+R(a)").ok());
+
+  EXPECT_FALSE(ParseMutationLine("").ok());
+  EXPECT_FALSE(ParseMutationLine("   ").ok());
+  EXPECT_FALSE(ParseMutationLine("R(a)").ok());      // missing op
+  EXPECT_FALSE(ParseMutationLine("* R(a)").ok());    // bad op
+  EXPECT_FALSE(ParseMutationLine("+ R(a").ok());     // malformed literal
+  EXPECT_FALSE(ParseMutationLine("+ R(a) +S(b)").ok());  // two mutations
+  auto bad_op = ParseMutationLine("* R(a)");
+  EXPECT_NE(bad_op.error().find("expected '+' or '-'"), std::string::npos);
+}
+
 TEST(TextIoTest, EmptyInputIsEmptyDatabase) {
   Database db = MustParseDatabase("");
   EXPECT_EQ(db.fact_count(), 0u);

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Fresh-process differential sweep: shapcq_server vs shapcq_cli.
+
+Generates (query, delta-sequence) sessions, drives ONE long-lived
+shapcq_server process over all of them interleaved (with eviction
+pressure: --max-resident 1), and checks that the attribution table of
+EVERY REPORT is bit-identical to a fresh shapcq_cli process run on the
+equivalently mutated database — including reports served right after an
+engine was LRU-evicted and rebuilt.
+
+The compared table spans the column header through the "total" line
+(everything value-bearing). The one line excluded is the engine label,
+which intentionally differs: "CntSat (incremental)" on the server,
+"CntSat" in a fresh CLI run.
+
+usage: server_differential.py SHAPCQ_SERVER SHAPCQ_CLI [--sessions 12]
+"""
+
+import argparse
+import random
+import subprocess
+import sys
+
+# Hierarchical, self-join-free, safe CQ(not)s (the incremental engine's
+# scope), covering negation, shared variables and tree-shaped joins.
+QUERIES = [
+    "q() :- R(x)",
+    "q() :- R(x), not S(x)",
+    "q() :- Stud(x), not TA(x), Reg(x,y)",
+    "q() :- R(x,y)",
+    "q() :- R(x), S(x,y), not T(x,y)",
+    "q() :- A(x), not B(x), C(x,y)",
+    "q() :- E(x,y), not F(x,y)",
+    "q() :- R(x), S(x), not T(x)",
+    "q() :- P(x), Q(x,y), not R(x,y)",
+    "q() :- U(x), not V(x), W(x,y), not X(x,y)",
+    "q() :- M(x,y), N(y)",
+    "q() :- K(x), L(x,y)",
+]
+
+
+def atoms_of(query):
+    """[(relation, arity)] of a QUERIES entry (constant-free literals)."""
+    out = []
+    for literal in query.split(":-")[1].split("),"):
+        literal = literal.strip().rstrip(")")
+        if literal.startswith("not "):
+            literal = literal[4:]
+        relation, args = literal.split("(")
+        args = args.strip()
+        out.append((relation.strip(), 0 if not args else args.count(",") + 1))
+    return out
+
+
+class ShadowDb:
+    """Mirrors a session's database: insertion-ordered live literals (the
+    order Database::ToString would print, so a fresh parse is equivalent)."""
+
+    def __init__(self):
+        self.facts = []
+
+    @staticmethod
+    def literal(relation, tuple_, endo):
+        return f"{relation}({','.join(tuple_)}){'*' if endo else ''}"
+
+    def has(self, relation, tuple_):
+        bare = self.literal(relation, tuple_, False)
+        return any(fact.rstrip("*") == bare for fact in self.facts)
+
+    def insert(self, relation, tuple_, endo):
+        self.facts.append(self.literal(relation, tuple_, endo))
+
+    def delete(self, literal):
+        self.facts.remove(literal)
+
+    def to_db_text(self):
+        return " ".join(self.facts) if self.facts else " "
+
+
+def report_blocks(stdout, sid):
+    """Output between each 'report <sid> ...' header and its end marker."""
+    blocks, current = [], None
+    for line in stdout.splitlines():
+        if line.startswith(f"report {sid} "):
+            current = []
+        elif line == f"end report {sid}":
+            blocks.append("\n".join(current))
+            current = None
+        elif current is not None:
+            current.append(line)
+    return blocks
+
+
+def extract_table(text):
+    """The attribution table in `text`: header line through total line."""
+    current = None
+    for line in text.splitlines():
+        if line.startswith("fact "):
+            current = [line]
+        elif current is not None:
+            current.append(line)
+            if line.startswith("total"):
+                return "\n".join(current)
+    return None
+
+
+def last_stat(stdout, key):
+    """The value of `key=` on the last registry-wide stats line."""
+    value = None
+    for line in stdout.splitlines():
+        if line.startswith("stats sessions="):
+            for field in line.split():
+                if field.startswith(key + "="):
+                    value = int(field.split("=")[1])
+    return value
+
+
+def build_session(index, rng):
+    query = QUERIES[index % len(QUERIES)]
+    relations = atoms_of(query)
+    shadow = ShadowDb()
+    lines = [f"OPEN s{index} {query}"]
+    oracles = []  # (db_text, query) snapshot per REPORT
+
+    def mutate():
+        if shadow.facts and rng.random() < 0.35:
+            victim = rng.choice(shadow.facts)
+            shadow.delete(victim)
+            lines.append(f"DELTA s{index} - {victim}")
+            return
+        for _ in range(20):  # retry duplicate draws
+            relation, arity = rng.choice(relations)
+            tuple_ = tuple(f"c{rng.randrange(4)}" for _ in range(arity))
+            if shadow.has(relation, tuple_):
+                continue
+            shadow.insert(relation, tuple_, rng.random() < 0.7)
+            lines.append(f"DELTA s{index} + {shadow.facts[-1]}")
+            return
+
+    for _ in range(rng.randrange(3, 5)):  # batches, one REPORT after each
+        for _ in range(rng.randrange(2, 5)):
+            mutate()
+        lines.append(f"REPORT s{index}")
+        oracles.append((shadow.to_db_text(), query))
+    lines.append(f"CLOSE s{index}")
+    return {"lines": lines, "oracles": oracles}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("server")
+    parser.add_argument("cli")
+    parser.add_argument("--sessions", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=20260731)
+    args = parser.parse_args()
+    rng = random.Random(args.seed)
+
+    sessions = [build_session(i, rng) for i in range(args.sessions)]
+
+    # Interleave round-robin, one line at a time: with --max-resident 1 every
+    # session's engine is evicted by its neighbors between batches, so its
+    # next REPORT readmits (rebuilds) it.
+    script, cursors = [], [0] * len(sessions)
+    remaining = sum(len(s["lines"]) for s in sessions)
+    while remaining:
+        for i, session in enumerate(sessions):
+            if cursors[i] < len(session["lines"]):
+                script.append(session["lines"][cursors[i]])
+                cursors[i] += 1
+                remaining -= 1
+    script.append("STATS")
+
+    server = subprocess.run(
+        [args.server, "--max-resident", "1"],
+        input="\n".join(script) + "\n",
+        capture_output=True, text=True)
+    if server.returncode != 0:
+        print("server exited non-zero:\n" + server.stdout + server.stderr,
+              file=sys.stderr)
+        return 1
+
+    failures = 0
+    total_reports = 0
+    for index, session in enumerate(sessions):
+        sid = f"s{index}"
+        blocks = report_blocks(server.stdout, sid)
+        if len(blocks) != len(session["oracles"]):
+            print(f"{sid}: expected {len(session['oracles'])} reports, "
+                  f"server emitted {len(blocks)}", file=sys.stderr)
+            failures += 1
+            continue
+        for report_index, (db_text, query) in enumerate(session["oracles"]):
+            total_reports += 1
+            server_table = extract_table(blocks[report_index])
+            cli = subprocess.run(
+                [args.cli, "--db", db_text, "--query", query],
+                capture_output=True, text=True)
+            if cli.returncode != 0:
+                print(f"{sid} report {report_index}: cli failed: "
+                      f"{cli.stderr}", file=sys.stderr)
+                failures += 1
+                continue
+            cli_table = extract_table(cli.stdout)
+            if server_table is None or cli_table is None:
+                print(f"{sid} report {report_index}: missing table",
+                      file=sys.stderr)
+                failures += 1
+            elif server_table != cli_table:
+                print(f"{sid} report {report_index}: MISMATCH\n"
+                      f"server:\n{server_table}\n"
+                      f"cli ({db_text!r}):\n{cli_table}", file=sys.stderr)
+                failures += 1
+
+    # Eviction really happened: every engine build past the first per
+    # session is a rebuild after LRU eviction.
+    builds = last_stat(server.stdout, "builds")
+    evictions = last_stat(server.stdout, "evictions")
+    rebuilds = (builds or 0) - len(sessions)
+    if not evictions or rebuilds <= 0:
+        print(f"error: no eviction pressure (builds={builds}, "
+              f"evictions={evictions}) — the sweep must cover "
+              "rebuild-on-readmission", file=sys.stderr)
+        failures += 1
+
+    print(f"{len(sessions)} sessions, {total_reports} reports, "
+          f"{builds} engine builds ({rebuilds} rebuilds after eviction, "
+          f"{evictions} evictions), {failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+// Line-protocol surface of the attribution server: command grammar, output
+// framing, and the error paths the server must survive (bad queries, bad
+// mutations, unknown sessions) without corrupting registry state.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/command_loop.h"
+
+namespace shapcq {
+namespace {
+
+// Runs one line and returns its full output (echo included).
+std::string Exec(CommandLoop* loop, const std::string& line) {
+  std::string out;
+  loop->ExecuteLine(line, &out);
+  return out;
+}
+
+CommandLoop MakeLoop() {
+  CommandLoopOptions options;
+  return CommandLoop(options);
+}
+
+TEST(CommandLoopTest, OpenDeltaReportCloseHappyPath) {
+  CommandLoop loop = MakeLoop();
+  EXPECT_EQ(Exec(&loop, "OPEN s1 q() :- R(x)"),
+            "> OPEN s1 q() :- R(x)\nok open s1\n");
+  EXPECT_EQ(Exec(&loop, "DELTA s1 + R(a)*"),
+            "> DELTA s1 + R(a)*\nok delta s1 facts=1 endo=1\n");
+  const std::string report = Exec(&loop, "REPORT s1");
+  EXPECT_NE(report.find("report s1 rows=1 endo=1\n"), std::string::npos);
+  EXPECT_NE(report.find("engine: CntSat (incremental)\n"), std::string::npos);
+  EXPECT_NE(report.find("R(a)*"), std::string::npos);
+  EXPECT_NE(report.find("end report s1\n"), std::string::npos);
+  EXPECT_EQ(Exec(&loop, "CLOSE s1"), "> CLOSE s1\nok close s1\n");
+  EXPECT_EQ(loop.error_count(), 0u);
+}
+
+TEST(CommandLoopTest, BlankAndCommentLinesProduceNoOutput) {
+  CommandLoop loop = MakeLoop();
+  EXPECT_EQ(Exec(&loop, ""), "");
+  EXPECT_EQ(Exec(&loop, "   \t"), "");
+  EXPECT_EQ(Exec(&loop, "# a comment"), "");
+  EXPECT_EQ(loop.error_count(), 0u);
+}
+
+TEST(CommandLoopTest, ReportOnEmptyDatabase) {
+  // A session may be reported before any delta: zero rows, zero total.
+  CommandLoop loop = MakeLoop();
+  Exec(&loop, "OPEN s1 q() :- R(x), not S(x)");
+  const std::string report = Exec(&loop, "REPORT s1");
+  EXPECT_NE(report.find("report s1 rows=0 endo=0\n"), std::string::npos);
+  EXPECT_NE(report.find("total"), std::string::npos);
+  EXPECT_NE(report.find("end report s1\n"), std::string::npos);
+  EXPECT_EQ(loop.error_count(), 0u);
+}
+
+TEST(CommandLoopTest, ReportHonorsTopKAndThreads) {
+  CommandLoop loop = MakeLoop();
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  Exec(&loop, "DELTA s1 + R(a)*");
+  Exec(&loop, "DELTA s1 + R(b)*");
+  Exec(&loop, "DELTA s1 + R(c)*");
+  const std::string full = Exec(&loop, "REPORT s1");
+  EXPECT_NE(full.find("rows=3 endo=3"), std::string::npos);
+  const std::string top = Exec(&loop, "REPORT s1 2");
+  EXPECT_NE(top.find("rows=2 endo=3"), std::string::npos);
+  // --threads changes nothing about the output values (threading contract).
+  const std::string parallel = Exec(&loop, "REPORT s1 2 --threads 4");
+  EXPECT_EQ(top.substr(top.find('\n') + 1),
+            parallel.substr(parallel.find('\n') + 1));
+  EXPECT_EQ(loop.error_count(), 0u);
+}
+
+TEST(CommandLoopTest, OpenErrors) {
+  CommandLoop loop = MakeLoop();
+  EXPECT_NE(Exec(&loop, "OPEN").find("error: usage: OPEN"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "OPEN s1").find("error: usage: OPEN"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "OPEN s1 not a query").find("error: open s1:"),
+            std::string::npos);
+  // Non-hierarchical query: rejected at OPEN, not at the first REPORT.
+  EXPECT_NE(Exec(&loop, "OPEN s1 q() :- R(x,y), S(x), T(y)")
+                .find("not hierarchical"),
+            std::string::npos);
+  // Unsafe negation and self-joins are rejected too.
+  EXPECT_NE(Exec(&loop, "OPEN s1 q() :- R(x), not S(x,y)").find("unsafe"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "OPEN s1 q() :- R(x), R(y)").find("self-join"),
+            std::string::npos);
+  // Duplicate session id.
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  EXPECT_NE(Exec(&loop, "OPEN s1 q() :- R(x)").find("already open"),
+            std::string::npos);
+  EXPECT_EQ(loop.error_count(), 7u);
+}
+
+TEST(CommandLoopTest, DeltaErrors) {
+  CommandLoop loop = MakeLoop();
+  Exec(&loop, "OPEN s1 q() :- R(x), not S(x)");
+  EXPECT_NE(Exec(&loop, "DELTA s1").find("error: usage: DELTA"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "DELTA nosuch + R(a)*").find("no open session"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "DELTA s1 * R(a)").find("expected '+' or '-'"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "DELTA s1 + R(a").find("unterminated"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "DELTA s1 + R(a)* extra").find("trailing input"),
+            std::string::npos);
+  // Apply-time errors: duplicates, arity mismatches, deleting the absent.
+  // Captured as strings so the resident-engine replay below can assert the
+  // error surface is BYTE-identical regardless of residency.
+  Exec(&loop, "DELTA s1 + R(a)*");
+  const std::string dup = Exec(&loop, "DELTA s1 + R(a)*");
+  EXPECT_NE(dup.find("duplicate fact in R"), std::string::npos);
+  const std::string bad_arity = Exec(&loop, "DELTA s1 + R(a,b)*");
+  EXPECT_NE(bad_arity.find("arity mismatch"), std::string::npos);
+  // S has no facts, but the query atom pins its arity to 1.
+  const std::string bad_atom_arity = Exec(&loop, "DELTA s1 + S(a,b)");
+  EXPECT_NE(bad_atom_arity.find("arity mismatch"), std::string::npos);
+  const std::string gone = Exec(&loop, "DELTA s1 - R(zzz)");
+  EXPECT_NE(gone.find("no such fact R(zzz)"), std::string::npos);
+  EXPECT_EQ(loop.error_count(), 9u);
+
+  // The same apply-time errors once the engine is resident (post-REPORT):
+  // transcripts must not depend on residency or eviction timing.
+  Exec(&loop, "REPORT s1");
+  EXPECT_EQ(Exec(&loop, "DELTA s1 + R(a)*"), dup);
+  EXPECT_EQ(Exec(&loop, "DELTA s1 + R(a,b)*"), bad_arity);
+  EXPECT_EQ(Exec(&loop, "DELTA s1 + S(a,b)"), bad_atom_arity);
+  EXPECT_EQ(Exec(&loop, "DELTA s1 - R(zzz)"), gone);
+  EXPECT_EQ(loop.error_count(), 13u);
+}
+
+TEST(CommandLoopTest, ReportStatsCloseErrors) {
+  CommandLoop loop = MakeLoop();
+  EXPECT_NE(Exec(&loop, "REPORT").find("error: usage: REPORT"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "REPORT nosuch").find("no open session"),
+            std::string::npos);
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  EXPECT_NE(Exec(&loop, "REPORT s1 --threads x").find("bad --threads"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "REPORT s1 bogus").find("unexpected argument"),
+            std::string::npos);
+  // Only one positional top_k is allowed; a second number is a stray token.
+  EXPECT_NE(Exec(&loop, "REPORT s1 3 1").find("unexpected argument '1'"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "STATS nosuch").find("no open session"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "STATS s1 extra").find("error: usage: STATS"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "CLOSE nosuch").find("no open session"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "CLOSE").find("error: usage: CLOSE"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "FROB s1").find("unknown command 'FROB'"),
+            std::string::npos);
+  EXPECT_EQ(loop.error_count(), 10u);
+}
+
+TEST(CommandLoopTest, RunReturnsNonZeroOnErrors) {
+  CommandLoop ok_loop = MakeLoop();
+  std::istringstream good("OPEN s1 q() :- R(x)\nDELTA s1 + R(a)*\n");
+  std::ostringstream good_out;
+  EXPECT_EQ(ok_loop.Run(good, good_out), 0);
+
+  CommandLoop bad_loop = MakeLoop();
+  std::istringstream bad("OPEN s1 q() :- R(x)\nDELTA s1 + R(a\n");
+  std::ostringstream bad_out;
+  EXPECT_EQ(bad_loop.Run(bad, bad_out), 1);
+  EXPECT_NE(bad_out.str().find("error:"), std::string::npos);
+}
+
+TEST(CommandLoopTest, CarriageReturnsAreTolerated) {
+  // Session scripts written on Windows reach the loop with trailing '\r'.
+  CommandLoop loop = MakeLoop();
+  EXPECT_EQ(Exec(&loop, "OPEN s1 q() :- R(x)\r"),
+            "> OPEN s1 q() :- R(x)\nok open s1\n");
+  EXPECT_EQ(Exec(&loop, "DELTA s1 + R(a)*\r"),
+            "> DELTA s1 + R(a)*\nok delta s1 facts=1 endo=1\n");
+}
+
+TEST(CommandLoopTest, MultipleSessionsAreIndependent) {
+  CommandLoop loop = MakeLoop();
+  Exec(&loop, "OPEN a q() :- R(x)");
+  Exec(&loop, "OPEN b q() :- S(x), not T(x)");
+  Exec(&loop, "DELTA a + R(one)*");
+  Exec(&loop, "DELTA b + S(two)*");
+  const std::string report_a = Exec(&loop, "REPORT a");
+  const std::string report_b = Exec(&loop, "REPORT b");
+  EXPECT_NE(report_a.find("R(one)*"), std::string::npos);
+  EXPECT_EQ(report_a.find("S(two)*"), std::string::npos);
+  EXPECT_NE(report_b.find("S(two)*"), std::string::npos);
+  Exec(&loop, "CLOSE a");
+  // b survives a's close.
+  EXPECT_NE(Exec(&loop, "STATS b").find("facts=1"), std::string::npos);
+  EXPECT_EQ(loop.error_count(), 0u);
+}
+
+}  // namespace
+}  // namespace shapcq

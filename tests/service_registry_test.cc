@@ -1,0 +1,247 @@
+// EngineRegistry semantics: lazy engine builds, LRU eviction under byte and
+// count budgets, rebuild-on-readmission equivalence, and the memory
+// accounting hook feeding the byte budget.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "core/shapley_engine.h"
+#include "datasets/university.h"
+#include "db/textio.h"
+#include "query/parser.h"
+#include "service/engine_registry.h"
+
+namespace shapcq {
+namespace {
+
+MutationSpec Insert(const std::string& literal) {
+  auto parsed = ParseMutationLine("+ " + literal);
+  SHAPCQ_CHECK_MSG(parsed.ok(), parsed.error().c_str());
+  return std::move(parsed).value();
+}
+
+MutationSpec Delete(const std::string& literal) {
+  auto parsed = ParseMutationLine("- " + literal);
+  SHAPCQ_CHECK_MSG(parsed.ok(), parsed.error().c_str());
+  return std::move(parsed).value();
+}
+
+// Loads every fact of `db` into the session as insert mutations.
+void LoadDatabase(EngineRegistry* registry, const std::string& id,
+                  const Database& db) {
+  for (size_t slot = 0; slot < db.fact_slot_count(); ++slot) {
+    const FactId fact = static_cast<FactId>(slot);
+    if (db.is_removed(fact)) continue;
+    MutationSpec mutation;
+    mutation.op = MutationSpec::Op::kInsert;
+    mutation.fact.relation = db.schema().name(db.relation_of(fact));
+    mutation.fact.tuple = db.tuple_of(fact);
+    mutation.fact.endogenous = db.is_endogenous(fact);
+    auto applied = registry->ApplyMutation(id, mutation);
+    ASSERT_TRUE(applied.ok()) << applied.error();
+  }
+}
+
+TEST(EngineRegistryTest, LazyBuildAndHitMissCounters) {
+  EngineRegistry registry;
+  ASSERT_TRUE(registry.Open("s1", MustParseCQ("q() :- R(x)")).ok());
+  ASSERT_TRUE(registry.ApplyMutation("s1", Insert("R(a)*")).ok());
+  EXPECT_FALSE(registry.Stats("s1").value().engine_resident);
+
+  ASSERT_TRUE(registry.Report("s1", ReportOptions{}).ok());
+  EXPECT_TRUE(registry.Stats("s1").value().engine_resident);
+  EXPECT_EQ(registry.stats().report_misses, 1u);
+  EXPECT_EQ(registry.stats().report_hits, 0u);
+
+  ASSERT_TRUE(registry.Report("s1", ReportOptions{}).ok());
+  EXPECT_EQ(registry.stats().report_misses, 1u);
+  EXPECT_EQ(registry.stats().report_hits, 1u);
+  EXPECT_EQ(registry.stats().engine_builds, 1u);
+}
+
+TEST(EngineRegistryTest, ReportMatchesFreshEngineExactly) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q = UniversityQ1();
+  EngineRegistry registry;
+  ASSERT_TRUE(registry.Open("uni", q).ok());
+  LoadDatabase(&registry, "uni", u.db);
+
+  auto report = registry.Report("uni", ReportOptions{});
+  ASSERT_TRUE(report.ok()) << report.error();
+  // The registry's database was built by replaying inserts, so its rendering
+  // must match a report over the original database verbatim.
+  auto fresh = BuildAttributionReport(q, u.db, ReportOptions{});
+  ASSERT_TRUE(fresh.ok()) << fresh.error();
+  ASSERT_EQ(report.value().rows.size(), fresh.value().rows.size());
+  for (size_t i = 0; i < fresh.value().rows.size(); ++i) {
+    EXPECT_EQ(report.value().rows[i].value, fresh.value().rows[i].value) << i;
+  }
+  EXPECT_EQ(report.value().total, fresh.value().total);
+  EXPECT_EQ(RenderReport(report.value(), *registry.FindDatabase("uni"))
+                .substr(std::string("engine: CntSat (incremental)\n").size()),
+            RenderReport(fresh.value(), u.db)
+                .substr(std::string("engine: CntSat\n").size()));
+}
+
+TEST(EngineRegistryTest, ApproxMemoryBytesIsPositiveAndGrows) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q = UniversityQ1();
+  auto small = ShapleyEngine::Build(q, u.db);
+  ASSERT_TRUE(small.ok());
+  const size_t small_bytes = small.value().ApproxMemoryBytes();
+  EXPECT_GT(small_bytes, 0u);
+
+  // A bigger database must yield a bigger index estimate.
+  Database big = MustParseDatabase(u.db.ToString());
+  for (int i = 0; i < 40; ++i) {
+    big.AddEndo("Reg", {V("extra" + std::to_string(i)), V("OS")});
+    big.AddExo("Stud", {V("extra" + std::to_string(i))});
+  }
+  auto grown = ShapleyEngine::Build(q, big);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_GT(grown.value().ApproxMemoryBytes(), small_bytes);
+}
+
+TEST(EngineRegistryTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q = UniversityQ1();
+  // Budget sized to hold ~one university engine, never two. The probe is
+  // queried first so its estimate includes the lazily built context tables
+  // a served engine carries.
+  auto built = ShapleyEngine::Build(q, u.db);
+  ASSERT_TRUE(built.ok());
+  ShapleyEngine probe = std::move(built).value();
+  probe.AllValues();
+  RegistryOptions options;
+  options.engine_byte_budget = probe.ApproxMemoryBytes() * 3 / 2;
+
+  EngineRegistry registry(options);
+  ASSERT_TRUE(registry.Open("a", q).ok());
+  ASSERT_TRUE(registry.Open("b", q).ok());
+  LoadDatabase(&registry, "a", u.db);
+  LoadDatabase(&registry, "b", u.db);
+
+  ASSERT_TRUE(registry.Report("a", ReportOptions{}).ok());
+  EXPECT_TRUE(registry.Stats("a").value().engine_resident);
+  ASSERT_TRUE(registry.Report("b", ReportOptions{}).ok());
+  // b's build pushed the registry over budget: a (the LRU engine) went.
+  EXPECT_FALSE(registry.Stats("a").value().engine_resident);
+  EXPECT_TRUE(registry.Stats("b").value().engine_resident);
+  EXPECT_EQ(registry.stats().evictions, 1u);
+  EXPECT_LE(registry.stats().resident_bytes, options.engine_byte_budget);
+
+  // Readmitting a rebuilds (a miss) and evicts b in turn.
+  ASSERT_TRUE(registry.Report("a", ReportOptions{}).ok());
+  EXPECT_TRUE(registry.Stats("a").value().engine_resident);
+  EXPECT_FALSE(registry.Stats("b").value().engine_resident);
+  EXPECT_EQ(registry.stats().report_misses, 3u);
+  EXPECT_EQ(registry.stats().evictions, 2u);
+  EXPECT_EQ(registry.Stats("a").value().engine_builds, 2u);
+}
+
+TEST(EngineRegistryTest, MaxResidentCapEvictsDeterministically) {
+  EngineRegistry registry([] {
+    RegistryOptions options;
+    options.max_resident_engines = 2;
+    return options;
+  }());
+  const CQ q = MustParseCQ("q() :- R(x)");
+  for (const char* id : {"a", "b", "c"}) {
+    ASSERT_TRUE(registry.Open(id, q).ok());
+    ASSERT_TRUE(
+        registry.ApplyMutation(id, Insert(std::string("R(") + id + ")*"))
+            .ok());
+    ASSERT_TRUE(registry.Report(id, ReportOptions{}).ok());
+  }
+  // c's build evicted a (LRU); b stayed.
+  EXPECT_FALSE(registry.Stats("a").value().engine_resident);
+  EXPECT_TRUE(registry.Stats("b").value().engine_resident);
+  EXPECT_TRUE(registry.Stats("c").value().engine_resident);
+  EXPECT_EQ(registry.stats().resident_engines, 2u);
+  EXPECT_EQ(registry.stats().evictions, 1u);
+
+  // Touching b (a report hit) protects it; reporting a next evicts c.
+  ASSERT_TRUE(registry.Report("c", ReportOptions{}).ok());
+  ASSERT_TRUE(registry.Report("b", ReportOptions{}).ok());
+  ASSERT_TRUE(registry.Report("a", ReportOptions{}).ok());
+  EXPECT_TRUE(registry.Stats("a").value().engine_resident);
+  EXPECT_TRUE(registry.Stats("b").value().engine_resident);
+  EXPECT_FALSE(registry.Stats("c").value().engine_resident);
+}
+
+TEST(EngineRegistryTest, EvictedSessionAbsorbsDeltasAndRebuildsIdentically) {
+  UniversityDb u = BuildUniversityDb();
+  const CQ q = UniversityQ1();
+
+  // warm: never evicted, every delta patches the engine incrementally.
+  // cold: an always-over-budget registry, engine evicted after each request.
+  EngineRegistry warm;
+  RegistryOptions tiny;
+  tiny.engine_byte_budget = 1;
+  EngineRegistry cold(tiny);
+  for (EngineRegistry* registry : {&warm, &cold}) {
+    ASSERT_TRUE(registry->Open("s", q).ok());
+    LoadDatabase(registry, "s", u.db);
+    ASSERT_TRUE(registry->Report("s", ReportOptions{}).ok());
+  }
+  EXPECT_TRUE(warm.Stats("s").value().engine_resident);
+  EXPECT_FALSE(cold.Stats("s").value().engine_resident);
+  EXPECT_EQ(cold.stats().evictions, 1u);
+
+  const std::vector<MutationSpec> mutations = {
+      Insert("Reg(Eve,OS)*"), Insert("Stud(Eve)"),   Delete("TA(Adam)"),
+      Insert("TA(Eve)*"),     Delete("Reg(Ben,OS)"), Insert("Reg(Ben,AI)*"),
+  };
+  for (const MutationSpec& mutation : mutations) {
+    ASSERT_TRUE(warm.ApplyMutation("s", mutation).ok());
+    ASSERT_TRUE(cold.ApplyMutation("s", mutation).ok());
+    auto warm_report = warm.Report("s", ReportOptions{});
+    auto cold_report = cold.Report("s", ReportOptions{});
+    ASSERT_TRUE(warm_report.ok()) << warm_report.error();
+    ASSERT_TRUE(cold_report.ok()) << cold_report.error();
+    // Same ranked table, bit-identical, whether served warm or rebuilt.
+    EXPECT_EQ(RenderReport(warm_report.value(), *warm.FindDatabase("s")),
+              RenderReport(cold_report.value(), *cold.FindDatabase("s")));
+  }
+  // The warm engine really was incremental (one build), the cold one never
+  // survived between requests (one build per report).
+  EXPECT_EQ(warm.Stats("s").value().engine_builds, 1u);
+  EXPECT_EQ(cold.Stats("s").value().engine_builds,
+            1u + mutations.size());
+}
+
+TEST(EngineRegistryTest, CloseFreesResidencyWithoutCountingEviction) {
+  EngineRegistry registry;
+  const CQ q = MustParseCQ("q() :- R(x)");
+  ASSERT_TRUE(registry.Open("s", q).ok());
+  ASSERT_TRUE(registry.ApplyMutation("s", Insert("R(a)*")).ok());
+  ASSERT_TRUE(registry.Report("s", ReportOptions{}).ok());
+  EXPECT_EQ(registry.stats().resident_engines, 1u);
+  ASSERT_TRUE(registry.Close("s").ok());
+  EXPECT_EQ(registry.stats().resident_engines, 0u);
+  EXPECT_EQ(registry.stats().resident_bytes, 0u);
+  EXPECT_EQ(registry.stats().evictions, 0u);
+  EXPECT_EQ(registry.stats().open_sessions, 0u);
+  EXPECT_FALSE(registry.Has("s"));
+  EXPECT_EQ(registry.FindDatabase("s"), nullptr);
+  // The id is reusable after close.
+  EXPECT_TRUE(registry.Open("s", q).ok());
+}
+
+TEST(EngineRegistryTest, SessionIdsKeepOpenOrder) {
+  EngineRegistry registry;
+  const CQ q = MustParseCQ("q() :- R(x)");
+  ASSERT_TRUE(registry.Open("z", q).ok());
+  ASSERT_TRUE(registry.Open("a", q).ok());
+  ASSERT_TRUE(registry.Open("m", q).ok());
+  EXPECT_EQ(registry.SessionIds(),
+            (std::vector<std::string>{"z", "a", "m"}));
+  ASSERT_TRUE(registry.Close("a").ok());
+  EXPECT_EQ(registry.SessionIds(), (std::vector<std::string>{"z", "m"}));
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""CI gate for the serving layer's perf claim.
+
+Reads a Google Benchmark JSON file containing BM_ServerWarmReport/N and
+BM_ServerColdReport/N rows and fails (exit 1) if, at any size present in
+both families, the warm-engine report is not at least --min-speedup times
+faster than the cold per-request rebuild (default 5 — the ISSUE 4
+acceptance bound; measured warm/cold gaps are orders of magnitude larger,
+so the gate only trips on real regressions, not runner noise).
+
+usage: check_server_speedup.py BENCH_JSON [--min-speedup 5]
+"""
+
+import argparse
+import json
+import sys
+
+WARM = "BM_ServerWarmReport/"
+COLD = "BM_ServerColdReport/"
+
+
+def times_by_size(benchmarks, prefix):
+    out = {}
+    for row in benchmarks:
+        name = row.get("name", "")
+        if not name.startswith(prefix) or row.get("run_type") == "aggregate":
+            continue
+        size = name[len(prefix):].split("/")[0]
+        out[size] = float(row["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_json")
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    args = parser.parse_args()
+
+    with open(args.bench_json) as handle:
+        report = json.load(handle)
+    benchmarks = report.get("benchmarks", [])
+    warm = times_by_size(benchmarks, WARM)
+    cold = times_by_size(benchmarks, COLD)
+    sizes = sorted(set(warm) & set(cold), key=int)
+    if not sizes:
+        print("error: no comparable BM_ServerWarmReport/BM_ServerColdReport "
+              "rows found", file=sys.stderr)
+        return 1
+
+    failed = False
+    for size in sizes:
+        speedup = cold[size] / warm[size]
+        verdict = "OK" if speedup >= args.min_speedup else "REGRESSION"
+        if speedup < args.min_speedup:
+            failed = True
+        print(f"size {size}: warm {warm[size]:.0f} ns vs cold "
+              f"{cold[size]:.0f} ns -> speedup {speedup:.1f}x [{verdict}]")
+    if failed:
+        print(f"error: warm-engine report under {args.min_speedup:.1f}x "
+              "faster than cold per-request rebuild", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

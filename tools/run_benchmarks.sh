@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Builds the Release benchmarks and records the all-facts Shapley benchmark
-# as BENCH_shapley.json (and the incremental patch-vs-rebuild benchmark as
-# BENCH_incremental.json) at the repository root, so the perf trajectory is
+# as BENCH_shapley.json, the incremental patch-vs-rebuild benchmark as
+# BENCH_incremental.json, and the serving-layer warm-vs-cold benchmark as
+# BENCH_server.json at the repository root, so the perf trajectory is
 # tracked PR over PR. BENCH_shapley.json carries a thread-count axis:
 # BM_EngineAllFactsParallel/{students},{threads} rows measure the worker-pool
 # engine, with threads=1 as the serial baseline of the speedup curve.
 #
-# Both files embed git_sha and host_nproc in the JSON "context" block, so
+# All files embed git_sha and host_nproc in the JSON "context" block, so
 # the single-core-container caveat (a parallel speedup is only physically
 # possible when host_nproc > 1) is machine-readable instead of a prose note.
+#
+# Every benchmark binary is checked for existence up front and every JSON is
+# written to a temp file and moved into place only after the run succeeds:
+# a missing binary or a crashed benchmark fails the script loudly instead of
+# leaving a partial BENCH_*.json behind.
 #
 #   tools/run_benchmarks.sh [build-dir]
 #
@@ -20,26 +26,45 @@ build_dir="${1:-$repo_root/build-bench}"
 git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
 host_nproc="$(nproc)"
 
+bench_targets=(bench_shapley_all bench_incremental bench_server)
+
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
       -DSHAPCQ_BUILD_TESTS=OFF -DSHAPCQ_BUILD_EXAMPLES=OFF
-cmake --build "$build_dir" -j "$host_nproc" \
-      --target bench_shapley_all bench_incremental
+cmake --build "$build_dir" -j "$host_nproc" --target "${bench_targets[@]}"
 
-"$build_dir/bench/bench_shapley_all" \
-    --benchmark_context=git_sha="$git_sha" \
-    --benchmark_context=host_nproc="$host_nproc" \
-    --benchmark_format=json \
-    --benchmark_out="$repo_root/BENCH_shapley.json" \
-    --benchmark_out_format=json
+for target in "${bench_targets[@]}"; do
+  if [[ ! -x "$build_dir/bench/$target" ]]; then
+    echo "error: benchmark binary $build_dir/bench/$target is missing" >&2
+    echo "       (build failed or was skipped; refusing to emit partial" \
+         "BENCH_*.json)" >&2
+    exit 1
+  fi
+done
 
-"$build_dir/bench/bench_incremental" \
-    --benchmark_context=git_sha="$git_sha" \
-    --benchmark_context=host_nproc="$host_nproc" \
-    --benchmark_format=json \
-    --benchmark_out="$repo_root/BENCH_incremental.json" \
-    --benchmark_out_format=json
+# Runs one benchmark binary and atomically publishes its JSON: the output
+# lands in BENCH_*.json only if the benchmark exits zero and the JSON is
+# well-formed.
+record() {
+  local target="$1" out="$2"
+  local tmp="$out.tmp"
+  "$build_dir/bench/$target" \
+      --benchmark_context=git_sha="$git_sha" \
+      --benchmark_context=host_nproc="$host_nproc" \
+      --benchmark_format=json \
+      --benchmark_out="$tmp" \
+      --benchmark_out_format=json
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmp"
+  mv "$tmp" "$out"
+}
+
+record bench_shapley_all "$repo_root/BENCH_shapley.json"
+record bench_incremental "$repo_root/BENCH_incremental.json"
+record bench_server "$repo_root/BENCH_server.json"
 
 "$repo_root/tools/check_incremental_speedup.py" \
     "$repo_root/BENCH_incremental.json"
+"$repo_root/tools/check_server_speedup.py" \
+    "$repo_root/BENCH_server.json"
 
-echo "wrote $repo_root/BENCH_shapley.json and $repo_root/BENCH_incremental.json"
+echo "wrote $repo_root/BENCH_shapley.json, $repo_root/BENCH_incremental.json" \
+     "and $repo_root/BENCH_server.json"

@@ -2,7 +2,7 @@
 //
 //   shapcq_cli --db "Stud(a) TA(a)* Reg(a,os)*" \
 //              --query "q() :- Stud(x), not TA(x), Reg(x,y)" \
-//              [--exo Rel1,Rel2] [--threads N] [--brute-force]
+//              [--exo Rel1,Rel2] [--threads N] [--top-k K] [--brute-force]
 //              [--classify-only] [--mutate FILE]
 //
 // Facts use the Database::ToString format ('*' marks endogenous). Prints the
@@ -35,14 +35,15 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: shapcq_cli --db FACTS --query RULE [--exo R1,R2,...]\n"
-      "                  [--threads N] [--brute-force] [--classify-only]\n"
-      "                  [--explain] [--mutate FILE]\n"
+      "                  [--threads N] [--top-k K] [--brute-force]\n"
+      "                  [--classify-only] [--explain] [--mutate FILE]\n"
       "  FACTS: whitespace-separated facts, '*' suffix = endogenous,\n"
       "         e.g. \"Stud(a) TA(a)* Reg(a,os)*\"\n"
       "  RULE:  e.g. \"q() :- Stud(x), not TA(x), Reg(x,y)\"\n"
       "  N:     worker threads for the all-facts engines; 1 = serial\n"
       "         (default), 0 = all hardware threads. Values are identical\n"
       "         at any thread count.\n"
+      "  K:     keep only the K highest-ranked report rows (0 = all).\n"
       "  FILE:  delta replay, one mutation per line: '+ Reg(eve,os)*'\n"
       "         inserts, '- Reg(a,os)' deletes; '#' starts a comment.\n"
       "         Requires a hierarchical query (the incremental engine).\n");
@@ -72,20 +73,15 @@ int RunMutateReplay(const shapcq::CQ& q, shapcq::Database& db,
     ++line_no;
     size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '#') continue;
-    const char op = line[start];
-    if (op != '+' && op != '-') {
-      std::fprintf(stderr, "%s:%zu: expected '+' or '-'\n", path.c_str(),
-                   line_no);
-      return 1;
-    }
-    auto spec = ParseFactSpec(line.substr(start + 1));
-    if (!spec.ok()) {
+    auto parsed = ParseMutationLine(line);
+    if (!parsed.ok()) {
       std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), line_no,
-                   spec.error().c_str());
+                   parsed.error().c_str());
       return 1;
     }
-    FactSpec fact = std::move(spec).value();
-    if (op == '+') {
+    const MutationSpec mutation = std::move(parsed).value();
+    const FactSpec& fact = mutation.fact;
+    if (mutation.op == MutationSpec::Op::kInsert) {
       auto inserted =
           engine.InsertFact(db, fact.relation, fact.tuple, fact.endogenous);
       if (!inserted.ok()) {
@@ -123,7 +119,7 @@ int main(int argc, char** argv) {
   using namespace shapcq;
   std::string db_text, query_text, exo_text, mutate_path;
   bool brute_force = false, classify_only = false, explain = false;
-  unsigned long num_threads = 1;
+  unsigned long num_threads = 1, top_k = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -141,15 +137,16 @@ int main(int argc, char** argv) {
       exo_text = next();
     } else if (arg == "--mutate") {
       mutate_path = next();
-    } else if (arg == "--threads") {
+    } else if (arg == "--threads" || arg == "--top-k") {
       char* end = nullptr;
       const char* text = next();
-      num_threads = std::strtoul(text, &end, 10);
+      unsigned long value = std::strtoul(text, &end, 10);
       // strtoul silently wraps a leading '-', so reject it explicitly.
       if (end == text || *end != '\0' || text[0] == '-') {
-        std::fprintf(stderr, "bad --threads value: %s\n", text);
+        std::fprintf(stderr, "bad %s value: %s\n", arg.c_str(), text);
         return 2;
       }
+      (arg == "--threads" ? num_threads : top_k) = value;
     } else if (arg == "--brute-force") {
       brute_force = true;
     } else if (arg == "--classify-only") {
@@ -209,6 +206,7 @@ int main(int argc, char** argv) {
   options.exo = exo;
   options.allow_brute_force = brute_force;
   options.num_threads = static_cast<size_t>(num_threads);
+  options.top_k = static_cast<size_t>(top_k);
   if (!mutate_path.empty()) {
     Database mutable_db = std::move(db).value();
     return RunMutateReplay(query.value(), mutable_db, mutate_path, options);

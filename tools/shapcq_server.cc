@@ -1,0 +1,118 @@
+// shapcq_server — long-lived attribution server over incremental
+// ShapleyEngines.
+//
+// Speaks the line protocol of src/service/command_loop.h on stdin/stdout
+// (or replays a session script with --script). One process holds many open
+// sessions; each session's engine is maintained incrementally across DELTA
+// batches and evicted least-recently-used under memory pressure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "service/command_loop.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: shapcq_server [--script FILE] [--threads N]\n"
+      "                     [--budget-bytes B] [--max-resident K]\n"
+      "\n"
+      "Long-lived attribution server: one incremental Shapley engine per\n"
+      "open session, byte-budgeted LRU eviction, rebuild-on-readmission.\n"
+      "Reads one command per line from stdin (or FILE with --script) and\n"
+      "writes results to stdout. Commands:\n"
+      "\n"
+      "  OPEN <session> <query-rule>\n"
+      "      Open a session with an empty database. The query must be\n"
+      "      safe, self-join-free and hierarchical (the incremental\n"
+      "      engine's scope), e.g.:\n"
+      "        OPEN s1 q() :- Stud(x), not TA(x), Reg(x,y)\n"
+      "  DELTA <session> + <fact-literal>\n"
+      "  DELTA <session> - <fact-literal>\n"
+      "      Insert or delete one fact; '*' marks endogenous, e.g.:\n"
+      "        DELTA s1 + Reg(Adam,OS)*\n"
+      "      Deletes name the fact by literal. While the session's engine\n"
+      "      is resident, each delta patches one root-to-leaf path; after\n"
+      "      an eviction, deltas apply to the retained database and the\n"
+      "      next REPORT rebuilds.\n"
+      "  REPORT <session> [top_k] [--threads N]\n"
+      "      Stream the ranked attribution table (every endogenous fact's\n"
+      "      exact Shapley value; top_k keeps the k highest rows).\n"
+      "  STATS            registry counters (sessions, hits, evictions)\n"
+      "  STATS <session>  per-session counters\n"
+      "  CLOSE <session>  close the session\n"
+      "\n"
+      "Blank lines and '#' comments are skipped; commands echo as\n"
+      "'> <line>' so a transcript reads as a session log. The exit code is\n"
+      "non-zero if any command errored.\n"
+      "\n"
+      "  --script FILE     replay FILE instead of reading stdin\n"
+      "  --threads N       default REPORT worker threads (1 = serial,\n"
+      "                    0 = all hardware threads; values are identical\n"
+      "                    at any thread count)\n"
+      "  --budget-bytes B  total resident engine bytes before LRU eviction\n"
+      "                    (0 = unlimited)\n"
+      "  --max-resident K  max resident engines before LRU eviction\n"
+      "                    (0 = unlimited; deterministic across platforms)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace shapcq;
+  std::string script_path;
+  CommandLoopOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto next_size = [&](const char* flag) -> size_t {
+      const char* text = next();
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || text[0] == '-') {
+        std::fprintf(stderr, "bad %s value: %s\n", flag, text);
+        std::exit(2);
+      }
+      return static_cast<size_t>(value);
+    };
+    if (arg == "--script") {
+      script_path = next();
+    } else if (arg == "--threads") {
+      options.default_threads = next_size("--threads");
+    } else if (arg == "--budget-bytes") {
+      options.registry.engine_byte_budget = next_size("--budget-bytes");
+    } else if (arg == "--max-resident") {
+      options.registry.max_resident_engines = next_size("--max-resident");
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  CommandLoop loop(options);
+  if (!script_path.empty()) {
+    std::ifstream script(script_path);
+    if (!script) {
+      std::fprintf(stderr, "cannot open script %s\n", script_path.c_str());
+      return 1;
+    }
+    return loop.Run(script, std::cout);
+  }
+  return loop.Run(std::cin, std::cout);
+}
