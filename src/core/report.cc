@@ -20,9 +20,13 @@ void FillAndRankRows(AttributionReport* report, const Database& db,
     report->total += value;
     report->rows.push_back(Attribution{f, std::move(value)});
   }
+  // Descending by value via the division-free three-way compare: the sign
+  // fast path settles most pairs (reports mix positive, zero and negative
+  // attributions) without touching BigInt arithmetic, and ties never build
+  // a normalized difference Rational.
   std::stable_sort(report->rows.begin(), report->rows.end(),
                    [](const Attribution& a, const Attribution& b) {
-                     return b.value < a.value;
+                     return Rational::Compare(b.value, a.value) < 0;
                    });
   if (top_k > 0 && report->rows.size() > top_k) {
     report->rows.resize(top_k);

@@ -2,66 +2,579 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cmath>
+#include <cstring>
 #include <limits>
 #include <ostream>
+#include <vector>
 
 #include "util/check.h"
+
+// 128-bit intermediates: unsigned __int128 where the compiler provides it,
+// a 32-bit-split portable fallback otherwise. Every kernel below is written
+// against the MulWide / Div2By1 primitives so the two paths share one
+// algorithm. Compile with -DSHAPCQ_BIGINT_FORCE_PORTABLE to exercise the
+// fallback on an __int128-capable toolchain — the portable-fallback CI job
+// runs the whole differential battery that way, so both shapes stay tested.
+#if !defined(SHAPCQ_BIGINT_FORCE_PORTABLE) && defined(__SIZEOF_INT128__)
+#define SHAPCQ_BIGINT_HAS_INT128 1
+#else
+#define SHAPCQ_BIGINT_HAS_INT128 0
+#endif
 
 namespace shapcq {
 
 namespace {
 
-constexpr uint64_t kBase = uint64_t{1} << 32;
+using Limb = BigInt::Limb;
 
-// a += b on little-endian magnitudes. b must not alias a.
-void AddLimbsInPlace(std::vector<uint32_t>* a, const std::vector<uint32_t>& b) {
-  if (a->size() < b.size()) a->resize(b.size(), 0);
-  uint64_t carry = 0;
-  size_t i = 0;
-  for (; i < b.size(); ++i) {
-    const uint64_t sum = carry + (*a)[i] + b[i];
-    (*a)[i] = static_cast<uint32_t>(sum & 0xffffffffu);
-    carry = sum >> 32;
+inline int CountLeadingZeros(Limb x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_clzll(x);
+#else
+  int n = 0;
+  while (!(x >> 63)) {
+    x <<= 1;
+    ++n;
   }
-  for (; carry != 0 && i < a->size(); ++i) {
-    const uint64_t sum = carry + (*a)[i];
-    (*a)[i] = static_cast<uint32_t>(sum & 0xffffffffu);
-    carry = sum >> 32;
-  }
-  if (carry != 0) a->push_back(static_cast<uint32_t>(carry));
+  return n;
+#endif
 }
 
-// a -= b on little-endian magnitudes; requires |a| >= |b|. b must not alias a.
-void SubLimbsInPlace(std::vector<uint32_t>* a, const std::vector<uint32_t>& b) {
-  int64_t borrow = 0;
-  for (size_t i = 0; i < a->size() && (borrow != 0 || i < b.size()); ++i) {
-    int64_t diff = static_cast<int64_t>((*a)[i]) - borrow -
-                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
-    if (diff < 0) {
-      diff += static_cast<int64_t>(kBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    (*a)[i] = static_cast<uint32_t>(diff);
+inline int CountTrailingZeros(Limb x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(x);
+#else
+  int n = 0;
+  while (!(x & 1)) {
+    x >>= 1;
+    ++n;
   }
+  return n;
+#endif
+}
+
+// hi:lo = a * b.
+inline void MulWide(Limb a, Limb b, Limb* hi, Limb* lo) {
+#if SHAPCQ_BIGINT_HAS_INT128
+  const unsigned __int128 product = static_cast<unsigned __int128>(a) * b;
+  *lo = static_cast<Limb>(product);
+  *hi = static_cast<Limb>(product >> 64);
+#else
+  const Limb a_lo = a & 0xffffffffu, a_hi = a >> 32;
+  const Limb b_lo = b & 0xffffffffu, b_hi = b >> 32;
+  const Limb p0 = a_lo * b_lo;
+  const Limb p1 = a_lo * b_hi;
+  const Limb p2 = a_hi * b_lo;
+  const Limb p3 = a_hi * b_hi;
+  const Limb mid = (p0 >> 32) + (p1 & 0xffffffffu) + (p2 & 0xffffffffu);
+  *lo = (mid << 32) | (p0 & 0xffffffffu);
+  *hi = p3 + (p1 >> 32) + (p2 >> 32) + (mid >> 32);
+#endif
+}
+
+// Divides u1:u0 by d (requires u1 < d); returns the quotient, stores the
+// remainder. The portable branch is the classic base-2^32 two-digit long
+// division (Hacker's Delight divlu2).
+inline Limb Div2By1(Limb u1, Limb u0, Limb d, Limb* r) {
+#if SHAPCQ_BIGINT_HAS_INT128
+  const unsigned __int128 n =
+      (static_cast<unsigned __int128>(u1) << 64) | u0;
+  *r = static_cast<Limb>(n % d);
+  return static_cast<Limb>(n / d);
+#else
+  const Limb base = Limb{1} << 32;
+  const int s = CountLeadingZeros(d);
+  d <<= s;
+  if (s != 0) {
+    u1 = (u1 << s) | (u0 >> (64 - s));
+    u0 <<= s;
+  }
+  const Limb dh = d >> 32, dl = d & 0xffffffffu;
+  const Limb un1 = u0 >> 32, un0 = u0 & 0xffffffffu;
+  Limb q1 = u1 / dh, rhat = u1 % dh;
+  while (q1 >= base || q1 * dl > ((rhat << 32) | un1)) {
+    --q1;
+    rhat += dh;
+    if (rhat >= base) break;
+  }
+  const Limb un21 = (u1 << 32) + un1 - q1 * d;
+  Limb q0 = un21 / dh;
+  rhat = un21 % dh;
+  while (q0 >= base || q0 * dl > ((rhat << 32) | un0)) {
+    --q0;
+    rhat += dh;
+    if (rhat >= base) break;
+  }
+  *r = ((un21 << 32) + un0 - q0 * d) >> s;
+  return (q1 << 32) | q0;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// LimbPool: thread-local size-class freelists for heap limb buffers.
+//
+// Every heap spill of a BigInt goes through Acquire/Release instead of the
+// global allocator. Capacities are powers of two from kMinPoolCapacity up to
+// kMinPoolCapacity << (kNumSizeClasses - 1); larger requests fall through to
+// plain new[]/delete[]. The cache is strictly thread-local (no locks, no
+// sharing — TSan-clean by construction); a buffer acquired on one thread may
+// be released on another, in which case it simply parks in (or is freed
+// from) the releasing thread's cache. After the cache's thread-exit
+// destructor has run, Acquire/Release degrade to plain new[]/delete[] so
+// static-duration BigInts destroyed late stay correct.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kMinPoolCapacity = 4;   // > BigInt::kInlineLimbs by contract
+constexpr size_t kNumSizeClasses = 13;   // up to 4 << 12 = 16384 limbs
+// Parked memory is bounded two ways: at most kMaxFreePerClass buffers AND at
+// most kMaxFreeLimbsPerClass limbs (128 KiB) per class — so a thread parks
+// ≤ ~1.7 MiB total, instead of 64 of the largest buffers (~8 MiB in the top
+// class alone). Parked bytes are invisible to ApproxMemoryBytes by design,
+// so this bound is what keeps the registry's byte budget honest.
+constexpr size_t kMaxFreePerClass = 64;
+constexpr size_t kMaxFreeLimbsPerClass = 16384;
+
+static_assert(kMinPoolCapacity > BigInt::kInlineLimbs,
+              "heap capacities must exceed kInlineLimbs: capacity_ is the "
+              "inline/heap discriminator");
+
+inline size_t ClassCapacity(size_t size_class) {
+  return kMinPoolCapacity << size_class;
+}
+
+// Smallest class whose capacity is >= limb_count; kNumSizeClasses if none.
+inline size_t SizeClassFor(size_t limb_count) {
+  size_t size_class = 0;
+  size_t capacity = kMinPoolCapacity;
+  while (size_class < kNumSizeClasses && capacity < limb_count) {
+    capacity <<= 1;
+    ++size_class;
+  }
+  return size_class;
+}
+
+struct LimbPoolCache;
+thread_local LimbPoolCache* g_pool_cache = nullptr;
+thread_local bool g_pool_cache_dead = false;
+
+struct LimbPoolCache {
+  std::vector<Limb*> free_lists[kNumSizeClasses];
+
+  LimbPoolCache() { g_pool_cache = this; }
+  ~LimbPoolCache() {
+    for (std::vector<Limb*>& list : free_lists) {
+      for (Limb* buffer : list) delete[] buffer;
+    }
+    g_pool_cache = nullptr;
+    g_pool_cache_dead = true;
+  }
+};
+
+inline LimbPoolCache* GetPoolCache() {
+  if (g_pool_cache != nullptr) return g_pool_cache;
+  if (g_pool_cache_dead) return nullptr;
+  static thread_local LimbPoolCache cache;
+  return g_pool_cache;
+}
+
+Limb* PoolAcquire(size_t min_limbs, uint32_t* capacity_out) {
+  const size_t size_class = SizeClassFor(min_limbs);
+  if (size_class >= kNumSizeClasses) {
+    *capacity_out = static_cast<uint32_t>(min_limbs);
+    return new Limb[min_limbs];
+  }
+  const size_t capacity = ClassCapacity(size_class);
+  *capacity_out = static_cast<uint32_t>(capacity);
+  LimbPoolCache* cache = GetPoolCache();
+  if (cache != nullptr && !cache->free_lists[size_class].empty()) {
+    Limb* buffer = cache->free_lists[size_class].back();
+    cache->free_lists[size_class].pop_back();
+    return buffer;
+  }
+  return new Limb[capacity];
+}
+
+void PoolRelease(Limb* buffer, size_t capacity) {
+  const size_t size_class = SizeClassFor(capacity);
+  if (size_class < kNumSizeClasses && ClassCapacity(size_class) == capacity) {
+    const size_t max_parked = std::min(
+        kMaxFreePerClass, std::max<size_t>(1, kMaxFreeLimbsPerClass / capacity));
+    LimbPoolCache* cache = GetPoolCache();
+    if (cache != nullptr &&
+        cache->free_lists[size_class].size() < max_parked) {
+      cache->free_lists[size_class].push_back(buffer);
+      return;
+    }
+  }
+  delete[] buffer;
+}
+
+// RAII scratch buffer drawn from the pool (Karatsuba temporaries, division
+// work areas, large fused-accumulate products).
+class PooledScratch {
+ public:
+  explicit PooledScratch(size_t limb_count) {
+    data_ = PoolAcquire(limb_count, &capacity_);
+  }
+  ~PooledScratch() { PoolRelease(data_, capacity_); }
+  PooledScratch(const PooledScratch&) = delete;
+  PooledScratch& operator=(const PooledScratch&) = delete;
+
+  Limb* data() { return data_; }
+
+ private:
+  Limb* data_;
+  uint32_t capacity_;
+};
+
+// ---------------------------------------------------------------------------
+// Raw magnitude kernels (little-endian limb arrays, no sign handling).
+// ---------------------------------------------------------------------------
+
+// -1, 0, +1 for a[0..an) vs b[0..bn); operands need not be trimmed.
+int CompareLimbs(const Limb* a, size_t an, const Limb* b, size_t bn) {
+  while (an > 0 && a[an - 1] == 0) --an;
+  while (bn > 0 && b[bn - 1] == 0) --bn;
+  if (an != bn) return an < bn ? -1 : 1;
+  for (size_t i = an; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+size_t SignificantLimbs(const Limb* a, size_t n) {
+  while (n > 0 && a[n - 1] == 0) --n;
+  return n;
+}
+
+// a[0..an) -= b[0..bn) in place; requires |a| >= |b| (final borrow is zero).
+void SubLimbsInPlace(Limb* a, size_t an, const Limb* b, size_t bn) {
+  Limb borrow = 0;
+  size_t i = 0;
+  for (; i < bn; ++i) {
+    const Limb t = a[i] - borrow;
+    const Limb borrow1 = static_cast<Limb>(t > a[i]);
+    const Limb result = t - b[i];
+    borrow = borrow1 | static_cast<Limb>(result > t);
+    a[i] = result;
+  }
+  for (; borrow != 0 && i < an; ++i) {
+    const Limb t = a[i] - borrow;
+    borrow = static_cast<Limb>(t > a[i]);
+    a[i] = t;
+  }
+  SHAPCQ_CHECK_MSG(borrow == 0, "magnitude subtraction underflow");
+}
+
+// res[off..) += add[0..n), propagating the carry; the sum must fit below
+// res + res_len.
+void AddLimbsAt(Limb* res, size_t res_len, size_t off, const Limb* add,
+                size_t n) {
+  Limb carry = 0;
+  size_t i = 0;
+  for (; i < n; ++i) {
+    const Limb sum1 = res[off + i] + add[i];
+    const Limb carry1 = static_cast<Limb>(sum1 < add[i]);
+    const Limb sum2 = sum1 + carry;
+    carry = carry1 | static_cast<Limb>(sum2 < carry);
+    res[off + i] = sum2;
+  }
+  for (; carry != 0; ++i) {
+    SHAPCQ_CHECK_MSG(off + i < res_len, "magnitude addition overflow");
+    const Limb sum = res[off + i] + carry;
+    carry = static_cast<Limb>(sum < carry);
+    res[off + i] = sum;
+  }
+}
+
+// out[0..n) = a[0..n) * m; returns the carry limb.
+Limb MulRowTo(Limb* out, const Limb* a, size_t n, Limb m) {
+#if SHAPCQ_BIGINT_HAS_INT128
+  unsigned __int128 carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned __int128 cur =
+        static_cast<unsigned __int128>(a[i]) * m + static_cast<Limb>(carry);
+    out[i] = static_cast<Limb>(cur);
+    carry = cur >> 64;
+  }
+  return static_cast<Limb>(carry);
+#else
+  Limb carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Limb hi, lo;
+    MulWide(a[i], m, &hi, &lo);
+    const Limb sum = lo + carry;
+    carry = hi + static_cast<Limb>(sum < lo);
+    out[i] = sum;
+  }
+  return carry;
+#endif
+}
+
+// acc[0..n) += a[0..n) * m; returns the carry limb.
+Limb MulAddRow(Limb* acc, const Limb* a, size_t n, Limb m) {
+#if SHAPCQ_BIGINT_HAS_INT128
+  unsigned __int128 carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned __int128 cur = static_cast<unsigned __int128>(a[i]) * m +
+                                  acc[i] + static_cast<Limb>(carry);
+    acc[i] = static_cast<Limb>(cur);
+    carry = cur >> 64;
+  }
+  return static_cast<Limb>(carry);
+#else
+  Limb carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Limb hi, lo;
+    MulWide(a[i], m, &hi, &lo);
+    Limb sum = lo + carry;
+    Limb carry_out = hi + static_cast<Limb>(sum < lo);
+    const Limb with_acc = sum + acc[i];
+    carry_out += static_cast<Limb>(with_acc < sum);
+    acc[i] = with_acc;
+    carry = carry_out;
+  }
+  return carry;
+#endif
+}
+
+// acc[0..n) -= a[0..n) * m; returns the borrow limb.
+Limb MulSubRow(Limb* acc, const Limb* a, size_t n, Limb m) {
+  Limb borrow = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Limb hi, lo;
+    MulWide(m, a[i], &hi, &lo);
+    lo += borrow;
+    hi += static_cast<Limb>(lo < borrow);
+    const Limb t = acc[i];
+    acc[i] = t - lo;
+    borrow = hi + static_cast<Limb>(t < lo);
+  }
+  return borrow;
+}
+
+void MulMagnitudeTo(const Limb* a, size_t an, const Limb* b, size_t bn,
+                    Limb* res);
+
+// Schoolbook product into res[0..an+bn) (fully overwritten). Requires
+// an >= bn >= 1.
+void SchoolbookMulTo(const Limb* a, size_t an, const Limb* b, size_t bn,
+                     Limb* res) {
+  std::memset(res, 0, (an + bn) * sizeof(Limb));
+  for (size_t i = 0; i < an; ++i) {
+    // Row i writes res[i..i+bn); position i+bn has never been written by an
+    // earlier row (max earlier index is i-1+bn), so the carry is a store.
+    res[i + bn] = MulAddRow(res + i, b, bn, a[i]);
+  }
+}
+
+// Karatsuba product into res[0..an+bn) (fully overwritten). Requires
+// an >= bn > an/2 and bn >= BigInt::kKaratsubaThreshold.
+void KaratsubaMulTo(const Limb* a, size_t an, const Limb* b, size_t bn,
+                    Limb* res) {
+  const size_t h = an >> 1;  // split point; bn > h by the balance precondition
+  const Limb* a0 = a;
+  const size_t a0n = h;
+  const Limb* a1 = a + h;
+  const size_t a1n = an - h;
+  const Limb* b0 = b;
+  const size_t b0n = h;
+  const Limb* b1 = b + h;
+  const size_t b1n = bn - h;
+
+  // z0 = a0*b0 and z2 = a1*b1 land directly in their final positions: they
+  // occupy disjoint halves res[0..2h) and res[2h..an+bn).
+  MulMagnitudeTo(a0, a0n, b0, b0n, res);
+  MulMagnitudeTo(a1, a1n, b1, b1n, res + 2 * h);
+
+  // z1 = (a0+a1)(b0+b1) - z0 - z2, computed in pooled scratch.
+  const size_t sa_len = std::max(a0n, a1n) + 1;
+  const size_t sb_len = std::max(b0n, b1n) + 1;
+  const size_t z1_len = sa_len + sb_len;
+  PooledScratch scratch(sa_len + sb_len + z1_len);
+  Limb* sum_a = scratch.data();
+  Limb* sum_b = sum_a + sa_len;
+  Limb* z1 = sum_b + sb_len;
+
+  std::memcpy(sum_a, a1, a1n * sizeof(Limb));
+  sum_a[sa_len - 1] = 0;
+  AddLimbsAt(sum_a, sa_len, 0, a0, a0n);
+  std::memcpy(sum_b, b1, b1n * sizeof(Limb));
+  if (b1n < sb_len) {
+    std::memset(sum_b + b1n, 0, (sb_len - b1n) * sizeof(Limb));
+  }
+  AddLimbsAt(sum_b, sb_len, 0, b0, b0n);
+
+  MulMagnitudeTo(sum_a, sa_len, sum_b, sb_len, z1);
+  SubLimbsInPlace(z1, z1_len, res, SignificantLimbs(res, 2 * h));
+  SubLimbsInPlace(z1, z1_len, res + 2 * h,
+                  SignificantLimbs(res + 2 * h, an + bn - 2 * h));
+  AddLimbsAt(res, an + bn, h, z1, SignificantLimbs(z1, z1_len));
+}
+
+// Full product dispatcher into res[0..an+bn) (fully overwritten). Requires
+// an, bn >= 1. Balanced large operands go to Karatsuba; a very lopsided pair
+// is cut into divisor-sized chunks so the recursion stays balanced.
+void MulMagnitudeTo(const Limb* a, size_t an, const Limb* b, size_t bn,
+                    Limb* res) {
+  if (an < bn) {
+    std::swap(a, b);
+    std::swap(an, bn);
+  }
+  if (bn == 1) {
+    res[an] = MulRowTo(res, a, an, b[0]);
+    return;
+  }
+  if (bn < BigInt::kKaratsubaThreshold) {
+    SchoolbookMulTo(a, an, b, bn, res);
+    return;
+  }
+  if (bn * 2 <= an) {
+    std::memset(res, 0, (an + bn) * sizeof(Limb));
+    PooledScratch scratch(2 * bn);
+    for (size_t off = 0; off < an; off += bn) {
+      const size_t chunk = std::min(bn, an - off);
+      MulMagnitudeTo(a + off, chunk, b, bn, scratch.data());
+      AddLimbsAt(res, an + bn, off, scratch.data(),
+                 SignificantLimbs(scratch.data(), chunk + bn));
+    }
+    return;
+  }
+  KaratsubaMulTo(a, an, b, bn, res);
+}
+
+// In-place right shift of a[0..*n) by the given bit count; trims *n.
+void ShiftRightInPlace(Limb* a, size_t* n, size_t bits) {
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
+  if (limb_shift >= *n) {
+    *n = 0;
+    return;
+  }
+  const size_t new_n = *n - limb_shift;
+  if (bit_shift == 0) {
+    std::memmove(a, a + limb_shift, new_n * sizeof(Limb));
+  } else {
+    for (size_t i = 0; i < new_n; ++i) {
+      const Limb lo = a[i + limb_shift] >> bit_shift;
+      const Limb hi = (i + limb_shift + 1 < *n)
+                          ? a[i + limb_shift + 1] << (64 - bit_shift)
+                          : 0;
+      a[i] = lo | hi;
+    }
+  }
+  *n = SignificantLimbs(a, new_n);
+}
+
+size_t TrailingZeroBits(const Limb* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != 0) return i * 64 + CountTrailingZeros(a[i]);
+  }
+  return n * 64;
 }
 
 }  // namespace
 
-BigInt::BigInt(int64_t value) {
-  if (value == 0) {
-    sign_ = 0;
-    return;
+// ---------------------------------------------------------------------------
+// Storage management.
+// ---------------------------------------------------------------------------
+
+BigInt::~BigInt() { ReleaseStorage(); }
+
+void BigInt::ReleaseStorage() {
+  if (IsHeap()) {
+    PoolRelease(storage_.heap, capacity_);
+    capacity_ = kInlineLimbs;
   }
+}
+
+void BigInt::SetZero() {
+  size_ = 0;
+  sign_ = 0;
+}
+
+void BigInt::EnsureCapacity(size_t limb_count) {
+  if (limb_count <= capacity_) return;
+  uint32_t new_capacity = 0;
+  Limb* buffer = PoolAcquire(limb_count, &new_capacity);
+  if (size_ > 0) std::memcpy(buffer, limbs(), size_ * sizeof(Limb));
+  ReleaseStorage();
+  storage_.heap = buffer;
+  capacity_ = new_capacity;
+}
+
+void BigInt::ReserveDiscard(size_t limb_count) {
+  if (limb_count <= capacity_) return;
+  uint32_t new_capacity = 0;
+  Limb* buffer = PoolAcquire(limb_count, &new_capacity);
+  ReleaseStorage();
+  storage_.heap = buffer;
+  capacity_ = new_capacity;
+}
+
+void BigInt::TrimAndSync(int sign_if_nonzero) {
+  while (size_ > 0 && limbs()[size_ - 1] == 0) --size_;
+  sign_ = size_ == 0 ? 0 : sign_if_nonzero;
+}
+
+void BigInt::AssignMagnitude(const Limb* source, size_t count, int sign) {
+  ReserveDiscard(count);
+  if (count > 0) std::memcpy(limbs(), source, count * sizeof(Limb));
+  size_ = static_cast<uint32_t>(count);
+  TrimAndSync(sign);
+}
+
+BigInt::BigInt(const BigInt& other)
+    : size_(0), sign_(0), capacity_(kInlineLimbs) {
+  AssignMagnitude(other.limbs(), other.size_, other.sign_);
+}
+
+BigInt::BigInt(BigInt&& other) noexcept
+    : size_(other.size_), sign_(other.sign_), capacity_(other.capacity_) {
+  if (other.IsHeap()) {
+    storage_.heap = other.storage_.heap;
+    other.capacity_ = kInlineLimbs;
+  } else {
+    std::memcpy(storage_.inline_limbs, other.storage_.inline_limbs,
+                sizeof(storage_.inline_limbs));
+  }
+  other.SetZero();
+}
+
+BigInt& BigInt::operator=(const BigInt& other) {
+  if (this != &other) AssignMagnitude(other.limbs(), other.size_, other.sign_);
+  return *this;
+}
+
+BigInt& BigInt::operator=(BigInt&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseStorage();
+  size_ = other.size_;
+  sign_ = other.sign_;
+  capacity_ = other.capacity_;
+  if (other.IsHeap()) {
+    storage_.heap = other.storage_.heap;
+    other.capacity_ = kInlineLimbs;
+  } else {
+    std::memcpy(storage_.inline_limbs, other.storage_.inline_limbs,
+                sizeof(storage_.inline_limbs));
+  }
+  other.SetZero();
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Construction and parsing.
+// ---------------------------------------------------------------------------
+
+BigInt::BigInt(int64_t value) : size_(0), sign_(0), capacity_(kInlineLimbs) {
+  if (value == 0) return;
   sign_ = value > 0 ? 1 : -1;
   // Avoid overflow on INT64_MIN by negating in unsigned space.
-  uint64_t magnitude =
-      value > 0 ? static_cast<uint64_t>(value)
-                : ~static_cast<uint64_t>(value) + 1;
-  limbs_.push_back(static_cast<uint32_t>(magnitude & 0xffffffffu));
-  if (magnitude >> 32) limbs_.push_back(static_cast<uint32_t>(magnitude >> 32));
+  storage_.inline_limbs[0] = value > 0
+                                 ? static_cast<uint64_t>(value)
+                                 : ~static_cast<uint64_t>(value) + 1;
+  size_ = 1;
 }
 
 bool BigInt::TryParse(const std::string& text, BigInt* out) {
@@ -72,11 +585,25 @@ bool BigInt::TryParse(const std::string& text, BigInt* out) {
     ++pos;
   }
   if (pos >= text.size()) return false;
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+  }
+  // Fold 18 decimal digits at a time: one single-limb multiply and one
+  // single-limb add per chunk instead of per digit.
   BigInt result;
-  const BigInt ten(10);
-  for (; pos < text.size(); ++pos) {
-    if (!std::isdigit(static_cast<unsigned char>(text[pos]))) return false;
-    result = result * ten + BigInt(text[pos] - '0');
+  constexpr size_t kChunkDigits = 18;
+  constexpr int64_t kChunkScale = 1000000000000000000;  // 10^18
+  while (pos < text.size()) {
+    const size_t take = std::min(kChunkDigits, text.size() - pos);
+    int64_t chunk = 0;
+    int64_t scale = 1;
+    for (size_t i = 0; i < take; ++i) {
+      chunk = chunk * 10 + (text[pos + i] - '0');
+      scale *= 10;
+    }
+    result *= take == kChunkDigits ? BigInt(kChunkScale) : BigInt(scale);
+    result += BigInt(chunk);
+    pos += take;
   }
   if (negative && !result.IsZero()) result.sign_ = -1;
   *out = std::move(result);
@@ -89,89 +616,30 @@ BigInt BigInt::FromString(const std::string& text) {
   return result;
 }
 
-void BigInt::Normalize() {
-  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
-  if (limbs_.empty()) sign_ = 0;
-}
-
 size_t BigInt::BitLength() const {
-  if (sign_ == 0) return 0;
-  uint32_t top = limbs_.back();
-  size_t bits = (limbs_.size() - 1) * 32;
-  while (top != 0) {
-    ++bits;
-    top >>= 1;
-  }
-  return bits;
+  if (size_ == 0) return 0;
+  return size_ * 64 - CountLeadingZeros(limbs()[size_ - 1]);
 }
 
-int BigInt::CompareMagnitude(const std::vector<uint32_t>& a,
-                             const std::vector<uint32_t>& b) {
-  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
-  for (size_t i = a.size(); i-- > 0;) {
-    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
-  }
-  return 0;
+// ---------------------------------------------------------------------------
+// Comparison.
+// ---------------------------------------------------------------------------
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.sign_ != b.sign_) return a.sign_ < b.sign_ ? -1 : 1;
+  if (a.sign_ == 0) return 0;
+  const int magnitude_cmp = CompareLimbs(a.limbs(), a.size_, b.limbs(), b.size_);
+  return a.sign_ > 0 ? magnitude_cmp : -magnitude_cmp;
 }
 
-std::vector<uint32_t> BigInt::AddMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  const std::vector<uint32_t>& longer = a.size() >= b.size() ? a : b;
-  const std::vector<uint32_t>& shorter = a.size() >= b.size() ? b : a;
-  std::vector<uint32_t> result;
-  result.reserve(longer.size() + 1);
-  uint64_t carry = 0;
-  for (size_t i = 0; i < longer.size(); ++i) {
-    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0u);
-    result.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
-    carry = sum >> 32;
-  }
-  if (carry) result.push_back(static_cast<uint32_t>(carry));
-  return result;
+bool BigInt::operator==(const BigInt& other) const {
+  return sign_ == other.sign_ && size_ == other.size_ &&
+         std::memcmp(limbs(), other.limbs(), size_ * sizeof(Limb)) == 0;
 }
 
-std::vector<uint32_t> BigInt::SubMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  SHAPCQ_CHECK(CompareMagnitude(a, b) >= 0);
-  std::vector<uint32_t> result;
-  result.reserve(a.size());
-  int64_t borrow = 0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
-                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
-    if (diff < 0) {
-      diff += static_cast<int64_t>(kBase);
-      borrow = 1;
-    } else {
-      borrow = 0;
-    }
-    result.push_back(static_cast<uint32_t>(diff));
-  }
-  return result;
-}
-
-std::vector<uint32_t> BigInt::MulMagnitude(const std::vector<uint32_t>& a,
-                                           const std::vector<uint32_t>& b) {
-  if (a.empty() || b.empty()) return {};
-  std::vector<uint32_t> result(a.size() + b.size(), 0);
-  for (size_t i = 0; i < a.size(); ++i) {
-    uint64_t carry = 0;
-    uint64_t ai = a[i];
-    for (size_t j = 0; j < b.size(); ++j) {
-      uint64_t cur = result[i + j] + ai * b[j] + carry;
-      result[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
-      carry = cur >> 32;
-    }
-    size_t k = i + b.size();
-    while (carry) {
-      uint64_t cur = result[k] + carry;
-      result[k] = static_cast<uint32_t>(cur & 0xffffffffu);
-      carry = cur >> 32;
-      ++k;
-    }
-  }
-  return result;
-}
+// ---------------------------------------------------------------------------
+// Addition and subtraction.
+// ---------------------------------------------------------------------------
 
 BigInt BigInt::operator-() const {
   BigInt result = *this;
@@ -186,51 +654,14 @@ BigInt BigInt::Abs() const {
 }
 
 BigInt BigInt::operator+(const BigInt& other) const {
-  if (sign_ == 0) return other;
-  if (other.sign_ == 0) return *this;
-  if (limbs_.size() == 1 && other.limbs_.size() == 1) {
-    // Single-limb fast path: both magnitudes are < 2^32, so the signed sum
-    // fits comfortably in an int64 and the int64 constructor does the rest.
-    return BigInt(sign_ * static_cast<int64_t>(limbs_[0]) +
-                  other.sign_ * static_cast<int64_t>(other.limbs_[0]));
-  }
-  BigInt result;
-  if (sign_ == other.sign_) {
-    result.limbs_ = AddMagnitude(limbs_, other.limbs_);
-    result.sign_ = sign_;
-  } else {
-    int cmp = CompareMagnitude(limbs_, other.limbs_);
-    if (cmp == 0) return BigInt();
-    if (cmp > 0) {
-      result.limbs_ = SubMagnitude(limbs_, other.limbs_);
-      result.sign_ = sign_;
-    } else {
-      result.limbs_ = SubMagnitude(other.limbs_, limbs_);
-      result.sign_ = other.sign_;
-    }
-  }
-  result.Normalize();
+  BigInt result = *this;
+  result.AccumulateSigned(other, 1);
   return result;
 }
 
-BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
-
-BigInt BigInt::operator*(const BigInt& other) const {
-  if (sign_ == 0 || other.sign_ == 0) return BigInt();
-  BigInt result;
-  result.sign_ = sign_ * other.sign_;
-  if (limbs_.size() == 1 && other.limbs_.size() == 1) {
-    // Single-limb fast path: one hardware multiply, at most two limbs out.
-    const uint64_t product =
-        static_cast<uint64_t>(limbs_[0]) * other.limbs_[0];
-    result.limbs_.push_back(static_cast<uint32_t>(product & 0xffffffffu));
-    if (product >> 32) {
-      result.limbs_.push_back(static_cast<uint32_t>(product >> 32));
-    }
-    return result;
-  }
-  result.limbs_ = MulMagnitude(limbs_, other.limbs_);
-  result.Normalize();
+BigInt BigInt::operator-(const BigInt& other) const {
+  BigInt result = *this;
+  result.AccumulateSigned(other, -1);
   return result;
 }
 
@@ -240,66 +671,129 @@ BigInt& BigInt::AccumulateSigned(const BigInt& other, int sign_multiplier) {
   if (this == &other) {
     // Aliased: either doubling (+=) or cancellation (-=).
     if (sign_multiplier < 0) {
-      sign_ = 0;
-      limbs_.clear();
-    } else {
-      AddLimbsInPlace(&limbs_, std::vector<uint32_t>(limbs_));
+      SetZero();
+      return *this;
+    }
+    Limb carry = 0;
+    Limb* mine = limbs();
+    for (size_t i = 0; i < size_; ++i) {
+      const Limb limb = mine[i];
+      mine[i] = (limb << 1) | carry;
+      carry = limb >> 63;
+    }
+    if (carry != 0) {
+      EnsureCapacity(size_ + 1);
+      limbs()[size_++] = carry;
     }
     return *this;
   }
   if (sign_ == 0) {
-    limbs_ = other.limbs_;
-    sign_ = other_sign;
+    AssignMagnitude(other.limbs(), other.size_, other_sign);
     return *this;
   }
   if (sign_ == other_sign) {
-    AddLimbsInPlace(&limbs_, other.limbs_);
+    // Magnitude addition in place.
+    if (size_ < other.size_) {
+      EnsureCapacity(other.size_);
+      std::memset(limbs() + size_, 0, (other.size_ - size_) * sizeof(Limb));
+      size_ = other.size_;
+    }
+    Limb* mine = limbs();
+    const Limb* theirs = other.limbs();
+    Limb carry = 0;
+    size_t i = 0;
+    for (; i < other.size_; ++i) {
+      const Limb sum1 = mine[i] + theirs[i];
+      const Limb carry1 = static_cast<Limb>(sum1 < theirs[i]);
+      const Limb sum2 = sum1 + carry;
+      carry = carry1 | static_cast<Limb>(sum2 < carry);
+      mine[i] = sum2;
+    }
+    for (; carry != 0 && i < size_; ++i) {
+      const Limb sum = mine[i] + carry;
+      carry = static_cast<Limb>(sum < carry);
+      mine[i] = sum;
+    }
+    if (carry != 0) {
+      EnsureCapacity(size_ + 1);
+      limbs()[size_++] = carry;
+    }
     return *this;
   }
-  const int cmp = CompareMagnitude(limbs_, other.limbs_);
+  const int cmp = CompareLimbs(limbs(), size_, other.limbs(), other.size_);
   if (cmp == 0) {
-    sign_ = 0;
-    limbs_.clear();
+    SetZero();
     return *this;
   }
   if (cmp > 0) {
-    SubLimbsInPlace(&limbs_, other.limbs_);
+    SubLimbsInPlace(limbs(), size_, other.limbs(), other.size_);
+    TrimAndSync(sign_);
   } else {
-    limbs_ = SubMagnitude(other.limbs_, limbs_);
-    sign_ = other_sign;
+    // *this = |other| - |*this| with other's sign; computed in place, each
+    // position is read before it is written.
+    EnsureCapacity(other.size_);
+    Limb* mine = limbs();
+    const Limb* theirs = other.limbs();
+    Limb borrow = 0;
+    for (size_t i = 0; i < other.size_; ++i) {
+      const Limb subtrahend = i < size_ ? mine[i] : 0;
+      const Limb t = theirs[i] - borrow;
+      const Limb borrow1 = static_cast<Limb>(t > theirs[i]);
+      const Limb result = t - subtrahend;
+      borrow = borrow1 | static_cast<Limb>(result > t);
+      mine[i] = result;
+    }
+    SHAPCQ_CHECK_MSG(borrow == 0, "magnitude subtraction underflow");
+    size_ = other.size_;
+    TrimAndSync(other_sign);
   }
-  Normalize();
   return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Multiplication.
+// ---------------------------------------------------------------------------
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  if (sign_ == 0 || other.sign_ == 0) return BigInt();
+  BigInt result;
+  if (size_ == 1 && other.size_ == 1) {
+    // Single-limb fast path: one hardware multiply, at most two limbs out.
+    Limb hi, lo;
+    MulWide(limbs()[0], other.limbs()[0], &hi, &lo);
+    result.storage_.inline_limbs[0] = lo;
+    result.storage_.inline_limbs[1] = hi;
+    result.size_ = hi != 0 ? 2 : 1;
+    result.sign_ = sign_ * other.sign_;
+    return result;
+  }
+  result.ReserveDiscard(size_ + other.size_);
+  MulMagnitudeTo(limbs(), size_, other.limbs(), other.size_, result.limbs());
+  result.size_ = size_ + other.size_;
+  result.TrimAndSync(sign_ * other.sign_);
+  return result;
 }
 
 BigInt& BigInt::operator*=(const BigInt& other) {
   if (sign_ == 0) return *this;
   if (other.sign_ == 0) {
-    sign_ = 0;
-    limbs_.clear();
+    SetZero();
     return *this;
   }
-  if (other.limbs_.size() == 1) {
+  if (other.size_ == 1) {
     // In-place scan with carry; covers the aliased x *= x only when x is
-    // itself single-limb, where the multiplier is copied out first.
-    const uint64_t multiplier = other.limbs_[0];
+    // itself single-limb, where the multiplier limb is read up front.
+    const Limb multiplier = other.limbs()[0];
     const int result_sign = sign_ * other.sign_;
-    uint64_t carry = 0;
-    for (uint32_t& limb : limbs_) {
-      const uint64_t cur = static_cast<uint64_t>(limb) * multiplier + carry;
-      limb = static_cast<uint32_t>(cur & 0xffffffffu);
-      carry = cur >> 32;
+    const Limb carry = MulRowTo(limbs(), limbs(), size_, multiplier);
+    if (carry != 0) {
+      EnsureCapacity(size_ + 1);
+      limbs()[size_++] = carry;
     }
-    if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
     sign_ = result_sign;
     return *this;
   }
-  // MulMagnitude reads both operands before the assignment lands, so the
-  // aliased case is safe here too.
-  limbs_ = MulMagnitude(limbs_, other.limbs_);
-  sign_ *= other.sign_;
-  Normalize();
-  return *this;
+  return *this = *this * other;
 }
 
 BigInt& BigInt::AddProductOf(const BigInt& a, const BigInt& b) {
@@ -309,92 +803,201 @@ BigInt& BigInt::AddProductOf(const BigInt& a, const BigInt& b) {
     // Aliased or sign-flipping accumulation: take the allocating route.
     return *this += a * b;
   }
-  const std::vector<uint32_t>& al = a.limbs_;
-  const std::vector<uint32_t>& bl = b.limbs_;
-  if (limbs_.size() < al.size() + bl.size()) {
-    limbs_.resize(al.size() + bl.size(), 0);
-  }
-  for (size_t i = 0; i < al.size(); ++i) {
-    const uint64_t ai = al[i];
-    uint64_t carry = 0;
-    for (size_t j = 0; j < bl.size(); ++j) {
-      const uint64_t cur =
-          static_cast<uint64_t>(limbs_[i + j]) + ai * bl[j] + carry;
-      limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
-      carry = cur >> 32;
+  const size_t an = a.size_;
+  const size_t bn = b.size_;
+  if (std::min(an, bn) >= kKaratsubaThreshold) {
+    // Large operands: Karatsuba into pooled scratch, then one addition pass.
+    PooledScratch product(an + bn);
+    MulMagnitudeTo(a.limbs(), an, b.limbs(), bn, product.data());
+    const size_t product_size = SignificantLimbs(product.data(), an + bn);
+    if (size_ < product_size) {
+      EnsureCapacity(product_size);
+      std::memset(limbs() + size_, 0, (product_size - size_) * sizeof(Limb));
+      size_ = static_cast<uint32_t>(product_size);
     }
-    for (size_t k = i + bl.size(); carry != 0; ++k) {
-      if (k == limbs_.size()) {
-        limbs_.push_back(static_cast<uint32_t>(carry));
+    EnsureCapacity(size_ + 1);
+    limbs()[size_] = 0;
+    AddLimbsAt(limbs(), size_ + 1, 0, product.data(), product_size);
+    if (limbs()[size_] != 0) ++size_;
+    TrimAndSync(product_sign);
+    return *this;
+  }
+  // Schoolbook partial products accumulated straight into this value's
+  // limbs — no temporary BigInt, no scratch.
+  if (size_ < an + bn) {
+    EnsureCapacity(an + bn);
+    std::memset(limbs() + size_, 0, (an + bn - size_) * sizeof(Limb));
+    size_ = static_cast<uint32_t>(an + bn);
+  }
+  const Limb* al = a.limbs();
+  const Limb* bl = b.limbs();
+  for (size_t i = 0; i < an; ++i) {
+    Limb carry = MulAddRow(limbs() + i, bl, bn, al[i]);
+    for (size_t k = i + bn; carry != 0; ++k) {
+      if (k == size_) {
+        EnsureCapacity(size_ + 1);
+        limbs()[size_++] = carry;
         break;
       }
-      const uint64_t cur = static_cast<uint64_t>(limbs_[k]) + carry;
-      limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
-      carry = cur >> 32;
+      const Limb sum = limbs()[k] + carry;
+      carry = static_cast<Limb>(sum < carry);
+      limbs()[k] = sum;
     }
   }
-  sign_ = product_sign;
-  Normalize();
+  TrimAndSync(product_sign);
   return *this;
 }
 
+// ---------------------------------------------------------------------------
+// Shifts.
+// ---------------------------------------------------------------------------
+
 BigInt BigInt::ShiftLeft(size_t bits) const {
   if (sign_ == 0 || bits == 0) return *this;
+  const size_t limb_shift = bits / 64;
+  const size_t bit_shift = bits % 64;
   BigInt result;
-  result.sign_ = sign_;
-  size_t limb_shift = bits / 32;
-  size_t bit_shift = bits % 32;
-  result.limbs_.assign(limb_shift, 0);
+  result.ReserveDiscard(size_ + limb_shift + 1);
+  Limb* out = result.limbs();
+  std::memset(out, 0, limb_shift * sizeof(Limb));
+  const Limb* in = limbs();
   if (bit_shift == 0) {
-    result.limbs_.insert(result.limbs_.end(), limbs_.begin(), limbs_.end());
+    std::memcpy(out + limb_shift, in, size_ * sizeof(Limb));
+    result.size_ = static_cast<uint32_t>(size_ + limb_shift);
   } else {
-    uint32_t carry = 0;
-    for (uint32_t limb : limbs_) {
-      result.limbs_.push_back((limb << bit_shift) | carry);
-      carry = static_cast<uint32_t>(static_cast<uint64_t>(limb) >>
-                                    (32 - bit_shift));
+    Limb carry = 0;
+    for (size_t i = 0; i < size_; ++i) {
+      out[limb_shift + i] = (in[i] << bit_shift) | carry;
+      carry = in[i] >> (64 - bit_shift);
     }
-    if (carry) result.limbs_.push_back(carry);
+    out[limb_shift + size_] = carry;
+    result.size_ = static_cast<uint32_t>(size_ + limb_shift + 1);
   }
-  result.Normalize();
+  result.TrimAndSync(sign_);
   return result;
 }
+
+// ---------------------------------------------------------------------------
+// Division (Knuth Algorithm D with a single-limb fast path).
+// ---------------------------------------------------------------------------
 
 void BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
                     BigInt* quotient, BigInt* remainder) {
   SHAPCQ_CHECK_MSG(divisor.sign_ != 0, "division by zero");
-  int mag_cmp = CompareMagnitude(dividend.limbs_, divisor.limbs_);
-  if (mag_cmp < 0) {
+  const int cmp =
+      CompareLimbs(dividend.limbs(), dividend.size_, divisor.limbs(),
+                   divisor.size_);
+  if (cmp < 0) {
+    // |dividend| < |divisor|: computed via locals so the out-params may
+    // alias the inputs.
+    BigInt rem = dividend;
     *quotient = BigInt();
-    *remainder = dividend;
+    *remainder = std::move(rem);
     return;
   }
-  // Shift-subtract long division on magnitudes, one bit at a time.
-  size_t shift = dividend.BitLength() - divisor.BitLength();
-  BigInt rem = dividend.Abs();
-  BigInt shifted = divisor.Abs().ShiftLeft(shift);
-  std::vector<uint32_t> quot_limbs(shift / 32 + 1, 0);
-  for (size_t i = shift + 1; i-- > 0;) {
-    if (CompareMagnitude(rem.limbs_, shifted.limbs_) >= 0) {
-      rem.limbs_ = SubMagnitude(rem.limbs_, shifted.limbs_);
-      rem.Normalize();
-      quot_limbs[i / 32] |= uint32_t{1} << (i % 32);
+  const size_t an = dividend.size_;
+  const size_t bn = divisor.size_;
+  BigInt quot, rem;
+  if (bn == 1) {
+    // Single-limb divisor: one Div2By1 per dividend limb.
+    const Limb d = divisor.limbs()[0];
+    quot.ReserveDiscard(an);
+    const Limb* u = dividend.limbs();
+    Limb* q = quot.limbs();
+    Limb r = 0;
+    for (size_t i = an; i-- > 0;) {
+      q[i] = Div2By1(r, u[i], d, &r);
     }
-    if (i > 0) {
-      // shifted >>= 1.
-      uint32_t carry = 0;
-      for (size_t j = shifted.limbs_.size(); j-- > 0;) {
-        uint32_t limb = shifted.limbs_[j];
-        shifted.limbs_[j] = (limb >> 1) | (carry << 31);
-        carry = limb & 1u;
+    quot.size_ = static_cast<uint32_t>(an);
+    rem = BigInt();
+    if (r != 0) {
+      rem.storage_.inline_limbs[0] = r;
+      rem.size_ = 1;
+      rem.sign_ = 1;
+    }
+  } else {
+    // Knuth Algorithm D. Normalize so the divisor's top bit is set, run the
+    // quotient-digit loop with a two-limb qhat estimate, then denormalize
+    // the remainder.
+    const size_t m = an - bn;
+    const int shift = CountLeadingZeros(divisor.limbs()[bn - 1]);
+    PooledScratch work(an + 1 + bn);
+    Limb* u = work.data();       // an + 1 limbs
+    Limb* v = u + (an + 1);      // bn limbs
+    {
+      const Limb* src = divisor.limbs();
+      if (shift == 0) {
+        std::memcpy(v, src, bn * sizeof(Limb));
+      } else {
+        Limb carry = 0;
+        for (size_t i = 0; i < bn; ++i) {
+          v[i] = (src[i] << shift) | carry;
+          carry = src[i] >> (64 - shift);
+        }
       }
-      shifted.Normalize();
+      const Limb* usrc = dividend.limbs();
+      if (shift == 0) {
+        std::memcpy(u, usrc, an * sizeof(Limb));
+        u[an] = 0;
+      } else {
+        Limb carry = 0;
+        for (size_t i = 0; i < an; ++i) {
+          u[i] = (usrc[i] << shift) | carry;
+          carry = usrc[i] >> (64 - shift);
+        }
+        u[an] = carry;
+      }
     }
+    quot.ReserveDiscard(m + 1);
+    Limb* q = quot.limbs();
+    const Limb v_top = v[bn - 1];
+    const Limb v_next = v[bn - 2];
+    for (size_t j = m + 1; j-- > 0;) {
+      Limb qhat, rhat;
+      bool rhat_overflow = false;
+      if (u[j + bn] >= v_top) {
+        // u[j+bn] == v_top after normalization (it cannot exceed it);
+        // clamp the digit to base-1.
+        qhat = std::numeric_limits<Limb>::max();
+        rhat = u[j + bn - 1] + v_top;
+        rhat_overflow = rhat < v_top;
+      } else {
+        qhat = Div2By1(u[j + bn], u[j + bn - 1], v_top, &rhat);
+      }
+      while (!rhat_overflow) {
+        // Refine qhat with the next divisor limb: at most two decrements.
+        Limb p_hi, p_lo;
+        MulWide(qhat, v_next, &p_hi, &p_lo);
+        if (p_hi < rhat || (p_hi == rhat && p_lo <= u[j + bn - 2])) break;
+        --qhat;
+        rhat += v_top;
+        rhat_overflow = rhat < v_top;
+      }
+      const Limb borrow = MulSubRow(u + j, v, bn, qhat);
+      const Limb top = u[j + bn];
+      u[j + bn] = top - borrow;
+      if (top < borrow) {
+        // qhat was one too large: add the divisor back.
+        --qhat;
+        Limb carry = 0;
+        for (size_t i = 0; i < bn; ++i) {
+          const Limb sum1 = u[j + i] + v[i];
+          const Limb carry1 = static_cast<Limb>(sum1 < v[i]);
+          const Limb sum2 = sum1 + carry;
+          carry = carry1 | static_cast<Limb>(sum2 < carry);
+          u[j + i] = sum2;
+        }
+        u[j + bn] += carry;
+      }
+      q[j] = qhat;
+    }
+    quot.size_ = static_cast<uint32_t>(m + 1);
+    size_t rem_size = bn;
+    ShiftRightInPlace(u, &rem_size, static_cast<size_t>(shift));
+    rem.AssignMagnitude(u, rem_size, 1);
   }
-  BigInt quot;
-  quot.limbs_ = std::move(quot_limbs);
-  quot.sign_ = 1;
-  quot.Normalize();
+  quot.TrimAndSync(1);
+  rem.TrimAndSync(1);
   // Truncated division signs: quotient sign is product of operand signs,
   // remainder takes the dividend's sign.
   if (!quot.IsZero()) quot.sign_ = dividend.sign_ * divisor.sign_;
@@ -415,80 +1018,109 @@ BigInt BigInt::operator%(const BigInt& other) const {
   return remainder;
 }
 
+// ---------------------------------------------------------------------------
+// Gcd (binary / Stein, with one Euclid step to equalize lopsided operands).
+// ---------------------------------------------------------------------------
+
 BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
   BigInt x = a.Abs();
   BigInt y = b.Abs();
-  while (!y.IsZero()) {
+  if (x.IsZero()) return y;
+  if (y.IsZero()) return x;
+  if (x.size_ + 2 <= y.size_ || y.size_ + 2 <= x.size_) {
+    // Very different magnitudes: one fast Knuth-D reduction brings them
+    // within range, then the binary loop's subtract cadence is efficient.
+    if (x.size_ < y.size_) std::swap(x, y);
     BigInt quotient, remainder;
     DivMod(x, y, &quotient, &remainder);
     x = std::move(y);
     y = std::move(remainder);
+    if (y.IsZero()) return x;
   }
-  return x;
-}
-
-bool BigInt::operator==(const BigInt& other) const {
-  return sign_ == other.sign_ && limbs_ == other.limbs_;
-}
-
-bool BigInt::operator<(const BigInt& other) const {
-  if (sign_ != other.sign_) return sign_ < other.sign_;
-  int cmp = CompareMagnitude(limbs_, other.limbs_);
-  return sign_ >= 0 ? cmp < 0 : cmp > 0;
-}
-
-uint32_t BigInt::DivModSmallInPlace(std::vector<uint32_t>* limbs,
-                                    uint32_t divisor) {
-  uint64_t remainder = 0;
-  for (size_t i = limbs->size(); i-- > 0;) {
-    uint64_t cur = (remainder << 32) | (*limbs)[i];
-    (*limbs)[i] = static_cast<uint32_t>(cur / divisor);
-    remainder = cur % divisor;
+  const size_t x_twos = TrailingZeroBits(x.limbs(), x.size_);
+  const size_t y_twos = TrailingZeroBits(y.limbs(), y.size_);
+  const size_t common_twos = std::min(x_twos, y_twos);
+  size_t xn = x.size_;
+  ShiftRightInPlace(x.limbs(), &xn, x_twos);
+  x.size_ = static_cast<uint32_t>(xn);
+  size_t yn = y.size_;
+  ShiftRightInPlace(y.limbs(), &yn, y_twos);
+  y.size_ = static_cast<uint32_t>(yn);
+  // Both odd from here on; classic Stein: strip twos, subtract, repeat.
+  while (true) {
+    const int cmp = CompareLimbs(x.limbs(), x.size_, y.limbs(), y.size_);
+    if (cmp == 0) break;
+    if (cmp < 0) std::swap(x, y);
+    SubLimbsInPlace(x.limbs(), x.size_, y.limbs(), y.size_);
+    size_t n = SignificantLimbs(x.limbs(), x.size_);
+    ShiftRightInPlace(x.limbs(), &n, TrailingZeroBits(x.limbs(), n));
+    x.size_ = static_cast<uint32_t>(n);
   }
-  while (!limbs->empty() && limbs->back() == 0) limbs->pop_back();
-  return static_cast<uint32_t>(remainder);
+  x.TrimAndSync(1);
+  return common_twos == 0 ? x : x.ShiftLeft(common_twos);
 }
+
+// ---------------------------------------------------------------------------
+// Conversions.
+// ---------------------------------------------------------------------------
 
 std::string BigInt::ToString() const {
   if (sign_ == 0) return "0";
-  std::vector<uint32_t> scratch = limbs_;
+  // Peel 19 decimal digits per pass with one Div2By1 per limb.
+  constexpr Limb kChunkScale = 10000000000000000000ull;  // 10^19
+  constexpr size_t kChunkDigits = 19;
+  PooledScratch scratch(size_);
+  Limb* work = scratch.data();
+  std::memcpy(work, limbs(), size_ * sizeof(Limb));
+  size_t n = size_;
   std::string digits;
-  while (!scratch.empty()) {
-    uint32_t chunk = DivModSmallInPlace(&scratch, 1000000000u);
-    if (scratch.empty()) {
+  while (n > 0) {
+    Limb chunk = 0;
+    for (size_t i = n; i-- > 0;) {
+      work[i] = Div2By1(chunk, work[i], kChunkScale, &chunk);
+    }
+    n = SignificantLimbs(work, n);
+    if (n == 0) {
       // Most significant chunk: no zero padding.
       digits = std::to_string(chunk) + digits;
     } else {
       std::string part = std::to_string(chunk);
-      digits = std::string(9 - part.size(), '0') + part + digits;
+      digits = std::string(kChunkDigits - part.size(), '0') + part + digits;
     }
   }
   return sign_ < 0 ? "-" + digits : digits;
 }
 
 double BigInt::ToDouble() const {
+  // Accumulate 32 bits at a time, exactly reproducing the rounding sequence
+  // of the seed 32-bit implementation: downstream reports format doubles,
+  // and bit-identical tables across the limb-width change require the same
+  // last-ulp behavior, not just the same mathematical value.
   double result = 0.0;
-  for (size_t i = limbs_.size(); i-- > 0;) {
-    result = result * 4294967296.0 + static_cast<double>(limbs_[i]);
+  for (size_t i = size_; i-- > 0;) {
+    const Limb limb = limbs()[i];
+    result = result * 4294967296.0 + static_cast<double>(limb >> 32);
+    result = result * 4294967296.0 + static_cast<double>(limb & 0xffffffffu);
   }
   return sign_ < 0 ? -result : result;
 }
 
 bool BigInt::FitsInt64() const {
-  if (limbs_.size() > 2) return false;
-  if (limbs_.size() < 2) return true;
-  uint64_t magnitude = (static_cast<uint64_t>(limbs_[1]) << 32) | limbs_[0];
-  if (sign_ > 0) return magnitude <= static_cast<uint64_t>(
-                            std::numeric_limits<int64_t>::max());
-  return magnitude <= static_cast<uint64_t>(
-                          std::numeric_limits<int64_t>::max()) + 1;
+  if (size_ > 1) return false;
+  if (size_ == 0) return true;
+  const uint64_t magnitude = limbs()[0];
+  if (sign_ > 0) {
+    return magnitude <=
+           static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  }
+  return magnitude <=
+         static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1;
 }
 
 int64_t BigInt::ToInt64() const {
   SHAPCQ_CHECK_MSG(FitsInt64(), "BigInt does not fit in int64");
   if (sign_ == 0) return 0;
-  uint64_t magnitude = limbs_[0];
-  if (limbs_.size() == 2) magnitude |= static_cast<uint64_t>(limbs_[1]) << 32;
+  const uint64_t magnitude = limbs()[0];
   return sign_ > 0 ? static_cast<int64_t>(magnitude)
                    : -static_cast<int64_t>(magnitude - 1) - 1;
 }

@@ -3,29 +3,64 @@
 // Shapley values over databases are ratios of sums of factorials; with a few
 // hundred endogenous facts those factorials have thousands of bits, so exact
 // computation requires big integers. This is a self-contained sign-magnitude
-// implementation with 32-bit limbs (64-bit intermediates), schoolbook
-// multiplication and shift-subtract division — ample for the sizes this
-// library handles (|Dn| up to a few hundred). Single-limb operands (the
-// overwhelmingly common case early in a convolution cascade) take dedicated
-// fast paths, and the compound operators accumulate in place.
+// implementation tuned for the CntSat convolution cascades that dominate
+// every engine in this library:
+//
+//   * 64-bit limbs with 128-bit intermediates (`unsigned __int128` where the
+//     compiler provides it, a portable 32-bit-split fallback otherwise) —
+//     half the limb traffic of the seed 32-bit kernel for the same values.
+//   * Small-value inline storage: magnitudes of up to kInlineLimbs (3) limbs
+//     — 192 bits, which covers the overwhelming majority of count-vector
+//     cells early in every cascade — live inside the object with no heap
+//     allocation at all.
+//   * Heap spills draw limb buffers from a thread-local size-class pool
+//     (see LimbPool in bigint.cc) instead of the global allocator, so
+//     convolution inner loops stop churning malloc/free.
+//   * Multiplication is schoolbook below kKaratsubaThreshold limbs and
+//     Karatsuba above it (threshold tuned with bench/bench_arith.cc; see
+//     DESIGN.md "Arithmetic backbone"). Division is Knuth Algorithm D with
+//     a single-limb fast path; Gcd is binary (Stein) with one Euclid step
+//     to equalize very unbalanced operands.
+//
+// Results are bit-identical to the retained seed implementation
+// (util/bigint_reference.h), which the differential test battery enforces.
 
 #ifndef SHAPCQ_UTIL_BIGINT_H_
 #define SHAPCQ_UTIL_BIGINT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
-#include <vector>
+#include <utility>
 
 namespace shapcq {
 
-/// Arbitrary-precision signed integer (sign-magnitude, 32-bit limbs).
+/// Arbitrary-precision signed integer (sign-magnitude, 64-bit limbs, inline
+/// small-value storage, pooled heap limbs).
 class BigInt {
  public:
+  /// One magnitude digit. Little-endian order throughout.
+  using Limb = uint64_t;
+
+  /// Magnitudes of at most this many limbs are stored inline (no heap).
+  static constexpr uint32_t kInlineLimbs = 3;
+  /// Operands with min(|a|, |b|) at or above this many limbs multiply via
+  /// Karatsuba; below it, schoolbook wins (threshold methodology in
+  /// DESIGN.md; re-tune with bench_arith's BM_BigIntMul sweep).
+  static constexpr size_t kKaratsubaThreshold = 16;
+
   /// Zero.
-  BigInt() : sign_(0) {}
+  BigInt() : size_(0), sign_(0), capacity_(kInlineLimbs) {}
   /// From a machine integer.
   BigInt(int64_t value);  // NOLINT(google-explicit-constructor): numeric glue
+
+  BigInt(const BigInt& other);
+  BigInt(BigInt&& other) noexcept;
+  BigInt& operator=(const BigInt& other);
+  BigInt& operator=(BigInt&& other) noexcept;
+  ~BigInt();
+
   /// Parses a decimal string with optional leading '-'. Aborts on bad input;
   /// use TryParse for untrusted input.
   static BigInt FromString(const std::string& text);
@@ -37,16 +72,20 @@ class BigInt {
   int sign() const { return sign_; }
   bool IsZero() const { return sign_ == 0; }
   bool IsNegative() const { return sign_ < 0; }
-  bool IsOne() const { return sign_ == 1 && limbs_.size() == 1 && limbs_[0] == 1; }
+  bool IsOne() const { return sign_ == 1 && size_ == 1 && limbs()[0] == 1; }
 
   /// Number of significant bits of the magnitude (0 for zero).
   size_t BitLength() const;
 
   /// Approximate memory footprint in bytes (object plus owned limb storage).
+  /// Inline magnitudes cost exactly sizeof(BigInt) — the inline limbs are
+  /// part of the object and must not be double-counted. A heap buffer is
+  /// attributed to the BigInt that currently owns it; buffers parked in the
+  /// thread-local free pool belong to no value and are not counted here.
   /// Feeds the byte-budgeted LRU accounting of the serving layer; an
   /// estimate, not an allocator audit.
   size_t ApproxMemoryBytes() const {
-    return sizeof(BigInt) + limbs_.capacity() * sizeof(uint32_t);
+    return sizeof(BigInt) + (IsHeap() ? capacity_ * sizeof(Limb) : 0);
   }
 
   BigInt operator-() const;
@@ -70,9 +109,11 @@ class BigInt {
 
   /// Fused multiply-accumulate: *this += a * b. When the product's sign
   /// cannot flip the accumulator's (the invariant throughout count-vector
-  /// arithmetic, where everything is non-negative), the partial products are
+  /// arithmetic, where everything is non-negative) and the operands are
+  /// below the Karatsuba threshold, the schoolbook partial products are
   /// accumulated directly into this value's limbs — no temporary BigInt is
-  /// materialized. Falls back to *this += a * b otherwise.
+  /// materialized. Large operands route through the Karatsuba multiplier
+  /// into a pooled scratch buffer and are added in one pass.
   BigInt& AddProductOf(const BigInt& a, const BigInt& b);
 
   /// Computes quotient and remainder in one pass. Aborts if divisor is zero.
@@ -85,9 +126,14 @@ class BigInt {
   /// this * 2^bits.
   BigInt ShiftLeft(size_t bits) const;
 
+  /// Three-way comparison: -1, 0, +1 for a <=> b.
+  static int Compare(const BigInt& a, const BigInt& b);
+
   bool operator==(const BigInt& other) const;
   bool operator!=(const BigInt& other) const { return !(*this == other); }
-  bool operator<(const BigInt& other) const;
+  bool operator<(const BigInt& other) const {
+    return Compare(*this, other) < 0;
+  }
   bool operator<=(const BigInt& other) const { return !(other < *this); }
   bool operator>(const BigInt& other) const { return other < *this; }
   bool operator>=(const BigInt& other) const { return !(*this < other); }
@@ -102,26 +148,32 @@ class BigInt {
   bool FitsInt64() const;
 
  private:
-  // Magnitude comparison: -1, 0, +1 for |*this| vs |other|.
-  static int CompareMagnitude(const std::vector<uint32_t>& a,
-                              const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> AddMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  // Requires |a| >= |b|.
-  static std::vector<uint32_t> SubMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  static std::vector<uint32_t> MulMagnitude(const std::vector<uint32_t>& a,
-                                            const std::vector<uint32_t>& b);
-  // Divides magnitude by a small divisor in place; returns the remainder.
-  static uint32_t DivModSmallInPlace(std::vector<uint32_t>* limbs,
-                                     uint32_t divisor);
-  // *this += other with other's sign multiplied by sign_multiplier (+1 or
-  // -1); the shared body of += and -=.
-  BigInt& AccumulateSigned(const BigInt& other, int sign_multiplier);
-  void Normalize();
+  bool IsHeap() const { return capacity_ > kInlineLimbs; }
+  const Limb* limbs() const {
+    return IsHeap() ? storage_.heap : storage_.inline_limbs;
+  }
+  Limb* limbs() { return IsHeap() ? storage_.heap : storage_.inline_limbs; }
 
-  int sign_;                     // -1, 0, +1
-  std::vector<uint32_t> limbs_;  // little-endian magnitude; empty iff zero
+  // Storage management (implemented over the thread-local LimbPool).
+  // EnsureCapacity preserves the first size_ limbs; ReserveDiscard does not.
+  void EnsureCapacity(size_t limb_count);
+  void ReserveDiscard(size_t limb_count);
+  void ReleaseStorage();
+  void SetZero();
+  // Drops leading zero limbs and syncs sign_ with size_.
+  void TrimAndSync(int sign_if_nonzero);
+
+  // Magnitude helpers on this object's buffer.
+  BigInt& AccumulateSigned(const BigInt& other, int sign_multiplier);
+  void AssignMagnitude(const Limb* limbs, size_t count, int sign);
+
+  uint32_t size_;      // significant limbs; 0 iff value is zero
+  int32_t sign_;       // -1, 0, +1; 0 iff size_ == 0
+  uint32_t capacity_;  // kInlineLimbs when inline, pool class size when heap
+  union {
+    Limb inline_limbs[kInlineLimbs];
+    Limb* heap;
+  } storage_;
 };
 
 std::ostream& operator<<(std::ostream& os, const BigInt& value);

@@ -15,7 +15,11 @@ Combinatorics::Caches& Combinatorics::GetCaches() {
 void Combinatorics::GrowFactorialsLocked(Caches& caches, size_t n) {
   std::vector<BigInt>& cache = caches.factorials;
   while (cache.size() <= n) {
-    cache.push_back(cache.back() * BigInt(static_cast<int64_t>(cache.size())));
+    // Copy then scale in place: *= with a single-limb multiplier runs one
+    // carry scan over the copy's limbs, no product temporary.
+    BigInt next = cache.back();
+    next *= BigInt(static_cast<int64_t>(cache.size()));
+    cache.push_back(std::move(next));
   }
 }
 

@@ -27,8 +27,13 @@ BigInt CountVector::Total() const {
 }
 
 size_t CountVector::ApproxMemoryBytes() const {
+  // Each cell reports sizeof(BigInt) (its slot in counts_) plus any heap
+  // limb buffer it owns; inline magnitudes therefore cost exactly the slot,
+  // with no double-counting, and buffers parked in the thread-local limb
+  // pool are attributed to no cell. Unused vector capacity is slots too.
   size_t bytes = sizeof(CountVector);
   for (const BigInt& count : counts_) bytes += count.ApproxMemoryBytes();
+  bytes += (counts_.capacity() - counts_.size()) * sizeof(BigInt);
   return bytes;
 }
 

@@ -41,11 +41,28 @@ void Rational::Reduce() {
     denominator_ = BigInt(1);
     return;
   }
+  if (denominator_.IsOne()) return;
+  // Binary gcd (BigInt::Gcd is Stein's algorithm) followed by two exact
+  // divisions: the remainders are zero by construction, so Knuth-D runs its
+  // quotient loop with no add-back churn. This is the normalization path
+  // every Rational constructor funnels through — the hot edge of report
+  // assembly.
   BigInt gcd = BigInt::Gcd(numerator_, denominator_);
   if (!gcd.IsOne()) {
     numerator_ = numerator_ / gcd;
     denominator_ = denominator_ / gcd;
   }
+}
+
+int Rational::Compare(const Rational& a, const Rational& b) {
+  const int a_sign = a.sign();
+  const int b_sign = b.sign();
+  if (a_sign != b_sign) return a_sign < b_sign ? -1 : 1;
+  if (a_sign == 0) return 0;
+  // Same nonzero sign: denominators are positive, so the order of the cross
+  // products is the order of the values.
+  return BigInt::Compare(a.numerator_ * b.denominator_,
+                         b.numerator_ * a.denominator_);
 }
 
 Rational Rational::operator-() const {
@@ -88,7 +105,7 @@ bool Rational::operator==(const Rational& other) const {
 }
 
 bool Rational::operator<(const Rational& other) const {
-  return numerator_ * other.denominator_ < other.numerator_ * denominator_;
+  return Compare(*this, other) < 0;
 }
 
 std::string Rational::ToString() const {

@@ -55,6 +55,13 @@ class Rational {
   Rational& operator*=(const Rational& other) { return *this = *this * other; }
   Rational& operator/=(const Rational& other) { return *this = *this / other; }
 
+  /// Three-way comparison: -1, 0, +1 for a <=> b. Division-free: the signs
+  /// decide first (no arithmetic at all when they differ or both are zero),
+  /// otherwise the cross products a.num*b.den vs b.num*a.den are compared —
+  /// no difference Rational (and hence no gcd normalization) is ever
+  /// materialized. This is what report ranking sorts with.
+  static int Compare(const Rational& a, const Rational& b);
+
   bool operator==(const Rational& other) const;
   bool operator!=(const Rational& other) const { return !(*this == other); }
   bool operator<(const Rational& other) const;

@@ -81,5 +81,53 @@ TEST(RationalTest, SignAndZero) {
   EXPECT_FALSE(Rational::Of(1, 1000000).IsZero());
 }
 
+TEST(RationalTest, ThreeWayCompareSignFastPath) {
+  // Mixed signs and zeros resolve on signs alone (no products built); the
+  // outcome must still be the total order on values.
+  EXPECT_EQ(Rational::Compare(Rational::Of(-3, 28), Rational::Of(37, 210)), -1);
+  EXPECT_EQ(Rational::Compare(Rational::Of(37, 210), Rational::Of(-3, 28)), 1);
+  EXPECT_EQ(Rational::Compare(Rational(0), Rational::Of(1, 1000000)), -1);
+  EXPECT_EQ(Rational::Compare(Rational(0), Rational::Of(-1, 1000000)), 1);
+  EXPECT_EQ(Rational::Compare(Rational(0), Rational(0)), 0);
+}
+
+TEST(RationalTest, ThreeWayCompareCrossMultiplies) {
+  // Same sign: the cross products decide. 2/3 vs 3/4 -> 8 vs 9.
+  EXPECT_EQ(Rational::Compare(Rational::Of(2, 3), Rational::Of(3, 4)), -1);
+  EXPECT_EQ(Rational::Compare(Rational::Of(3, 4), Rational::Of(2, 3)), 1);
+  // Negative pair: order flips relative to magnitudes (-2/3 > -3/4).
+  EXPECT_EQ(Rational::Compare(Rational::Of(-2, 3), Rational::Of(-3, 4)), 1);
+  EXPECT_EQ(Rational::Compare(Rational::Of(-3, 4), Rational::Of(-2, 3)), -1);
+  // Equal values in different input forms reduce to the same representation.
+  EXPECT_EQ(Rational::Compare(Rational::Of(2, 4), Rational::Of(3, 6)), 0);
+  EXPECT_EQ(Rational::Compare(Rational::Of(-14, 4), Rational::Of(7, -2)), 0);
+}
+
+TEST(RationalTest, CompareAgreesWithOperatorOrder) {
+  const Rational values[] = {Rational::Of(-5, 2),  Rational::Of(-1, 3),
+                             Rational(0),           Rational::Of(1, 7),
+                             Rational::Of(37, 210), Rational(4)};
+  const int n = static_cast<int>(sizeof(values) / sizeof(values[0]));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const int three_way = Rational::Compare(values[i], values[j]);
+      EXPECT_EQ(three_way < 0, values[i] < values[j]) << i << "," << j;
+      EXPECT_EQ(three_way == 0, values[i] == values[j]) << i << "," << j;
+      EXPECT_EQ(three_way > 0, values[i] > values[j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(RationalTest, ApproxMemoryBytesCountsBothTerms) {
+  // Small rationals are two inline BigInts: exactly two object footprints,
+  // nothing double-counted from the limb pool.
+  EXPECT_EQ(Rational::Of(3, 4).ApproxMemoryBytes(), 2 * sizeof(BigInt));
+  // A factorial-sized numerator spills to heap limbs and must grow the
+  // estimate.
+  BigInt factorial(1);
+  for (int64_t i = 2; i <= 60; ++i) factorial *= BigInt(i);
+  EXPECT_GT(Rational(factorial).ApproxMemoryBytes(), 2 * sizeof(BigInt));
+}
+
 }  // namespace
 }  // namespace shapcq

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""CI gate for the arithmetic-backbone perf claim.
+
+Reads a Google Benchmark JSON file produced by bench_arith and compares the
+production BigInt rows against the retained seed-implementation rows recorded
+in the same run (BM_RefBigIntMul / BM_RefBigIntDivMod — the 32-bit schoolbook
+kernel kept verbatim in util/bigint_reference.h). Because baseline and
+candidate run on the same machine in the same process, the ratio is free of
+cross-host drift.
+
+Fails (exit 1) if the geometric-mean speedup of multi-limb multiplication
+(operands of at least --min-limbs 64-bit limbs) falls below --min-speedup
+(default 1.5x, the floor the 64-bit-limb + Karatsuba rewrite must clear;
+measured values are far higher).
+
+usage: check_arith_speedup.py BENCH_JSON [--min-speedup 1.5] [--min-limbs 4]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+NEW = "BM_BigIntMul/"
+REF = "BM_RefBigIntMul/"
+
+
+def times_by_size(benchmarks, prefix):
+    out = {}
+    for row in benchmarks:
+        name = row.get("name", "")
+        if not name.startswith(prefix) or row.get("run_type") == "aggregate":
+            continue
+        size = name[len(prefix):].split("/")[0]
+        out[size] = float(row["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_json")
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    parser.add_argument("--min-limbs", type=int, default=4)
+    args = parser.parse_args()
+
+    with open(args.bench_json) as handle:
+        report = json.load(handle)
+    benchmarks = report.get("benchmarks", [])
+    new = times_by_size(benchmarks, NEW)
+    ref = times_by_size(benchmarks, REF)
+    sizes = [s for s in sorted(set(new) & set(ref), key=int)
+             if int(s) >= args.min_limbs]
+    if not sizes:
+        print("error: no comparable BM_BigIntMul/BM_RefBigIntMul rows with "
+              f">= {args.min_limbs} limbs found", file=sys.stderr)
+        return 1
+
+    log_sum = 0.0
+    for size in sizes:
+        speedup = ref[size] / new[size]
+        log_sum += math.log(speedup)
+        print(f"mul {size} limbs: new {new[size]:.0f} ns vs seed "
+              f"{ref[size]:.0f} ns -> speedup {speedup:.2f}x")
+    geomean = math.exp(log_sum / len(sizes))
+    verdict = "OK" if geomean >= args.min_speedup else "REGRESSION"
+    print(f"geomean multi-limb multiply speedup: {geomean:.2f}x "
+          f"(floor {args.min_speedup:.1f}x) [{verdict}]")
+    if geomean < args.min_speedup:
+        print(f"error: arithmetic backbone speedup {geomean:.2f}x fell below "
+              f"the {args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Builds the Release benchmarks and records the all-facts Shapley benchmark
 # as BENCH_shapley.json, the incremental patch-vs-rebuild benchmark as
-# BENCH_incremental.json, and the serving-layer warm-vs-cold benchmark as
-# BENCH_server.json at the repository root, so the perf trajectory is
-# tracked PR over PR. BENCH_shapley.json carries a thread-count axis:
+# BENCH_incremental.json, the serving-layer warm-vs-cold benchmark as
+# BENCH_server.json, and the arithmetic-backbone microbenchmarks as
+# BENCH_arith.json at the repository root, so the perf trajectory is
+# tracked PR over PR. BENCH_arith.json carries seed-implementation rows
+# (BM_RefBigInt*) next to the production rows, which is what lets
+# tools/check_arith_speedup.py gate the speedup within one run.
+# BENCH_shapley.json carries a thread-count axis:
 # BM_EngineAllFactsParallel/{students},{threads} rows measure the worker-pool
 # engine, with threads=1 as the serial baseline of the speedup curve.
 #
@@ -26,7 +30,7 @@ build_dir="${1:-$repo_root/build-bench}"
 git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
 host_nproc="$(nproc)"
 
-bench_targets=(bench_shapley_all bench_incremental bench_server)
+bench_targets=(bench_shapley_all bench_incremental bench_server bench_arith)
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
       -DSHAPCQ_BUILD_TESTS=OFF -DSHAPCQ_BUILD_EXAMPLES=OFF
@@ -60,11 +64,14 @@ record() {
 record bench_shapley_all "$repo_root/BENCH_shapley.json"
 record bench_incremental "$repo_root/BENCH_incremental.json"
 record bench_server "$repo_root/BENCH_server.json"
+record bench_arith "$repo_root/BENCH_arith.json"
 
 "$repo_root/tools/check_incremental_speedup.py" \
     "$repo_root/BENCH_incremental.json"
 "$repo_root/tools/check_server_speedup.py" \
     "$repo_root/BENCH_server.json"
+"$repo_root/tools/check_arith_speedup.py" \
+    "$repo_root/BENCH_arith.json"
 
-echo "wrote $repo_root/BENCH_shapley.json, $repo_root/BENCH_incremental.json" \
-     "and $repo_root/BENCH_server.json"
+echo "wrote $repo_root/BENCH_shapley.json, $repo_root/BENCH_incremental.json," \
+     "$repo_root/BENCH_server.json and $repo_root/BENCH_arith.json"
