@@ -1,0 +1,148 @@
+// Durability-layer benchmarks: what crash recovery costs and what snapshot
+// compaction buys back.
+//
+//   BM_RecoveryReplay          warm-restart a session log of N delta records
+//                              (sliding-window insert/delete workload, so
+//                              the live table stays ~16 facts while the
+//                              history grows): replay time is linear in N.
+//   BM_RecoveryReplayCompacted the same history after SNAPSHOT compaction:
+//                              replay is bounded by the live table, not the
+//                              delta history, so the curve goes flat.
+//   BM_LogAppend               append+sync cost of one delta record per
+//                              fsync policy (0 = always, 1 = batch,
+//                              2 = off): the per-command durability tax.
+//
+// Recorded as BENCH_recovery.json by tools/run_benchmarks.sh.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "query/parser.h"
+#include "service/engine_registry.h"
+#include "service/session_log.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace shapcq;
+
+constexpr char kQuery[] = "q() :- R(x), not S(x)";
+constexpr size_t kLiveWindow = 16;
+
+// A mkdtemp-backed scratch directory, removed with contents on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string pattern = std::string(base != nullptr ? base : "/tmp") +
+                          "/shapcq_bench_recovery.XXXXXX";
+    std::vector<char> buf(pattern.begin(), pattern.end());
+    buf.push_back('\0');
+    SHAPCQ_CHECK_MSG(mkdtemp(buf.data()) != nullptr, "mkdtemp failed");
+    path_.assign(buf.data());
+  }
+  ~TempDir() {
+    const std::string command = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = std::system(command.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Writes a session log of `delta_records` mutations: inserts with a sliding
+// deletion window, so the final live table is at most kLiveWindow facts no
+// matter how long the history is. Optionally compacts at the end.
+void WriteHistory(const std::string& log_dir, size_t delta_records,
+                  bool compact) {
+  auto query = ParseCQ(kQuery);
+  SHAPCQ_CHECK_MSG(query.ok(), query.error().c_str());
+  EngineRegistry registry;
+  auto opened = registry.Open("s", query.value());
+  SHAPCQ_CHECK_MSG(opened.ok(), opened.error().c_str());
+  auto manager = SessionLogManager::Open(log_dir, FsyncPolicy::kOff, 0);
+  SHAPCQ_CHECK_MSG(manager.ok(), manager.error().c_str());
+  SessionLogManager log = std::move(manager).value();
+  SHAPCQ_CHECK_MSG(log.LogOpen("s", kQuery).ok(), "LogOpen failed");
+
+  std::deque<std::string> live;
+  size_t next = 0;
+  for (size_t written = 0; written < delta_records; ++written) {
+    std::string line;
+    if (live.size() >= kLiveWindow) {
+      line = "- " + live.front();
+      live.pop_front();
+    } else {
+      std::string literal = "R(c" + std::to_string(next++) + ")*";
+      line = "+ " + literal;
+      live.push_back(std::move(literal));
+    }
+    SHAPCQ_CHECK_MSG(log.LogDelta("s", line).ok(), "LogDelta failed");
+    auto mutation = ParseMutationLine(line);
+    SHAPCQ_CHECK_MSG(mutation.ok(), mutation.error().c_str());
+    auto applied = registry.ApplyMutation("s", mutation.value());
+    SHAPCQ_CHECK_MSG(applied.ok(), applied.error().c_str());
+  }
+  if (compact) {
+    const Database* db = registry.FindDatabase("s");
+    SHAPCQ_CHECK_MSG(log.Compact("s", *db).ok(), "Compact failed");
+  }
+}
+
+void RunRecoveryBenchmark(benchmark::State& state, bool compact) {
+  TempDir dir;
+  const size_t delta_records = static_cast<size_t>(state.range(0));
+  WriteHistory(dir.path(), delta_records, compact);
+  for (auto _ : state) {
+    EngineRegistry registry;
+    auto manager =
+        SessionLogManager::Open(dir.path(), FsyncPolicy::kOff, 0);
+    SHAPCQ_CHECK_MSG(manager.ok(), manager.error().c_str());
+    SessionLogManager log = std::move(manager).value();
+    auto recovered = log.Recover(&registry);
+    SHAPCQ_CHECK_MSG(recovered.ok() && recovered.value() == 1,
+                     "recovery failed");
+    benchmark::DoNotOptimize(registry.FindDatabase("s"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(delta_records));
+}
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  RunRecoveryBenchmark(state, /*compact=*/false);
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RecoveryReplayCompacted(benchmark::State& state) {
+  RunRecoveryBenchmark(state, /*compact=*/true);
+}
+BENCHMARK(BM_RecoveryReplayCompacted)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_LogAppend(benchmark::State& state) {
+  const auto policy = static_cast<FsyncPolicy>(state.range(0));
+  TempDir dir;
+  auto writer =
+      SessionLogWriter::Create(dir.path() + "/s.log", policy);
+  SHAPCQ_CHECK_MSG(writer.ok(), writer.error().c_str());
+  SessionLogWriter log = std::move(writer).value();
+  const std::string payload = "+ R(c12345)*";
+  for (auto _ : state) {
+    auto appended = log.Append(LogRecord::Type::kDelta, payload);
+    SHAPCQ_CHECK_MSG(appended.ok(), appended.error().c_str());
+    benchmark::DoNotOptimize(log.log_bytes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogAppend)
+    ->Arg(static_cast<int>(FsyncPolicy::kAlways))
+    ->Arg(static_cast<int>(FsyncPolicy::kBatch))
+    ->Arg(static_cast<int>(FsyncPolicy::kOff));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -147,4 +147,18 @@ Database MustParseDatabase(const std::string& text) {
   return std::move(result).value();
 }
 
+bool ParseSizeStrict(const std::string& text, size_t* out) {
+  if (text.empty()) return false;
+  size_t value = 0;
+  constexpr size_t kMax = static_cast<size_t>(-1);
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (value > (kMax - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace shapcq

@@ -52,6 +52,13 @@ Result<Database> ParseDatabase(const std::string& text);
 /// Aborting variant for trusted literals in tests and examples.
 Database MustParseDatabase(const std::string& text);
 
+/// Strict decimal size parser shared by the CLI/server flag parsers and the
+/// REPORT grammar: plain digits only — no sign (a leading '+' or '-' is
+/// rejected), no whitespace, no radix prefixes — and any value that would
+/// overflow size_t is rejected instead of saturating (the strtoull ERANGE
+/// trap). Returns false without touching *out on any rejection.
+bool ParseSizeStrict(const std::string& text, size_t* out);
+
 }  // namespace shapcq
 
 #endif  // SHAPCQ_DB_TEXTIO_H_

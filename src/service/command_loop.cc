@@ -1,10 +1,10 @@
 #include "service/command_loop.h"
 
 #include <cctype>
-#include <cstdlib>
 #include <istream>
 #include <ostream>
 
+#include "db/textio.h"
 #include "query/parser.h"
 
 namespace shapcq {
@@ -33,31 +33,39 @@ std::string TakeToken(const std::string& text, std::string* rest) {
   return text.substr(start, end - start);
 }
 
-bool ParseSize(const std::string& token, size_t* out) {
-  if (token.empty() || token[0] == '-') return false;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
-  if (end != token.c_str() + token.size()) return false;
-  *out = static_cast<size_t>(value);
-  return true;
-}
-
 }  // namespace
 
 CommandLoop::CommandLoop(const CommandLoopOptions& options)
     : registry_(options.registry), options_(options) {}
 
+Result<size_t> CommandLoop::InitDurability() {
+  if (options_.log_dir.empty()) return Result<size_t>::Ok(0);
+  auto manager = SessionLogManager::Open(options_.log_dir, options_.fsync,
+                                         options_.snapshot_every);
+  if (!manager.ok()) return Result<size_t>::Error(manager.error());
+  log_.emplace(std::move(manager).value());
+  return log_->Recover(&registry_);
+}
+
 void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
+  auto fail = [this, out](const std::string& message) {
+    *out += "error: " + message + "\n";
+    ++error_count_;
+  };
+
+  if (options_.max_line_bytes > 0 && line.size() > options_.max_line_bytes) {
+    // Resource guard: refuse to parse (or echo) an oversized line, but keep
+    // the loop alive — one hostile line must not take the server down.
+    return fail("[E_LINE_TOO_LONG] input line of " +
+                std::to_string(line.size()) + " bytes exceeds limit " +
+                std::to_string(options_.max_line_bytes));
+  }
+
   size_t start = line.find_first_not_of(" \t\r");
   if (start == std::string::npos || line[start] == '#') return;
   size_t end = line.find_last_not_of(" \t\r");
   const std::string trimmed = line.substr(start, end - start + 1);
   if (options_.echo_commands) *out += "> " + trimmed + "\n";
-
-  auto fail = [this, out](const std::string& message) {
-    *out += "error: " + message + "\n";
-    ++error_count_;
-  };
 
   std::string rest;
   const std::string command = TakeToken(trimmed, &rest);
@@ -72,6 +80,16 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     if (!query.ok()) return fail("open " + id + ": " + query.error());
     auto opened = registry_.Open(id, query.value());
     if (!opened.ok()) return fail("open " + id + ": " + opened.error());
+    if (log_.has_value()) {
+      auto logged = log_->LogOpen(id, query_text);
+      if (!logged.ok()) {
+        // The session exists only in RAM and could not be made durable:
+        // fail the command and roll the open back, rather than serving a
+        // session that would silently vanish on restart.
+        registry_.Close(id);
+        return fail("[E_LOG_IO] open " + id + ": " + logged.error());
+      }
+    }
     *out += "ok open " + id + "\n";
     return;
   }
@@ -84,11 +102,28 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     }
     auto mutation = ParseMutationLine(mutation_text);
     if (!mutation.ok()) return fail("delta " + id + ": " + mutation.error());
+    const Database* db = registry_.FindDatabase(id);
+    if (db != nullptr && options_.max_session_facts > 0 &&
+        mutation.value().op == MutationSpec::Op::kInsert &&
+        db->fact_count() >= options_.max_session_facts) {
+      return fail("[E_FACT_CAP] delta " + id + ": session at fact cap " +
+                  std::to_string(options_.max_session_facts));
+    }
+    if (db != nullptr && log_.has_value()) {
+      // Write-ahead: the record is durable before the mutation applies. If
+      // the apply below fails, replay fails identically against the same
+      // database state, so the logged record stays a faithful no-op.
+      auto logged = log_->LogDelta(id, mutation_text);
+      if (!logged.ok()) {
+        return fail("[E_LOG_IO] delta " + id + ": " + logged.error());
+      }
+    }
     auto applied = registry_.ApplyMutation(id, mutation.value());
     if (!applied.ok()) return fail("delta " + id + ": " + applied.error());
-    const Database* db = registry_.FindDatabase(id);
+    db = registry_.FindDatabase(id);
     *out += "ok delta " + id + " facts=" + std::to_string(db->fact_count()) +
             " endo=" + std::to_string(db->endogenous_count()) + "\n";
+    if (log_.has_value()) log_->MaybeAutoCompact(id, *db);
     return;
   }
 
@@ -107,17 +142,25 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
       if (token == "--threads") {
         std::string after;
         const std::string value = TakeToken(next, &after);
-        if (!ParseSize(value, &options.num_threads)) {
+        if (!ParseSizeStrict(value, &options.num_threads)) {
           return fail("report " + id + ": bad --threads value '" + value +
                       "'");
         }
         args = after;
-      } else if (!top_k_seen && ParseSize(token, &options.top_k)) {
+      } else if (!top_k_seen && ParseSizeStrict(token, &options.top_k)) {
         top_k_seen = true;
         args = next;
       } else {
         return fail("report " + id + ": unexpected argument '" + token +
                     "'");
+      }
+    }
+    if (log_.has_value()) {
+      // Batch fsync point: a served report only ever reflects state that
+      // is already durable.
+      auto synced = log_->SyncAll();
+      if (!synced.ok()) {
+        return fail("[E_LOG_IO] report " + id + ": " + synced.error());
       }
     }
     auto report = registry_.Report(id, options);
@@ -131,6 +174,28 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     return;
   }
 
+  if (command == "SNAPSHOT") {
+    std::string after;
+    const std::string id = TakeToken(rest, &after);
+    if (id.empty() || !after.empty()) return fail("usage: SNAPSHOT <session>");
+    if (!log_.has_value()) {
+      return fail("snapshot " + id + ": durability is off (no --log-dir)");
+    }
+    const Database* db = registry_.FindDatabase(id);
+    if (db == nullptr) {
+      return fail("snapshot " + id + ": no open session " + id);
+    }
+    auto compacted = log_->Compact(id, *db);
+    if (!compacted.ok()) {
+      return fail("[E_LOG_IO] snapshot " + id + ": " + compacted.error());
+    }
+    const SessionLogStats stats = log_->Stats(id);
+    *out += "ok snapshot " + id + " facts=" +
+            std::to_string(db->fact_count()) +
+            " log_bytes=" + std::to_string(stats.log_bytes) + "\n";
+    return;
+  }
+
   if (command == "STATS") {
     std::string after;
     const std::string id = TakeToken(rest, &after);
@@ -139,11 +204,16 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
       const RegistryStats stats = registry_.stats();
       *out += "stats sessions=" + std::to_string(stats.open_sessions) +
               " resident=" + std::to_string(stats.resident_engines) +
+              " bytes=" + std::to_string(stats.resident_bytes) +
               " hits=" + std::to_string(stats.report_hits) +
               " cached=" + std::to_string(stats.report_cache_hits) +
               " misses=" + std::to_string(stats.report_misses) +
               " evictions=" + std::to_string(stats.evictions) +
-              " builds=" + std::to_string(stats.engine_builds) + "\n";
+              " builds=" + std::to_string(stats.engine_builds);
+      if (log_.has_value()) {
+        *out += " log_bytes=" + std::to_string(log_->TotalLogBytes());
+      }
+      *out += "\n";
       return;
     }
     auto stats = registry_.Stats(id);
@@ -154,7 +224,14 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
             " deltas=" + std::to_string(s.deltas_applied) +
             " reports=" + std::to_string(s.reports_served) +
             " builds=" + std::to_string(s.engine_builds) +
-            " resident=" + (s.engine_resident ? "yes" : "no") + "\n";
+            " resident=" + (s.engine_resident ? "yes" : "no");
+    if (log_.has_value()) {
+      const SessionLogStats log_stats = log_->Stats(id);
+      *out += " log_bytes=" + std::to_string(log_stats.log_bytes) +
+              " since_snapshot=" +
+              std::to_string(log_stats.records_since_snapshot);
+    }
+    *out += "\n";
     return;
   }
 
@@ -164,22 +241,28 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     if (id.empty() || !after.empty()) return fail("usage: CLOSE <session>");
     auto closed = registry_.Close(id);
     if (!closed.ok()) return fail("close " + id + ": " + closed.error());
+    // The stream ended: its log has nothing left to recover.
+    if (log_.has_value()) log_->Drop(id);
     *out += "ok close " + id + "\n";
     return;
   }
 
   fail("unknown command '" + command +
-       "' (expected OPEN, DELTA, REPORT, STATS or CLOSE)");
+       "' (expected OPEN, DELTA, REPORT, SNAPSHOT, STATS or CLOSE)");
 }
 
-int CommandLoop::Run(std::istream& in, std::ostream& out) {
+int CommandLoop::Run(std::istream& in, std::ostream& out,
+                     const volatile std::sig_atomic_t* stop) {
   std::string line;
-  while (std::getline(in, line)) {
+  while (!(stop != nullptr && *stop) && std::getline(in, line)) {
     std::string output;
     ExecuteLine(line, &output);
     out << output;
     out.flush();  // interactive clients see each command's output promptly
   }
+  // EOF or graceful shutdown: whatever the fsync policy batched up becomes
+  // durable before the process exits.
+  if (log_.has_value()) log_->SyncAll();
   return error_count_ == 0 ? 0 : 1;
 }
 

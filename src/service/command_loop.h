@@ -8,6 +8,8 @@
 //   DELTA <session> - <fact-literal>  delete the fact with that literal
 //   REPORT <session> [top_k] [--threads N]
 //                                     stream the ranked attribution table
+//   SNAPSHOT <session>                checkpoint + compact the session's
+//                                     write-ahead log (durability only)
 //   STATS                             registry-wide counters
 //   STATS <session>                   per-session counters
 //   CLOSE <session>                   close the session
@@ -17,7 +19,16 @@
 // diffable as a CI golden file). Errors print one "error: ..." line and the
 // loop continues; Run() returns non-zero if any command errored. All output
 // is deterministic: no timestamps, pointers, or platform-dependent byte
-// counts.
+// counts, with one flagged exception (the bytes= field of the global STATS
+// line, an engine-size estimate).
+//
+// Durability: with options.log_dir set (after InitDurability), every OPEN
+// and applied DELTA is written ahead to a per-session append-only log
+// (service/session_log.h), so a killed process resumes bit-identical after
+// InitDurability replays the logs. Failures of the log itself surface as
+// structured "error: [E_LOG_IO] ..." lines that fail the command but keep
+// the loop alive; resource guards (max_line_bytes, max_session_facts) use
+// [E_LINE_TOO_LONG] and [E_FACT_CAP] the same way.
 //
 // The loop is the single writer of its registry (one command at a time);
 // REPORT may parallelize internally via --threads, which is safe under the
@@ -26,11 +37,14 @@
 #ifndef SHAPCQ_SERVICE_COMMAND_LOOP_H_
 #define SHAPCQ_SERVICE_COMMAND_LOOP_H_
 
+#include <csignal>
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "service/engine_registry.h"
+#include "service/session_log.h"
 
 namespace shapcq {
 
@@ -43,6 +57,20 @@ struct CommandLoopOptions {
   size_t default_threads = 1;
   /// Echo each executed command as "> <line>" before its output.
   bool echo_commands = true;
+
+  /// Directory of per-session write-ahead logs; "" disables durability.
+  std::string log_dir;
+  /// When appended log records reach stable storage (see FsyncPolicy).
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Auto-compact a session's log once this many DELTA records accumulate
+  /// since its last snapshot (0 = only explicit SNAPSHOT commands).
+  size_t snapshot_every = 0;
+
+  /// Reject input lines longer than this many bytes (0 = unlimited).
+  size_t max_line_bytes = 1 << 20;
+  /// Reject inserts that would grow a session past this many live facts
+  /// (0 = unlimited).
+  size_t max_session_facts = 0;
 };
 
 /// Executes protocol lines against an owned EngineRegistry.
@@ -50,14 +78,24 @@ class CommandLoop {
  public:
   explicit CommandLoop(const CommandLoopOptions& options);
 
+  /// Brings up the durability layer when options.log_dir is set: creates
+  /// the directory, replays every existing session log into the registry
+  /// (databases rebuilt; engines rebuilt lazily at the next REPORT), and
+  /// truncates torn tails. Call once, before the first command. Returns
+  /// the number of sessions recovered (0 with durability off).
+  Result<size_t> InitDurability();
+
   /// Executes one protocol line, appending all output (echo, results,
   /// errors) to *out. Blank and comment lines produce no output.
   void ExecuteLine(const std::string& line, std::string* out);
 
   /// Reads lines from `in` until EOF, writing output to `out` after each
-  /// line (a session script or an interactive stdin loop). Returns 0 if
-  /// every command succeeded, 1 otherwise.
-  int Run(std::istream& in, std::ostream& out);
+  /// line (a session script or an interactive stdin loop). If `stop` is
+  /// non-null, a set flag drains the current command, syncs all session
+  /// logs, and returns (the SIGTERM/SIGINT graceful-shutdown path).
+  /// Returns 0 if every command succeeded, 1 otherwise.
+  int Run(std::istream& in, std::ostream& out,
+          const volatile std::sig_atomic_t* stop = nullptr);
 
   /// Commands that printed an "error:" line so far.
   size_t error_count() const { return error_count_; }
@@ -68,6 +106,7 @@ class CommandLoop {
  private:
   EngineRegistry registry_;
   CommandLoopOptions options_;
+  std::optional<SessionLogManager> log_;
   size_t error_count_ = 0;
 };
 

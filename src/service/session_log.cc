@@ -1,0 +1,654 @@
+#include "service/session_log.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "db/textio.h"
+#include "query/parser.h"
+#include "service/engine_registry.h"
+
+namespace shapcq {
+
+namespace {
+
+// Header: [u32 length][u32 crc32c], little-endian; body: [u8 type][payload].
+constexpr size_t kHeaderBytes = 8;
+// A corrupt length prefix must not trigger a giant allocation: anything
+// claiming more than this is treated as a torn tail.
+constexpr size_t kMaxRecordBytes = size_t{1} << 30;
+
+void PutU32(uint32_t value, std::string* out) {
+  out->push_back(static_cast<char>(value & 0xFF));
+  out->push_back(static_cast<char>((value >> 8) & 0xFF));
+  out->push_back(static_cast<char>((value >> 16) & 0xFF));
+  out->push_back(static_cast<char>((value >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+bool IsKnownType(uint8_t type) {
+  return type == static_cast<uint8_t>(LogRecord::Type::kOpen) ||
+         type == static_cast<uint8_t>(LogRecord::Type::kDelta) ||
+         type == static_cast<uint8_t>(LogRecord::Type::kSnapshot);
+}
+
+std::string EncodeRecord(LogRecord::Type type, const std::string& payload) {
+  std::string body;
+  body.reserve(1 + payload.size());
+  body.push_back(static_cast<char>(type));
+  body += payload;
+  std::string record;
+  record.reserve(kHeaderBytes + body.size());
+  PutU32(static_cast<uint32_t>(body.size()), &record);
+  PutU32(Crc32c(body.data(), body.size()), &record);
+  record += body;
+  return record;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+// Writes all of buf[0..size) to fd, retrying short writes.
+bool WriteFully(int fd, const char* buf, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, buf + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// fsync the directory containing `path`, so creates/renames/unlinks of log
+// files are themselves durable. Best-effort: some filesystems reject
+// directory fsync, which must not fail the command.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool IsHexDigit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return c - 'A' + 10;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? 0x82F63B78u ^ (crc >> 1) : crc >> 1;
+      }
+      table[i] = crc;
+    }
+    return table;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text) {
+  if (text == "always") return Result<FsyncPolicy>::Ok(FsyncPolicy::kAlways);
+  if (text == "batch") return Result<FsyncPolicy>::Ok(FsyncPolicy::kBatch);
+  if (text == "off") return Result<FsyncPolicy>::Ok(FsyncPolicy::kOff);
+  return Result<FsyncPolicy>::Error("bad fsync policy '" + text +
+                                    "' (expected always, batch or off)");
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+Result<LogReadResult> ReadSessionLog(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Result<LogReadResult>::Error(ErrnoMessage("cannot open", path));
+  }
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string message = ErrnoMessage("cannot read", path);
+      ::close(fd);
+      return Result<LogReadResult>::Error(message);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  LogReadResult result;
+  size_t pos = 0;
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(data.data());
+  while (pos + kHeaderBytes <= data.size()) {
+    const uint32_t length = GetU32(bytes + pos);
+    const uint32_t crc = GetU32(bytes + pos + 4);
+    if (length < 1 || length > kMaxRecordBytes ||
+        pos + kHeaderBytes + length > data.size()) {
+      break;  // torn or corrupt tail: length prefix is not satisfiable
+    }
+    const char* body = data.data() + pos + kHeaderBytes;
+    if (Crc32c(body, length) != crc ||
+        !IsKnownType(static_cast<uint8_t>(body[0]))) {
+      break;  // bit rot or a half-written body under a stale header
+    }
+    LogRecord record;
+    record.type = static_cast<LogRecord::Type>(body[0]);
+    record.payload.assign(body + 1, length - 1);
+    result.records.push_back(std::move(record));
+    pos += kHeaderBytes + length;
+  }
+  result.valid_bytes = pos;
+  result.tail_truncated = pos != data.size();
+  return Result<LogReadResult>::Ok(std::move(result));
+}
+
+Result<bool> TruncateFile(const std::string& path, size_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    return Result<bool>::Error(ErrnoMessage("cannot truncate", path));
+  }
+  return Result<bool>::Ok(true);
+}
+
+std::string EscapeSessionId(const std::string& session_id) {
+  std::string out;
+  for (const char c : session_id) {
+    const bool safe = std::isalnum(static_cast<unsigned char>(c)) ||
+                      c == '_' || c == '-';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      static const char* kHex = "0123456789ABCDEF";
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeSessionId(const std::string& escaped) {
+  std::string out;
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '%') {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    if (i + 2 >= escaped.size() || !IsHexDigit(escaped[i + 1]) ||
+        !IsHexDigit(escaped[i + 2])) {
+      return Result<std::string>::Error("bad escape in log name " + escaped);
+    }
+    out.push_back(static_cast<char>(HexValue(escaped[i + 1]) * 16 +
+                                    HexValue(escaped[i + 2])));
+    i += 2;
+  }
+  return Result<std::string>::Ok(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("SHAPCQ_FAULT");
+  if (spec == nullptr || *spec == '\0') return;
+  const std::string text(spec);
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) return;
+  const std::string name = text.substr(0, colon);
+  const uint64_t nth =
+      std::strtoull(text.c_str() + colon + 1, nullptr, 10);
+  if (nth == 0) return;
+  if (name == "mid_record") {
+    Arm(Point::kMidRecord, nth);
+  } else if (name == "after_append") {
+    Arm(Point::kAfterAppend, nth);
+  } else if (name == "before_fsync") {
+    Arm(Point::kBeforeFsync, nth);
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(Point point, uint64_t nth_append) {
+  point_ = point;
+  trigger_append_ = nth_append;
+  appends_seen_ = 0;
+  fsync_armed_ = false;
+}
+
+FaultInjector::Point FaultInjector::OnAppend() {
+  if (point_ == Point::kNone || trigger_append_ == 0) return Point::kNone;
+  ++appends_seen_;
+  if (appends_seen_ != trigger_append_) return Point::kNone;
+  if (point_ == Point::kBeforeFsync) {
+    // The record itself is written in full; the crash fires at the first
+    // sync that would cover it.
+    fsync_armed_ = true;
+    return Point::kNone;
+  }
+  return point_;
+}
+
+bool FaultInjector::ShouldCrashBeforeFsync() { return fsync_armed_; }
+
+void FaultInjector::Crash() { ::_exit(kFaultExitCode); }
+
+// ---------------------------------------------------------------------------
+// SessionLogWriter
+// ---------------------------------------------------------------------------
+
+SessionLogWriter::SessionLogWriter(int fd, std::string path,
+                                   FsyncPolicy policy, size_t bytes)
+    : fd_(fd), path_(std::move(path)), policy_(policy), bytes_(bytes) {}
+
+SessionLogWriter::SessionLogWriter(SessionLogWriter&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      policy_(other.policy_),
+      bytes_(other.bytes_),
+      dirty_(other.dirty_) {
+  other.fd_ = -1;
+}
+
+SessionLogWriter& SessionLogWriter::operator=(
+    SessionLogWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    policy_ = other.policy_;
+    bytes_ = other.bytes_;
+    dirty_ = other.dirty_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+SessionLogWriter::~SessionLogWriter() {
+  if (fd_ >= 0) {
+    if (dirty_ && policy_ == FsyncPolicy::kBatch) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Result<SessionLogWriter> SessionLogWriter::Create(const std::string& path,
+                                                  FsyncPolicy policy) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Result<SessionLogWriter>::Error(
+        ErrnoMessage("cannot create log", path));
+  }
+  SyncParentDir(path);  // the file's existence is part of the record
+  return Result<SessionLogWriter>::Ok(
+      SessionLogWriter(fd, path, policy, 0));
+}
+
+Result<SessionLogWriter> SessionLogWriter::Resume(const std::string& path,
+                                                  FsyncPolicy policy,
+                                                  size_t resume_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    return Result<SessionLogWriter>::Error(
+        ErrnoMessage("cannot reopen log", path));
+  }
+  return Result<SessionLogWriter>::Ok(
+      SessionLogWriter(fd, path, policy, resume_bytes));
+}
+
+Result<bool> SessionLogWriter::Append(LogRecord::Type type,
+                                      const std::string& payload) {
+  const std::string record = EncodeRecord(type, payload);
+  const FaultInjector::Point crash = FaultInjector::Global().OnAppend();
+  if (crash == FaultInjector::Point::kMidRecord) {
+    // Simulate a torn write: half the record reaches the file, then the
+    // process dies as if kill -9'd mid-write.
+    WriteFully(fd_, record.data(), record.size() / 2);
+    FaultInjector::Crash();
+  }
+  if (!WriteFully(fd_, record.data(), record.size())) {
+    return Result<bool>::Error(ErrnoMessage("cannot append to", path_));
+  }
+  if (crash == FaultInjector::Point::kAfterAppend) FaultInjector::Crash();
+  bytes_ += record.size();
+  dirty_ = true;
+  if (policy_ == FsyncPolicy::kAlways) return Sync();
+  return Result<bool>::Ok(true);
+}
+
+Result<bool> SessionLogWriter::Sync() {
+  if (!dirty_ || policy_ == FsyncPolicy::kOff) {
+    return Result<bool>::Ok(true);
+  }
+  if (FaultInjector::Global().ShouldCrashBeforeFsync()) {
+    FaultInjector::Crash();
+  }
+  if (::fsync(fd_) != 0) {
+    return Result<bool>::Error(ErrnoMessage("cannot fsync", path_));
+  }
+  dirty_ = false;
+  return Result<bool>::Ok(true);
+}
+
+// ---------------------------------------------------------------------------
+// SessionLogManager
+// ---------------------------------------------------------------------------
+
+SessionLogManager::SessionLogManager(std::string log_dir, FsyncPolicy policy,
+                                     size_t snapshot_every)
+    : log_dir_(std::move(log_dir)),
+      policy_(policy),
+      snapshot_every_(snapshot_every) {}
+
+SessionLogManager::SessionLogManager(SessionLogManager&&) noexcept = default;
+SessionLogManager& SessionLogManager::operator=(SessionLogManager&&) noexcept =
+    default;
+SessionLogManager::~SessionLogManager() = default;
+
+Result<SessionLogManager> SessionLogManager::Open(const std::string& log_dir,
+                                                  FsyncPolicy policy,
+                                                  size_t snapshot_every) {
+  struct stat st;
+  if (::stat(log_dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Result<SessionLogManager>::Error("log dir " + log_dir +
+                                              " is not a directory");
+    }
+  } else if (::mkdir(log_dir.c_str(), 0755) != 0) {
+    return Result<SessionLogManager>::Error(
+        ErrnoMessage("cannot create log dir", log_dir));
+  }
+  return Result<SessionLogManager>::Ok(
+      SessionLogManager(log_dir, policy, snapshot_every));
+}
+
+std::string SessionLogManager::PathFor(const std::string& session_id) const {
+  return log_dir_ + "/" + EscapeSessionId(session_id) + ".log";
+}
+
+Result<size_t> SessionLogManager::Recover(EngineRegistry* registry) {
+  // Enumerate "<escaped-id>.log" entries; sort so recovery order (and thus
+  // OPEN order / SessionIds) is deterministic across filesystems.
+  std::vector<std::pair<std::string, std::string>> found;  // (id, path)
+  DIR* dir = ::opendir(log_dir_.c_str());
+  if (dir == nullptr) {
+    return Result<size_t>::Error(ErrnoMessage("cannot open log dir", log_dir_));
+  }
+  for (struct dirent* entry = ::readdir(dir); entry != nullptr;
+       entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 8 && name.substr(name.size() - 8) == ".log.tmp") {
+      // A compaction died before its rename committed; the original log is
+      // intact, so the orphaned temp file is just litter.
+      ::unlink((log_dir_ + "/" + name).c_str());
+      continue;
+    }
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".log") continue;
+    auto id = UnescapeSessionId(name.substr(0, name.size() - 4));
+    if (!id.ok()) continue;  // not one of ours; leave it alone
+    found.emplace_back(std::move(id).value(), log_dir_ + "/" + name);
+  }
+  ::closedir(dir);
+  std::sort(found.begin(), found.end());
+
+  size_t recovered = 0;
+  for (const auto& [session_id, path] : found) {
+    auto read = ReadSessionLog(path);
+    if (!read.ok()) return Result<size_t>::Error(read.error());
+    LogReadResult log = std::move(read).value();
+
+    // The first record must be a valid OPEN whose query still parses and
+    // is in scope; otherwise the file is not an adoptable session log.
+    if (log.records.empty() ||
+        log.records[0].type != LogRecord::Type::kOpen) {
+      continue;
+    }
+    auto query = ParseCQ(log.records[0].payload);
+    if (!query.ok()) continue;
+    auto opened = registry->Open(session_id, query.value());
+    if (!opened.ok()) continue;
+
+    // Replay the tail. A second OPEN record means a writer went wrong —
+    // stop at it and truncate, keeping the trustworthy prefix. DELTA
+    // replay failures are ignored: a mutation that failed when it was
+    // logged (write-ahead) fails identically against the same database
+    // state and was a no-op then too.
+    size_t replayed_bytes = kHeaderBytes + 1 + log.records[0].payload.size();
+    size_t since_snapshot = 0;
+    bool stop = false;
+    for (size_t i = 1; i < log.records.size() && !stop; ++i) {
+      const LogRecord& record = log.records[i];
+      switch (record.type) {
+        case LogRecord::Type::kOpen:
+          stop = true;
+          continue;
+        case LogRecord::Type::kSnapshot: {
+          // A checkpoint of the live fact table; records before it were
+          // compacted away, so it always lands on the empty database.
+          size_t pos = 0;
+          const std::string& facts = record.payload;
+          while (pos < facts.size()) {
+            while (pos < facts.size() &&
+                   std::isspace(static_cast<unsigned char>(facts[pos]))) {
+              ++pos;
+            }
+            if (pos >= facts.size()) break;
+            size_t end = pos;
+            while (end < facts.size() &&
+                   !std::isspace(static_cast<unsigned char>(facts[end]))) {
+              ++end;
+            }
+            auto fact = ParseFactSpec(facts.substr(pos, end - pos));
+            pos = end;
+            if (!fact.ok()) continue;
+            MutationSpec mutation;
+            mutation.op = MutationSpec::Op::kInsert;
+            mutation.fact = std::move(fact).value();
+            registry->ApplyMutation(session_id, mutation);
+          }
+          since_snapshot = 0;
+          break;
+        }
+        case LogRecord::Type::kDelta: {
+          auto mutation = ParseMutationLine(record.payload);
+          if (mutation.ok()) {
+            registry->ApplyMutation(session_id, mutation.value());
+          }
+          ++since_snapshot;
+          break;
+        }
+      }
+      replayed_bytes += kHeaderBytes + 1 + record.payload.size();
+    }
+
+    if (stop || log.tail_truncated ||
+        replayed_bytes != log.valid_bytes) {
+      auto truncated = TruncateFile(path, replayed_bytes);
+      if (!truncated.ok()) return Result<size_t>::Error(truncated.error());
+    }
+    auto writer = SessionLogWriter::Resume(path, policy_, replayed_bytes);
+    if (!writer.ok()) return Result<size_t>::Error(writer.error());
+    Entry entry{std::move(writer).value(), log.records[0].payload,
+                since_snapshot};
+    entries_.erase(session_id);
+    entries_.emplace(session_id, std::move(entry));
+    ++recovered;
+  }
+  return Result<size_t>::Ok(recovered);
+}
+
+Result<bool> SessionLogManager::LogOpen(const std::string& session_id,
+                                        const std::string& query_text) {
+  auto writer = SessionLogWriter::Create(PathFor(session_id), policy_);
+  if (!writer.ok()) return Result<bool>::Error(writer.error());
+  Entry entry{std::move(writer).value(), query_text, 0};
+  auto appended = entry.writer.Append(LogRecord::Type::kOpen, query_text);
+  if (!appended.ok()) {
+    ::unlink(entry.writer.path().c_str());
+    return appended;
+  }
+  entries_.erase(session_id);
+  entries_.emplace(session_id, std::move(entry));
+  return Result<bool>::Ok(true);
+}
+
+Result<bool> SessionLogManager::LogDelta(const std::string& session_id,
+                                         const std::string& mutation_text) {
+  auto it = entries_.find(session_id);
+  if (it == entries_.end()) {
+    return Result<bool>::Error("no log for session " + session_id);
+  }
+  auto appended =
+      it->second.writer.Append(LogRecord::Type::kDelta, mutation_text);
+  if (!appended.ok()) return appended;
+  ++it->second.records_since_snapshot;
+  return Result<bool>::Ok(true);
+}
+
+Result<bool> SessionLogManager::Compact(const std::string& session_id,
+                                        const Database& db) {
+  auto it = entries_.find(session_id);
+  if (it == entries_.end()) {
+    return Result<bool>::Error("no log for session " + session_id);
+  }
+  const std::string path = PathFor(session_id);
+  const std::string tmp_path = path + ".tmp";
+  auto tmp = SessionLogWriter::Create(tmp_path, policy_);
+  if (!tmp.ok()) return Result<bool>::Error(tmp.error());
+  SessionLogWriter writer = std::move(tmp).value();
+  auto open_rec =
+      writer.Append(LogRecord::Type::kOpen, it->second.query_text);
+  if (!open_rec.ok()) {
+    ::unlink(tmp_path.c_str());
+    return open_rec;
+  }
+  auto snap = writer.Append(LogRecord::Type::kSnapshot, db.ToString());
+  if (!snap.ok()) {
+    ::unlink(tmp_path.c_str());
+    return snap;
+  }
+  // The rename is the commit point: sync the tmp contents first so a crash
+  // can never promote an unsynced snapshot over a good log.
+  auto synced = writer.Sync();
+  if (!synced.ok() && policy_ != FsyncPolicy::kOff) {
+    ::unlink(tmp_path.c_str());
+    return synced;
+  }
+  const size_t compacted_bytes = writer.log_bytes();
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    const std::string message = ErrnoMessage("cannot rename", tmp_path);
+    ::unlink(tmp_path.c_str());
+    return Result<bool>::Error(message);
+  }
+  SyncParentDir(path);
+  // Swap the live writer onto the compacted file.
+  auto resumed = SessionLogWriter::Resume(path, policy_, compacted_bytes);
+  if (!resumed.ok()) return Result<bool>::Error(resumed.error());
+  it->second.writer = std::move(resumed).value();
+  it->second.records_since_snapshot = 0;
+  return Result<bool>::Ok(true);
+}
+
+void SessionLogManager::MaybeAutoCompact(const std::string& session_id,
+                                         const Database& db) {
+  if (snapshot_every_ == 0) return;
+  auto it = entries_.find(session_id);
+  if (it == entries_.end()) return;
+  if (it->second.records_since_snapshot < snapshot_every_) return;
+  Compact(session_id, db);  // best-effort: the longer log stays valid
+}
+
+void SessionLogManager::Drop(const std::string& session_id) {
+  auto it = entries_.find(session_id);
+  if (it == entries_.end()) return;
+  const std::string path = it->second.writer.path();
+  entries_.erase(it);  // closes the fd first
+  ::unlink(path.c_str());
+  SyncParentDir(path);
+}
+
+Result<bool> SessionLogManager::SyncAll() {
+  for (auto& [id, entry] : entries_) {
+    (void)id;
+    auto synced = entry.writer.Sync();
+    if (!synced.ok()) return synced;
+  }
+  return Result<bool>::Ok(true);
+}
+
+SessionLogStats SessionLogManager::Stats(const std::string& session_id) const {
+  auto it = entries_.find(session_id);
+  SessionLogStats stats;
+  if (it == entries_.end()) return stats;
+  stats.log_bytes = it->second.writer.log_bytes();
+  stats.records_since_snapshot = it->second.records_since_snapshot;
+  return stats;
+}
+
+size_t SessionLogManager::TotalLogBytes() const {
+  size_t total = 0;
+  for (const auto& [id, entry] : entries_) {
+    (void)id;
+    total += entry.writer.log_bytes();
+  }
+  return total;
+}
+
+bool SessionLogManager::HasLog(const std::string& session_id) const {
+  return entries_.find(session_id) != entries_.end();
+}
+
+}  // namespace shapcq

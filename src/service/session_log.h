@@ -1,0 +1,257 @@
+// Write-ahead session logs: the durability layer of the attribution server.
+//
+// One append-only file per session under a log directory. Each record is
+//
+//   [u32 length][u32 crc32c][u8 type][payload bytes ...]
+//
+// with both header words little-endian. `length` counts the type byte plus
+// the payload; `crc32c` (Castagnoli polynomial) covers the same bytes. Three
+// record types carry the whole session history as text the existing parsers
+// already understand:
+//
+//   OPEN      the query rule, e.g. "q() :- Stud(x), not TA(x), Reg(x,y)"
+//   DELTA     one mutation line, e.g. "+ Reg(Adam,OS)*" (ParseMutationLine)
+//   SNAPSHOT  the live fact table, e.g. "Stud(Adam) TA(Adam)*" (a checkpoint:
+//             replay restarts from here, earlier records are gone)
+//
+// Recovery reads the longest valid prefix of a log — a record whose header
+// is short, whose length runs past EOF, or whose checksum mismatches ends
+// the prefix — and truncates the torn tail in place so later appends start
+// at a clean record boundary. A log whose first record is not a valid OPEN
+// is ignored entirely (never half-adopted).
+//
+// Compaction (the SNAPSHOT command, or automatically every N deltas)
+// rewrites the log as OPEN + SNAPSHOT of the current fact table via a
+// temp-file rename, bounding replay time by the live table size instead of
+// the delta history.
+//
+// Fault injection: SessionLogWriter consults ShapcqFaultInjector (armed via
+// the SHAPCQ_FAULT environment variable) at three crash points per append —
+// mid_record (deliberate partial write), after_append (record fully
+// written, process dies before any fsync), before_fsync (dies at the moment
+// the fsync policy would have synced). See FaultInjector below.
+
+#ifndef SHAPCQ_SERVICE_SESSION_LOG_H_
+#define SHAPCQ_SERVICE_SESSION_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/result.h"
+
+namespace shapcq {
+
+class EngineRegistry;
+
+/// CRC-32C (Castagnoli), the checksum guarding every log record. Software
+/// slice-by-one; Crc32c("123456789") == 0xE3069283.
+uint32_t Crc32c(const void* data, size_t size);
+
+/// When a SessionLogWriter must sync appended records to stable storage.
+enum class FsyncPolicy {
+  kAlways,  ///< fsync after every record: survives OS crash per command
+  kBatch,   ///< fsync at REPORT/SNAPSHOT/CLOSE/shutdown: bounded loss window
+  kOff      ///< never fsync: survives process crash only (page cache)
+};
+
+/// Parses "always" / "batch" / "off".
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& text);
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+/// One decoded log record.
+struct LogRecord {
+  enum class Type : uint8_t { kOpen = 1, kDelta = 2, kSnapshot = 3 };
+  Type type = Type::kOpen;
+  std::string payload;
+};
+
+/// Result of reading one session log file.
+struct LogReadResult {
+  std::vector<LogRecord> records;  ///< the longest valid prefix, decoded
+  size_t valid_bytes = 0;          ///< byte length of that prefix on disk
+  bool tail_truncated = false;     ///< a torn/corrupt tail followed it
+};
+
+/// Decodes the longest valid record prefix of the file (missing file =>
+/// error; empty file => zero records). Never modifies the file.
+Result<LogReadResult> ReadSessionLog(const std::string& path);
+
+/// Truncates the file to its valid prefix so future appends start at a
+/// clean record boundary.
+Result<bool> TruncateFile(const std::string& path, size_t valid_bytes);
+
+/// Session ids are single protocol tokens but may still contain characters
+/// that are unsafe in filenames ('/', '.', '%'); logs are named
+/// "<escaped-id>.log" with %XX percent-encoding for anything outside
+/// [A-Za-z0-9_-].
+std::string EscapeSessionId(const std::string& session_id);
+Result<std::string> UnescapeSessionId(const std::string& escaped);
+
+/// Crash points armed through the environment for the fault-injection
+/// harness: SHAPCQ_FAULT=<point>:<n> kills the process (immediate _exit,
+/// no flushing — equivalent to kill -9) at the n-th append, where <point>
+/// is one of:
+///   mid_record    write only half of the n-th record's bytes, then die
+///   after_append  write the full record, die before any fsync
+///   before_fsync  die at the first moment the fsync policy would sync a
+///                 file whose latest append was the n-th
+/// The process exits with kFaultExitCode so harnesses can tell an injected
+/// crash from an ordinary failure.
+class FaultInjector {
+ public:
+  enum class Point { kNone, kMidRecord, kAfterAppend, kBeforeFsync };
+  static constexpr int kFaultExitCode = 86;
+
+  /// The process-wide injector, configured once from SHAPCQ_FAULT.
+  static FaultInjector& Global();
+
+  /// Called by the writer once per append, before writing; returns the
+  /// crash point to honor for this append (kNone almost always).
+  Point OnAppend();
+  /// True if a sync about to happen should die first (the before_fsync
+  /// point, armed by the append counter when the record was written).
+  bool ShouldCrashBeforeFsync();
+
+  /// Dies now: _exit(kFaultExitCode), no stream flushing, no atexit.
+  [[noreturn]] static void Crash();
+
+  /// Test hook: (re)arm programmatically instead of via the environment.
+  void Arm(Point point, uint64_t nth_append);
+
+ private:
+  FaultInjector();
+  Point point_ = Point::kNone;
+  uint64_t trigger_append_ = 0;  // 1-based append ordinal; 0 = disarmed
+  uint64_t appends_seen_ = 0;
+  bool fsync_armed_ = false;  // set when the trigger append was written
+};
+
+/// Appends records to one session's log file. Move-only (owns the fd).
+class SessionLogWriter {
+ public:
+  /// Creates or truncates the file (fresh session).
+  static Result<SessionLogWriter> Create(const std::string& path,
+                                         FsyncPolicy policy);
+  /// Opens an existing file for appending at `resume_bytes` (a recovered
+  /// session; the caller has already truncated any torn tail).
+  static Result<SessionLogWriter> Resume(const std::string& path,
+                                         FsyncPolicy policy,
+                                         size_t resume_bytes);
+
+  /// Empty writer (no file); exists for Result<SessionLogWriter>.
+  SessionLogWriter() = default;
+  SessionLogWriter(SessionLogWriter&& other) noexcept;
+  SessionLogWriter& operator=(SessionLogWriter&& other) noexcept;
+  SessionLogWriter(const SessionLogWriter&) = delete;
+  SessionLogWriter& operator=(const SessionLogWriter&) = delete;
+  ~SessionLogWriter();
+
+  /// Encodes and appends one record, then syncs per the fsync policy.
+  Result<bool> Append(LogRecord::Type type, const std::string& payload);
+
+  /// Syncs buffered appends now (kBatch flush; no-op when clean).
+  Result<bool> Sync();
+
+  /// Bytes of encoded records appended (== file size while healthy).
+  size_t log_bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SessionLogWriter(int fd, std::string path, FsyncPolicy policy,
+                   size_t bytes);
+  int fd_ = -1;
+  std::string path_;
+  FsyncPolicy policy_ = FsyncPolicy::kBatch;
+  size_t bytes_ = 0;
+  bool dirty_ = false;  // appended since the last fsync
+};
+
+/// Per-session durability counters, surfaced by "STATS <session>".
+struct SessionLogStats {
+  size_t log_bytes = 0;
+  size_t records_since_snapshot = 0;  ///< DELTA records after the last
+                                      ///< checkpoint (the replay debt)
+};
+
+/// Owns every open session's log writer: the durability side of a
+/// CommandLoop. Single-threaded, like the loop itself.
+class SessionLogManager {
+ public:
+  /// Creates `log_dir` if needed.
+  static Result<SessionLogManager> Open(const std::string& log_dir,
+                                        FsyncPolicy policy,
+                                        size_t snapshot_every);
+
+  /// Empty manager (no directory); exists for Result<SessionLogManager>.
+  SessionLogManager() = default;
+  SessionLogManager(SessionLogManager&&) noexcept;
+  SessionLogManager& operator=(SessionLogManager&&) noexcept;
+  ~SessionLogManager();
+
+  /// Replays every session log under log_dir into the registry: database
+  /// rebuilt through the ParseMutationLine / ParseFactSpec paths, engines
+  /// left to build lazily on the first REPORT. Torn tails are truncated;
+  /// logs without a valid leading OPEN are skipped. Sessions recover in
+  /// sorted id order (directory order is not deterministic). Returns the
+  /// number of sessions recovered.
+  Result<size_t> Recover(EngineRegistry* registry);
+
+  /// Starts a fresh log for the session (OPEN record). Any stale file for
+  /// the id is truncated.
+  Result<bool> LogOpen(const std::string& session_id,
+                       const std::string& query_text);
+
+  /// Appends one DELTA record ("+ R(a)*" / "- R(a)"). Write-ahead: called
+  /// before the mutation is applied to the registry.
+  Result<bool> LogDelta(const std::string& session_id,
+                        const std::string& mutation_text);
+
+  /// Compacts the session's log to OPEN + SNAPSHOT of `db`'s live fact
+  /// table (temp file + rename; the old log survives any crash before the
+  /// rename commits). Resets records_since_snapshot.
+  Result<bool> Compact(const std::string& session_id, const Database& db);
+
+  /// Compacts iff the auto-snapshot threshold is armed and reached.
+  /// Best-effort: a failed automatic compaction leaves the (still valid,
+  /// just longer) log in place.
+  void MaybeAutoCompact(const std::string& session_id, const Database& db);
+
+  /// Removes the session's log (CLOSE: the stream ended, nothing to
+  /// recover).
+  void Drop(const std::string& session_id);
+
+  /// Syncs every dirty log (kBatch flush points: REPORT, shutdown).
+  Result<bool> SyncAll();
+
+  /// Counters for the session; zeros if it has no log.
+  SessionLogStats Stats(const std::string& session_id) const;
+  /// Sum of log_bytes over all sessions.
+  size_t TotalLogBytes() const;
+
+  bool HasLog(const std::string& session_id) const;
+  const std::string& log_dir() const { return log_dir_; }
+
+ private:
+  struct Entry {
+    SessionLogWriter writer;
+    std::string query_text;             // for the OPEN record of compactions
+    size_t records_since_snapshot = 0;  // DELTAs since the last checkpoint
+  };
+
+  SessionLogManager(std::string log_dir, FsyncPolicy policy,
+                    size_t snapshot_every);
+  std::string PathFor(const std::string& session_id) const;
+
+  std::string log_dir_;
+  FsyncPolicy policy_ = FsyncPolicy::kBatch;
+  size_t snapshot_every_ = 0;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVICE_SESSION_LOG_H_

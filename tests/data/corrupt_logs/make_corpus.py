@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regenerates the checked-in corrupted session-log corpus.
+
+Each file is a shapcq_server write-ahead log (see src/service/session_log.h:
+[u32 length][u32 crc32c][u8 type][payload], little-endian headers) damaged in
+one specific way. tests/session_log_corpus_test.cc copies these into a temp
+log dir and asserts recovery adopts exactly the longest trustworthy prefix —
+and that recovering the recovered state is a fixed point.
+
+Deterministic: running it twice produces byte-identical files.
+
+    python3 tests/data/corrupt_logs/make_corpus.py
+"""
+
+import os
+import struct
+
+OPEN, DELTA, SNAPSHOT = 1, 2, 3
+
+
+def crc32c(data: bytes) -> int:
+    poly = 0x82F63B78
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ (poly if crc & 1 else 0)
+    return crc ^ 0xFFFFFFFF
+
+
+def record(rtype: int, payload: str) -> bytes:
+    body = bytes([rtype]) + payload.encode()
+    return struct.pack("<II", len(body), crc32c(body)) + body
+
+
+def main() -> None:
+    out_dir = os.path.dirname(os.path.abspath(__file__))
+    open_rec = record(OPEN, "q() :- R(x)")
+    delta_a = record(DELTA, "+ R(a)*")
+    delta_b = record(DELTA, "+ R(b)*")
+
+    # Bit flipped inside the second record's checksum word: the OPEN record
+    # survives, the delta is a torn tail.
+    flipped = bytearray(open_rec + delta_a)
+    flipped[len(open_rec) + 4] ^= 0x01
+    corpus = {
+        "bitflip_crc.log": bytes(flipped),
+        # The next record's length prefix itself is cut short.
+        "truncated_length.log": open_rec + delta_a[:2],
+        # A second OPEN mid-log: replay must stop before it and keep the
+        # trustworthy OPEN + first-delta prefix.
+        "duplicate_open.log": open_rec + delta_a + open_rec + delta_b,
+        # Not a log at all; must be left untouched and unadopted.
+        "garbage_header.log": b"this is not a session log format",
+        # Zero records: nothing to adopt.
+        "empty.log": b"",
+        # Length prefix claims ~2 GiB; the sanity cap rejects it.
+        "huge_length.log": struct.pack("<II", 0x7FFFFFFF, 0) + b"\x02abc",
+        # Structurally valid records, but the first is not an OPEN.
+        "not_open_first.log": delta_a + open_rec,
+        # Positive control: checkpointed log with a post-snapshot delta.
+        "snapshot_ok.log": (
+            open_rec + record(SNAPSHOT, "R(a)* R(b)") + record(DELTA, "+ R(c)*")
+        ),
+    }
+    for name, data in sorted(corpus.items()):
+        with open(os.path.join(out_dir, name), "wb") as f:
+            f.write(data)
+        print(f"{name}: {len(data)} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -110,6 +110,32 @@ TEST(TextIoTest, EmptyInputIsEmptyDatabase) {
   EXPECT_EQ(db.fact_count(), 0u);
 }
 
+TEST(TextIoTest, ParseSizeStrict) {
+  size_t value = 99;
+  EXPECT_TRUE(ParseSizeStrict("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(ParseSizeStrict("42", &value));
+  EXPECT_EQ(value, 42u);
+  // Exactly SIZE_MAX parses; anything past it is an overflow failure, not a
+  // silent saturation or wraparound (the old strtoul behavior).
+  const std::string max_text = std::to_string(static_cast<size_t>(-1));
+  EXPECT_TRUE(ParseSizeStrict(max_text, &value));
+  EXPECT_EQ(value, static_cast<size_t>(-1));
+  value = 7;
+  EXPECT_FALSE(ParseSizeStrict(max_text + "0", &value));
+  EXPECT_FALSE(ParseSizeStrict("99999999999999999999999", &value));
+  // Digits only: no strtoul-isms (sign prefixes, whitespace, trailing junk,
+  // hex, empty input).
+  EXPECT_FALSE(ParseSizeStrict("+5", &value));
+  EXPECT_FALSE(ParseSizeStrict("-5", &value));
+  EXPECT_FALSE(ParseSizeStrict(" 5", &value));
+  EXPECT_FALSE(ParseSizeStrict("5 ", &value));
+  EXPECT_FALSE(ParseSizeStrict("5x", &value));
+  EXPECT_FALSE(ParseSizeStrict("0x10", &value));
+  EXPECT_FALSE(ParseSizeStrict("", &value));
+  EXPECT_EQ(value, 7u);  // failures never write through
+}
+
 TEST(TextIoTest, GeneratedConstantNames) {
   // Fresh/pair constants use '<', '>', '#' — must survive a round trip.
   Database db;

@@ -1,0 +1,344 @@
+#!/usr/bin/env python3
+"""Crash-recovery differential harness for shapcq_server --log-dir.
+
+Three attack modes, one oracle:
+
+  1. Randomized kill -9: drive a durable server interactively, one command
+     per round trip (send a line, read its complete acknowledged output),
+     SIGKILL it after a random number of acked commands, restart on the
+     same --log-dir, and REPORT every open session. A killed process loses
+     only process state — the page cache survives — so the acked prefix is
+     exactly what must recover, regardless of --fsync policy.
+  2. Armed crash points: run scripts with SHAPCQ_FAULT=<point>:<n> so the
+     server kills itself (exit 86) while physically writing the n-th log
+     record — including a deliberate half-written record (mid_record). The
+     durable prefix is computable (n-1 records for mid_record, n for
+     after_append / before_fsync), so recovery is checked against it.
+  3. Torn tails and graceful shutdown: garbage appended to a log must be
+     truncated away on restart; SIGTERM must drain, sync, and exit 0 with
+     state recoverable.
+
+The oracle for every mode is an uninterrupted, durability-off server fed
+the same surviving command prefix plus the same REPORTs: every report
+block (header line through "end report") must be byte-identical, and the
+per-session fact counts must match.
+
+usage: server_crash_recovery.py SHAPCQ_SERVER [--kills 20] [--seed N]
+"""
+
+import argparse
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+QUERIES = [
+    "q() :- R(x)",
+    "q() :- R(x), not S(x)",
+    "q() :- Stud(x), not TA(x), Reg(x,y)",
+    "q() :- R(x), S(x,y), not T(x,y)",
+    "q() :- E(x,y), not F(x,y)",
+]
+
+FSYNC_POLICIES = ["always", "batch", "off"]
+
+
+def atoms_of(query):
+    out = []
+    for literal in query.split(":-")[1].split("),"):
+        literal = literal.strip().rstrip(")")
+        if literal.startswith("not "):
+            literal = literal[4:]
+        relation, args = literal.split("(")
+        args = args.strip()
+        out.append((relation.strip(), 0 if not args else args.count(",") + 1))
+    return out
+
+
+def build_script(rng, sessions=3, deltas_per_session=8, with_snapshots=True):
+    """An interleaved multi-session script of OPEN/DELTA (+ optional REPORT
+    and SNAPSHOT) commands. No CLOSE: every session stays recoverable."""
+    shadows = {}  # sid -> list of live literals, insertion order
+    per_session = []
+    for i in range(sessions):
+        sid = f"s{i}"
+        query = QUERIES[(i + rng.randrange(len(QUERIES))) % len(QUERIES)]
+        shadows[sid] = []
+        lines = [("OPEN", f"OPEN {sid} {query}")]
+        relations = atoms_of(query)
+        for _ in range(deltas_per_session):
+            if shadows[sid] and rng.random() < 0.3:
+                victim = rng.choice(shadows[sid])
+                shadows[sid].remove(victim)
+                lines.append(("DELTA", f"DELTA {sid} - {victim}"))
+                continue
+            for _ in range(20):  # retry duplicate draws
+                relation, arity = rng.choice(relations)
+                tuple_ = ",".join(f"c{rng.randrange(3)}" for _ in range(arity))
+                endo = "*" if rng.random() < 0.7 else ""
+                literal = f"{relation}({tuple_}){endo}"
+                if any(f.rstrip("*") == literal.rstrip("*")
+                       for f in shadows[sid]):
+                    continue
+                shadows[sid].append(literal)
+                lines.append(("DELTA", f"DELTA {sid} + {literal}"))
+                break
+            if rng.random() < 0.15:
+                lines.append(("REPORT", f"REPORT {sid}"))
+            if with_snapshots and rng.random() < 0.1:
+                lines.append(("SNAPSHOT", f"SNAPSHOT {sid}"))
+        per_session.append(lines)
+
+    script, cursors = [], [0] * sessions
+    while any(c < len(s) for c, s in zip(cursors, per_session)):
+        i = rng.randrange(sessions)
+        if cursors[i] < len(per_session[i]):
+            script.append(per_session[i][cursors[i]])
+            cursors[i] += 1
+    return script
+
+
+def report_commands(prefix):
+    """REPORT + STATS per session opened in the command prefix, sorted."""
+    sids = sorted(line.split()[1] for kind, line in prefix if kind == "OPEN")
+    out = []
+    for sid in sids:
+        out.append(f"REPORT {sid}")
+        out.append(f"STATS {sid}")
+    return sids, out
+
+
+def report_blocks(stdout):
+    """Every report block, header line through end marker, plus the
+    facts=/endo= fields of every per-session stats line."""
+    blocks, current = [], None
+    for line in stdout.splitlines():
+        if line.startswith("report "):
+            current = [line]
+        elif current is not None:
+            current.append(line)
+            if line.startswith("end report"):
+                blocks.append("\n".join(current))
+                current = None
+        elif line.startswith("stats ") and " facts=" in line:
+            fields = [f for f in line.split()
+                      if f.split("=")[0] in ("facts", "endo")]
+            blocks.append(line.split()[1] + " " + " ".join(fields))
+    return blocks
+
+
+def run_oracle(server, prefix, reports):
+    """The uninterrupted reference: durability off, same state-changing
+    commands. SNAPSHOT needs --log-dir and REPORT/STATS are stateless, so
+    only the OPEN/DELTA lines are replayed before the final REPORTs (a
+    prefix REPORT would add a block the recovered run does not emit)."""
+    script = "\n".join(line for kind, line in prefix
+                       if kind in ("OPEN", "DELTA")) + "\n"
+    script += "\n".join(reports) + "\n"
+    result = subprocess.run([server], input=script, capture_output=True,
+                            text=True)
+    if result.returncode != 0:
+        raise RuntimeError(f"oracle run failed:\n{result.stdout}"
+                           f"{result.stderr}")
+    return report_blocks(result.stdout)
+
+
+def run_recovered(server, log_dir, reports):
+    """Restart on the log dir and interrogate the recovered sessions."""
+    result = subprocess.run(
+        [server, "--log-dir", log_dir],
+        input="\n".join(reports) + "\n", capture_output=True, text=True)
+    if result.returncode != 0:
+        raise RuntimeError(f"recovered server failed:\n{result.stdout}"
+                           f"{result.stderr}")
+    return report_blocks(result.stdout), result.stderr
+
+
+class InteractiveServer:
+    """A durable server driven one acknowledged command at a time."""
+
+    def __init__(self, server, log_dir, fsync, snapshot_every=0):
+        cmd = [server, "--log-dir", log_dir, f"--fsync={fsync}"]
+        if snapshot_every:
+            cmd += ["--snapshot-every", str(snapshot_every)]
+        self.proc = subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True, bufsize=1)
+
+    def exec(self, line):
+        """Sends one command and reads its complete output (the ack)."""
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+        echo = self.proc.stdout.readline()
+        assert echo.startswith("> "), f"expected echo, got {echo!r}"
+        result = self.proc.stdout.readline()
+        out = [echo, result]
+        if result.startswith("report "):
+            while not out[-1].startswith("end report"):
+                out.append(self.proc.stdout.readline())
+        return "".join(out)
+
+    def kill9(self):
+        self.proc.kill()  # SIGKILL: no handler, no flush, no fsync
+        self.proc.wait()
+        self.proc.stdin.close()
+        self.proc.stdout.close()
+
+
+def check(name, recovered, oracle, failures):
+    if recovered == oracle:
+        return True
+    print(f"{name}: MISMATCH\nrecovered:\n" + "\n---\n".join(recovered) +
+          "\noracle:\n" + "\n---\n".join(oracle), file=sys.stderr)
+    failures.append(name)
+    return False
+
+
+def randomized_kill_run(server, rng, index, failures):
+    policy = FSYNC_POLICIES[index % len(FSYNC_POLICIES)]
+    snapshot_every = rng.choice([0, 3])
+    script = build_script(rng, with_snapshots=True)
+    kill_after = rng.randrange(1, len(script) + 1)
+    with tempfile.TemporaryDirectory() as tmp:
+        log_dir = os.path.join(tmp, "logs")
+        victim = InteractiveServer(server, log_dir, policy, snapshot_every)
+        prefix = script[:kill_after]
+        for kind, line in prefix:
+            out = victim.exec(line)
+            if "error:" in out:
+                raise RuntimeError(f"unexpected error for {line!r}: {out}")
+        victim.kill9()
+
+        sids, reports = report_commands(prefix)
+        recovered, stderr = run_recovered(server, log_dir, reports)
+        if f"recovered sessions={len(sids)}" not in stderr:
+            failures.append(f"kill{index}: bad recovery count: {stderr!r}")
+            return
+        oracle = run_oracle(server, prefix, reports)
+        check(f"kill{index} (fsync={policy}, snap={snapshot_every}, "
+              f"k={kill_after}/{len(script)})", recovered, oracle, failures)
+
+
+def armed_fault_runs(server, rng, failures):
+    """SHAPCQ_FAULT=<point>:<n>: the server must die with exit 86 and the
+    computable record prefix must recover."""
+    script = build_script(rng, with_snapshots=False)
+    # Without snapshots/compaction, log appends map 1:1 onto OPEN and DELTA
+    # commands in script order (REPORTs append nothing).
+    append_lines = [entry for entry in script if entry[0] in ("OPEN", "DELTA")]
+    total_appends = len(append_lines)
+    full_input = "\n".join(line for _, line in script) + "\n"
+
+    cases = []
+    for point, survive_offset in (("mid_record", -1), ("after_append", 0),
+                                  ("before_fsync", 0)):
+        for nth in (1, 2, total_appends // 2, total_appends):
+            cases.append((point, nth, nth + survive_offset))
+
+    for point, nth, survived in cases:
+        name = f"fault {point}:{nth}"
+        with tempfile.TemporaryDirectory() as tmp:
+            log_dir = os.path.join(tmp, "logs")
+            env = dict(os.environ, SHAPCQ_FAULT=f"{point}:{nth}")
+            victim = subprocess.run(
+                [server, "--log-dir", log_dir, "--fsync=always"],
+                input=full_input, capture_output=True, text=True, env=env)
+            if victim.returncode != 86:
+                failures.append(f"{name}: expected injected-crash exit 86, "
+                                f"got {victim.returncode}")
+                continue
+            prefix = append_lines[:survived]
+            if not prefix:  # mid_record:1 → nothing durable, nothing opens
+                sids, reports = [], ["STATS"]
+            else:
+                sids, reports = report_commands(prefix)
+            recovered, stderr = run_recovered(server, log_dir, reports)
+            if f"recovered sessions={len(sids)}" not in stderr:
+                failures.append(f"{name}: bad recovery count: {stderr!r}")
+                continue
+            if not prefix:
+                continue
+            oracle = run_oracle(server, prefix, reports)
+            check(name, recovered, oracle, failures)
+
+
+def torn_tail_run(server, rng, failures):
+    """Garbage appended to a live log is truncated away on restart."""
+    script = build_script(rng, sessions=1, with_snapshots=False)
+    with tempfile.TemporaryDirectory() as tmp:
+        log_dir = os.path.join(tmp, "logs")
+        victim = InteractiveServer(server, log_dir, "batch")
+        for _, line in script:
+            victim.exec(line)
+        victim.kill9()
+
+        log_path = os.path.join(log_dir, "s0.log")
+        intact = os.path.getsize(log_path)
+        with open(log_path, "ab") as f:
+            f.write(b"\x0c\x00\x00\x00torn half-record garbage")
+        sids, reports = report_commands(script)
+        recovered, _ = run_recovered(server, log_dir, reports)
+        oracle = run_oracle(server, script, reports)
+        if check("torn tail", recovered, oracle, failures):
+            if os.path.getsize(log_path) != intact:
+                failures.append("torn tail: file not truncated back to the "
+                                "valid prefix")
+
+
+def sigterm_run(server, rng, failures):
+    """SIGTERM drains, syncs (batch policy), exits 0; state then recovers."""
+    script = build_script(rng, sessions=2, with_snapshots=False)
+    with tempfile.TemporaryDirectory() as tmp:
+        log_dir = os.path.join(tmp, "logs")
+        victim = InteractiveServer(server, log_dir, "batch")
+        for _, line in script:
+            victim.exec(line)
+        victim.proc.send_signal(signal.SIGTERM)
+        deadline = time.time() + 10
+        while victim.proc.poll() is None and time.time() < deadline:
+            time.sleep(0.05)
+        if victim.proc.poll() != 0:
+            failures.append(f"sigterm: expected clean exit 0, got "
+                            f"{victim.proc.poll()}")
+            victim.kill9()
+            return
+        victim.proc.stdin.close()
+        victim.proc.stdout.close()
+
+        sids, reports = report_commands(script)
+        recovered, stderr = run_recovered(server, log_dir, reports)
+        if f"recovered sessions={len(sids)}" not in stderr:
+            failures.append(f"sigterm: bad recovery count: {stderr!r}")
+            return
+        oracle = run_oracle(server, script, reports)
+        check("sigterm", recovered, oracle, failures)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("server")
+    parser.add_argument("--kills", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=20260807)
+    args = parser.parse_args()
+    rng = random.Random(args.seed)
+
+    failures = []
+    for index in range(args.kills):
+        randomized_kill_run(args.server, rng, index, failures)
+    armed_fault_runs(args.server, rng, failures)
+    torn_tail_run(args.server, rng, failures)
+    sigterm_run(args.server, rng, failures)
+
+    print(f"{args.kills} randomized kill -9 runs, 12 armed crash points, "
+          f"torn-tail + SIGTERM checks: {len(failures)} failures")
+    for failure in failures:
+        print(f"  FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

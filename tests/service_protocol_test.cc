@@ -187,6 +187,101 @@ TEST(CommandLoopTest, CarriageReturnsAreTolerated) {
             "> DELTA s1 + R(a)*\nok delta s1 facts=1 endo=1\n");
 }
 
+TEST(CommandLoopTest, OverlongLinesAreRejectedAndTheLoopContinues) {
+  CommandLoopOptions options;
+  options.max_line_bytes = 64;
+  CommandLoop loop{options};
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  const std::string hostile(100, 'x');
+  // The oversized line is refused without being echoed or parsed...
+  EXPECT_EQ(Exec(&loop, hostile),
+            "error: [E_LINE_TOO_LONG] input line of 100 bytes exceeds "
+            "limit 64\n");
+  // ...and the very next command works.
+  EXPECT_EQ(Exec(&loop, "DELTA s1 + R(a)*"),
+            "> DELTA s1 + R(a)*\nok delta s1 facts=1 endo=1\n");
+  EXPECT_EQ(loop.error_count(), 1u);
+}
+
+TEST(CommandLoopTest, ReportArgumentParsingIsStrict) {
+  CommandLoop loop = MakeLoop();
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  // A leading '+' is not a number (the old parser accepted "+5" via strtoul).
+  EXPECT_NE(Exec(&loop, "REPORT s1 +5").find("unexpected argument '+5'"),
+            std::string::npos);
+  // 2^64: overflow must be detected, not silently saturated.
+  EXPECT_NE(Exec(&loop, "REPORT s1 18446744073709551616")
+                .find("unexpected argument '18446744073709551616'"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "REPORT s1 --threads 99999999999999999999")
+                .find("bad --threads value '99999999999999999999'"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "REPORT s1 --threads -1")
+                .find("bad --threads value '-1'"),
+            std::string::npos);
+  // In-range values still parse after the strictness change.
+  EXPECT_NE(Exec(&loop, "REPORT s1 5 --threads 2").find("end report s1"),
+            std::string::npos);
+  EXPECT_EQ(loop.error_count(), 4u);
+}
+
+TEST(CommandLoopTest, DeltaAfterCloseIsAnError) {
+  CommandLoop loop = MakeLoop();
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  Exec(&loop, "DELTA s1 + R(a)*");
+  Exec(&loop, "CLOSE s1");
+  EXPECT_EQ(Exec(&loop, "DELTA s1 + R(b)*"),
+            "> DELTA s1 + R(b)*\nerror: delta s1: no open session s1\n");
+  // The id is reusable: closing really forgot the session.
+  EXPECT_NE(Exec(&loop, "OPEN s1 q() :- S(x)").find("ok open s1"),
+            std::string::npos);
+  EXPECT_EQ(loop.error_count(), 1u);
+}
+
+TEST(CommandLoopTest, EmptyAndCommentOnlyScriptsSucceed) {
+  CommandLoop empty_loop = MakeLoop();
+  std::istringstream empty("");
+  std::ostringstream empty_out;
+  EXPECT_EQ(empty_loop.Run(empty, empty_out), 0);
+  EXPECT_EQ(empty_out.str(), "");
+
+  CommandLoop comment_loop = MakeLoop();
+  std::istringstream comments("# just\n\n  \t\n# comments\n");
+  std::ostringstream comments_out;
+  EXPECT_EQ(comment_loop.Run(comments, comments_out), 0);
+  EXPECT_EQ(comments_out.str(), "");
+}
+
+TEST(CommandLoopTest, FactCapRejectsGrowthButAllowsDeletes) {
+  CommandLoopOptions options;
+  options.max_session_facts = 2;
+  CommandLoop loop{options};
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  Exec(&loop, "DELTA s1 + R(a)*");
+  Exec(&loop, "DELTA s1 + R(b)*");
+  EXPECT_EQ(Exec(&loop, "DELTA s1 + R(c)*"),
+            "> DELTA s1 + R(c)*\n"
+            "error: [E_FACT_CAP] delta s1: session at fact cap 2\n");
+  // Deletes are always allowed (the way back under the cap), and the freed
+  // slot can be refilled.
+  EXPECT_NE(Exec(&loop, "DELTA s1 - R(a)").find("ok delta s1 facts=1"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "DELTA s1 + R(c)*").find("ok delta s1 facts=2"),
+            std::string::npos);
+  EXPECT_EQ(loop.error_count(), 1u);
+}
+
+TEST(CommandLoopTest, SnapshotRequiresDurability) {
+  CommandLoop loop = MakeLoop();
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  EXPECT_NE(Exec(&loop, "SNAPSHOT").find("error: usage: SNAPSHOT <session>"),
+            std::string::npos);
+  EXPECT_EQ(Exec(&loop, "SNAPSHOT s1"),
+            "> SNAPSHOT s1\n"
+            "error: snapshot s1: durability is off (no --log-dir)\n");
+  EXPECT_EQ(loop.error_count(), 2u);
+}
+
 TEST(CommandLoopTest, MultipleSessionsAreIndependent) {
   CommandLoop loop = MakeLoop();
   Exec(&loop, "OPEN a q() :- R(x)");

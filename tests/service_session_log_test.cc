@@ -1,0 +1,382 @@
+// Durability layer unit battery: record encode/decode, CRC validation,
+// torn-tail truncation, session-id escaping, fsync policies, snapshot
+// compaction, and warm-restart replay through CommandLoop/EngineRegistry.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/textio.h"
+#include "service/command_loop.h"
+#include "service/session_log.h"
+
+namespace shapcq {
+namespace {
+
+// A fresh directory under TMPDIR, removed with its contents at scope exit.
+class TempDir {
+ public:
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") +
+            "/shapcq_log_test.XXXXXX";
+    std::vector<char> buf(path_.begin(), path_.end());
+    buf.push_back('\0');
+    EXPECT_NE(mkdtemp(buf.data()), nullptr);
+    path_.assign(buf.data());
+  }
+  ~TempDir() {
+    const std::string command = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = std::system(command.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // The standard CRC-32C check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // Any flipped bit must change the sum.
+  EXPECT_NE(Crc32c("123456788", 9), Crc32c("123456789", 9));
+}
+
+TEST(SessionIdEscapeTest, RoundTripsHostileIds) {
+  const std::vector<std::string> ids = {
+      "s1", "a_b-c", "with/slash", "..", "%percent", "dots.in.id", "ünïcode"};
+  for (const std::string& id : ids) {
+    const std::string escaped = EscapeSessionId(id);
+    EXPECT_EQ(escaped.find('/'), std::string::npos) << id;
+    EXPECT_EQ(escaped.find('.'), std::string::npos) << id;
+    auto back = UnescapeSessionId(escaped);
+    ASSERT_TRUE(back.ok()) << id;
+    EXPECT_EQ(back.value(), id);
+  }
+  EXPECT_FALSE(UnescapeSessionId("bad%zz").ok());
+  EXPECT_FALSE(UnescapeSessionId("trunc%4").ok());
+}
+
+TEST(FsyncPolicyTest, ParsesAllNames) {
+  EXPECT_EQ(ParseFsyncPolicy("always").value(), FsyncPolicy::kAlways);
+  EXPECT_EQ(ParseFsyncPolicy("batch").value(), FsyncPolicy::kBatch);
+  EXPECT_EQ(ParseFsyncPolicy("off").value(), FsyncPolicy::kOff);
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes").ok());
+  EXPECT_FALSE(ParseFsyncPolicy("").ok());
+  EXPECT_STREQ(FsyncPolicyName(FsyncPolicy::kBatch), "batch");
+}
+
+TEST(SessionLogTest, WriteReadRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.path() + "/s.log";
+  {
+    auto writer = SessionLogWriter::Create(path, FsyncPolicy::kAlways);
+    ASSERT_TRUE(writer.ok());
+    SessionLogWriter log = std::move(writer).value();
+    ASSERT_TRUE(log.Append(LogRecord::Type::kOpen, "q() :- R(x)").ok());
+    ASSERT_TRUE(log.Append(LogRecord::Type::kDelta, "+ R(a)*").ok());
+    ASSERT_TRUE(log.Append(LogRecord::Type::kSnapshot, "R(a)*").ok());
+    ASSERT_TRUE(log.Append(LogRecord::Type::kDelta, "- R(a)*").ok());
+    EXPECT_EQ(log.log_bytes(), ReadFile(path).size());
+  }
+  auto read = ReadSessionLog(path);
+  ASSERT_TRUE(read.ok());
+  const LogReadResult& result = read.value();
+  EXPECT_FALSE(result.tail_truncated);
+  ASSERT_EQ(result.records.size(), 4u);
+  EXPECT_EQ(result.records[0].type, LogRecord::Type::kOpen);
+  EXPECT_EQ(result.records[0].payload, "q() :- R(x)");
+  EXPECT_EQ(result.records[1].type, LogRecord::Type::kDelta);
+  EXPECT_EQ(result.records[1].payload, "+ R(a)*");
+  EXPECT_EQ(result.records[2].type, LogRecord::Type::kSnapshot);
+  EXPECT_EQ(result.records[3].payload, "- R(a)*");
+  EXPECT_EQ(result.valid_bytes, ReadFile(path).size());
+}
+
+TEST(SessionLogTest, TornTailIsTruncatedToLongestValidPrefix) {
+  TempDir dir;
+  const std::string path = dir.path() + "/s.log";
+  {
+    auto writer = SessionLogWriter::Create(path, FsyncPolicy::kOff);
+    ASSERT_TRUE(writer.ok());
+    SessionLogWriter log = std::move(writer).value();
+    ASSERT_TRUE(log.Append(LogRecord::Type::kOpen, "q() :- R(x)").ok());
+    ASSERT_TRUE(log.Append(LogRecord::Type::kDelta, "+ R(a)*").ok());
+  }
+  const std::string intact = ReadFile(path);
+
+  // Every strict prefix of the second record decodes to just the first.
+  const size_t first_record_bytes = 8 + 1 + std::strlen("q() :- R(x)");
+  for (size_t cut = first_record_bytes; cut < intact.size(); ++cut) {
+    WriteFile(path, intact.substr(0, cut));
+    auto read = ReadSessionLog(path);
+    ASSERT_TRUE(read.ok()) << cut;
+    EXPECT_EQ(read.value().records.size(), 1u) << cut;
+    EXPECT_EQ(read.value().valid_bytes, first_record_bytes) << cut;
+    EXPECT_EQ(read.value().tail_truncated, cut != first_record_bytes) << cut;
+  }
+
+  // Garbage appended after intact records is dropped the same way.
+  WriteFile(path, intact + "\x05\x00\x00\x00garbage-without-valid-crc");
+  auto read = ReadSessionLog(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().records.size(), 2u);
+  EXPECT_TRUE(read.value().tail_truncated);
+  ASSERT_TRUE(TruncateFile(path, read.value().valid_bytes).ok());
+  EXPECT_EQ(ReadFile(path), intact);
+}
+
+TEST(SessionLogTest, BitFlipFailsChecksum) {
+  TempDir dir;
+  const std::string path = dir.path() + "/s.log";
+  {
+    auto writer = SessionLogWriter::Create(path, FsyncPolicy::kOff);
+    ASSERT_TRUE(writer.ok());
+    SessionLogWriter log = std::move(writer).value();
+    ASSERT_TRUE(log.Append(LogRecord::Type::kOpen, "q() :- R(x)").ok());
+    ASSERT_TRUE(log.Append(LogRecord::Type::kDelta, "+ R(a)*").ok());
+  }
+  std::string data = ReadFile(path);
+  data[data.size() - 1] ^= 0x40;  // flip a payload bit of the last record
+  WriteFile(path, data);
+  auto read = ReadSessionLog(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().records.size(), 1u);
+  EXPECT_TRUE(read.value().tail_truncated);
+}
+
+TEST(SessionLogTest, EmptyAndMissingFiles) {
+  TempDir dir;
+  const std::string path = dir.path() + "/s.log";
+  EXPECT_FALSE(ReadSessionLog(path).ok());  // missing
+  WriteFile(path, "");
+  auto read = ReadSessionLog(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().records.empty());
+  EXPECT_FALSE(read.value().tail_truncated);
+}
+
+// Runs `lines` through a fresh CommandLoop and returns the transcript.
+std::string RunLines(const CommandLoopOptions& options,
+                     const std::vector<std::string>& lines) {
+  CommandLoop loop(options);
+  auto recovered = loop.InitDurability();
+  EXPECT_TRUE(recovered.ok()) << recovered.error();
+  std::string out;
+  for (const std::string& line : lines) {
+    std::string one;
+    loop.ExecuteLine(line, &one);
+    out += one;
+  }
+  return out;
+}
+
+// The REPORT blocks of a transcript (everything between the "report" header
+// and "end report" lines, inclusive).
+std::string ReportBlocks(const std::string& transcript) {
+  std::string out;
+  bool in_report = false;
+  size_t pos = 0;
+  while (pos < transcript.size()) {
+    size_t eol = transcript.find('\n', pos);
+    if (eol == std::string::npos) eol = transcript.size();
+    const std::string line = transcript.substr(pos, eol - pos);
+    if (line.rfind("report ", 0) == 0) in_report = true;
+    if (in_report) out += line + "\n";
+    if (line.rfind("end report", 0) == 0) in_report = false;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+TEST(SessionLogRecoveryTest, WarmRestartReplaysBitIdentical) {
+  TempDir dir;
+  CommandLoopOptions durable;
+  durable.log_dir = dir.path() + "/logs";
+  durable.fsync = FsyncPolicy::kAlways;
+
+  const std::vector<std::string> history = {
+      "OPEN uni q() :- Stud(x), not TA(x), Reg(x,y)",
+      "DELTA uni + Stud(Adam)",
+      "DELTA uni + Stud(Ben)",
+      "DELTA uni + TA(Adam)*",
+      "DELTA uni + Reg(Adam,OS)*",
+      "DELTA uni + Reg(Ben,OS)*",
+      "DELTA uni - TA(Adam)*",
+      "DELTA uni + TA(Ben)*",
+      "OPEN flat q() :- R(x)",
+      "DELTA flat + R(a)*",
+      "DELTA flat + R(b)*",
+  };
+  RunLines(durable, history);
+
+  // Same log dir, new process-equivalent loop: databases replayed, engines
+  // rebuilt lazily at REPORT.
+  const std::string recovered =
+      RunLines(durable, {"REPORT uni", "REPORT flat", "STATS uni"});
+
+  // Oracle: one uninterrupted loop with durability off.
+  std::vector<std::string> uninterrupted = history;
+  uninterrupted.push_back("REPORT uni");
+  uninterrupted.push_back("REPORT flat");
+  const std::string oracle = RunLines(CommandLoopOptions{}, uninterrupted);
+
+  EXPECT_EQ(ReportBlocks(recovered), ReportBlocks(oracle));
+  // Recovered counters see the replayed deltas.
+  EXPECT_NE(recovered.find("facts=5 endo=3 deltas=7"), std::string::npos)
+      << recovered;
+}
+
+TEST(SessionLogRecoveryTest, SnapshotCompactionPreservesReports) {
+  TempDir dir;
+  CommandLoopOptions durable;
+  durable.log_dir = dir.path() + "/logs";
+
+  std::vector<std::string> history = {"OPEN s q() :- R(x), not S(x)"};
+  for (int i = 0; i < 8; ++i) {
+    history.push_back("DELTA s + R(c" + std::to_string(i) + ")*");
+  }
+  history.push_back("DELTA s - R(c0)*");
+  history.push_back("DELTA s + S(c1)*");
+
+  // Reference report, no compaction.
+  std::vector<std::string> with_report = history;
+  with_report.push_back("REPORT s");
+  const std::string uncompacted =
+      RunLines(CommandLoopOptions{}, with_report);
+
+  // Durable run, then SNAPSHOT: the log shrinks to OPEN + checkpoint.
+  CommandLoop loop(durable);
+  ASSERT_TRUE(loop.InitDurability().ok());
+  std::string out;
+  for (const std::string& line : history) loop.ExecuteLine(line, &out);
+  std::string before_stats;
+  loop.ExecuteLine("STATS s", &before_stats);
+  loop.ExecuteLine("SNAPSHOT s", &out);
+  std::string after_stats;
+  loop.ExecuteLine("STATS s", &after_stats);
+  EXPECT_NE(before_stats.find("since_snapshot=10"), std::string::npos)
+      << before_stats;
+  EXPECT_NE(after_stats.find("since_snapshot=0"), std::string::npos)
+      << after_stats;
+
+  // Replay the compacted log: the report must match the uncompacted run.
+  const std::string recovered = RunLines(durable, {"REPORT s"});
+  EXPECT_EQ(ReportBlocks(recovered), ReportBlocks(uncompacted));
+}
+
+TEST(SessionLogRecoveryTest, AutoSnapshotTriggersEveryN) {
+  TempDir dir;
+  CommandLoopOptions durable;
+  durable.log_dir = dir.path() + "/logs";
+  durable.snapshot_every = 4;
+
+  CommandLoop loop(durable);
+  ASSERT_TRUE(loop.InitDurability().ok());
+  std::string out;
+  loop.ExecuteLine("OPEN s q() :- R(x)", &out);
+  for (int i = 0; i < 6; ++i) {
+    loop.ExecuteLine("DELTA s + R(c" + std::to_string(i) + ")*", &out);
+  }
+  std::string stats;
+  loop.ExecuteLine("STATS s", &stats);
+  // 6 deltas with snapshot_every=4: compacted at the 4th, 2 since.
+  EXPECT_NE(stats.find("since_snapshot=2"), std::string::npos) << stats;
+
+  const std::string recovered = RunLines(durable, {"REPORT s"});
+  const std::string oracle = RunLines(
+      CommandLoopOptions{},
+      {"OPEN s q() :- R(x)", "DELTA s + R(c0)*", "DELTA s + R(c1)*",
+       "DELTA s + R(c2)*", "DELTA s + R(c3)*", "DELTA s + R(c4)*",
+       "DELTA s + R(c5)*", "REPORT s"});
+  EXPECT_EQ(ReportBlocks(recovered), ReportBlocks(oracle));
+}
+
+TEST(SessionLogRecoveryTest, CloseRemovesTheLog) {
+  TempDir dir;
+  CommandLoopOptions durable;
+  durable.log_dir = dir.path() + "/logs";
+  RunLines(durable,
+           {"OPEN s q() :- R(x)", "DELTA s + R(a)*", "CLOSE s"});
+  EXPECT_NE(::access((durable.log_dir + "/s.log").c_str(), F_OK), 0);
+  // Recovery finds nothing to resurrect.
+  CommandLoop loop(durable);
+  auto recovered = loop.InitDurability();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 0u);
+}
+
+TEST(SessionLogRecoveryTest, FailedDeltasReplayAsNoOps) {
+  TempDir dir;
+  CommandLoopOptions durable;
+  durable.log_dir = dir.path() + "/logs";
+  durable.fsync = FsyncPolicy::kAlways;
+
+  // The duplicate insert and the delete-of-absent fail when first executed;
+  // their write-ahead records must fail identically (silently) on replay.
+  CommandLoop loop(durable);
+  ASSERT_TRUE(loop.InitDurability().ok());
+  std::string out;
+  loop.ExecuteLine("OPEN s q() :- R(x)", &out);
+  loop.ExecuteLine("DELTA s + R(a)*", &out);
+  loop.ExecuteLine("DELTA s + R(a)*", &out);   // duplicate: error
+  loop.ExecuteLine("DELTA s - R(zzz)", &out);  // absent: error
+  loop.ExecuteLine("DELTA s + R(b)*", &out);
+  EXPECT_EQ(loop.error_count(), 2u);
+
+  CommandLoop replayed(durable);
+  auto recovered = replayed.InitDurability();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), 1u);
+  std::string stats;
+  replayed.ExecuteLine("STATS s", &stats);
+  EXPECT_NE(stats.find("facts=2 endo=2"), std::string::npos) << stats;
+}
+
+TEST(SessionLogRecoveryTest, HostileSessionIdsSurviveRestart) {
+  TempDir dir;
+  CommandLoopOptions durable;
+  durable.log_dir = dir.path() + "/logs";
+  RunLines(durable, {"OPEN ../../etc q() :- R(x)",
+                     "DELTA ../../etc + R(a)*"});
+  const std::string recovered =
+      RunLines(durable, {"STATS ../../etc"});
+  EXPECT_NE(recovered.find("facts=1 endo=1"), std::string::npos) << recovered;
+}
+
+TEST(FaultInjectorTest, ParsesArmsAndCounts) {
+  // A copy of the global: arming it leaves the process-wide one disarmed.
+  FaultInjector injector = FaultInjector::Global();
+  injector.Arm(FaultInjector::Point::kMidRecord, 3);
+  EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kNone);
+  EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kNone);
+  EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kMidRecord);
+  EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kNone);
+  injector.Arm(FaultInjector::Point::kBeforeFsync, 2);
+  EXPECT_FALSE(injector.ShouldCrashBeforeFsync());
+  EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kNone);
+  EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kNone);
+  EXPECT_TRUE(injector.ShouldCrashBeforeFsync());
+}
+
+}  // namespace
+}  // namespace shapcq

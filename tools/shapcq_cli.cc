@@ -138,11 +138,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--mutate") {
       mutate_path = next();
     } else if (arg == "--threads" || arg == "--top-k") {
-      char* end = nullptr;
       const char* text = next();
-      unsigned long value = std::strtoul(text, &end, 10);
-      // strtoul silently wraps a leading '-', so reject it explicitly.
-      if (end == text || *end != '\0' || text[0] == '-') {
+      size_t value = 0;
+      if (!ParseSizeStrict(text, &value)) {
         std::fprintf(stderr, "bad %s value: %s\n", arg.c_str(), text);
         return 2;
       }

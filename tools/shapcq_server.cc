@@ -4,27 +4,38 @@
 // Speaks the line protocol of src/service/command_loop.h on stdin/stdout
 // (or replays a session script with --script). One process holds many open
 // sessions; each session's engine is maintained incrementally across DELTA
-// batches and evicted least-recently-used under memory pressure.
+// batches and evicted least-recently-used under memory pressure. With
+// --log-dir, every session is backed by a write-ahead log and a killed
+// server resumes bit-identical on restart.
 
+#include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "db/textio.h"
 #include "service/command_loop.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop = 1; }
 
 void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: shapcq_server [--script FILE] [--threads N]\n"
       "                     [--budget-bytes B] [--max-resident K]\n"
+      "                     [--log-dir DIR] [--fsync={always,batch,off}]\n"
+      "                     [--snapshot-every N] [--max-line-bytes N]\n"
+      "                     [--max-facts N]\n"
       "\n"
       "Long-lived attribution server: one incremental Shapley engine per\n"
-      "open session, byte-budgeted LRU eviction, rebuild-on-readmission.\n"
+      "open session, byte-budgeted LRU eviction, rebuild-on-readmission,\n"
+      "optional per-session write-ahead logs with crash recovery.\n"
       "Reads one command per line from stdin (or FILE with --script) and\n"
       "writes results to stdout. Commands:\n"
       "\n"
@@ -44,22 +55,47 @@ void PrintUsage() {
       "  REPORT <session> [top_k] [--threads N]\n"
       "      Stream the ranked attribution table (every endogenous fact's\n"
       "      exact Shapley value; top_k keeps the k highest rows).\n"
-      "  STATS            registry counters (sessions, hits, evictions)\n"
-      "  STATS <session>  per-session counters\n"
-      "  CLOSE <session>  close the session\n"
+      "  SNAPSHOT <session>\n"
+      "      Checkpoint the session's fact table into its write-ahead log\n"
+      "      and drop the replayed-past prefix (durability only; bounds\n"
+      "      recovery replay time).\n"
+      "  STATS            registry counters (sessions, hits, evictions,\n"
+      "                   resident engine bytes; +log bytes with --log-dir)\n"
+      "  STATS <session>  per-session counters (+log_bytes and\n"
+      "                   since_snapshot with --log-dir)\n"
+      "  CLOSE <session>  close the session (removes its log)\n"
       "\n"
       "Blank lines and '#' comments are skipped; commands echo as\n"
       "'> <line>' so a transcript reads as a session log. The exit code is\n"
-      "non-zero if any command errored.\n"
+      "non-zero if any command errored. SIGTERM/SIGINT drain the current\n"
+      "command, sync all session logs, and exit cleanly. Log failures and\n"
+      "resource-guard rejections print structured codes ([E_LOG_IO],\n"
+      "[E_LINE_TOO_LONG], [E_FACT_CAP]) and keep the loop alive.\n"
       "\n"
-      "  --script FILE     replay FILE instead of reading stdin\n"
-      "  --threads N       default REPORT worker threads (1 = serial,\n"
-      "                    0 = all hardware threads; values are identical\n"
-      "                    at any thread count)\n"
-      "  --budget-bytes B  total resident engine bytes before LRU eviction\n"
-      "                    (0 = unlimited)\n"
-      "  --max-resident K  max resident engines before LRU eviction\n"
-      "                    (0 = unlimited; deterministic across platforms)\n");
+      "  --script FILE      replay FILE instead of reading stdin\n"
+      "  --threads N        default REPORT worker threads (1 = serial,\n"
+      "                     0 = all hardware threads; values are identical\n"
+      "                     at any thread count)\n"
+      "  --budget-bytes B   total resident engine bytes before LRU eviction\n"
+      "                     (0 = unlimited)\n"
+      "  --max-resident K   max resident engines before LRU eviction\n"
+      "                     (0 = unlimited; deterministic across platforms)\n"
+      "  --log-dir DIR      durable sessions: one append-only write-ahead\n"
+      "                     log per session under DIR. On startup every log\n"
+      "                     in DIR is replayed (torn tails truncated) and\n"
+      "                     the sessions resume where they left off.\n"
+      "  --fsync=POLICY     when appended records reach stable storage:\n"
+      "                     'always' (per record; survives OS crash),\n"
+      "                     'batch' (at REPORT/SNAPSHOT/CLOSE/shutdown;\n"
+      "                     bounded loss window on OS crash — the default),\n"
+      "                     'off' (page cache only; still survives a\n"
+      "                     process kill)\n"
+      "  --snapshot-every N auto-compact a session's log after N deltas\n"
+      "                     since its last snapshot (0 = only explicit\n"
+      "                     SNAPSHOT commands)\n"
+      "  --max-line-bytes N reject longer input lines (default 1048576,\n"
+      "                     0 = unlimited)\n"
+      "  --max-facts N      per-session live-fact cap (0 = unlimited)\n");
 }
 
 }  // namespace
@@ -79,13 +115,12 @@ int main(int argc, char** argv) {
     };
     auto next_size = [&](const char* flag) -> size_t {
       const char* text = next();
-      char* end = nullptr;
-      const unsigned long long value = std::strtoull(text, &end, 10);
-      if (end == text || *end != '\0' || text[0] == '-') {
+      size_t value = 0;
+      if (!ParseSizeStrict(text, &value)) {
         std::fprintf(stderr, "bad %s value: %s\n", flag, text);
         std::exit(2);
       }
-      return static_cast<size_t>(value);
+      return value;
     };
     if (arg == "--script") {
       script_path = next();
@@ -95,6 +130,21 @@ int main(int argc, char** argv) {
       options.registry.engine_byte_budget = next_size("--budget-bytes");
     } else if (arg == "--max-resident") {
       options.registry.max_resident_engines = next_size("--max-resident");
+    } else if (arg == "--log-dir") {
+      options.log_dir = next();
+    } else if (arg.rfind("--fsync=", 0) == 0) {
+      auto policy = ParseFsyncPolicy(arg.substr(std::strlen("--fsync=")));
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n", policy.error().c_str());
+        return 2;
+      }
+      options.fsync = policy.value();
+    } else if (arg == "--snapshot-every") {
+      options.snapshot_every = next_size("--snapshot-every");
+    } else if (arg == "--max-line-bytes") {
+      options.max_line_bytes = next_size("--max-line-bytes");
+    } else if (arg == "--max-facts") {
+      options.max_session_facts = next_size("--max-facts");
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -106,13 +156,41 @@ int main(int argc, char** argv) {
   }
 
   CommandLoop loop(options);
+  auto recovered = loop.InitDurability();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "shapcq_server: %s\n", recovered.error().c_str());
+    return 1;
+  }
+  if (!options.log_dir.empty()) {
+    std::fprintf(stderr, "shapcq_server: recovered sessions=%zu from %s\n",
+                 recovered.value(), options.log_dir.c_str());
+  }
+
+  // Graceful shutdown: drain the in-flight command, sync logs, exit
+  // normally. No SA_RESTART, so a signal interrupts a blocking stdin read
+  // instead of waiting for the next line.
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  int code;
   if (!script_path.empty()) {
     std::ifstream script(script_path);
     if (!script) {
       std::fprintf(stderr, "cannot open script %s\n", script_path.c_str());
       return 1;
     }
-    return loop.Run(script, std::cout);
+    code = loop.Run(script, std::cout, &g_stop);
+  } else {
+    code = loop.Run(std::cin, std::cout, &g_stop);
   }
-  return loop.Run(std::cin, std::cout);
+  if (g_stop) {
+    std::fprintf(stderr,
+                 "shapcq_server: caught signal, drained and synced logs\n");
+  }
+  return code;
 }
