@@ -1,5 +1,7 @@
 #include "db/value_dictionary.h"
 
+#include <mutex>
+
 #include "util/check.h"
 
 namespace shapcq {
@@ -9,7 +11,7 @@ ValueDictionary& ValueDictionary::Global() {
   return *dictionary;
 }
 
-Value ValueDictionary::Intern(const std::string& name) {
+Value ValueDictionary::InternLocked(const std::string& name) {
   auto it = index_.find(name);
   if (it != index_.end()) return Value{it->second};
   int32_t id = static_cast<int32_t>(names_.size());
@@ -18,28 +20,50 @@ Value ValueDictionary::Intern(const std::string& name) {
   return Value{id};
 }
 
+Value ValueDictionary::Intern(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return Value{it->second};
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  return InternLocked(name);
+}
+
 Value ValueDictionary::Lookup(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   auto it = index_.find(name);
   return it == index_.end() ? Value{-1} : Value{it->second};
 }
 
 Value ValueDictionary::Fresh(const std::string& prefix) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   for (;;) {
     std::string candidate =
         prefix + "#" + std::to_string(fresh_counter_++);
-    if (index_.find(candidate) == index_.end()) return Intern(candidate);
+    if (index_.find(candidate) == index_.end()) {
+      return InternLocked(candidate);
+    }
   }
 }
 
 Value ValueDictionary::Pair(Value a, Value b) {
+  // Name()'s references are stable, so composing outside the lock is safe
+  // (and keeps the lock non-recursive).
   return Intern("<" + Name(a) + "," + Name(b) + ">");
 }
 
 const std::string& ValueDictionary::Name(Value value) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   SHAPCQ_CHECK_MSG(value.id >= 0 &&
                        static_cast<size_t>(value.id) < names_.size(),
                    "unknown Value id");
   return names_[static_cast<size_t>(value.id)];
+}
+
+size_t ValueDictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return names_.size();
 }
 
 Value V(const std::string& name) {

@@ -10,7 +10,9 @@
 #define SHAPCQ_DB_VALUE_DICTIONARY_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +48,13 @@ struct TupleHash {
 };
 
 /// Process-wide constant interner.
+///
+/// Thread-safe: the singleton is shared by every session of the concurrent
+/// server, and the registry's stripe locks cannot cover it (two sessions on
+/// different stripes intern constants while parsing deltas at the same
+/// time). Reads take a shared lock; Intern takes it exclusively only on a
+/// miss. Names live in a deque, so the reference `Name` returns stays valid
+/// across later interns.
 class ValueDictionary {
  public:
   /// The singleton dictionary.
@@ -61,13 +70,18 @@ class ValueDictionary {
   /// Pairing constant for two values, e.g. "<a,b>"; interned so repeated
   /// calls with the same arguments return the same Value.
   Value Pair(Value a, Value b);
-  /// Human-readable name of a value.
+  /// Human-readable name of a value. The reference stays valid for the
+  /// process lifetime (interned names are never removed).
   const std::string& Name(Value value) const;
   /// Number of interned constants.
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
  private:
-  std::vector<std::string> names_;
+  /// Find-or-insert; requires `mutex_` held exclusively.
+  Value InternLocked(const std::string& name);
+
+  mutable std::shared_mutex mutex_;
+  std::deque<std::string> names_;
   std::unordered_map<std::string, int32_t> index_;
   int64_t fresh_counter_ = 0;
 };

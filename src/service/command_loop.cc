@@ -1,6 +1,7 @@
 #include "service/command_loop.h"
 
 #include <cctype>
+#include <cerrno>
 #include <istream>
 #include <ostream>
 
@@ -33,18 +34,87 @@ std::string TakeToken(const std::string& text, std::string* rest) {
   return text.substr(start, end - start);
 }
 
+// Re-inserts the command context ("delta s1") into a registry error while
+// keeping any structured "[E_...]" tag in front, so "[E_FACT_CAP] session
+// at fact cap 2" surfaces as "[E_FACT_CAP] delta s1: session at fact cap
+// 2" — the tag stays machine-greppable and the transcript format is
+// unchanged from the single-writer loop.
+std::string WithContext(const std::string& context, const std::string& error) {
+  if (!error.empty() && error[0] == '[') {
+    size_t close = error.find("] ");
+    if (close != std::string::npos) {
+      return error.substr(0, close + 2) + context + ": " +
+             error.substr(close + 2);
+    }
+  }
+  return context + ": " + error;
+}
+
+// The loop's registry options: the loop-level fact cap is enforced inside
+// the registry (under the stripe lock), so merge it down.
+RegistryOptions MergedRegistryOptions(const CommandLoopOptions& options) {
+  RegistryOptions merged = options.registry;
+  if (merged.max_session_facts == 0) {
+    merged.max_session_facts = options.max_session_facts;
+  }
+  return merged;
+}
+
+// Reads one protocol line, distinguishing EOF from a transient read error.
+// std::getline reports both as a non-good stream; treating them alike made
+// an EINTR-interrupted read (any signal without SA_RESTART — SIGCONT after
+// job control, say) silently end the session with exit 0. Retrying is not
+// enough on its own: an interrupted getline may have already extracted a
+// partial line (eofbit, no failbit), so the chunks are accumulated across
+// retries — otherwise a retried command would execute truncated.
+//
+// Returns true with a complete line to execute, false on EOF, stop, or an
+// unrecoverable error. The final line of a stream that ends without '\n'
+// still executes (eofbit set but failbit clear after extraction).
+bool ReadCommandLine(std::istream& in, std::string* line,
+                     const volatile std::sig_atomic_t* stop) {
+  line->clear();
+  std::string chunk;
+  while (true) {
+    errno = 0;
+    std::getline(in, chunk);
+    line->append(chunk);
+    if (in.good()) return true;
+    // Shutdown beats retry: drop any partial line, the command never ran.
+    if (stop != nullptr && *stop) return false;
+    if (errno == EINTR && !in.bad()) {
+      in.clear();
+      continue;
+    }
+    // eofbit alone (failbit clear) means a final unterminated line was
+    // extracted: execute it. failbit means nothing more to execute.
+    return !in.fail();
+  }
+}
+
 }  // namespace
 
 CommandLoop::CommandLoop(const CommandLoopOptions& options)
-    : registry_(options.registry), options_(options) {}
+    : owned_registry_(
+          std::make_unique<EngineRegistry>(MergedRegistryOptions(options))),
+      registry_(owned_registry_.get()),
+      options_(options) {}
+
+CommandLoop::CommandLoop(const CommandLoopOptions& options,
+                         EngineRegistry* registry, SessionLogManager* log)
+    : registry_(registry), log_(log), options_(options) {}
 
 Result<size_t> CommandLoop::InitDurability() {
-  if (options_.log_dir.empty()) return Result<size_t>::Ok(0);
+  if (owned_registry_ == nullptr || options_.log_dir.empty()) {
+    return Result<size_t>::Ok(0);
+  }
   auto manager = SessionLogManager::Open(options_.log_dir, options_.fsync,
                                          options_.snapshot_every);
   if (!manager.ok()) return Result<size_t>::Error(manager.error());
-  log_.emplace(std::move(manager).value());
-  return log_->Recover(&registry_);
+  owned_log_ =
+      std::make_unique<SessionLogManager>(std::move(manager).value());
+  log_ = owned_log_.get();
+  return log_->Recover(registry_);
 }
 
 void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
@@ -78,15 +148,15 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     }
     auto query = ParseCQ(query_text);
     if (!query.ok()) return fail("open " + id + ": " + query.error());
-    auto opened = registry_.Open(id, query.value());
+    auto opened = registry_->Open(id, query.value());
     if (!opened.ok()) return fail("open " + id + ": " + opened.error());
-    if (log_.has_value()) {
+    if (log_ != nullptr) {
       auto logged = log_->LogOpen(id, query_text);
       if (!logged.ok()) {
         // The session exists only in RAM and could not be made durable:
         // fail the command and roll the open back, rather than serving a
         // session that would silently vanish on restart.
-        registry_.Close(id);
+        registry_->Close(id);
         return fail("[E_LOG_IO] open " + id + ": " + logged.error());
       }
     }
@@ -102,28 +172,28 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     }
     auto mutation = ParseMutationLine(mutation_text);
     if (!mutation.ok()) return fail("delta " + id + ": " + mutation.error());
-    const Database* db = registry_.FindDatabase(id);
-    if (db != nullptr && options_.max_session_facts > 0 &&
-        mutation.value().op == MutationSpec::Op::kInsert &&
-        db->fact_count() >= options_.max_session_facts) {
-      return fail("[E_FACT_CAP] delta " + id + ": session at fact cap " +
-                  std::to_string(options_.max_session_facts));
+    // The whole check-log-apply sequence runs under the session's stripe
+    // lock inside Mutate: the fact-cap check, the write-ahead append and
+    // the apply cannot interleave with another connection's commands on
+    // this session, so log order == apply order. If the apply fails after
+    // the append, replay fails identically against the same database
+    // state, so the logged record stays a faithful no-op.
+    std::function<Result<bool>()> write_ahead = [this, &id,
+                                                 &mutation_text]() {
+      return log_->LogDelta(id, mutation_text);
+    };
+    std::function<void(const Database&)> post_apply =
+        [this, &id](const Database& db) { log_->MaybeAutoCompact(id, db); };
+    auto applied =
+        registry_->Mutate(id, mutation.value(),
+                          log_ != nullptr ? &write_ahead : nullptr,
+                          log_ != nullptr ? &post_apply : nullptr);
+    if (!applied.ok()) {
+      return fail(WithContext("delta " + id, applied.error()));
     }
-    if (db != nullptr && log_.has_value()) {
-      // Write-ahead: the record is durable before the mutation applies. If
-      // the apply below fails, replay fails identically against the same
-      // database state, so the logged record stays a faithful no-op.
-      auto logged = log_->LogDelta(id, mutation_text);
-      if (!logged.ok()) {
-        return fail("[E_LOG_IO] delta " + id + ": " + logged.error());
-      }
-    }
-    auto applied = registry_.ApplyMutation(id, mutation.value());
-    if (!applied.ok()) return fail("delta " + id + ": " + applied.error());
-    db = registry_.FindDatabase(id);
-    *out += "ok delta " + id + " facts=" + std::to_string(db->fact_count()) +
-            " endo=" + std::to_string(db->endogenous_count()) + "\n";
-    if (log_.has_value()) log_->MaybeAutoCompact(id, *db);
+    *out += "ok delta " + id +
+            " facts=" + std::to_string(applied.value().fact_count) +
+            " endo=" + std::to_string(applied.value().endo_count) + "\n";
     return;
   }
 
@@ -155,7 +225,7 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
                     "'");
       }
     }
-    if (log_.has_value()) {
+    if (log_ != nullptr) {
       // Batch fsync point: a served report only ever reflects state that
       // is already durable.
       auto synced = log_->SyncAll();
@@ -163,13 +233,16 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
         return fail("[E_LOG_IO] report " + id + ": " + synced.error());
       }
     }
-    auto report = registry_.Report(id, options);
-    if (!report.ok()) return fail("report " + id + ": " + report.error());
-    const Database* db = registry_.FindDatabase(id);
-    *out += "report " + id + " rows=" +
-            std::to_string(report.value().rows.size()) +
-            " endo=" + std::to_string(db->endogenous_count()) + "\n";
-    *out += RenderReport(report.value(), *db);
+    // Rank and render under the stripe lock: in shared mode the database
+    // may mutate the instant another connection's DELTA gets the lock.
+    auto report = registry_->ReportRendered(id, options);
+    if (!report.ok()) {
+      return fail(WithContext("report " + id, report.error()));
+    }
+    *out += "report " + id +
+            " rows=" + std::to_string(report.value().rows) +
+            " endo=" + std::to_string(report.value().endo_count) + "\n";
+    *out += report.value().text;
     *out += "end report " + id + "\n";
     return;
   }
@@ -178,20 +251,26 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     std::string after;
     const std::string id = TakeToken(rest, &after);
     if (id.empty() || !after.empty()) return fail("usage: SNAPSHOT <session>");
-    if (!log_.has_value()) {
+    if (log_ == nullptr) {
       return fail("snapshot " + id + ": durability is off (no --log-dir)");
     }
-    const Database* db = registry_.FindDatabase(id);
-    if (db == nullptr) {
-      return fail("snapshot " + id + ": no open session " + id);
+    // Compact under the stripe lock so the snapshot sees a frozen fact
+    // table (lock order: registry stripe, then the log manager's mutex).
+    Result<bool> compacted = Result<bool>::Ok(false);
+    size_t fact_count = 0;
+    auto visited = registry_->VisitDatabase(
+        id, [this, &id, &compacted, &fact_count](const Database& db) {
+          compacted = log_->Compact(id, db);
+          fact_count = db.fact_count();
+        });
+    if (!visited.ok()) {
+      return fail(WithContext("snapshot " + id, visited.error()));
     }
-    auto compacted = log_->Compact(id, *db);
     if (!compacted.ok()) {
       return fail("[E_LOG_IO] snapshot " + id + ": " + compacted.error());
     }
     const SessionLogStats stats = log_->Stats(id);
-    *out += "ok snapshot " + id + " facts=" +
-            std::to_string(db->fact_count()) +
+    *out += "ok snapshot " + id + " facts=" + std::to_string(fact_count) +
             " log_bytes=" + std::to_string(stats.log_bytes) + "\n";
     return;
   }
@@ -201,22 +280,27 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     const std::string id = TakeToken(rest, &after);
     if (!after.empty()) return fail("usage: STATS [<session>]");
     if (id.empty()) {
-      const RegistryStats stats = registry_.stats();
+      const RegistryStats stats = registry_->stats();
       *out += "stats sessions=" + std::to_string(stats.open_sessions) +
-              " resident=" + std::to_string(stats.resident_engines) +
-              " bytes=" + std::to_string(stats.resident_bytes) +
-              " hits=" + std::to_string(stats.report_hits) +
+              " resident=" + std::to_string(stats.resident_engines);
+      if (options_.stats_show_bytes) {
+        *out += " bytes=" + std::to_string(stats.resident_bytes);
+      }
+      *out += " hits=" + std::to_string(stats.report_hits) +
               " cached=" + std::to_string(stats.report_cache_hits) +
               " misses=" + std::to_string(stats.report_misses) +
               " evictions=" + std::to_string(stats.evictions) +
               " builds=" + std::to_string(stats.engine_builds);
-      if (log_.has_value()) {
+      if (stats.overloads > 0) {
+        *out += " overloads=" + std::to_string(stats.overloads);
+      }
+      if (log_ != nullptr) {
         *out += " log_bytes=" + std::to_string(log_->TotalLogBytes());
       }
       *out += "\n";
       return;
     }
-    auto stats = registry_.Stats(id);
+    auto stats = registry_->Stats(id);
     if (!stats.ok()) return fail("stats " + id + ": " + stats.error());
     const SessionStats& s = stats.value();
     *out += "stats " + id + " facts=" + std::to_string(s.fact_count) +
@@ -225,7 +309,7 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
             " reports=" + std::to_string(s.reports_served) +
             " builds=" + std::to_string(s.engine_builds) +
             " resident=" + (s.engine_resident ? "yes" : "no");
-    if (log_.has_value()) {
+    if (log_ != nullptr) {
       const SessionLogStats log_stats = log_->Stats(id);
       *out += " log_bytes=" + std::to_string(log_stats.log_bytes) +
               " since_snapshot=" +
@@ -239,10 +323,10 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     std::string after;
     const std::string id = TakeToken(rest, &after);
     if (id.empty() || !after.empty()) return fail("usage: CLOSE <session>");
-    auto closed = registry_.Close(id);
+    auto closed = registry_->Close(id);
     if (!closed.ok()) return fail("close " + id + ": " + closed.error());
     // The stream ended: its log has nothing left to recover.
-    if (log_.has_value()) log_->Drop(id);
+    if (log_ != nullptr) log_->Drop(id);
     *out += "ok close " + id + "\n";
     return;
   }
@@ -254,15 +338,16 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
 int CommandLoop::Run(std::istream& in, std::ostream& out,
                      const volatile std::sig_atomic_t* stop) {
   std::string line;
-  while (!(stop != nullptr && *stop) && std::getline(in, line)) {
+  while (!(stop != nullptr && *stop) && ReadCommandLine(in, &line, stop)) {
     std::string output;
     ExecuteLine(line, &output);
     out << output;
     out.flush();  // interactive clients see each command's output promptly
   }
   // EOF or graceful shutdown: whatever the fsync policy batched up becomes
-  // durable before the process exits.
-  if (log_.has_value()) log_->SyncAll();
+  // durable before the process exits. In shared mode the server syncs once
+  // for all connections instead.
+  if (owned_log_ != nullptr) owned_log_->SyncAll();
   return error_count_ == 0 ? 0 : 1;
 }
 

@@ -20,19 +20,29 @@
 // loop continues; Run() returns non-zero if any command errored. All output
 // is deterministic: no timestamps, pointers, or platform-dependent byte
 // counts, with one flagged exception (the bytes= field of the global STATS
-// line, an engine-size estimate).
+// line, an engine-size estimate; --stats-bytes=off omits it for golden
+// transcripts diffed across platforms).
 //
 // Durability: with options.log_dir set (after InitDurability), every OPEN
 // and applied DELTA is written ahead to a per-session append-only log
 // (service/session_log.h), so a killed process resumes bit-identical after
 // InitDurability replays the logs. Failures of the log itself surface as
 // structured "error: [E_LOG_IO] ..." lines that fail the command but keep
-// the loop alive; resource guards (max_line_bytes, max_session_facts) use
-// [E_LINE_TOO_LONG] and [E_FACT_CAP] the same way.
+// the loop alive; resource guards (max_line_bytes, max_session_facts, the
+// stripe queue bound) use [E_LINE_TOO_LONG], [E_FACT_CAP] and [E_OVERLOAD]
+// the same way.
 //
-// The loop is the single writer of its registry (one command at a time);
-// REPORT may parallelize internally via --threads, which is safe under the
-// engine's single-writer/parallel-reader contract.
+// Sharing: a loop either owns its registry (the script/stdin server — one
+// loop, one registry) or borrows a shared registry + log manager (the
+// socket server — one loop per connection over one striped registry). In
+// shared mode every command is funneled through the registry's composite
+// locked entry points (Mutate / ReportRendered / VisitDatabase), so the
+// read-check-act sequences of a command are atomic under the session's
+// stripe lock and concurrent connections cannot interleave inside them.
+//
+// An owning loop is the single writer of its registry (one command at a
+// time); REPORT may parallelize internally via --threads, which is safe
+// under the engine's single-writer/parallel-reader contract.
 
 #ifndef SHAPCQ_SERVICE_COMMAND_LOOP_H_
 #define SHAPCQ_SERVICE_COMMAND_LOOP_H_
@@ -40,7 +50,7 @@
 #include <csignal>
 #include <cstddef>
 #include <iosfwd>
-#include <optional>
+#include <memory>
 #include <string>
 
 #include "service/engine_registry.h"
@@ -69,20 +79,35 @@ struct CommandLoopOptions {
   /// Reject input lines longer than this many bytes (0 = unlimited).
   size_t max_line_bytes = 1 << 20;
   /// Reject inserts that would grow a session past this many live facts
-  /// (0 = unlimited).
+  /// (0 = unlimited). Merged into registry.max_session_facts, where the
+  /// cap is enforced under the stripe lock.
   size_t max_session_facts = 0;
+  /// Include the platform-dependent "bytes=" estimate in the global STATS
+  /// line. Off produces byte-identical transcripts across platforms (the
+  /// CI golden files).
+  bool stats_show_bytes = true;
 };
 
-/// Executes protocol lines against an owned EngineRegistry.
+/// Executes protocol lines against an owned or shared EngineRegistry.
 class CommandLoop {
  public:
+  /// Owning mode: the loop constructs and owns its registry (and, after
+  /// InitDurability, its log manager).
   explicit CommandLoop(const CommandLoopOptions& options);
 
-  /// Brings up the durability layer when options.log_dir is set: creates
-  /// the directory, replays every existing session log into the registry
-  /// (databases rebuilt; engines rebuilt lazily at the next REPORT), and
-  /// truncates torn tails. Call once, before the first command. Returns
-  /// the number of sessions recovered (0 with durability off).
+  /// Shared mode: the loop borrows a registry and (nullable) log manager
+  /// owned by the caller — one loop per connection over shared state. The
+  /// caller handles recovery; InitDurability is a no-op. Both pointers
+  /// must outlive the loop.
+  CommandLoop(const CommandLoopOptions& options, EngineRegistry* registry,
+              SessionLogManager* log);
+
+  /// Brings up the durability layer when this loop owns its core and
+  /// options.log_dir is set: creates the directory, replays every existing
+  /// session log into the registry (databases rebuilt; engines rebuilt
+  /// lazily at the next REPORT), and truncates torn tails. Call once,
+  /// before the first command. Returns the number of sessions recovered
+  /// (0 with durability off or in shared mode).
   Result<size_t> InitDurability();
 
   /// Executes one protocol line, appending all output (echo, results,
@@ -90,10 +115,13 @@ class CommandLoop {
   void ExecuteLine(const std::string& line, std::string* out);
 
   /// Reads lines from `in` until EOF, writing output to `out` after each
-  /// line (a session script or an interactive stdin loop). If `stop` is
-  /// non-null, a set flag drains the current command, syncs all session
-  /// logs, and returns (the SIGTERM/SIGINT graceful-shutdown path).
-  /// Returns 0 if every command succeeded, 1 otherwise.
+  /// line (a session script, an interactive stdin loop, or one socket
+  /// connection). A transient read failure (EINTR from a signal that is
+  /// not shutting the server down) is retried without dropping input;
+  /// only genuine EOF or an unrecoverable stream error ends the loop. If
+  /// `stop` is non-null, a set flag drains the current command, syncs all
+  /// session logs, and returns (the SIGTERM/SIGINT graceful-shutdown
+  /// path). Returns 0 if every command succeeded, 1 otherwise.
   int Run(std::istream& in, std::ostream& out,
           const volatile std::sig_atomic_t* stop = nullptr);
 
@@ -101,12 +129,16 @@ class CommandLoop {
   size_t error_count() const { return error_count_; }
 
   /// The underlying registry (tests and benchmarks drive it directly).
-  EngineRegistry& registry() { return registry_; }
+  EngineRegistry& registry() { return *registry_; }
 
  private:
-  EngineRegistry registry_;
+  // Owned in owning mode, null in shared mode; registry_/log_ are the
+  // working pointers either way (heap-stable, so the loop stays movable).
+  std::unique_ptr<EngineRegistry> owned_registry_;
+  std::unique_ptr<SessionLogManager> owned_log_;
+  EngineRegistry* registry_ = nullptr;
+  SessionLogManager* log_ = nullptr;  // null = durability off
   CommandLoopOptions options_;
-  std::optional<SessionLogManager> log_;
   size_t error_count_ = 0;
 };
 

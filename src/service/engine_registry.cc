@@ -1,7 +1,9 @@
 #include "service/engine_registry.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -28,6 +30,13 @@ AttributionReport TruncatedCopy(const AttributionReport& full, size_t top_k) {
   return copy;
 }
 
+// Even ceil-share of a registry-wide limit for one of `stripes` stripes
+// (0 stays "unlimited"; stripes == 1 keeps the limit verbatim).
+size_t StripeShare(size_t limit, size_t stripes) {
+  if (limit == 0 || stripes <= 1) return limit;
+  return (limit + stripes - 1) / stripes;
+}
+
 }  // namespace
 
 // One open session. The Database is heap-allocated so its address survives
@@ -38,7 +47,7 @@ struct EngineRegistry::Session {
   std::unique_ptr<Database> db;
   std::optional<ShapleyEngine> engine;
   size_t engine_bytes = 0;   // last ApproxMemoryBytes estimate
-  uint64_t last_used = 0;    // LRU stamp from the registry clock
+  uint64_t last_used = 0;    // LRU stamp from the stripe clock
   uint64_t mutation_epoch = 0;  // bumped by every applied mutation
   // Full ranked table of `cached_epoch`, kept while the engine is resident:
   // polling reports with no intervening delta skip the whole evaluation and
@@ -46,56 +55,108 @@ struct EngineRegistry::Session {
   std::optional<AttributionReport> cached_report;
   uint64_t cached_epoch = 0;
   size_t deltas_applied = 0;
+  size_t deltas_since_refresh = 0;  // mutation-path estimate amortizer
   size_t reports_served = 0;
   size_t engine_builds = 0;
 };
 
+// One lock stripe: a private session map, LRU clock and residency
+// accounting, all guarded by `mutex`. Commands on sessions in different
+// stripes never contend.
+struct EngineRegistry::Stripe {
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, Session> sessions;
+  uint64_t clock = 0;  // monotone use counter backing this stripe's LRU
+  size_t resident_bytes = 0;
+  size_t resident_engines = 0;
+  // Commands currently blocked on `mutex` (the backpressure signal; relaxed
+  // ordering suffices for an advisory admission bound).
+  std::atomic<size_t> queued{0};
+  size_t byte_budget = 0;   // this stripe's ceil-share of the byte budget
+  size_t max_resident = 0;  // this stripe's ceil-share of the engine cap
+};
+
 struct EngineRegistry::Impl {
   RegistryOptions options;
-  std::vector<std::string> session_order;  // OPEN order, for SessionIds
-  std::unordered_map<std::string, Session> sessions;
-  uint64_t clock = 0;  // monotone use counter backing the LRU order
-  RegistryStats stats;
+  std::vector<std::unique_ptr<Stripe>> stripes;
 
-  Session* Find(const std::string& id) {
-    auto it = sessions.find(id);
-    return it == sessions.end() ? nullptr : &it->second;
+  // OPEN order for SessionIds(), under its own mutex (never held together
+  // with a stripe mutex).
+  mutable std::mutex order_mutex;
+  std::vector<std::string> session_order;
+
+  // Registry-wide counters: atomics, so stripes bump them without sharing a
+  // lock. resident_engines/resident_bytes live per stripe (they back the
+  // eviction policy) and are summed by stats().
+  std::atomic<size_t> open_sessions{0};
+  std::atomic<size_t> report_hits{0};
+  std::atomic<size_t> report_cache_hits{0};
+  std::atomic<size_t> report_misses{0};
+  std::atomic<size_t> evictions{0};
+  std::atomic<size_t> engine_builds{0};
+  std::atomic<size_t> overloads{0};
+
+  Stripe& StripeFor(const std::string& id) {
+    return *stripes[std::hash<std::string>{}(id) % stripes.size()];
   }
-  const Session* Find(const std::string& id) const {
-    auto it = sessions.find(id);
-    return it == sessions.end() ? nullptr : &it->second;
+  const Stripe& StripeFor(const std::string& id) const {
+    return *stripes[std::hash<std::string>{}(id) % stripes.size()];
   }
 
-  void Evict(Session& session) {
+  // Locks the stripe, honoring the admission bound: with max_stripe_queue
+  // set, a command finding more than that many commands already waiting
+  // fails fast (lock left unlocked) instead of joining the queue.
+  bool LockAdmitted(Stripe& stripe, std::unique_lock<std::mutex>* lock) {
+    *lock = std::unique_lock<std::mutex>(stripe.mutex, std::defer_lock);
+    if (options.max_stripe_queue == 0) {
+      lock->lock();
+      return true;
+    }
+    if (lock->try_lock()) return true;
+    const size_t waiting =
+        stripe.queued.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (waiting > options.max_stripe_queue) {
+      stripe.queued.fetch_sub(1, std::memory_order_relaxed);
+      overloads.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    lock->lock();
+    stripe.queued.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  void Evict(Stripe& stripe, Session& session) {
     SHAPCQ_CHECK(session.engine.has_value());
-    SHAPCQ_CHECK(stats.resident_engines > 0);
-    SHAPCQ_CHECK(stats.resident_bytes >= session.engine_bytes);
-    stats.resident_bytes -= session.engine_bytes;
-    --stats.resident_engines;
-    ++stats.evictions;
+    SHAPCQ_CHECK(stripe.resident_engines > 0);
+    SHAPCQ_CHECK(stripe.resident_bytes >= session.engine_bytes);
+    stripe.resident_bytes -= session.engine_bytes;
+    --stripe.resident_engines;
+    evictions.fetch_add(1, std::memory_order_relaxed);
     session.engine.reset();
     session.cached_report.reset();  // the cache rides with the engine
     session.engine_bytes = 0;
   }
 
-  // Updates the current session's byte estimate and evicts least-recently-
-  // used engines until both limits hold. `current` (the session that just
-  // served a request) is evicted only last, if it alone exceeds a limit.
-  void EnforceBudget(Session& current) {
+  // Updates the current session's byte estimate and evicts this stripe's
+  // least-recently-used engines until both stripe shares hold. `current`
+  // (the session that just served a request) is evicted only last, if it
+  // alone exceeds a limit. Caller holds the stripe mutex.
+  void EnforceBudget(Stripe& stripe, Session& current) {
     if (current.engine.has_value()) {
       const size_t fresh = current.engine->ApproxMemoryBytes();
-      stats.resident_bytes += fresh - current.engine_bytes;
+      stripe.resident_bytes += fresh - current.engine_bytes;
       current.engine_bytes = fresh;
     }
-    auto over = [this] {
-      return (options.engine_byte_budget > 0 &&
-              stats.resident_bytes > options.engine_byte_budget) ||
-             (options.max_resident_engines > 0 &&
-              stats.resident_engines > options.max_resident_engines);
+    current.deltas_since_refresh = 0;
+    auto over = [&stripe] {
+      return (stripe.byte_budget > 0 &&
+              stripe.resident_bytes > stripe.byte_budget) ||
+             (stripe.max_resident > 0 &&
+              stripe.resident_engines > stripe.max_resident);
     };
     while (over()) {
       Session* victim = nullptr;
-      for (auto& [id, session] : sessions) {
+      for (auto& [id, session] : stripe.sessions) {
         (void)id;
         if (!session.engine.has_value() || &session == &current) continue;
         if (victim == nullptr || session.last_used < victim->last_used) {
@@ -105,17 +166,73 @@ struct EngineRegistry::Impl {
       if (victim == nullptr) {
         // Only the current engine is resident and it alone breaks a limit:
         // honor the budget between requests by evicting it too.
-        if (current.engine.has_value()) Evict(current);
+        if (current.engine.has_value()) Evict(stripe, current);
         return;
       }
-      Evict(*victim);
+      Evict(stripe, *victim);
     }
+  }
+
+  // The locked core of Report/ReportRendered: ensures residency, serves
+  // from the epoch cache when valid, re-ranks otherwise, then enforces the
+  // stripe budget. Caller holds the stripe mutex.
+  Result<AttributionReport> ReportLocked(Stripe& stripe, Session& session,
+                                         const ReportOptions& options) {
+    if (session.engine.has_value()) {
+      report_hits.fetch_add(1, std::memory_order_relaxed);
+      if (session.cached_report.has_value() &&
+          session.cached_epoch == session.mutation_epoch) {
+        // Steady-state polling: no delta since the cached table was ranked,
+        // so it is the report, verbatim. Nothing resident changed size, so
+        // the budget needs no re-enforcement either.
+        report_cache_hits.fetch_add(1, std::memory_order_relaxed);
+        ++session.reports_served;
+        session.last_used = ++stripe.clock;
+        return Result<AttributionReport>::Ok(
+            TruncatedCopy(*session.cached_report, options.top_k));
+      }
+    } else {
+      auto built = ShapleyEngine::Build(session.query, *session.db);
+      if (!built.ok()) {
+        return Result<AttributionReport>::Error(built.error());
+      }
+      session.engine.emplace(std::move(built).value());
+      session.engine_bytes = 0;  // EnforceBudget refreshes the estimate
+      ++stripe.resident_engines;
+      report_misses.fetch_add(1, std::memory_order_relaxed);
+      engine_builds.fetch_add(1, std::memory_order_relaxed);
+      ++session.engine_builds;
+    }
+    // Compute and cache the FULL table (top_k applied per serve, so one
+    // cache entry answers every truncation). The served copy is taken
+    // before budget enforcement: EnforceBudget may evict the current engine
+    // — and the cache with it — when it alone exceeds the stripe share.
+    ReportOptions full = options;
+    full.top_k = 0;
+    session.cached_report = BuildAttributionReportFromEngine(
+        *session.engine, *session.db, full);
+    session.cached_epoch = session.mutation_epoch;
+    ++session.reports_served;
+    session.last_used = ++stripe.clock;
+    AttributionReport served =
+        TruncatedCopy(*session.cached_report, options.top_k);
+    EnforceBudget(stripe, session);
+    return Result<AttributionReport>::Ok(std::move(served));
   }
 };
 
 EngineRegistry::EngineRegistry(const RegistryOptions& options)
     : impl_(std::make_unique<Impl>()) {
   impl_->options = options;
+  const size_t stripes =
+      options.num_stripes == 0 ? 1 : options.num_stripes;
+  impl_->stripes.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    stripe->byte_budget = StripeShare(options.engine_byte_budget, stripes);
+    stripe->max_resident = StripeShare(options.max_resident_engines, stripes);
+    impl_->stripes.push_back(std::move(stripe));
+  }
 }
 EngineRegistry::EngineRegistry() : EngineRegistry(RegistryOptions{}) {}
 EngineRegistry::~EngineRegistry() = default;
@@ -124,11 +241,9 @@ EngineRegistry& EngineRegistry::operator=(EngineRegistry&&) noexcept = default;
 
 Result<bool> EngineRegistry::Open(const std::string& session_id,
                                   const CQ& query) {
-  if (impl_->Find(session_id) != nullptr) {
-    return Result<bool>::Error("session " + session_id + " is already open");
-  }
   // Fail at OPEN with the exact scope checks Build() would fail later, so a
-  // session never accepts mutations it can not report on.
+  // session never accepts mutations it can not report on. Pure query
+  // analysis — no need to hold the stripe lock yet.
   if (!IsSafe(query)) {
     return Result<bool>::Error("query has unsafe negation: " +
                                query.ToString());
@@ -140,33 +255,78 @@ Result<bool> EngineRegistry::Open(const std::string& session_id,
     return Result<bool>::Error("query is not hierarchical: " +
                                query.ToString());
   }
-  Session session;
-  session.query = query;
-  session.db = std::make_unique<Database>();
-  impl_->sessions.emplace(session_id, std::move(session));
-  impl_->session_order.push_back(session_id);
-  ++impl_->stats.open_sessions;
+  Stripe& stripe = impl_->StripeFor(session_id);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    if (stripe.sessions.count(session_id) > 0) {
+      return Result<bool>::Error("session " + session_id +
+                                 " is already open");
+    }
+    Session session;
+    session.query = query;
+    session.db = std::make_unique<Database>();
+    stripe.sessions.emplace(session_id, std::move(session));
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->order_mutex);
+    impl_->session_order.push_back(session_id);
+  }
+  impl_->open_sessions.fetch_add(1, std::memory_order_relaxed);
   return Result<bool>::Ok(true);
 }
 
 bool EngineRegistry::Has(const std::string& session_id) const {
-  return impl_->Find(session_id) != nullptr;
+  const Stripe& stripe = impl_->StripeFor(session_id);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  return stripe.sessions.count(session_id) > 0;
 }
 
 Result<FactId> EngineRegistry::ApplyMutation(const std::string& session_id,
                                              const MutationSpec& mutation) {
-  Session* session = impl_->Find(session_id);
-  if (session == nullptr) {
-    return Result<FactId>::Error("no open session " + session_id);
+  auto outcome = Mutate(session_id, mutation, nullptr, nullptr);
+  if (!outcome.ok()) return Result<FactId>::Error(outcome.error());
+  return Result<FactId>::Ok(outcome.value().fact);
+}
+
+Result<MutationOutcome> EngineRegistry::Mutate(
+    const std::string& session_id, const MutationSpec& mutation,
+    const std::function<Result<bool>()>* write_ahead,
+    const std::function<void(const Database&)>* post_apply) {
+  using R = Result<MutationOutcome>;
+  Stripe& stripe = impl_->StripeFor(session_id);
+  std::unique_lock<std::mutex> lock;
+  if (!impl_->LockAdmitted(stripe, &lock)) {
+    return R::Error("[E_OVERLOAD] stripe command queue is full (bound " +
+                    std::to_string(impl_->options.max_stripe_queue) + ")");
   }
+  auto it = stripe.sessions.find(session_id);
+  if (it == stripe.sessions.end()) {
+    return R::Error("no open session " + session_id);
+  }
+  Session* session = &it->second;
   Database& db = *session->db;
   const FactSpec& fact = mutation.fact;
+
+  if (impl_->options.max_session_facts > 0 &&
+      mutation.op == MutationSpec::Op::kInsert &&
+      db.fact_count() >= impl_->options.max_session_facts) {
+    return R::Error("[E_FACT_CAP] session at fact cap " +
+                    std::to_string(impl_->options.max_session_facts));
+  }
+  if (write_ahead != nullptr && *write_ahead) {
+    // Write-ahead point: the record is durable before the mutation applies.
+    // If the apply below fails, replay fails identically against the same
+    // database state, so the logged record stays a faithful no-op. Running
+    // it under the stripe lock keeps log order == apply order per session.
+    auto logged = (*write_ahead)();
+    if (!logged.ok()) return R::Error("[E_LOG_IO] " + logged.error());
+  }
 
   Result<FactId> applied = Result<FactId>::Error("");
   if (mutation.op == MutationSpec::Op::kDelete) {
     const FactId victim = db.FindFact(fact.relation, fact.tuple);
     if (victim == kNoFact) {
-      return Result<FactId>::Error("no such fact " + FactSpecToString(fact));
+      return R::Error("no such fact " + FactSpecToString(fact));
     }
     if (session->engine.has_value()) {
       applied = session->engine->DeleteFact(db, victim);
@@ -184,134 +344,173 @@ Result<FactId> EngineRegistry::ApplyMutation(const std::string& session_id,
     // resident (or evicted) when a delta failed.
     const RelationId rel = db.schema().Find(fact.relation);
     if (rel != kNoRelation && db.schema().arity(rel) != fact.tuple.size()) {
-      return Result<FactId>::Error(
-          "InsertFact: arity mismatch for relation " + fact.relation);
+      return R::Error("InsertFact: arity mismatch for relation " +
+                      fact.relation);
     }
     for (const Atom& atom : session->query.atoms()) {
       if (atom.relation == fact.relation &&
           atom.arity() != fact.tuple.size()) {
-        return Result<FactId>::Error(
-            "InsertFact: arity mismatch with query atom " + fact.relation);
+        return R::Error("InsertFact: arity mismatch with query atom " +
+                        fact.relation);
       }
     }
     if (rel != kNoRelation && db.FindFact(rel, fact.tuple) != kNoFact) {
-      return Result<FactId>::Error("InsertFact: duplicate fact in " +
-                                   fact.relation);
+      return R::Error("InsertFact: duplicate fact in " + fact.relation);
     }
     applied = Result<FactId>::Ok(
         db.AddFact(fact.relation, fact.tuple, fact.endogenous));
   }
-  if (!applied.ok()) return applied;
+  if (!applied.ok()) return R::Error(applied.error());
   ++session->deltas_applied;
   ++session->mutation_epoch;
-  session->last_used = ++impl_->clock;
+  session->last_used = ++stripe.clock;
   if (session->engine.has_value() &&
-      impl_->options.engine_byte_budget > 0) {
-    // The mutation may have grown the index (new slices, wider vectors):
-    // re-estimate and let the byte budget evict if the registry is now
-    // over. Without a byte budget the O(index) estimate walk would buy
-    // nothing — a mutation cannot change the resident-engine COUNT, and
-    // the estimate refreshes at the next computed report anyway — so the
-    // delta path stays O(dirtied path).
-    impl_->EnforceBudget(*session);
+      impl_->options.refresh_every_deltas > 0 &&
+      ++session->deltas_since_refresh >=
+          impl_->options.refresh_every_deltas) {
+    // The burst of mutations may have grown the index (new slices, wider
+    // vectors): refresh the O(index) estimate every K-th delta so STATS is
+    // at most K deltas stale, and let the byte budget evict here instead of
+    // waiting for the next report. Amortized, so the delta path stays
+    // O(dirtied path) on average.
+    impl_->EnforceBudget(stripe, *session);
   }
-  return applied;
+  MutationOutcome outcome;
+  outcome.fact = applied.value();
+  outcome.fact_count = db.fact_count();
+  outcome.endo_count = db.endogenous_count();
+  if (post_apply != nullptr && *post_apply) (*post_apply)(db);
+  return R::Ok(outcome);
 }
 
 Result<AttributionReport> EngineRegistry::Report(const std::string& session_id,
                                                  const ReportOptions& options) {
-  Session* session = impl_->Find(session_id);
-  if (session == nullptr) {
+  Stripe& stripe = impl_->StripeFor(session_id);
+  std::unique_lock<std::mutex> lock;
+  if (!impl_->LockAdmitted(stripe, &lock)) {
+    return Result<AttributionReport>::Error(
+        "[E_OVERLOAD] stripe command queue is full (bound " +
+        std::to_string(impl_->options.max_stripe_queue) + ")");
+  }
+  auto it = stripe.sessions.find(session_id);
+  if (it == stripe.sessions.end()) {
     return Result<AttributionReport>::Error("no open session " + session_id);
   }
-  if (session->engine.has_value()) {
-    ++impl_->stats.report_hits;
-    if (session->cached_report.has_value() &&
-        session->cached_epoch == session->mutation_epoch) {
-      // Steady-state polling: no delta since the cached table was ranked,
-      // so it is the report, verbatim. Nothing resident changed size, so
-      // the budget needs no re-enforcement either.
-      ++impl_->stats.report_cache_hits;
-      ++session->reports_served;
-      session->last_used = ++impl_->clock;
-      return Result<AttributionReport>::Ok(
-          TruncatedCopy(*session->cached_report, options.top_k));
-    }
-  } else {
-    auto built = ShapleyEngine::Build(session->query, *session->db);
-    if (!built.ok()) {
-      return Result<AttributionReport>::Error(built.error());
-    }
-    session->engine.emplace(std::move(built).value());
-    session->engine_bytes = 0;  // EnforceBudget refreshes the estimate
-    ++impl_->stats.resident_engines;
-    ++impl_->stats.report_misses;
-    ++impl_->stats.engine_builds;
-    ++session->engine_builds;
+  return impl_->ReportLocked(stripe, it->second, options);
+}
+
+Result<RenderedReport> EngineRegistry::ReportRendered(
+    const std::string& session_id, const ReportOptions& options) {
+  Stripe& stripe = impl_->StripeFor(session_id);
+  std::unique_lock<std::mutex> lock;
+  if (!impl_->LockAdmitted(stripe, &lock)) {
+    return Result<RenderedReport>::Error(
+        "[E_OVERLOAD] stripe command queue is full (bound " +
+        std::to_string(impl_->options.max_stripe_queue) + ")");
   }
-  // Compute and cache the FULL table (top_k applied per serve, so one cache
-  // entry answers every truncation). The served copy is taken before budget
-  // enforcement: EnforceBudget may evict the current engine — and the cache
-  // with it — when it alone exceeds the budget.
-  ReportOptions full = options;
-  full.top_k = 0;
-  session->cached_report =
-      BuildAttributionReportFromEngine(*session->engine, *session->db, full);
-  session->cached_epoch = session->mutation_epoch;
-  ++session->reports_served;
-  session->last_used = ++impl_->clock;
-  AttributionReport served =
-      TruncatedCopy(*session->cached_report, options.top_k);
-  impl_->EnforceBudget(*session);
-  return Result<AttributionReport>::Ok(std::move(served));
+  auto it = stripe.sessions.find(session_id);
+  if (it == stripe.sessions.end()) {
+    return Result<RenderedReport>::Error("no open session " + session_id);
+  }
+  Session& session = it->second;
+  auto report = impl_->ReportLocked(stripe, session, options);
+  if (!report.ok()) return Result<RenderedReport>::Error(report.error());
+  RenderedReport rendered;
+  rendered.rows = report.value().rows.size();
+  rendered.endo_count = session.db->endogenous_count();
+  rendered.text = RenderReport(report.value(), *session.db);
+  return Result<RenderedReport>::Ok(std::move(rendered));
 }
 
 Result<bool> EngineRegistry::Close(const std::string& session_id) {
-  auto it = impl_->sessions.find(session_id);
-  if (it == impl_->sessions.end()) {
+  Stripe& stripe = impl_->StripeFor(session_id);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    auto it = stripe.sessions.find(session_id);
+    if (it == stripe.sessions.end()) {
+      return Result<bool>::Error("no open session " + session_id);
+    }
+    Session& session = it->second;
+    if (session.engine.has_value()) {
+      // Drop the engine's residency accounting without counting an eviction.
+      SHAPCQ_CHECK(stripe.resident_engines > 0);
+      --stripe.resident_engines;
+      stripe.resident_bytes -= session.engine_bytes;
+      session.engine.reset();  // before the Database it points into
+    }
+    stripe.sessions.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->order_mutex);
+    auto& order = impl_->session_order;
+    order.erase(std::find(order.begin(), order.end(), session_id));
+  }
+  impl_->open_sessions.fetch_sub(1, std::memory_order_relaxed);
+  return Result<bool>::Ok(true);
+}
+
+Result<bool> EngineRegistry::VisitDatabase(
+    const std::string& session_id,
+    const std::function<void(const Database&)>& fn) const {
+  const Stripe& stripe = impl_->StripeFor(session_id);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.sessions.find(session_id);
+  if (it == stripe.sessions.end()) {
     return Result<bool>::Error("no open session " + session_id);
   }
-  Session& session = it->second;
-  if (session.engine.has_value()) {
-    // Drop the engine's residency accounting without counting an eviction.
-    SHAPCQ_CHECK(impl_->stats.resident_engines > 0);
-    --impl_->stats.resident_engines;
-    impl_->stats.resident_bytes -= session.engine_bytes;
-    session.engine.reset();  // before the Database it points into
-  }
-  impl_->sessions.erase(it);
-  auto& order = impl_->session_order;
-  order.erase(std::find(order.begin(), order.end(), session_id));
-  --impl_->stats.open_sessions;
+  fn(*it->second.db);
   return Result<bool>::Ok(true);
 }
 
 const Database* EngineRegistry::FindDatabase(
     const std::string& session_id) const {
-  const Session* session = impl_->Find(session_id);
-  return session == nullptr ? nullptr : session->db.get();
+  const Stripe& stripe = impl_->StripeFor(session_id);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.sessions.find(session_id);
+  return it == stripe.sessions.end() ? nullptr : it->second.db.get();
 }
 
 Result<SessionStats> EngineRegistry::Stats(
     const std::string& session_id) const {
-  const Session* session = impl_->Find(session_id);
-  if (session == nullptr) {
+  const Stripe& stripe = impl_->StripeFor(session_id);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto it = stripe.sessions.find(session_id);
+  if (it == stripe.sessions.end()) {
     return Result<SessionStats>::Error("no open session " + session_id);
   }
+  const Session& session = it->second;
   SessionStats stats;
-  stats.fact_count = session->db->fact_count();
-  stats.endo_count = session->db->endogenous_count();
-  stats.deltas_applied = session->deltas_applied;
-  stats.reports_served = session->reports_served;
-  stats.engine_builds = session->engine_builds;
-  stats.engine_resident = session->engine.has_value();
-  stats.engine_bytes = session->engine_bytes;
+  stats.fact_count = session.db->fact_count();
+  stats.endo_count = session.db->endogenous_count();
+  stats.deltas_applied = session.deltas_applied;
+  stats.reports_served = session.reports_served;
+  stats.engine_builds = session.engine_builds;
+  stats.engine_resident = session.engine.has_value();
+  stats.engine_bytes = session.engine_bytes;
   return Result<SessionStats>::Ok(stats);
 }
 
-RegistryStats EngineRegistry::stats() const { return impl_->stats; }
+RegistryStats EngineRegistry::stats() const {
+  RegistryStats stats;
+  stats.open_sessions =
+      impl_->open_sessions.load(std::memory_order_relaxed);
+  stats.report_hits = impl_->report_hits.load(std::memory_order_relaxed);
+  stats.report_cache_hits =
+      impl_->report_cache_hits.load(std::memory_order_relaxed);
+  stats.report_misses = impl_->report_misses.load(std::memory_order_relaxed);
+  stats.evictions = impl_->evictions.load(std::memory_order_relaxed);
+  stats.engine_builds = impl_->engine_builds.load(std::memory_order_relaxed);
+  stats.overloads = impl_->overloads.load(std::memory_order_relaxed);
+  for (const auto& stripe : impl_->stripes) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    stats.resident_engines += stripe->resident_engines;
+    stats.resident_bytes += stripe->resident_bytes;
+  }
+  return stats;
+}
 
 std::vector<std::string> EngineRegistry::SessionIds() const {
+  std::lock_guard<std::mutex> lock(impl_->order_mutex);
   return impl_->session_order;
 }
 

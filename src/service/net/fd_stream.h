@@ -1,0 +1,56 @@
+// A std::streambuf over a connected socket: the glue that lets the
+// line-protocol CommandLoop — written against std::istream/std::ostream —
+// serve a TCP connection unchanged.
+//
+// Reads recv() into a fixed get area; writes buffer into a fixed put area
+// and send() on flush (CommandLoop flushes after every command, so clients
+// see each command's output promptly). EINTR on either syscall is retried
+// internally; a peer that disappears surfaces as EOF on the read side and
+// as a sticky write_failed() on the write side (sends use MSG_NOSIGNAL, so
+// a dead peer never raises SIGPIPE — the loop keeps executing until it
+// reads EOF, exactly like a script whose output pipe closed).
+//
+// The buffer does not own the fd: the connection handler closes it after
+// the stream is destroyed. Not thread-safe; one connection, one thread.
+
+#ifndef SHAPCQ_SERVICE_NET_FD_STREAM_H_
+#define SHAPCQ_SERVICE_NET_FD_STREAM_H_
+
+#include <cstddef>
+#include <streambuf>
+#include <vector>
+
+namespace shapcq {
+
+class FdStreamBuf : public std::streambuf {
+ public:
+  /// Wraps a connected socket fd (borrowed, not owned).
+  explicit FdStreamBuf(int fd);
+  ~FdStreamBuf() override;
+  FdStreamBuf(const FdStreamBuf&) = delete;
+  FdStreamBuf& operator=(const FdStreamBuf&) = delete;
+
+  /// True once any send() failed (peer gone); later writes are dropped.
+  bool write_failed() const { return write_failed_; }
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  /// Sends the put area, retrying partial sends and EINTR. Returns false
+  /// (and latches write_failed_) on an unrecoverable send error.
+  bool FlushOut();
+
+  static constexpr size_t kBufferBytes = 8192;
+
+  int fd_;
+  std::vector<char> in_buf_;
+  std::vector<char> out_buf_;
+  bool write_failed_ = false;
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_SERVICE_NET_FD_STREAM_H_

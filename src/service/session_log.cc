@@ -393,9 +393,23 @@ SessionLogManager::SessionLogManager(std::string log_dir, FsyncPolicy policy,
       policy_(policy),
       snapshot_every_(snapshot_every) {}
 
-SessionLogManager::SessionLogManager(SessionLogManager&&) noexcept = default;
-SessionLogManager& SessionLogManager::operator=(SessionLogManager&&) noexcept =
-    default;
+// Moves transfer the session table but not the mutex (each manager owns its
+// own); they are only legal before serving starts, per the class contract.
+SessionLogManager::SessionLogManager(SessionLogManager&& other) noexcept
+    : log_dir_(std::move(other.log_dir_)),
+      policy_(other.policy_),
+      snapshot_every_(other.snapshot_every_),
+      entries_(std::move(other.entries_)) {}
+SessionLogManager& SessionLogManager::operator=(
+    SessionLogManager&& other) noexcept {
+  if (this != &other) {
+    log_dir_ = std::move(other.log_dir_);
+    policy_ = other.policy_;
+    snapshot_every_ = other.snapshot_every_;
+    entries_ = std::move(other.entries_);
+  }
+  return *this;
+}
 SessionLogManager::~SessionLogManager() = default;
 
 Result<SessionLogManager> SessionLogManager::Open(const std::string& log_dir,
@@ -420,6 +434,7 @@ std::string SessionLogManager::PathFor(const std::string& session_id) const {
 }
 
 Result<size_t> SessionLogManager::Recover(EngineRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mutex_);
   // Enumerate "<escaped-id>.log" entries; sort so recovery order (and thus
   // OPEN order / SessionIds) is deterministic across filesystems.
   std::vector<std::pair<std::string, std::string>> found;  // (id, path)
@@ -532,6 +547,7 @@ Result<size_t> SessionLogManager::Recover(EngineRegistry* registry) {
 
 Result<bool> SessionLogManager::LogOpen(const std::string& session_id,
                                         const std::string& query_text) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto writer = SessionLogWriter::Create(PathFor(session_id), policy_);
   if (!writer.ok()) return Result<bool>::Error(writer.error());
   Entry entry{std::move(writer).value(), query_text, 0};
@@ -547,6 +563,7 @@ Result<bool> SessionLogManager::LogOpen(const std::string& session_id,
 
 Result<bool> SessionLogManager::LogDelta(const std::string& session_id,
                                          const std::string& mutation_text) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(session_id);
   if (it == entries_.end()) {
     return Result<bool>::Error("no log for session " + session_id);
@@ -560,6 +577,12 @@ Result<bool> SessionLogManager::LogDelta(const std::string& session_id,
 
 Result<bool> SessionLogManager::Compact(const std::string& session_id,
                                         const Database& db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CompactLocked(session_id, db);
+}
+
+Result<bool> SessionLogManager::CompactLocked(const std::string& session_id,
+                                              const Database& db) {
   auto it = entries_.find(session_id);
   if (it == entries_.end()) {
     return Result<bool>::Error("no log for session " + session_id);
@@ -605,13 +628,15 @@ Result<bool> SessionLogManager::Compact(const std::string& session_id,
 void SessionLogManager::MaybeAutoCompact(const std::string& session_id,
                                          const Database& db) {
   if (snapshot_every_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(session_id);
   if (it == entries_.end()) return;
   if (it->second.records_since_snapshot < snapshot_every_) return;
-  Compact(session_id, db);  // best-effort: the longer log stays valid
+  CompactLocked(session_id, db);  // best-effort: the longer log stays valid
 }
 
 void SessionLogManager::Drop(const std::string& session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(session_id);
   if (it == entries_.end()) return;
   const std::string path = it->second.writer.path();
@@ -621,6 +646,7 @@ void SessionLogManager::Drop(const std::string& session_id) {
 }
 
 Result<bool> SessionLogManager::SyncAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [id, entry] : entries_) {
     (void)id;
     auto synced = entry.writer.Sync();
@@ -630,6 +656,7 @@ Result<bool> SessionLogManager::SyncAll() {
 }
 
 SessionLogStats SessionLogManager::Stats(const std::string& session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(session_id);
   SessionLogStats stats;
   if (it == entries_.end()) return stats;
@@ -639,6 +666,7 @@ SessionLogStats SessionLogManager::Stats(const std::string& session_id) const {
 }
 
 size_t SessionLogManager::TotalLogBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   size_t total = 0;
   for (const auto& [id, entry] : entries_) {
     (void)id;
@@ -648,6 +676,7 @@ size_t SessionLogManager::TotalLogBytes() const {
 }
 
 bool SessionLogManager::HasLog(const std::string& session_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return entries_.find(session_id) != entries_.end();
 }
 

@@ -37,6 +37,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -178,7 +179,11 @@ struct SessionLogStats {
 };
 
 /// Owns every open session's log writer: the durability side of a
-/// CommandLoop. Single-threaded, like the loop itself.
+/// CommandLoop. Thread-safe: one internal mutex serializes the session
+/// table and every append/sync, so connection threads of the socket server
+/// can share one manager (per-session append order is additionally pinned
+/// by the registry's stripe lock — see EngineRegistry::Mutate). Moves are
+/// not thread-safe; move only before serving starts.
 class SessionLogManager {
  public:
   /// Creates `log_dir` if needed.
@@ -245,10 +250,13 @@ class SessionLogManager {
   SessionLogManager(std::string log_dir, FsyncPolicy policy,
                     size_t snapshot_every);
   std::string PathFor(const std::string& session_id) const;
+  Result<bool> CompactLocked(const std::string& session_id,
+                             const Database& db);
 
   std::string log_dir_;
   FsyncPolicy policy_ = FsyncPolicy::kBatch;
   size_t snapshot_every_ = 0;
+  mutable std::mutex mutex_;  // guards entries_ and every writer
   std::map<std::string, Entry> entries_;
 };
 

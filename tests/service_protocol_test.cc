@@ -2,7 +2,10 @@
 // framing, and the error paths the server must survive (bad queries, bad
 // mutations, unknown sessions) without corrupting registry state.
 
+#include <cerrno>
+#include <csignal>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
@@ -297,6 +300,144 @@ TEST(CommandLoopTest, MultipleSessionsAreIndependent) {
   // b survives a's close.
   EXPECT_NE(Exec(&loop, "STATS b").find("facts=1"), std::string::npos);
   EXPECT_EQ(loop.error_count(), 0u);
+}
+
+// A streambuf that serves scripted chunks, failing with errno == EINTR
+// between them — what a read interrupted by a signal without SA_RESTART
+// looks like through an istream (eofbit/failbit set, errno left at EINTR).
+// An optional stop flag is raised when the interrupt fires, modeling a
+// shutdown signal arriving mid-read.
+class InterruptingStreamBuf : public std::streambuf {
+ public:
+  static constexpr const char* kInterrupt = "\x01INTERRUPT";
+
+  explicit InterruptingStreamBuf(std::vector<std::string> chunks,
+                                 volatile std::sig_atomic_t* stop = nullptr)
+      : chunks_(std::move(chunks)), stop_(stop) {}
+
+ protected:
+  int_type underflow() override {
+    while (next_ < chunks_.size()) {
+      const std::string chunk = chunks_[next_++];
+      if (chunk == kInterrupt) {
+        if (stop_ != nullptr) *stop_ = 1;
+        errno = EINTR;
+        return traits_type::eof();
+      }
+      current_ = chunk;
+      setg(current_.data(), current_.data(),
+           current_.data() + current_.size());
+      if (!current_.empty()) return traits_type::to_int_type(*gptr());
+    }
+    return traits_type::eof();  // genuine EOF: errno untouched
+  }
+
+ private:
+  std::vector<std::string> chunks_;
+  std::string current_;
+  size_t next_ = 0;
+  volatile std::sig_atomic_t* stop_ = nullptr;
+};
+
+TEST(CommandLoopTest, RunRetriesInterruptedReadsWithoutDroppingInput) {
+  // Regression: any failed getline used to read as EOF, so an EINTR from a
+  // signal that was not a shutdown silently ended the session with exit 0.
+  // Worse, an interrupt can split a line: the partial extraction must be
+  // kept and completed on retry, never executed truncated.
+  InterruptingStreamBuf buf({"OPEN s1 q() :- R(x)\nDELTA s1 + R(a)*\nST",
+                             InterruptingStreamBuf::kInterrupt, "ATS s1\n",
+                             InterruptingStreamBuf::kInterrupt,
+                             "CLOSE s1\n"});
+  std::istream in(&buf);
+  std::ostringstream out;
+  CommandLoop loop = MakeLoop();
+  EXPECT_EQ(loop.Run(in, out), 0);
+  const std::string output = out.str();
+  EXPECT_NE(output.find("> STATS s1\n"), std::string::npos);
+  EXPECT_NE(output.find("stats s1 facts=1"), std::string::npos);
+  EXPECT_NE(output.find("ok close s1\n"), std::string::npos);
+  // The split line executed exactly once, whole: no truncated "ST" echo.
+  EXPECT_EQ(output.find("> ST\n"), std::string::npos);
+  EXPECT_EQ(output.find("error:"), std::string::npos);
+  EXPECT_EQ(loop.error_count(), 0u);
+}
+
+TEST(CommandLoopTest, RunStopsOnInterruptWhenStopFlagIsRaised) {
+  // The same EINTR during shutdown must NOT retry: the loop drains. The
+  // partial line read so far is dropped — the command never ran, so the
+  // transcript must not show it.
+  volatile std::sig_atomic_t stop = 0;
+  InterruptingStreamBuf buf({"OPEN s1 q() :- R(x)\nCLO",
+                             InterruptingStreamBuf::kInterrupt, "SE s1\n"},
+                            &stop);
+  std::istream in(&buf);
+  std::ostringstream out;
+  CommandLoop loop = MakeLoop();
+  EXPECT_EQ(loop.Run(in, out, &stop), 0);
+  const std::string output = out.str();
+  EXPECT_NE(output.find("ok open s1\n"), std::string::npos);
+  EXPECT_EQ(output.find("CLOSE"), std::string::npos);
+  EXPECT_EQ(output.find("CLO"), std::string::npos);
+  EXPECT_EQ(loop.error_count(), 0u);
+}
+
+TEST(CommandLoopTest, RunTreatsStaleEintrErrnoAsEof) {
+  // errno is zeroed before each read: a stale EINTR from some earlier
+  // syscall must not turn a genuine EOF into an infinite retry loop.
+  errno = EINTR;
+  std::istringstream in("OPEN s1 q() :- R(x)\n");
+  std::ostringstream out;
+  CommandLoop loop = MakeLoop();
+  EXPECT_EQ(loop.Run(in, out), 0);
+  EXPECT_NE(out.str().find("ok open s1\n"), std::string::npos);
+}
+
+TEST(CommandLoopTest, RunExecutesFinalUnterminatedLine) {
+  std::istringstream in("OPEN s1 q() :- R(x)\nSTATS");
+  std::ostringstream out;
+  CommandLoop loop = MakeLoop();
+  EXPECT_EQ(loop.Run(in, out), 0);
+  EXPECT_NE(out.str().find("stats sessions=1"), std::string::npos);
+}
+
+TEST(CommandLoopTest, StatsBytesOffOmitsThePlatformDependentField) {
+  CommandLoopOptions options;
+  options.stats_show_bytes = false;
+  CommandLoop loop(options);
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  Exec(&loop, "DELTA s1 + R(a)*");
+  Exec(&loop, "REPORT s1");
+  // Fully deterministic: every field survives except the byte estimate.
+  EXPECT_EQ(Exec(&loop, "STATS"),
+            "> STATS\n"
+            "stats sessions=1 resident=1 hits=0 cached=0 misses=1 "
+            "evictions=0 builds=1\n");
+
+  CommandLoop exact = MakeLoop();
+  Exec(&exact, "OPEN s1 q() :- R(x)");
+  Exec(&exact, "DELTA s1 + R(a)*");
+  Exec(&exact, "REPORT s1");
+  EXPECT_NE(Exec(&exact, "STATS").find(" bytes="), std::string::npos);
+}
+
+TEST(CommandLoopTest, SharedModeLoopsSeeOneRegistry) {
+  // Two connection loops over one registry: a session opened through one
+  // is visible (and mutable) through the other — the socket server's
+  // sharing model.
+  CommandLoopOptions options;
+  EngineRegistry registry(options.registry);
+  CommandLoop a(options, &registry, nullptr);
+  CommandLoop b(options, &registry, nullptr);
+  EXPECT_EQ(Exec(&a, "OPEN s1 q() :- R(x)"),
+            "> OPEN s1 q() :- R(x)\nok open s1\n");
+  EXPECT_EQ(Exec(&b, "DELTA s1 + R(a)*"),
+            "> DELTA s1 + R(a)*\nok delta s1 facts=1 endo=1\n");
+  EXPECT_NE(Exec(&a, "REPORT s1").find("rows=1 endo=1"), std::string::npos);
+  EXPECT_EQ(Exec(&b, "OPEN s1 q() :- R(x)"),
+            "> OPEN s1 q() :- R(x)\n"
+            "error: open s1: session s1 is already open\n");
+  EXPECT_EQ(a.error_count(), 0u);
+  EXPECT_EQ(b.error_count(), 1u);
 }
 
 }  // namespace

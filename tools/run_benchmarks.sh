@@ -3,8 +3,9 @@
 # as BENCH_shapley.json, the incremental patch-vs-rebuild benchmark as
 # BENCH_incremental.json, the serving-layer warm-vs-cold benchmark as
 # BENCH_server.json, the arithmetic-backbone microbenchmarks as
-# BENCH_arith.json, and the durability-layer replay/compaction/fsync
-# benchmark as BENCH_recovery.json at the repository root, so the perf
+# BENCH_arith.json, the durability-layer replay/compaction/fsync
+# benchmark as BENCH_recovery.json, and the concurrent socket-serving load
+# benchmark as BENCH_service_load.json at the repository root, so the perf
 # trajectory is tracked PR over PR. BENCH_arith.json carries seed-implementation rows
 # (BM_RefBigInt*) next to the production rows, which is what lets
 # tools/check_arith_speedup.py gate the speedup within one run.
@@ -32,7 +33,7 @@ git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
 host_nproc="$(nproc)"
 
 bench_targets=(bench_shapley_all bench_incremental bench_server bench_arith
-               bench_recovery)
+               bench_recovery bench_service_load)
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
       -DSHAPCQ_BUILD_TESTS=OFF -DSHAPCQ_BUILD_EXAMPLES=OFF
@@ -68,6 +69,7 @@ record bench_incremental "$repo_root/BENCH_incremental.json"
 record bench_server "$repo_root/BENCH_server.json"
 record bench_arith "$repo_root/BENCH_arith.json"
 record bench_recovery "$repo_root/BENCH_recovery.json"
+record bench_service_load "$repo_root/BENCH_service_load.json"
 
 "$repo_root/tools/check_incremental_speedup.py" \
     "$repo_root/BENCH_incremental.json"
@@ -75,7 +77,9 @@ record bench_recovery "$repo_root/BENCH_recovery.json"
     "$repo_root/BENCH_server.json"
 "$repo_root/tools/check_arith_speedup.py" \
     "$repo_root/BENCH_arith.json"
+"$repo_root/tools/check_service_load.py" \
+    "$repo_root/BENCH_service_load.json"
 
 echo "wrote $repo_root/BENCH_shapley.json, $repo_root/BENCH_incremental.json," \
-     "$repo_root/BENCH_server.json, $repo_root/BENCH_arith.json and" \
-     "$repo_root/BENCH_recovery.json"
+     "$repo_root/BENCH_server.json, $repo_root/BENCH_arith.json," \
+     "$repo_root/BENCH_recovery.json and $repo_root/BENCH_service_load.json"

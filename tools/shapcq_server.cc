@@ -2,14 +2,17 @@
 // ShapleyEngines.
 //
 // Speaks the line protocol of src/service/command_loop.h on stdin/stdout
-// (or replays a session script with --script). One process holds many open
-// sessions; each session's engine is maintained incrementally across DELTA
-// batches and evicted least-recently-used under memory pressure. With
-// --log-dir, every session is backed by a write-ahead log and a killed
-// server resumes bit-identical on restart.
+// (or replays a session script with --script), or serves many concurrent
+// TCP clients with --listen HOST:PORT over a shared, lock-striped
+// registry. One process holds many open sessions; each session's engine is
+// maintained incrementally across DELTA batches and evicted
+// least-recently-used under memory pressure. With --log-dir, every session
+// is backed by a write-ahead log and a killed server resumes bit-identical
+// on restart.
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -17,6 +20,7 @@
 
 #include "db/textio.h"
 #include "service/command_loop.h"
+#include "service/net/tcp_server.h"
 
 namespace {
 
@@ -27,17 +31,20 @@ void HandleStopSignal(int /*signum*/) { g_stop = 1; }
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: shapcq_server [--script FILE] [--threads N]\n"
+      "usage: shapcq_server [--script FILE | --listen HOST:PORT]\n"
+      "                     [--threads N]\n"
       "                     [--budget-bytes B] [--max-resident K]\n"
       "                     [--log-dir DIR] [--fsync={always,batch,off}]\n"
       "                     [--snapshot-every N] [--max-line-bytes N]\n"
-      "                     [--max-facts N]\n"
+      "                     [--max-facts N] [--max-conns N] [--stripes N]\n"
+      "                     [--queue-bound N] [--stats-bytes={exact,off}]\n"
       "\n"
       "Long-lived attribution server: one incremental Shapley engine per\n"
       "open session, byte-budgeted LRU eviction, rebuild-on-readmission,\n"
       "optional per-session write-ahead logs with crash recovery.\n"
-      "Reads one command per line from stdin (or FILE with --script) and\n"
-      "writes results to stdout. Commands:\n"
+      "Reads one command per line from stdin (or FILE with --script), or\n"
+      "serves many concurrent TCP clients with --listen, and writes\n"
+      "results to stdout (or each client's socket). Commands:\n"
       "\n"
       "  OPEN <session> <query-rule>\n"
       "      Open a session with an empty database. The query must be\n"
@@ -67,10 +74,13 @@ void PrintUsage() {
       "\n"
       "Blank lines and '#' comments are skipped; commands echo as\n"
       "'> <line>' so a transcript reads as a session log. The exit code is\n"
-      "non-zero if any command errored. SIGTERM/SIGINT drain the current\n"
-      "command, sync all session logs, and exit cleanly. Log failures and\n"
-      "resource-guard rejections print structured codes ([E_LOG_IO],\n"
-      "[E_LINE_TOO_LONG], [E_FACT_CAP]) and keep the loop alive.\n"
+      "non-zero if any command errored (0 in listen mode: command errors\n"
+      "belong to clients). SIGTERM/SIGINT drain the current command (in\n"
+      "listen mode: stop accepting, drain every connection's in-flight\n"
+      "command), sync all session logs, and exit cleanly. Log failures\n"
+      "and resource-guard rejections print structured codes ([E_LOG_IO],\n"
+      "[E_LINE_TOO_LONG], [E_FACT_CAP], [E_OVERLOAD]) and keep the loop\n"
+      "alive.\n"
       "\n"
       "  --script FILE      replay FILE instead of reading stdin\n"
       "  --threads N        default REPORT worker threads (1 = serial,\n"
@@ -95,7 +105,32 @@ void PrintUsage() {
       "                     SNAPSHOT commands)\n"
       "  --max-line-bytes N reject longer input lines (default 1048576,\n"
       "                     0 = unlimited)\n"
-      "  --max-facts N      per-session live-fact cap (0 = unlimited)\n");
+      "  --max-facts N      per-session live-fact cap (0 = unlimited;\n"
+      "                     race-free under concurrent clients — enforced\n"
+      "                     under the session's stripe lock)\n"
+      "  --listen HOST:PORT serve concurrent TCP clients instead of stdin\n"
+      "                     (one protocol loop per connection over one\n"
+      "                     shared registry; port 0 = OS-assigned). The\n"
+      "                     bound address is printed to stderr as\n"
+      "                     'listening on HOST:PORT' once accepting.\n"
+      "  --max-conns N      concurrent-connection cap in listen mode; a\n"
+      "                     connection over the cap receives one\n"
+      "                     'error: [E_OVERLOAD] ...' line and is closed\n"
+      "                     (default 64)\n"
+      "  --stripes N        lock stripes sessions are hashed across, so\n"
+      "                     commands on distinct sessions run in parallel\n"
+      "                     (default 8 in listen mode, 1 otherwise;\n"
+      "                     1 = fully serialized — the golden-transcript\n"
+      "                     configuration)\n"
+      "  --queue-bound N    commands allowed to queue behind one stripe's\n"
+      "                     lock before the next fails fast with\n"
+      "                     'error: [E_OVERLOAD] ...' (0 = block forever,\n"
+      "                     the default)\n"
+      "  --stats-bytes=MODE 'exact' (default) includes the platform-\n"
+      "                     dependent bytes= engine-size estimate in the\n"
+      "                     global STATS line; 'off' omits it so\n"
+      "                     transcripts diff byte-identical across\n"
+      "                     platforms (CI golden files)\n");
 }
 
 }  // namespace
@@ -103,7 +138,10 @@ void PrintUsage() {
 int main(int argc, char** argv) {
   using namespace shapcq;
   std::string script_path;
+  std::string listen_address;
+  bool stripes_given = false;
   CommandLoopOptions options;
+  TcpServerOptions net_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -145,6 +183,27 @@ int main(int argc, char** argv) {
       options.max_line_bytes = next_size("--max-line-bytes");
     } else if (arg == "--max-facts") {
       options.max_session_facts = next_size("--max-facts");
+    } else if (arg == "--listen") {
+      listen_address = next();
+    } else if (arg == "--max-conns") {
+      net_options.max_connections = next_size("--max-conns");
+    } else if (arg == "--stripes") {
+      options.registry.num_stripes = next_size("--stripes");
+      stripes_given = true;
+    } else if (arg == "--queue-bound") {
+      options.registry.max_stripe_queue = next_size("--queue-bound");
+    } else if (arg.rfind("--stats-bytes=", 0) == 0) {
+      const std::string mode = arg.substr(std::strlen("--stats-bytes="));
+      if (mode == "exact") {
+        options.stats_show_bytes = true;
+      } else if (mode == "off") {
+        options.stats_show_bytes = false;
+      } else {
+        std::fprintf(stderr,
+                     "bad --stats-bytes value: %s (expected exact or off)\n",
+                     mode.c_str());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -153,6 +212,104 @@ int main(int argc, char** argv) {
       PrintUsage();
       return 2;
     }
+  }
+
+  if (!listen_address.empty() && !script_path.empty()) {
+    std::fprintf(stderr, "--listen and --script are mutually exclusive\n");
+    return 2;
+  }
+
+  // Graceful shutdown: drain the in-flight command (every connection's, in
+  // listen mode), sync logs, exit normally. No SA_RESTART, so a signal
+  // interrupts a blocking stdin read or the accept poll instead of waiting
+  // for the next line/client.
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  if (!listen_address.empty()) {
+    const size_t colon = listen_address.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= listen_address.size()) {
+      std::fprintf(stderr, "bad --listen value: %s (expected HOST:PORT)\n",
+                   listen_address.c_str());
+      return 2;
+    }
+    net_options.host = listen_address.substr(0, colon);
+    size_t port_value = 0;
+    if (!ParseSizeStrict(listen_address.substr(colon + 1), &port_value) ||
+        port_value > 65535) {
+      std::fprintf(stderr, "bad --listen port: %s\n",
+                   listen_address.substr(colon + 1).c_str());
+      return 2;
+    }
+    net_options.port = static_cast<uint16_t>(port_value);
+    // Concurrent clients by default get concurrent stripes; --stripes 1
+    // restores fully serialized (deterministic-transcript) semantics.
+    if (!stripes_given) options.registry.num_stripes = 8;
+    // Shared-mode loops never construct the registry, so the loop-level
+    // fact cap must be merged down here.
+    if (options.registry.max_session_facts == 0) {
+      options.registry.max_session_facts = options.max_session_facts;
+    }
+
+    // A vanished client must surface as a failed send on its connection,
+    // never as a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    EngineRegistry registry(options.registry);
+    SessionLogManager log_manager;
+    SessionLogManager* log = nullptr;
+    if (!options.log_dir.empty()) {
+      auto opened = SessionLogManager::Open(options.log_dir, options.fsync,
+                                            options.snapshot_every);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "shapcq_server: %s\n", opened.error().c_str());
+        return 1;
+      }
+      log_manager = std::move(opened).value();
+      auto recovered = log_manager.Recover(&registry);
+      if (!recovered.ok()) {
+        std::fprintf(stderr, "shapcq_server: %s\n",
+                     recovered.error().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "shapcq_server: recovered sessions=%zu from %s\n",
+                   recovered.value(), options.log_dir.c_str());
+      log = &log_manager;
+    }
+
+    auto listening =
+        TcpServer::Listen(net_options, options, &registry, log);
+    if (!listening.ok()) {
+      std::fprintf(stderr, "shapcq_server: %s\n", listening.error().c_str());
+      return 1;
+    }
+    TcpServer server = std::move(listening).value();
+    // Harnesses parse this line for the resolved (possibly ephemeral) port.
+    std::fprintf(stderr, "shapcq_server: listening on %s:%u\n",
+                 net_options.host.c_str(),
+                 static_cast<unsigned>(server.port()));
+    const size_t served = server.Serve(&g_stop);
+    if (log != nullptr) {
+      auto synced = log->SyncAll();
+      if (!synced.ok()) {
+        std::fprintf(stderr, "shapcq_server: %s\n", synced.error().c_str());
+        return 1;
+      }
+    }
+    std::fprintf(stderr,
+                 "shapcq_server: drained, served=%zu client_errors=%zu "
+                 "rejected=%zu\n",
+                 served, server.total_errors(),
+                 server.rejected_connections());
+    // Command errors belong to the clients that issued them; a drained
+    // server exits clean.
+    return 0;
   }
 
   CommandLoop loop(options);
@@ -165,17 +322,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "shapcq_server: recovered sessions=%zu from %s\n",
                  recovered.value(), options.log_dir.c_str());
   }
-
-  // Graceful shutdown: drain the in-flight command, sync logs, exit
-  // normally. No SA_RESTART, so a signal interrupts a blocking stdin read
-  // instead of waiting for the next line.
-  struct sigaction action;
-  std::memset(&action, 0, sizeof(action));
-  action.sa_handler = HandleStopSignal;
-  sigemptyset(&action.sa_mask);
-  action.sa_flags = 0;
-  sigaction(SIGTERM, &action, nullptr);
-  sigaction(SIGINT, &action, nullptr);
 
   int code;
   if (!script_path.empty()) {
