@@ -1,57 +1,62 @@
 // E5 — Theorem 5.1 / Section 5.1: the gap property fails under negation.
-// Series (a figure in spirit): n vs the exact Shapley value n!n!/(2n+1)! of
-// the distinguished fact, the 2^-n bound, and brute-force verification at
-// small n. Also runs the generic Theorem 5.1 construction on other queries.
+//
+//   BM_GapValueMagnitude/<n>  builds the gap family D_n and evaluates the
+//                             distinguished fact's exact Shapley value
+//                             n!n!/(2n+1)!, verified by brute force at
+//                             small n.
+//
+// Counters (tools/check_approx_accuracy.py gates them in CI):
+//   log2_value   log2 of the exact value; the gap property FAILING means
+//                this falls below -n (nonzero but exponentially small, so
+//                an additive FPRAS cannot double as a multiplicative one —
+//                contrast with positive CQs, where nonzero values are
+//                >= 1/poly)
+//   neg_n        -n, the bound log2_value must sit under
+//   endo_facts   |D_n| (endogenous facts of the family instance)
+//   brute_match  1 when brute force reproduces n!n!/(2n+1)! (n <= 4),
+//                -1 where brute force is out of reach
+
+#include <benchmark/benchmark.h>
 
 #include <cmath>
-#include <cstdio>
 
 #include "core/brute_force.h"
-#include "query/parser.h"
 #include "reductions/gap.h"
+#include "util/check.h"
 
-int main() {
-  using namespace shapcq;
+namespace {
+
+using namespace shapcq;
+
+void BM_GapValueMagnitude(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
   const CQ q = GapQuery();
-  std::printf("E5: gap-property violation for %s\n\n", q.ToString().c_str());
-  std::printf("%4s %6s %14s %12s %12s %10s\n", "n", "|Dn|", "exact value",
-              "log2(value)", "2^-n bound", "verified");
-  for (int n = 1; n <= 12; ++n) {
-    GapInstance gap = BuildGapFamily(n);
-    const Rational value = GapTheoreticalShapley(n);
-    const char* verified = "-";
-    if (n <= 4) {
-      verified = ShapleyBruteForce(q, gap.db, gap.f) == value ? "brute=yes"
-                                                              : "brute=NO";
-    }
-    std::printf("%4d %6zu %14.4e %12.3f %12.4e %10s\n", n,
-                gap.db.endogenous_count(), value.ToDouble(),
-                std::log2(value.ToDouble()), std::pow(2.0, -n), verified);
-  }
-  std::printf("\nshape: log2(value) falls below -n for every n — the value "
-              "is nonzero\nbut exponentially small, so no additive FPRAS can "
-              "double as a\nmultiplicative one (contrast with positive CQs, "
-              "where nonzero values\nare >= 1/poly).\n");
 
-  std::printf("\ngeneric Theorem 5.1 construction (|Shapley| must equal "
-              "n!n!/(2n+1)!):\n");
-  std::printf("%-44s %3s %12s %9s\n", "query", "n", "|Shapley|", "matches");
-  for (const char* text :
-       {"q() :- R(x), S(x,y), not R(y)", "q() :- A(x,y), not B(y,x)",
-        "q1() :- Stud(x), not TA(x), Reg(x,y)",
-        "q() :- R(x), S(x,y), not T(y)"}) {
-    const CQ other = MustParseCQ(text);
-    for (int n : {1, 2}) {
-      auto gap = BuildGenericGapFamily(other, n);
-      if (!gap.ok()) {
-        std::printf("%-44s %3d %12s %9s\n", text, n, "-", "error");
-        continue;
-      }
-      const Rational value =
-          ShapleyBruteForce(other, gap.value().db, gap.value().f).Abs();
-      std::printf("%-44s %3d %12s %9s\n", text, n, value.ToString().c_str(),
-                  value == GapTheoreticalShapley(n) ? "yes" : "NO");
-    }
+  size_t endo_facts = 0;
+  double value = 0.0;
+  for (auto _ : state) {
+    GapInstance gap = BuildGapFamily(n);
+    const Rational exact = GapTheoreticalShapley(n);
+    endo_facts = gap.db.endogenous_count();
+    value = exact.ToDouble();
+    benchmark::DoNotOptimize(value);
   }
-  return 0;
+
+  double brute_match = -1.0;
+  if (n <= 4) {
+    GapInstance gap = BuildGapFamily(n);
+    brute_match =
+        ShapleyBruteForce(q, gap.db, gap.f) == GapTheoreticalShapley(n)
+            ? 1.0
+            : 0.0;
+  }
+  state.counters["log2_value"] = std::log2(value);
+  state.counters["neg_n"] = static_cast<double>(-n);
+  state.counters["endo_facts"] = static_cast<double>(endo_facts);
+  state.counters["brute_match"] = brute_match;
 }
+BENCHMARK(BM_GapValueMagnitude)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+BENCHMARK_MAIN();

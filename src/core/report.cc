@@ -1,29 +1,23 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 
 #include "core/brute_force.h"
 #include "core/exoshap.h"
 #include "core/shapley.h"
+#include "query/classify.h"
 
 namespace shapcq {
 
 namespace {
 
-// Shared epilogue of both report builders: move the per-endo-index values
-// into rows, accumulate the efficiency total, and rank descending.
-void FillAndRankRows(AttributionReport* report, const Database& db,
-                     std::vector<Rational> values, size_t top_k) {
-  for (FactId f : db.endogenous_facts()) {
-    Rational& value = values[db.endo_index(f)];
-    report->total += value;
-    report->rows.push_back(Attribution{f, std::move(value)});
-  }
-  // Descending by value via the division-free three-way compare: the sign
-  // fast path settles most pairs (reports mix positive, zero and negative
-  // attributions) without touching BigInt arithmetic, and ties never build
-  // a normalized difference Rational.
+// Descending by value via the division-free three-way compare: the sign
+// fast path settles most pairs (reports mix positive, zero and negative
+// attributions) without touching BigInt arithmetic, and ties never build
+// a normalized difference Rational.
+void RankRows(AttributionReport* report, size_t top_k) {
   std::stable_sort(report->rows.begin(), report->rows.end(),
                    [](const Attribution& a, const Attribution& b) {
                      return Rational::Compare(b.value, a.value) < 0;
@@ -33,27 +27,112 @@ void FillAndRankRows(AttributionReport* report, const Database& db,
   }
 }
 
+// Shared epilogue of the exact report builders: move the per-endo-index
+// values into rows, accumulate the efficiency total, and rank descending.
+void FillAndRankRows(AttributionReport* report, const Database& db,
+                     std::vector<Rational> values, size_t top_k) {
+  for (FactId f : db.endogenous_facts()) {
+    Rational& value = values[db.endo_index(f)];
+    report->total += value;
+    Attribution row;
+    row.fact = f;
+    row.value = std::move(value);
+    report->rows.push_back(std::move(row));
+  }
+  RankRows(report, top_k);
+}
+
+// The sampling tier: estimates every endogenous fact with the additive
+// FPRAS, stratified by the exact engine's orbits when the query is
+// hierarchical (the forced-approx path) and by the signature partition
+// otherwise.
+Result<AttributionReport> BuildApproxReport(const CQ& q, const Database& db,
+                                            const ReportOptions& options,
+                                            bool hierarchical) {
+  AttributionReport report;
+  report.engine = "approx-fpras";
+  report.approximate = true;
+  report.approx.epsilon = options.approx.epsilon;
+  report.approx.delta = options.approx.delta;
+  report.approx.seed = options.approx.seed;
+  auto verdict = ClassifyExactShapley(q);
+  report.approx.dispatch_reason =
+      verdict.ok() ? verdict.value().reason : verdict.error();
+
+  ApproxEngine::Options approx_options;
+  std::vector<size_t> engine_orbits;
+  if (hierarchical) {
+    // The exact engine's orbit partition is at least as coarse as the
+    // signature one (it groups by value, not just by automorphism), so
+    // forced sampling on tractable queries borrows it for stratification.
+    auto built = ShapleyEngine::Build(q, db);
+    if (built.ok()) {
+      ShapleyEngine engine = std::move(built).value();
+      engine_orbits = engine.OrbitIds();
+      approx_options.orbit_ids = &engine_orbits;
+    }
+  }
+  auto created = ApproxEngine::Create(q, db, approx_options);
+  if (!created.ok()) return Result<AttributionReport>::Error(created.error());
+  ApproxEngine engine = std::move(created).value();
+  auto rows = engine.EstimateAll(options.approx, options.num_threads);
+  if (!rows.ok()) return Result<AttributionReport>::Error(rows.error());
+
+  const ApproxRunInfo& info = engine.info();
+  report.approx.samples_per_orbit = info.samples_per_orbit;
+  report.approx.samples_total = info.samples_total;
+  report.approx.orbit_count = info.orbit_count;
+  report.approx.sampled_orbits = info.sampled_orbits;
+  report.approx.budget_capped = info.budget_capped;
+  report.approx.orbit_source = info.orbit_source;
+
+  const std::vector<ApproxRow>& estimates = rows.value();
+  for (FactId f : db.endogenous_facts()) {
+    const ApproxRow& estimate = estimates[db.endo_index(f)];
+    report.total += estimate.estimate;
+    Attribution row;
+    row.fact = f;
+    row.value = estimate.estimate;
+    row.ci_radius = estimate.ci_radius;
+    row.samples = estimate.samples;
+    report.rows.push_back(std::move(row));
+  }
+  RankRows(&report, options.top_k);
+  return Result<AttributionReport>::Ok(std::move(report));
+}
+
 }  // namespace
 
 Result<AttributionReport> BuildAttributionReport(
     const CQ& q, const Database& db, const ReportOptions& options) {
   AttributionReport report;
+  const bool approx_requested = options.approx.enabled();
+  if (approx_requested) {
+    auto valid = options.approx.Validate();
+    if (!valid.ok()) return Result<AttributionReport>::Error(valid.error());
+  }
   const bool hierarchical = IsSafe(q) && IsSelfJoinFree(q) && IsHierarchical(q);
   const bool exoshap_applies =
       !hierarchical && IsSafe(q) && IsSelfJoinFree(q) && !options.exo.empty() &&
       !FindNonHierarchicalPath(q, options.exo).has_value();
+  const bool force_approx = approx_requested && options.approx.force;
 
-  if (hierarchical) {
+  if (hierarchical && !force_approx) {
     report.engine = "CntSat";
-  } else if (exoshap_applies) {
+  } else if (exoshap_applies && !force_approx) {
     report.engine = "ExoShap";
+  } else if (approx_requested) {
+    // The sampling tier works for ANY query the evaluator can decide —
+    // exactly the fallback the dichotomy's hard side needs.
+    return BuildApproxReport(q, db, options, hierarchical);
   } else if (options.allow_brute_force &&
              db.endogenous_count() <= options.brute_force_limit) {
     report.engine = "brute-force";
   } else {
     return Result<AttributionReport>::Error(
         "no polynomial engine applies to " + q.ToString() +
-        " (FP^#P-hard per the dichotomies) and brute force is not allowed");
+        " (FP^#P-hard per the dichotomies) and brute force is not allowed; "
+        "the sampling tier (approx=eps,delta) serves such queries");
   }
 
   // All-facts attribution is served by the single-pass engines: one shared
@@ -92,7 +171,34 @@ AttributionReport BuildAttributionReportFromEngine(
 
 std::string RenderReport(const AttributionReport& report, const Database& db) {
   std::string out = "engine: " + report.engine + "\n";
-  char line[160];
+  char line[200];
+  if (report.approximate) {
+    // Provenance first: the parameters that make the table reproducible
+    // (seed-pure) and interpretable (joint coverage at 1 - delta).
+    std::snprintf(line, sizeof(line),
+                  "approx: eps=%g delta=%g seed=%" PRIu64
+                  " samples_per_orbit=%zu orbits=%zu/%zu source=%s capped=%s\n",
+                  report.approx.epsilon, report.approx.delta,
+                  report.approx.seed, report.approx.samples_per_orbit,
+                  report.approx.sampled_orbits, report.approx.orbit_count,
+                  report.approx.orbit_source.c_str(),
+                  report.approx.budget_capped ? "yes" : "no");
+    out += line;
+    std::snprintf(line, sizeof(line), "%-30s %14s %10s %10s %9s\n", "fact",
+                  "estimate", "~decimal", "+-ci", "samples");
+    out += line;
+    for (const Attribution& row : report.rows) {
+      std::snprintf(line, sizeof(line), "%-30s %14s %10.4f %10.4f %9zu\n",
+                    db.FactToString(row.fact).c_str(),
+                    row.value.ToString().c_str(), row.value.ToDouble(),
+                    row.ci_radius, row.samples);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%-30s %14s\n", "total",
+                  report.total.ToString().c_str());
+    out += line;
+    return out;
+  }
   std::snprintf(line, sizeof(line), "%-30s %14s %10s\n", "fact", "Shapley",
                 "~decimal");
   out += line;

@@ -5,9 +5,11 @@
 #ifndef SHAPCQ_CORE_REPORT_H_
 #define SHAPCQ_CORE_REPORT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/approx_engine.h"
 #include "core/shapley_engine.h"
 #include "db/database.h"
 #include "query/analysis.h"
@@ -17,17 +19,42 @@
 
 namespace shapcq {
 
-/// One fact's attribution.
+/// One fact's attribution. The confidence fields are meaningful only on
+/// approximate reports (AttributionReport::approximate): the true Shapley
+/// value lies within ci_radius of `value`, jointly over all rows, with
+/// probability at least 1 - delta.
 struct Attribution {
   FactId fact = kNoFact;
   Rational value;
+  double ci_radius = 0.0;  // 0 on exact reports
+  size_t samples = 0;      // 0 on exact reports and provably-zero rows
+};
+
+/// Provenance of an approximate report (AttributionReport::approx).
+struct ApproxReportInfo {
+  double epsilon = 0.0;
+  double delta = 0.0;
+  uint64_t seed = 0;
+  size_t samples_per_orbit = 0;
+  size_t samples_total = 0;
+  size_t orbit_count = 0;      ///< symmetry orbits over the endo facts
+  size_t sampled_orbits = 0;   ///< orbits that drew samples (rest are
+                               ///< provably zero)
+  bool budget_capped = false;  ///< max_samples cut the Hoeffding count
+                               ///< (intervals widen accordingly)
+  std::string orbit_source;    ///< "engine" or "signature"
+  std::string dispatch_reason; ///< classifier verdict that routed here
 };
 
 /// A full attribution of a query answer to the endogenous facts.
 struct AttributionReport {
   std::vector<Attribution> rows;  // sorted by descending value
-  std::string engine;             // "CntSat", "ExoShap" or "brute-force"
-  Rational total;                 // = q(D) − q(Dx) by efficiency
+  std::string engine;             // "CntSat", "ExoShap", "approx-fpras" or
+                                  // "brute-force"
+  Rational total;                 // = q(D) − q(Dx) by efficiency (for
+                                  // approx: the sum of the estimates)
+  bool approximate = false;       // rows carry (ci_radius, samples)
+  ApproxReportInfo approx;        // populated iff `approximate`
 };
 
 /// Options for BuildAttributionReport.
@@ -41,12 +68,18 @@ struct ReportOptions {
   size_t top_k = 0;               // keep only the k highest-ranked rows
                                   // (0 = all); `total` stays the full
                                   // efficiency total either way
+  ApproxSpec approx;              // sampling tier: disabled unless
+                                  // approx.enabled(); with approx.force the
+                                  // sampler runs even on tractable queries
 };
 
 /// Computes Shapley values for every endogenous fact, choosing CntSat for
 /// hierarchical queries, ExoShap when `options.exo` removes all
-/// non-hierarchical paths, and (only if allowed) brute force otherwise.
-/// Returns an error when no permitted engine applies.
+/// non-hierarchical paths, the sampling tier when `options.approx` is
+/// enabled (the only engine for FP^#P-hard queries beyond the brute-force
+/// limit; with approx.force it preempts the exact engines too), and (only
+/// if allowed) brute force otherwise. Returns an error when no permitted
+/// engine applies.
 Result<AttributionReport> BuildAttributionReport(const CQ& q,
                                                  const Database& db,
                                                  const ReportOptions& options);
@@ -59,6 +92,9 @@ AttributionReport BuildAttributionReportFromEngine(
     ShapleyEngine& engine, const Database& db, const ReportOptions& options);
 
 /// Fixed-width text rendering of a report (fact, exact value, decimal).
+/// Approximate reports add an "approx:" provenance line and per-row
+/// confidence columns; exact reports render byte-identically to before the
+/// sampling tier existed.
 std::string RenderReport(const AttributionReport& report, const Database& db);
 
 }  // namespace shapcq

@@ -7,6 +7,7 @@
 
 #include "db/textio.h"
 #include "query/parser.h"
+#include "service/report_request.h"
 
 namespace shapcq {
 
@@ -160,7 +161,9 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
         return fail("[E_LOG_IO] open " + id + ": " + logged.error());
       }
     }
-    *out += "ok open " + id + "\n";
+    // Approx-only sessions (safe, self-join-free, but non-hierarchical)
+    // announce themselves so clients know reports need approx=EPS,DELTA.
+    *out += "ok open " + id + (opened.value() ? "" : " approx-only") + "\n";
     return;
   }
 
@@ -201,30 +204,18 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     std::string args;
     const std::string id = TakeToken(rest, &args);
     if (id.empty()) {
-      return fail("usage: REPORT <session> [top_k] [--threads N]");
+      return fail(
+          "usage: REPORT <session> [top_k=K threads=N approx=EPS,DELTA "
+          "seed=S max_samples=M force_approx=0|1]");
     }
-    ReportOptions options;
-    options.num_threads = options_.default_threads;
-    bool top_k_seen = false;
-    while (!args.empty()) {
-      std::string next;
-      const std::string token = TakeToken(args, &next);
-      if (token == "--threads") {
-        std::string after;
-        const std::string value = TakeToken(next, &after);
-        if (!ParseSizeStrict(value, &options.num_threads)) {
-          return fail("report " + id + ": bad --threads value '" + value +
-                      "'");
-        }
-        args = after;
-      } else if (!top_k_seen && ParseSizeStrict(token, &options.top_k)) {
-        top_k_seen = true;
-        args = next;
-      } else {
-        return fail("report " + id + ": unexpected argument '" + token +
-                    "'");
-      }
+    // One shared grammar with the CLI: structured key=value pairs, with the
+    // PR 4 positional form "[top_k] [--threads N]" kept as a deprecated
+    // compatibility path (identical error strings).
+    auto parsed = ParseReportRequest(args, options_.default_threads);
+    if (!parsed.ok()) {
+      return fail("report " + id + ": " + parsed.error());
     }
+    const ReportOptions options = parsed.value().ToReportOptions();
     if (log_ != nullptr) {
       // Batch fsync point: a served report only ever reflects state that
       // is already durable.
@@ -288,9 +279,14 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
       }
       *out += " hits=" + std::to_string(stats.report_hits) +
               " cached=" + std::to_string(stats.report_cache_hits) +
+              " cached_exact=" + std::to_string(stats.cached_exact_tables) +
+              " cached_approx=" + std::to_string(stats.cached_approx_tables) +
               " misses=" + std::to_string(stats.report_misses) +
               " evictions=" + std::to_string(stats.evictions) +
               " builds=" + std::to_string(stats.engine_builds);
+      if (stats.approx_reports > 0) {
+        *out += " approx=" + std::to_string(stats.approx_reports);
+      }
       if (stats.overloads > 0) {
         *out += " overloads=" + std::to_string(stats.overloads);
       }
@@ -309,6 +305,10 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
             " reports=" + std::to_string(s.reports_served) +
             " builds=" + std::to_string(s.engine_builds) +
             " resident=" + (s.engine_resident ? "yes" : "no");
+    if (!s.exact_capable) *out += " tier=approx-only";
+    if (s.cached_approx_tables > 0) {
+      *out += " cached_approx=" + std::to_string(s.cached_approx_tables);
+    }
     if (log_ != nullptr) {
       const SessionLogStats log_stats = log_->Stats(id);
       *out += " log_bytes=" + std::to_string(log_stats.log_bytes) +

@@ -3,11 +3,17 @@
 // One command per line, executed in order against an EngineRegistry. The
 // grammar extends the shapcq_cli --mutate delta grammar:
 //
-//   OPEN <session> <query-rule>       open a session (empty database)
+//   OPEN <session> <query-rule>       open a session (empty database);
+//                                     non-hierarchical safe self-join-free
+//                                     queries ack "ok open <id> approx-only"
 //   DELTA <session> + <fact-literal>  insert a fact ('*' = endogenous)
 //   DELTA <session> - <fact-literal>  delete the fact with that literal
-//   REPORT <session> [top_k] [--threads N]
-//                                     stream the ranked attribution table
+//   REPORT <session> [key=value ...]  stream the ranked attribution table;
+//                                     keys (see service/report_request.h):
+//                                     top_k=K threads=N approx=EPS,DELTA
+//                                     seed=S max_samples=M force_approx=0|1
+//                                     (deprecated positional form
+//                                     "[top_k] [--threads N]" still accepted)
 //   SNAPSHOT <session>                checkpoint + compact the session's
 //                                     write-ahead log (durability only)
 //   STATS                             registry-wide counters

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -15,6 +16,10 @@ namespace shapcq {
 
 namespace {
 
+// Report-cache key of the exact table. ApproxSpec::CacheKey() always
+// contains commas, so the empty string can never collide with it.
+constexpr const char* kExactKey = "";
+
 // Serving copy of a cached full table: the k highest-ranked rows (0 = all),
 // with the engine label and the full efficiency total — exactly what
 // FillAndRankRows would have produced with ReportOptions::top_k set.
@@ -22,6 +27,8 @@ AttributionReport TruncatedCopy(const AttributionReport& full, size_t top_k) {
   AttributionReport copy;
   copy.engine = full.engine;
   copy.total = full.total;
+  copy.approximate = full.approximate;
+  copy.approx = full.approx;
   const size_t rows = top_k > 0 && top_k < full.rows.size()
                           ? top_k
                           : full.rows.size();
@@ -49,11 +56,20 @@ struct EngineRegistry::Session {
   size_t engine_bytes = 0;   // last ApproxMemoryBytes estimate
   uint64_t last_used = 0;    // LRU stamp from the stripe clock
   uint64_t mutation_epoch = 0;  // bumped by every applied mutation
-  // Full ranked table of `cached_epoch`, kept while the engine is resident:
-  // polling reports with no intervening delta skip the whole evaluation and
-  // ranking pass (cleared with the engine on eviction).
-  std::optional<AttributionReport> cached_report;
-  uint64_t cached_epoch = 0;
+  // One cached full table per epoch. A kExactKey entry is the table ranked
+  // by the resident engine: polling reports with no intervening delta skip
+  // the whole evaluation and ranking pass (cleared with the engine on
+  // eviction). Every other key is an ApproxSpec::CacheKey(): sampling-tier
+  // tables, bounded by RegistryOptions::max_approx_cached_reports with
+  // least-recently-served eviction, independent of engine residency.
+  struct CachedTable {
+    AttributionReport table;
+    uint64_t epoch = 0;
+    uint64_t last_served = 0;
+  };
+  std::map<std::string, CachedTable> report_cache;
+  bool exact_capable = true;       // false = approx-only session
+  std::string approx_only_reason;  // classification shown to exact reports
   size_t deltas_applied = 0;
   size_t deltas_since_refresh = 0;  // mutation-path estimate amortizer
   size_t reports_served = 0;
@@ -95,6 +111,7 @@ struct EngineRegistry::Impl {
   std::atomic<size_t> evictions{0};
   std::atomic<size_t> engine_builds{0};
   std::atomic<size_t> overloads{0};
+  std::atomic<size_t> approx_reports{0};
 
   Stripe& StripeFor(const std::string& id) {
     return *stripes[std::hash<std::string>{}(id) % stripes.size()];
@@ -133,7 +150,9 @@ struct EngineRegistry::Impl {
     --stripe.resident_engines;
     evictions.fetch_add(1, std::memory_order_relaxed);
     session.engine.reset();
-    session.cached_report.reset();  // the cache rides with the engine
+    // The exact table cache rides with the engine; approx entries are
+    // epoch-validated and engine-independent, so they stay.
+    session.report_cache.erase(kExactKey);
     session.engine_bytes = 0;
   }
 
@@ -173,23 +192,112 @@ struct EngineRegistry::Impl {
     }
   }
 
-  // The locked core of Report/ReportRendered: ensures residency, serves
-  // from the epoch cache when valid, re-ranks otherwise, then enforces the
-  // stripe budget. Caller holds the stripe mutex.
+  // The sampling-tier report path: cached per (ApproxSpec key, epoch),
+  // recomputed statelessly through BuildAttributionReport otherwise (the
+  // approx engine needs no residency — its state is the database itself).
+  // Caller holds the stripe mutex.
+  Result<AttributionReport> ApproxReportLocked(Stripe& stripe,
+                                               Session& session,
+                                               const ReportOptions& options) {
+    approx_reports.fetch_add(1, std::memory_order_relaxed);
+    const std::string key = options.approx.CacheKey();
+    auto it = session.report_cache.find(key);
+    if (it != session.report_cache.end() &&
+        it->second.epoch == session.mutation_epoch) {
+      report_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      ++session.reports_served;
+      session.last_used = ++stripe.clock;
+      it->second.last_served = session.last_used;
+      return Result<AttributionReport>::Ok(
+          TruncatedCopy(it->second.table, options.top_k));
+    }
+    ReportOptions full = options;
+    full.top_k = 0;
+    auto built = BuildAttributionReport(session.query, *session.db, full);
+    if (!built.ok()) return Result<AttributionReport>::Error(built.error());
+    ++session.reports_served;
+    session.last_used = ++stripe.clock;
+    AttributionReport served =
+        TruncatedCopy(built.value(), options.top_k);
+    if (this->options.max_approx_cached_reports > 0) {
+      Session::CachedTable entry;
+      entry.table = std::move(built).value();
+      entry.epoch = session.mutation_epoch;
+      entry.last_served = session.last_used;
+      session.report_cache[key] = std::move(entry);
+      EnforceApproxCacheBound(session);
+    }
+    return Result<AttributionReport>::Ok(std::move(served));
+  }
+
+  // Drops least-recently-served approx entries (and any stale-epoch ones
+  // first — they can never be served again) until the per-session bound
+  // holds. Caller holds the stripe mutex.
+  void EnforceApproxCacheBound(Session& session) {
+    const size_t bound = options.max_approx_cached_reports;
+    auto approx_count = [&session] {
+      return session.report_cache.size() -
+             session.report_cache.count(kExactKey);
+    };
+    for (auto it = session.report_cache.begin();
+         it != session.report_cache.end() && approx_count() > bound;) {
+      if (it->first != kExactKey &&
+          it->second.epoch != session.mutation_epoch) {
+        it = session.report_cache.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    while (approx_count() > bound) {
+      auto victim = session.report_cache.end();
+      for (auto it = session.report_cache.begin();
+           it != session.report_cache.end(); ++it) {
+        if (it->first == kExactKey) continue;
+        if (victim == session.report_cache.end() ||
+            it->second.last_served < victim->second.last_served) {
+          victim = it;
+        }
+      }
+      session.report_cache.erase(victim);
+    }
+  }
+
+  // The locked core of Report/ReportRendered: dispatches exact vs approx,
+  // ensures residency on the exact path, serves from the epoch cache when
+  // valid, re-ranks otherwise, then enforces the stripe budget. Caller
+  // holds the stripe mutex.
   Result<AttributionReport> ReportLocked(Stripe& stripe, Session& session,
                                          const ReportOptions& options) {
+    // Auto-dispatch: exact-capable sessions keep their exact path unless
+    // the caller forces sampling; approx-only sessions require a spec.
+    const bool use_approx =
+        options.approx.enabled() &&
+        (!session.exact_capable || options.approx.force);
+    if (use_approx) {
+      auto valid = options.approx.Validate();
+      if (!valid.ok()) return Result<AttributionReport>::Error(valid.error());
+      return ApproxReportLocked(stripe, session, options);
+    }
+    if (!session.exact_capable) {
+      return Result<AttributionReport>::Error(
+          session.approx_only_reason +
+          "; this session serves approx reports only "
+          "(pass approx=EPS,DELTA)");
+    }
     if (session.engine.has_value()) {
       report_hits.fetch_add(1, std::memory_order_relaxed);
-      if (session.cached_report.has_value() &&
-          session.cached_epoch == session.mutation_epoch) {
+      auto it = session.report_cache.find(kExactKey);
+      if (it != session.report_cache.end() &&
+          it->second.epoch == session.mutation_epoch) {
         // Steady-state polling: no delta since the cached table was ranked,
         // so it is the report, verbatim. Nothing resident changed size, so
         // the budget needs no re-enforcement either.
         report_cache_hits.fetch_add(1, std::memory_order_relaxed);
         ++session.reports_served;
         session.last_used = ++stripe.clock;
+        it->second.last_served = session.last_used;
         return Result<AttributionReport>::Ok(
-            TruncatedCopy(*session.cached_report, options.top_k));
+            TruncatedCopy(it->second.table, options.top_k));
       }
     } else {
       auto built = ShapleyEngine::Build(session.query, *session.db);
@@ -209,13 +317,15 @@ struct EngineRegistry::Impl {
     // — and the cache with it — when it alone exceeds the stripe share.
     ReportOptions full = options;
     full.top_k = 0;
-    session.cached_report = BuildAttributionReportFromEngine(
-        *session.engine, *session.db, full);
-    session.cached_epoch = session.mutation_epoch;
+    Session::CachedTable entry;
+    entry.table = BuildAttributionReportFromEngine(*session.engine,
+                                                   *session.db, full);
+    entry.epoch = session.mutation_epoch;
     ++session.reports_served;
     session.last_used = ++stripe.clock;
-    AttributionReport served =
-        TruncatedCopy(*session.cached_report, options.top_k);
+    entry.last_served = session.last_used;
+    AttributionReport served = TruncatedCopy(entry.table, options.top_k);
+    session.report_cache[kExactKey] = std::move(entry);
     EnforceBudget(stripe, session);
     return Result<AttributionReport>::Ok(std::move(served));
   }
@@ -251,10 +361,10 @@ Result<bool> EngineRegistry::Open(const std::string& session_id,
   if (!IsSelfJoinFree(query)) {
     return Result<bool>::Error("query has a self-join: " + query.ToString());
   }
-  if (!IsHierarchical(query)) {
-    return Result<bool>::Error("query is not hierarchical: " +
-                               query.ToString());
-  }
+  // Non-hierarchical (but evaluable) queries are FP^#P-hard for exact
+  // Shapley, yet the sampling tier serves them: admit the session as
+  // approx-only instead of rejecting the stream outright.
+  const bool exact_capable = IsHierarchical(query);
   Stripe& stripe = impl_->StripeFor(session_id);
   {
     std::lock_guard<std::mutex> lock(stripe.mutex);
@@ -265,6 +375,11 @@ Result<bool> EngineRegistry::Open(const std::string& session_id,
     Session session;
     session.query = query;
     session.db = std::make_unique<Database>();
+    session.exact_capable = exact_capable;
+    if (!exact_capable) {
+      session.approx_only_reason =
+          "query is not hierarchical: " + query.ToString();
+    }
     stripe.sessions.emplace(session_id, std::move(session));
   }
   {
@@ -272,7 +387,7 @@ Result<bool> EngineRegistry::Open(const std::string& session_id,
     impl_->session_order.push_back(session_id);
   }
   impl_->open_sessions.fetch_add(1, std::memory_order_relaxed);
-  return Result<bool>::Ok(true);
+  return Result<bool>::Ok(exact_capable);
 }
 
 bool EngineRegistry::Has(const std::string& session_id) const {
@@ -487,6 +602,10 @@ Result<SessionStats> EngineRegistry::Stats(
   stats.engine_builds = session.engine_builds;
   stats.engine_resident = session.engine.has_value();
   stats.engine_bytes = session.engine_bytes;
+  stats.exact_capable = session.exact_capable;
+  stats.cached_exact_tables = session.report_cache.count(kExactKey);
+  stats.cached_approx_tables =
+      session.report_cache.size() - stats.cached_exact_tables;
   return Result<SessionStats>::Ok(stats);
 }
 
@@ -501,10 +620,17 @@ RegistryStats EngineRegistry::stats() const {
   stats.evictions = impl_->evictions.load(std::memory_order_relaxed);
   stats.engine_builds = impl_->engine_builds.load(std::memory_order_relaxed);
   stats.overloads = impl_->overloads.load(std::memory_order_relaxed);
+  stats.approx_reports = impl_->approx_reports.load(std::memory_order_relaxed);
   for (const auto& stripe : impl_->stripes) {
     std::lock_guard<std::mutex> lock(stripe->mutex);
     stats.resident_engines += stripe->resident_engines;
     stats.resident_bytes += stripe->resident_bytes;
+    for (const auto& [id, session] : stripe->sessions) {
+      (void)id;
+      const size_t exact = session.report_cache.count(kExactKey);
+      stats.cached_exact_tables += exact;
+      stats.cached_approx_tables += session.report_cache.size() - exact;
+    }
   }
   return stats;
 }

@@ -79,6 +79,11 @@ struct RegistryOptions {
   /// with "[E_FACT_CAP] ..." (0 = unlimited). Enforced under the stripe
   /// lock, so the cap is race-free under concurrent clients.
   size_t max_session_facts = 0;
+  /// Per-session bound on cached approx report tables (one per distinct
+  /// ApproxSpec cache key; least-recently-served evicted beyond the bound;
+  /// 0 = approx reports are never cached). The exact table cache is
+  /// separate — it rides with the resident engine, as before.
+  size_t max_approx_cached_reports = 4;
 };
 
 /// Registry-wide counters, reported by the STATS command.
@@ -88,12 +93,19 @@ struct RegistryStats {
   size_t resident_bytes = 0;  ///< sum of resident engines' last estimates
                               ///< (at most refresh_every_deltas stale)
   size_t report_hits = 0;     ///< reports served by an already-resident engine
-  size_t report_cache_hits = 0;  ///< hits served straight from the report
-                                 ///< cache (no delta since the last report)
+  size_t report_cache_hits = 0;  ///< hits served straight from a report
+                                 ///< cache entry, exact or approx (no delta
+                                 ///< since that entry was ranked)
   size_t report_misses = 0;   ///< reports that had to (re)build the engine
   size_t evictions = 0;       ///< engines dropped by budget/cap pressure
   size_t engine_builds = 0;   ///< total Build() calls (first builds + rebuilds)
   size_t overloads = 0;       ///< commands rejected by the stripe queue bound
+  size_t approx_reports = 0;  ///< reports served by the sampling tier
+  size_t cached_exact_tables = 0;   ///< gauge: resident exact report caches
+  size_t cached_approx_tables = 0;  ///< gauge: resident approx report caches
+                                    ///< (both summed across sessions, so
+                                    ///< eviction behavior is observable
+                                    ///< per tier)
 };
 
 /// Per-session counters and state, reported by "STATS <session>".
@@ -107,6 +119,10 @@ struct SessionStats {
   size_t engine_bytes = 0;  ///< last estimate (refreshed at builds, computed
                             ///< reports, and every refresh_every_deltas
                             ///< mutations); 0 while not resident
+  bool exact_capable = true;  ///< false = approx-only session (safe,
+                              ///< self-join-free, but non-hierarchical)
+  size_t cached_exact_tables = 0;   ///< 0 or 1
+  size_t cached_approx_tables = 0;  ///< bounded by max_approx_cached_reports
 };
 
 /// What a mutation did, captured under the stripe lock so callers can print
@@ -135,9 +151,12 @@ class EngineRegistry {
   EngineRegistry& operator=(EngineRegistry&&) noexcept;
 
   /// Opens a session with an empty database. Fails on a duplicate id or a
-  /// query outside the incremental engine's scope (unsafe, self-join, or
-  /// non-hierarchical) — the same checks ShapleyEngine::Build would fail,
-  /// surfaced before any mutation is accepted.
+  /// query the evaluator cannot serve at all (unsafe negation, self-join).
+  /// Safe self-join-free queries OUTSIDE the hierarchical fragment are
+  /// accepted as approx-only sessions: mutations work as usual, and reports
+  /// must carry an ApproxSpec (the sampling tier) — an exact report request
+  /// fails with the classification reason. Returns whether the session is
+  /// exact-capable (true = hierarchical, the incremental engine applies).
   Result<bool> Open(const std::string& session_id, const CQ& query);
 
   /// True if the session is open.
@@ -174,6 +193,15 @@ class EngineRegistry {
   /// cache is dropped with the engine on eviction. Reports are bit-identical
   /// whether served from the cache, a warm engine, a fresh build, or a
   /// rebuild after an eviction.
+  ///
+  /// With options.approx enabled the sampling tier serves instead whenever
+  /// the session is approx-only or approx.force is set (exact-capable
+  /// sessions otherwise keep their exact path — auto-dispatch). Approx
+  /// tables are cached per (ApproxSpec key, mutation epoch) beside the
+  /// exact entry, bounded by max_approx_cached_reports with
+  /// least-recently-served eviction; they need no resident engine and
+  /// survive engine eviction. Fixed (spec, database) pairs reproduce
+  /// bit-identically, cached or recomputed, at any thread count.
   Result<AttributionReport> Report(const std::string& session_id,
                                    const ReportOptions& options);
 

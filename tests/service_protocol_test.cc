@@ -87,11 +87,11 @@ TEST(CommandLoopTest, OpenErrors) {
             std::string::npos);
   EXPECT_NE(Exec(&loop, "OPEN s1 not a query").find("error: open s1:"),
             std::string::npos);
-  // Non-hierarchical query: rejected at OPEN, not at the first REPORT.
-  EXPECT_NE(Exec(&loop, "OPEN s1 q() :- R(x,y), S(x), T(y)")
-                .find("not hierarchical"),
-            std::string::npos);
-  // Unsafe negation and self-joins are rejected too.
+  // Non-hierarchical (but evaluable) query: admitted as an approx-only
+  // session — the sampling tier serves it — and announced as such.
+  EXPECT_EQ(Exec(&loop, "OPEN s0 q() :- R(x,y), S(x), T(y)"),
+            "> OPEN s0 q() :- R(x,y), S(x), T(y)\nok open s0 approx-only\n");
+  // Unsafe negation and self-joins stay rejected: no tier can serve them.
   EXPECT_NE(Exec(&loop, "OPEN s1 q() :- R(x), not S(x,y)").find("unsafe"),
             std::string::npos);
   EXPECT_NE(Exec(&loop, "OPEN s1 q() :- R(x), R(y)").find("self-join"),
@@ -100,7 +100,7 @@ TEST(CommandLoopTest, OpenErrors) {
   Exec(&loop, "OPEN s1 q() :- R(x)");
   EXPECT_NE(Exec(&loop, "OPEN s1 q() :- R(x)").find("already open"),
             std::string::npos);
-  EXPECT_EQ(loop.error_count(), 7u);
+  EXPECT_EQ(loop.error_count(), 6u);
 }
 
 TEST(CommandLoopTest, DeltaErrors) {
@@ -410,14 +410,80 @@ TEST(CommandLoopTest, StatsBytesOffOmitsThePlatformDependentField) {
   // Fully deterministic: every field survives except the byte estimate.
   EXPECT_EQ(Exec(&loop, "STATS"),
             "> STATS\n"
-            "stats sessions=1 resident=1 hits=0 cached=0 misses=1 "
-            "evictions=0 builds=1\n");
+            "stats sessions=1 resident=1 hits=0 cached=0 cached_exact=1 "
+            "cached_approx=0 misses=1 evictions=0 builds=1\n");
 
   CommandLoop exact = MakeLoop();
   Exec(&exact, "OPEN s1 q() :- R(x)");
   Exec(&exact, "DELTA s1 + R(a)*");
   Exec(&exact, "REPORT s1");
   EXPECT_NE(Exec(&exact, "STATS").find(" bytes="), std::string::npos);
+}
+
+TEST(CommandLoopTest, ApproxOnlySessionLifecycle) {
+  // The acceptance story: a query the exact tier refuses (non-hierarchical,
+  // previously answerable only with --brute-force) is served end to end
+  // through the sampling tier.
+  CommandLoop loop = MakeLoop();
+  EXPECT_EQ(Exec(&loop, "OPEN s1 q() :- R(x,y), S(x), T(y)"),
+            "> OPEN s1 q() :- R(x,y), S(x), T(y)\nok open s1 approx-only\n");
+  Exec(&loop, "DELTA s1 + R(a,b)*");
+  Exec(&loop, "DELTA s1 + S(a)*");
+  Exec(&loop, "DELTA s1 + T(b)*");
+
+  // An exact report names the classification and the way out.
+  const std::string exact = Exec(&loop, "REPORT s1");
+  EXPECT_NE(exact.find("error: report s1:"), std::string::npos);
+  EXPECT_NE(exact.find("not hierarchical"), std::string::npos);
+  EXPECT_NE(exact.find("approx=EPS,DELTA"), std::string::npos);
+
+  const std::string approx = Exec(&loop, "REPORT s1 approx=0.1,0.05 seed=7");
+  EXPECT_NE(approx.find("report s1 rows=3 endo=3\n"), std::string::npos);
+  EXPECT_NE(approx.find("engine: approx-fpras\n"), std::string::npos);
+  EXPECT_NE(approx.find("approx: eps=0.1 delta=0.05 seed=7"),
+            std::string::npos);
+  EXPECT_NE(approx.find("+-ci"), std::string::npos);
+  EXPECT_NE(approx.find("end report s1\n"), std::string::npos);
+  // Deterministic and cached: the identical request reproduces byte for
+  // byte (this serve comes from the approx report cache).
+  EXPECT_EQ(Exec(&loop, "REPORT s1 approx=0.1,0.05 seed=7"), approx);
+
+  const std::string global = Exec(&loop, "STATS");
+  EXPECT_NE(global.find(" approx=2"), std::string::npos);
+  EXPECT_NE(global.find(" cached_approx=1"), std::string::npos);
+  const std::string session = Exec(&loop, "STATS s1");
+  EXPECT_NE(session.find(" resident=no"), std::string::npos);
+  EXPECT_NE(session.find(" tier=approx-only"), std::string::npos);
+  EXPECT_NE(session.find(" cached_approx=1"), std::string::npos);
+  EXPECT_EQ(loop.error_count(), 1u);  // only the exact REPORT refusal
+}
+
+TEST(CommandLoopTest, StructuredReportRequestMatchesPositional) {
+  CommandLoop loop = MakeLoop();
+  Exec(&loop, "OPEN s1 q() :- R(x)");
+  Exec(&loop, "DELTA s1 + R(a)*");
+  Exec(&loop, "DELTA s1 + R(b)*");
+  Exec(&loop, "DELTA s1 + R(c)*");
+  // One grammar, two spellings: the structured form and the deprecated
+  // positional form rank identically (only the echo line differs).
+  const std::string structured = Exec(&loop, "REPORT s1 top_k=2 threads=2");
+  const std::string positional = Exec(&loop, "REPORT s1 2 --threads 2");
+  EXPECT_EQ(structured.substr(structured.find('\n') + 1),
+            positional.substr(positional.find('\n') + 1));
+  EXPECT_NE(structured.find("rows=2 endo=3"), std::string::npos);
+
+  // Parse errors surface through the loop's error frame.
+  EXPECT_NE(Exec(&loop, "REPORT s1 topk=2")
+                .find("error: report s1: unknown key 'topk'"),
+            std::string::npos);
+  EXPECT_NE(Exec(&loop, "REPORT s1 seed=3")
+                .find("require approx=EPS[,DELTA]"),
+            std::string::npos);
+  // force_approx=1 flips an exact-capable session onto the sampling tier.
+  const std::string forced =
+      Exec(&loop, "REPORT s1 approx=0.2,0.05 force_approx=1");
+  EXPECT_NE(forced.find("engine: approx-fpras\n"), std::string::npos);
+  EXPECT_EQ(loop.error_count(), 2u);
 }
 
 TEST(CommandLoopTest, SharedModeLoopsSeeOneRegistry) {

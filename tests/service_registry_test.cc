@@ -412,5 +412,110 @@ TEST(EngineRegistryTest, StripeQueueBoundFailsFastWithOverload) {
   EXPECT_EQ(registry.Stats("s").value().fact_count, 1u);
 }
 
+ReportOptions ApproxOptions(double epsilon, double delta, size_t seed) {
+  ReportOptions options;
+  options.approx.epsilon = epsilon;
+  options.approx.delta = delta;
+  options.approx.seed = seed;
+  return options;
+}
+
+TEST(EngineRegistryTest, ApproxOnlySessionServesSampledReports) {
+  EngineRegistry registry;
+  auto opened = registry.Open("s", MustParseCQ("q() :- R(x,y), S(x), T(y)"));
+  ASSERT_TRUE(opened.ok()) << opened.error();
+  EXPECT_FALSE(opened.value());  // admitted, but not exact-capable
+  EXPECT_FALSE(registry.Stats("s").value().exact_capable);
+  ASSERT_TRUE(registry.ApplyMutation("s", Insert("R(a,b)*")).ok());
+  ASSERT_TRUE(registry.ApplyMutation("s", Insert("S(a)*")).ok());
+  ASSERT_TRUE(registry.ApplyMutation("s", Insert("T(b)*")).ok());
+
+  // An exact request names the classification and the way out.
+  auto exact = registry.Report("s", ReportOptions{});
+  ASSERT_FALSE(exact.ok());
+  EXPECT_NE(exact.error().find("not hierarchical"), std::string::npos);
+  EXPECT_NE(exact.error().find("approx=EPS,DELTA"), std::string::npos);
+
+  auto approx = registry.Report("s", ApproxOptions(0.1, 0.05, 7));
+  ASSERT_TRUE(approx.ok()) << approx.error();
+  EXPECT_TRUE(approx.value().approximate);
+  EXPECT_EQ(approx.value().engine, "approx-fpras");
+  EXPECT_EQ(approx.value().rows.size(), 3u);
+  // The sampling tier never builds the incremental engine.
+  EXPECT_FALSE(registry.Stats("s").value().engine_resident);
+  EXPECT_EQ(registry.stats().engine_builds, 0u);
+  EXPECT_EQ(registry.stats().approx_reports, 1u);
+}
+
+TEST(EngineRegistryTest, ApproxReportCacheIsBoundedAndEpochValidated) {
+  RegistryOptions options;
+  options.max_approx_cached_reports = 2;
+  EngineRegistry registry(options);
+  ASSERT_TRUE(registry.Open("s", MustParseCQ("q() :- R(x)")).ok());
+  ASSERT_TRUE(registry.ApplyMutation("s", Insert("R(a)*")).ok());
+  ASSERT_TRUE(registry.ApplyMutation("s", Insert("R(b)*")).ok());
+
+  ReportOptions first = ApproxOptions(0.2, 0.05, 1);
+  first.approx.force = true;  // exact-capable session: sampling by request
+  ASSERT_TRUE(registry.Report("s", first).ok());
+  EXPECT_EQ(registry.stats().approx_reports, 1u);
+  EXPECT_EQ(registry.stats().cached_approx_tables, 1u);
+
+  // An identical spec with no intervening delta is a cache hit.
+  const size_t hits_before = registry.stats().report_cache_hits;
+  ASSERT_TRUE(registry.Report("s", first).ok());
+  EXPECT_EQ(registry.stats().report_cache_hits, hits_before + 1);
+  EXPECT_EQ(registry.stats().cached_approx_tables, 1u);
+
+  // Distinct specs get distinct entries, bounded at 2 by least-recently-
+  // served eviction.
+  ReportOptions second = first;
+  second.approx.seed = 2;
+  ReportOptions third = first;
+  third.approx.seed = 3;
+  ASSERT_TRUE(registry.Report("s", second).ok());
+  EXPECT_EQ(registry.stats().cached_approx_tables, 2u);
+  ASSERT_TRUE(registry.Report("s", third).ok());
+  EXPECT_EQ(registry.stats().cached_approx_tables, 2u);
+
+  // The exact table is accounted in its own gauge, outside the bound.
+  ASSERT_TRUE(registry.Report("s", ReportOptions{}).ok());
+  EXPECT_EQ(registry.stats().cached_exact_tables, 1u);
+  EXPECT_EQ(registry.stats().cached_approx_tables, 2u);
+  EXPECT_EQ(registry.Stats("s").value().cached_exact_tables, 1u);
+  EXPECT_EQ(registry.Stats("s").value().cached_approx_tables, 2u);
+
+  // A delta invalidates every cached table: the next identical approx
+  // request recomputes over the mutated database instead of hitting.
+  ASSERT_TRUE(registry.ApplyMutation("s", Insert("R(c)*")).ok());
+  const size_t hits_after = registry.stats().report_cache_hits;
+  auto recomputed = registry.Report("s", third);
+  ASSERT_TRUE(recomputed.ok()) << recomputed.error();
+  EXPECT_EQ(recomputed.value().rows.size(), 3u);
+  EXPECT_EQ(registry.stats().report_cache_hits, hits_after);
+}
+
+TEST(EngineRegistryTest, ZeroApproxCacheBoundDisablesApproxCaching) {
+  RegistryOptions options;
+  options.max_approx_cached_reports = 0;
+  EngineRegistry registry(options);
+  ASSERT_TRUE(registry.Open("s", MustParseCQ("q() :- R(x)")).ok());
+  ASSERT_TRUE(registry.ApplyMutation("s", Insert("R(a)*")).ok());
+
+  ReportOptions forced = ApproxOptions(0.2, 0.05, 1);
+  forced.approx.force = true;
+  auto first = registry.Report("s", forced);
+  auto second = registry.Report("s", forced);
+  ASSERT_TRUE(first.ok()) << first.error();
+  ASSERT_TRUE(second.ok()) << second.error();
+  EXPECT_EQ(registry.stats().cached_approx_tables, 0u);
+  EXPECT_EQ(registry.stats().report_cache_hits, 0u);
+  // Fixed (spec, database): the recomputation is bit-identical anyway.
+  ASSERT_EQ(first.value().rows.size(), second.value().rows.size());
+  for (size_t i = 0; i < first.value().rows.size(); ++i) {
+    EXPECT_EQ(first.value().rows[i].value, second.value().rows[i].value) << i;
+  }
+}
+
 }  // namespace
 }  // namespace shapcq

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""CI gate for the sampling tier's accuracy claims.
+
+Reads BENCH_approx.json (the merged Google Benchmark output of
+bench_additive_fpras and bench_gap_property) and fails (exit 1) unless:
+
+  1. Coverage: every BM_ApproxCiWidth/<m> row has cover_margin_min >= 0 —
+     each exact Shapley value sits inside its reported confidence
+     interval. The benchmark runs a fixed seed through the engine's
+     deterministic reduction, so this checks a fixed outcome, not a
+     probabilistic one.
+  2. Shrinkage: ci_max is strictly decreasing as the per-orbit sample
+     budget m grows (the 1/sqrt(m) additive-FPRAS shape).
+  3. Throughput: at least one BM_ApproxSamplesPerSec row carries a
+     positive samples_per_sec counter.
+  4. Gap property: every BM_GapValueMagnitude/<n> row has
+     log2_value <= neg_n (values exponentially small but nonzero — the
+     Theorem 5.1 reason no additive FPRAS doubles as a multiplicative
+     one) and no brute_match counter equal to 0.
+
+usage: check_approx_accuracy.py BENCH_JSON
+"""
+
+import json
+import sys
+
+CI_PREFIX = "BM_ApproxCiWidth/"
+RATE_PREFIX = "BM_ApproxSamplesPerSec/"
+GAP_PREFIX = "BM_GapValueMagnitude/"
+
+
+def arg_of(name, prefix):
+    return int(name[len(prefix):].split("/")[0])
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as handle:
+        report = json.load(handle)
+    rows = [row for row in report.get("benchmarks", [])
+            if row.get("run_type") != "aggregate"]
+
+    failures = []
+
+    ci_rows = sorted(
+        ((arg_of(row["name"], CI_PREFIX), row) for row in rows
+         if row["name"].startswith(CI_PREFIX)))
+    if not ci_rows:
+        failures.append("no BM_ApproxCiWidth rows found")
+    previous_ci = None
+    for m, row in ci_rows:
+        margin = row.get("cover_margin_min")
+        ci = row.get("ci_max")
+        print(f"m={m}: ci_max={ci:.4f} abs_err_max="
+              f"{row.get('abs_err_max', 0.0):.4f} cover_margin_min="
+              f"{margin:.4f}")
+        if margin is None or margin < 0.0:
+            failures.append(
+                f"BM_ApproxCiWidth/{m}: an exact value escaped its "
+                f"confidence interval (cover_margin_min={margin})")
+        if previous_ci is not None and ci >= previous_ci:
+            failures.append(
+                f"BM_ApproxCiWidth/{m}: ci_max={ci} did not shrink from "
+                f"{previous_ci} at the smaller budget")
+        previous_ci = ci
+
+    rates = [row.get("samples_per_sec", 0.0) for row in rows
+             if row["name"].startswith(RATE_PREFIX)]
+    if rates:
+        print(f"throughput: {max(rates):.0f} samples/s (best row)")
+    if not rates or max(rates) <= 0.0:
+        failures.append("no positive samples_per_sec counter found")
+
+    gap_rows = sorted(
+        ((arg_of(row["name"], GAP_PREFIX), row) for row in rows
+         if row["name"].startswith(GAP_PREFIX)))
+    if not gap_rows:
+        failures.append("no BM_GapValueMagnitude rows found")
+    for n, row in gap_rows:
+        log2_value = row.get("log2_value", 0.0)
+        print(f"gap n={n}: log2(value)={log2_value:.2f} bound={-n}")
+        if log2_value > -n:
+            failures.append(
+                f"BM_GapValueMagnitude/{n}: log2_value={log2_value} above "
+                f"the 2^-n gap bound")
+        if row.get("brute_match") == 0.0:
+            failures.append(
+                f"BM_GapValueMagnitude/{n}: brute force disagrees with "
+                "n!n!/(2n+1)!")
+
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    print("approx accuracy gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,10 @@
 # BENCH_incremental.json, the serving-layer warm-vs-cold benchmark as
 # BENCH_server.json, the arithmetic-backbone microbenchmarks as
 # BENCH_arith.json, the durability-layer replay/compaction/fsync
-# benchmark as BENCH_recovery.json, and the concurrent socket-serving load
-# benchmark as BENCH_service_load.json at the repository root, so the perf
-# trajectory is tracked PR over PR. BENCH_arith.json carries seed-implementation rows
+# benchmark as BENCH_recovery.json, the concurrent socket-serving load
+# benchmark as BENCH_service_load.json, and the sampling-tier accuracy +
+# gap-property benchmarks (merged) as BENCH_approx.json at the repository
+# root, so the perf trajectory is tracked PR over PR. BENCH_arith.json carries seed-implementation rows
 # (BM_RefBigInt*) next to the production rows, which is what lets
 # tools/check_arith_speedup.py gate the speedup within one run.
 # BENCH_shapley.json carries a thread-count axis:
@@ -33,7 +34,8 @@ git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
 host_nproc="$(nproc)"
 
 bench_targets=(bench_shapley_all bench_incremental bench_server bench_arith
-               bench_recovery bench_service_load)
+               bench_recovery bench_service_load bench_additive_fpras
+               bench_gap_property)
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release \
       -DSHAPCQ_BUILD_TESTS=OFF -DSHAPCQ_BUILD_EXAMPLES=OFF
@@ -71,6 +73,32 @@ record bench_arith "$repo_root/BENCH_arith.json"
 record bench_recovery "$repo_root/BENCH_recovery.json"
 record bench_service_load "$repo_root/BENCH_service_load.json"
 
+# The sampling tier publishes ONE file: the accuracy rows (additive FPRAS
+# vs ground truth) and the gap-property rows (why only ADDITIVE guarantees
+# exist under negation) belong to the same claim, so they are merged into
+# BENCH_approx.json before the accuracy gate runs on it.
+approx_tmp="$(mktemp)" gap_tmp="$(mktemp)"
+record_to() {
+  local target="$1" out="$2"
+  "$build_dir/bench/$target" \
+      --benchmark_context=git_sha="$git_sha" \
+      --benchmark_context=host_nproc="$host_nproc" \
+      --benchmark_format=json \
+      --benchmark_out="$out" \
+      --benchmark_out_format=json
+}
+record_to bench_additive_fpras "$approx_tmp"
+record_to bench_gap_property "$gap_tmp"
+python3 - "$approx_tmp" "$gap_tmp" "$repo_root/BENCH_approx.json" <<'EOF'
+import json, sys
+merged = json.load(open(sys.argv[1]))
+gap = json.load(open(sys.argv[2]))
+merged["benchmarks"].extend(gap["benchmarks"])
+with open(sys.argv[3], "w") as out:
+    json.dump(merged, out, indent=2)
+EOF
+rm -f "$approx_tmp" "$gap_tmp"
+
 "$repo_root/tools/check_incremental_speedup.py" \
     "$repo_root/BENCH_incremental.json"
 "$repo_root/tools/check_server_speedup.py" \
@@ -79,7 +107,10 @@ record bench_service_load "$repo_root/BENCH_service_load.json"
     "$repo_root/BENCH_arith.json"
 "$repo_root/tools/check_service_load.py" \
     "$repo_root/BENCH_service_load.json"
+"$repo_root/tools/check_approx_accuracy.py" \
+    "$repo_root/BENCH_approx.json"
 
 echo "wrote $repo_root/BENCH_shapley.json, $repo_root/BENCH_incremental.json," \
      "$repo_root/BENCH_server.json, $repo_root/BENCH_arith.json," \
-     "$repo_root/BENCH_recovery.json and $repo_root/BENCH_service_load.json"
+     "$repo_root/BENCH_recovery.json, $repo_root/BENCH_service_load.json" \
+     "and $repo_root/BENCH_approx.json"

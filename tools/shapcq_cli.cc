@@ -3,11 +3,16 @@
 //   shapcq_cli --db "Stud(a) TA(a)* Reg(a,os)*" \
 //              --query "q() :- Stud(x), not TA(x), Reg(x,y)" \
 //              [--exo Rel1,Rel2] [--threads N] [--top-k K] [--brute-force]
-//              [--classify-only] [--mutate FILE]
+//              [--approx EPS,DELTA] [--seed S] [--max-samples M]
+//              [--force-approx] [--classify-only] [--mutate FILE]
 //
 // Facts use the Database::ToString format ('*' marks endogenous). Prints the
 // dichotomy classification and, when an engine applies, the full attribution
-// report (every endogenous fact's exact Shapley value, ranked).
+// report (every endogenous fact's exact Shapley value, ranked). With
+// --approx the sampling tier (additive FPRAS) serves non-hierarchical
+// queries exactly as the server's "REPORT ... approx=EPS,DELTA" does: the
+// report flags assemble one ReportRequest, validated by the same parser as
+// the server's REPORT command (service/report_request.h).
 //
 // --mutate FILE replays a fact delta file against the incremental engine:
 // one mutation per line, '+' inserts a fact literal ('*' = endogenous), '-'
@@ -28,6 +33,7 @@
 #include "query/analysis.h"
 #include "query/classify.h"
 #include "query/parser.h"
+#include "service/report_request.h"
 
 namespace {
 
@@ -36,17 +42,31 @@ void PrintUsage() {
       stderr,
       "usage: shapcq_cli --db FACTS --query RULE [--exo R1,R2,...]\n"
       "                  [--threads N] [--top-k K] [--brute-force]\n"
-      "                  [--classify-only] [--explain] [--mutate FILE]\n"
+      "                  [--approx EPS,DELTA] [--seed S] [--max-samples M]\n"
+      "                  [--force-approx] [--classify-only] [--explain]\n"
+      "                  [--mutate FILE]\n"
       "  FACTS: whitespace-separated facts, '*' suffix = endogenous,\n"
       "         e.g. \"Stud(a) TA(a)* Reg(a,os)*\"\n"
       "  RULE:  e.g. \"q() :- Stud(x), not TA(x), Reg(x,y)\"\n"
-      "  N:     worker threads for the all-facts engines; 1 = serial\n"
-      "         (default), 0 = all hardware threads. Values are identical\n"
-      "         at any thread count.\n"
-      "  K:     keep only the K highest-ranked report rows (0 = all).\n"
       "  FILE:  delta replay, one mutation per line: '+ Reg(eve,os)*'\n"
       "         inserts, '- Reg(a,os)' deletes; '#' starts a comment.\n"
-      "         Requires a hierarchical query (the incremental engine).\n");
+      "         Requires a hierarchical query (the incremental engine).\n"
+      "\n"
+      "Report request (one grammar with the server's REPORT command):\n"
+      "  top_k=K          keep only the K highest-ranked rows (0 = all)\n"
+      "  threads=N        worker threads (1 = serial, 0 = all hardware\n"
+      "                   threads); values are identical at any count\n"
+      "  approx=EPS,DELTA sampling tier: additive error EPS at joint\n"
+      "                   failure probability DELTA, both in (0,1);\n"
+      "                   approx=EPS defaults DELTA to 0.05. Serves any\n"
+      "                   evaluable query, including non-hierarchical\n"
+      "                   ones that have no exact polynomial engine.\n"
+      "  seed=S           RNG seed of the sampling tier (default 0)\n"
+      "  max_samples=M    per-orbit sample cap (0 = the full Hoeffding\n"
+      "                   count; capping widens the intervals)\n"
+      "  force_approx=0|1 sample even when an exact engine applies\n"
+      "The flags --top-k/--threads/--approx/--seed/--max-samples/\n"
+      "--force-approx assemble exactly these key=value pairs.\n");
 }
 
 // Replays a delta file against the incremental engine and prints the
@@ -119,7 +139,10 @@ int main(int argc, char** argv) {
   using namespace shapcq;
   std::string db_text, query_text, exo_text, mutate_path;
   bool brute_force = false, classify_only = false, explain = false;
-  unsigned long num_threads = 1, top_k = 0;
+  // The report flags assemble one key=value ReportRequest string, parsed
+  // (and validated) by the same ParseReportRequest the server's REPORT
+  // command uses — report parameters have exactly one grammar.
+  std::string request_text;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -137,14 +160,18 @@ int main(int argc, char** argv) {
       exo_text = next();
     } else if (arg == "--mutate") {
       mutate_path = next();
-    } else if (arg == "--threads" || arg == "--top-k") {
-      const char* text = next();
-      size_t value = 0;
-      if (!ParseSizeStrict(text, &value)) {
-        std::fprintf(stderr, "bad %s value: %s\n", arg.c_str(), text);
-        return 2;
-      }
-      (arg == "--threads" ? num_threads : top_k) = value;
+    } else if (arg == "--threads") {
+      request_text += std::string(" threads=") + next();
+    } else if (arg == "--top-k") {
+      request_text += std::string(" top_k=") + next();
+    } else if (arg == "--approx") {
+      request_text += std::string(" approx=") + next();
+    } else if (arg == "--seed") {
+      request_text += std::string(" seed=") + next();
+    } else if (arg == "--max-samples") {
+      request_text += std::string(" max_samples=") + next();
+    } else if (arg == "--force-approx") {
+      request_text += " force_approx=1";
     } else if (arg == "--brute-force") {
       brute_force = true;
     } else if (arg == "--classify-only") {
@@ -162,6 +189,11 @@ int main(int argc, char** argv) {
   }
   if (db_text.empty() || query_text.empty()) {
     PrintUsage();
+    return 2;
+  }
+  auto request = ParseReportRequest(request_text, /*default_threads=*/1);
+  if (!request.ok()) {
+    std::fprintf(stderr, "bad report request: %s\n", request.error().c_str());
     return 2;
   }
 
@@ -200,18 +232,18 @@ int main(int argc, char** argv) {
   }
   if (classify_only) return 0;
 
-  ReportOptions options;
+  ReportOptions options = request.value().ToReportOptions();
   options.exo = exo;
   options.allow_brute_force = brute_force;
-  options.num_threads = static_cast<size_t>(num_threads);
-  options.top_k = static_cast<size_t>(top_k);
   if (!mutate_path.empty()) {
     Database mutable_db = std::move(db).value();
     return RunMutateReplay(query.value(), mutable_db, mutate_path, options);
   }
   auto report = BuildAttributionReport(query.value(), db.value(), options);
   if (!report.ok()) {
-    std::fprintf(stderr, "%s\n(hint: pass --brute-force for small |Dn|)\n",
+    std::fprintf(stderr,
+                 "%s\n(hint: pass --approx EPS,DELTA for a sampled report, "
+                 "or --brute-force for small |Dn|)\n",
                  report.error().c_str());
     return 1;
   }

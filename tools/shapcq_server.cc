@@ -48,8 +48,10 @@ void PrintUsage() {
       "\n"
       "  OPEN <session> <query-rule>\n"
       "      Open a session with an empty database. The query must be\n"
-      "      safe, self-join-free and hierarchical (the incremental\n"
-      "      engine's scope), e.g.:\n"
+      "      safe and self-join-free; hierarchical queries get the exact\n"
+      "      incremental engine, non-hierarchical ones are admitted as\n"
+      "      approx-only sessions (acked 'ok open <id> approx-only') whose\n"
+      "      reports must pass approx=EPS,DELTA. E.g.:\n"
       "        OPEN s1 q() :- Stud(x), not TA(x), Reg(x,y)\n"
       "  DELTA <session> + <fact-literal>\n"
       "  DELTA <session> - <fact-literal>\n"
@@ -59,9 +61,26 @@ void PrintUsage() {
       "      is resident, each delta patches one root-to-leaf path; after\n"
       "      an eviction, deltas apply to the retained database and the\n"
       "      next REPORT rebuilds.\n"
-      "  REPORT <session> [top_k] [--threads N]\n"
+      "  REPORT <session> [key=value ...]\n"
       "      Stream the ranked attribution table (every endogenous fact's\n"
-      "      exact Shapley value; top_k keeps the k highest rows).\n"
+      "      Shapley value). One grammar with shapcq_cli's report flags:\n"
+      "        top_k=K          keep only the K highest-ranked rows\n"
+      "                         (0 = all)\n"
+      "        threads=N        worker threads (1 = serial, 0 = all\n"
+      "                         hardware threads; values are identical\n"
+      "                         at any count)\n"
+      "        approx=EPS,DELTA sampling tier: additive error EPS at\n"
+      "                         joint failure probability DELTA, both in\n"
+      "                         (0,1); approx=EPS defaults DELTA to 0.05.\n"
+      "                         Required on approx-only sessions; rows\n"
+      "                         then carry +-ci and sample counts.\n"
+      "        seed=S           RNG seed of the sampling tier (default 0)\n"
+      "        max_samples=M    per-orbit sample cap (0 = the full\n"
+      "                         Hoeffding count; capping widens the\n"
+      "                         intervals)\n"
+      "        force_approx=0|1 sample even when an exact engine applies\n"
+      "      The deprecated positional form '[top_k] [--threads N]' is\n"
+      "      still accepted.\n"
       "  SNAPSHOT <session>\n"
       "      Checkpoint the session's fact table into its write-ahead log\n"
       "      and drop the replayed-past prefix (durability only; bounds\n"
