@@ -65,7 +65,7 @@ Result<AttributionReport> BuildApproxReport(const CQ& q, const Database& db,
     // The exact engine's orbit partition is at least as coarse as the
     // signature one (it groups by value, not just by automorphism), so
     // forced sampling on tractable queries borrows it for stratification.
-    auto built = ShapleyEngine::Build(q, db);
+    auto built = ShapleyEngine::Build(q, db, options.engine_core);
     if (built.ok()) {
       ShapleyEngine engine = std::move(built).value();
       engine_orbits = engine.OrbitIds();
@@ -142,7 +142,7 @@ Result<AttributionReport> BuildAttributionReport(
   ParallelOptions parallel;
   parallel.num_threads = options.num_threads;
   if (report.engine == "CntSat") {
-    auto result = ShapleyAllViaCountSat(q, db, parallel);
+    auto result = ShapleyAllViaCountSat(q, db, parallel, options.engine_core);
     if (!result.ok()) return Result<AttributionReport>::Error(result.error());
     values = std::move(result).value();
   } else if (report.engine == "ExoShap") {

@@ -71,6 +71,9 @@ struct ReportOptions {
   ApproxSpec approx;              // sampling tier: disabled unless
                                   // approx.enabled(); with approx.force the
                                   // sampler runs even on tractable queries
+  EngineCore engine_core =        // numeric core for ShapleyEngine builds
+      EngineCore::kArena;         // (kTree = the differential oracle;
+                                  // values are bit-identical either way)
 };
 
 /// Computes Shapley values for every endogenous fact, choosing CntSat for

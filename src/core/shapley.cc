@@ -42,8 +42,9 @@ Result<Rational> ShapleyViaCountSat(const CQ& q, const Database& db,
 }
 
 Result<std::vector<Rational>> ShapleyAllViaCountSat(
-    const CQ& q, const Database& db, const ParallelOptions& options) {
-  auto engine = ShapleyEngine::Build(q, db);
+    const CQ& q, const Database& db, const ParallelOptions& options,
+    EngineCore core) {
+  auto engine = ShapleyEngine::Build(q, db, core);
   if (!engine.ok()) {
     return Result<std::vector<Rational>>::Error(engine.error());
   }

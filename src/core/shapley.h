@@ -42,9 +42,12 @@ Result<Rational> ShapleyViaCountSat(const CQ& q, const Database& db, FactId f);
 /// single-pass ShapleyEngine (shapley_engine.h): one shared CntSat index,
 /// per-fact path re-evaluation, one value per symmetry orbit. With
 /// options.num_threads > 1 the orbit re-evaluations run on a worker pool;
-/// the output is bit-identical to the serial default at any thread count.
+/// the output is bit-identical to the serial default at any thread count —
+/// and to either numeric core (`core` picks the flat arena or the
+/// pointer-linked tree oracle).
 Result<std::vector<Rational>> ShapleyAllViaCountSat(
-    const CQ& q, const Database& db, const ParallelOptions& options = {});
+    const CQ& q, const Database& db, const ParallelOptions& options = {},
+    EngineCore core = EngineCore::kArena);
 
 /// Convenience dispatcher: hierarchical self-join-free queries go through
 /// CntSat; with a non-empty `exo` set, non-hierarchical queries without a

@@ -11,6 +11,7 @@
 
 #include "core/atom_pattern.h"
 #include "core/count_sat.h"
+#include "core/engine_arena.h"
 #include "core/shapley.h"
 #include "query/analysis.h"
 #include "util/check.h"
@@ -102,6 +103,15 @@ struct ShapleyEngine::Impl {
   CountVector baseline = CountVector::Zero(0);
   std::vector<QueryAtom> atoms;
 
+  // Numeric core. With kArena every count vector (memoized sat/core_sat,
+  // partial products, evaluation state) lives in the flat arena and the tree
+  // nodes above keep routing metadata only — their CountVector members stay
+  // [1] identities after the compile step moves the cells out. With kTree
+  // the arena stays empty and the node vectors are authoritative (the
+  // original implementation, kept as the differential oracle).
+  EngineCore core = EngineCore::kArena;
+  EngineArena arena;
+
   // Shared fact arena: matched facts as indices, queried via *db. Append-
   // only; entries of deleted facts go stale but are never referenced again
   // (leaves and slices are patched to forget them).
@@ -148,6 +158,7 @@ struct ShapleyEngine::Impl {
 
   int BuildNode(const CQ& q, IndexLists lists,
                 const std::vector<size_t>& atom_ids);
+  void AbsorbNodeIntoArena(int node_id);
   void ResignNode(int node_id);
   CountVector CombineOf(const Node& parent, int child_id) const;
   void EnsurePartials(int node_id);
@@ -351,6 +362,35 @@ int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists,
   return id;
 }
 
+// Compile step for one tree node: metadata is copied into the arena's
+// parallel arrays, the numeric vectors are MOVED into the flat cell buffer,
+// and the tree node keeps [1] identities in their place (routing metadata —
+// slice maps, subqueries, signatures — stays authoritative in the tree).
+// Called for every node at Build and for the fresh subtree of an insert.
+void ShapleyEngine::Impl::AbsorbNodeIntoArena(int node_id) {
+  Node& node = nodes[node_id];
+  EngineArena::NodeKind kind = EngineArena::NodeKind::kGround;
+  switch (node.kind) {
+    case Node::Kind::kGround:
+      kind = EngineArena::NodeKind::kGround;
+      break;
+    case Node::Kind::kComponent:
+      kind = EngineArena::NodeKind::kComponent;
+      break;
+    case Node::Kind::kRootVar:
+      kind = EngineArena::NodeKind::kRootVar;
+      break;
+  }
+  // The moves leave hollow CountVectors behind (arena-mode tree nodes are
+  // routing metadata only; numerically they are touched just by destruction,
+  // assignment and ApproxMemoryBytes, all safe on a hollow vector). Not
+  // resetting them to fresh [1] identities keeps the absorb pass free of
+  // per-node allocator traffic.
+  arena.AppendNode(kind, node.parent, node.child_index, node.children,
+                   static_cast<uint32_t>(node.free_endo), node.negated,
+                   std::move(node.sat), std::move(node.core_sat));
+}
+
 // ---------------------------------------------------------------------------
 // Per-fact path re-evaluation
 // ---------------------------------------------------------------------------
@@ -487,6 +527,9 @@ CountVector ShapleyEngine::Impl::PropagateToRoot(int leaf, CountVector vec) {
 // Shapley value of the fact at `leaf`: re-evaluates the two perturbed
 // scenarios (fact exogenous / fact removed) along the single path.
 Rational ShapleyEngine::Impl::ValueAtLeaf(int leaf) {
+  if (core == EngineCore::kArena) {
+    return arena.ValueAtLeaf(leaf, endo_count, global_free_endo);
+  }
   const bool negated = nodes[leaf].negated;
   // Forced exogenous: a positive ground atom is always satisfied (All(0)),
   // a negated one always blocked (Zero(0)). Removal is the mirror image.
@@ -540,17 +583,21 @@ void ShapleyEngine::Impl::PatchAncestors(int dirty) {
   for (int node = dirty; nodes[node].parent >= 0;) {
     const int parent = nodes[node].parent;
     const size_t j = static_cast<size_t>(nodes[node].child_index);
-    CountVector sibling = SiblingCombine(parent, j);
-    Node& pn = nodes[parent];
-    if (pn.kind == Node::Kind::kComponent) {
-      pn.sat = sibling.Convolve(nodes[node].sat);
+    if (core == EngineCore::kArena) {
+      arena.PatchChildChanged(parent, j);
     } else {
-      CountVector unsat_all =
-          sibling.Convolve(nodes[node].sat.ComplementAgainstAll());
-      pn.core_sat = CountVector::All(unsat_all.universe_size()) - unsat_all;
-      pn.sat = pn.core_sat.Convolve(CountVector::All(pn.free_endo));
+      CountVector sibling = SiblingCombine(parent, j);
+      Node& pn = nodes[parent];
+      if (pn.kind == Node::Kind::kComponent) {
+        pn.sat = sibling.Convolve(nodes[node].sat);
+      } else {
+        CountVector unsat_all =
+            sibling.Convolve(nodes[node].sat.ComplementAgainstAll());
+        pn.core_sat = CountVector::All(unsat_all.universe_size()) - unsat_all;
+        pn.sat = pn.core_sat.Convolve(CountVector::All(pn.free_endo));
+      }
+      MarkChildDirty(pn, j);
     }
-    MarkChildDirty(pn, j);
     ResignNode(parent);
     node = parent;
   }
@@ -564,8 +611,16 @@ void ShapleyEngine::Impl::PatchAncestors(int dirty) {
 // under-sized after an insert added nodes, so it is dropped and re-allocated
 // by the next parallel query.
 void ShapleyEngine::Impl::FinishMutation() {
-  baseline =
-      nodes[root].sat.Convolve(CountVector::All(global_free_endo));
+  if (core == EngineCore::kArena) {
+    // Every r-vector embeds path products and the All(global_free_endo)
+    // root seed; the orbit-id cache keys off the (possibly changed) player
+    // set. Both are stale after any value-affecting mutation.
+    arena.InvalidateValues();
+    baseline = arena.SatOf(root).Convolve(CountVector::All(global_free_endo));
+  } else {
+    baseline =
+        nodes[root].sat.Convolve(CountVector::All(global_free_endo));
+  }
   orbit_values.clear();
   orbit_keys_dirty = true;
   context_once.reset();
@@ -594,7 +649,12 @@ void ShapleyEngine::Impl::RouteInsert(int node_id, uint32_t arena_index,
       leaf.leaf_state = arena_endo[arena_index]
                             ? GroundFactState::kEndogenous
                             : GroundFactState::kExogenous;
-      leaf.sat = GroundLeafSat(leaf.negated, leaf.leaf_state);
+      if (core == EngineCore::kArena) {
+        arena.SetLeafSat(node_id,
+                         GroundLeafSat(leaf.negated, leaf.leaf_state));
+      } else {
+        leaf.sat = GroundLeafSat(leaf.negated, leaf.leaf_state);
+      }
       leaf_of_fact[fact] = node_id;
       if (arena_endo[arena_index]) {
         leaf_of_endo[db->endo_index(fact)] = node_id;
@@ -631,7 +691,11 @@ void ShapleyEngine::Impl::RouteInsert(int node_id, uint32_t arena_index,
     // build-time slicing exactly.
     if (arena_endo[arena_index]) {
       ++node.free_endo;
-      node.sat = node.core_sat.Convolve(CountVector::All(node.free_endo));
+      if (core == EngineCore::kArena) {
+        arena.SetFreeEndo(node_id, static_cast<uint32_t>(node.free_endo));
+      } else {
+        node.sat = node.core_sat.Convolve(CountVector::All(node.free_endo));
+      }
       free_node_of_fact[fact] = node_id;
       ResignNode(node_id);
       PatchAncestors(node_id);
@@ -653,6 +717,10 @@ void ShapleyEngine::Impl::RouteInsert(int node_id, uint32_t arena_index,
   IndexLists slice_lists(node.atom_ids.size());
   slice_lists[local].push_back(arena_index);
   const std::vector<size_t> atom_ids_copy = node.atom_ids;
+  // BuildNode fills the new subtree's tree-side sat vectors in both modes
+  // (its bottom-up math only reads nodes it just built); the arena compile
+  // step below then moves them into the flat buffer, node-id order preserved.
+  const size_t first_new = nodes.size();
   const int child = BuildNode(sliced, std::move(slice_lists), atom_ids_copy);
   // BuildNode grew the node vector: re-acquire the reference.
   Node& grown = nodes[node_id];
@@ -660,10 +728,17 @@ void ShapleyEngine::Impl::RouteInsert(int node_id, uint32_t arena_index,
   nodes[child].child_index = static_cast<int>(grown.children.size());
   grown.children.push_back(child);
   grown.child_by_value[root_value.id] = child;
-  CountVector unsat_all = grown.core_sat.ComplementAgainstAll().Convolve(
-      nodes[child].sat.ComplementAgainstAll());
-  grown.core_sat = CountVector::All(unsat_all.universe_size()) - unsat_all;
-  grown.sat = grown.core_sat.Convolve(CountVector::All(grown.free_endo));
+  if (core == EngineCore::kArena) {
+    for (size_t id = first_new; id < nodes.size(); ++id) {
+      AbsorbNodeIntoArena(static_cast<int>(id));
+    }
+    arena.SpliceNewChild(node_id, child);
+  } else {
+    CountVector unsat_all = grown.core_sat.ComplementAgainstAll().Convolve(
+        nodes[child].sat.ComplementAgainstAll());
+    grown.core_sat = CountVector::All(unsat_all.universe_size()) - unsat_all;
+    grown.sat = grown.core_sat.Convolve(CountVector::All(grown.free_endo));
+  }
   // The child list grew: the context table is stale, and the next
   // EnsurePartials re-sizes the partial-product arrays (old prefixes stay
   // valid — they exclude the appended child — old suffixes rebuild lazily).
@@ -722,7 +797,11 @@ void ShapleyEngine::Impl::ApplyDelete(FactId fact, bool endo,
     leaf_of_fact.erase(leaf_it);
     Node& leaf = nodes[leaf_id];
     leaf.leaf_state = GroundFactState::kAbsent;
-    leaf.sat = GroundLeafSat(leaf.negated, leaf.leaf_state);
+    if (core == EngineCore::kArena) {
+      arena.SetLeafSat(leaf_id, GroundLeafSat(leaf.negated, leaf.leaf_state));
+    } else {
+      leaf.sat = GroundLeafSat(leaf.negated, leaf.leaf_state);
+    }
     ResignNode(leaf_id);
     PatchAncestors(leaf_id);
     return;
@@ -734,7 +813,11 @@ void ShapleyEngine::Impl::ApplyDelete(FactId fact, bool endo,
     Node& node = nodes[node_id];
     SHAPCQ_CHECK(node.free_endo > 0);
     --node.free_endo;
-    node.sat = node.core_sat.Convolve(CountVector::All(node.free_endo));
+    if (core == EngineCore::kArena) {
+      arena.SetFreeEndo(node_id, static_cast<uint32_t>(node.free_endo));
+    } else {
+      node.sat = node.core_sat.Convolve(CountVector::All(node.free_endo));
+    }
     ResignNode(node_id);
     PatchAncestors(node_id);
     return;
@@ -757,7 +840,14 @@ ShapleyEngine::~ShapleyEngine() = default;
 ShapleyEngine::ShapleyEngine(ShapleyEngine&&) noexcept = default;
 ShapleyEngine& ShapleyEngine::operator=(ShapleyEngine&&) noexcept = default;
 
-Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db) {
+std::optional<EngineCore> ParseEngineCore(const std::string& name) {
+  if (name == "arena") return EngineCore::kArena;
+  if (name == "tree") return EngineCore::kTree;
+  return std::nullopt;
+}
+
+Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db,
+                                           EngineCore core) {
   if (!IsSafe(q)) {
     return Result<ShapleyEngine>::Error(
         "ShapleyEngine requires safe negation: " + q.ToString());
@@ -774,6 +864,7 @@ Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db) {
   ShapleyEngine engine;
   engine.impl_ = std::make_unique<Impl>();
   Impl& impl = *engine.impl_;
+  impl.core = core;
   impl.db = &db;
   impl.endo_count = db.endogenous_count();
   impl.leaf_of_endo.assign(impl.endo_count, -1);
@@ -803,9 +894,32 @@ Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db) {
   }
   impl.global_free_endo = impl.endo_count - relevant_endo;
 
+  // Heuristic pre-size: the recursion creates at most a few nodes per
+  // matched fact (leaf groups plus their component/root-var spine), and Node
+  // is container-heavy, so growth reallocations are the expensive kind.
+  impl.nodes.reserve(2 * impl.arena_fact.size() + 16);
   impl.root = impl.BuildNode(q, std::move(lists), atom_ids);
   impl.baseline = impl.nodes[impl.root].sat.Convolve(
       CountVector::All(impl.global_free_endo));
+
+  // kArena: compile the freshly built tree into the flat arena — every
+  // memoized count vector moves into the contiguous cell buffer (the tree
+  // nodes keep routing metadata), and the topological node order is fixed.
+  if (core == EngineCore::kArena) {
+    impl.arena.Reserve(impl.nodes.size());
+    size_t cell_count = 0;
+    for (const Impl::Node& node : impl.nodes) {
+      cell_count += node.sat.universe_size() + 1;
+      if (node.kind == Impl::Node::Kind::kRootVar) {
+        cell_count += node.core_sat.universe_size() + 1;
+      }
+    }
+    impl.arena.ReserveCells(cell_count);
+    for (size_t id = 0; id < impl.nodes.size(); ++id) {
+      impl.AbsorbNodeIntoArena(static_cast<int>(id));
+    }
+    impl.arena.SealStructure(impl.root);
+  }
 
   // Orbit keys: the hash-consed signature of every node on the leaf-to-root
   // path. Equal keys -> the leaves are related by a tree automorphism ->
@@ -825,6 +939,11 @@ Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db) {
     if (leaf < 0) ++impl.stats.null_player_count;
   }
   return Result<ShapleyEngine>::Ok(std::move(engine));
+}
+
+EngineCore ShapleyEngine::core() const {
+  SHAPCQ_CHECK(impl_ != nullptr);
+  return impl_->core;
 }
 
 const CountVector& ShapleyEngine::BaselineSat() const {
@@ -884,6 +1003,24 @@ std::vector<Rational> ShapleyEngine::AllValues(const ParallelOptions& options) {
     }
   }
 
+  if (impl.core == EngineCore::kArena) {
+    // The arena parallelizes below the value assembly: WarmValuePaths fills
+    // every representative's r-vector with a level-parallel sweep (slot
+    // lengths pinned by a serial prepass, so workers never move the cell
+    // buffer), then the serial assembly reads warm state only. Bit-identical
+    // to the serial path at every thread count by the slot-per-result
+    // argument in engine_arena.h.
+    if (rep_endo.size() > 1) {
+      Combinatorics::Prewarm(impl.endo_count);
+      std::vector<int> rep_leaves;
+      rep_leaves.reserve(rep_endo.size());
+      for (size_t e : rep_endo) rep_leaves.push_back(impl.leaf_of_endo[e]);
+      impl.arena.WarmValuePaths(rep_leaves, impl.global_free_endo,
+                                num_threads);
+    }
+    return AllValues();
+  }
+
   if (rep_endo.size() > 1) {
     // Workers only ever read the caches on the hot path after this.
     Combinatorics::Prewarm(impl.endo_count);
@@ -914,6 +1051,16 @@ std::vector<size_t> ShapleyEngine::OrbitIds() {
   SHAPCQ_CHECK(impl_ != nullptr);
   Impl& impl = *impl_;
   impl.RefreshOrbitKeysIfDirty();
+  // The arena memoizes the dense id vector across queries (mutations drop it
+  // via InvalidateValues): the sampling tier calls OrbitIds per report, and
+  // the key re-collection above is pure overhead when nothing changed.
+  if (impl.core == EngineCore::kArena && impl.arena.HasOrbitIds()) {
+    const std::vector<size_t>& cached = impl.arena.CachedOrbitIds();
+    size_t orbit_count = 0;  // ids are dense first-seen: count = max + 1
+    for (size_t id : cached) orbit_count = std::max(orbit_count, id + 1);
+    impl.stats.orbit_count = orbit_count;
+    return cached;
+  }
   std::map<std::vector<int>, size_t> ids;  // empty key = the null orbit
   std::vector<size_t> out;
   out.reserve(impl.endo_count);
@@ -922,6 +1069,7 @@ std::vector<size_t> ShapleyEngine::OrbitIds() {
         ids.emplace(impl.orbit_key_of_endo[e], ids.size()).first->second);
   }
   impl.stats.orbit_count = ids.size();
+  if (impl.core == EngineCore::kArena) impl.arena.CacheOrbitIds(out);
   return out;
 }
 
@@ -1002,6 +1150,10 @@ size_t ShapleyEngine::ApproxMemoryBytes() const {
   SHAPCQ_CHECK(impl_ != nullptr);
   const Impl& impl = *impl_;
   size_t bytes = sizeof(Impl);
+  // kArena: the cell buffer, slot table and SoA arrays (the tree loop below
+  // still runs — in arena mode its vectors are [1] identities, so it counts
+  // the routing metadata only).
+  bytes += impl.arena.ApproxMemoryBytes();
   for (const Impl::Node& node : impl.nodes) {
     bytes += sizeof(Impl::Node);
     bytes += node.sat.ApproxMemoryBytes();

@@ -38,6 +38,7 @@
 #define SHAPCQ_CORE_SHAPLEY_ENGINE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,20 @@
 #include "util/result.h"
 
 namespace shapcq {
+
+/// Which numeric core backs a built engine. kArena (the default) compiles
+/// the recursion tree into the flat EngineArena: count-vector cells in one
+/// contiguous buffer, evaluation as a shared difference-propagation sweep,
+/// mutation patches on arena ranges. kTree keeps every count vector inside
+/// the pointer-linked tree nodes — the original implementation, retained as
+/// the always-on differential oracle and the `--engine=tree` escape hatch.
+/// Both cores produce bit-identical values for every query and mutation
+/// sequence (the fuzz battery in tests/engine_arena_test.cc enforces it).
+enum class EngineCore { kArena, kTree };
+
+/// Maps "arena"/"tree" to the enum; nullopt for anything else. Shared by
+/// the CLI and server --engine flags and the report-request grammar.
+std::optional<EngineCore> ParseEngineCore(const std::string& name);
 
 /// One fact mutation for ShapleyEngine::ApplyDelta: an insert carries the
 /// fact literal, a delete the (stable) FactId of a live fact.
@@ -107,11 +122,16 @@ class ShapleyEngine {
   ShapleyEngine(ShapleyEngine&&) noexcept;
   ShapleyEngine& operator=(ShapleyEngine&&) noexcept;
 
-  /// Builds the shared index and memoized recursion tree. Requires q safe,
+  /// Builds the shared index and memoized recursion tree, then (with the
+  /// default kArena core) compiles it into the flat arena. Requires q safe,
   /// self-join-free and hierarchical (returns an error otherwise, mirroring
   /// CountSat). The database is captured by reference metadata only; it must
   /// outlive the engine.
-  static Result<ShapleyEngine> Build(const CQ& q, const Database& db);
+  static Result<ShapleyEngine> Build(const CQ& q, const Database& db,
+                                     EngineCore core = EngineCore::kArena);
+
+  /// Which numeric core this engine runs on.
+  EngineCore core() const;
 
   /// |Sat(D,q,k)| for all k of the unmodified database — identical to
   /// CountSat(q, db).

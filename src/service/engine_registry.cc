@@ -213,6 +213,7 @@ struct EngineRegistry::Impl {
     }
     ReportOptions full = options;
     full.top_k = 0;
+    full.engine_core = this->options.engine_core;
     auto built = BuildAttributionReport(session.query, *session.db, full);
     if (!built.ok()) return Result<AttributionReport>::Error(built.error());
     ++session.reports_served;
@@ -300,7 +301,8 @@ struct EngineRegistry::Impl {
             TruncatedCopy(it->second.table, options.top_k));
       }
     } else {
-      auto built = ShapleyEngine::Build(session.query, *session.db);
+      auto built = ShapleyEngine::Build(session.query, *session.db,
+                                        this->options.engine_core);
       if (!built.ok()) {
         return Result<AttributionReport>::Error(built.error());
       }

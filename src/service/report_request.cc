@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -151,10 +152,17 @@ Result<ReportRequest> ParseReportRequest(const std::string& args,
         return R::Error("bad force_approx value '" + value +
                         "' (expected 0 or 1)");
       }
+    } else if (key == "engine") {
+      const std::optional<EngineCore> core = ParseEngineCore(value);
+      if (!core.has_value()) {
+        return R::Error("bad engine value '" + value +
+                        "' (expected arena or tree)");
+      }
+      request.engine_core = *core;
     } else {
       return R::Error("unknown key '" + key +
                       "' (expected top_k, threads, approx, seed, "
-                      "max_samples or force_approx)");
+                      "max_samples, force_approx or engine)");
     }
   }
   if (!request.approx.enabled() &&

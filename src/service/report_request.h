@@ -14,6 +14,9 @@
 //   max_samples=M    per-orbit sample cap (0 = the full Hoeffding count;
 //                    capping widens the reported intervals)
 //   force_approx=0|1 sample even when an exact engine applies
+//   engine=arena|tree numeric core for per-report engine builds (arena =
+//                    the flat SoA arena, the default; tree = the
+//                    pointer-linked oracle); values are bit-identical
 //
 // Deprecated positional grammar, kept for protocol compatibility (the PR 4
 // transcripts): "[top_k] [--threads N]", with the original error strings.
@@ -35,6 +38,7 @@ struct ReportRequest {
   size_t top_k = 0;
   size_t threads = 1;
   ApproxSpec approx;            // enabled iff an approx key was given
+  EngineCore engine_core = EngineCore::kArena;
   bool deprecated_form = false; // parsed from the positional grammar
 
   /// The engine-facing options (exo/brute-force knobs stay default — they
@@ -44,6 +48,7 @@ struct ReportRequest {
     options.top_k = top_k;
     options.num_threads = threads;
     options.approx = approx;
+    options.engine_core = engine_core;
     return options;
   }
 };

@@ -34,6 +34,12 @@ class CountVector {
   /// Takes explicit counts; counts.size() must be universe_size + 1.
   static CountVector FromCounts(std::vector<BigInt> counts);
 
+  /// Moves the raw cells out (the engine-arena compile step flattens them
+  /// into its cell buffer). Leaves this vector empty (hollow) — only
+  /// destruction, reassignment and ApproxMemoryBytes are valid afterwards,
+  /// hence rvalue-only.
+  std::vector<BigInt> TakeCounts() && { return std::move(counts_); }
+
   size_t universe_size() const { return counts_.size() - 1; }
   /// Number of qualifying k-subsets.
   const BigInt& at(size_t k) const { return counts_[k]; }

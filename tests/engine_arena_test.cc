@@ -1,0 +1,312 @@
+// The flat SoA engine arena (core/engine_arena.h): unit tests of the cell
+// store, topological structure, slack/compaction and byte accounting on a
+// hand-built arena, engine-level degenerate cases, and the differential
+// fuzz battery of the migration contract — the arena core (the default)
+// must stay bit-identical to the pointer-tree oracle (--engine=tree) after
+// build and after every mutation, at every thread count.
+
+#include "core/engine_arena.h"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/shapley_engine.h"
+#include "datasets/query_gen.h"
+#include "datasets/synthetic.h"
+#include "datasets/university.h"
+#include "query/parser.h"
+#include "util/random.h"
+
+namespace shapcq {
+namespace {
+
+ParallelOptions Threads(size_t n) {
+  ParallelOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+CountVector Counts(std::vector<int> values) {
+  std::vector<BigInt> cells;
+  cells.reserve(values.size());
+  for (int v : values) cells.push_back(BigInt(v));
+  return CountVector::FromCounts(std::move(cells));
+}
+
+// A three-node arena built by hand (component root over two ground
+// leaves), bypassing ShapleyEngine: the unit tests below exercise the cell
+// store directly.
+EngineArena MakeSmallArena() {
+  EngineArena arena;
+  arena.AppendNode(EngineArena::NodeKind::kComponent, /*parent=*/-1,
+                   /*child_index=*/-1, {1, 2}, /*free_endo=*/0,
+                   /*negated=*/false, CountVector::All(4), CountVector());
+  arena.AppendNode(EngineArena::NodeKind::kGround, /*parent=*/0,
+                   /*child_index=*/0, {}, /*free_endo=*/0, /*negated=*/false,
+                   Counts({1, 2, 1}), CountVector());
+  arena.AppendNode(EngineArena::NodeKind::kGround, /*parent=*/0,
+                   /*child_index=*/1, {}, /*free_endo=*/0, /*negated=*/true,
+                   CountVector::Zero(3), CountVector());
+  arena.SealStructure(0);
+  return arena;
+}
+
+// ---------------------------------------------------------------------------
+// Unit tests on the hand-built arena.
+// ---------------------------------------------------------------------------
+
+TEST(EngineArenaTest, StructureAndSatRoundTrip) {
+  EngineArena arena = MakeSmallArena();
+  EXPECT_EQ(arena.node_count(), 3u);
+  EXPECT_EQ(arena.root(), 0);
+  arena.CheckInvariants();
+  EXPECT_EQ(arena.SatOf(0), CountVector::All(4));
+  EXPECT_EQ(arena.SatOf(1), Counts({1, 2, 1}));
+  EXPECT_EQ(arena.SatOf(2), CountVector::Zero(3));
+  EXPECT_EQ(arena.SlackCells(), 0u);
+}
+
+TEST(EngineArenaTest, LeafStoreReusesCapacityInPlace) {
+  EngineArena arena = MakeSmallArena();
+  // Same length as the absorbed vector: the slot is rewritten in place, no
+  // cells are stranded.
+  arena.SetLeafSat(1, Counts({3, 1, 4}));
+  EXPECT_EQ(arena.SlackCells(), 0u);
+  EXPECT_EQ(arena.SatOf(1), Counts({3, 1, 4}));
+  // Shorter also fits the capacity in place.
+  arena.SetLeafSat(1, Counts({7, 7}));
+  EXPECT_EQ(arena.SlackCells(), 0u);
+  EXPECT_EQ(arena.SatOf(1), Counts({7, 7}));
+  arena.CheckInvariants();
+}
+
+TEST(EngineArenaTest, WideningStoreStrandsSlackAndCompactReclaims) {
+  EngineArena arena = MakeSmallArena();
+  const size_t bytes_before = arena.ApproxMemoryBytes();
+  // Universe grew past the slot's capacity (3 cells): the vector moves to a
+  // fresh range and the old one becomes slack.
+  arena.SetLeafSat(1, CountVector::All(5));
+  EXPECT_EQ(arena.SlackCells(), 3u);
+  EXPECT_EQ(arena.SatOf(1), CountVector::All(5));
+  EXPECT_GT(arena.ApproxMemoryBytes(), bytes_before);
+  arena.CheckInvariants();
+
+  const size_t bytes_slack = arena.ApproxMemoryBytes();
+  arena.CompactCells();
+  EXPECT_EQ(arena.SlackCells(), 0u);
+  EXPECT_LE(arena.ApproxMemoryBytes(), bytes_slack);
+  // Values are untouched by compaction.
+  EXPECT_EQ(arena.SatOf(0), CountVector::All(4));
+  EXPECT_EQ(arena.SatOf(1), CountVector::All(5));
+  EXPECT_EQ(arena.SatOf(2), CountVector::Zero(3));
+  arena.CheckInvariants();
+}
+
+TEST(EngineArenaTest, ApproxMemoryBytesCoversTheCellBuffer) {
+  EngineArena arena = MakeSmallArena();
+  // 5 + 3 + 4 absorbed cells at 40 bytes of inline BigInt each is a hard
+  // floor for the buffer term of the estimate.
+  EXPECT_GE(arena.ApproxMemoryBytes(), 12 * sizeof(BigInt));
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: core selection and degenerate queries.
+// ---------------------------------------------------------------------------
+
+TEST(EngineArenaCoreTest, ParseEngineCoreMapsFlagValues) {
+  EXPECT_EQ(ParseEngineCore("arena"), EngineCore::kArena);
+  EXPECT_EQ(ParseEngineCore("tree"), EngineCore::kTree);
+  EXPECT_FALSE(ParseEngineCore("btree").has_value());
+  EXPECT_FALSE(ParseEngineCore("").has_value());
+}
+
+TEST(EngineArenaCoreTest, BuildReportsTheSelectedCore) {
+  UniversityDb u = BuildUniversityDb();
+  auto arena = ShapleyEngine::Build(UniversityQ1(), u.db);
+  ASSERT_TRUE(arena.ok()) << arena.error();
+  EXPECT_EQ(arena.value().core(), EngineCore::kArena);
+  auto tree = ShapleyEngine::Build(UniversityQ1(), u.db, EngineCore::kTree);
+  ASSERT_TRUE(tree.ok()) << tree.error();
+  EXPECT_EQ(tree.value().core(), EngineCore::kTree);
+}
+
+TEST(EngineArenaCoreTest, EmptyDatabaseAgreesAcrossCores) {
+  const CQ q = MustParseCQ("q() :- R(x)");
+  Database db;
+  auto arena_built = ShapleyEngine::Build(q, db);
+  ASSERT_TRUE(arena_built.ok()) << arena_built.error();
+  ShapleyEngine arena = std::move(arena_built).value();
+  auto tree_built = ShapleyEngine::Build(q, db, EngineCore::kTree);
+  ASSERT_TRUE(tree_built.ok()) << tree_built.error();
+  ShapleyEngine tree = std::move(tree_built).value();
+  EXPECT_TRUE(arena.AllValues().empty());
+  EXPECT_TRUE(tree.AllValues().empty());
+  EXPECT_EQ(arena.BaselineSat(), tree.BaselineSat());
+  EXPECT_GT(arena.ApproxMemoryBytes(), 0u);
+}
+
+TEST(EngineArenaCoreTest, ExogenousOnlyDatabaseAgreesAcrossCores) {
+  const CQ q = MustParseCQ("q() :- R(x)");
+  Database db;
+  db.AddExo("R", {V("a")});
+  db.AddExo("S", {V("b")});
+  auto arena_built = ShapleyEngine::Build(q, db);
+  ASSERT_TRUE(arena_built.ok()) << arena_built.error();
+  ShapleyEngine arena = std::move(arena_built).value();
+  auto tree_built = ShapleyEngine::Build(q, db, EngineCore::kTree);
+  ASSERT_TRUE(tree_built.ok()) << tree_built.error();
+  ShapleyEngine tree = std::move(tree_built).value();
+  EXPECT_TRUE(arena.AllValues().empty());
+  EXPECT_TRUE(tree.AllValues().empty());
+  EXPECT_EQ(arena.BaselineSat(), tree.BaselineSat());
+}
+
+// ---------------------------------------------------------------------------
+// The migration contract: arena vs tree oracle, bit-identical, at every
+// thread count, after build and after every delta.
+// ---------------------------------------------------------------------------
+
+// Compares the arena engine (at thread counts 1/2/4/8) against the tree
+// oracle's serial values: same Rationals, same canonical renderings, same
+// baseline, same orbit partition.
+void ExpectCoresAgree(ShapleyEngine& arena_engine, ShapleyEngine& tree_engine,
+                      size_t endo_count, const std::string& label) {
+  const std::vector<Rational> oracle = tree_engine.AllValues();
+  ASSERT_EQ(oracle.size(), endo_count) << label;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    const std::vector<Rational> got =
+        arena_engine.AllValues(Threads(threads));
+    ASSERT_EQ(got.size(), oracle.size()) << label << ", t=" << threads;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], oracle[i])
+          << label << ", t=" << threads << ", endo index " << i;
+      ASSERT_EQ(got[i].ToString(), oracle[i].ToString())
+          << label << ", t=" << threads << ", endo index " << i;
+    }
+  }
+  EXPECT_EQ(arena_engine.BaselineSat(), tree_engine.BaselineSat()) << label;
+  EXPECT_EQ(arena_engine.OrbitIds(), tree_engine.OrbitIds()) << label;
+}
+
+class EngineArenaDifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineArenaDifferentialFuzz, BitIdenticalToTreeOracleUnderDeltas) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 50021 + 7);
+  QueryGenOptions query_options;
+  query_options.max_depth = 3;
+  query_options.max_branch = 2;
+  const CQ q = RandomHierarchicalCq(query_options, &rng);
+  SyntheticOptions db_options;
+  db_options.domain_size = 3;
+  db_options.facts_per_relation = 4;
+  Database arena_db = RandomDatabaseForQuery(q, {}, db_options, &rng);
+  // Each engine maintains its own copy of the database; identical deltas
+  // keep the copies (and the stable FactIds) in lockstep.
+  Database tree_db = arena_db;
+
+  auto arena_built = ShapleyEngine::Build(q, arena_db);
+  ASSERT_TRUE(arena_built.ok()) << arena_built.error() << " for "
+                                << q.ToString();
+  ShapleyEngine arena_engine = std::move(arena_built).value();
+  auto tree_built = ShapleyEngine::Build(q, tree_db, EngineCore::kTree);
+  ASSERT_TRUE(tree_built.ok()) << tree_built.error() << " for "
+                               << q.ToString();
+  ShapleyEngine tree_engine = std::move(tree_built).value();
+
+  ExpectCoresAgree(arena_engine, tree_engine, arena_db.endogenous_count(),
+                   q.ToString() + " after build");
+
+  std::vector<FactId> live;
+  for (size_t i = 0; i < arena_db.fact_slot_count(); ++i) {
+    live.push_back(static_cast<FactId>(i));
+  }
+  std::vector<std::pair<std::string, size_t>> insertable;
+  for (const Atom& atom : q.atoms()) {
+    insertable.emplace_back(atom.relation, atom.arity());
+  }
+  insertable.emplace_back("Alien", 1);
+
+  const int kDeltas = 8;
+  for (int step = 0; step < kDeltas; ++step) {
+    const bool do_delete = !live.empty() && rng.Bernoulli(0.45);
+    if (do_delete) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(live.size()));
+      const FactId victim = live[pick];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+      auto arena_deleted = arena_engine.DeleteFact(arena_db, victim);
+      ASSERT_TRUE(arena_deleted.ok())
+          << arena_deleted.error() << " for " << q.ToString();
+      auto tree_deleted = tree_engine.DeleteFact(tree_db, victim);
+      ASSERT_TRUE(tree_deleted.ok())
+          << tree_deleted.error() << " for " << q.ToString();
+    } else {
+      const auto& [relation, arity] =
+          insertable[rng.UniformInt(insertable.size())];
+      Tuple tuple;
+      for (size_t t = 0; t < arity; ++t) {
+        tuple.push_back(V("c" + std::to_string(rng.UniformInt(4))));
+      }
+      if (arena_db.FindFact(relation, tuple) != kNoFact) continue;
+      const bool endogenous = rng.Bernoulli(0.7);
+      auto arena_inserted =
+          arena_engine.InsertFact(arena_db, relation, tuple, endogenous);
+      ASSERT_TRUE(arena_inserted.ok())
+          << arena_inserted.error() << " for " << q.ToString();
+      auto tree_inserted =
+          tree_engine.InsertFact(tree_db, relation, tuple, endogenous);
+      ASSERT_TRUE(tree_inserted.ok())
+          << tree_inserted.error() << " for " << q.ToString();
+      // Stable ids must allocate identically, or later deletes diverge.
+      ASSERT_EQ(arena_inserted.value(), tree_inserted.value());
+      live.push_back(arena_inserted.value());
+    }
+    ASSERT_EQ(arena_db.ToString(), tree_db.ToString());
+    ExpectCoresAgree(arena_engine, tree_engine, arena_db.endogenous_count(),
+                     q.ToString() + " after delta " + std::to_string(step));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GeneratedQueries, EngineArenaDifferentialFuzz,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Thread axis on a fixed workload (also the TSan target: the level-parallel
+// warm sweep writes disjoint slots of one shared cell buffer).
+// ---------------------------------------------------------------------------
+
+TEST(EngineArenaParallelTest, ThreadCountsBitIdenticalOnScalingDb) {
+  const CQ q = UniversityQ1();
+  Database db = BuildStudentScalingDb(6, 3);
+  auto built = ShapleyEngine::Build(q, db);
+  ASSERT_TRUE(built.ok()) << built.error();
+  ShapleyEngine engine = std::move(built).value();
+  const std::vector<Rational> serial = engine.AllValues(Threads(1));
+  for (const size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(engine.AllValues(Threads(threads)), serial)
+        << "t=" << threads;
+  }
+
+  // And again on a mutated engine, against a fresh tree oracle.
+  const Atom& atom = q.atoms().front();
+  Tuple tuple;
+  for (size_t t = 0; t < atom.arity(); ++t) {
+    tuple.push_back(V("zz" + std::to_string(t)));
+  }
+  auto inserted = engine.InsertFact(db, atom.relation, tuple, true);
+  ASSERT_TRUE(inserted.ok()) << inserted.error();
+  auto oracle_built = ShapleyEngine::Build(q, db, EngineCore::kTree);
+  ASSERT_TRUE(oracle_built.ok()) << oracle_built.error();
+  ShapleyEngine oracle = std::move(oracle_built).value();
+  const std::vector<Rational> expected = oracle.AllValues();
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(engine.AllValues(Threads(threads)), expected)
+        << "t=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace shapcq

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""CI gate for the flat-arena engine perf claim.
+
+Reads the Google Benchmark JSON produced by bench_shapley_all and compares
+the arena-core all-facts rows (BM_EngineAllFacts, the default engine core)
+against the pointer-tree rows recorded in the same run
+(BM_EngineAllFactsTree, the always-on differential oracle behind
+--engine=tree). Both rows time the value-computation sweep on a freshly
+built engine — tree construction is identical serial work in either core
+and is excluded (BM_EngineBuildOnly tracks it in the same JSON). Because
+both cores run on the same machine in the same process, the ratio is free
+of cross-host drift.
+
+Fails (exit 1) if the speedup at any size with endo >= --min-endo (default
+70, where the shared prefix/suffix sweep has real fan-out to amortize)
+falls below --min-speedup (default 1.3x; measured values are far higher).
+
+usage: check_arena_speedup.py BENCH_JSON [--min-speedup 1.3] [--min-endo 70]
+"""
+
+import argparse
+import json
+import sys
+
+ARENA = "BM_EngineAllFacts/"
+TREE = "BM_EngineAllFactsTree/"
+
+
+def rows_by_arg(benchmarks, prefix):
+    """arg -> (real_time, endo) for the non-aggregate rows of one family."""
+    out = {}
+    for row in benchmarks:
+        name = row.get("name", "")
+        if not name.startswith(prefix) or row.get("run_type") == "aggregate":
+            continue
+        arg = name[len(prefix):].split("/")[0]
+        label = row.get("label", "")
+        endo = None
+        for token in label.split():
+            if token.startswith("endo="):
+                endo = int(token[len("endo="):])
+        out[arg] = (float(row["real_time"]), endo)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("bench_json")
+    parser.add_argument("--min-speedup", type=float, default=1.3)
+    parser.add_argument("--min-endo", type=int, default=70)
+    args = parser.parse_args()
+
+    with open(args.bench_json) as handle:
+        report = json.load(handle)
+    benchmarks = report.get("benchmarks", [])
+    arena = rows_by_arg(benchmarks, ARENA)
+    tree = rows_by_arg(benchmarks, TREE)
+
+    gated = []
+    for arg in sorted(set(arena) & set(tree), key=int):
+        arena_ns, endo = arena[arg]
+        tree_ns, _ = tree[arg]
+        if endo is None or endo < args.min_endo:
+            continue
+        gated.append((arg, endo, tree_ns / arena_ns, arena_ns, tree_ns))
+    if not gated:
+        print("error: no comparable BM_EngineAllFacts/BM_EngineAllFactsTree "
+              f"rows with endo >= {args.min_endo} found", file=sys.stderr)
+        return 1
+
+    failed = False
+    for arg, endo, speedup, arena_ns, tree_ns in gated:
+        verdict = "OK" if speedup >= args.min_speedup else "REGRESSION"
+        print(f"all-facts arg {arg} (endo={endo}): arena {arena_ns:.0f} ns "
+              f"vs tree {tree_ns:.0f} ns -> speedup {speedup:.2f}x "
+              f"[{verdict}]")
+        failed = failed or speedup < args.min_speedup
+    if failed:
+        print(f"error: arena speedup fell below the "
+              f"{args.min_speedup:.1f}x floor at endo >= {args.min_endo}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

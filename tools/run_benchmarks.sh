@@ -23,12 +23,27 @@
 # a missing binary or a crashed benchmark fails the script loudly instead of
 # leaving a partial BENCH_*.json behind.
 #
-#   tools/run_benchmarks.sh [build-dir]
+# Checked-in recordings are protected against CPU downgrades: once a
+# BENCH_*.json was recorded on a multi-core host (the bench-multicore CI
+# job), re-recording it on a host with fewer CPUs refuses to overwrite the
+# file — a single-core container run must not silently clobber the only
+# recording on which the parallel speedup claims are physically meaningful.
+# Pass --allow-downgrade to override deliberately.
+#
+#   tools/run_benchmarks.sh [--allow-downgrade] [build-dir]
 #
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build-bench}"
+allow_downgrade=0
+positional=()
+for arg in "$@"; do
+  case "$arg" in
+    --allow-downgrade) allow_downgrade=1 ;;
+    *) positional+=("$arg") ;;
+  esac
+done
+build_dir="${positional[0]:-$repo_root/build-bench}"
 
 git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
 host_nproc="$(nproc)"
@@ -50,6 +65,38 @@ for target in "${bench_targets[@]}"; do
   fi
 done
 
+# Refuses to replace an existing recording with one from a host with fewer
+# CPUs (per the num_cpus/host_nproc context of both files) unless
+# --allow-downgrade was passed. Exits 0 when the overwrite is fine.
+guard_cpu_downgrade() {
+  local out="$1" tmp="$2"
+  [[ -f "$out" && "$allow_downgrade" != 1 ]] || return 0
+  if ! python3 - "$out" "$tmp" <<'EOF'
+import json, sys
+
+def cpus(path):
+    try:
+        ctx = json.load(open(path)).get("context", {})
+    except (OSError, ValueError):
+        return None
+    try:
+        return int(ctx.get("num_cpus", ctx.get("host_nproc")))
+    except (TypeError, ValueError):
+        return None
+
+old, new = cpus(sys.argv[1]), cpus(sys.argv[2])
+if old is not None and new is not None and new < old:
+    print(f"refusing to overwrite {sys.argv[1]}: existing recording is from "
+          f"a {old}-CPU host, this run has {new} CPUs", file=sys.stderr)
+    sys.exit(1)
+EOF
+  then
+    echo "error: pass --allow-downgrade to deliberately re-record" \
+         "$out on a smaller host" >&2
+    return 1
+  fi
+}
+
 # Runs one benchmark binary and atomically publishes its JSON: the output
 # lands in BENCH_*.json only if the benchmark exits zero and the JSON is
 # well-formed.
@@ -63,6 +110,7 @@ record() {
       --benchmark_out="$tmp" \
       --benchmark_out_format=json
   python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$tmp"
+  guard_cpu_downgrade "$out" "$tmp"
   mv "$tmp" "$out"
 }
 
@@ -89,7 +137,8 @@ record_to() {
 }
 record_to bench_additive_fpras "$approx_tmp"
 record_to bench_gap_property "$gap_tmp"
-python3 - "$approx_tmp" "$gap_tmp" "$repo_root/BENCH_approx.json" <<'EOF'
+approx_merged="$repo_root/BENCH_approx.json.tmp"
+python3 - "$approx_tmp" "$gap_tmp" "$approx_merged" <<'EOF'
 import json, sys
 merged = json.load(open(sys.argv[1]))
 gap = json.load(open(sys.argv[2]))
@@ -98,7 +147,11 @@ with open(sys.argv[3], "w") as out:
     json.dump(merged, out, indent=2)
 EOF
 rm -f "$approx_tmp" "$gap_tmp"
+guard_cpu_downgrade "$repo_root/BENCH_approx.json" "$approx_merged"
+mv "$approx_merged" "$repo_root/BENCH_approx.json"
 
+"$repo_root/tools/check_arena_speedup.py" \
+    "$repo_root/BENCH_shapley.json"
 "$repo_root/tools/check_incremental_speedup.py" \
     "$repo_root/BENCH_incremental.json"
 "$repo_root/tools/check_server_speedup.py" \

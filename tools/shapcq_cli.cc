@@ -43,8 +43,8 @@ void PrintUsage() {
       "usage: shapcq_cli --db FACTS --query RULE [--exo R1,R2,...]\n"
       "                  [--threads N] [--top-k K] [--brute-force]\n"
       "                  [--approx EPS,DELTA] [--seed S] [--max-samples M]\n"
-      "                  [--force-approx] [--classify-only] [--explain]\n"
-      "                  [--mutate FILE]\n"
+      "                  [--force-approx] [--engine arena|tree]\n"
+      "                  [--classify-only] [--explain] [--mutate FILE]\n"
       "  FACTS: whitespace-separated facts, '*' suffix = endogenous,\n"
       "         e.g. \"Stud(a) TA(a)* Reg(a,os)*\"\n"
       "  RULE:  e.g. \"q() :- Stud(x), not TA(x), Reg(x,y)\"\n"
@@ -65,8 +65,11 @@ void PrintUsage() {
       "  max_samples=M    per-orbit sample cap (0 = the full Hoeffding\n"
       "                   count; capping widens the intervals)\n"
       "  force_approx=0|1 sample even when an exact engine applies\n"
+      "  engine=arena|tree numeric core for the exact engine (arena = the\n"
+      "                   flat SoA default, tree = the pointer-linked\n"
+      "                   oracle); values are bit-identical either way\n"
       "The flags --top-k/--threads/--approx/--seed/--max-samples/\n"
-      "--force-approx assemble exactly these key=value pairs.\n");
+      "--force-approx/--engine assemble exactly these key=value pairs.\n");
 }
 
 // Replays a delta file against the incremental engine and prints the
@@ -75,7 +78,7 @@ int RunMutateReplay(const shapcq::CQ& q, shapcq::Database& db,
                     const std::string& path,
                     const shapcq::ReportOptions& options) {
   using namespace shapcq;
-  auto built = ShapleyEngine::Build(q, db);
+  auto built = ShapleyEngine::Build(q, db, options.engine_core);
   if (!built.ok()) {
     std::fprintf(stderr, "--mutate needs the incremental engine: %s\n",
                  built.error().c_str());
@@ -172,6 +175,8 @@ int main(int argc, char** argv) {
       request_text += std::string(" max_samples=") + next();
     } else if (arg == "--force-approx") {
       request_text += " force_approx=1";
+    } else if (arg == "--engine") {
+      request_text += std::string(" engine=") + next();
     } else if (arg == "--brute-force") {
       brute_force = true;
     } else if (arg == "--classify-only") {
