@@ -13,6 +13,7 @@
 
 #include "core/monte_carlo.h"
 #include "eval/homomorphism.h"
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -324,10 +325,14 @@ Result<ApproxEngine> ApproxEngine::Create(const CQ& q, const Database& db,
 }
 
 Result<std::vector<ApproxRow>> ApproxEngine::EstimateAll(
-    const ApproxSpec& spec, size_t num_threads) {
+    const ApproxSpec& spec, size_t num_threads, const CancelToken* cancel) {
   using R = Result<std::vector<ApproxRow>>;
   auto valid = spec.Validate();
   if (!valid.ok()) return R::Error(valid.error());
+  if (cancel != nullptr && !cancel->Enabled()) cancel = nullptr;
+  if (cancel != nullptr && cancel->Expired()) {
+    return R::Error(CancelToken::kCancelledMessage);
+  }
 
   Impl& impl = *impl_;
   const Database& db = *impl.db;
@@ -393,12 +398,29 @@ Result<std::vector<ApproxRow>> ApproxEngine::EstimateAll(
                              : chunk;
     impl.RunChunk(rep, chunk_index, count, spec.seed, &slots[task]);
   };
+  // Cancellation polls sit at chunk boundaries: a chunk is one
+  // deterministic RNG stream, so skipping whole chunks never perturbs the
+  // streams an uncancelled retry replays. Workers that observe an expired
+  // token skip their remaining tasks; the run then fails as a whole below
+  // (partial sums are discarded — only the coalition cache, which cannot
+  // affect values, keeps its warmth).
   const size_t threads = ThreadPool::ResolveThreadCount(num_threads);
   if (threads <= 1 || slots.size() <= 1) {
-    for (size_t task = 0; task < slots.size(); ++task) run_task(task);
+    for (size_t task = 0; task < slots.size(); ++task) {
+      if (cancel != nullptr && cancel->Expired()) {
+        return R::Error(CancelToken::kCancelledMessage);
+      }
+      run_task(task);
+    }
   } else {
     ThreadPool pool(threads);
-    pool.ParallelFor(slots.size(), run_task);
+    pool.ParallelFor(slots.size(), [&](size_t task) {
+      if (cancel != nullptr && cancel->Expired()) return;
+      run_task(task);
+    });
+    if (cancel != nullptr && cancel->Expired()) {
+      return R::Error(CancelToken::kCancelledMessage);
+    }
   }
 
   // Serial fixed-order reduction: per-orbit integer totals, then the exact

@@ -54,6 +54,8 @@
 
 namespace shapcq {
 
+class CancelToken;  // util/cancel.h
+
 /// An (ε, δ) approximation request: the sampling parameters a report caller
 /// provides. Carried inside ReportOptions and in the serving layer's report
 /// cache keys.
@@ -163,9 +165,15 @@ class ApproxEngine {
 
   /// Estimates every endogenous fact's Shapley value (endo-index order).
   /// `num_threads`: 1 = serial, 0 = hardware concurrency; bit-identical
-  /// output at every setting. `spec` must validate.
+  /// output at every setting. `spec` must validate. A non-null `cancel`
+  /// token is polled at chunk boundaries (each chunk is one deterministic
+  /// RNG stream); on expiry EstimateAll returns the cancellation error.
+  /// The coalition cache keeps whatever a cancelled run warmed — cache
+  /// content never affects values, only speed.
   Result<std::vector<ApproxRow>> EstimateAll(const ApproxSpec& spec,
-                                             size_t num_threads);
+                                             size_t num_threads,
+                                             const CancelToken* cancel =
+                                                 nullptr);
 
   /// Counters of the most recent EstimateAll run.
   const ApproxRunInfo& info() const;

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/combinatorics.h"
 #include "util/thread_pool.h"
@@ -507,13 +508,18 @@ Rational EngineArena::ValueAtLeaf(int leaf, size_t endo_count,
   return Rational(std::move(numerator), Combinatorics::Factorial(n));
 }
 
-void EngineArena::WarmValuePaths(const std::vector<int>& leaves,
-                                 size_t global_free_endo, size_t num_threads) {
-  if (root_ < 0 || leaves.empty()) return;
+bool EngineArena::WarmValuePaths(const std::vector<int>& leaves,
+                                 size_t global_free_endo, size_t num_threads,
+                                 const CancelToken* cancel) {
+  if (root_ < 0 || leaves.empty()) return true;
+  if (cancel != nullptr && cancel->Expired()) return false;
   const size_t threads = ThreadPool::ResolveThreadCount(num_threads);
   if (threads <= 1) {
-    for (int leaf : leaves) EnsureR(leaf, global_free_endo);
-    return;
+    for (int leaf : leaves) {
+      if (cancel != nullptr && cancel->Expired()) return false;
+      EnsureR(leaf, global_free_endo);
+    }
+    return true;
   }
   EnsureTopo();
   const size_t n = kind_.size();
@@ -552,7 +558,7 @@ void EngineArena::WarmValuePaths(const std::vector<int>& leaves,
                               : std::min(need_suffix_from[p], j + 1);
     if (rfree_epoch_[p] != epoch_) need_rfree[p] = 1;
   }
-  if (!any) return;
+  if (!any) return true;
 
   // Serial prepass, in (depth, id) order: compute every result's exact
   // length (universes add under convolution, so lengths are static functions
@@ -649,8 +655,13 @@ void EngineArena::WarmValuePaths(const std::vector<int>& leaves,
     if (levels.size() <= d) levels.resize(d + 1);
     levels[d].push_back(node);
   }
+  // Cancellation polls sit BETWEEN levels: inside a level every slot write
+  // is all-or-nothing per task, and the epoch watermarks of a level that
+  // never ran simply stay cold — a cancelled sweep leaves the arena in a
+  // state the serial on-demand path recomputes from correctly.
   ThreadPool pool(threads);
   for (const std::vector<int32_t>& level : levels) {
+    if (cancel != nullptr && cancel->Expired()) return false;
     pool.ParallelFor(level.size(), [&](size_t index) {
       const int32_t node = level[index];
       if (need_r[node] != 0) {
@@ -710,6 +721,7 @@ void EngineArena::WarmValuePaths(const std::vector<int>& leaves,
       if (need_rfree[node] != 0) rfree_epoch_[node] = epoch_;
     });
   }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

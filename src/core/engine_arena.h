@@ -60,6 +60,8 @@
 
 namespace shapcq {
 
+class CancelToken;  // util/cancel.h
+
 /// Compiled SoA form of the memoized CntSat recursion tree. See the file
 /// comment for the layout and the difference-propagation evaluation sweep.
 class EngineArena {
@@ -140,9 +142,13 @@ class EngineArena {
   /// marked nodes when num_threads > 1, serial otherwise. Results of
   /// subsequent ValueAtLeaf calls are bit-identical at every thread count
   /// (each slot is written once, and every vector is a pure function of the
-  /// built index).
-  void WarmValuePaths(const std::vector<int>& leaves, size_t global_free_endo,
-                      size_t num_threads);
+  /// built index). A non-null `cancel` token is polled at level boundaries
+  /// (serial mode: per leaf); returns false when the sweep stopped early on
+  /// an expired token. A partial warm is fully consistent: epoch watermarks
+  /// advance only for completed slots, so cold nodes simply recompute on
+  /// the next (possibly undeadlined) sweep — values stay bit-identical.
+  bool WarmValuePaths(const std::vector<int>& leaves, size_t global_free_endo,
+                      size_t num_threads, const CancelToken* cancel = nullptr);
 
   // -------------------------------------------------------------------------
   // Orbit-id cache (read by ShapleyEngine::OrbitIds and, through it, the

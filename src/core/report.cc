@@ -8,8 +8,15 @@
 #include "core/exoshap.h"
 #include "core/shapley.h"
 #include "query/classify.h"
+#include "util/cancel.h"
 
 namespace shapcq {
+
+std::string DeadlineExceededMessage(size_t deadline_ms) {
+  if (deadline_ms == 0) return "[E_DEADLINE] cancelled";
+  return "[E_DEADLINE] deadline_ms=" + std::to_string(deadline_ms) +
+         " exceeded";
+}
 
 namespace {
 
@@ -48,7 +55,8 @@ void FillAndRankRows(AttributionReport* report, const Database& db,
 // otherwise.
 Result<AttributionReport> BuildApproxReport(const CQ& q, const Database& db,
                                             const ReportOptions& options,
-                                            bool hierarchical) {
+                                            bool hierarchical,
+                                            const CancelToken* cancel) {
   AttributionReport report;
   report.engine = "approx-fpras";
   report.approximate = true;
@@ -65,17 +73,22 @@ Result<AttributionReport> BuildApproxReport(const CQ& q, const Database& db,
     // The exact engine's orbit partition is at least as coarse as the
     // signature one (it groups by value, not just by automorphism), so
     // forced sampling on tractable queries borrows it for stratification.
-    auto built = ShapleyEngine::Build(q, db, options.engine_core);
+    auto built = ShapleyEngine::Build(q, db, options.engine_core, cancel);
     if (built.ok()) {
       ShapleyEngine engine = std::move(built).value();
       engine_orbits = engine.OrbitIds();
       approx_options.orbit_ids = &engine_orbits;
+    } else if (CancelToken::IsCancelled(built.error())) {
+      // Build failures are otherwise tolerated (the signature partition
+      // serves), but a deadline expiry must surface, not silently coarsen
+      // the stratification.
+      return Result<AttributionReport>::Error(built.error());
     }
   }
   auto created = ApproxEngine::Create(q, db, approx_options);
   if (!created.ok()) return Result<AttributionReport>::Error(created.error());
   ApproxEngine engine = std::move(created).value();
-  auto rows = engine.EstimateAll(options.approx, options.num_threads);
+  auto rows = engine.EstimateAll(options.approx, options.num_threads, cancel);
   if (!rows.ok()) return Result<AttributionReport>::Error(rows.error());
 
   const ApproxRunInfo& info = engine.info();
@@ -103,6 +116,28 @@ Result<AttributionReport> BuildApproxReport(const CQ& q, const Database& db,
 
 }  // namespace
 
+Result<AttributionReport> BuildDegradedApproxReport(
+    const CQ& q, const Database& db, const ReportOptions& options) {
+  // Work-bounded, never re-deadlined, never rebuilding the exact index
+  // (signature-stratified orbits): the deadline already expired once, so
+  // the degraded answer should cost as little as a useful answer can. A
+  // caller-provided approx spec is honored; otherwise a deliberately
+  // coarse default — wide CIs are the point of a degraded answer, and the
+  // per-sample cost still scales with the database, so the sample budget
+  // is the only lever this side of a time-budgeted sampler.
+  ReportOptions degraded = options;
+  degraded.deadline_ms = 0;
+  degraded.cancel = nullptr;
+  if (!degraded.approx.enabled()) {
+    degraded.approx.epsilon = 0.25;
+    degraded.approx.delta = 0.1;
+    degraded.approx.max_samples = 512;
+  }
+  degraded.approx.force = true;
+  return BuildApproxReport(q, db, degraded, /*hierarchical=*/false,
+                           /*cancel=*/nullptr);
+}
+
 Result<AttributionReport> BuildAttributionReport(
     const CQ& q, const Database& db, const ReportOptions& options) {
   AttributionReport report;
@@ -117,14 +152,36 @@ Result<AttributionReport> BuildAttributionReport(
       !FindNonHierarchicalPath(q, options.exo).has_value();
   const bool force_approx = approx_requested && options.approx.force;
 
+  // One token per report: a caller-owned token wins, else a deadline_ms
+  // budget arms a local one. nullptr = uncancellable (the default), and the
+  // whole deadline machinery stays off the path.
+  CancelToken deadline_token;
+  if (options.cancel == nullptr && options.deadline_ms > 0) {
+    deadline_token.ArmDeadlineMillis(options.deadline_ms);
+  }
+  const CancelToken* cancel = options.cancel != nullptr
+                                  ? options.cancel
+                                  : (deadline_token.Enabled()
+                                         ? &deadline_token
+                                         : nullptr);
+
   if (hierarchical && !force_approx) {
     report.engine = "CntSat";
   } else if (exoshap_applies && !force_approx) {
     report.engine = "ExoShap";
   } else if (approx_requested) {
     // The sampling tier works for ANY query the evaluator can decide —
-    // exactly the fallback the dichotomy's hard side needs.
-    return BuildApproxReport(q, db, options, hierarchical);
+    // exactly the fallback the dichotomy's hard side needs. A deadline
+    // expiry here is terminal ([E_DEADLINE]): there is no tier left to
+    // degrade to.
+    auto approx_report = BuildApproxReport(q, db, options, hierarchical,
+                                           cancel);
+    if (!approx_report.ok() &&
+        CancelToken::IsCancelled(approx_report.error())) {
+      return Result<AttributionReport>::Error(
+          DeadlineExceededMessage(options.deadline_ms));
+    }
+    return approx_report;
   } else if (options.allow_brute_force &&
              db.endogenous_count() <= options.brute_force_limit) {
     report.engine = "brute-force";
@@ -142,8 +199,18 @@ Result<AttributionReport> BuildAttributionReport(
   ParallelOptions parallel;
   parallel.num_threads = options.num_threads;
   if (report.engine == "CntSat") {
-    auto result = ShapleyAllViaCountSat(q, db, parallel, options.engine_core);
-    if (!result.ok()) return Result<AttributionReport>::Error(result.error());
+    auto result = ShapleyAllViaCountSat(q, db, parallel, options.engine_core,
+                                        cancel);
+    if (!result.ok()) {
+      if (CancelToken::IsCancelled(result.error())) {
+        if (options.on_deadline == OnDeadline::kApprox) {
+          return BuildDegradedApproxReport(q, db, options);
+        }
+        return Result<AttributionReport>::Error(
+            DeadlineExceededMessage(options.deadline_ms));
+      }
+      return Result<AttributionReport>::Error(result.error());
+    }
     values = std::move(result).value();
   } else if (report.engine == "ExoShap") {
     auto result = ExoShapShapleyAll(q, db, options.exo, parallel);
@@ -167,6 +234,28 @@ AttributionReport BuildAttributionReportFromEngine(
   parallel.num_threads = options.num_threads;
   FillAndRankRows(&report, db, engine.AllValues(parallel), options.top_k);
   return report;
+}
+
+Result<AttributionReport> BuildAttributionReportFromEngine(
+    ShapleyEngine& engine, const Database& db, const ReportOptions& options,
+    const CancelToken* cancel) {
+  using R = Result<AttributionReport>;
+  if (cancel == nullptr || !cancel->Enabled()) {
+    return R::Ok(BuildAttributionReportFromEngine(engine, db, options));
+  }
+  AttributionReport report;
+  report.engine = "CntSat (incremental)";
+  ParallelOptions parallel;
+  parallel.num_threads = options.num_threads;
+  auto values = engine.AllValues(parallel, cancel);
+  if (!values.ok()) {
+    if (CancelToken::IsCancelled(values.error())) {
+      return R::Error(DeadlineExceededMessage(options.deadline_ms));
+    }
+    return R::Error(values.error());
+  }
+  FillAndRankRows(&report, db, std::move(values).value(), options.top_k);
+  return R::Ok(std::move(report));
 }
 
 std::string RenderReport(const AttributionReport& report, const Database& db) {

@@ -19,6 +19,21 @@
 
 namespace shapcq {
 
+class CancelToken;  // util/cancel.h
+
+/// What an expired deadline on an exact report turns into: a structured
+/// [E_DEADLINE] error (kError, the default), or a degradation to the
+/// sampling tier (kApprox) — the caller still gets an answer, CI-annotated
+/// with the usual "approx:" provenance line. Degraded runs are work-bounded
+/// (a default per-orbit sample cap), not re-deadlined: the deadline budget
+/// applies to the exact attempt.
+enum class OnDeadline { kError, kApprox };
+
+/// The canonical [E_DEADLINE] error payload. `deadline_ms` = 0 means the
+/// expiry came from a caller-supplied token rather than a millisecond
+/// budget. Deterministic (no timing content), so transcripts stay golden.
+std::string DeadlineExceededMessage(size_t deadline_ms);
+
 /// One fact's attribution. The confidence fields are meaningful only on
 /// approximate reports (AttributionReport::approximate): the true Shapley
 /// value lies within ci_radius of `value`, jointly over all rows, with
@@ -74,6 +89,16 @@ struct ReportOptions {
   EngineCore engine_core =        // numeric core for ShapleyEngine builds
       EngineCore::kArena;         // (kTree = the differential oracle;
                                   // values are bit-identical either way)
+  size_t deadline_ms = 0;         // wall-clock budget for the report
+                                  // (0 = none). Covers the CntSat build +
+                                  // sweep and the sampling tier; expiry
+                                  // yields [E_DEADLINE] or, per
+                                  // on_deadline, an approx degradation
+  OnDeadline on_deadline =        // policy when the deadline expires on an
+      OnDeadline::kError;         // exact report (see OnDeadline)
+  const CancelToken* cancel =     // caller-owned token; non-null overrides
+      nullptr;                    // deadline_ms (used by the service layer,
+                                  // which scopes one token per request)
 };
 
 /// Computes Shapley values for every endogenous fact, choosing CntSat for
@@ -87,12 +112,31 @@ Result<AttributionReport> BuildAttributionReport(const CQ& q,
                                                  const Database& db,
                                                  const ReportOptions& options);
 
+/// The deadline-degradation entry: a prompt, work-bounded sampling report
+/// for a query whose exact report just blew its deadline. Honors a
+/// caller-provided approx spec; otherwise uses a conservative default
+/// (eps=0.1, delta=0.05, max_samples=2048). Signature-stratified — it never
+/// rebuilds the exact index — and never re-deadlined (the deadline budget
+/// belonged to the exact attempt). Shared by BuildAttributionReport's
+/// on_deadline=approx path and the serving registry's.
+Result<AttributionReport> BuildDegradedApproxReport(
+    const CQ& q, const Database& db, const ReportOptions& options);
+
 /// Attribution table served from a live (possibly mutated) ShapleyEngine:
 /// the long-lived-service path, where the index is maintained incrementally
 /// by InsertFact/DeleteFact instead of rebuilt per report. `db` must be the
 /// database the engine was built on and has been mutating.
 AttributionReport BuildAttributionReportFromEngine(
     ShapleyEngine& engine, const Database& db, const ReportOptions& options);
+
+/// Cancellable form of the above: polls `cancel` at orbit boundaries of the
+/// value sweep and returns the [E_DEADLINE] payload on expiry. The engine
+/// keeps every orbit value it finished (each is a pure function of the
+/// index), so a later undeadlined report is bit-identical to a fresh
+/// engine's. nullptr/disabled tokens reduce to the plain overload.
+Result<AttributionReport> BuildAttributionReportFromEngine(
+    ShapleyEngine& engine, const Database& db, const ReportOptions& options,
+    const CancelToken* cancel);
 
 /// Fixed-width text rendering of a report (fact, exact value, decimal).
 /// Approximate reports add an "approx:" provenance line and per-row

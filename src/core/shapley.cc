@@ -43,13 +43,13 @@ Result<Rational> ShapleyViaCountSat(const CQ& q, const Database& db,
 
 Result<std::vector<Rational>> ShapleyAllViaCountSat(
     const CQ& q, const Database& db, const ParallelOptions& options,
-    EngineCore core) {
-  auto engine = ShapleyEngine::Build(q, db, core);
+    EngineCore core, const CancelToken* cancel) {
+  auto engine = ShapleyEngine::Build(q, db, core, cancel);
   if (!engine.ok()) {
     return Result<std::vector<Rational>>::Error(engine.error());
   }
   ShapleyEngine built = std::move(engine).value();
-  return Result<std::vector<Rational>>::Ok(built.AllValues(options));
+  return built.AllValues(options, cancel);
 }
 
 Rational ShapleyExact(const CQ& q, const Database& db, FactId f,

@@ -14,6 +14,7 @@
 #include "core/engine_arena.h"
 #include "core/shapley.h"
 #include "query/analysis.h"
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/combinatorics.h"
 #include "util/thread_pool.h"
@@ -137,6 +138,15 @@ struct ShapleyEngine::Impl {
   std::map<std::vector<int>, Rational> orbit_values;  // memoized per orbit
   Stats stats;
 
+  // Build-time cancellation: set only for the duration of Build()'s
+  // BuildNode recursion (incremental subtree builds inside a mutation are
+  // never cancelled — each mutation is atomic w.r.t. cancellation). Once
+  // the token expires, build_cancelled makes every remaining recursion step
+  // return a placeholder leaf immediately, so the unwind is prompt; Build()
+  // then discards the whole engine.
+  const CancelToken* build_cancel = nullptr;
+  bool build_cancelled = false;
+
   // One flag per node, allocated before the first parallel fan-out: workers
   // racing to EnsureContexts on a shared ancestor serialize through
   // call_once, which also publishes the built vectors to the losers. Null
@@ -219,6 +229,21 @@ int ShapleyEngine::Impl::BuildNode(const CQ& q, IndexLists lists,
                                    const std::vector<size_t>& atom_ids) {
   SHAPCQ_CHECK(q.atom_count() == lists.size());
   SHAPCQ_CHECK(q.atom_count() == atom_ids.size());
+
+  // Cancelled build: synthesize an inert leaf so every pending ancestor
+  // finishes constructing with its invariants intact (Build() throws the
+  // whole tree away afterwards). Numeric content is irrelevant — no value
+  // is ever served from a cancelled build.
+  if (build_cancel != nullptr &&
+      (build_cancelled || build_cancel->Expired())) {
+    build_cancelled = true;
+    Node node;
+    node.kind = Node::Kind::kGround;
+    node.sat = GroundLeafSat(/*negated=*/false, GroundFactState::kAbsent);
+    const int id = AddNode(std::move(node));
+    ResignNode(id);
+    return id;
+  }
 
   // Disconnected subquery: one child per variable-connected component.
   const auto components = AtomComponents(q);
@@ -847,7 +872,8 @@ std::optional<EngineCore> ParseEngineCore(const std::string& name) {
 }
 
 Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db,
-                                           EngineCore core) {
+                                           EngineCore core,
+                                           const CancelToken* cancel) {
   if (!IsSafe(q)) {
     return Result<ShapleyEngine>::Error(
         "ShapleyEngine requires safe negation: " + q.ToString());
@@ -898,7 +924,13 @@ Result<ShapleyEngine> ShapleyEngine::Build(const CQ& q, const Database& db,
   // matched fact (leaf groups plus their component/root-var spine), and Node
   // is container-heavy, so growth reallocations are the expensive kind.
   impl.nodes.reserve(2 * impl.arena_fact.size() + 16);
+  impl.build_cancel =
+      (cancel != nullptr && cancel->Enabled()) ? cancel : nullptr;
   impl.root = impl.BuildNode(q, std::move(lists), atom_ids);
+  impl.build_cancel = nullptr;  // mutations' subtree builds never cancel
+  if (impl.build_cancelled) {
+    return Result<ShapleyEngine>::Error(CancelToken::kCancelledMessage);
+  }
   impl.baseline = impl.nodes[impl.root].sat.Convolve(
       CountVector::All(impl.global_free_endo));
 
@@ -1047,6 +1079,90 @@ std::vector<Rational> ShapleyEngine::AllValues(const ParallelOptions& options) {
   return AllValues();
 }
 
+Result<std::vector<Rational>> ShapleyEngine::AllValues(
+    const ParallelOptions& options, const CancelToken* cancel) {
+  using R = Result<std::vector<Rational>>;
+  if (cancel == nullptr || !cancel->Enabled()) {
+    return R::Ok(AllValues(options));
+  }
+  SHAPCQ_CHECK(impl_ != nullptr);
+  Impl& impl = *impl_;
+  impl.RefreshOrbitKeysIfDirty();
+  const size_t num_threads =
+      ThreadPool::ResolveThreadCount(options.num_threads);
+
+  // Orbit representatives still missing from the memo, first-seen order —
+  // exactly the work the uncancelled paths would do. Values already
+  // memoized (by an earlier, possibly cancelled, query) are pure functions
+  // of the built index, so reusing them preserves bit-identity.
+  std::vector<size_t> rep_endo;
+  {
+    std::set<std::vector<int>> seen;
+    for (size_t e = 0; e < impl.endo_count; ++e) {
+      if (impl.leaf_of_endo[e] < 0) continue;
+      const std::vector<int>& key = impl.orbit_key_of_endo[e];
+      if (impl.orbit_values.count(key) != 0) continue;
+      if (seen.insert(key).second) rep_endo.push_back(e);
+    }
+  }
+
+  if (num_threads > 1 && impl.core == EngineCore::kArena &&
+      rep_endo.size() > 1) {
+    // Level-parallel warm of every representative's r-vector, cancellable
+    // between levels (a partial warm leaves only cold watermarks behind —
+    // see EngineArena::WarmValuePaths).
+    Combinatorics::Prewarm(impl.endo_count);
+    std::vector<int> rep_leaves;
+    rep_leaves.reserve(rep_endo.size());
+    for (size_t e : rep_endo) rep_leaves.push_back(impl.leaf_of_endo[e]);
+    if (!impl.arena.WarmValuePaths(rep_leaves, impl.global_free_endo,
+                                   num_threads, cancel)) {
+      return R::Error(CancelToken::kCancelledMessage);
+    }
+    // Fall through to the serial assembly: every path is warm, so the
+    // per-representative evaluations below are cheap reads.
+  } else if (num_threads > 1 && impl.core == EngineCore::kTree &&
+             rep_endo.size() > 1) {
+    Combinatorics::Prewarm(impl.endo_count);
+    if (impl.context_once == nullptr) {
+      impl.context_once =
+          std::make_unique<std::vector<std::once_flag>>(impl.nodes.size());
+    }
+    // Slot-per-representative outputs plus a computed flag per slot: a
+    // worker that observes an expired token skips its item, and only
+    // computed values enter the memo after the join — each is pure, so the
+    // partial memo stays consistent for the undeadlined retry.
+    std::vector<Rational> rep_values(rep_endo.size());
+    std::vector<uint8_t> computed(rep_endo.size(), 0);
+    ThreadPool pool(std::min(num_threads, rep_endo.size()));
+    pool.ParallelFor(rep_endo.size(), [&impl, &rep_endo, &rep_values,
+                                       &computed, cancel](size_t i) {
+      if (cancel->Expired()) return;
+      rep_values[i] = impl.ValueAtLeaf(impl.leaf_of_endo[rep_endo[i]]);
+      computed[i] = 1;
+    });
+    bool all_computed = true;
+    for (size_t i = 0; i < rep_endo.size(); ++i) {
+      if (computed[i] == 0) {
+        all_computed = false;
+        continue;
+      }
+      impl.orbit_values.emplace(impl.orbit_key_of_endo[rep_endo[i]],
+                                std::move(rep_values[i]));
+    }
+    if (!all_computed) return R::Error(CancelToken::kCancelledMessage);
+    rep_endo.clear();  // every representative is memoized
+  }
+
+  // Serial (or post-warm) evaluation, polled at each orbit boundary.
+  for (size_t e : rep_endo) {
+    if (cancel->Expired()) return R::Error(CancelToken::kCancelledMessage);
+    impl.orbit_values.emplace(impl.orbit_key_of_endo[e],
+                              impl.ValueAtLeaf(impl.leaf_of_endo[e]));
+  }
+  return R::Ok(AllValues());
+}
+
 std::vector<size_t> ShapleyEngine::OrbitIds() {
   SHAPCQ_CHECK(impl_ != nullptr);
   Impl& impl = *impl_;
@@ -1127,6 +1243,35 @@ Result<std::vector<FactId>> ShapleyEngine::ApplyDelta(
   std::vector<FactId> applied;
   applied.reserve(delta.size());
   for (const FactDelta& d : delta) {
+    Result<FactId> result =
+        d.op == FactDelta::Op::kInsert
+            ? InsertFact(db, d.relation, d.tuple, d.endogenous)
+            : DeleteFact(db, d.fact);
+    if (!result.ok()) {
+      return Result<std::vector<FactId>>::Error(
+          "ApplyDelta: delta " + std::to_string(applied.size()) +
+          " failed: " + result.error());
+    }
+    applied.push_back(result.value());
+  }
+  return Result<std::vector<FactId>>::Ok(std::move(applied));
+}
+
+Result<std::vector<FactId>> ShapleyEngine::ApplyDelta(
+    Database& db, const std::vector<FactDelta>& delta,
+    const CancelToken* cancel) {
+  if (cancel == nullptr || !cancel->Enabled()) return ApplyDelta(db, delta);
+  std::vector<FactId> applied;
+  applied.reserve(delta.size());
+  for (const FactDelta& d : delta) {
+    // Poll between records only: each record's root-to-leaf patch is
+    // atomic w.r.t. cancellation, so the engine always equals a fresh
+    // build on the applied prefix.
+    if (cancel->Expired()) {
+      return Result<std::vector<FactId>>::Error(
+          "ApplyDelta: " + std::string(CancelToken::kCancelledMessage) +
+          " after " + std::to_string(applied.size()) + " deltas");
+    }
     Result<FactId> result =
         d.op == FactDelta::Op::kInsert
             ? InsertFact(db, d.relation, d.tuple, d.endogenous)

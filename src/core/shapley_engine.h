@@ -50,6 +50,8 @@
 
 namespace shapcq {
 
+class CancelToken;  // util/cancel.h
+
 /// Which numeric core backs a built engine. kArena (the default) compiles
 /// the recursion tree into the flat EngineArena: count-vector cells in one
 /// contiguous buffer, evaluation as a shared difference-propagation sweep,
@@ -126,9 +128,14 @@ class ShapleyEngine {
   /// default kArena core) compiles it into the flat arena. Requires q safe,
   /// self-join-free and hierarchical (returns an error otherwise, mirroring
   /// CountSat). The database is captured by reference metadata only; it must
-  /// outlive the engine.
+  /// outlive the engine. A non-null `cancel` token is polled at every
+  /// recursion step of the tree build; on expiry Build unwinds promptly and
+  /// returns the cancellation error (CancelToken::IsCancelled) — the
+  /// partially built engine is discarded and the database is untouched, so
+  /// a retry without a deadline is bit-identical to an uncancelled build.
   static Result<ShapleyEngine> Build(const CQ& q, const Database& db,
-                                     EngineCore core = EngineCore::kArena);
+                                     EngineCore core = EngineCore::kArena,
+                                     const CancelToken* cancel = nullptr);
 
   /// Which numeric core this engine runs on.
   EngineCore core() const;
@@ -149,6 +156,17 @@ class ShapleyEngine {
   /// path for every thread count. Concurrent calls into one engine are NOT
   /// supported — the engine parallelizes internally, it is not re-entrant.
   std::vector<Rational> AllValues(const ParallelOptions& options);
+
+  /// Cancellable all-facts query: as AllValues(options), polling `cancel`
+  /// before each orbit-representative evaluation (and, on the arena core,
+  /// between the level-parallel sweep's levels). On expiry it returns the
+  /// cancellation error; every representative already evaluated stays
+  /// memoized — each is a pure function of the built index, so a later
+  /// (undeadlined) AllValues resumes from the partial memo and returns
+  /// values bit-identical to a fresh engine's. nullptr/disabled tokens take
+  /// the plain AllValues(options) path unchanged.
+  Result<std::vector<Rational>> AllValues(const ParallelOptions& options,
+                                          const CancelToken* cancel);
 
   /// Orbit id of every endogenous fact, endo-index order. Ids are dense,
   /// first-seen order; all null players share one orbit. Facts with equal
@@ -183,6 +201,17 @@ class ShapleyEngine {
   /// inserts, the removed id for deletes.
   Result<std::vector<FactId>> ApplyDelta(Database& db,
                                          const std::vector<FactDelta>& delta);
+
+  /// Cancellable batch: as ApplyDelta, polling `cancel` between delta
+  /// records (never inside a patch — each record's root-to-leaf patch is
+  /// atomic with respect to cancellation). On expiry it returns the
+  /// cancellation error; deltas applied before the expiry stay applied, in
+  /// line with the first-failing-delta contract above, and engine state
+  /// remains exactly "the prefix was applied" — bit-identical to a fresh
+  /// Build() on the prefix-mutated database.
+  Result<std::vector<FactId>> ApplyDelta(Database& db,
+                                         const std::vector<FactDelta>& delta,
+                                         const CancelToken* cancel);
 
   /// Statistics of the built engine. orbit_count is populated by AllValues /
   /// OrbitIds (0 before the first all-facts query).

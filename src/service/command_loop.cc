@@ -206,7 +206,8 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     if (id.empty()) {
       return fail(
           "usage: REPORT <session> [top_k=K threads=N approx=EPS,DELTA "
-          "seed=S max_samples=M force_approx=0|1]");
+          "seed=S max_samples=M force_approx=0|1 deadline_ms=N "
+          "on_deadline=error|approx]");
     }
     // One shared grammar with the CLI: structured key=value pairs, with the
     // PR 4 positional form "[top_k] [--threads N]" kept as a deprecated
@@ -215,7 +216,14 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     if (!parsed.ok()) {
       return fail("report " + id + ": " + parsed.error());
     }
-    const ReportOptions options = parsed.value().ToReportOptions();
+    ReportOptions options = parsed.value().ToReportOptions();
+    if (!parsed.value().deadline_in_request &&
+        options_.default_deadline_ms > 0) {
+      // The server-wide default covers requests that say nothing about
+      // deadlines (the deprecated positional form included); an explicit
+      // deadline_ms= — even =0 — always wins.
+      options.deadline_ms = options_.default_deadline_ms;
+    }
     if (log_ != nullptr) {
       // Batch fsync point: a served report only ever reflects state that
       // is already durable.
@@ -290,6 +298,21 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
       if (stats.overloads > 0) {
         *out += " overloads=" + std::to_string(stats.overloads);
       }
+      if (stats.deadline_exceeded > 0) {
+        *out += " deadline_exceeded=" + std::to_string(stats.deadline_exceeded);
+      }
+      if (stats.degraded_to_approx > 0) {
+        *out += " degraded_to_approx=" +
+                std::to_string(stats.degraded_to_approx);
+      }
+      // A gauge, not a counter: deterministically 0 whenever STATS cannot
+      // run concurrently with a report (every serial transcript).
+      *out += " inflight=" + std::to_string(stats.inflight);
+      if (options_.transport_stats != nullptr) {
+        *out += " io_timeouts=" +
+                std::to_string(options_.transport_stats->io_timeouts.load(
+                    std::memory_order_relaxed));
+      }
       if (log_ != nullptr) {
         *out += " log_bytes=" + std::to_string(log_->TotalLogBytes());
       }
@@ -308,6 +331,9 @@ void CommandLoop::ExecuteLine(const std::string& line, std::string* out) {
     if (!s.exact_capable) *out += " tier=approx-only";
     if (s.cached_approx_tables > 0) {
       *out += " cached_approx=" + std::to_string(s.cached_approx_tables);
+    }
+    if (s.deadline_exceeded > 0) {
+      *out += " deadline_exceeded=" + std::to_string(s.deadline_exceeded);
     }
     if (log_ != nullptr) {
       const SessionLogStats log_stats = log_->Stats(id);

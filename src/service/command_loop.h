@@ -12,6 +12,7 @@
 //                                     keys (see service/report_request.h):
 //                                     top_k=K threads=N approx=EPS,DELTA
 //                                     seed=S max_samples=M force_approx=0|1
+//                                     deadline_ms=N on_deadline=error|approx
 //                                     (deprecated positional form
 //                                     "[top_k] [--threads N]" still accepted)
 //   SNAPSHOT <session>                checkpoint + compact the session's
@@ -53,6 +54,7 @@
 #ifndef SHAPCQ_SERVICE_COMMAND_LOOP_H_
 #define SHAPCQ_SERVICE_COMMAND_LOOP_H_
 
+#include <atomic>
 #include <csignal>
 #include <cstddef>
 #include <iosfwd>
@@ -63,6 +65,15 @@
 #include "service/session_log.h"
 
 namespace shapcq {
+
+/// Transport-layer counters, shared by every connection loop of a socket
+/// server and surfaced on the global STATS line. Atomics: connection
+/// threads bump them concurrently.
+struct TransportStats {
+  /// Connections reaped by an I/O or idle timeout (read-poll expiries and
+  /// idle-watchdog kills alike — both are "the peer went quiet too long").
+  std::atomic<size_t> io_timeouts{0};
+};
 
 /// Knobs for a CommandLoop.
 struct CommandLoopOptions {
@@ -92,6 +103,15 @@ struct CommandLoopOptions {
   /// line. Off produces byte-identical transcripts across platforms (the
   /// CI golden files).
   bool stats_show_bytes = true;
+
+  /// Deadline for REPORT commands that carry no deadline_ms key of their
+  /// own (0 = none). A request's explicit deadline_ms always wins — in
+  /// particular deadline_ms=0 opts a single report out of this default.
+  size_t default_deadline_ms = 0;
+  /// Shared transport counters (the socket server's); the global STATS
+  /// line shows io_timeouts= when set. Null in stdin/script loops, which
+  /// keeps their transcripts byte-identical to before sockets existed.
+  TransportStats* transport_stats = nullptr;
 };
 
 /// Executes protocol lines against an owned or shared EngineRegistry.

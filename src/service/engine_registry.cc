@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "query/analysis.h"
+#include "util/cancel.h"
 #include "util/check.h"
 
 namespace shapcq {
@@ -19,6 +20,29 @@ namespace {
 // Report-cache key of the exact table. ApproxSpec::CacheKey() always
 // contains commas, so the empty string can never collide with it.
 constexpr const char* kExactKey = "";
+
+// Whether a report-builder error is a deadline outcome (the structured
+// [E_DEADLINE] payload from DeadlineExceededMessage).
+bool IsDeadlineError(const std::string& error) {
+  return error.rfind("[E_DEADLINE]", 0) == 0;
+}
+
+// RAII inflight gauge: counts reports between admission and response, so
+// STATS can show how many are executing right now. Deterministically 0 in
+// any serial transcript (STATS never runs concurrently with a report
+// there), hence safe to print in golden sessions.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<size_t>* gauge) : gauge_(gauge) {
+    gauge_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InflightGuard() { gauge_->fetch_sub(1, std::memory_order_relaxed); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<size_t>* gauge_;
+};
 
 // Serving copy of a cached full table: the k highest-ranked rows (0 = all),
 // with the engine label and the full efficiency total — exactly what
@@ -74,6 +98,7 @@ struct EngineRegistry::Session {
   size_t deltas_since_refresh = 0;  // mutation-path estimate amortizer
   size_t reports_served = 0;
   size_t engine_builds = 0;
+  size_t deadline_exceeded = 0;  // expired reports, degraded or not
 };
 
 // One lock stripe: a private session map, LRU clock and residency
@@ -112,6 +137,9 @@ struct EngineRegistry::Impl {
   std::atomic<size_t> engine_builds{0};
   std::atomic<size_t> overloads{0};
   std::atomic<size_t> approx_reports{0};
+  std::atomic<size_t> deadline_exceeded{0};
+  std::atomic<size_t> degraded_to_approx{0};
+  std::atomic<size_t> inflight{0};
 
   Stripe& StripeFor(const std::string& id) {
     return *stripes[std::hash<std::string>{}(id) % stripes.size()];
@@ -263,21 +291,80 @@ struct EngineRegistry::Impl {
     }
   }
 
+  // One deadline expiry, resolved under the stripe lock: bump the counters,
+  // then either degrade to a prompt work-bounded sampling answer
+  // (on_deadline = kApprox and the caller allows it) or return the
+  // structured [E_DEADLINE] error. Degraded tables are never cached — they
+  // are a deadline artifact, not a requested spec, and must not shadow a
+  // future honest approx entry.
+  Result<AttributionReport> DeadlineOutcomeLocked(Stripe& stripe,
+                                                  Session& session,
+                                                  const ReportOptions& options,
+                                                  bool allow_degrade) {
+    deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    ++session.deadline_exceeded;
+    if (allow_degrade && options.on_deadline == OnDeadline::kApprox) {
+      degraded_to_approx.fetch_add(1, std::memory_order_relaxed);
+      approx_reports.fetch_add(1, std::memory_order_relaxed);
+      ReportOptions full = options;
+      full.top_k = 0;
+      full.engine_core = this->options.engine_core;
+      auto built =
+          BuildDegradedApproxReport(session.query, *session.db, full);
+      if (!built.ok()) {
+        return Result<AttributionReport>::Error(built.error());
+      }
+      ++session.reports_served;
+      session.last_used = ++stripe.clock;
+      return Result<AttributionReport>::Ok(
+          TruncatedCopy(built.value(), options.top_k));
+    }
+    return Result<AttributionReport>::Error(
+        DeadlineExceededMessage(options.deadline_ms));
+  }
+
   // The locked core of Report/ReportRendered: dispatches exact vs approx,
   // ensures residency on the exact path, serves from the epoch cache when
   // valid, re-ranks otherwise, then enforces the stripe budget. Caller
   // holds the stripe mutex.
   Result<AttributionReport> ReportLocked(Stripe& stripe, Session& session,
                                          const ReportOptions& options) {
+    InflightGuard inflight_guard(&inflight);
+    // One token per request: a caller-owned token wins, else deadline_ms
+    // arms a local one; nullptr keeps the whole machinery off the path.
+    CancelToken deadline_token;
+    const CancelToken* cancel = options.cancel;
+    if (cancel == nullptr && options.deadline_ms > 0) {
+      deadline_token.ArmDeadlineMillis(options.deadline_ms);
+      cancel = &deadline_token;
+    }
+    if (cancel != nullptr && !cancel->Enabled()) cancel = nullptr;
     // Auto-dispatch: exact-capable sessions keep their exact path unless
     // the caller forces sampling; approx-only sessions require a spec.
     const bool use_approx =
         options.approx.enabled() &&
         (!session.exact_capable || options.approx.force);
+    if (cancel != nullptr && cancel->Expired()) {
+      // Already expired at admission (a zero/elapsed deadline): fail — or
+      // degrade — before touching the cache or the engine, so the fast
+      // path is deterministic. Sampling requests have no tier left below
+      // them, so their expiry is always the error.
+      return DeadlineOutcomeLocked(
+          stripe, session, options,
+          /*allow_degrade=*/!use_approx && session.exact_capable);
+    }
     if (use_approx) {
       auto valid = options.approx.Validate();
       if (!valid.ok()) return Result<AttributionReport>::Error(valid.error());
-      return ApproxReportLocked(stripe, session, options);
+      ReportOptions deadlined = options;
+      deadlined.cancel = cancel;
+      auto served = ApproxReportLocked(stripe, session, deadlined);
+      if (!served.ok() && IsDeadlineError(served.error())) {
+        // Terminal for the sampling tier: count it, no degradation.
+        deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        ++session.deadline_exceeded;
+      }
+      return served;
     }
     if (!session.exact_capable) {
       return Result<AttributionReport>::Error(
@@ -302,15 +389,21 @@ struct EngineRegistry::Impl {
       }
     } else {
       auto built = ShapleyEngine::Build(session.query, *session.db,
-                                        this->options.engine_core);
+                                        this->options.engine_core, cancel);
       if (!built.ok()) {
+        if (CancelToken::IsCancelled(built.error())) {
+          // The cancelled build was discarded whole — nothing resident,
+          // nothing accounted, the database untouched.
+          return DeadlineOutcomeLocked(stripe, session, options,
+                                       /*allow_degrade=*/true);
+        }
         return Result<AttributionReport>::Error(built.error());
       }
       session.engine.emplace(std::move(built).value());
       session.engine_bytes = 0;  // EnforceBudget refreshes the estimate
-      ++stripe.resident_engines;
       report_misses.fetch_add(1, std::memory_order_relaxed);
       engine_builds.fetch_add(1, std::memory_order_relaxed);
+      ++stripe.resident_engines;
       ++session.engine_builds;
     }
     // Compute and cache the FULL table (top_k applied per serve, so one
@@ -319,9 +412,23 @@ struct EngineRegistry::Impl {
     // — and the cache with it — when it alone exceeds the stripe share.
     ReportOptions full = options;
     full.top_k = 0;
+    auto computed = BuildAttributionReportFromEngine(*session.engine,
+                                                     *session.db, full,
+                                                     cancel);
+    if (!computed.ok()) {
+      if (IsDeadlineError(computed.error())) {
+        // The sweep stopped between orbits: every finished value is pure
+        // and stays warm, but the engine is resident with a stale (zero)
+        // byte estimate — re-enforce the stripe accounting before the
+        // lock drops so eviction pressure sees the truth.
+        EnforceBudget(stripe, session);
+        return DeadlineOutcomeLocked(stripe, session, options,
+                                     /*allow_degrade=*/true);
+      }
+      return Result<AttributionReport>::Error(computed.error());
+    }
     Session::CachedTable entry;
-    entry.table = BuildAttributionReportFromEngine(*session.engine,
-                                                   *session.db, full);
+    entry.table = std::move(computed).value();
     entry.epoch = session.mutation_epoch;
     ++session.reports_served;
     session.last_used = ++stripe.clock;
@@ -608,6 +715,7 @@ Result<SessionStats> EngineRegistry::Stats(
   stats.cached_exact_tables = session.report_cache.count(kExactKey);
   stats.cached_approx_tables =
       session.report_cache.size() - stats.cached_exact_tables;
+  stats.deadline_exceeded = session.deadline_exceeded;
   return Result<SessionStats>::Ok(stats);
 }
 
@@ -623,6 +731,11 @@ RegistryStats EngineRegistry::stats() const {
   stats.engine_builds = impl_->engine_builds.load(std::memory_order_relaxed);
   stats.overloads = impl_->overloads.load(std::memory_order_relaxed);
   stats.approx_reports = impl_->approx_reports.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      impl_->deadline_exceeded.load(std::memory_order_relaxed);
+  stats.degraded_to_approx =
+      impl_->degraded_to_approx.load(std::memory_order_relaxed);
+  stats.inflight = impl_->inflight.load(std::memory_order_relaxed);
   for (const auto& stripe : impl_->stripes) {
     std::lock_guard<std::mutex> lock(stripe->mutex);
     stats.resident_engines += stripe->resident_engines;

@@ -106,6 +106,12 @@ struct RegistryStats {
   size_t engine_builds = 0;   ///< total Build() calls (first builds + rebuilds)
   size_t overloads = 0;       ///< commands rejected by the stripe queue bound
   size_t approx_reports = 0;  ///< reports served by the sampling tier
+  size_t deadline_exceeded = 0;   ///< reports whose deadline (or caller
+                                  ///< token) expired, degraded or not
+  size_t degraded_to_approx = 0;  ///< deadline expiries answered by the
+                                  ///< sampling tier (on_deadline=approx)
+  size_t inflight = 0;        ///< gauge: reports executing right now (0 in
+                              ///< any serial transcript — goldenable)
   size_t cached_exact_tables = 0;   ///< gauge: resident exact report caches
   size_t cached_approx_tables = 0;  ///< gauge: resident approx report caches
                                     ///< (both summed across sessions, so
@@ -128,6 +134,7 @@ struct SessionStats {
                               ///< self-join-free, but non-hierarchical)
   size_t cached_exact_tables = 0;   ///< 0 or 1
   size_t cached_approx_tables = 0;  ///< bounded by max_approx_cached_reports
+  size_t deadline_exceeded = 0;     ///< this session's expired reports
 };
 
 /// What a mutation did, captured under the stripe lock so callers can print
@@ -207,6 +214,15 @@ class EngineRegistry {
   /// least-recently-served eviction; they need no resident engine and
   /// survive engine eviction. Fixed (spec, database) pairs reproduce
   /// bit-identically, cached or recomputed, at any thread count.
+  ///
+  /// Deadlines: options.deadline_ms (or a caller-owned options.cancel
+  /// token) bounds the report. Expiry yields the structured [E_DEADLINE]
+  /// error — or, with options.on_deadline = kApprox on an exact-capable
+  /// session, a prompt work-bounded sampling answer (never cached: it is a
+  /// deadline artifact, not a requested spec). Either way the session is
+  /// left fully consistent — partial engine work is value-preserving, the
+  /// stripe byte accounting is re-enforced, and the next undeadlined
+  /// report is bit-identical to a fresh engine's.
   Result<AttributionReport> Report(const std::string& session_id,
                                    const ReportOptions& options);
 

@@ -1,9 +1,13 @@
 #include "service/net/fd_stream.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 
 #include <cerrno>
+#include <chrono>
+
+#include "util/fault_injector.h"
 
 // MSG_NOSIGNAL is POSIX.1-2008 but spelled differently on some BSDs;
 // falling back to 0 only re-enables SIGPIPE, which the server main also
@@ -14,8 +18,15 @@
 
 namespace shapcq {
 
-FdStreamBuf::FdStreamBuf(int fd)
-    : fd_(fd), in_buf_(kBufferBytes), out_buf_(kBufferBytes) {
+int64_t FdStreamBuf::NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+FdStreamBuf::FdStreamBuf(int fd, int io_timeout_ms)
+    : fd_(fd), io_timeout_ms_(io_timeout_ms), in_buf_(kBufferBytes),
+      out_buf_(kBufferBytes) {
   // Empty get area (first read underflows); full put area.
   setg(in_buf_.data(), in_buf_.data(), in_buf_.data());
   setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
@@ -25,11 +36,43 @@ FdStreamBuf::~FdStreamBuf() {
   FlushOut();  // best-effort: the final command's output reaches the peer
 }
 
+void FdStreamBuf::StampActivity() {
+  if (last_activity_ms_ != nullptr) {
+    last_activity_ms_->store(NowMillis(), std::memory_order_relaxed);
+  }
+}
+
 FdStreamBuf::int_type FdStreamBuf::underflow() {
   if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
   while (true) {
+    if (io_timeout_ms_ >= 0) {
+      // Bounded wait for the peer: a poll that expires with nothing to
+      // read is the dead-peer/slow-loris signal — latch it and end the
+      // stream. POLLHUP/POLLERR fall through to recv, which reports the
+      // close/reset the ordinary way.
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = ::poll(&pfd, 1, io_timeout_ms_);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return traits_type::eof();
+      }
+      if (ready == 0) {
+        timed_out_ = true;
+        return traits_type::eof();
+      }
+    }
+    if (FaultInjector::Global().NetEintrThisRecv()) {
+      // Chaos: this recv "was interrupted" — the retry loop must absorb
+      // it without dropping or duplicating bytes.
+      errno = EINTR;
+      continue;
+    }
     const ssize_t n = ::recv(fd_, in_buf_.data(), in_buf_.size(), 0);
     if (n > 0) {
+      StampActivity();
       setg(in_buf_.data(), in_buf_.data(), in_buf_.data() + n);
       return traits_type::to_int_type(*gptr());
     }
@@ -43,8 +86,22 @@ bool FdStreamBuf::FlushOut() {
   const char* data = pbase();
   size_t remaining = static_cast<size_t>(pptr() - pbase());
   while (remaining > 0 && !write_failed_) {
-    const ssize_t n = ::send(fd_, data, remaining, MSG_NOSIGNAL);
+    FaultInjector& fault = FaultInjector::Global();
+    if (fault.NetDropThisSend()) {
+      // Chaos: the peer vanishes mid-response — transmit half, then fail
+      // hard. The latch drops the rest (and all later output), exactly
+      // like a real ECONNRESET halfway through a table.
+      const size_t half = remaining / 2;
+      if (half > 0) (void)::send(fd_, data, half, MSG_NOSIGNAL);
+      write_failed_ = true;
+      break;
+    }
+    size_t len = remaining;
+    const size_t cap = fault.NetSendCap(len);
+    if (cap > 0 && cap < len) len = cap;
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
     if (n >= 0) {
+      StampActivity();
       data += n;
       remaining -= static_cast<size_t>(n);
       continue;

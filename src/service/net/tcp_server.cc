@@ -9,10 +9,12 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <mutex>
-#include <set>
 #include <utility>
 
 #include "service/net/fd_stream.h"
@@ -33,6 +35,25 @@ void SendLine(int fd, const std::string& line) {
   (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
 }
 
+// Orderly close of a rejected connection. close() with unread bytes in the
+// receive queue sends RST, which can destroy the rejection line still in
+// flight to the client — so half-close our side and drain what the client
+// already sent (bounded: one short poll window, a few KB) before closing.
+void CloseRejected(int fd) {
+  ::shutdown(fd, SHUT_WR);
+  char sink[1024];
+  for (int rounds = 0; rounds < 8; ++rounds) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    if (::poll(&pfd, 1, 50) <= 0) break;
+    const ssize_t got = ::recv(fd, sink, sizeof sink, 0);
+    if (got <= 0) break;
+  }
+  ::close(fd);
+}
+
 }  // namespace
 
 struct TcpServer::Impl {
@@ -45,11 +66,20 @@ struct TcpServer::Impl {
   uint16_t bound_port = 0;
   std::unique_ptr<ThreadPool> pool;
 
-  // live_fds is the drain set: a connection registers its fd before its
-  // worker starts and erases it (same mutex) before closing, so the drain
-  // never SHUT_RDs a recycled descriptor.
+  // Per-connection state the idle watchdog reads while the worker runs:
+  // the activity clock (stamped by FdStreamBuf on every recv/send) and the
+  // reaped latch (count each reap once). shared_ptr: the watchdog may hold
+  // a reference across the worker's teardown.
+  struct ConnState {
+    std::atomic<int64_t> last_activity_ms{0};
+    std::atomic<bool> reaped{false};
+  };
+
+  // live_conns is the drain AND watchdog set: a connection registers its
+  // fd before its worker starts and erases it (same mutex) before closing,
+  // so neither the drain nor a reap ever SHUT_RDs a recycled descriptor.
   std::mutex live_mutex;
-  std::set<int> live_fds;
+  std::map<int, std::shared_ptr<ConnState>> live_conns;
   std::atomic<size_t> live{0};
   std::atomic<size_t> total_errors{0};
   std::atomic<size_t> rejected{0};
@@ -59,9 +89,20 @@ struct TcpServer::Impl {
     if (listen_fd >= 0) ::close(listen_fd);
   }
 
-  void HandleConnection(int fd) {
+  void CountIoTimeout() {
+    if (loop_options.transport_stats != nullptr) {
+      loop_options.transport_stats->io_timeouts.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+
+  void HandleConnection(int fd, std::shared_ptr<ConnState> state) {
     {
-      FdStreamBuf buf(fd);
+      const int io_timeout = options.io_timeout_ms > 0
+                                 ? static_cast<int>(options.io_timeout_ms)
+                                 : -1;
+      FdStreamBuf buf(fd, io_timeout);
+      buf.SetActivityClock(&state->last_activity_ms);
       std::iostream stream(&buf);
       // Shared mode: this connection's loop borrows the server's registry
       // and log manager; no stop pointer — drain reaches the loop as EOF
@@ -69,13 +110,40 @@ struct TcpServer::Impl {
       CommandLoop loop(loop_options, registry, log);
       loop.Run(stream, stream, nullptr);
       total_errors.fetch_add(loop.error_count(), std::memory_order_relaxed);
+      // Read-poll expiry is this thread's reap; the watchdog's SHUT_RD
+      // surfaced as plain EOF and was counted (and latched) by the
+      // watchdog itself — never twice.
+      if (buf.timed_out() && !state->reaped.load(std::memory_order_relaxed)) {
+        CountIoTimeout();
+      }
     }
     {
       std::lock_guard<std::mutex> lock(live_mutex);
-      live_fds.erase(fd);
+      live_conns.erase(fd);
     }
     ::close(fd);
     live.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // The idle watchdog, riding the accept loop's poll tick: half-close any
+  // connection whose last socket activity is idle_timeout_ms old. SHUT_RD
+  // keeps the write side open, so an in-flight command still delivers its
+  // response before the worker reads EOF and unwinds — an idle reap never
+  // truncates a neighbor's (or even the victim's) response.
+  void ReapIdle() {
+    const int64_t now = FdStreamBuf::NowMillis();
+    std::lock_guard<std::mutex> lock(live_mutex);
+    for (auto& [fd, state] : live_conns) {
+      if (state->reaped.load(std::memory_order_relaxed)) continue;
+      const int64_t last =
+          state->last_activity_ms.load(std::memory_order_relaxed);
+      if (now - last < static_cast<int64_t>(options.idle_timeout_ms)) {
+        continue;
+      }
+      state->reaped.store(true, std::memory_order_relaxed);
+      CountIoTimeout();
+      ::shutdown(fd, SHUT_RD);
+    }
   }
 };
 
@@ -171,6 +239,9 @@ size_t TcpServer::Serve(const volatile std::sig_atomic_t* stop) {
     // 100 ms tick: the latency bound on noticing the stop flag (a signal
     // also EINTRs the poll, so SIGTERM reacts immediately).
     const int ready = ::poll(&pfd, 1, 100);
+    // The idle watchdog rides every tick — timeouts, EINTRs and idle polls
+    // included — so a reap is never deferred by a quiet listener.
+    if (impl_->options.idle_timeout_ms > 0) impl_->ReapIdle();
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;  // listener gone; drain below
@@ -194,16 +265,20 @@ size_t TcpServer::Serve(const volatile std::sig_atomic_t* stop) {
       SendLine(fd, "error: [E_OVERLOAD] server at connection cap (max " +
                        std::to_string(impl_->options.max_connections) +
                        ")\n");
-      ::close(fd);
+      CloseRejected(fd);
       continue;
     }
     ++admitted;
+    auto state = std::make_shared<Impl::ConnState>();
+    state->last_activity_ms.store(FdStreamBuf::NowMillis(),
+                                  std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(impl_->live_mutex);
-      impl_->live_fds.insert(fd);
+      impl_->live_conns.emplace(fd, state);
     }
     Impl* impl = impl_.get();
-    impl_->pool->Submit([impl, fd]() { impl->HandleConnection(fd); });
+    impl_->pool->Submit(
+        [impl, fd, state]() { impl->HandleConnection(fd, state); });
   }
 
   // Drain: no new clients, half-close the live ones (the in-flight command
@@ -212,7 +287,10 @@ size_t TcpServer::Serve(const volatile std::sig_atomic_t* stop) {
   impl_->listen_fd = -1;
   {
     std::lock_guard<std::mutex> lock(impl_->live_mutex);
-    for (const int fd : impl_->live_fds) ::shutdown(fd, SHUT_RD);
+    for (const auto& [fd, state] : impl_->live_conns) {
+      (void)state;
+      ::shutdown(fd, SHUT_RD);
+    }
   }
   impl_->pool->Wait();
   return admitted;

@@ -159,10 +159,25 @@ Result<ReportRequest> ParseReportRequest(const std::string& args,
                         "' (expected arena or tree)");
       }
       request.engine_core = *core;
+    } else if (key == "deadline_ms") {
+      if (!ParseSizeStrict(value, &request.deadline_ms)) {
+        return R::Error("bad deadline_ms value '" + value + "'");
+      }
+      request.deadline_in_request = true;
+    } else if (key == "on_deadline") {
+      if (value == "error") {
+        request.on_deadline = OnDeadline::kError;
+      } else if (value == "approx") {
+        request.on_deadline = OnDeadline::kApprox;
+      } else {
+        return R::Error("bad on_deadline value '" + value +
+                        "' (expected error or approx)");
+      }
     } else {
       return R::Error("unknown key '" + key +
                       "' (expected top_k, threads, approx, seed, "
-                      "max_samples, force_approx or engine)");
+                      "max_samples, force_approx, engine, deadline_ms or "
+                      "on_deadline)");
     }
   }
   if (!request.approx.enabled() &&

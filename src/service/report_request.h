@@ -17,10 +17,21 @@
 //   engine=arena|tree numeric core for per-report engine builds (arena =
 //                    the flat SoA arena, the default; tree = the
 //                    pointer-linked oracle); values are bit-identical
+//   deadline_ms=N    wall-clock budget for this report; expiry returns the
+//                    structured [E_DEADLINE] error (or degrades, per
+//                    on_deadline). 0 = no deadline — also overrides a
+//                    server --default-deadline-ms
+//   on_deadline=error|approx
+//                    policy when an exact report's deadline expires:
+//                    'error' (the default) fails with [E_DEADLINE],
+//                    'approx' degrades to the sampling tier (CI-annotated
+//                    rows, "approx:" provenance). Inert without a deadline
+//                    in effect, so it composes with the server default
 //
 // Deprecated positional grammar, kept for protocol compatibility (the PR 4
 // transcripts): "[top_k] [--threads N]", with the original error strings.
-// Mixing the two forms is an error.
+// Mixing the two forms is an error; the deprecated form carries no deadline
+// keys (a server --default-deadline-ms still applies to it).
 
 #ifndef SHAPCQ_SERVICE_REPORT_REQUEST_H_
 #define SHAPCQ_SERVICE_REPORT_REQUEST_H_
@@ -39,6 +50,11 @@ struct ReportRequest {
   size_t threads = 1;
   ApproxSpec approx;            // enabled iff an approx key was given
   EngineCore engine_core = EngineCore::kArena;
+  size_t deadline_ms = 0;          // 0 = no deadline
+  bool deadline_in_request = false;  // deadline_ms key was given (so
+                                     // deadline_ms=0 can override a server
+                                     // default)
+  OnDeadline on_deadline = OnDeadline::kError;
   bool deprecated_form = false; // parsed from the positional grammar
 
   /// The engine-facing options (exo/brute-force knobs stay default — they
@@ -49,6 +65,8 @@ struct ReportRequest {
     options.num_threads = threads;
     options.approx = approx;
     options.engine_core = engine_core;
+    options.deadline_ms = deadline_ms;
+    options.on_deadline = on_deadline;
     return options;
   }
 };

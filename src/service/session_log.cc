@@ -235,58 +235,6 @@ Result<std::string> UnescapeSessionId(const std::string& escaped) {
 }
 
 // ---------------------------------------------------------------------------
-// FaultInjector
-// ---------------------------------------------------------------------------
-
-FaultInjector::FaultInjector() {
-  const char* spec = std::getenv("SHAPCQ_FAULT");
-  if (spec == nullptr || *spec == '\0') return;
-  const std::string text(spec);
-  const size_t colon = text.find(':');
-  if (colon == std::string::npos) return;
-  const std::string name = text.substr(0, colon);
-  const uint64_t nth =
-      std::strtoull(text.c_str() + colon + 1, nullptr, 10);
-  if (nth == 0) return;
-  if (name == "mid_record") {
-    Arm(Point::kMidRecord, nth);
-  } else if (name == "after_append") {
-    Arm(Point::kAfterAppend, nth);
-  } else if (name == "before_fsync") {
-    Arm(Point::kBeforeFsync, nth);
-  }
-}
-
-FaultInjector& FaultInjector::Global() {
-  static FaultInjector* injector = new FaultInjector();
-  return *injector;
-}
-
-void FaultInjector::Arm(Point point, uint64_t nth_append) {
-  point_ = point;
-  trigger_append_ = nth_append;
-  appends_seen_ = 0;
-  fsync_armed_ = false;
-}
-
-FaultInjector::Point FaultInjector::OnAppend() {
-  if (point_ == Point::kNone || trigger_append_ == 0) return Point::kNone;
-  ++appends_seen_;
-  if (appends_seen_ != trigger_append_) return Point::kNone;
-  if (point_ == Point::kBeforeFsync) {
-    // The record itself is written in full; the crash fires at the first
-    // sync that would cover it.
-    fsync_armed_ = true;
-    return Point::kNone;
-  }
-  return point_;
-}
-
-bool FaultInjector::ShouldCrashBeforeFsync() { return fsync_armed_; }
-
-void FaultInjector::Crash() { ::_exit(kFaultExitCode); }
-
-// ---------------------------------------------------------------------------
 // SessionLogWriter
 // ---------------------------------------------------------------------------
 

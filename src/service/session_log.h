@@ -25,11 +25,13 @@
 // temp-file rename, bounding replay time by the live table size instead of
 // the delta history.
 //
-// Fault injection: SessionLogWriter consults ShapcqFaultInjector (armed via
-// the SHAPCQ_FAULT environment variable) at three crash points per append —
-// mid_record (deliberate partial write), after_append (record fully
-// written, process dies before any fsync), before_fsync (dies at the moment
-// the fsync policy would have synced). See FaultInjector below.
+// Fault injection: SessionLogWriter consults the process-wide FaultInjector
+// (util/fault_injector.h, armed via the SHAPCQ_FAULT environment variable)
+// at three crash points per append — mid_record (deliberate partial write),
+// after_append (record fully written, process dies before any fsync),
+// before_fsync (dies at the moment the fsync policy would have synced). The
+// same injector carries the socket chaos points; this header re-exports it
+// so the PR 6 durability harnesses keep compiling unchanged.
 
 #ifndef SHAPCQ_SERVICE_SESSION_LOG_H_
 #define SHAPCQ_SERVICE_SESSION_LOG_H_
@@ -42,6 +44,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "util/fault_injector.h"
 #include "util/result.h"
 
 namespace shapcq {
@@ -91,45 +94,6 @@ Result<bool> TruncateFile(const std::string& path, size_t valid_bytes);
 /// [A-Za-z0-9_-].
 std::string EscapeSessionId(const std::string& session_id);
 Result<std::string> UnescapeSessionId(const std::string& escaped);
-
-/// Crash points armed through the environment for the fault-injection
-/// harness: SHAPCQ_FAULT=<point>:<n> kills the process (immediate _exit,
-/// no flushing — equivalent to kill -9) at the n-th append, where <point>
-/// is one of:
-///   mid_record    write only half of the n-th record's bytes, then die
-///   after_append  write the full record, die before any fsync
-///   before_fsync  die at the first moment the fsync policy would sync a
-///                 file whose latest append was the n-th
-/// The process exits with kFaultExitCode so harnesses can tell an injected
-/// crash from an ordinary failure.
-class FaultInjector {
- public:
-  enum class Point { kNone, kMidRecord, kAfterAppend, kBeforeFsync };
-  static constexpr int kFaultExitCode = 86;
-
-  /// The process-wide injector, configured once from SHAPCQ_FAULT.
-  static FaultInjector& Global();
-
-  /// Called by the writer once per append, before writing; returns the
-  /// crash point to honor for this append (kNone almost always).
-  Point OnAppend();
-  /// True if a sync about to happen should die first (the before_fsync
-  /// point, armed by the append counter when the record was written).
-  bool ShouldCrashBeforeFsync();
-
-  /// Dies now: _exit(kFaultExitCode), no stream flushing, no atexit.
-  [[noreturn]] static void Crash();
-
-  /// Test hook: (re)arm programmatically instead of via the environment.
-  void Arm(Point point, uint64_t nth_append);
-
- private:
-  FaultInjector();
-  Point point_ = Point::kNone;
-  uint64_t trigger_append_ = 0;  // 1-based append ordinal; 0 = disarmed
-  uint64_t appends_seen_ = 0;
-  bool fsync_armed_ = false;  // set when the trigger append was written
-};
 
 /// Appends records to one session's log file. Move-only (owns the fd).
 class SessionLogWriter {

@@ -1,0 +1,115 @@
+#include "util/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace shapcq {
+
+FaultInjector::FaultInjector() {
+  const char* spec = std::getenv("SHAPCQ_FAULT");
+  if (spec == nullptr || *spec == '\0') return;
+  const std::string text(spec);
+  const size_t colon = text.find(':');
+  if (colon == std::string::npos) return;
+  const std::string name = text.substr(0, colon);
+  const uint64_t nth = std::strtoull(text.c_str() + colon + 1, nullptr, 10);
+  if (nth == 0) return;
+  if (name == "mid_record") {
+    Arm(Point::kMidRecord, nth);
+  } else if (name == "after_append") {
+    Arm(Point::kAfterAppend, nth);
+  } else if (name == "before_fsync") {
+    Arm(Point::kBeforeFsync, nth);
+  } else if (name == "net_short_write") {
+    ArmNet(NetPoint::kShortWrite, nth);
+  } else if (name == "net_drop_mid_response") {
+    ArmNet(NetPoint::kDropMidResponse, nth);
+  } else if (name == "net_eintr_recv") {
+    ArmNet(NetPoint::kEintrRecv, nth);
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(Point point, uint64_t nth_append) {
+  point_ = point;
+  trigger_append_ = nth_append;
+  appends_seen_ = 0;
+  fsync_armed_ = false;
+}
+
+void FaultInjector::ArmNet(NetPoint point, uint64_t n) {
+  net_short_writes_.store(0, std::memory_order_relaxed);
+  net_drop_send_.store(0, std::memory_order_relaxed);
+  net_sends_seen_.store(0, std::memory_order_relaxed);
+  net_eintr_recvs_.store(0, std::memory_order_relaxed);
+  switch (point) {
+    case NetPoint::kShortWrite:
+      net_short_writes_.store(n, std::memory_order_relaxed);
+      break;
+    case NetPoint::kDropMidResponse:
+      net_drop_send_.store(n, std::memory_order_relaxed);
+      break;
+    case NetPoint::kEintrRecv:
+      net_eintr_recvs_.store(n, std::memory_order_relaxed);
+      break;
+    case NetPoint::kNone:
+      break;
+  }
+}
+
+FaultInjector::Point FaultInjector::OnAppend() {
+  if (point_ == Point::kNone || trigger_append_ == 0) return Point::kNone;
+  ++appends_seen_;
+  if (appends_seen_ != trigger_append_) return Point::kNone;
+  if (point_ == Point::kBeforeFsync) {
+    // The record itself is written in full; the crash fires at the first
+    // sync that would cover it.
+    fsync_armed_ = true;
+    return Point::kNone;
+  }
+  return point_;
+}
+
+bool FaultInjector::ShouldCrashBeforeFsync() { return fsync_armed_; }
+
+void FaultInjector::Crash() { ::_exit(kFaultExitCode); }
+
+size_t FaultInjector::NetSendCap(size_t len) {
+  uint64_t remaining = net_short_writes_.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (net_short_writes_.compare_exchange_weak(remaining, remaining - 1,
+                                                std::memory_order_relaxed)) {
+      // One byte per faulted send: the most adversarial legal short write
+      // (send() may transmit any nonzero prefix).
+      return len > 1 ? 1 : 0;
+    }
+  }
+  return 0;
+}
+
+bool FaultInjector::NetDropThisSend() {
+  const uint64_t trigger = net_drop_send_.load(std::memory_order_relaxed);
+  if (trigger == 0) return false;
+  const uint64_t seen =
+      net_sends_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return seen == trigger;
+}
+
+bool FaultInjector::NetEintrThisRecv() {
+  uint64_t remaining = net_eintr_recvs_.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (net_eintr_recvs_.compare_exchange_weak(remaining, remaining - 1,
+                                               std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace shapcq

@@ -1,0 +1,98 @@
+// Process-wide fault injection: the chaos layer behind the durability and
+// transport test harnesses. One injector, armed once from the SHAPCQ_FAULT
+// environment variable (or programmatically in-process), consulted at
+// explicit fault points in the WAL writer and the socket transport.
+//
+// SHAPCQ_FAULT=<point>:<n> arms one fault. Crash points (the PR 6 WAL
+// harness — immediate _exit, no flushing, equivalent to kill -9, exit code
+// kFaultExitCode so harnesses can tell an injected crash from an ordinary
+// failure):
+//
+//   mid_record:<n>    write only half of the n-th append's bytes, then die
+//   after_append:<n>  write the full n-th record, die before any fsync
+//   before_fsync:<n>  die at the first moment the fsync policy would sync
+//                     a file whose latest append was the n-th
+//
+// Socket points (this PR's chaos layer — no crashing; they perturb the
+// transport exactly the way a hostile network would, so the server's retry
+// and reap paths get exercised deterministically):
+//
+//   net_short_write:<n>       the next n sends transmit at most one byte
+//                             each (the send loop must iterate; responses
+//                             stay byte-identical)
+//   net_drop_mid_response:<n> the n-th send fails hard after transmitting
+//                             half its bytes (peer vanished mid-response;
+//                             the connection must die cleanly without
+//                             taking neighbors down)
+//   net_eintr_recv:<n>        the next n receives fail with EINTR before
+//                             reading (a signal storm; the read loop must
+//                             retry without dropping or duplicating bytes)
+//
+// Crash-point bookkeeping is intentionally unsynchronized (the WAL writer
+// already serializes appends per log, and the harness arms exactly one
+// fault per process). The net counters are atomics: connection threads hit
+// them concurrently.
+
+#ifndef SHAPCQ_UTIL_FAULT_INJECTOR_H_
+#define SHAPCQ_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace shapcq {
+
+class FaultInjector {
+ public:
+  enum class Point { kNone, kMidRecord, kAfterAppend, kBeforeFsync };
+  enum class NetPoint { kNone, kShortWrite, kDropMidResponse, kEintrRecv };
+  static constexpr int kFaultExitCode = 86;
+
+  /// The process-wide injector, configured once from SHAPCQ_FAULT.
+  static FaultInjector& Global();
+
+  /// Called by the WAL writer once per append, before writing; returns the
+  /// crash point to honor for this append (kNone almost always).
+  Point OnAppend();
+  /// True if a sync about to happen should die first (the before_fsync
+  /// point, armed by the append counter when the record was written).
+  bool ShouldCrashBeforeFsync();
+
+  /// Dies now: _exit(kFaultExitCode), no stream flushing, no atexit.
+  [[noreturn]] static void Crash();
+
+  /// Test hook: (re)arm a crash point programmatically.
+  void Arm(Point point, uint64_t nth_append);
+  /// Test hook: (re)arm a socket point programmatically. For kShortWrite
+  /// and kEintrRecv `n` is a budget (that many faulted calls); for
+  /// kDropMidResponse it is the 1-based ordinal of the send to kill.
+  void ArmNet(NetPoint point, uint64_t n);
+
+  /// Consulted by the transport before each send of `len` bytes: 0 = send
+  /// everything, otherwise the byte cap for this call (consumes one
+  /// short-write fault).
+  size_t NetSendCap(size_t len);
+  /// Consulted by the transport before each send: true = this send is the
+  /// armed mid-response drop (transmit half, then fail hard).
+  bool NetDropThisSend();
+  /// Consulted by the transport before each receive: true = fail this call
+  /// with EINTR instead of reading (consumes one fault).
+  bool NetEintrThisRecv();
+
+ private:
+  FaultInjector();
+
+  Point point_ = Point::kNone;
+  uint64_t trigger_append_ = 0;  // 1-based append ordinal; 0 = disarmed
+  uint64_t appends_seen_ = 0;
+  bool fsync_armed_ = false;  // set when the trigger append was written
+
+  std::atomic<uint64_t> net_short_writes_{0};  // remaining capped sends
+  std::atomic<uint64_t> net_drop_send_{0};     // 1-based ordinal; 0 = off
+  std::atomic<uint64_t> net_sends_seen_{0};
+  std::atomic<uint64_t> net_eintr_recvs_{0};   // remaining EINTR receives
+};
+
+}  // namespace shapcq
+
+#endif  // SHAPCQ_UTIL_FAULT_INJECTOR_H_

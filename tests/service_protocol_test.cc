@@ -411,7 +411,7 @@ TEST(CommandLoopTest, StatsBytesOffOmitsThePlatformDependentField) {
   EXPECT_EQ(Exec(&loop, "STATS"),
             "> STATS\n"
             "stats sessions=1 resident=1 hits=0 cached=0 cached_exact=1 "
-            "cached_approx=0 misses=1 evictions=0 builds=1\n");
+            "cached_approx=0 misses=1 evictions=0 builds=1 inflight=0\n");
 
   CommandLoop exact = MakeLoop();
   Exec(&exact, "OPEN s1 q() :- R(x)");

@@ -364,8 +364,10 @@ TEST(SessionLogRecoveryTest, HostileSessionIdsSurviveRestart) {
 }
 
 TEST(FaultInjectorTest, ParsesArmsAndCounts) {
-  // A copy of the global: arming it leaves the process-wide one disarmed.
-  FaultInjector injector = FaultInjector::Global();
+  // The injector carries atomic net counters now, so it is no longer
+  // copyable: exercise the process-wide one and disarm it when done (no
+  // WAL writer runs concurrently inside this test binary).
+  FaultInjector& injector = FaultInjector::Global();
   injector.Arm(FaultInjector::Point::kMidRecord, 3);
   EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kNone);
   EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kNone);
@@ -376,6 +378,27 @@ TEST(FaultInjectorTest, ParsesArmsAndCounts) {
   EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kNone);
   EXPECT_EQ(injector.OnAppend(), FaultInjector::Point::kNone);
   EXPECT_TRUE(injector.ShouldCrashBeforeFsync());
+  injector.Arm(FaultInjector::Point::kNone, 0);
+}
+
+TEST(FaultInjectorTest, NetPointsCountDownAndDisarm) {
+  FaultInjector& injector = FaultInjector::Global();
+  // Short writes: a budget of capped sends. Each consultation consumes one
+  // fault; a 1-byte send is already minimal, so its cap is "none".
+  injector.ArmNet(FaultInjector::NetPoint::kShortWrite, 2);
+  EXPECT_EQ(injector.NetSendCap(100), 1u);
+  EXPECT_EQ(injector.NetSendCap(1), 0u);
+  EXPECT_EQ(injector.NetSendCap(100), 0u);  // budget spent
+  // Mid-response drop: fires on exactly the n-th send.
+  injector.ArmNet(FaultInjector::NetPoint::kDropMidResponse, 2);
+  EXPECT_FALSE(injector.NetDropThisSend());
+  EXPECT_TRUE(injector.NetDropThisSend());
+  EXPECT_FALSE(injector.NetDropThisSend());
+  // EINTR storm: a budget of failed receives.
+  injector.ArmNet(FaultInjector::NetPoint::kEintrRecv, 1);
+  EXPECT_TRUE(injector.NetEintrThisRecv());
+  EXPECT_FALSE(injector.NetEintrThisRecv());
+  injector.ArmNet(FaultInjector::NetPoint::kNone, 0);
 }
 
 }  // namespace

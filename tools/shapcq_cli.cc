@@ -44,6 +44,7 @@ void PrintUsage() {
       "                  [--threads N] [--top-k K] [--brute-force]\n"
       "                  [--approx EPS,DELTA] [--seed S] [--max-samples M]\n"
       "                  [--force-approx] [--engine arena|tree]\n"
+      "                  [--deadline-ms N] [--on-deadline error|approx]\n"
       "                  [--classify-only] [--explain] [--mutate FILE]\n"
       "  FACTS: whitespace-separated facts, '*' suffix = endogenous,\n"
       "         e.g. \"Stud(a) TA(a)* Reg(a,os)*\"\n"
@@ -68,8 +69,17 @@ void PrintUsage() {
       "  engine=arena|tree numeric core for the exact engine (arena = the\n"
       "                   flat SoA default, tree = the pointer-linked\n"
       "                   oracle); values are bit-identical either way\n"
+      "  deadline_ms=N    wall-clock budget for the report (0 = none);\n"
+      "                   expiry prints '[E_DEADLINE] ...' and exits 1,\n"
+      "                   unless on_deadline=approx\n"
+      "  on_deadline=error|approx\n"
+      "                   policy when an exact report's deadline expires:\n"
+      "                   'error' (default) fails; 'approx' degrades to a\n"
+      "                   work-bounded sampled report ('approx:'\n"
+      "                   provenance line)\n"
       "The flags --top-k/--threads/--approx/--seed/--max-samples/\n"
-      "--force-approx/--engine assemble exactly these key=value pairs.\n");
+      "--force-approx/--engine/--deadline-ms/--on-deadline assemble\n"
+      "exactly these key=value pairs.\n");
 }
 
 // Replays a delta file against the incremental engine and prints the
@@ -177,6 +187,10 @@ int main(int argc, char** argv) {
       request_text += " force_approx=1";
     } else if (arg == "--engine") {
       request_text += std::string(" engine=") + next();
+    } else if (arg == "--deadline-ms") {
+      request_text += std::string(" deadline_ms=") + next();
+    } else if (arg == "--on-deadline") {
+      request_text += std::string(" on_deadline=") + next();
     } else if (arg == "--brute-force") {
       brute_force = true;
     } else if (arg == "--classify-only") {

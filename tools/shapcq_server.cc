@@ -10,6 +10,7 @@
 // is backed by a write-ahead log and a killed server resumes bit-identical
 // on restart.
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +40,8 @@ void PrintUsage() {
       "                     [--snapshot-every N] [--max-line-bytes N]\n"
       "                     [--max-facts N] [--max-conns N] [--stripes N]\n"
       "                     [--queue-bound N] [--stats-bytes={exact,off}]\n"
+      "                     [--default-deadline-ms N] [--io-timeout-ms N]\n"
+      "                     [--idle-timeout-ms N]\n"
       "\n"
       "Long-lived attribution server: one incremental Shapley engine per\n"
       "open session, byte-budgeted LRU eviction, rebuild-on-readmission,\n"
@@ -80,8 +83,21 @@ void PrintUsage() {
       "                         Hoeffding count; capping widens the\n"
       "                         intervals)\n"
       "        force_approx=0|1 sample even when an exact engine applies\n"
+      "        deadline_ms=N    wall-clock budget for this report; expiry\n"
+      "                         returns 'error: [E_DEADLINE] ...' (or\n"
+      "                         degrades, per on_deadline). 0 = none —\n"
+      "                         also overrides --default-deadline-ms\n"
+      "        on_deadline=error|approx\n"
+      "                         policy when an exact report's deadline\n"
+      "                         expires: 'error' (default) fails with\n"
+      "                         [E_DEADLINE]; 'approx' answers from the\n"
+      "                         sampling tier (work-bounded, 'approx:'\n"
+      "                         provenance line). A later REPORT without a\n"
+      "                         deadline is bit-identical to an undeadlined\n"
+      "                         run either way.\n"
       "      The deprecated positional form '[top_k] [--threads N]' is\n"
-      "      still accepted.\n"
+      "      still accepted (a --default-deadline-ms applies to it too —\n"
+      "      it carries no deadline keys of its own).\n"
       "  SNAPSHOT <session>\n"
       "      Checkpoint the session's fact table into its write-ahead log\n"
       "      and drop the replayed-past prefix (durability only; bounds\n"
@@ -146,6 +162,22 @@ void PrintUsage() {
       "                     lock before the next fails fast with\n"
       "                     'error: [E_OVERLOAD] ...' (0 = block forever,\n"
       "                     the default)\n"
+      "  --default-deadline-ms N\n"
+      "                     deadline for REPORTs that carry no deadline_ms\n"
+      "                     key of their own (0 = none, the default); a\n"
+      "                     request's explicit deadline_ms — even =0 —\n"
+      "                     always wins\n"
+      "  --io-timeout-ms N  listen mode: longest a connection's read waits\n"
+      "                     for the peer to send anything before the\n"
+      "                     connection is closed (0 = forever, the\n"
+      "                     default); reaps dead peers and slow-loris\n"
+      "                     clients, counted as io_timeouts= in STATS\n"
+      "  --idle-timeout-ms N\n"
+      "                     listen mode: connections with no socket\n"
+      "                     activity in either direction for N ms are\n"
+      "                     half-closed by the watchdog (in-flight\n"
+      "                     responses still delivered; 0 = never, the\n"
+      "                     default); also counted as io_timeouts=\n"
       "  --stats-bytes=MODE 'exact' (default) includes the platform-\n"
       "                     dependent bytes= engine-size estimate in the\n"
       "                     global STATS line; 'off' omits it so\n"
@@ -216,6 +248,12 @@ int main(int argc, char** argv) {
       stripes_given = true;
     } else if (arg == "--queue-bound") {
       options.registry.max_stripe_queue = next_size("--queue-bound");
+    } else if (arg == "--default-deadline-ms") {
+      options.default_deadline_ms = next_size("--default-deadline-ms");
+    } else if (arg == "--io-timeout-ms") {
+      net_options.io_timeout_ms = next_size("--io-timeout-ms");
+    } else if (arg == "--idle-timeout-ms") {
+      net_options.idle_timeout_ms = next_size("--idle-timeout-ms");
     } else if (arg.rfind("--engine=", 0) == 0) {
       const std::string name = arg.substr(std::strlen("--engine="));
       const auto core = ParseEngineCore(name);
@@ -295,6 +333,11 @@ int main(int argc, char** argv) {
     // never as a process-killing SIGPIPE.
     std::signal(SIGPIPE, SIG_IGN);
 
+    // One transport-counter block for all connections: STATS from any
+    // client shows the server-wide io_timeouts= tally.
+    TransportStats transport;
+    options.transport_stats = &transport;
+
     EngineRegistry registry(options.registry);
     SessionLogManager log_manager;
     SessionLogManager* log = nullptr;
@@ -338,9 +381,10 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "shapcq_server: drained, served=%zu client_errors=%zu "
-                 "rejected=%zu\n",
+                 "rejected=%zu io_timeouts=%zu\n",
                  served, server.total_errors(),
-                 server.rejected_connections());
+                 server.rejected_connections(),
+                 transport.io_timeouts.load(std::memory_order_relaxed));
     // Command errors belong to the clients that issued them; a drained
     // server exits clean.
     return 0;
